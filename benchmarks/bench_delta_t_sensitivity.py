@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the §6.1.2 Δt sensitivity check."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import delta_t
+
+
+WINDOWS = (0.5 * 3600.0, 3600.0)
+
+
+def test_delta_t_sensitivity(benchmark, context):
+    results = run_once(benchmark, delta_t.run, context, dataset="nyc", windows=WINDOWS)
+    save_report("delta_t_sensitivity", delta_t.format_report(results))
+    assert len(results) == len(WINDOWS)
+    for metrics in results.values():
+        for value in metrics.values():
+            assert 0.0 <= value <= 1.0

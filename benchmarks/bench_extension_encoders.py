@@ -1,0 +1,14 @@
+"""Benchmark: extension study — content-encoder variants (BiGRU, attention)."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import extensions
+
+
+def test_extension_content_encoders(benchmark, context):
+    results = run_once(benchmark, extensions.run_encoders, context, dataset="nyc")
+    save_report("extension_encoders", extensions.format_encoder_report(results))
+    assert set(results) == set(extensions.EXTENSION_ENCODERS)
+    for metrics in results.values():
+        for value in metrics.values():
+            assert 0.0 <= value <= 1.0

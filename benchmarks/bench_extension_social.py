@@ -1,0 +1,16 @@
+"""Benchmark: extension study — social / frequent-pattern features (paper §7)."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import extensions
+
+
+def test_extension_social_features(benchmark, context):
+    results = run_once(benchmark, extensions.run_social, context, dataset="nyc")
+    save_report("extension_social", extensions.format_social_report(results))
+    assert set(results) == {"HisRect", "HisRect+Social"}
+    for metrics in results.values():
+        for value in metrics.values():
+            assert 0.0 <= value <= 1.0
+    # Stacking extra signals on the frozen judge should not collapse accuracy.
+    assert results["HisRect+Social"]["Acc"] >= results["HisRect"]["Acc"] - 0.1

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 2 (ROC curves and AUC of the non-naive approaches)."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import figure2
+
+
+def test_figure2_roc_auc(benchmark, context):
+    results = run_once(benchmark, figure2.run, context)
+    save_report("figure2_roc", figure2.format_report(results))
+    for rows in results.values():
+        for values in rows.values():
+            assert 0.0 <= values["auc"] <= 1.0
+            assert len(values["fpr"]) == len(values["tpr"])

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 3 (t-SNE projection of HisRect features)."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import figure3
+
+
+def test_figure3_tsne_projection(benchmark, context):
+    result = run_once(benchmark, figure3.run, context)
+    save_report("figure3_tsne", figure3.format_report(result))
+    assert result.coordinates.shape[1] == 2
+    assert result.coordinates.shape[0] == result.poi_labels.shape[0]
+    assert -1.0 <= result.silhouette <= 1.0

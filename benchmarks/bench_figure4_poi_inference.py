@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 4 (Acc@K of POI inference for nine approaches)."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import figure4
+
+
+def test_figure4_poi_inference_acc_at_k(benchmark, context):
+    results = run_once(benchmark, figure4.run, context, datasets=("nyc",))
+    save_report("figure4_poi_inference", figure4.format_report(results))
+    for rows in results.values():
+        for series in rows.values():
+            assert all(0.0 <= value <= 1.0 for value in series)
+            # Acc@K is monotone non-decreasing in K.
+            assert all(a <= b + 1e-9 for a, b in zip(series, series[1:]))

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 5 (F1 vs fraction of training timelines)."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import figure5
+
+FRACTIONS = (0.5, 1.0)
+APPROACHES = ("HisRect", "Tweet-only", "History-only")
+
+
+def test_figure5_training_size_sweep(benchmark, context):
+    results = run_once(
+        benchmark, figure5.run, context, dataset="nyc", fractions=FRACTIONS, approaches=APPROACHES
+    )
+    save_report("figure5_training_size", figure5.format_report(results, fractions=FRACTIONS))
+    for name in APPROACHES:
+        assert len(results[name]) == len(FRACTIONS)
+        assert all(0.0 <= value <= 1.0 for value in results[name])

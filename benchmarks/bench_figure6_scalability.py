@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 6 (training time per sample vs training-set size)."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import figure6
+
+FRACTIONS = (0.5, 1.0)
+
+
+def test_figure6_training_time_scalability(benchmark, context):
+    results = run_once(benchmark, figure6.run, context, dataset="nyc", fractions=FRACTIONS)
+    save_report("figure6_scalability", figure6.format_report(results, fractions=FRACTIONS))
+    assert len(results["featurizer_ms_per_sample"]) == len(FRACTIONS)
+    assert all(value > 0.0 for value in results["featurizer_ms_per_sample"])
+    assert all(value > 0.0 for value in results["judge_ms_per_sample"])

@@ -1,0 +1,20 @@
+"""Benchmark: ε_d / ρ smoothing-factor ablation (design choices from DESIGN.md)."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import parameters
+
+
+EPS_D_VALUES = (250.0, 1000.0)
+
+
+def test_eps_d_sensitivity(benchmark, context):
+    results = run_once(benchmark, parameters.run_eps_d, context, dataset="nyc", values=EPS_D_VALUES)
+    save_report(
+        "parameter_eps_d",
+        parameters.format_report(results, title="Ablation: history smoothing factor eps_d"),
+    )
+    assert len(results) == len(EPS_D_VALUES)
+    for metrics in results.values():
+        for value in metrics.values():
+            assert 0.0 <= value <= 1.0

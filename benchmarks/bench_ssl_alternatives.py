@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the §6.4.3 comparison of SSL loss alternatives."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import ssl_alternatives
+
+
+def test_ssl_loss_alternatives(benchmark, context):
+    results = run_once(benchmark, ssl_alternatives.run, context, dataset="nyc")
+    save_report("ssl_alternatives", ssl_alternatives.format_report(results))
+    assert set(results) == {"cosine", "l2", "cosine-noembed"}
+    for metrics in results.values():
+        for value in metrics.values():
+            assert 0.0 <= value <= 1.0

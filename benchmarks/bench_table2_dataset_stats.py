@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 2 (dataset statistics for NYC-like and LV-like)."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import table2
+
+
+def test_table2_dataset_statistics(benchmark, context):
+    results = run_once(benchmark, table2.run, context)
+    save_report("table2_dataset_stats", table2.format_report(results))
+    for dataset, splits in results.items():
+        assert splits["Training"]["labeled_profiles"] > 0
+        assert splits["Training"]["positive_pairs"] > 0

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 4 (co-location performance of the 11 approaches).
+
+This is the headline experiment: all eleven approaches of Table 3 are trained
+on both synthetic datasets and evaluated with the balanced-fold protocol.
+"""
+
+from conftest import run_once, save_report
+
+from repro.experiments import APPROACH_NAMES, table4
+
+
+def test_table4_all_approaches_both_datasets(benchmark, context):
+    results = run_once(benchmark, table4.run, context)
+    save_report("table4_colocation", table4.format_report(results))
+    for dataset, rows in results.items():
+        assert set(rows) == set(APPROACH_NAMES)
+        for metrics in rows.values():
+            for value in metrics.values():
+                assert 0.0 <= value <= 1.0

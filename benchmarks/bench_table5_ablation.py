@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 5 (HisRect with missing history or missing text)."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import table5
+
+
+def test_table5_missing_source_ablation(benchmark, context):
+    results = run_once(benchmark, table5.run, context)
+    save_report("table5_ablation", table5.format_report(results))
+    assert set(results) == {"HisRect\\T", "HisRect\\H", "History-only", "Tweet-only", "HisRect"}
+    for metrics in results.values():
+        for value in metrics.values():
+            assert 0.0 <= value <= 1.0

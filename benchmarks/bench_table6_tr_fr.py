@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 6 (HisRect accuracy on the TR / FR profile splits)."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import table6
+
+
+def test_table6_tr_fr_accuracy(benchmark, context):
+    results = run_once(benchmark, table6.run, context, datasets=("nyc",))
+    save_report("table6_tr_fr", table6.format_report(results))
+    for row in results.values():
+        assert row["TR_count"] + row["FR_count"] > 0
+        assert 0.0 <= row["TR_acc"] <= 1.0
+        assert 0.0 <= row["FR_acc"] <= 1.0

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 7 (network-depth sweep Qf x Ql)."""
+
+from conftest import run_once, save_report
+
+from repro.experiments import table7
+
+FC_LAYERS = (1, 2)
+LSTM_LAYERS = (1, 2)
+
+
+def test_table7_depth_sweep(benchmark, context):
+    results = run_once(
+        benchmark, table7.run, context, dataset="nyc", fc_layers=FC_LAYERS, lstm_layers=LSTM_LAYERS
+    )
+    save_report("table7_depth", table7.format_report(results))
+    assert len(results) == len(FC_LAYERS) * len(LSTM_LAYERS)
+    for metrics in results.values():
+        for value in metrics.values():
+            assert 0.0 <= value <= 1.0

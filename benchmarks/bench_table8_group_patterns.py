@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 8 (group-pattern clustering case study)."""
+
+from conftest import run_once, save_report
+
+from repro.eval import GROUP_PATTERNS
+from repro.experiments import table8
+
+
+def test_table8_group_pattern_accuracy(benchmark, context):
+    results = run_once(benchmark, table8.run, context, dataset="nyc")
+    save_report("table8_group_patterns", table8.format_report(results))
+    for approach, row in results.items():
+        assert set(row) == set(GROUP_PATTERNS)
+        if approach != "#groups":
+            assert all(0.0 <= value <= 1.0 for value in row.values())

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper.  They all share
+one :class:`repro.experiments.ExperimentContext` so datasets are generated and
+approaches are trained exactly once per session; each benchmark then times its
+own experiment runner (one round, one iteration — these are minutes-long
+model-training workloads, not micro-benchmarks).
+
+Scale is controlled by the ``REPRO_EXPERIMENT_SCALE`` environment variable
+(``smoke`` / ``default`` / ``full``); see ``repro.experiments.config``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import shared_context
+
+
+@pytest.fixture(scope="session")
+def context():
+    """The process-wide experiment context (scale from REPRO_EXPERIMENT_SCALE)."""
+    return shared_context()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_report(name: str, text: str) -> None:
+    """Print a formatted report and persist it under ``benchmarks/results/``."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

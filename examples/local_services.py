@@ -1,0 +1,130 @@
+"""Location-based services built on a fitted judge (paper Section 1).
+
+Beyond friends notification, the paper motivates co-location judgement with
+local people recommendation, community detection / group analysis and
+"followship" measurement.  This example fits one HisRect pipeline and then
+drives all three services from it:
+
+1. **Local people recommendation** — for a query user's latest profile, rank
+   other users by a blend of co-location probability and shared-interest
+   (tweet-content) similarity.
+2. **Community detection** — build the weighted co-location graph between the
+   users active in a one-hour window and extract modularity communities.
+3. **Followship measurement** — scan the test timelines for (leader, follower)
+   pairs where one user repeatedly visits a POI shortly after the other.
+
+Run it with::
+
+    python examples/local_services.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.colocation import CoLocationPipeline, JudgeConfig, PipelineConfig
+from repro.data import ProfileBuilder, build_dataset, nyc_like_dataset_config
+from repro.features import HisRectConfig
+from repro.service import CommunityDetector, FollowshipAnalyzer, LocalPeopleRecommender
+from repro.ssl import SSLTrainingConfig
+from repro.text import SkipGramConfig
+
+
+def train_pipeline(dataset) -> CoLocationPipeline:
+    """Fit a small HisRect pipeline (shared by all three services)."""
+    config = PipelineConfig(
+        hisrect=HisRectConfig(content_dim=8, feature_dim=16, embedding_dim=8),
+        ssl=SSLTrainingConfig(max_iterations=60),
+        judge=JudgeConfig(embedding_dim=8, classifier_dim=8, epochs=12),
+        skipgram=SkipGramConfig(embedding_dim=16, epochs=1),
+    )
+    return CoLocationPipeline(config).fit(dataset)
+
+
+def _busiest_window(profiles, delta_t: float):
+    """The query profile with the most other profiles inside its Δt window."""
+    def neighbours(candidate):
+        return sum(
+            1 for other in profiles
+            if other.uid != candidate.uid and abs(other.ts - candidate.ts) < delta_t
+        )
+
+    return max(profiles, key=neighbours)
+
+
+def demo_recommendation(pipeline, dataset) -> None:
+    print("\n=== Local people recommendation ===")
+    profiles = dataset.test.labeled_profiles[:120]
+    if len(profiles) < 3:
+        print("  (not enough test profiles at this scale)")
+        return
+    recommender = LocalPeopleRecommender(pipeline, delta_t=dataset.delta_t, colocation_weight=0.7)
+    query = _busiest_window(profiles, dataset.delta_t)
+    candidates = [p for p in profiles if p is not query]
+    recommendations = recommender.recommend(query, candidates, top_k=5)
+    print(f"Query: user {query.uid} tweeted {query.content[:50]!r}")
+    if not recommendations:
+        print("  no candidate fell inside the Δt window")
+    for rank, rec in enumerate(recommendations, start=1):
+        print(
+            f"  {rank}. user {rec.uid:<6d} score={rec.score:.3f} "
+            f"(co-location={rec.colocation_probability:.3f}, interest={rec.interest_similarity:.3f})"
+        )
+
+
+def demo_communities(pipeline, dataset) -> None:
+    print("\n=== Community detection ===")
+    all_profiles = dataset.test.labeled_profiles
+    if not all_profiles:
+        print("  (no labelled test profiles at this scale)")
+        return
+    # Focus on the busiest part of the day so the users actually overlap in time.
+    anchor = _busiest_window(all_profiles[:120], dataset.delta_t)
+    profiles = [p for p in all_profiles if abs(p.ts - anchor.ts) < 3 * dataset.delta_t][:60]
+    detector = CommunityDetector(pipeline, delta_t=dataset.delta_t, edge_threshold=0.5)
+    result = detector.detect(profiles)
+    print(
+        f"{len(profiles)} profiles -> {result.num_communities} communities "
+        f"(modularity {result.modularity:.3f})"
+    )
+    for community in result.communities[:5]:
+        members = ", ".join(str(uid) for uid in sorted(community)[:8])
+        suffix = " ..." if len(community) > 8 else ""
+        print(f"  community of {len(community)}: {members}{suffix}")
+
+
+def demo_followship(dataset) -> None:
+    print("\n=== Followship measurement ===")
+    analyzer = FollowshipAnalyzer(dataset.registry, window_s=6 * 3600.0)
+    scores = analyzer.analyze_store(dataset.test.store, min_followed_visits=2, top_k=5)
+    if not scores:
+        print("  no leader/follower pair with at least 2 followed visits")
+        return
+    for entry in scores:
+        print(
+            f"  user {entry.follower_uid} follows user {entry.leader_uid}: "
+            f"{entry.followed_visits}/{entry.total_follower_visits} visits "
+            f"(score {entry.score:.2f})"
+        )
+
+
+def main() -> None:
+    print("Generating a small NYC-like synthetic dataset ...")
+    dataset = build_dataset(nyc_like_dataset_config(scale=0.4, seed=31))
+    print("Fitting the HisRect pipeline ...")
+    pipeline = train_pipeline(dataset)
+
+    # A ProfileBuilder is what a production deployment would run over the live
+    # stream; here the dataset already carries built profiles, so the services
+    # consume those directly.
+    _ = ProfileBuilder  # referenced for discoverability
+
+    demo_recommendation(pipeline, dataset)
+    demo_communities(pipeline, dataset)
+    demo_followship(dataset)
+    print("\nDone.")
+
+
+if __name__ == "__main__":
+    np.seterr(all="ignore")
+    main()

@@ -1,0 +1,30 @@
+"""repro — a reproduction of HisRect co-location judgement (Li et al., TKDE 2019).
+
+The package is organised as:
+
+* :mod:`repro.geo` — geospatial substrate (points, polygons, POIs).
+* :mod:`repro.data` — synthetic Twitter substrate (cities, mobility, tweets,
+  profiles, pairs, datasets).
+* :mod:`repro.text` — tokenisation and skip-gram word vectors.
+* :mod:`repro.nn` — from-scratch autodiff, layers, LSTMs, losses, optimisers.
+* :mod:`repro.features` — the HisRect featurizer (historical-visit feature,
+  content encoders, combiner, POI classifier).
+* :mod:`repro.ssl` — affinity graph and semi-supervised training (Algorithm 1).
+* :mod:`repro.colocation` — the co-location judge, naive judges, clustering and
+  the high-level :class:`repro.colocation.pipeline.CoLocationPipeline`.
+* :mod:`repro.baselines` — TG-TI-C and N-Gram-Gauss location-inference baselines.
+* :mod:`repro.social` — the Section 7 extension: friendship graphs, social and
+  frequent-pattern pair features, the stacked social co-location judge.
+* :mod:`repro.eval` — metrics, ROC/AUC, Acc@K, ranking and clustering metrics,
+  t-SNE, group-pattern case study.
+* :mod:`repro.service` — friends notification, local people recommendation,
+  community detection and followship measurement on top of a fitted judge.
+* :mod:`repro.io` — persistence for datasets, fitted pipelines and friendship
+  graphs.
+* :mod:`repro.experiments` — one runner per table/figure of the paper plus the
+  extension studies.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,13 @@
+"""Naive location-inference baselines: TG-TI-C and N-Gram-Gauss."""
+
+from repro.baselines.base import LocationInferenceBaseline
+from repro.baselines.ngram_gauss import NGramGaussBaseline, NGramGaussConfig
+from repro.baselines.tg_ti_c import TGTICBaseline, TGTICConfig
+
+__all__ = [
+    "LocationInferenceBaseline",
+    "TGTICBaseline",
+    "TGTICConfig",
+    "NGramGaussBaseline",
+    "NGramGaussConfig",
+]

@@ -1,0 +1,62 @@
+"""Shared machinery for the naive location-inference baselines.
+
+Both TG-TI-C and N-Gram-Gauss are *location inference* methods: they predict a
+POI distribution for each profile independently.  Their co-location judgement
+is then the naive composition the paper describes — infer both POIs and check
+whether they coincide.  :class:`LocationInferenceBaseline` provides that
+composition plus the Acc@K interface so the POI-inference experiment (Figure 4)
+can treat every approach uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.records import Pair, Profile
+from repro.errors import NotFittedError
+from repro.geo.poi import POIRegistry
+
+
+class LocationInferenceBaseline:
+    """Base class: subclasses implement ``fit`` and ``infer_poi_proba``."""
+
+    def __init__(self, registry: POIRegistry):
+        self.registry = registry
+        self._fitted = False
+
+    # --------------------------------------------------------------- interface
+    def fit(self, labeled_profiles: list[Profile]) -> "LocationInferenceBaseline":
+        raise NotImplementedError
+
+    def infer_poi_proba(self, profiles: list[Profile]) -> np.ndarray:
+        """Per-profile POI score distributions, shape ``(B, |P|)``, rows sum to 1."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- conveniences
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} has not been fitted")
+
+    def infer_poi(self, profiles: list[Profile]) -> list[int]:
+        """Hard POI (pid) predictions."""
+        proba = self.infer_poi_proba(profiles)
+        return [self.registry.pid_at(int(i)) for i in proba.argmax(axis=1)]
+
+    def predict(self, pairs: list[Pair]) -> np.ndarray:
+        """Naive co-location: 1 iff both profiles are inferred at the same POI."""
+        if not pairs:
+            return np.zeros(0, dtype=int)
+        left = np.array(self.infer_poi([p.left for p in pairs]))
+        right = np.array(self.infer_poi([p.right for p in pairs]))
+        return (left == right).astype(int)
+
+    def predict_proba(self, pairs: list[Pair]) -> np.ndarray:
+        """Soft score: probability both profiles share a POI under the model."""
+        if not pairs:
+            return np.zeros(0)
+        left = self.infer_poi_proba([p.left for p in pairs])
+        right = self.infer_poi_proba([p.right for p in pairs])
+        return np.sum(left * right, axis=1)
+
+    def _uniform(self, count: int) -> np.ndarray:
+        return np.full((count, len(self.registry)), 1.0 / len(self.registry))

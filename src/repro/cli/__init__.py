@@ -1,0 +1,5 @@
+"""Command-line interface (the ``repro-hisrect`` entry point)."""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,230 @@
+"""The ``repro-hisrect`` command-line interface.
+
+Subcommands cover the common workflows without writing Python:
+
+* ``generate``   — build a synthetic dataset and save it to a directory.
+* ``train``      — fit the HisRect pipeline on a saved dataset and save it.
+* ``evaluate``   — Table 4 metrics of a saved pipeline on a saved dataset.
+* ``infer-poi``  — Acc@K POI inference of a saved pipeline on a saved dataset.
+* ``experiment`` — run one of the paper's table/figure experiments and print
+  its report (the same runners the benchmark suite uses).
+
+Every subcommand prints a short, parseable report to stdout and returns a
+process exit code (0 on success), so the CLI composes with shell scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+import numpy as np
+
+from repro.colocation import CoLocationPipeline, JudgeConfig, PipelineConfig
+from repro.data import build_dataset, lv_like_dataset_config, nyc_like_dataset_config
+from repro.errors import ReproError
+from repro.eval.metrics import accuracy_at_k, evaluate_judge
+from repro.features import HisRectConfig
+from repro.io import load_dataset, load_pipeline, save_dataset, save_pipeline
+from repro.ssl import SSLTrainingConfig
+from repro.text import SkipGramConfig
+from repro.version import __version__
+
+#: Dataset presets selectable from the command line.
+PRESETS = {"nyc": nyc_like_dataset_config, "lv": lv_like_dataset_config}
+
+
+# ------------------------------------------------------------------- commands
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Generate a synthetic dataset and save it to ``--out``."""
+    preset = PRESETS[args.preset]
+    config = preset(scale=args.scale, seed=args.seed)
+    dataset = build_dataset(config, name=args.preset)
+    directory = save_dataset(dataset, args.out)
+    print(f"dataset saved to {directory}")
+    for split, stats in dataset.statistics().items():
+        rendered = ", ".join(f"{key}={value}" for key, value in stats.items())
+        print(f"  {split}: {rendered}")
+    return 0
+
+
+def _pipeline_config(args: argparse.Namespace) -> PipelineConfig:
+    return PipelineConfig(
+        hisrect=HisRectConfig(
+            content_dim=args.content_dim,
+            feature_dim=args.feature_dim,
+            embedding_dim=args.embedding_dim,
+            seed=args.seed,
+        ),
+        ssl=SSLTrainingConfig(max_iterations=args.ssl_iterations, seed=args.seed + 1),
+        judge=JudgeConfig(
+            embedding_dim=args.embedding_dim,
+            classifier_dim=args.embedding_dim,
+            epochs=args.judge_epochs,
+            seed=args.seed + 2,
+        ),
+        skipgram=SkipGramConfig(embedding_dim=args.word_dim, seed=args.seed + 3),
+        mode=args.mode,
+        seed=args.seed,
+    )
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    """Train a pipeline on a saved dataset and save the fitted model."""
+    dataset = load_dataset(args.dataset)
+    config = _pipeline_config(args)
+    if not args.use_unlabeled:
+        config = replace(config, ssl=replace(config.ssl, use_unlabeled=False))
+    pipeline = CoLocationPipeline(config).fit(dataset)
+    directory = save_pipeline(pipeline, args.out)
+    print(f"pipeline saved to {directory}")
+    if pipeline.ssl_history is not None:
+        print(
+            "  ssl: final poi loss "
+            f"{pipeline.ssl_history.final_poi_loss}, final unsupervised loss "
+            f"{pipeline.ssl_history.final_unsupervised_loss}"
+        )
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    """Evaluate a saved pipeline on a saved dataset's test pairs."""
+    dataset = load_dataset(args.dataset)
+    pipeline = load_pipeline(args.model)
+    metrics = evaluate_judge(pipeline, dataset.test.labeled_pairs, num_folds=args.folds)
+    print(f"test pairs: {len(dataset.test.labeled_pairs)} (averaged over {args.folds} balanced folds)")
+    for name, value in metrics.as_dict().items():
+        print(f"  {name} = {value:.4f}")
+    return 0
+
+
+def cmd_infer_poi(args: argparse.Namespace) -> int:
+    """POI-inference Acc@K of a saved pipeline on a saved dataset."""
+    dataset = load_dataset(args.dataset)
+    pipeline = load_pipeline(args.model)
+    profiles = dataset.test.labeled_profiles
+    if not profiles:
+        print("the dataset's test split has no labelled profiles", file=sys.stderr)
+        return 1
+    registry = dataset.registry
+    proba = pipeline.infer_poi_proba(profiles)
+    true_indices = np.array([registry.index_of(p.pid) for p in profiles])
+    print(f"profiles: {len(profiles)}, candidate POIs: {len(registry)}")
+    for k in range(1, args.top_k + 1):
+        print(f"  Acc@{k} = {accuracy_at_k(true_indices, proba, k):.4f}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Run one of the paper's experiments and print its report."""
+    # Imported lazily: the experiment runners pull in every approach.
+    from repro.experiments import delta_t, extensions, figure4, figure5, parameters, shared_context
+    from repro.experiments import ssl_alternatives, table2, table4, table5, table8
+
+    runners = {
+        "table2": lambda ctx: table2.format_report(table2.run(ctx)),
+        "table4": lambda ctx: table4.format_report(table4.run(ctx, datasets=(args.dataset,))),
+        "table5": lambda ctx: table5.format_report(table5.run(ctx, dataset=args.dataset)),
+        "table8": lambda ctx: table8.format_report(table8.run(ctx, dataset=args.dataset)),
+        "figure4": lambda ctx: figure4.format_report(figure4.run(ctx, datasets=(args.dataset,))),
+        "figure5": lambda ctx: figure5.format_report(figure5.run(ctx, dataset=args.dataset)),
+        "ssl-alternatives": lambda ctx: ssl_alternatives.format_report(
+            ssl_alternatives.run(ctx, dataset=args.dataset)
+        ),
+        "delta-t": lambda ctx: delta_t.format_report(delta_t.run(ctx, dataset=args.dataset)),
+        "eps-d": lambda ctx: parameters.format_report(
+            parameters.run_eps_d(ctx, dataset=args.dataset),
+            title="Ablation: history smoothing factor eps_d",
+        ),
+        "extension-encoders": lambda ctx: extensions.format_encoder_report(
+            extensions.run_encoders(ctx, dataset=args.dataset)
+        ),
+        "extension-social": lambda ctx: extensions.format_social_report(
+            extensions.run_social(ctx, dataset=args.dataset)
+        ),
+    }
+    if args.name not in runners:
+        print(f"unknown experiment {args.name!r}; choose from {sorted(runners)}", file=sys.stderr)
+        return 2
+    context = shared_context(args.scale)
+    print(runners[args.name](context))
+    return 0
+
+
+# --------------------------------------------------------------------- parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for the test suite)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-hisrect",
+        description="HisRect co-location judgement: datasets, training, evaluation, experiments.",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic dataset")
+    generate.add_argument("--preset", choices=sorted(PRESETS), default="nyc")
+    generate.add_argument("--scale", type=float, default=0.5, help="dataset size multiplier")
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--out", required=True, help="output directory")
+    generate.set_defaults(func=cmd_generate)
+
+    train = subparsers.add_parser("train", help="train the HisRect pipeline on a saved dataset")
+    train.add_argument("--dataset", required=True, help="dataset directory from `generate`")
+    train.add_argument("--out", required=True, help="output directory for the fitted pipeline")
+    train.add_argument("--mode", choices=("two-phase", "one-phase"), default="two-phase")
+    train.add_argument("--ssl-iterations", type=int, default=240)
+    train.add_argument("--judge-epochs", type=int, default=30)
+    train.add_argument("--content-dim", type=int, default=16)
+    train.add_argument("--feature-dim", type=int, default=32)
+    train.add_argument("--embedding-dim", type=int, default=16)
+    train.add_argument("--word-dim", type=int, default=32)
+    train.add_argument("--seed", type=int, default=97)
+    train.add_argument(
+        "--no-unlabeled",
+        dest="use_unlabeled",
+        action="store_false",
+        help="disable the semi-supervised loss (the HisRect-SL ablation)",
+    )
+    train.set_defaults(func=cmd_train, use_unlabeled=True)
+
+    evaluate = subparsers.add_parser("evaluate", help="Table 4 metrics of a saved pipeline")
+    evaluate.add_argument("--dataset", required=True)
+    evaluate.add_argument("--model", required=True)
+    evaluate.add_argument("--folds", type=int, default=10, help="balanced negative folds")
+    evaluate.set_defaults(func=cmd_evaluate)
+
+    infer = subparsers.add_parser("infer-poi", help="POI inference Acc@K of a saved pipeline")
+    infer.add_argument("--dataset", required=True)
+    infer.add_argument("--model", required=True)
+    infer.add_argument("--top-k", type=int, default=5)
+    infer.set_defaults(func=cmd_infer_poi)
+
+    experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
+    experiment.add_argument("name", help="table2, table4, table5, table8, figure4, figure5, "
+                                         "ssl-alternatives, delta-t, eps-d, extension-encoders "
+                                         "or extension-social")
+    experiment.add_argument("--dataset", choices=("nyc", "lv"), default="nyc")
+    experiment.add_argument("--scale", choices=("smoke", "default", "full"), default="smoke")
+    experiment.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Co-location judgement: the HisRect judge, naive judges, clustering and pipeline."""
+
+from repro.colocation.clustering import (
+    ClusteringResult,
+    ProfileClusterer,
+    partition_from_labels,
+    partitions_equal,
+)
+from repro.colocation.comp2loc import Comp2LocJudge
+from repro.colocation.judge import (
+    CoLocationJudgeNetwork,
+    HisRectCoLocationJudge,
+    JudgeConfig,
+    JudgeTrainingHistory,
+)
+from repro.colocation.onephase import OnePhaseConfig, OnePhaseModel
+from repro.colocation.pipeline import MODES, CoLocationPipeline, PipelineConfig
+
+__all__ = [
+    "JudgeConfig",
+    "CoLocationJudgeNetwork",
+    "HisRectCoLocationJudge",
+    "JudgeTrainingHistory",
+    "Comp2LocJudge",
+    "OnePhaseConfig",
+    "OnePhaseModel",
+    "ProfileClusterer",
+    "ClusteringResult",
+    "partition_from_labels",
+    "partitions_equal",
+    "CoLocationPipeline",
+    "PipelineConfig",
+    "MODES",
+]

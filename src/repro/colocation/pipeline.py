@@ -1,0 +1,222 @@
+"""The end-to-end co-location pipeline — the library's main public API.
+
+:class:`CoLocationPipeline` wires every stage of the paper together:
+
+1. build a vocabulary from the training tweets and train skip-gram word
+   vectors (Section 4.2);
+2. build the HisRect featurizer ``F`` with the configured feature variant;
+3. train ``F`` together with the POI classifier ``P`` and the embedding ``E``
+   using the semi-supervised framework (Section 4.4) — or train everything
+   end-to-end on the pair loss for the One-phase variant;
+4. train the co-location judge (``E'`` + ``C``) on labelled pairs with the
+   featurizer frozen (Section 5).
+
+The fitted pipeline answers every question the evaluation needs: pair
+co-location probabilities and decisions, POI inference distributions (Acc@K),
+HisRect feature vectors (t-SNE), pairwise probability matrices (clustering) and
+a Comp2Loc judge sharing its featurizer and classifier.
+
+Typical use::
+
+    from repro.data import build_dataset, nyc_like_dataset_config
+    from repro.colocation import CoLocationPipeline, PipelineConfig
+
+    dataset = build_dataset(nyc_like_dataset_config(scale=0.5))
+    pipeline = CoLocationPipeline(PipelineConfig()).fit(dataset)
+    probabilities = pipeline.predict_proba(dataset.test.labeled_pairs)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.colocation.comp2loc import Comp2LocJudge
+from repro.colocation.judge import HisRectCoLocationJudge, JudgeConfig
+from repro.colocation.onephase import OnePhaseConfig, OnePhaseModel
+from repro.data.dataset import ColocationDataset
+from repro.data.records import Pair, Profile
+from repro.errors import ConfigurationError, NotFittedError
+from repro.features.content import TextVectorizer
+from repro.features.hisrect import EmbeddingNetwork, HisRectConfig, HisRectFeaturizer, POIClassifier
+from repro.ssl.affinity import AffinityConfig
+from repro.ssl.trainer import SSLTrainingConfig, SemiSupervisedHisRectTrainer, TrainingHistory
+from repro.text.skipgram import SkipGramConfig, SkipGramModel
+from repro.text.tokenize import Tokenizer, Vocabulary
+
+#: Pipeline training modes.
+MODES = ("two-phase", "one-phase")
+
+
+@dataclass
+class PipelineConfig:
+    """Every stage's configuration in one object."""
+
+    hisrect: HisRectConfig = field(default_factory=HisRectConfig)
+    ssl: SSLTrainingConfig = field(default_factory=SSLTrainingConfig)
+    judge: JudgeConfig = field(default_factory=JudgeConfig)
+    affinity: AffinityConfig = field(default_factory=AffinityConfig)
+    skipgram: SkipGramConfig = field(default_factory=SkipGramConfig)
+    onephase: OnePhaseConfig = field(default_factory=OnePhaseConfig)
+    #: ``"two-phase"`` (HisRect) or ``"one-phase"`` (end-to-end baseline).
+    mode: str = "two-phase"
+    #: Minimum word frequency for the vocabulary (the paper uses 10 at full scale).
+    min_word_count: int = 2
+    #: Cap on the number of POI-classifier layers.
+    classifier_layers: int = 2
+    seed: int = 97
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ConfigurationError(f"mode must be one of {MODES}, got {self.mode!r}")
+
+
+class CoLocationPipeline:
+    """Build, train and apply a complete co-location judgement model."""
+
+    def __init__(self, config: PipelineConfig | None = None):
+        self.config = config or PipelineConfig()
+        self.vocabulary: Vocabulary | None = None
+        self.skipgram: SkipGramModel | None = None
+        self.vectorizer: TextVectorizer | None = None
+        self.featurizer: HisRectFeaturizer | None = None
+        self.classifier: POIClassifier | None = None
+        self.embedding: EmbeddingNetwork | None = None
+        self.judge: HisRectCoLocationJudge | None = None
+        self.onephase: OnePhaseModel | None = None
+        self.ssl_history: TrainingHistory | None = None
+        self._dataset: ColocationDataset | None = None
+        self._fitted = False
+
+    # ------------------------------------------------------------------ stages
+    def _build_text_stack(self, dataset: ColocationDataset) -> None:
+        tokenizer = Tokenizer()
+        corpus = dataset.training_corpus()
+        token_sequences = [tokenizer.tokenize(text) for text in corpus]
+        self.vocabulary = Vocabulary.build(token_sequences, min_count=self.config.min_word_count)
+        self.skipgram = SkipGramModel(self.vocabulary, self.config.skipgram)
+        encoded = [self.vocabulary.encode(tokens) for tokens in token_sequences if tokens]
+        self.skipgram.train(encoded)
+        self.vectorizer = TextVectorizer(
+            self.vocabulary,
+            self.skipgram,
+            tokenizer=tokenizer,
+            max_tokens=16,
+            min_tokens=4,
+        )
+
+    def _build_models(self, dataset: ColocationDataset) -> None:
+        cfg = self.config
+        registry = dataset.registry
+        vectorizer = self.vectorizer if cfg.hisrect.use_content else None
+        self.featurizer = HisRectFeaturizer(registry, vectorizer, cfg.hisrect)
+        self.classifier = POIClassifier(
+            feature_dim=cfg.hisrect.feature_dim,
+            num_pois=len(registry),
+            num_layers=cfg.classifier_layers,
+            keep_prob=cfg.hisrect.keep_prob,
+            init_std=cfg.hisrect.init_std,
+            seed=cfg.seed + 1,
+        )
+        self.embedding = EmbeddingNetwork(
+            input_dim=cfg.hisrect.feature_dim,
+            embedding_dim=cfg.hisrect.embedding_dim,
+            num_layers=cfg.hisrect.num_embedding_layers,
+            normalize=True,
+            init_std=cfg.hisrect.init_std,
+            seed=cfg.seed + 2,
+        )
+
+    # --------------------------------------------------------------------- fit
+    def fit(self, dataset: ColocationDataset) -> "CoLocationPipeline":
+        """Train the full pipeline on a dataset's training split."""
+        self._dataset = dataset
+        if self.config.hisrect.use_content:
+            self._build_text_stack(dataset)
+        self._build_models(dataset)
+        assert self.featurizer is not None
+
+        train = dataset.train
+        if self.config.mode == "one-phase":
+            self.onephase = OnePhaseModel(self.featurizer, self.config.onephase)
+            self.onephase.fit(train.labeled_pairs)
+        else:
+            assert self.classifier is not None and self.embedding is not None
+            trainer = SemiSupervisedHisRectTrainer(
+                self.featurizer,
+                self.classifier,
+                self.embedding,
+                dataset.registry,
+                config=self.config.ssl,
+                affinity_config=self.config.affinity,
+            )
+            self.ssl_history = trainer.train(
+                train.labeled_profiles, train.labeled_pairs, train.unlabeled_pairs
+            )
+            self.judge = HisRectCoLocationJudge(self.featurizer, self.config.judge)
+            self.judge.fit(train.labeled_pairs)
+        self._fitted = True
+        return self
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError("CoLocationPipeline.fit() has not been called")
+
+    # ------------------------------------------------------------- co-location
+    def predict_proba(self, pairs: list[Pair]) -> np.ndarray:
+        """Co-location probability per pair."""
+        self._require_fitted()
+        if self.config.mode == "one-phase":
+            assert self.onephase is not None
+            return self.onephase.predict_proba(pairs)
+        assert self.judge is not None
+        return self.judge.predict_proba(pairs)
+
+    def predict(self, pairs: list[Pair]) -> np.ndarray:
+        """Binary co-location decisions (1 = same POI within Δt)."""
+        self._require_fitted()
+        if self.config.mode == "one-phase":
+            assert self.onephase is not None
+            return self.onephase.predict(pairs)
+        assert self.judge is not None
+        return self.judge.predict(pairs)
+
+    def probability_matrix(self, profiles: list[Profile]) -> np.ndarray:
+        """Pairwise co-location probability matrix for a group of profiles."""
+        self._require_fitted()
+        if self.config.mode == "one-phase":
+            raise ConfigurationError("probability_matrix requires the two-phase pipeline")
+        assert self.judge is not None
+        return self.judge.probability_matrix(profiles)
+
+    # ------------------------------------------------------------ POI inference
+    def infer_poi_proba(self, profiles: list[Profile]) -> np.ndarray:
+        """POI probability distributions (dense registry order) per profile."""
+        self._require_fitted()
+        if self.config.mode == "one-phase" or self.classifier is None or self.featurizer is None:
+            raise ConfigurationError("POI inference requires the two-phase pipeline")
+        features = self.featurizer.featurize(profiles)
+        return self.classifier.predict_proba(features)
+
+    def infer_poi(self, profiles: list[Profile]) -> list[int]:
+        """Hard POI (pid) predictions per profile."""
+        self._require_fitted()
+        assert self.featurizer is not None
+        proba = self.infer_poi_proba(profiles)
+        registry = self.featurizer.registry
+        return [registry.pid_at(int(i)) for i in proba.argmax(axis=1)]
+
+    # ----------------------------------------------------------------- features
+    def features(self, profiles: list[Profile]) -> np.ndarray:
+        """Frozen HisRect feature vectors (e.g. for the t-SNE visualisation)."""
+        self._require_fitted()
+        assert self.featurizer is not None
+        return self.featurizer.featurize(profiles)
+
+    def comp2loc(self) -> Comp2LocJudge:
+        """A Comp2Loc judge sharing this pipeline's featurizer and classifier."""
+        self._require_fitted()
+        if self.config.mode == "one-phase" or self.classifier is None or self.featurizer is None:
+            raise ConfigurationError("Comp2Loc requires the two-phase pipeline")
+        return Comp2LocJudge(self.featurizer, self.classifier)

@@ -1,0 +1,77 @@
+"""Synthetic Twitter substrate: cities, mobility, timelines, profiles, pairs, datasets."""
+
+from repro.data.city import City, CityConfig, generate_city, lv_like_config, nyc_like_config
+from repro.data.dataset import (
+    ColocationDataset,
+    DatasetConfig,
+    DatasetSplit,
+    build_dataset,
+    lv_like_dataset_config,
+    nyc_like_dataset_config,
+    tiny_dataset_config,
+)
+from repro.data.ingest import (
+    dataset_from_timelines,
+    split_timelines,
+    timelines_from_tweets,
+    tweets_from_dicts,
+)
+from repro.data.language import (
+    BACKGROUND_WORDS,
+    CATEGORY_WORDS,
+    LanguageModelConfig,
+    TweetLanguageModel,
+)
+from repro.data.mobility import MobilityConfig, MobilityModel, UserMobility
+from repro.data.profiles import PairBuilder, PairBuilderConfig, ProfileBuilder, split_pairs
+from repro.data.records import Pair, Profile, Timeline, Tweet, Visit, average_visits_per_profile
+from repro.data.store import TimelineStore
+from repro.data.timelines import (
+    DAY_SECONDS,
+    HOUR_SECONDS,
+    SimulationResult,
+    TimelineConfig,
+    TimelineSimulator,
+)
+
+__all__ = [
+    "Tweet",
+    "Visit",
+    "Timeline",
+    "Profile",
+    "Pair",
+    "average_visits_per_profile",
+    "TimelineStore",
+    "City",
+    "CityConfig",
+    "generate_city",
+    "nyc_like_config",
+    "lv_like_config",
+    "LanguageModelConfig",
+    "TweetLanguageModel",
+    "CATEGORY_WORDS",
+    "BACKGROUND_WORDS",
+    "MobilityConfig",
+    "MobilityModel",
+    "UserMobility",
+    "TimelineConfig",
+    "TimelineSimulator",
+    "SimulationResult",
+    "HOUR_SECONDS",
+    "DAY_SECONDS",
+    "ProfileBuilder",
+    "PairBuilder",
+    "PairBuilderConfig",
+    "split_pairs",
+    "tweets_from_dicts",
+    "timelines_from_tweets",
+    "split_timelines",
+    "dataset_from_timelines",
+    "DatasetConfig",
+    "DatasetSplit",
+    "ColocationDataset",
+    "build_dataset",
+    "nyc_like_dataset_config",
+    "lv_like_dataset_config",
+    "tiny_dataset_config",
+]

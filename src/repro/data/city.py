@@ -1,0 +1,133 @@
+"""Synthetic city generation.
+
+The paper evaluates on New York City (top 1000 POIs by tweet volume) and Clark
+County / Las Vegas (top 250 POIs).  Without access to the crawled Twitter data
+or the OSM dumps, this module generates cities with the same structure: a set
+of polygonal POIs scattered over a metropolitan area, grouped into a few dense
+neighbourhoods (so that negative pairs include both "nearby but different POI"
+and "far away" cases), with a Zipf-like popularity distribution that drives how
+often users visit each POI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.language import CATEGORY_WORDS
+from repro.errors import DataGenerationError
+from repro.geo.point import GeoPoint
+from repro.geo.poi import POI, POIRegistry
+from repro.geo.polygon import BoundingPolygon
+
+
+@dataclass
+class CityConfig:
+    """Parameters of a synthetic city."""
+
+    name: str = "synthetic-city"
+    #: Geographic anchor of the city (defaults to lower Manhattan).
+    center_lat: float = 40.72
+    center_lon: float = -73.99
+    num_pois: int = 40
+    #: Number of dense neighbourhoods POIs cluster into.
+    num_neighborhoods: int = 5
+    #: Radius (metres) of the whole metropolitan area.
+    city_radius_m: float = 12_000.0
+    #: Radius (metres) of a single neighbourhood cluster.
+    neighborhood_radius_m: float = 1_500.0
+    #: POI footprint radius range in metres.
+    poi_radius_min_m: float = 60.0
+    poi_radius_max_m: float = 160.0
+    #: Zipf exponent for POI popularity (1.0 is classic Zipf).
+    popularity_exponent: float = 1.0
+    seed: int = 7
+    categories: tuple[str, ...] = tuple(sorted(CATEGORY_WORDS))
+
+
+@dataclass
+class City:
+    """A generated city: POI registry plus popularity weights."""
+
+    config: CityConfig
+    registry: POIRegistry
+    #: Visit-popularity weight of each POI, aligned with registry order, sums to 1.
+    popularity: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    def popular_pids(self, top_k: int) -> list[int]:
+        """POI ids of the ``top_k`` most popular POIs."""
+        order = np.argsort(-self.popularity)[:top_k]
+        return [self.registry.pid_at(int(i)) for i in order]
+
+
+def generate_city(config: CityConfig) -> City:
+    """Generate a synthetic city from a :class:`CityConfig`."""
+    if config.num_pois < 2:
+        raise DataGenerationError("a city needs at least two POIs")
+    if config.num_neighborhoods < 1:
+        raise DataGenerationError("a city needs at least one neighbourhood")
+    rng = np.random.default_rng(config.seed)
+    center = GeoPoint(config.center_lat, config.center_lon)
+
+    # Neighbourhood anchors spread over the metropolitan area.
+    anchors: list[GeoPoint] = []
+    for _ in range(config.num_neighborhoods):
+        angle = rng.uniform(0.0, 2.0 * np.pi)
+        radius = config.city_radius_m * np.sqrt(rng.uniform(0.05, 1.0))
+        anchors.append(center.offset(radius * np.cos(angle), radius * np.sin(angle)))
+
+    pois: list[POI] = []
+    categories = config.categories
+    for pid in range(config.num_pois):
+        anchor = anchors[pid % len(anchors)]
+        angle = rng.uniform(0.0, 2.0 * np.pi)
+        radius = config.neighborhood_radius_m * np.sqrt(rng.uniform(0.0, 1.0))
+        poi_center = anchor.offset(radius * np.cos(angle), radius * np.sin(angle))
+        footprint = rng.uniform(config.poi_radius_min_m, config.poi_radius_max_m)
+        category = categories[int(rng.integers(0, len(categories)))]
+        name = f"{category}_{pid}"
+        polygon = BoundingPolygon.regular(poi_center, footprint, sides=8)
+        pois.append(POI(pid=pid, name=name, polygon=polygon, center=poi_center, category=category))
+
+    registry = POIRegistry(pois)
+    ranks = np.arange(1, config.num_pois + 1, dtype=np.float64)
+    weights = ranks ** (-config.popularity_exponent)
+    rng.shuffle(weights)
+    popularity = weights / weights.sum()
+    return City(config=config, registry=registry, popularity=popularity)
+
+
+def nyc_like_config(num_pois: int = 40, seed: int = 7) -> CityConfig:
+    """A New-York-like preset: many POIs, many neighbourhoods, large area."""
+    return CityConfig(
+        name="NYC-like",
+        center_lat=40.72,
+        center_lon=-73.99,
+        num_pois=num_pois,
+        num_neighborhoods=max(4, num_pois // 10),
+        city_radius_m=15_000.0,
+        neighborhood_radius_m=1_800.0,
+        popularity_exponent=1.05,
+        seed=seed,
+    )
+
+
+def lv_like_config(num_pois: int = 16, seed: int = 11) -> CityConfig:
+    """A Las-Vegas-like preset: fewer POIs concentrated along a strip."""
+    return CityConfig(
+        name="LV-like",
+        center_lat=36.11,
+        center_lon=-115.17,
+        num_pois=num_pois,
+        num_neighborhoods=max(2, num_pois // 8),
+        city_radius_m=8_000.0,
+        neighborhood_radius_m=1_200.0,
+        popularity_exponent=1.2,
+        seed=seed,
+        categories=("casino", "hotel", "restaurant", "theater", "mall", "landmark"),
+    )

@@ -1,0 +1,272 @@
+"""End-to-end dataset construction and Table 2 statistics.
+
+``build_dataset`` wires the synthetic substrate together the same way the paper
+prepares its crawled data:
+
+1. generate a city (POI set ``P``);
+2. simulate user timelines;
+3. keep only timelines containing at least one POI tweet;
+4. split timelines 1/5 into testing, the rest 9:1 into training/validation;
+5. per split, build labelled/unlabelled profiles and labelled/unlabelled pairs
+   (unlabelled pairs are only kept for the training split, as in Table 2).
+
+The resulting :class:`ColocationDataset` carries everything downstream stages
+need: the POI registry, per-split profile and pair sets, the raw training text
+corpus for skip-gram, and the Table 2 statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.data.city import City, CityConfig, generate_city, lv_like_config, nyc_like_config
+from repro.data.language import LanguageModelConfig, TweetLanguageModel
+from repro.data.mobility import MobilityConfig, MobilityModel
+from repro.data.profiles import PairBuilder, PairBuilderConfig, ProfileBuilder
+from repro.data.records import Pair, Profile, Timeline, average_visits_per_profile
+from repro.data.store import TimelineStore
+from repro.data.timelines import HOUR_SECONDS, TimelineConfig, TimelineSimulator
+from repro.errors import DataGenerationError
+
+
+@dataclass
+class DatasetConfig:
+    """Every knob of the synthetic dataset in one place."""
+
+    city: CityConfig = field(default_factory=CityConfig)
+    timelines: TimelineConfig = field(default_factory=TimelineConfig)
+    mobility: MobilityConfig = field(default_factory=MobilityConfig)
+    language: LanguageModelConfig = field(default_factory=LanguageModelConfig)
+    pairs: PairBuilderConfig = field(default_factory=PairBuilderConfig)
+    #: Fraction of timelines held out for testing (the paper uses 1/5).
+    test_fraction: float = 0.2
+    #: Train : validation ratio applied to the remaining timelines (paper: 9:1).
+    validation_fraction: float = 0.1
+    #: Cap on visit-history length carried by each profile.
+    max_history: int | None = 64
+    seed: int = 202
+
+
+@dataclass
+class DatasetSplit:
+    """Profiles and pairs of one split (training / validation / testing)."""
+
+    name: str
+    store: TimelineStore
+    labeled_profiles: list[Profile]
+    unlabeled_profiles: list[Profile]
+    labeled_pairs: list[Pair]
+    unlabeled_pairs: list[Pair]
+
+    @property
+    def positive_pairs(self) -> list[Pair]:
+        return [p for p in self.labeled_pairs if p.is_positive]
+
+    @property
+    def negative_pairs(self) -> list[Pair]:
+        return [p for p in self.labeled_pairs if p.is_negative]
+
+    def statistics(self) -> dict[str, float]:
+        """The Table 2 row for this split."""
+        return {
+            "timelines": len(self.store),
+            "labeled_profiles": len(self.labeled_profiles),
+            "avg_visits_per_profile": round(
+                average_visits_per_profile(self.labeled_profiles + self.unlabeled_profiles), 2
+            ),
+            "positive_pairs": len(self.positive_pairs),
+            "negative_pairs": len(self.negative_pairs),
+            "unlabeled_pairs": len(self.unlabeled_pairs),
+        }
+
+
+@dataclass
+class ColocationDataset:
+    """A fully prepared co-location dataset (one city)."""
+
+    name: str
+    config: DatasetConfig
+    city: City
+    train: DatasetSplit
+    validation: DatasetSplit
+    test: DatasetSplit
+
+    @property
+    def registry(self):
+        """The POI registry (the paper's set ``P``)."""
+        return self.city.registry
+
+    @property
+    def delta_t(self) -> float:
+        return self.config.pairs.delta_t
+
+    def training_corpus(self) -> list[str]:
+        """All training tweet contents (the skip-gram corpus ``C_train``)."""
+        return self.train.store.all_contents()
+
+    def statistics(self) -> dict[str, dict[str, float]]:
+        """Table 2: statistics of every split."""
+        return {
+            "Training": self.train.statistics(),
+            "Validation": self.validation.statistics(),
+            "Testing": self.test.statistics(),
+        }
+
+
+def _split_timelines(
+    timelines: list[Timeline],
+    test_fraction: float,
+    validation_fraction: float,
+    rng: np.random.Generator,
+) -> tuple[list[Timeline], list[Timeline], list[Timeline]]:
+    if len(timelines) < 5:
+        raise DataGenerationError("too few usable timelines to split; increase num_users")
+    order = rng.permutation(len(timelines))
+    shuffled = [timelines[int(i)] for i in order]
+    n_test = max(1, int(round(len(shuffled) * test_fraction)))
+    test = shuffled[:n_test]
+    remaining = shuffled[n_test:]
+    n_val = max(1, int(round(len(remaining) * validation_fraction)))
+    validation = remaining[:n_val]
+    train = remaining[n_val:]
+    if not train:
+        raise DataGenerationError("training split is empty; increase num_users")
+    return train, validation, test
+
+
+def build_dataset(config: DatasetConfig, name: str | None = None) -> ColocationDataset:
+    """Generate a full synthetic co-location dataset from a config."""
+    city = generate_city(config.city)
+    language_model = TweetLanguageModel(config.language)
+    mobility_model = MobilityModel(city, config.mobility)
+    simulator = TimelineSimulator(
+        city, config.timelines, language_model=language_model, mobility_model=mobility_model
+    )
+    result = simulator.simulate()
+
+    profile_builder = ProfileBuilder(city.registry, max_history=config.max_history)
+    full_store = TimelineStore(result.timelines)
+
+    # Keep only timelines with at least one POI tweet, as the paper does.
+    usable: list[Timeline] = []
+    for timeline in result.timelines:
+        has_poi_tweet = any(
+            t.is_geotagged and city.registry.locate(t.lat, t.lon) is not None  # type: ignore[arg-type]
+            for t in timeline.tweets
+        )
+        if has_poi_tweet:
+            usable.append(timeline)
+    if len(usable) < 5:
+        raise DataGenerationError(
+            "simulation produced too few timelines with POI tweets; "
+            "increase num_users, activity_probability or geotag_probability"
+        )
+
+    rng = np.random.default_rng(config.seed)
+    train_tls, val_tls, test_tls = _split_timelines(
+        usable, config.test_fraction, config.validation_fraction, rng
+    )
+
+    splits: dict[str, DatasetSplit] = {}
+    for split_name, timelines in (("train", train_tls), ("validation", val_tls), ("test", test_tls)):
+        store = TimelineStore(timelines)
+        profiles = profile_builder.build_all(store)
+        labeled = [p for p in profiles if p.is_labeled]
+        unlabeled = [p for p in profiles if not p.is_labeled]
+        pair_builder = PairBuilder(config.pairs)
+        labeled_pairs, unlabeled_pairs = pair_builder.build(profiles)
+        if split_name != "train":
+            # Table 2: validation/testing splits only need labelled pairs.
+            unlabeled_pairs = []
+        splits[split_name] = DatasetSplit(
+            name=split_name,
+            store=store,
+            labeled_profiles=labeled,
+            unlabeled_profiles=unlabeled,
+            labeled_pairs=labeled_pairs,
+            unlabeled_pairs=unlabeled_pairs,
+        )
+
+    del full_store
+    return ColocationDataset(
+        name=name or config.city.name,
+        config=config,
+        city=city,
+        train=splits["train"],
+        validation=splits["validation"],
+        test=splits["test"],
+    )
+
+
+def nyc_like_dataset_config(scale: float = 1.0, seed: int = 7) -> DatasetConfig:
+    """The NYC-like preset, scaled by ``scale`` (users, POIs and days grow with it)."""
+    num_pois = max(10, int(round(30 * scale)))
+    num_users = max(24, int(round(120 * scale)))
+    num_days = max(7, int(round(28 * min(1.0, scale))))
+    city = nyc_like_config(num_pois=num_pois, seed=seed)
+    city.popularity_exponent = 1.3
+    return DatasetConfig(
+        city=city,
+        timelines=TimelineConfig(
+            num_users=num_users,
+            num_days=num_days,
+            slots_per_day=4,
+            activity_probability=0.35,
+            geotag_probability=0.65,
+            offsite_fraction=0.3,
+            seed=seed + 1,
+        ),
+        mobility=MobilityConfig(favorites_per_user=5, return_probability=0.9, seed=seed + 2),
+        pairs=PairBuilderConfig(
+            delta_t=HOUR_SECONDS,
+            max_negative_pairs=20_000,
+            max_unlabeled_pairs=20_000,
+            seed=seed + 3,
+        ),
+        seed=seed + 4,
+    )
+
+
+def lv_like_dataset_config(scale: float = 1.0, seed: int = 11) -> DatasetConfig:
+    """The LV-like preset: fewer POIs and users, as in the paper's LV dataset."""
+    num_pois = max(6, int(round(14 * scale)))
+    num_users = max(16, int(round(60 * scale)))
+    num_days = max(7, int(round(28 * min(1.0, scale))))
+    city = lv_like_config(num_pois=num_pois, seed=seed)
+    city.popularity_exponent = 1.3
+    return DatasetConfig(
+        city=city,
+        timelines=TimelineConfig(
+            num_users=num_users,
+            num_days=num_days,
+            slots_per_day=4,
+            activity_probability=0.35,
+            geotag_probability=0.65,
+            offsite_fraction=0.3,
+            seed=seed + 1,
+        ),
+        mobility=MobilityConfig(favorites_per_user=4, return_probability=0.9, seed=seed + 2),
+        pairs=PairBuilderConfig(
+            delta_t=HOUR_SECONDS,
+            max_negative_pairs=10_000,
+            max_unlabeled_pairs=10_000,
+            seed=seed + 3,
+        ),
+        seed=seed + 4,
+    )
+
+
+def tiny_dataset_config(seed: int = 5) -> DatasetConfig:
+    """A deliberately small preset used by unit tests."""
+    base = nyc_like_dataset_config(scale=0.3, seed=seed)
+    return replace(
+        base,
+        timelines=TimelineConfig(
+            num_users=30, num_days=7, slots_per_day=3, seed=seed + 1, geotag_probability=0.7
+        ),
+        pairs=PairBuilderConfig(
+            delta_t=HOUR_SECONDS, max_negative_pairs=2_000, max_unlabeled_pairs=2_000, seed=seed + 3
+        ),
+    )

@@ -1,0 +1,147 @@
+"""Ingest externally produced data into the co-location pipeline.
+
+The synthetic generator in :mod:`repro.data` exists because the paper's
+Twitter crawl cannot be redistributed, but nothing in the model cares where
+timelines come from.  This module turns raw tweet records (e.g. parsed from a
+real crawl, a check-in dataset, or the JSONL files written by
+:mod:`repro.io.records_json`) into the same :class:`ColocationDataset` object
+the rest of the library consumes.
+
+Typical use::
+
+    from repro.data.ingest import tweets_from_dicts, timelines_from_tweets, dataset_from_timelines
+
+    tweets = tweets_from_dicts(rows)            # rows: iterable of dicts
+    timelines = timelines_from_tweets(tweets)
+    dataset = dataset_from_timelines(timelines, registry)
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import replace
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.data.city import City
+from repro.data.dataset import ColocationDataset, DatasetConfig
+from repro.data.records import Timeline, Tweet
+from repro.data.store import TimelineStore
+from repro.errors import DataGenerationError
+from repro.geo.poi import POIRegistry
+
+
+def tweets_from_dicts(rows: Iterable[dict[str, Any]]) -> list[Tweet]:
+    """Parse raw tweet dictionaries into :class:`Tweet` records.
+
+    Each row needs ``uid``, ``ts`` and ``content``; ``lat``/``lon`` are
+    optional (absent or ``None`` means the tweet is not geo-tagged).
+    """
+    from repro.io.records_json import tweet_from_dict
+
+    return [tweet_from_dict(row) for row in rows]
+
+
+def timelines_from_tweets(tweets: Iterable[Tweet]) -> list[Timeline]:
+    """Group tweets by user into timelines (tweets are sorted by timestamp)."""
+    by_user: dict[int, list[Tweet]] = defaultdict(list)
+    for tweet in tweets:
+        by_user[tweet.uid].append(tweet)
+    return [Timeline(uid=uid, tweets=tuple(items)) for uid, items in sorted(by_user.items())]
+
+
+def _has_poi_tweet(timeline: Timeline, registry: POIRegistry) -> bool:
+    return any(
+        t.is_geotagged and registry.locate(t.lat, t.lon) is not None  # type: ignore[arg-type]
+        for t in timeline.tweets
+    )
+
+
+def split_timelines(
+    timelines: Sequence[Timeline],
+    test_fraction: float = 0.2,
+    validation_fraction: float = 0.1,
+    seed: int = 17,
+) -> tuple[list[Timeline], list[Timeline], list[Timeline]]:
+    """Random train/validation/test split of timelines (paper: 1/5 test, then 9:1)."""
+    if not 0.0 <= test_fraction < 1.0 or not 0.0 <= validation_fraction < 1.0:
+        raise DataGenerationError("split fractions must lie in [0, 1)")
+    timelines = list(timelines)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(timelines))
+    num_test = int(round(len(timelines) * test_fraction))
+    test = [timelines[int(i)] for i in order[:num_test]]
+    remaining = [timelines[int(i)] for i in order[num_test:]]
+    num_val = int(round(len(remaining) * validation_fraction))
+    validation = remaining[:num_val]
+    train = remaining[num_val:]
+    if not train:
+        raise DataGenerationError("the split left no training timelines")
+    return train, validation, test
+
+
+def dataset_from_timelines(
+    timelines: Sequence[Timeline],
+    registry: POIRegistry | City,
+    config: DatasetConfig | None = None,
+    name: str = "ingested",
+    require_poi_tweet: bool = True,
+) -> ColocationDataset:
+    """Build a :class:`ColocationDataset` from externally produced timelines.
+
+    Parameters
+    ----------
+    timelines:
+        User timelines (one per user); geo-tagged tweets inside POI polygons
+        become labelled profiles.
+    registry:
+        The POI set ``P`` — either a bare :class:`POIRegistry` or a
+        :class:`City` (whose registry is used).
+    config:
+        Optional :class:`DatasetConfig`; its ``pairs``, ``max_history``,
+        ``test_fraction``, ``validation_fraction`` and ``seed`` fields control
+        pair enumeration and splitting.  The city/timeline/mobility/language
+        sub-configs are ignored (the data already exists).
+    require_poi_tweet:
+        Drop timelines that contain no POI tweet, as the paper does.
+    """
+    from repro.io.city import city_from_registry
+    from repro.io.datasets import build_split
+
+    if isinstance(registry, City):
+        city = registry
+    else:
+        city = city_from_registry(registry, name=f"{name}-city")
+    config = config or DatasetConfig()
+    config = replace(config, city=city.config)
+
+    usable = [t for t in timelines if not require_poi_tweet or _has_poi_tweet(t, city.registry)]
+    if len(usable) < 3:
+        raise DataGenerationError(
+            "ingest needs at least three timelines containing POI tweets; "
+            f"got {len(usable)} (of {len(list(timelines))} provided)"
+        )
+    train, validation, test = split_timelines(
+        usable, config.test_fraction, config.validation_fraction, seed=config.seed
+    )
+
+    splits = {}
+    for split_name, split_timelines_ in (("train", train), ("validation", validation), ("test", test)):
+        store = TimelineStore(split_timelines_)
+        splits[split_name] = build_split(
+            split_name,
+            store,
+            city.registry,
+            config,
+            keep_unlabeled_pairs=(split_name == "train"),
+        )
+
+    return ColocationDataset(
+        name=name,
+        config=config,
+        city=city,
+        train=splits["train"],
+        validation=splits["validation"],
+        test=splits["test"],
+    )

@@ -1,0 +1,166 @@
+"""Core data records mirroring the paper's Definitions 2-5.
+
+* :class:`Tweet` — ``(ts, content, lat, lon)``; ``lat``/``lon`` are ``None``
+  for non-geo-tagged tweets (Definition 2).
+* :class:`Visit` — ``(ts, lat, lon)`` extracted from a geo-tagged tweet
+  (Definition 3).
+* :class:`Profile` — ``(uid, t, v-history, pid)`` combining a recent tweet with
+  the user's visit history before it (Definition 4).
+* :class:`Pair` — two profiles of different users whose timestamps are within
+  ``delta_t`` of each other, with a co-location label (Definition 5).
+
+Timestamps are plain ``float`` seconds since an arbitrary epoch; the paper only
+ever uses timestamp *differences*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Tweet:
+    """A single tweet (paper Definition 2)."""
+
+    uid: int
+    ts: float
+    content: str
+    lat: float | None = None
+    lon: float | None = None
+    #: POI id the tweet was posted from, when known by the generator.  This is
+    #: ground truth used only for evaluation and label construction — models
+    #: never read it directly.
+    true_pid: int | None = None
+
+    @property
+    def is_geotagged(self) -> bool:
+        """True when the tweet carries coordinates."""
+        return self.lat is not None and self.lon is not None
+
+
+@dataclass(frozen=True, slots=True)
+class Visit:
+    """A visit implied by a geo-tagged tweet (paper Definition 3)."""
+
+    ts: float
+    lat: float
+    lon: float
+
+
+@dataclass(frozen=True, slots=True)
+class Timeline:
+    """All tweets of one user, sorted by timestamp."""
+
+    uid: int
+    tweets: tuple[Tweet, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tweets", tuple(sorted(self.tweets, key=lambda t: t.ts)))
+
+    def __len__(self) -> int:
+        return len(self.tweets)
+
+    def geotagged(self) -> tuple[Tweet, ...]:
+        """Geo-tagged tweets in timestamp order."""
+        return tuple(t for t in self.tweets if t.is_geotagged)
+
+    def visits_before(self, ts: float) -> tuple[Visit, ...]:
+        """Visits (geo-tagged tweets) strictly before ``ts``."""
+        return tuple(
+            Visit(t.ts, t.lat, t.lon)  # type: ignore[arg-type]
+            for t in self.tweets
+            if t.is_geotagged and t.ts < ts
+        )
+
+
+@dataclass(frozen=True)
+class Profile:
+    """A user profile (paper Definition 4).
+
+    ``pid`` is the POI identifier when the recent tweet is a POI tweet
+    (labelled profile) and ``None`` otherwise (unlabelled profile).
+    """
+
+    uid: int
+    tweet: Tweet
+    visit_history: tuple[Visit, ...] = field(default_factory=tuple)
+    pid: int | None = None
+
+    @property
+    def ts(self) -> float:
+        """Timestamp of the recent tweet (``r.ts`` in the paper)."""
+        return self.tweet.ts
+
+    @property
+    def lat(self) -> float | None:
+        """Latitude of the recent tweet (``r.lat``)."""
+        return self.tweet.lat
+
+    @property
+    def lon(self) -> float | None:
+        """Longitude of the recent tweet (``r.lon``)."""
+        return self.tweet.lon
+
+    @property
+    def content(self) -> str:
+        """Content of the recent tweet (``r.content``)."""
+        return self.tweet.content
+
+    @property
+    def is_labeled(self) -> bool:
+        """True when the recent tweet was posted inside a known POI."""
+        return self.pid is not None
+
+    def without_history(self) -> "Profile":
+        """Copy of the profile with an empty visit history (Table 5 ablation)."""
+        return Profile(uid=self.uid, tweet=self.tweet, visit_history=(), pid=self.pid)
+
+    def without_content(self, placeholder: str = "") -> "Profile":
+        """Copy of the profile whose tweet text is blanked out (Table 5 ablation)."""
+        blank = Tweet(
+            uid=self.tweet.uid,
+            ts=self.tweet.ts,
+            content=placeholder,
+            lat=self.tweet.lat,
+            lon=self.tweet.lon,
+            true_pid=self.tweet.true_pid,
+        )
+        return Profile(uid=self.uid, tweet=blank, visit_history=self.visit_history, pid=self.pid)
+
+
+@dataclass(frozen=True)
+class Pair:
+    """A pair of profiles from different users posted within ``delta_t`` (Definition 5).
+
+    ``co_label`` is 1 for a positive pair (same POI), 0 for a negative pair
+    (different POIs) and ``None`` for an unlabelled pair.
+    """
+
+    left: Profile
+    right: Profile
+    co_label: int | None = None
+
+    @property
+    def is_labeled(self) -> bool:
+        return self.co_label is not None
+
+    @property
+    def is_positive(self) -> bool:
+        return self.co_label == 1
+
+    @property
+    def is_negative(self) -> bool:
+        return self.co_label == 0
+
+    @property
+    def time_gap(self) -> float:
+        """Absolute timestamp difference between the two profiles."""
+        return abs(self.left.ts - self.right.ts)
+
+
+def average_visits_per_profile(profiles: Sequence[Profile]) -> float:
+    """Average visit-history length, the "#avg visits/profile" column of Table 2."""
+    if not profiles:
+        return 0.0
+    return sum(len(p.visit_history) for p in profiles) / len(profiles)

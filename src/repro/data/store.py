@@ -1,0 +1,101 @@
+"""An indexed in-memory store of tweets and timelines.
+
+The paper's pipeline repeatedly asks two questions of its raw data: "give me
+all geo-tagged tweets of user *u* before time *t*" (to build visit histories)
+and "give me every tweet in the time window [t1, t2]" (to enumerate pair
+candidates).  :class:`TimelineStore` answers both with per-user sorted arrays
+and a global time-sorted index, so profile and pair construction stay
+near-linear instead of quadratic in the number of tweets.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, Sequence
+
+from repro.data.records import Timeline, Tweet, Visit
+from repro.errors import DataGenerationError
+
+
+class TimelineStore:
+    """Stores timelines with user and time indexes."""
+
+    def __init__(self, timelines: Iterable[Timeline]):
+        self._timelines: dict[int, Timeline] = {}
+        for timeline in timelines:
+            if timeline.uid in self._timelines:
+                raise DataGenerationError(f"duplicate timeline for user {timeline.uid}")
+            self._timelines[timeline.uid] = timeline
+        # Per-user sorted geo-tagged tweet timestamps for visit-history queries.
+        self._geo_ts: dict[int, list[float]] = {}
+        self._geo_tweets: dict[int, list[Tweet]] = {}
+        for uid, timeline in self._timelines.items():
+            geo = list(timeline.geotagged())
+            self._geo_tweets[uid] = geo
+            self._geo_ts[uid] = [t.ts for t in geo]
+        # Global time index over all tweets.
+        all_tweets = [t for timeline in self._timelines.values() for t in timeline.tweets]
+        all_tweets.sort(key=lambda t: t.ts)
+        self._all_tweets = all_tweets
+        self._all_ts = [t.ts for t in all_tweets]
+
+    # ------------------------------------------------------------------ basics
+    def __len__(self) -> int:
+        return len(self._timelines)
+
+    def __contains__(self, uid: int) -> bool:
+        return uid in self._timelines
+
+    def __iter__(self) -> Iterator[Timeline]:
+        return iter(self._timelines.values())
+
+    @property
+    def user_ids(self) -> list[int]:
+        """All user ids in insertion order."""
+        return list(self._timelines)
+
+    def timeline(self, uid: int) -> Timeline:
+        """The timeline of a user."""
+        try:
+            return self._timelines[uid]
+        except KeyError as exc:
+            raise DataGenerationError(f"no timeline for user {uid}") from exc
+
+    def num_tweets(self) -> int:
+        """Total number of tweets across all timelines."""
+        return len(self._all_tweets)
+
+    def num_geotagged(self) -> int:
+        """Total number of geo-tagged tweets."""
+        return sum(len(v) for v in self._geo_tweets.values())
+
+    # ----------------------------------------------------------------- queries
+    def visits_before(self, uid: int, ts: float) -> tuple[Visit, ...]:
+        """Visits (geo-tagged tweets) of ``uid`` strictly before ``ts``."""
+        timestamps = self._geo_ts.get(uid, [])
+        tweets = self._geo_tweets.get(uid, [])
+        cut = bisect.bisect_left(timestamps, ts)
+        return tuple(Visit(t.ts, t.lat, t.lon) for t in tweets[:cut])  # type: ignore[arg-type]
+
+    def geotagged_tweets(self, uid: int) -> Sequence[Tweet]:
+        """All geo-tagged tweets of a user, time-sorted."""
+        return tuple(self._geo_tweets.get(uid, ()))
+
+    def tweets_in_window(self, start_ts: float, end_ts: float) -> Sequence[Tweet]:
+        """All tweets (any user) with ``start_ts <= ts < end_ts``."""
+        lo = bisect.bisect_left(self._all_ts, start_ts)
+        hi = bisect.bisect_left(self._all_ts, end_ts)
+        return tuple(self._all_tweets[lo:hi])
+
+    def tweets_of(self, uid: int) -> Sequence[Tweet]:
+        """All tweets of one user, time-sorted."""
+        return self.timeline(uid).tweets
+
+    def all_contents(self) -> list[str]:
+        """Every tweet's text (the skip-gram training corpus ``C_train``)."""
+        return [t.content for t in self._all_tweets]
+
+    def subset(self, uids: Iterable[int]) -> "TimelineStore":
+        """A new store restricted to the given users (used by dataset splits)."""
+        keep = set(uids)
+        return TimelineStore(t for uid, t in self._timelines.items() if uid in keep)

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the reproduction with a single ``except``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object holds inconsistent values."""
+
+
+class DataGenerationError(ReproError):
+    """Raised when the synthetic data substrate cannot produce valid data."""
+
+
+class GeometryError(ReproError):
+    """Raised for invalid geometric inputs (degenerate polygons, bad coordinates)."""
+
+
+class TrainingError(ReproError):
+    """Raised when a training loop receives data it cannot train on."""
+
+
+class NotFittedError(ReproError):
+    """Raised when a model is used for prediction before being trained."""
+
+
+class VocabularyError(ReproError):
+    """Raised for out-of-vocabulary or empty-vocabulary conditions."""

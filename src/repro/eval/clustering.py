@@ -1,0 +1,187 @@
+"""External clustering metrics for the group-pattern and community studies.
+
+The paper's Table 8 scores a clustering as correct only when the predicted
+partition matches the ground truth exactly; that all-or-nothing metric is
+reproduced in :mod:`repro.eval.group_patterns`.  The softer, standard metrics
+here — adjusted Rand index, normalised mutual information, purity and pairwise
+F1 — grade partial credit and are used by the community-detection service and
+the extension benchmarks.
+
+Partitions are given as per-item label sequences (any hashable labels); the
+two sequences must refer to the same items in the same order.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _check_lengths(true_labels: Sequence[Hashable], predicted_labels: Sequence[Hashable]) -> int:
+    if len(true_labels) != len(predicted_labels):
+        raise ConfigurationError("label sequences must have the same length")
+    return len(true_labels)
+
+
+def contingency_table(
+    true_labels: Sequence[Hashable], predicted_labels: Sequence[Hashable]
+) -> np.ndarray:
+    """Contingency counts between true clusters (rows) and predicted clusters (columns)."""
+    _check_lengths(true_labels, predicted_labels)
+    true_ids = {label: i for i, label in enumerate(dict.fromkeys(true_labels))}
+    pred_ids = {label: i for i, label in enumerate(dict.fromkeys(predicted_labels))}
+    table = np.zeros((max(len(true_ids), 1), max(len(pred_ids), 1)), dtype=np.int64)
+    for true_label, predicted_label in zip(true_labels, predicted_labels):
+        table[true_ids[true_label], pred_ids[predicted_label]] += 1
+    return table
+
+
+def _comb2(values: np.ndarray) -> float:
+    return float(np.sum(values * (values - 1) / 2.0))
+
+
+def rand_index(true_labels: Sequence[Hashable], predicted_labels: Sequence[Hashable]) -> float:
+    """Plain Rand index: fraction of item pairs on which the partitions agree."""
+    n = _check_lengths(true_labels, predicted_labels)
+    if n < 2:
+        return 1.0
+    table = contingency_table(true_labels, predicted_labels)
+    same_both = _comb2(table.astype(float))
+    same_true = _comb2(table.sum(axis=1).astype(float))
+    same_pred = _comb2(table.sum(axis=0).astype(float))
+    total_pairs = n * (n - 1) / 2.0
+    agreements = same_both + (total_pairs - same_true - same_pred + same_both)
+    return agreements / total_pairs
+
+
+def adjusted_rand_index(
+    true_labels: Sequence[Hashable], predicted_labels: Sequence[Hashable]
+) -> float:
+    """Adjusted Rand index: chance-corrected pair agreement (1 = identical)."""
+    n = _check_lengths(true_labels, predicted_labels)
+    if n < 2:
+        return 1.0
+    table = contingency_table(true_labels, predicted_labels)
+    sum_comb = _comb2(table.astype(float))
+    sum_rows = _comb2(table.sum(axis=1).astype(float))
+    sum_cols = _comb2(table.sum(axis=0).astype(float))
+    total_pairs = n * (n - 1) / 2.0
+    expected = sum_rows * sum_cols / total_pairs
+    maximum = (sum_rows + sum_cols) / 2.0
+    if math.isclose(maximum, expected):
+        return 1.0 if math.isclose(sum_comb, expected) else 0.0
+    return (sum_comb - expected) / (maximum - expected)
+
+
+def _entropy(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    probabilities = counts[counts > 0] / total
+    return float(-np.sum(probabilities * np.log(probabilities)))
+
+
+def normalized_mutual_information(
+    true_labels: Sequence[Hashable], predicted_labels: Sequence[Hashable]
+) -> float:
+    """NMI with arithmetic-mean normalisation (1 = identical partitions)."""
+    n = _check_lengths(true_labels, predicted_labels)
+    if n == 0:
+        return 1.0
+    table = contingency_table(true_labels, predicted_labels).astype(float)
+    total = table.sum()
+    row_marginal = table.sum(axis=1)
+    col_marginal = table.sum(axis=0)
+    mutual_information = 0.0
+    for i in range(table.shape[0]):
+        for j in range(table.shape[1]):
+            joint = table[i, j]
+            if joint == 0:
+                continue
+            mutual_information += (joint / total) * math.log(
+                (joint * total) / (row_marginal[i] * col_marginal[j])
+            )
+    entropy_true = _entropy(row_marginal)
+    entropy_pred = _entropy(col_marginal)
+    denominator = (entropy_true + entropy_pred) / 2.0
+    if denominator == 0.0:
+        # Both partitions are single clusters: they are identical.
+        return 1.0
+    return mutual_information / denominator
+
+
+def purity(true_labels: Sequence[Hashable], predicted_labels: Sequence[Hashable]) -> float:
+    """Fraction of items assigned to the majority true class of their cluster."""
+    n = _check_lengths(true_labels, predicted_labels)
+    if n == 0:
+        return 1.0
+    clusters: dict[Hashable, Counter] = {}
+    for true_label, predicted_label in zip(true_labels, predicted_labels):
+        clusters.setdefault(predicted_label, Counter())[true_label] += 1
+    correct = sum(counter.most_common(1)[0][1] for counter in clusters.values())
+    return correct / n
+
+
+def pairwise_f1(true_labels: Sequence[Hashable], predicted_labels: Sequence[Hashable]) -> float:
+    """F1 over the "same cluster" relation between item pairs.
+
+    This is the metric that most directly matches the co-location judgement
+    task: a pair is positive when the two items share a cluster.
+    """
+    n = _check_lengths(true_labels, predicted_labels)
+    if n < 2:
+        return 1.0
+    true_positive = false_positive = false_negative = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            same_true = true_labels[i] == true_labels[j]
+            same_pred = predicted_labels[i] == predicted_labels[j]
+            if same_true and same_pred:
+                true_positive += 1
+            elif same_pred and not same_true:
+                false_positive += 1
+            elif same_true and not same_pred:
+                false_negative += 1
+    if true_positive == 0:
+        return 0.0 if (false_positive or false_negative) else 1.0
+    precision = true_positive / (true_positive + false_positive)
+    recall = true_positive / (true_positive + false_negative)
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def labels_from_partition(partition: Sequence[set[int] | frozenset[int]], items: Sequence[int]) -> list[int]:
+    """Convert a partition (list of item sets) into per-item cluster labels.
+
+    Items missing from every set get their own singleton label.
+    """
+    assignment: dict[int, int] = {}
+    for cluster_id, members in enumerate(partition):
+        for item in members:
+            assignment[item] = cluster_id
+    next_label = len(partition)
+    labels = []
+    for item in items:
+        if item in assignment:
+            labels.append(assignment[item])
+        else:
+            labels.append(next_label)
+            next_label += 1
+    return labels
+
+
+def clustering_report(
+    true_labels: Sequence[Hashable], predicted_labels: Sequence[Hashable]
+) -> dict[str, float]:
+    """All clustering metrics in one dictionary."""
+    return {
+        "rand_index": rand_index(true_labels, predicted_labels),
+        "adjusted_rand_index": adjusted_rand_index(true_labels, predicted_labels),
+        "nmi": normalized_mutual_information(true_labels, predicted_labels),
+        "purity": purity(true_labels, predicted_labels),
+        "pairwise_f1": pairwise_f1(true_labels, predicted_labels),
+    }

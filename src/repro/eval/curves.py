@@ -1,0 +1,121 @@
+"""Threshold curves beyond ROC: precision-recall and calibration.
+
+The paper reports ROC curves (Figure 2); downstream users of a heavily
+imbalanced judgement problem usually also want the precision-recall view and
+a calibration check of the predicted co-location probabilities.  These
+helpers follow the same conventions as :mod:`repro.eval.metrics`: NumPy
+arrays in, NumPy arrays out, no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate(y_true: np.ndarray, scores: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=int).ravel()
+    scores = np.asarray(scores, dtype=float).ravel()
+    if y_true.shape != scores.shape:
+        raise ValueError("y_true and scores must have the same shape")
+    if y_true.size == 0:
+        raise ValueError("cannot compute a curve from zero samples")
+    if not np.isin(y_true, (0, 1)).all():
+        raise ValueError("y_true must contain only 0/1 labels")
+    return y_true, scores
+
+
+def precision_recall_curve(
+    y_true: np.ndarray, scores: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precision and recall at every distinct score threshold.
+
+    Returns ``(precision, recall, thresholds)`` with precision/recall one
+    element longer than thresholds (the final point is precision 1, recall 0
+    by convention), mirroring the familiar scikit-learn layout.
+    """
+    y_true, scores = _validate(y_true, scores)
+    order = np.argsort(-scores, kind="stable")
+    sorted_true = y_true[order]
+    sorted_scores = scores[order]
+
+    distinct = np.where(np.diff(sorted_scores))[0]
+    threshold_indices = np.concatenate([distinct, [y_true.size - 1]])
+
+    true_positives = np.cumsum(sorted_true)[threshold_indices]
+    false_positives = (threshold_indices + 1) - true_positives
+    total_positives = sorted_true.sum()
+
+    precision = np.where(
+        true_positives + false_positives > 0,
+        true_positives / np.maximum(true_positives + false_positives, 1),
+        1.0,
+    )
+    recall = (
+        true_positives / total_positives if total_positives > 0 else np.zeros_like(true_positives, dtype=float)
+    )
+    thresholds = sorted_scores[threshold_indices]
+
+    precision = np.concatenate([precision[::-1], [1.0]])
+    recall = np.concatenate([recall[::-1], [0.0]])
+    return precision, recall, thresholds[::-1]
+
+
+def average_precision(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the precision-recall curve (step-wise interpolation)."""
+    precision, recall, _ = precision_recall_curve(y_true, scores)
+    # recall is decreasing after the flip above; integrate over its drops.
+    return float(np.sum(np.diff(recall[::-1]) * precision[::-1][1:]))
+
+
+def f1_at_threshold(y_true: np.ndarray, scores: np.ndarray, threshold: float) -> float:
+    """F1 score obtained by thresholding the scores at ``threshold``."""
+    y_true, scores = _validate(y_true, scores)
+    predictions = (scores >= threshold).astype(int)
+    true_positive = int(np.sum((predictions == 1) & (y_true == 1)))
+    false_positive = int(np.sum((predictions == 1) & (y_true == 0)))
+    false_negative = int(np.sum((predictions == 0) & (y_true == 1)))
+    denominator = 2 * true_positive + false_positive + false_negative
+    return 2 * true_positive / denominator if denominator else 0.0
+
+
+def best_f1_threshold(y_true: np.ndarray, scores: np.ndarray) -> tuple[float, float]:
+    """The score threshold maximising F1, and that F1 value."""
+    y_true, scores = _validate(y_true, scores)
+    candidates = np.unique(scores)
+    best_threshold, best_value = 0.5, -1.0
+    for threshold in candidates:
+        value = f1_at_threshold(y_true, scores, float(threshold))
+        if value > best_value:
+            best_threshold, best_value = float(threshold), value
+    return best_threshold, best_value
+
+
+def calibration_curve(
+    y_true: np.ndarray, scores: np.ndarray, num_bins: int = 10
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Reliability diagram data: per-bin mean score, empirical rate and count."""
+    if num_bins < 1:
+        raise ValueError("num_bins must be positive")
+    y_true, scores = _validate(y_true, scores)
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    bin_ids = np.clip(np.digitize(scores, edges[1:-1]), 0, num_bins - 1)
+    mean_scores = np.zeros(num_bins)
+    empirical = np.zeros(num_bins)
+    counts = np.zeros(num_bins, dtype=int)
+    for b in range(num_bins):
+        mask = bin_ids == b
+        counts[b] = int(mask.sum())
+        if counts[b]:
+            mean_scores[b] = float(scores[mask].mean())
+            empirical[b] = float(y_true[mask].mean())
+    return mean_scores, empirical, counts
+
+
+def expected_calibration_error(y_true: np.ndarray, scores: np.ndarray, num_bins: int = 10) -> float:
+    """Weighted average |confidence - accuracy| over the calibration bins."""
+    mean_scores, empirical, counts = calibration_curve(y_true, scores, num_bins=num_bins)
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    mask = counts > 0
+    return float(np.sum(counts[mask] * np.abs(mean_scores[mask] - empirical[mask])) / total)

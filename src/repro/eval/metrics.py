@@ -1,0 +1,172 @@
+"""Evaluation metrics used throughout the paper's experiments.
+
+* accuracy / precision / recall / F1 for binary co-location decisions (Table 4,
+  Table 5, Figure 5, Table 7);
+* ROC curves and AUC for score-producing approaches (Figure 2);
+* ``Acc@K`` for POI inference (Figure 4);
+* the balanced testing protocol of Section 6.1.3 (split negatives into 10
+  folds, merge each fold with all positives, average the metrics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.records import Pair
+
+
+@dataclass(frozen=True)
+class BinaryMetrics:
+    """Accuracy, recall, precision and F1 of a binary classifier."""
+
+    accuracy: float
+    recall: float
+    precision: float
+    f1: float
+    support_positive: int = 0
+    support_negative: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "Acc": round(self.accuracy, 4),
+            "Rec": round(self.recall, 4),
+            "Pre": round(self.precision, 4),
+            "F1": round(self.f1, 4),
+        }
+
+
+def binary_metrics(y_true: np.ndarray, y_pred: np.ndarray) -> BinaryMetrics:
+    """Compute accuracy/recall/precision/F1 from {0,1} arrays."""
+    y_true = np.asarray(y_true, dtype=int)
+    y_pred = np.asarray(y_pred, dtype=int)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if y_true.size == 0:
+        return BinaryMetrics(0.0, 0.0, 0.0, 0.0)
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    tn = int(np.sum((y_true == 0) & (y_pred == 0)))
+    fp = int(np.sum((y_true == 0) & (y_pred == 1)))
+    fn = int(np.sum((y_true == 1) & (y_pred == 0)))
+    accuracy = (tp + tn) / y_true.size
+    recall = tp / (tp + fn) if (tp + fn) else 0.0
+    precision = tp / (tp + fp) if (tp + fp) else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if (precision + recall) else 0.0
+    return BinaryMetrics(
+        accuracy=accuracy,
+        recall=recall,
+        precision=precision,
+        f1=f1,
+        support_positive=int(np.sum(y_true == 1)),
+        support_negative=int(np.sum(y_true == 0)),
+    )
+
+
+def roc_curve(y_true: np.ndarray, scores: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """False-positive rates, true-positive rates and thresholds (descending)."""
+    y_true = np.asarray(y_true, dtype=int)
+    scores = np.asarray(scores, dtype=float)
+    if y_true.shape != scores.shape:
+        raise ValueError("y_true and scores must have the same shape")
+    order = np.argsort(-scores, kind="stable")
+    y_sorted = y_true[order]
+    scores_sorted = scores[order]
+    distinct = np.where(np.diff(scores_sorted))[0]
+    threshold_idx = np.concatenate([distinct, [y_true.size - 1]])
+    tps = np.cumsum(y_sorted)[threshold_idx]
+    fps = 1 + threshold_idx - tps
+    n_pos = max(1, int(y_true.sum()))
+    n_neg = max(1, int(y_true.size - y_true.sum()))
+    tpr = np.concatenate([[0.0], tps / n_pos])
+    fpr = np.concatenate([[0.0], fps / n_neg])
+    thresholds = np.concatenate([[np.inf], scores_sorted[threshold_idx]])
+    return fpr, tpr, thresholds
+
+
+def auc(fpr: np.ndarray, tpr: np.ndarray) -> float:
+    """Area under a (fpr, tpr) curve via the trapezoidal rule."""
+    fpr = np.asarray(fpr, dtype=float)
+    tpr = np.asarray(tpr, dtype=float)
+    order = np.argsort(fpr, kind="stable")
+    return float(np.trapezoid(tpr[order], fpr[order]))
+
+
+def roc_auc_score(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """AUC straight from labels and scores."""
+    fpr, tpr, _ = roc_curve(y_true, scores)
+    return auc(fpr, tpr)
+
+
+def accuracy_at_k(true_indices: np.ndarray, score_matrix: np.ndarray, k: int) -> float:
+    """Fraction of rows whose true index is within the top-``k`` scores (Acc@K)."""
+    true_indices = np.asarray(true_indices, dtype=int)
+    score_matrix = np.asarray(score_matrix, dtype=float)
+    if score_matrix.ndim != 2 or true_indices.shape[0] != score_matrix.shape[0]:
+        raise ValueError("score_matrix must be (B, C) aligned with true_indices")
+    if true_indices.size == 0:
+        return 0.0
+    k = min(k, score_matrix.shape[1])
+    top_k = np.argsort(-score_matrix, axis=1)[:, :k]
+    hits = (top_k == true_indices[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+def pair_labels(pairs: list[Pair]) -> np.ndarray:
+    """Ground-truth {0,1} labels of labelled pairs."""
+    labels = []
+    for pair in pairs:
+        if not pair.is_labeled:
+            raise ValueError("pair_labels() requires labelled pairs")
+        labels.append(pair.co_label)
+    return np.array(labels, dtype=int)
+
+
+def balanced_test_folds(
+    pairs: list[Pair], num_folds: int = 10, seed: int = 33
+) -> list[list[Pair]]:
+    """The paper's balanced testing protocol (Section 6.1.3).
+
+    Negative pairs are split into ``num_folds`` disjoint parts; each part is
+    merged with *all* positive pairs, producing ``num_folds`` testing sets whose
+    metrics are averaged by the caller.
+    """
+    positives = [p for p in pairs if p.is_positive]
+    negatives = [p for p in pairs if p.is_negative]
+    if not negatives:
+        return [list(positives)]
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(negatives))
+    folds: list[list[Pair]] = []
+    num_folds = max(1, min(num_folds, len(negatives)))
+    chunks = np.array_split(order, num_folds)
+    for chunk in chunks:
+        fold = list(positives) + [negatives[int(i)] for i in chunk]
+        folds.append(fold)
+    return folds
+
+
+def evaluate_judge(
+    judge,
+    pairs: list[Pair],
+    num_folds: int = 10,
+    seed: int = 33,
+) -> BinaryMetrics:
+    """Average Table 4 metrics of a judge over the balanced test folds.
+
+    ``judge`` must expose ``predict(pairs) -> np.ndarray``.
+    """
+    folds = balanced_test_folds(pairs, num_folds=num_folds, seed=seed)
+    metrics = []
+    for fold in folds:
+        y_true = pair_labels(fold)
+        y_pred = judge.predict(fold)
+        metrics.append(binary_metrics(y_true, y_pred))
+    return BinaryMetrics(
+        accuracy=float(np.mean([m.accuracy for m in metrics])),
+        recall=float(np.mean([m.recall for m in metrics])),
+        precision=float(np.mean([m.precision for m in metrics])),
+        f1=float(np.mean([m.f1 for m in metrics])),
+        support_positive=metrics[0].support_positive if metrics else 0,
+        support_negative=sum(m.support_negative for m in metrics),
+    )

@@ -1,0 +1,173 @@
+"""Ranking metrics for the recommendation and POI-inference tasks.
+
+The paper evaluates POI inference with ``Acc@K``; the local-people
+recommendation service the paper motivates additionally needs the standard
+top-k ranking metrics: precision@k, recall@k, hit rate, mean reciprocal rank
+and normalised discounted cumulative gain.  All functions accept a ranked list
+of item identifiers plus the set of relevant identifiers, so they work equally
+for POIs, users or anything hashable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _validate_k(k: int) -> None:
+    if k < 1:
+        raise ConfigurationError("k must be at least 1")
+
+
+def precision_at_k(ranked: Sequence[Hashable], relevant: Iterable[Hashable], k: int) -> float:
+    """Fraction of the top-k ranked items that are relevant."""
+    _validate_k(k)
+    relevant_set = set(relevant)
+    if not ranked:
+        return 0.0
+    top = list(ranked)[:k]
+    if not top:
+        return 0.0
+    return sum(1 for item in top if item in relevant_set) / len(top)
+
+
+def recall_at_k(ranked: Sequence[Hashable], relevant: Iterable[Hashable], k: int) -> float:
+    """Fraction of the relevant items found in the top-k."""
+    _validate_k(k)
+    relevant_set = set(relevant)
+    if not relevant_set:
+        return 0.0
+    top = set(list(ranked)[:k])
+    return len(top & relevant_set) / len(relevant_set)
+
+
+def hit_rate_at_k(ranked: Sequence[Hashable], relevant: Iterable[Hashable], k: int) -> float:
+    """1.0 when any relevant item appears in the top-k, else 0.0."""
+    _validate_k(k)
+    relevant_set = set(relevant)
+    return 1.0 if any(item in relevant_set for item in list(ranked)[:k]) else 0.0
+
+
+def reciprocal_rank(ranked: Sequence[Hashable], relevant: Iterable[Hashable]) -> float:
+    """1 / rank of the first relevant item (0 when none is ranked)."""
+    relevant_set = set(relevant)
+    for position, item in enumerate(ranked, start=1):
+        if item in relevant_set:
+            return 1.0 / position
+    return 0.0
+
+
+def mean_reciprocal_rank(
+    rankings: Sequence[Sequence[Hashable]],
+    relevants: Sequence[Iterable[Hashable]],
+) -> float:
+    """Mean reciprocal rank over a batch of queries."""
+    if len(rankings) != len(relevants):
+        raise ConfigurationError("rankings and relevants must have the same length")
+    if not rankings:
+        return 0.0
+    return float(
+        np.mean([reciprocal_rank(ranked, relevant) for ranked, relevant in zip(rankings, relevants)])
+    )
+
+
+def dcg_at_k(relevances: Sequence[float], k: int) -> float:
+    """Discounted cumulative gain of a relevance-ordered list."""
+    _validate_k(k)
+    gains = 0.0
+    for position, relevance in enumerate(list(relevances)[:k], start=1):
+        gains += (2.0**relevance - 1.0) / math.log2(position + 1.0)
+    return gains
+
+
+def ndcg_at_k(
+    ranked: Sequence[Hashable],
+    relevance: dict[Hashable, float],
+    k: int,
+) -> float:
+    """Normalised DCG of a ranking against graded relevance judgements.
+
+    ``relevance`` maps items to non-negative gains; missing items count as 0.
+    Returns 0 when no item has positive relevance.
+    """
+    _validate_k(k)
+    gains = [float(relevance.get(item, 0.0)) for item in ranked]
+    ideal = sorted((float(v) for v in relevance.values() if v > 0.0), reverse=True)
+    ideal_dcg = dcg_at_k(ideal, k)
+    if ideal_dcg == 0.0:
+        return 0.0
+    return dcg_at_k(gains, k) / ideal_dcg
+
+
+def average_precision_at_k(
+    ranked: Sequence[Hashable],
+    relevant: Iterable[Hashable],
+    k: int | None = None,
+) -> float:
+    """Average precision of a single ranking (optionally truncated at ``k``)."""
+    relevant_set = set(relevant)
+    if not relevant_set:
+        return 0.0
+    items = list(ranked) if k is None else list(ranked)[:k]
+    hits = 0
+    precision_sum = 0.0
+    for position, item in enumerate(items, start=1):
+        if item in relevant_set:
+            hits += 1
+            precision_sum += hits / position
+    if hits == 0:
+        return 0.0
+    return precision_sum / min(len(relevant_set), len(items))
+
+
+def mean_average_precision(
+    rankings: Sequence[Sequence[Hashable]],
+    relevants: Sequence[Iterable[Hashable]],
+    k: int | None = None,
+) -> float:
+    """Mean average precision over a batch of queries."""
+    if len(rankings) != len(relevants):
+        raise ConfigurationError("rankings and relevants must have the same length")
+    if not rankings:
+        return 0.0
+    return float(
+        np.mean(
+            [
+                average_precision_at_k(ranked, relevant, k=k)
+                for ranked, relevant in zip(rankings, relevants)
+            ]
+        )
+    )
+
+
+def ranking_report(
+    rankings: Sequence[Sequence[Hashable]],
+    relevants: Sequence[Iterable[Hashable]],
+    ks: Sequence[int] = (1, 5, 10),
+) -> dict[str, float]:
+    """A compact dictionary of ranking metrics over a batch of queries."""
+    if len(rankings) != len(relevants):
+        raise ConfigurationError("rankings and relevants must have the same length")
+    report: dict[str, float] = {"mrr": mean_reciprocal_rank(rankings, relevants)}
+    for k in ks:
+        _validate_k(k)
+        report[f"precision@{k}"] = float(
+            np.mean([precision_at_k(r, rel, k) for r, rel in zip(rankings, relevants)])
+            if rankings
+            else 0.0
+        )
+        report[f"recall@{k}"] = float(
+            np.mean([recall_at_k(r, rel, k) for r, rel in zip(rankings, relevants)])
+            if rankings
+            else 0.0
+        )
+        report[f"hit@{k}"] = float(
+            np.mean([hit_rate_at_k(r, rel, k) for r, rel in zip(rankings, relevants)])
+            if rankings
+            else 0.0
+        )
+    return report

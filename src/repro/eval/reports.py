@@ -1,0 +1,70 @@
+"""Plain-text report formatting for tables and curves.
+
+Every experiment runner returns structured results; these helpers render them
+as the rows the paper prints (Markdown-ish tables and simple series listings)
+so benchmark output can be compared against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    rows: Mapping[str, Mapping[str, float]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    float_format: str = "{:.4f}",
+) -> str:
+    """Format ``{row_name: {column: value}}`` as an aligned text table."""
+    if not rows:
+        return title or ""
+    if columns is None:
+        columns = list(next(iter(rows.values())))
+    header = ["Approach"] + list(columns)
+    body = []
+    for name, values in rows.items():
+        rendered = []
+        for column in columns:
+            value = values.get(column, "")
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        body.append([name] + rendered)
+    widths = [max(len(str(row[i])) for row in [header] + body) for i in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in body:
+        lines.append(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[float],
+    title: str | None = None,
+    x_label: str = "x",
+    float_format: str = "{:.4f}",
+) -> str:
+    """Format named series over shared x values (for the figure reproductions)."""
+    header = [x_label] + list(series)
+    body = []
+    for i, x in enumerate(x_values):
+        row = [str(x)]
+        for name in series:
+            values = series[name]
+            row.append(float_format.format(values[i]) if i < len(values) else "")
+        body.append(row)
+    widths = [max(len(str(row[i])) for row in [header] + body) for i in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in body:
+        lines.append(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

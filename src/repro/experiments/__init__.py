@@ -1,0 +1,50 @@
+"""Experiment runners — one module per table/figure of the paper.
+
+| Module | Paper artefact |
+|---|---|
+| :mod:`repro.experiments.table2` | Table 2 — dataset statistics |
+| :mod:`repro.experiments.table4` | Table 3 taxonomy + Table 4 co-location performance |
+| :mod:`repro.experiments.figure2` | Figure 2 — ROC curves / AUC |
+| :mod:`repro.experiments.table5` | Table 5 — missing-history / missing-text ablation |
+| :mod:`repro.experiments.figure3` | Figure 3 — t-SNE of HisRect features |
+| :mod:`repro.experiments.figure4` | Figure 4 — Acc@K POI inference |
+| :mod:`repro.experiments.table6` | Table 6 — TR / FR accuracy split |
+| :mod:`repro.experiments.figure5` | Figure 5 — F1 vs training-set size |
+| :mod:`repro.experiments.table7` | Table 7 — network-depth sweep |
+| :mod:`repro.experiments.figure6` | Figure 6 — training-time scalability |
+| :mod:`repro.experiments.table8` | Table 8 — group-pattern clustering |
+| :mod:`repro.experiments.ssl_alternatives` | §6.4.3 — SSL loss alternatives |
+"""
+
+from repro.experiments.approaches import (
+    APPROACH_NAMES,
+    NAIVE_APPROACHES,
+    POI_INFERENCE_APPROACHES,
+    ROC_EXCLUDED,
+    TAXONOMY,
+    ApproachSuite,
+    base_pipeline_config,
+    pipeline_config_for,
+)
+from repro.experiments.config import DEFAULT, FULL, PRESETS, SMOKE, ExperimentScale, resolve_scale
+from repro.experiments.runner import DATASETS, ExperimentContext, shared_context
+
+__all__ = [
+    "APPROACH_NAMES",
+    "NAIVE_APPROACHES",
+    "POI_INFERENCE_APPROACHES",
+    "ROC_EXCLUDED",
+    "TAXONOMY",
+    "ApproachSuite",
+    "base_pipeline_config",
+    "pipeline_config_for",
+    "ExperimentScale",
+    "resolve_scale",
+    "PRESETS",
+    "SMOKE",
+    "DEFAULT",
+    "FULL",
+    "ExperimentContext",
+    "shared_context",
+    "DATASETS",
+]

@@ -1,0 +1,182 @@
+"""The eleven co-location approaches of Table 3, built from one factory.
+
+Every approach exposes ``predict(pairs)`` and ``predict_proba(pairs)``; the
+non-naive ones also expose ``infer_poi_proba(profiles)`` (POI inference,
+Figure 4) and, for the feature-first ones, ``probability_matrix(profiles)``
+(clustering, Table 8).  :class:`ApproachSuite` trains approaches lazily and
+caches them, so experiments that share a trained model (Table 4, Figure 2,
+Figure 4, Table 8, ...) never retrain it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.baselines import NGramGaussBaseline, TGTICBaseline
+from repro.colocation import CoLocationPipeline, JudgeConfig, OnePhaseConfig, PipelineConfig
+from repro.data.dataset import ColocationDataset
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentScale, resolve_scale
+from repro.features import HisRectConfig
+from repro.ssl import SSLTrainingConfig
+from repro.text.skipgram import SkipGramConfig
+
+#: Table 3 rows, in the paper's order.
+APPROACH_NAMES = (
+    "TG-TI-C",
+    "N-Gram-Gauss",
+    "Comp2Loc",
+    "One-phase",
+    "History-only",
+    "Tweet-only",
+    "HisRect-SL",
+    "One-hot",
+    "BLSTM",
+    "ConvLSTM",
+    "HisRect",
+)
+
+#: Approaches that only do naive "infer two POIs and compare".
+NAIVE_APPROACHES = ("TG-TI-C", "N-Gram-Gauss", "Comp2Loc")
+
+#: Approaches excluded from the ROC comparison (Figure 2), as in the paper.
+ROC_EXCLUDED = NAIVE_APPROACHES
+
+#: Approaches compared on POI inference (Figure 4): the paper's nine.
+POI_INFERENCE_APPROACHES = (
+    "History-only",
+    "Tweet-only",
+    "One-hot",
+    "HisRect-SL",
+    "BLSTM",
+    "ConvLSTM",
+    "N-Gram-Gauss",
+    "TG-TI-C",
+    "HisRect",
+)
+
+
+@dataclass(frozen=True)
+class ApproachTaxonomy:
+    """One row of Table 3."""
+
+    name: str
+    uses_history: bool
+    uses_tweet: bool
+    uses_ssl: bool
+    feature_first: bool
+    naive: bool
+
+
+TAXONOMY: dict[str, ApproachTaxonomy] = {
+    "N-Gram-Gauss": ApproachTaxonomy("N-Gram-Gauss", False, True, False, False, True),
+    "TG-TI-C": ApproachTaxonomy("TG-TI-C", False, True, False, False, True),
+    "Comp2Loc": ApproachTaxonomy("Comp2Loc", True, True, True, True, True),
+    "One-phase": ApproachTaxonomy("One-phase", True, True, False, False, False),
+    "History-only": ApproachTaxonomy("History-only", True, False, True, True, False),
+    "Tweet-only": ApproachTaxonomy("Tweet-only", False, True, True, True, False),
+    "HisRect-SL": ApproachTaxonomy("HisRect-SL", True, True, False, True, False),
+    "One-hot": ApproachTaxonomy("One-hot", True, True, True, True, False),
+    "BLSTM": ApproachTaxonomy("BLSTM", True, True, True, True, False),
+    "ConvLSTM": ApproachTaxonomy("ConvLSTM", True, True, True, True, False),
+    "HisRect": ApproachTaxonomy("HisRect", True, True, True, True, False),
+}
+
+
+def base_pipeline_config(scale: ExperimentScale, seed: int = 97) -> PipelineConfig:
+    """The HisRect pipeline configuration at a given experiment scale."""
+    return PipelineConfig(
+        hisrect=HisRectConfig(
+            content_dim=scale.content_dim,
+            feature_dim=scale.feature_dim,
+            embedding_dim=scale.embedding_dim,
+            seed=seed,
+        ),
+        ssl=SSLTrainingConfig(max_iterations=scale.ssl_iterations, seed=seed + 1),
+        judge=JudgeConfig(
+            embedding_dim=scale.embedding_dim,
+            classifier_dim=scale.embedding_dim,
+            epochs=scale.judge_epochs,
+            seed=seed + 2,
+        ),
+        onephase=OnePhaseConfig(
+            judge=JudgeConfig(
+                embedding_dim=scale.embedding_dim,
+                classifier_dim=scale.embedding_dim,
+                seed=seed + 3,
+            ),
+            max_iterations=scale.onephase_iterations,
+            seed=seed + 4,
+        ),
+        skipgram=SkipGramConfig(embedding_dim=scale.word_dim, epochs=scale.skipgram_epochs, seed=seed + 5),
+        seed=seed,
+    )
+
+
+def pipeline_config_for(name: str, scale: ExperimentScale, seed: int = 97) -> PipelineConfig:
+    """The pipeline configuration implementing a neural Table 3 approach."""
+    config = base_pipeline_config(scale, seed=seed)
+    hisrect = config.hisrect
+    if name in ("HisRect", "Comp2Loc"):
+        pass
+    elif name == "HisRect-SL":
+        config = replace(config, ssl=replace(config.ssl, use_unlabeled=False))
+    elif name == "History-only":
+        hisrect = replace(hisrect, use_content=False)
+    elif name == "Tweet-only":
+        hisrect = replace(hisrect, use_history=False)
+    elif name == "One-hot":
+        hisrect = replace(hisrect, history_encoding="onehot")
+    elif name == "BLSTM":
+        hisrect = replace(hisrect, content_encoder="blstm")
+    elif name == "ConvLSTM":
+        hisrect = replace(hisrect, content_encoder="convlstm")
+    elif name == "One-phase":
+        config = replace(config, mode="one-phase")
+    else:
+        raise ConfigurationError(f"{name!r} is not a pipeline-based approach")
+    return replace(config, hisrect=hisrect)
+
+
+class ApproachSuite:
+    """Lazily builds and caches the trained approaches for one dataset."""
+
+    def __init__(
+        self,
+        dataset: ColocationDataset,
+        scale: ExperimentScale | str | None = None,
+        seed: int = 97,
+    ):
+        self.dataset = dataset
+        self.scale = resolve_scale(scale)
+        self.seed = seed
+        self._cache: dict[str, object] = {}
+
+    def available(self) -> tuple[str, ...]:
+        """All approach names (Table 3)."""
+        return APPROACH_NAMES
+
+    def get(self, name: str):
+        """Return the fitted approach, training it on first use."""
+        if name not in APPROACH_NAMES:
+            raise ConfigurationError(f"unknown approach {name!r}; choose from {APPROACH_NAMES}")
+        if name not in self._cache:
+            self._cache[name] = self._build(name)
+        return self._cache[name]
+
+    def _build(self, name: str):
+        train_profiles = self.dataset.train.labeled_profiles
+        if name == "TG-TI-C":
+            return TGTICBaseline(self.dataset.registry).fit(train_profiles)
+        if name == "N-Gram-Gauss":
+            return NGramGaussBaseline(self.dataset.registry).fit(train_profiles)
+        if name == "Comp2Loc":
+            # Comp2Loc shares the HisRect featurizer and POI classifier.
+            hisrect: CoLocationPipeline = self.get("HisRect")  # type: ignore[assignment]
+            return hisrect.comp2loc()
+        config = pipeline_config_for(name, self.scale, seed=self.seed)
+        return CoLocationPipeline(config).fit(self.dataset)
+
+    def trained_names(self) -> list[str]:
+        """Approaches already trained (for reporting/caching diagnostics)."""
+        return sorted(self._cache)

@@ -1,0 +1,117 @@
+"""Experiment sizing.
+
+The paper's experiments run on a GPU cluster over a million-user crawl; the
+reproduction exposes one knob — :class:`ExperimentScale` — that sizes the
+synthetic datasets and the training budgets.  Three presets are provided:
+
+* ``smoke``   — minutes-long unit-test sizing;
+* ``default`` — the benchmark sizing (laptop, tens of minutes for the full
+  suite);
+* ``full``    — closer to the paper's relative data volumes (hours on a laptop).
+
+Every experiment runner takes an ``ExperimentScale`` so callers can dial
+fidelity against wall-clock.  The ``REPRO_EXPERIMENT_SCALE`` environment
+variable selects the preset used by the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Dataset and training budget used by the experiment runners."""
+
+    name: str
+    #: Multiplier applied to the dataset presets (users, POIs).
+    dataset_scale: float
+    #: Iterations of the semi-supervised featurizer training (Algorithm 1).
+    ssl_iterations: int
+    #: Epochs of the phase-two judge training.
+    judge_epochs: int
+    #: Iterations of One-phase end-to-end training.
+    onephase_iterations: int
+    #: Skip-gram epochs.
+    skipgram_epochs: int
+    #: Content feature dimensionality ``N``.
+    content_dim: int
+    #: HisRect feature dimensionality.
+    feature_dim: int
+    #: Embedding dimensionality for ``E`` and ``E'``.
+    embedding_dim: int
+    #: Word-vector dimensionality ``M``.
+    word_dim: int
+    #: Groups sampled per pattern in the Table 8 case study.
+    groups_per_pattern: int
+    #: Number of balanced negative folds for Table 4 metrics.
+    eval_folds: int
+
+
+SMOKE = ExperimentScale(
+    name="smoke",
+    dataset_scale=0.3,
+    ssl_iterations=30,
+    judge_epochs=8,
+    onephase_iterations=30,
+    skipgram_epochs=1,
+    content_dim=8,
+    feature_dim=16,
+    embedding_dim=8,
+    word_dim=16,
+    groups_per_pattern=20,
+    eval_folds=2,
+)
+
+DEFAULT = ExperimentScale(
+    name="default",
+    dataset_scale=1.0,
+    ssl_iterations=340,
+    judge_epochs=30,
+    onephase_iterations=200,
+    skipgram_epochs=2,
+    content_dim=12,
+    feature_dim=24,
+    embedding_dim=12,
+    word_dim=24,
+    groups_per_pattern=100,
+    eval_folds=5,
+)
+
+FULL = ExperimentScale(
+    name="full",
+    dataset_scale=1.5,
+    ssl_iterations=600,
+    judge_epochs=60,
+    onephase_iterations=600,
+    skipgram_epochs=3,
+    content_dim=16,
+    feature_dim=32,
+    embedding_dim=16,
+    word_dim=32,
+    groups_per_pattern=500,
+    eval_folds=10,
+)
+
+PRESETS = {"smoke": SMOKE, "default": DEFAULT, "full": FULL}
+
+
+def resolve_scale(name: str | ExperimentScale | None = None) -> ExperimentScale:
+    """Resolve a preset name (or pass-through an ``ExperimentScale``).
+
+    With ``None``, the ``REPRO_EXPERIMENT_SCALE`` environment variable is
+    consulted and falls back to ``default``.
+    """
+    if isinstance(name, ExperimentScale):
+        return name
+    if name is None:
+        name = os.environ.get("REPRO_EXPERIMENT_SCALE", "default")
+    try:
+        return PRESETS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown experiment scale {name!r}; choose from {sorted(PRESETS)}"
+        ) from exc

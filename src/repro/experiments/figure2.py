@@ -1,0 +1,52 @@
+"""Figure 2 — ROC curves and AUC of the non-naive approaches.
+
+The paper excludes the three naive approaches (their decision is not
+thresholdable) and plots ROC curves for the remaining eight; the reproduction
+reports, per approach and dataset, the AUC plus the (fpr, tpr) series so the
+curves can be re-plotted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.metrics import pair_labels, roc_auc_score, roc_curve
+from repro.eval.reports import format_table
+from repro.experiments.approaches import APPROACH_NAMES, ROC_EXCLUDED
+from repro.experiments.runner import ExperimentContext
+
+
+def run(
+    context: ExperimentContext,
+    datasets: tuple[str, ...] = ("nyc", "lv"),
+    approaches: tuple[str, ...] | None = None,
+) -> dict[str, dict[str, dict[str, object]]]:
+    """Return ``{dataset: {approach: {auc, fpr, tpr}}}``."""
+    if approaches is None:
+        approaches = tuple(a for a in APPROACH_NAMES if a not in ROC_EXCLUDED)
+    results: dict[str, dict[str, dict[str, object]]] = {}
+    for dataset_name in datasets:
+        suite = context.suite(dataset_name)
+        test_pairs = context.dataset(dataset_name).test.labeled_pairs
+        y_true = pair_labels(test_pairs)
+        rows: dict[str, dict[str, object]] = {}
+        for approach_name in approaches:
+            approach = suite.get(approach_name)
+            scores = np.asarray(approach.predict_proba(test_pairs))
+            fpr, tpr, _ = roc_curve(y_true, scores)
+            rows[approach_name] = {
+                "auc": roc_auc_score(y_true, scores),
+                "fpr": fpr,
+                "tpr": tpr,
+            }
+        results[dataset_name] = rows
+    return results
+
+
+def format_report(results: dict[str, dict[str, dict[str, object]]]) -> str:
+    """Render the AUC table of the Figure 2 reproduction."""
+    sections = []
+    for dataset, rows in results.items():
+        table = {name: {"AUC": float(values["auc"])} for name, values in rows.items()}
+        sections.append(format_table(table, columns=["AUC"], title=f"Figure 2 ({dataset}): ROC AUC"))
+    return "\n\n".join(sections)

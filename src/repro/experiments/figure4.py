@@ -1,0 +1,50 @@
+"""Figure 4 — Acc@K of POI inference.
+
+Each approach that can infer POIs from a profile is evaluated on the labelled
+test profiles: Acc@K is the fraction of profiles whose true POI appears among
+the approach's top-K scored POIs, for K = 1..10 (paper Figure 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.metrics import accuracy_at_k
+from repro.eval.reports import format_series
+from repro.experiments.approaches import POI_INFERENCE_APPROACHES
+from repro.experiments.runner import ExperimentContext
+
+
+def run(
+    context: ExperimentContext,
+    datasets: tuple[str, ...] = ("nyc", "lv"),
+    approaches: tuple[str, ...] = POI_INFERENCE_APPROACHES,
+    max_k: int = 10,
+) -> dict[str, dict[str, list[float]]]:
+    """Return ``{dataset: {approach: [Acc@1, ..., Acc@max_k]}}``."""
+    results: dict[str, dict[str, list[float]]] = {}
+    for dataset_name in datasets:
+        suite = context.suite(dataset_name)
+        data = context.dataset(dataset_name)
+        profiles = data.test.labeled_profiles
+        true_indices = np.array([data.registry.index_of(p.pid) for p in profiles])
+        rows: dict[str, list[float]] = {}
+        for approach_name in approaches:
+            approach = suite.get(approach_name)
+            scores = np.asarray(approach.infer_poi_proba(profiles))
+            rows[approach_name] = [
+                accuracy_at_k(true_indices, scores, k) for k in range(1, max_k + 1)
+            ]
+        results[dataset_name] = rows
+    return results
+
+
+def format_report(results: dict[str, dict[str, list[float]]], max_k: int = 10) -> str:
+    """Render the Figure 4 reproduction as Acc@K series."""
+    sections = []
+    for dataset, rows in results.items():
+        sections.append(
+            format_series(rows, list(range(1, max_k + 1)),
+                          title=f"Figure 4 ({dataset}): Acc@K of POI inference", x_label="K")
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,88 @@
+"""Figure 5 — F1 against the amount of training data.
+
+Fractions of the training timelines are sampled, every stage is retrained on
+the reduced data, and the F1 on the (fixed) test pairs is reported per
+approach, reproducing the "more data helps everyone, HisRect degrades most
+gracefully" shape of Figure 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import ColocationDataset, DatasetSplit
+from repro.data.profiles import PairBuilder, ProfileBuilder
+from repro.eval.metrics import evaluate_judge
+from repro.eval.reports import format_series
+from repro.experiments.approaches import ApproachSuite
+from repro.experiments.runner import ExperimentContext
+
+#: The subset of approaches swept by default (the full Table 3 set works too
+#: but multiplies the runtime).
+DEFAULT_APPROACHES = ("HisRect", "HisRect-SL", "Tweet-only", "History-only", "One-phase")
+
+
+def subsample_training(dataset: ColocationDataset, fraction: float, seed: int = 131) -> ColocationDataset:
+    """A copy of the dataset whose training split uses ``fraction`` of the timelines."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    if fraction == 1.0:
+        return dataset
+    rng = np.random.default_rng(seed)
+    timelines = list(dataset.train.store)
+    keep = max(2, int(round(len(timelines) * fraction)))
+    indices = rng.choice(len(timelines), size=keep, replace=False)
+    subset_store = dataset.train.store.subset(timelines[int(i)].uid for i in indices)
+
+    profile_builder = ProfileBuilder(dataset.registry, max_history=dataset.config.max_history)
+    profiles = profile_builder.build_all(subset_store)
+    labeled = [p for p in profiles if p.is_labeled]
+    unlabeled = [p for p in profiles if not p.is_labeled]
+    labeled_pairs, unlabeled_pairs = PairBuilder(dataset.config.pairs).build(profiles)
+    train_split = DatasetSplit(
+        name="train",
+        store=subset_store,
+        labeled_profiles=labeled,
+        unlabeled_profiles=unlabeled,
+        labeled_pairs=labeled_pairs,
+        unlabeled_pairs=unlabeled_pairs,
+    )
+    return ColocationDataset(
+        name=dataset.name,
+        config=dataset.config,
+        city=dataset.city,
+        train=train_split,
+        validation=dataset.validation,
+        test=dataset.test,
+    )
+
+
+def run(
+    context: ExperimentContext,
+    dataset: str = "nyc",
+    fractions: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0),
+    approaches: tuple[str, ...] = DEFAULT_APPROACHES,
+) -> dict[str, list[float]]:
+    """Return ``{approach: [F1 at each fraction]}`` plus the data ratios."""
+    base = context.dataset(dataset)
+    test_pairs = base.test.labeled_pairs
+    results: dict[str, list[float]] = {name: [] for name in approaches}
+    results["positive_pair_ratio"] = []
+    for fraction in fractions:
+        reduced = subsample_training(base, fraction, seed=context.seed + int(fraction * 100))
+        suite = ApproachSuite(reduced, scale=context.scale, seed=context.seed + 90)
+        stats = reduced.train.statistics()
+        denominator = max(1.0, float(stats["positive_pairs"] + stats["negative_pairs"]))
+        results["positive_pair_ratio"].append(float(stats["positive_pairs"]) / denominator)
+        for name in approaches:
+            metrics = evaluate_judge(suite.get(name), test_pairs, num_folds=context.scale.eval_folds)
+            results[name].append(metrics.f1)
+    return results
+
+
+def format_report(results: dict[str, list[float]], fractions: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0)) -> str:
+    """Render the Figure 5 reproduction as F1-vs-fraction series."""
+    return format_series(
+        results, list(fractions), title="Figure 5: F1 vs fraction of training timelines",
+        x_label="fraction",
+    )

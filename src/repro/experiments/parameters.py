@@ -1,0 +1,68 @@
+"""Section 6.1.2 smoothing factors — sensitivity to ε_d and ρ.
+
+The paper fixes ε_d = 1000 m (the history-feature smoothing of Eq. 1),
+ε'_d = 50 m and ρ = 1000 m (the affinity-graph smoothing and cut-off of
+Section 4.4) without reporting a sweep.  DESIGN.md calls these out as design
+choices worth ablating: this runner retrains HisRect across a grid of ε_d
+and ρ values and reports the Table 4 metrics for each, so a user adapting the
+model to a denser or sparser city can see how forgiving those knobs are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.colocation import CoLocationPipeline
+from repro.eval.metrics import evaluate_judge
+from repro.eval.reports import format_table
+from repro.experiments.approaches import pipeline_config_for
+from repro.experiments.runner import ExperimentContext
+
+#: Default ε_d sweep (metres); the paper's value is 1000 m.
+DEFAULT_EPS_D = (250.0, 1000.0, 4000.0)
+#: Default ρ sweep (metres); the paper's value is 1000 m.
+DEFAULT_RHO = (500.0, 1000.0)
+
+
+def run_eps_d(
+    context: ExperimentContext,
+    dataset: str = "nyc",
+    values: tuple[float, ...] = DEFAULT_EPS_D,
+) -> dict[str, dict[str, float]]:
+    """Sweep the history-feature smoothing ε_d; return metrics per value."""
+    data = context.dataset(dataset)
+    results: dict[str, dict[str, float]] = {}
+    for eps_d in values:
+        config = pipeline_config_for("HisRect", context.scale, seed=context.seed + 90)
+        history = replace(config.hisrect.history, eps_d=eps_d)
+        config = replace(config, hisrect=replace(config.hisrect, history=history))
+        pipeline = CoLocationPipeline(config).fit(data)
+        metrics = evaluate_judge(
+            pipeline, data.test.labeled_pairs, num_folds=context.scale.eval_folds
+        )
+        results[f"eps_d={eps_d:g}m"] = metrics.as_dict()
+    return results
+
+
+def run_rho(
+    context: ExperimentContext,
+    dataset: str = "nyc",
+    values: tuple[float, ...] = DEFAULT_RHO,
+) -> dict[str, dict[str, float]]:
+    """Sweep the affinity-graph cut-off ρ; return metrics per value."""
+    data = context.dataset(dataset)
+    results: dict[str, dict[str, float]] = {}
+    for rho in values:
+        config = pipeline_config_for("HisRect", context.scale, seed=context.seed + 90)
+        config = replace(config, affinity=replace(config.affinity, rho=rho))
+        pipeline = CoLocationPipeline(config).fit(data)
+        metrics = evaluate_judge(
+            pipeline, data.test.labeled_pairs, num_folds=context.scale.eval_folds
+        )
+        results[f"rho={rho:g}m"] = metrics.as_dict()
+    return results
+
+
+def format_report(results: dict[str, dict[str, float]], title: str) -> str:
+    """Render a smoothing-factor sweep as text."""
+    return format_table(results, columns=["Acc", "Rec", "Pre", "F1"], title=title)

@@ -1,0 +1,62 @@
+"""Shared experiment context: cached datasets and approach suites.
+
+Every table/figure runner needs a dataset (NYC-like and/or LV-like) and, most
+of the time, the same trained approaches.  :class:`ExperimentContext` owns both
+caches so a benchmark session that regenerates several tables only pays for
+dataset generation and model training once.
+"""
+
+from __future__ import annotations
+
+from repro.data.dataset import (
+    ColocationDataset,
+    build_dataset,
+    lv_like_dataset_config,
+    nyc_like_dataset_config,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.approaches import ApproachSuite
+from repro.experiments.config import ExperimentScale, resolve_scale
+
+#: Dataset keys accepted by the experiment runners.
+DATASETS = ("nyc", "lv")
+
+
+class ExperimentContext:
+    """Caches datasets and trained approach suites for one experiment scale."""
+
+    def __init__(self, scale: ExperimentScale | str | None = None, seed: int = 7):
+        self.scale = resolve_scale(scale)
+        self.seed = seed
+        self._datasets: dict[str, ColocationDataset] = {}
+        self._suites: dict[str, ApproachSuite] = {}
+
+    def dataset(self, name: str = "nyc") -> ColocationDataset:
+        """The NYC-like or LV-like dataset at this context's scale (cached)."""
+        if name not in DATASETS:
+            raise ConfigurationError(f"unknown dataset {name!r}; choose from {DATASETS}")
+        if name not in self._datasets:
+            if name == "nyc":
+                config = nyc_like_dataset_config(scale=self.scale.dataset_scale, seed=self.seed)
+            else:
+                config = lv_like_dataset_config(scale=self.scale.dataset_scale, seed=self.seed + 100)
+            self._datasets[name] = build_dataset(config)
+        return self._datasets[name]
+
+    def suite(self, name: str = "nyc") -> ApproachSuite:
+        """The approach suite trained on a dataset (cached)."""
+        if name not in self._suites:
+            self._suites[name] = ApproachSuite(self.dataset(name), scale=self.scale, seed=self.seed + 90)
+        return self._suites[name]
+
+
+_GLOBAL_CONTEXTS: dict[tuple[str, int], ExperimentContext] = {}
+
+
+def shared_context(scale: ExperimentScale | str | None = None, seed: int = 7) -> ExperimentContext:
+    """A process-wide cached context (used by the benchmark suite)."""
+    resolved = resolve_scale(scale)
+    key = (resolved.name, seed)
+    if key not in _GLOBAL_CONTEXTS:
+        _GLOBAL_CONTEXTS[key] = ExperimentContext(resolved, seed=seed)
+    return _GLOBAL_CONTEXTS[key]

@@ -1,0 +1,52 @@
+"""Section 6.4.3 — comparison with other SSL formulations.
+
+Three variants of the unsupervised loss are trained and evaluated:
+
+* ``cosine``         — the paper's loss (cosine distance between normalised
+  embeddings);
+* ``l2``             — squared Euclidean distance between embeddings (the
+  Weston et al. semi-supervised embedding);
+* ``cosine-noembed`` — cosine distance computed directly on the HisRect
+  features, i.e. the embedding ``E`` removed.
+
+The paper finds the cosine + embedding combination best on both accuracy and
+recall; the runner reports all four Table 4 metrics for each variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.colocation import CoLocationPipeline
+from repro.eval.metrics import evaluate_judge
+from repro.eval.reports import format_table
+from repro.experiments.approaches import pipeline_config_for
+from repro.experiments.runner import ExperimentContext
+from repro.ssl.trainer import UNSUPERVISED_LOSSES
+
+
+def run(
+    context: ExperimentContext,
+    dataset: str = "nyc",
+    variants: tuple[str, ...] = UNSUPERVISED_LOSSES,
+) -> dict[str, dict[str, float]]:
+    """Return ``{variant: {Acc, Rec, Pre, F1}}``."""
+    data = context.dataset(dataset)
+    test_pairs = data.test.labeled_pairs
+    results: dict[str, dict[str, float]] = {}
+    for variant in variants:
+        config = pipeline_config_for("HisRect", context.scale, seed=context.seed + 90)
+        config = replace(config, ssl=replace(config.ssl, unsupervised_loss=variant))
+        pipeline = CoLocationPipeline(config).fit(data)
+        metrics = evaluate_judge(pipeline, test_pairs, num_folds=context.scale.eval_folds)
+        results[variant] = metrics.as_dict()
+    return results
+
+
+def format_report(results: dict[str, dict[str, float]]) -> str:
+    """Render the §6.4.3 comparison as text."""
+    return format_table(
+        results,
+        columns=["Acc", "Rec", "Pre", "F1"],
+        title="Section 6.4.3: SSL alternatives (unsupervised loss variants)",
+    )

@@ -1,0 +1,35 @@
+"""Table 2 — dataset statistics.
+
+Reports, per dataset (NYC-like, LV-like) and per split, the number of
+timelines, labelled profiles, the average visit-history length and the counts
+of positive / negative / unlabelled pairs, mirroring the layout of Table 2.
+"""
+
+from __future__ import annotations
+
+from repro.eval.reports import format_table
+from repro.experiments.runner import ExperimentContext
+
+
+def run(context: ExperimentContext, datasets: tuple[str, ...] = ("nyc", "lv")) -> dict[str, dict[str, dict[str, float]]]:
+    """Return ``{dataset: {split: statistics}}``."""
+    return {name: context.dataset(name).statistics() for name in datasets}
+
+
+def format_report(results: dict[str, dict[str, dict[str, float]]]) -> str:
+    """Render the Table 2 reproduction as text."""
+    sections = []
+    columns = [
+        "timelines",
+        "labeled_profiles",
+        "avg_visits_per_profile",
+        "positive_pairs",
+        "negative_pairs",
+        "unlabeled_pairs",
+    ]
+    for dataset, splits in results.items():
+        sections.append(
+            format_table(splits, columns=columns, title=f"Table 2 ({dataset}): dataset statistics",
+                         float_format="{:.2f}")
+        )
+    return "\n\n".join(sections)

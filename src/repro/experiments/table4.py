@@ -1,0 +1,59 @@
+"""Table 4 — co-location performance of the eleven approaches.
+
+For each approach of Table 3 and each dataset, the runner evaluates accuracy,
+recall, precision and F1 on the balanced testing folds of Section 6.1.3
+(negatives split into folds, each merged with all positives, metrics averaged).
+"""
+
+from __future__ import annotations
+
+from repro.eval.metrics import evaluate_judge
+from repro.eval.reports import format_table
+from repro.experiments.approaches import APPROACH_NAMES, TAXONOMY
+from repro.experiments.runner import ExperimentContext
+
+
+def run(
+    context: ExperimentContext,
+    datasets: tuple[str, ...] = ("nyc", "lv"),
+    approaches: tuple[str, ...] | None = None,
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Return ``{dataset: {approach: {Acc, Rec, Pre, F1}}}``."""
+    approaches = approaches or APPROACH_NAMES
+    results: dict[str, dict[str, dict[str, float]]] = {}
+    for dataset_name in datasets:
+        suite = context.suite(dataset_name)
+        test_pairs = context.dataset(dataset_name).test.labeled_pairs
+        rows: dict[str, dict[str, float]] = {}
+        for approach_name in approaches:
+            approach = suite.get(approach_name)
+            metrics = evaluate_judge(approach, test_pairs, num_folds=context.scale.eval_folds)
+            rows[approach_name] = metrics.as_dict()
+        results[dataset_name] = rows
+    return results
+
+
+def taxonomy_rows() -> dict[str, dict[str, str]]:
+    """Table 3: the taxonomy of the eleven approaches."""
+    rows = {}
+    for name in APPROACH_NAMES:
+        tax = TAXONOMY[name]
+        rows[name] = {
+            "HV": "x" if tax.uses_history else "-",
+            "Tweet": "x" if tax.uses_tweet else "-",
+            "SSL": "x" if tax.uses_ssl else "-",
+            "FF": "x" if tax.feature_first else "-",
+            "Naive": "x" if tax.naive else "-",
+        }
+    return rows
+
+
+def format_report(results: dict[str, dict[str, dict[str, float]]]) -> str:
+    """Render the Table 4 reproduction (plus the Table 3 taxonomy) as text."""
+    sections = [format_table(taxonomy_rows(), title="Table 3: approach taxonomy")]
+    for dataset, rows in results.items():
+        sections.append(
+            format_table(rows, columns=["Acc", "Rec", "Pre", "F1"],
+                         title=f"Table 4 ({dataset}): co-location performance")
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,49 @@
+"""Table 7 — effect of the network depth (``Qf`` fully-connected layers and
+``Ql`` stacked bidirectional LSTM layers) on recall and accuracy.
+
+The paper sweeps Qf x Ql and observes that deeper is not monotonically better
+(Qf = 2, Ql = 3 is its sweet spot).  The grid is configurable so the default
+benchmark keeps the sweep affordable while the full grid remains one call away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.colocation import CoLocationPipeline
+from repro.eval.metrics import evaluate_judge
+from repro.eval.reports import format_table
+from repro.experiments.approaches import pipeline_config_for
+from repro.experiments.runner import ExperimentContext
+
+
+def run(
+    context: ExperimentContext,
+    dataset: str = "nyc",
+    fc_layers: tuple[int, ...] = (1, 2),
+    lstm_layers: tuple[int, ...] = (1, 2),
+) -> dict[str, dict[str, float]]:
+    """Return ``{"Qf=i,Ql=j": {Acc, Rec, Pre, F1}}`` for the swept grid."""
+    data = context.dataset(dataset)
+    test_pairs = data.test.labeled_pairs
+    results: dict[str, dict[str, float]] = {}
+    for qf in fc_layers:
+        for ql in lstm_layers:
+            config = pipeline_config_for("HisRect", context.scale, seed=context.seed + 90)
+            config = replace(
+                config,
+                hisrect=replace(config.hisrect, num_fc_layers=qf, num_lstm_layers=ql),
+            )
+            pipeline = CoLocationPipeline(config).fit(data)
+            metrics = evaluate_judge(pipeline, test_pairs, num_folds=context.scale.eval_folds)
+            results[f"Qf={qf},Ql={ql}"] = metrics.as_dict()
+    return results
+
+
+def format_report(results: dict[str, dict[str, float]]) -> str:
+    """Render the Table 7 reproduction as text."""
+    return format_table(
+        results,
+        columns=["Rec", "Acc", "Pre", "F1"],
+        title="Table 7: recall and accuracy across network depths (Qf x Ql)",
+    )

@@ -1,0 +1,64 @@
+"""Table 8 — clustering user profiles with a co-location approach.
+
+Groups of five test profiles are sampled for each of the five patterns (5-0,
+4-1, 3-2, 3-1-1, 2-2-1); an approach identifies a group correctly only when its
+clustering exactly reproduces the ground-truth partition.  HisRect clusters via
+its pairwise probability matrix + connected components; the naive approaches
+cluster by putting profiles with the same inferred POI together.
+"""
+
+from __future__ import annotations
+
+from repro.eval.group_patterns import (
+    GROUP_PATTERNS,
+    GroupPatternSampler,
+    evaluate_clustering_judge,
+    evaluate_poi_inference_judge,
+)
+from repro.eval.reports import format_table
+from repro.experiments.runner import ExperimentContext
+
+#: Approaches compared in Table 8.
+DEFAULT_APPROACHES = ("HisRect", "Comp2Loc", "N-Gram-Gauss", "TG-TI-C")
+
+
+def run(
+    context: ExperimentContext,
+    dataset: str = "nyc",
+    approaches: tuple[str, ...] = DEFAULT_APPROACHES,
+    groups_per_pattern: int | None = None,
+) -> dict[str, dict[str, float]]:
+    """Return ``{approach: {pattern: accuracy}}`` plus the sample counts."""
+    suite = context.suite(dataset)
+    data = context.dataset(dataset)
+    groups_per_pattern = groups_per_pattern or context.scale.groups_per_pattern
+    sampler = GroupPatternSampler(
+        data.test.labeled_profiles, delta_t=data.delta_t, seed=context.seed + 8
+    )
+    samples_by_pattern = {
+        pattern: sampler.sample_many(pattern, groups_per_pattern) for pattern in GROUP_PATTERNS
+    }
+
+    results: dict[str, dict[str, float]] = {}
+    for approach_name in approaches:
+        approach = suite.get(approach_name)
+        row: dict[str, float] = {}
+        for pattern, samples in samples_by_pattern.items():
+            if approach_name == "HisRect":
+                row[pattern] = evaluate_clustering_judge(approach.judge, samples)
+            else:
+                row[pattern] = evaluate_poi_inference_judge(approach, samples)
+        results[approach_name] = row
+    results["#groups"] = {
+        pattern: float(len(samples)) for pattern, samples in samples_by_pattern.items()
+    }
+    return results
+
+
+def format_report(results: dict[str, dict[str, float]]) -> str:
+    """Render the Table 8 reproduction as text."""
+    return format_table(
+        results,
+        columns=list(GROUP_PATTERNS),
+        title="Table 8: accuracy of identifying group patterns",
+    )

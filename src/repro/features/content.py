@@ -1,0 +1,261 @@
+"""Content encoders for the recent tweet (paper Section 4.2).
+
+The paper converts the recent tweet into skip-gram word vectors and encodes
+the sequence with **BiLSTM-C**: a bidirectional LSTM whose forward/backward
+hidden-state sequences are stacked into a 2-channel image, convolved with a
+full-width height-3 filter bank, rectified and mean-pooled into the fixed
+``N``-dimensional content feature ``Fc(r)``.
+
+Two alternatives from Table 3 are provided for the ablations:
+
+* :class:`BLSTMContentEncoder` — the same bidirectional LSTM but without the
+  convolution layer (mean-pooled hidden states).
+* :class:`ConvLSTMContentEncoder` — a ConvLSTM (convolutional state
+  transitions) instead of BiLSTM-C.
+
+Two further extension encoders (not in the paper) back the encoder-ablation
+benchmarks:
+
+* :class:`BiGRUContentEncoder` — a bidirectional GRU, a lighter recurrent cell.
+* :class:`AttentionContentEncoder` — a bidirectional LSTM whose states are
+  reduced with learned attention pooling instead of a mean.
+
+All encoders share a :class:`TextVectorizer` that tokenises, maps to
+vocabulary ids, looks up the (frozen) skip-gram vectors and pads very short
+tweets so the convolution always has at least ``kernel_height`` rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.records import Profile
+from repro.nn.autograd import Tensor
+from repro.nn.conv import TemporalConv
+from repro.nn.gru import BiGRU
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.pooling import AttentionPooling
+from repro.nn.recurrent import BiLSTM, ConvLSTM
+from repro.text.skipgram import SkipGramModel
+from repro.text.tokenize import STOPWORD_TOKEN, Tokenizer, Vocabulary
+
+
+@dataclass
+class ContentEncoderConfig:
+    """Shared hyper-parameters of the content encoders."""
+
+    #: Output feature dimensionality ``N``.
+    feature_dim: int = 16
+    #: Maximum number of tokens fed to the encoder (tweets are short anyway).
+    max_tokens: int = 16
+    #: Minimum sequence length after padding (>= the convolution height).
+    min_tokens: int = 4
+    #: Number of stacked bidirectional LSTM layers ``Ql``.
+    num_lstm_layers: int = 1
+    #: Gaussian init std; ``None`` uses fan-in (He) scaling.
+    init_std: float | None = None
+    seed: int = 31
+
+
+class TextVectorizer:
+    """Tokenise + encode + embed tweet text into a ``(T, M)`` word-vector matrix."""
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        skipgram: SkipGramModel,
+        tokenizer: Tokenizer | None = None,
+        max_tokens: int = 16,
+        min_tokens: int = 4,
+    ):
+        self.vocabulary = vocabulary
+        self.skipgram = skipgram
+        self.tokenizer = tokenizer or Tokenizer()
+        self.max_tokens = max_tokens
+        self.min_tokens = min_tokens
+        self._pad_id = vocabulary.token_to_id.get(STOPWORD_TOKEN, vocabulary.unknown_id)
+        self._cache: dict[tuple[int, float, str], np.ndarray] = {}
+
+    @property
+    def word_dim(self) -> int:
+        """Dimensionality ``M`` of the word vectors."""
+        return self.skipgram.embedding_dim
+
+    def token_ids(self, text: str) -> list[int]:
+        """Vocabulary ids of a tweet, truncated/padded to the configured bounds."""
+        tokens = self.tokenizer.tokenize(text)[: self.max_tokens]
+        ids = self.vocabulary.encode(tokens) if tokens else []
+        while len(ids) < self.min_tokens:
+            ids.append(self._pad_id)
+        return ids
+
+    def vectorize(self, profile: Profile) -> np.ndarray:
+        """The ``(T, M)`` word-vector matrix of a profile's recent tweet (cached)."""
+        key = (profile.uid, profile.ts, profile.content)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        matrix = self.skipgram.encode_sequence(self.token_ids(profile.content))
+        self._cache[key] = matrix
+        return matrix
+
+
+class ContentEncoder(Module):
+    """Base class: turns a profile into an ``N``-dimensional content feature."""
+
+    def __init__(self, vectorizer: TextVectorizer, config: ContentEncoderConfig):
+        super().__init__()
+        self.vectorizer = vectorizer
+        self.config = config
+
+    @property
+    def feature_dim(self) -> int:
+        return self.config.feature_dim
+
+    def encode(self, profile: Profile) -> Tensor:
+        """Return the ``(feature_dim,)`` content feature of one profile."""
+        raise NotImplementedError
+
+    def forward(self, profile: Profile) -> Tensor:
+        return self.encode(profile)
+
+
+class BiLSTMCContentEncoder(ContentEncoder):
+    """The paper's BiLSTM-C encoder (BLSTM + convolution + ReLU + mean pooling)."""
+
+    def __init__(self, vectorizer: TextVectorizer, config: ContentEncoderConfig | None = None):
+        config = config or ContentEncoderConfig()
+        super().__init__(vectorizer, config)
+        rng = np.random.default_rng(config.seed)
+        self.bilstm = BiLSTM(
+            input_size=vectorizer.word_dim,
+            hidden_size=config.feature_dim,
+            num_layers=config.num_lstm_layers,
+            init_std=config.init_std,
+            rng=rng,
+        )
+        self.conv = TemporalConv(width=config.feature_dim, kernel_height=3, init_std=config.init_std, rng=rng)
+
+    def encode(self, profile: Profile) -> Tensor:
+        sequence = Tensor(self.vectorizer.vectorize(profile))
+        stacked = self.bilstm(sequence, stacked_channels=True)  # (T, N, 2)
+        feature_map = self.conv(stacked).relu()  # (T - 2, N)
+        return feature_map.mean(axis=0)
+
+
+class BLSTMContentEncoder(ContentEncoder):
+    """Bidirectional LSTM without the convolution layer (the *BLSTM* approach)."""
+
+    def __init__(self, vectorizer: TextVectorizer, config: ContentEncoderConfig | None = None):
+        config = config or ContentEncoderConfig()
+        super().__init__(vectorizer, config)
+        rng = np.random.default_rng(config.seed)
+        self.bilstm = BiLSTM(
+            input_size=vectorizer.word_dim,
+            hidden_size=config.feature_dim,
+            num_layers=config.num_lstm_layers,
+            init_std=config.init_std,
+            rng=rng,
+        )
+        self.project = Linear(2 * config.feature_dim, config.feature_dim, init_std=config.init_std, rng=rng)
+
+    def encode(self, profile: Profile) -> Tensor:
+        sequence = Tensor(self.vectorizer.vectorize(profile))
+        states = self.bilstm(sequence)  # (T, 2N)
+        pooled = states.mean(axis=0).reshape(1, 2 * self.config.feature_dim)
+        return self.project(pooled).relu().reshape(self.config.feature_dim)
+
+
+class ConvLSTMContentEncoder(ContentEncoder):
+    """ConvLSTM encoder (convolutional input/state transitions, Shi et al. 2015)."""
+
+    def __init__(self, vectorizer: TextVectorizer, config: ContentEncoderConfig | None = None):
+        config = config or ContentEncoderConfig()
+        super().__init__(vectorizer, config)
+        rng = np.random.default_rng(config.seed)
+        self.convlstm = ConvLSTM(width=vectorizer.word_dim, kernel_size=3, init_std=config.init_std, rng=rng)
+        self.project = Linear(vectorizer.word_dim, config.feature_dim, init_std=config.init_std, rng=rng)
+
+    def encode(self, profile: Profile) -> Tensor:
+        sequence = Tensor(self.vectorizer.vectorize(profile))
+        states = self.convlstm(sequence)  # (T, M)
+        pooled = states.mean(axis=0).reshape(1, self.vectorizer.word_dim)
+        return self.project(pooled).relu().reshape(self.config.feature_dim)
+
+
+class BiGRUContentEncoder(ContentEncoder):
+    """Bidirectional GRU encoder (extension; lighter than the BLSTM variant)."""
+
+    def __init__(self, vectorizer: TextVectorizer, config: ContentEncoderConfig | None = None):
+        config = config or ContentEncoderConfig()
+        super().__init__(vectorizer, config)
+        rng = np.random.default_rng(config.seed)
+        self.bigru = BiGRU(
+            input_size=vectorizer.word_dim,
+            hidden_size=config.feature_dim,
+            init_std=config.init_std,
+            rng=rng,
+        )
+        self.project = Linear(2 * config.feature_dim, config.feature_dim, init_std=config.init_std, rng=rng)
+
+    def encode(self, profile: Profile) -> Tensor:
+        sequence = Tensor(self.vectorizer.vectorize(profile))
+        states = self.bigru(sequence)  # (T, 2N)
+        pooled = states.mean(axis=0).reshape(1, 2 * self.config.feature_dim)
+        return self.project(pooled).relu().reshape(self.config.feature_dim)
+
+
+class AttentionContentEncoder(ContentEncoder):
+    """BLSTM states reduced with learned attention pooling (extension).
+
+    Attention lets the encoder weight location-bearing tokens ("liberty",
+    "strip") above stop-word noise instead of averaging them together.
+    """
+
+    def __init__(self, vectorizer: TextVectorizer, config: ContentEncoderConfig | None = None):
+        config = config or ContentEncoderConfig()
+        super().__init__(vectorizer, config)
+        rng = np.random.default_rng(config.seed)
+        self.bilstm = BiLSTM(
+            input_size=vectorizer.word_dim,
+            hidden_size=config.feature_dim,
+            num_layers=config.num_lstm_layers,
+            init_std=config.init_std,
+            rng=rng,
+        )
+        self.pooling = AttentionPooling(2 * config.feature_dim, rng=rng)
+        self.project = Linear(2 * config.feature_dim, config.feature_dim, init_std=config.init_std, rng=rng)
+
+    def encode(self, profile: Profile) -> Tensor:
+        sequence = Tensor(self.vectorizer.vectorize(profile))
+        states = self.bilstm(sequence)  # (T, 2N)
+        pooled = self.pooling(states).reshape(1, 2 * self.config.feature_dim)
+        return self.project(pooled).relu().reshape(self.config.feature_dim)
+
+    def attention_weights(self, profile: Profile) -> np.ndarray:
+        """The per-token attention distribution (for inspection)."""
+        sequence = Tensor(self.vectorizer.vectorize(profile))
+        return self.pooling.attention_weights(self.bilstm(sequence))
+
+
+CONTENT_ENCODERS = {
+    "bilstm-c": BiLSTMCContentEncoder,
+    "blstm": BLSTMContentEncoder,
+    "convlstm": ConvLSTMContentEncoder,
+    "bgru": BiGRUContentEncoder,
+    "attention": AttentionContentEncoder,
+}
+
+
+def make_content_encoder(
+    kind: str, vectorizer: TextVectorizer, config: ContentEncoderConfig | None = None
+) -> ContentEncoder:
+    """Factory mapping an encoder name (Table 3 row) to an instance."""
+    try:
+        encoder_cls = CONTENT_ENCODERS[kind]
+    except KeyError as exc:
+        raise ValueError(f"unknown content encoder {kind!r}; choose from {sorted(CONTENT_ENCODERS)}") from exc
+    return encoder_cls(vectorizer, config)

@@ -1,0 +1,101 @@
+"""Historical-visit features (paper Section 4.1).
+
+``HistoricalVisitFeaturizer`` implements Eq. (1)-(2): each visit ``v`` in a
+profile's history contributes a spatial-relevance vector
+``w(v)_i = eps_d / (eps_d + d(v, p_i))`` over all POIs, weighted by the
+temporal-decay coefficient ``eps_t / (eps_t + r.ts - v.ts)``; the weighted sum
+is L2-normalised.  Profiles with no history get the uniform vector, so the
+model copes with timelines that contain no POI tweet.
+
+``OneHotHistoryFeaturizer`` is the alternative the paper compares against
+(the *One-hot* approach): a normalised visit-count vector over POI identities
+that ignores visit recency and discards visits falling outside every POI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.records import Profile
+from repro.geo.poi import POIRegistry
+
+
+@dataclass
+class HistoryFeatureConfig:
+    """Smoothing factors of Eq. (1)-(2).
+
+    ``eps_d`` is in metres (paper: 1000 m); ``eps_t`` is in seconds (the paper
+    does not report its value; one day keeps same-day visits influential while
+    discounting older ones).
+    """
+
+    eps_d: float = 1000.0
+    eps_t: float = 86_400.0
+
+
+class HistoricalVisitFeaturizer:
+    """The paper's temporal-spatial history feature ``Fv(r)`` (Eq. 1-2)."""
+
+    def __init__(self, registry: POIRegistry, config: HistoryFeatureConfig | None = None):
+        self.registry = registry
+        self.config = config or HistoryFeatureConfig()
+        if self.config.eps_d <= 0 or self.config.eps_t <= 0:
+            raise ValueError("smoothing factors must be positive")
+
+    @property
+    def dimension(self) -> int:
+        """Feature dimensionality — one entry per POI."""
+        return len(self.registry)
+
+    def visit_relevance(self, lat: float, lon: float) -> np.ndarray:
+        """The spatial-relevance vector ``w(v)`` of Eq. (1) for one visit."""
+        distances = self.registry.distances_from(lat, lon)
+        return self.config.eps_d / (self.config.eps_d + distances)
+
+    def featurize(self, profile: Profile) -> np.ndarray:
+        """``Fv(r)`` for one profile."""
+        if not profile.visit_history:
+            uniform = np.ones(self.dimension)
+            return uniform / np.linalg.norm(uniform)
+        accumulated = np.zeros(self.dimension)
+        for visit in profile.visit_history:
+            age = max(0.0, profile.ts - visit.ts)
+            temporal_weight = self.config.eps_t / (self.config.eps_t + age)
+            accumulated += temporal_weight * self.visit_relevance(visit.lat, visit.lon)
+        norm = np.linalg.norm(accumulated)
+        if norm == 0.0:
+            uniform = np.ones(self.dimension)
+            return uniform / np.linalg.norm(uniform)
+        return accumulated / norm
+
+    def featurize_batch(self, profiles: list[Profile]) -> np.ndarray:
+        """Stack ``Fv`` for a batch of profiles into a ``(B, |P|)`` matrix."""
+        return np.stack([self.featurize(p) for p in profiles]) if profiles else np.zeros((0, self.dimension))
+
+
+class OneHotHistoryFeaturizer:
+    """One-hot (visit-count) history encoding — the *One-hot* baseline feature."""
+
+    def __init__(self, registry: POIRegistry):
+        self.registry = registry
+
+    @property
+    def dimension(self) -> int:
+        return len(self.registry)
+
+    def featurize(self, profile: Profile) -> np.ndarray:
+        counts = np.zeros(self.dimension)
+        for visit in profile.visit_history:
+            poi = self.registry.locate(visit.lat, visit.lon)
+            if poi is not None:
+                counts[self.registry.index_of(poi.pid)] += 1.0
+        norm = np.linalg.norm(counts)
+        if norm == 0.0:
+            uniform = np.ones(self.dimension)
+            return uniform / np.linalg.norm(uniform)
+        return counts / norm
+
+    def featurize_batch(self, profiles: list[Profile]) -> np.ndarray:
+        return np.stack([self.featurize(p) for p in profiles]) if profiles else np.zeros((0, self.dimension))

@@ -1,0 +1,87 @@
+"""Geospatial substrate: points, distances, polygons, POIs and spatial indexing."""
+
+from repro.geo.geohash import (
+    GeohashCell,
+    adjacent,
+    bucket_points,
+    cell_dimensions_m,
+    covering_cells,
+    decode,
+    encode,
+    expand,
+    grid_distance,
+    neighbors,
+    precision_for_radius,
+    shared_prefix_length,
+)
+from repro.geo.grid import UniformGridIndex
+from repro.geo.point import (
+    EARTH_RADIUS_M,
+    GeoPoint,
+    centroid,
+    equirectangular_m,
+    haversine_m,
+    pairwise_distance_m,
+    point_to_many_m,
+)
+from repro.geo.poi import POI, POIRegistry
+from repro.geo.polygon import BoundingPolygon
+from repro.geo.quadtree import BoundingBox, IndexedPoint, QuadTree, bulk_load, radius_to_bbox
+from repro.geo.trajectory import (
+    StayPoint,
+    TrajectorySummary,
+    covisit_count,
+    covisit_jaccard,
+    detect_stay_points,
+    mean_hop_m,
+    radius_of_gyration_m,
+    summarize,
+    total_displacement_m,
+    visit_entropy,
+    visited_pois,
+)
+
+__all__ = [
+    "EARTH_RADIUS_M",
+    "GeoPoint",
+    "BoundingPolygon",
+    "POI",
+    "POIRegistry",
+    "UniformGridIndex",
+    "haversine_m",
+    "equirectangular_m",
+    "pairwise_distance_m",
+    "point_to_many_m",
+    "centroid",
+    # Quadtree
+    "QuadTree",
+    "BoundingBox",
+    "IndexedPoint",
+    "bulk_load",
+    "radius_to_bbox",
+    # Geohash
+    "GeohashCell",
+    "encode",
+    "decode",
+    "adjacent",
+    "neighbors",
+    "expand",
+    "precision_for_radius",
+    "shared_prefix_length",
+    "grid_distance",
+    "bucket_points",
+    "cell_dimensions_m",
+    "covering_cells",
+    # Trajectory analytics
+    "StayPoint",
+    "TrajectorySummary",
+    "total_displacement_m",
+    "radius_of_gyration_m",
+    "visit_entropy",
+    "mean_hop_m",
+    "summarize",
+    "detect_stay_points",
+    "visited_pois",
+    "covisit_jaccard",
+    "covisit_count",
+]

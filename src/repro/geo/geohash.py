@@ -1,0 +1,272 @@
+"""Geohash encoding, decoding and neighbourhood expansion.
+
+Geohashes give the reproduction a cheap, hierarchy-friendly spatial key: two
+profiles whose recent tweets share a geohash prefix are close, and candidate
+generation for the affinity graph, the sliding pair window and the social
+co-visit miner can bucket by geohash instead of computing all-pairs distances.
+
+The implementation follows the standard base-32 interleaved-bit scheme
+(longitude first), so the output is interchangeable with other geohash
+libraries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+
+#: The canonical geohash base-32 alphabet (no a, i, l, o).
+BASE32 = "0123456789bcdefghjkmnpqrstuvwxyz"
+
+_BASE32_INDEX = {char: index for index, char in enumerate(BASE32)}
+
+#: Approximate cell sizes (lat metres, lon metres at the equator) by precision.
+CELL_SIZE_M = {
+    1: (5_003_530.0, 5_003_530.0),
+    2: (625_441.0, 1_250_882.0),
+    3: (156_360.0, 156_360.0),
+    4: (19_545.0, 39_090.0),
+    5: (4_886.0, 4_886.0),
+    6: (610.8, 1_221.6),
+    7: (152.7, 152.7),
+    8: (19.1, 38.2),
+    9: (4.77, 4.77),
+    10: (0.596, 1.19),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class GeohashCell:
+    """A decoded geohash cell: centre point plus half-widths in degrees."""
+
+    geohash: str
+    lat: float
+    lon: float
+    lat_error: float
+    lon_error: float
+
+    @property
+    def bounds(self) -> tuple[float, float, float, float]:
+        """``(min_lat, min_lon, max_lat, max_lon)`` of the cell."""
+        return (
+            self.lat - self.lat_error,
+            self.lon - self.lon_error,
+            self.lat + self.lat_error,
+            self.lon + self.lon_error,
+        )
+
+
+def _validate(lat: float, lon: float, precision: int) -> None:
+    if not (-90.0 <= lat <= 90.0):
+        raise GeometryError(f"latitude {lat} outside [-90, 90]")
+    if not (-180.0 <= lon <= 180.0):
+        raise GeometryError(f"longitude {lon} outside [-180, 180]")
+    if not (1 <= precision <= 12):
+        raise GeometryError(f"geohash precision must be in [1, 12], got {precision}")
+
+
+def encode(lat: float, lon: float, precision: int = 8) -> str:
+    """Encode a point to a geohash string of ``precision`` characters."""
+    _validate(lat, lon, precision)
+    lat_lo, lat_hi = -90.0, 90.0
+    lon_lo, lon_hi = -180.0, 180.0
+    chars: list[str] = []
+    bit = 0
+    value = 0
+    even_bit = True  # longitude bits on even positions
+    while len(chars) < precision:
+        if even_bit:
+            mid = (lon_lo + lon_hi) / 2.0
+            if lon >= mid:
+                value = (value << 1) | 1
+                lon_lo = mid
+            else:
+                value <<= 1
+                lon_hi = mid
+        else:
+            mid = (lat_lo + lat_hi) / 2.0
+            if lat >= mid:
+                value = (value << 1) | 1
+                lat_lo = mid
+            else:
+                value <<= 1
+                lat_hi = mid
+        even_bit = not even_bit
+        bit += 1
+        if bit == 5:
+            chars.append(BASE32[value])
+            bit = 0
+            value = 0
+    return "".join(chars)
+
+
+def decode(geohash: str) -> GeohashCell:
+    """Decode a geohash to its cell centre and half-widths."""
+    if not geohash:
+        raise GeometryError("cannot decode an empty geohash")
+    lat_lo, lat_hi = -90.0, 90.0
+    lon_lo, lon_hi = -180.0, 180.0
+    even_bit = True
+    for char in geohash.lower():
+        if char not in _BASE32_INDEX:
+            raise GeometryError(f"invalid geohash character {char!r}")
+        value = _BASE32_INDEX[char]
+        for shift in range(4, -1, -1):
+            bit = (value >> shift) & 1
+            if even_bit:
+                mid = (lon_lo + lon_hi) / 2.0
+                if bit:
+                    lon_lo = mid
+                else:
+                    lon_hi = mid
+            else:
+                mid = (lat_lo + lat_hi) / 2.0
+                if bit:
+                    lat_lo = mid
+                else:
+                    lat_hi = mid
+            even_bit = not even_bit
+    lat = (lat_lo + lat_hi) / 2.0
+    lon = (lon_lo + lon_hi) / 2.0
+    return GeohashCell(
+        geohash=geohash.lower(),
+        lat=lat,
+        lon=lon,
+        lat_error=(lat_hi - lat_lo) / 2.0,
+        lon_error=(lon_hi - lon_lo) / 2.0,
+    )
+
+
+_NEIGHBOR_TABLE = {
+    "n": ("p0r21436x8zb9dcf5h7kjnmqesgutwvy", "bc01fg45238967deuvhjyznpkmstqrwx"),
+    "s": ("14365h7k9dcfesgujnmqp0r2twvyx8zb", "238967debc01fg45kmstqrwxuvhjyznp"),
+    "e": ("bc01fg45238967deuvhjyznpkmstqrwx", "p0r21436x8zb9dcf5h7kjnmqesgutwvy"),
+    "w": ("238967debc01fg45kmstqrwxuvhjyznp", "14365h7k9dcfesgujnmqp0r2twvyx8zb"),
+}
+
+_BORDER_TABLE = {
+    "n": ("prxz", "bcfguvyz"),
+    "s": ("028b", "0145hjnp"),
+    "e": ("bcfguvyz", "prxz"),
+    "w": ("0145hjnp", "028b"),
+}
+
+
+def adjacent(geohash: str, direction: str) -> str:
+    """The geohash of the neighbouring cell in ``direction`` (n/s/e/w)."""
+    if direction not in _NEIGHBOR_TABLE:
+        raise GeometryError(f"direction must be one of n/s/e/w, got {direction!r}")
+    if not geohash:
+        raise GeometryError("cannot take the neighbour of an empty geohash")
+    geohash = geohash.lower()
+    last = geohash[-1]
+    parent = geohash[:-1]
+    parity = len(geohash) % 2  # 1 for odd length, 0 for even
+    neighbor_row = _NEIGHBOR_TABLE[direction][parity]
+    border_row = _BORDER_TABLE[direction][parity]
+    if last in border_row and parent:
+        parent = adjacent(parent, direction)
+    return parent + BASE32[neighbor_row.index(last)]
+
+
+def neighbors(geohash: str) -> dict[str, str]:
+    """The eight neighbouring geohashes keyed by compass direction."""
+    north = adjacent(geohash, "n")
+    south = adjacent(geohash, "s")
+    return {
+        "n": north,
+        "ne": adjacent(north, "e"),
+        "e": adjacent(geohash, "e"),
+        "se": adjacent(south, "e"),
+        "s": south,
+        "sw": adjacent(south, "w"),
+        "w": adjacent(geohash, "w"),
+        "nw": adjacent(north, "w"),
+    }
+
+
+def expand(geohash: str) -> list[str]:
+    """The geohash plus its eight neighbours (a 3x3 search window)."""
+    return [geohash.lower()] + sorted(neighbors(geohash).values())
+
+
+def precision_for_radius(radius_m: float) -> int:
+    """Smallest precision whose cell is still wider than ``radius_m``.
+
+    Useful when bucketing points so that any two points within ``radius_m``
+    of each other are guaranteed to fall in the same cell or in adjacent
+    cells (and are therefore found by an :func:`expand` lookup).
+    """
+    if radius_m <= 0:
+        raise GeometryError("radius must be positive")
+    for precision in range(12, 0, -1):
+        lat_m, lon_m = CELL_SIZE_M.get(precision, (0.019, 0.037))
+        if min(lat_m, lon_m) >= radius_m:
+            return precision
+    return 1
+
+
+def shared_prefix_length(first: str, second: str) -> int:
+    """Number of leading characters two geohashes share."""
+    count = 0
+    for a, b in zip(first.lower(), second.lower()):
+        if a != b:
+            break
+        count += 1
+    return count
+
+
+def grid_distance(first: str, second: str) -> float:
+    """Great-circle distance in metres between two geohash cell centres."""
+    from repro.geo.point import haversine_m
+
+    cell_a = decode(first)
+    cell_b = decode(second)
+    return haversine_m(cell_a.lat, cell_a.lon, cell_b.lat, cell_b.lon)
+
+
+def bucket_points(
+    points: list[tuple[int, float, float]], precision: int = 7
+) -> dict[str, list[int]]:
+    """Group ``(item_id, lat, lon)`` triples by their geohash cell."""
+    buckets: dict[str, list[int]] = {}
+    for item_id, lat, lon in points:
+        key = encode(lat, lon, precision)
+        buckets.setdefault(key, []).append(item_id)
+    return buckets
+
+
+def cell_dimensions_m(precision: int) -> tuple[float, float]:
+    """Approximate (height, width) in metres of a cell at ``precision``."""
+    if precision in CELL_SIZE_M:
+        return CELL_SIZE_M[precision]
+    if precision < 1:
+        raise GeometryError("precision must be at least 1")
+    # Each extra character divides the cell by 32; alternate 4x8 / 8x4 splits.
+    height, width = CELL_SIZE_M[10]
+    for level in range(11, precision + 1):
+        if level % 2 == 1:
+            height /= 8.0
+            width /= 4.0
+        else:
+            height /= 4.0
+            width /= 8.0
+    return (height, width)
+
+
+def covering_cells(lat: float, lon: float, radius_m: float) -> list[str]:
+    """Geohash cells forming a 3x3 window that covers a disc around a point."""
+    precision = precision_for_radius(radius_m)
+    # Guard against pathological radii larger than the coarsest cell.
+    precision = max(1, min(precision, 12))
+    center = encode(lat, lon, precision)
+    return expand(center)
+
+
+def haversine_cell_error_m(precision: int, lat: float = 0.0) -> float:
+    """Worst-case distance between a point and its cell centre at ``precision``."""
+    height, width = cell_dimensions_m(precision)
+    width *= max(math.cos(math.radians(lat)), 1e-6)
+    return math.hypot(height / 2.0, width / 2.0)

@@ -1,0 +1,56 @@
+"""A uniform grid index over lat/lon bounding boxes.
+
+Point-in-polygon lookups against every POI would be O(|P|) per geo-tagged
+tweet.  The grid buckets POI bounding boxes into fixed-size cells (in metres,
+converted to degrees at the latitude of the first inserted item) so that
+``locate`` only tests the handful of POIs whose boxes overlap the query cell.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Iterable
+
+
+class UniformGridIndex:
+    """Buckets integer item ids by the grid cells their bounding boxes cover."""
+
+    def __init__(self, cell_m: float = 500.0):
+        if cell_m <= 0:
+            raise ValueError("cell_m must be positive")
+        self._cell_m = cell_m
+        self._cells: dict[tuple[int, int], list[int]] = defaultdict(list)
+        self._deg_lat: float | None = None
+        self._deg_lon: float | None = None
+
+    def _ensure_scale(self, lat: float) -> None:
+        """Fix the degree size of a cell using the latitude of the first item."""
+        if self._deg_lat is None:
+            meters_per_deg_lat = 111_320.0
+            meters_per_deg_lon = 111_320.0 * max(0.1, math.cos(math.radians(lat)))
+            self._deg_lat = self._cell_m / meters_per_deg_lat
+            self._deg_lon = self._cell_m / meters_per_deg_lon
+
+    def _cell_of(self, lat: float, lon: float) -> tuple[int, int]:
+        assert self._deg_lat is not None and self._deg_lon is not None
+        return (int(math.floor(lat / self._deg_lat)), int(math.floor(lon / self._deg_lon)))
+
+    def insert(self, item_id: int, bbox: tuple[float, float, float, float]) -> None:
+        """Insert an item covering the ``(min_lat, min_lon, max_lat, max_lon)`` box."""
+        min_lat, min_lon, max_lat, max_lon = bbox
+        self._ensure_scale((min_lat + max_lat) / 2.0)
+        r0, c0 = self._cell_of(min_lat, min_lon)
+        r1, c1 = self._cell_of(max_lat, max_lon)
+        for r in range(min(r0, r1), max(r0, r1) + 1):
+            for c in range(min(c0, c1), max(c0, c1) + 1):
+                self._cells[(r, c)].append(item_id)
+
+    def candidates(self, lat: float, lon: float) -> Iterable[int]:
+        """Item ids whose bounding boxes may contain the query point."""
+        if self._deg_lat is None:
+            return ()
+        return tuple(self._cells.get(self._cell_of(lat, lon), ()))
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._cells.values())

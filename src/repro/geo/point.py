@@ -1,0 +1,130 @@
+"""Geographic points and distance computations.
+
+The paper measures spatial distances ``d(a, b)`` between visits, profiles and
+POIs in metres.  We provide both the exact haversine distance and a fast
+equirectangular approximation that is accurate at city scale (the paper's
+datasets are single metropolitan areas), plus vectorised variants used by the
+featurizer when scoring a visit against every POI at once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+#: Mean Earth radius in metres (IUGG value), used by all distance helpers.
+EARTH_RADIUS_M = 6_371_008.8
+
+
+def _validate_latlon(lat: float, lon: float) -> None:
+    if not (-90.0 <= lat <= 90.0):
+        raise GeometryError(f"latitude {lat!r} outside [-90, 90]")
+    if not (-180.0 <= lon <= 180.0):
+        raise GeometryError(f"longitude {lon!r} outside [-180, 180]")
+
+
+@dataclass(frozen=True, slots=True)
+class GeoPoint:
+    """A WGS84 latitude/longitude pair.
+
+    Attributes
+    ----------
+    lat:
+        Latitude in decimal degrees, in ``[-90, 90]``.
+    lon:
+        Longitude in decimal degrees, in ``[-180, 180]``.
+    """
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        _validate_latlon(self.lat, self.lon)
+
+    def distance_to(self, other: "GeoPoint") -> float:
+        """Return the haversine distance to ``other`` in metres."""
+        return haversine_m(self.lat, self.lon, other.lat, other.lon)
+
+    def offset(self, north_m: float, east_m: float) -> "GeoPoint":
+        """Return a new point displaced by the given metre offsets.
+
+        Uses the local flat-earth approximation, which is what the synthetic
+        city generator needs when laying out POIs a few kilometres apart.
+        """
+        dlat = math.degrees(north_m / EARTH_RADIUS_M)
+        dlon = math.degrees(east_m / (EARTH_RADIUS_M * math.cos(math.radians(self.lat))))
+        return GeoPoint(self.lat + dlat, self.lon + dlon)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(lat, lon)``."""
+        return (self.lat, self.lon)
+
+
+def haversine_m(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Exact great-circle distance between two lat/lon points, in metres."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = phi2 - phi1
+    dlmb = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2.0) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlmb / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(a)))
+
+
+def equirectangular_m(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Fast city-scale approximation of the distance in metres.
+
+    Error is below 0.1% for separations under ~50 km, far tighter than the
+    smoothing factors (``eps_d`` = 1000 m) used by the HisRect feature.
+    """
+    phi_m = math.radians((lat1 + lat2) / 2.0)
+    x = math.radians(lon2 - lon1) * math.cos(phi_m)
+    y = math.radians(lat2 - lat1)
+    return EARTH_RADIUS_M * math.hypot(x, y)
+
+
+def pairwise_distance_m(
+    lats1: Sequence[float] | np.ndarray,
+    lons1: Sequence[float] | np.ndarray,
+    lats2: Sequence[float] | np.ndarray,
+    lons2: Sequence[float] | np.ndarray,
+) -> np.ndarray:
+    """Vectorised equirectangular distances between two aligned coordinate arrays.
+
+    Both coordinate pairs must have the same length; the result is a 1-D array
+    of metres.
+    """
+    lats1 = np.asarray(lats1, dtype=np.float64)
+    lons1 = np.asarray(lons1, dtype=np.float64)
+    lats2 = np.asarray(lats2, dtype=np.float64)
+    lons2 = np.asarray(lons2, dtype=np.float64)
+    if lats1.shape != lons1.shape or lats2.shape != lons2.shape or lats1.shape != lats2.shape:
+        raise GeometryError("coordinate arrays must share the same shape")
+    phi_m = np.radians((lats1 + lats2) / 2.0)
+    x = np.radians(lons2 - lons1) * np.cos(phi_m)
+    y = np.radians(lats2 - lats1)
+    return EARTH_RADIUS_M * np.hypot(x, y)
+
+
+def point_to_many_m(lat: float, lon: float, lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
+    """Distances in metres from one point to many points (vectorised)."""
+    lats = np.asarray(lats, dtype=np.float64)
+    lons = np.asarray(lons, dtype=np.float64)
+    phi_m = np.radians((lats + lat) / 2.0)
+    x = np.radians(lons - lon) * np.cos(phi_m)
+    y = np.radians(lats - lat)
+    return EARTH_RADIUS_M * np.hypot(x, y)
+
+
+def centroid(points: Iterable[GeoPoint]) -> GeoPoint:
+    """Arithmetic centroid of a set of points (adequate at city scale)."""
+    pts = list(points)
+    if not pts:
+        raise GeometryError("cannot compute the centroid of zero points")
+    return GeoPoint(
+        sum(p.lat for p in pts) / len(pts),
+        sum(p.lon for p in pts) / len(pts),
+    )

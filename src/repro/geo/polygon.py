@@ -1,0 +1,104 @@
+"""Bounding polygons for POIs.
+
+The paper defines a POI as ``(pid, bp, lat, lon)`` where ``bp`` is a bounding
+polygon obtained from OpenStreetMap and ``(lat, lon)`` is its central point.
+This module provides the polygon primitive: point-in-polygon containment
+(ray casting), centroid and a convenience constructor for regular polygons that
+the synthetic city generator uses in place of OSM building footprints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import GeometryError
+from repro.geo.point import GeoPoint
+
+
+@dataclass(frozen=True)
+class BoundingPolygon:
+    """A simple (non self-intersecting) polygon in lat/lon space.
+
+    Vertices are stored in order; the polygon is implicitly closed (the last
+    vertex connects back to the first).
+    """
+
+    vertices: tuple[GeoPoint, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if len(self.vertices) < 3:
+            raise GeometryError("a bounding polygon needs at least 3 vertices")
+
+    @classmethod
+    def from_latlon_pairs(cls, pairs: Sequence[tuple[float, float]]) -> "BoundingPolygon":
+        """Build a polygon from ``(lat, lon)`` tuples."""
+        return cls(tuple(GeoPoint(lat, lon) for lat, lon in pairs))
+
+    @classmethod
+    def regular(cls, center: GeoPoint, radius_m: float, sides: int = 8) -> "BoundingPolygon":
+        """Build a regular polygon of the given metric radius around ``center``.
+
+        The synthetic city generator uses these as stand-ins for OSM building
+        footprints; ``radius_m`` controls the POI extent.
+        """
+        if sides < 3:
+            raise GeometryError("a regular polygon needs at least 3 sides")
+        if radius_m <= 0:
+            raise GeometryError("radius_m must be positive")
+        vertices = []
+        for k in range(sides):
+            theta = 2.0 * math.pi * k / sides
+            vertices.append(center.offset(radius_m * math.cos(theta), radius_m * math.sin(theta)))
+        return cls(tuple(vertices))
+
+    def centroid(self) -> GeoPoint:
+        """Arithmetic centroid of the vertices."""
+        n = len(self.vertices)
+        return GeoPoint(
+            sum(v.lat for v in self.vertices) / n,
+            sum(v.lon for v in self.vertices) / n,
+        )
+
+    def contains(self, lat: float, lon: float) -> bool:
+        """Ray-casting point-in-polygon test.
+
+        Points exactly on an edge are treated as inside, which matches the
+        paper's usage (a geo-tag on a POI boundary still counts as a visit).
+        """
+        n = len(self.vertices)
+        inside = False
+        j = n - 1
+        for i in range(n):
+            yi, xi = self.vertices[i].lat, self.vertices[i].lon
+            yj, xj = self.vertices[j].lat, self.vertices[j].lon
+            if _on_segment(lat, lon, yi, xi, yj, xj):
+                return True
+            intersects = ((yi > lat) != (yj > lat)) and (
+                lon < (xj - xi) * (lat - yi) / (yj - yi) + xi
+            )
+            if intersects:
+                inside = not inside
+            j = i
+        return inside
+
+    def contains_point(self, point: GeoPoint) -> bool:
+        """Point-in-polygon test for a :class:`GeoPoint`."""
+        return self.contains(point.lat, point.lon)
+
+    def bounding_box(self) -> tuple[float, float, float, float]:
+        """Return ``(min_lat, min_lon, max_lat, max_lon)``."""
+        lats = [v.lat for v in self.vertices]
+        lons = [v.lon for v in self.vertices]
+        return (min(lats), min(lons), max(lats), max(lons))
+
+
+def _on_segment(lat: float, lon: float, y1: float, x1: float, y2: float, x2: float) -> bool:
+    """Return True when (lat, lon) lies on the segment (y1,x1)-(y2,x2)."""
+    cross = (lon - x1) * (y2 - y1) - (lat - y1) * (x2 - x1)
+    if abs(cross) > 1e-12:
+        return False
+    within_x = min(x1, x2) - 1e-12 <= lon <= max(x1, x2) + 1e-12
+    within_y = min(y1, y2) - 1e-12 <= lat <= max(y1, y2) + 1e-12
+    return within_x and within_y

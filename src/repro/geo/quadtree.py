@@ -1,0 +1,323 @@
+"""A point quadtree over latitude/longitude space.
+
+The reproduction mostly uses the :class:`repro.geo.grid.UniformGridIndex` to
+accelerate point-in-POI lookups, but several higher-level pieces (the sliding
+pair window, the social co-visit miner, the local-people recommendation
+service) need *k*-nearest-neighbour and radius queries over arbitrary point
+sets whose density varies wildly between a downtown POI cluster and the city
+outskirts.  A quadtree adapts to that density where a uniform grid cannot.
+
+Distances reported by queries are great-circle metres computed with
+:func:`repro.geo.point.haversine_m`, while the tree itself splits on plain
+lat/lon rectangles — the small distortion of treating degrees as planar for
+*bucketing* never affects correctness because candidate pruning always uses a
+conservative bounding-box test.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import GeometryError
+from repro.geo.point import EARTH_RADIUS_M, haversine_m
+
+#: Default maximum number of points per leaf before it splits.
+DEFAULT_LEAF_CAPACITY = 16
+
+#: Default maximum tree depth; beyond this, leaves simply grow.
+DEFAULT_MAX_DEPTH = 24
+
+
+@dataclass(frozen=True, slots=True)
+class IndexedPoint:
+    """A point stored in the quadtree, tagged with a caller-supplied id."""
+
+    item_id: int
+    lat: float
+    lon: float
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """An axis-aligned lat/lon rectangle ``[min_lat, max_lat] x [min_lon, max_lon]``."""
+
+    min_lat: float
+    min_lon: float
+    max_lat: float
+    max_lon: float
+
+    def __post_init__(self) -> None:
+        if self.min_lat > self.max_lat or self.min_lon > self.max_lon:
+            raise GeometryError(
+                f"degenerate bounding box: ({self.min_lat}, {self.min_lon}) .. "
+                f"({self.max_lat}, {self.max_lon})"
+            )
+
+    def contains(self, lat: float, lon: float) -> bool:
+        """True when the point lies inside the rectangle (inclusive)."""
+        return self.min_lat <= lat <= self.max_lat and self.min_lon <= lon <= self.max_lon
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """True when the two rectangles overlap (inclusive)."""
+        return not (
+            other.min_lat > self.max_lat
+            or other.max_lat < self.min_lat
+            or other.min_lon > self.max_lon
+            or other.max_lon < self.min_lon
+        )
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """The rectangle midpoint as ``(lat, lon)``."""
+        return (
+            (self.min_lat + self.max_lat) / 2.0,
+            (self.min_lon + self.max_lon) / 2.0,
+        )
+
+    def min_distance_m(self, lat: float, lon: float) -> float:
+        """Lower bound on the distance from ``(lat, lon)`` to any point in the box."""
+        clamped_lat = min(max(lat, self.min_lat), self.max_lat)
+        clamped_lon = min(max(lon, self.min_lon), self.max_lon)
+        if clamped_lat == lat and clamped_lon == lon:
+            return 0.0
+        return haversine_m(lat, lon, clamped_lat, clamped_lon)
+
+    def quadrants(self) -> tuple["BoundingBox", "BoundingBox", "BoundingBox", "BoundingBox"]:
+        """Split into NW, NE, SW, SE child rectangles."""
+        mid_lat, mid_lon = self.center
+        return (
+            BoundingBox(mid_lat, self.min_lon, self.max_lat, mid_lon),  # NW
+            BoundingBox(mid_lat, mid_lon, self.max_lat, self.max_lon),  # NE
+            BoundingBox(self.min_lat, self.min_lon, mid_lat, mid_lon),  # SW
+            BoundingBox(self.min_lat, mid_lon, mid_lat, self.max_lon),  # SE
+        )
+
+
+def radius_to_bbox(lat: float, lon: float, radius_m: float) -> BoundingBox:
+    """Bounding box that conservatively covers a great-circle disc.
+
+    The latitude extent is exact; the longitude extent is widened by the
+    cosine of the latitude so the box never under-covers the disc.
+    """
+    if radius_m < 0:
+        raise GeometryError("radius must be non-negative")
+    dlat = math.degrees(radius_m / EARTH_RADIUS_M)
+    cos_lat = max(math.cos(math.radians(lat)), 1e-6)
+    dlon = math.degrees(radius_m / (EARTH_RADIUS_M * cos_lat))
+    return BoundingBox(
+        min_lat=max(lat - dlat, -90.0),
+        min_lon=max(lon - dlon, -180.0),
+        max_lat=min(lat + dlat, 90.0),
+        max_lon=min(lon + dlon, 180.0),
+    )
+
+
+class _Node:
+    """Internal quadtree node: a leaf until it overflows, then four children."""
+
+    __slots__ = ("bounds", "depth", "points", "children")
+
+    def __init__(self, bounds: BoundingBox, depth: int):
+        self.bounds = bounds
+        self.depth = depth
+        self.points: list[IndexedPoint] = []
+        self.children: list["_Node"] | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class QuadTree:
+    """A point quadtree supporting radius and k-nearest-neighbour queries.
+
+    Parameters
+    ----------
+    bounds:
+        Rectangle covering every point that will ever be inserted.  Points
+        outside it are rejected with :class:`~repro.errors.GeometryError`.
+    leaf_capacity:
+        Number of points a leaf holds before splitting.
+    max_depth:
+        Depth at which leaves stop splitting and simply accumulate points.
+    """
+
+    def __init__(
+        self,
+        bounds: BoundingBox,
+        leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+    ):
+        if leaf_capacity < 1:
+            raise GeometryError("leaf_capacity must be at least 1")
+        if max_depth < 1:
+            raise GeometryError("max_depth must be at least 1")
+        self._root = _Node(bounds, depth=0)
+        self._leaf_capacity = leaf_capacity
+        self._max_depth = max_depth
+        self._count = 0
+
+    @classmethod
+    def from_points(
+        cls,
+        points: Iterable[IndexedPoint],
+        padding_deg: float = 1e-4,
+        leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+    ) -> "QuadTree":
+        """Build a tree whose bounds tightly cover ``points`` (plus padding)."""
+        materialised = list(points)
+        if not materialised:
+            raise GeometryError("cannot build a quadtree from an empty point set")
+        lats = [p.lat for p in materialised]
+        lons = [p.lon for p in materialised]
+        bounds = BoundingBox(
+            min_lat=min(lats) - padding_deg,
+            min_lon=min(lons) - padding_deg,
+            max_lat=max(lats) + padding_deg,
+            max_lon=max(lons) + padding_deg,
+        )
+        tree = cls(bounds, leaf_capacity=leaf_capacity, max_depth=max_depth)
+        for point in materialised:
+            tree.insert(point.item_id, point.lat, point.lon)
+        return tree
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def bounds(self) -> BoundingBox:
+        """The rectangle covering every stored point."""
+        return self._root.bounds
+
+    def insert(self, item_id: int, lat: float, lon: float) -> None:
+        """Insert a point; raises if it falls outside the tree bounds."""
+        if not self._root.bounds.contains(lat, lon):
+            raise GeometryError(
+                f"point ({lat}, {lon}) lies outside the quadtree bounds {self._root.bounds}"
+            )
+        self._insert(self._root, IndexedPoint(item_id, lat, lon))
+        self._count += 1
+
+    def _insert(self, node: _Node, point: IndexedPoint) -> None:
+        while True:
+            if node.is_leaf:
+                node.points.append(point)
+                if len(node.points) > self._leaf_capacity and node.depth < self._max_depth:
+                    self._split(node)
+                return
+            node = self._child_for(node, point.lat, point.lon)
+
+    def _split(self, node: _Node) -> None:
+        node.children = [_Node(box, node.depth + 1) for box in node.bounds.quadrants()]
+        points, node.points = node.points, []
+        for point in points:
+            child = self._child_for(node, point.lat, point.lon)
+            child.points.append(point)
+
+    @staticmethod
+    def _child_for(node: _Node, lat: float, lon: float) -> _Node:
+        assert node.children is not None
+        for child in node.children:
+            if child.bounds.contains(lat, lon):
+                return child
+        # Numerical edge: the point sits exactly on a split line that rounding
+        # placed outside all four children; fall back to the nearest child.
+        return min(node.children, key=lambda c: c.bounds.min_distance_m(lat, lon))
+
+    def __iter__(self) -> Iterator[IndexedPoint]:
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield from node.points
+            else:
+                stack.extend(node.children or [])
+
+    def query_bbox(self, box: BoundingBox) -> list[IndexedPoint]:
+        """All points falling inside ``box`` (inclusive)."""
+        found: list[IndexedPoint] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.bounds.intersects(box):
+                continue
+            if node.is_leaf:
+                found.extend(p for p in node.points if box.contains(p.lat, p.lon))
+            else:
+                stack.extend(node.children or [])
+        return found
+
+    def query_radius(self, lat: float, lon: float, radius_m: float) -> list[tuple[IndexedPoint, float]]:
+        """Points within ``radius_m`` metres of ``(lat, lon)``, with distances.
+
+        Results are sorted by increasing distance.
+        """
+        box = radius_to_bbox(lat, lon, radius_m)
+        matches: list[tuple[IndexedPoint, float]] = []
+        for point in self.query_bbox(box):
+            distance = haversine_m(lat, lon, point.lat, point.lon)
+            if distance <= radius_m:
+                matches.append((point, distance))
+        matches.sort(key=lambda item: item[1])
+        return matches
+
+    def nearest(self, lat: float, lon: float, k: int = 1) -> list[tuple[IndexedPoint, float]]:
+        """The ``k`` stored points nearest to ``(lat, lon)``, best-first.
+
+        Uses best-first traversal ordered by the lower-bound distance to each
+        node's bounding box, so large parts of the tree are pruned once ``k``
+        candidates closer than the next box have been found.
+        """
+        if k < 1:
+            raise GeometryError("k must be at least 1")
+        if self._count == 0:
+            return []
+        # Heap of (lower bound distance, tie-breaker, node).
+        counter = 0
+        frontier: list[tuple[float, int, _Node]] = [(0.0, counter, self._root)]
+        best: list[tuple[float, int, IndexedPoint]] = []  # max-heap via negated distance
+
+        def worst_best() -> float:
+            return -best[0][0] if len(best) == k else math.inf
+
+        while frontier:
+            bound, _, node = heapq.heappop(frontier)
+            if bound > worst_best():
+                break
+            if node.is_leaf:
+                for point in node.points:
+                    distance = haversine_m(lat, lon, point.lat, point.lon)
+                    if distance < worst_best():
+                        counter += 1
+                        heapq.heappush(best, (-distance, counter, point))
+                        if len(best) > k:
+                            heapq.heappop(best)
+            else:
+                for child in node.children or []:
+                    counter += 1
+                    heapq.heappush(
+                        frontier,
+                        (child.bounds.min_distance_m(lat, lon), counter, child),
+                    )
+        ordered = sorted(best, key=lambda item: -item[0])
+        return [(point, -neg) for neg, _, point in ordered]
+
+    def depth(self) -> int:
+        """The maximum depth of any node currently in the tree."""
+        deepest = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            deepest = max(deepest, node.depth)
+            if not node.is_leaf:
+                stack.extend(node.children or [])
+        return deepest
+
+
+def bulk_load(points: Sequence[IndexedPoint], leaf_capacity: int = DEFAULT_LEAF_CAPACITY) -> QuadTree:
+    """Convenience wrapper building a tree sized to ``points``."""
+    return QuadTree.from_points(points, leaf_capacity=leaf_capacity)

@@ -1,0 +1,65 @@
+"""Persistence for datasets, records and fitted pipelines.
+
+* :mod:`repro.io.configs` — generic (nested) dataclass <-> dict conversion used
+  by every saver.
+* :mod:`repro.io.records_json` — JSON codecs for the paper's record types
+  (tweets, visits, timelines, profiles, pairs) and JSONL timeline files.
+* :mod:`repro.io.city` — save/load synthetic cities (POI polygons + popularity).
+* :mod:`repro.io.datasets` — save/load a full :class:`ColocationDataset` as a
+  directory of JSON + JSONL files.
+* :mod:`repro.io.pipeline` — save/load a fitted
+  :class:`repro.colocation.CoLocationPipeline` (configs, vocabulary, skip-gram
+  vectors and every network's weights).
+* :mod:`repro.io.social` — save/load friendship graphs for the §7 social
+  extension.
+"""
+
+from repro.io.city import city_from_dict, city_to_dict, load_city, save_city
+from repro.io.configs import config_from_dict, config_to_dict
+from repro.io.datasets import load_dataset, save_dataset
+from repro.io.pipeline import load_pipeline, save_pipeline
+from repro.io.social import (
+    load_social_graph,
+    save_social_graph,
+    social_graph_from_dict,
+    social_graph_to_dict,
+)
+from repro.io.records_json import (
+    pair_from_dict,
+    pair_to_dict,
+    profile_from_dict,
+    profile_to_dict,
+    read_timelines_jsonl,
+    timeline_from_dict,
+    timeline_to_dict,
+    tweet_from_dict,
+    tweet_to_dict,
+    write_timelines_jsonl,
+)
+
+__all__ = [
+    "config_to_dict",
+    "config_from_dict",
+    "tweet_to_dict",
+    "tweet_from_dict",
+    "timeline_to_dict",
+    "timeline_from_dict",
+    "profile_to_dict",
+    "profile_from_dict",
+    "pair_to_dict",
+    "pair_from_dict",
+    "write_timelines_jsonl",
+    "read_timelines_jsonl",
+    "city_to_dict",
+    "city_from_dict",
+    "save_city",
+    "load_city",
+    "save_dataset",
+    "load_dataset",
+    "save_pipeline",
+    "load_pipeline",
+    "social_graph_to_dict",
+    "social_graph_from_dict",
+    "save_social_graph",
+    "load_social_graph",
+]

@@ -1,0 +1,95 @@
+"""Save and load synthetic cities (POI polygons, categories, popularity).
+
+The city file is plain JSON so POI sets extracted from real sources (e.g. an
+OpenStreetMap dump) can be hand-written in the same format and loaded with
+:func:`load_city`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+import numpy as np
+
+from repro.data.city import City, CityConfig
+from repro.errors import DataGenerationError, GeometryError
+from repro.geo.poi import POI, POIRegistry
+from repro.geo.polygon import BoundingPolygon
+from repro.io.configs import config_from_dict, config_to_dict
+
+
+def poi_to_dict(poi: POI) -> dict[str, Any]:
+    """JSON-friendly representation of a POI."""
+    return {
+        "pid": poi.pid,
+        "name": poi.name,
+        "category": poi.category,
+        "center": [poi.center.lat, poi.center.lon],
+        "polygon": [[v.lat, v.lon] for v in poi.polygon.vertices],
+    }
+
+
+def poi_from_dict(data: dict[str, Any]) -> POI:
+    """Rebuild a POI from :func:`poi_to_dict` output."""
+    try:
+        polygon = BoundingPolygon.from_latlon_pairs([(float(lat), float(lon)) for lat, lon in data["polygon"]])
+        poi = POI.from_polygon(
+            pid=int(data["pid"]),
+            name=str(data.get("name", f"poi_{data['pid']}")),
+            polygon=polygon,
+            category=str(data.get("category", "generic")),
+        )
+    except (KeyError, TypeError, ValueError, GeometryError) as exc:
+        raise DataGenerationError(f"invalid POI record: {data!r}") from exc
+    return poi
+
+
+def city_to_dict(city: City) -> dict[str, Any]:
+    """JSON-friendly representation of a city (config, POIs, popularity)."""
+    return {
+        "config": config_to_dict(city.config),
+        "pois": [poi_to_dict(p) for p in city.registry],
+        "popularity": [float(x) for x in np.asarray(city.popularity)],
+    }
+
+
+def city_from_dict(data: dict[str, Any]) -> City:
+    """Rebuild a city from :func:`city_to_dict` output."""
+    config = config_from_dict(CityConfig, data.get("config", {}))
+    pois = [poi_from_dict(p) for p in data.get("pois", [])]
+    if not pois:
+        raise DataGenerationError("city record contains no POIs")
+    registry = POIRegistry(pois)
+    popularity = np.asarray(data.get("popularity", []), dtype=float)
+    if popularity.size != len(pois):
+        popularity = np.full(len(pois), 1.0 / len(pois))
+    return City(config=config, registry=registry, popularity=popularity)
+
+
+def save_city(city: City, path: str | pathlib.Path) -> pathlib.Path:
+    """Write a city to a JSON file; returns the path written."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(city_to_dict(city), indent=2))
+    return path
+
+
+def load_city(path: str | pathlib.Path) -> City:
+    """Load a city from a JSON file written by :func:`save_city`."""
+    path = pathlib.Path(path)
+    return city_from_dict(json.loads(path.read_text()))
+
+
+def city_from_registry(registry: POIRegistry, name: str = "ingested-city") -> City:
+    """Wrap a bare POI registry into a :class:`City` with uniform popularity.
+
+    Useful when ingesting real data: the POI set is known but no synthetic
+    popularity model applies.
+    """
+    num_pois = len(registry)
+    if num_pois == 0:
+        raise DataGenerationError("cannot build a city from an empty POI registry")
+    config = CityConfig(name=name, num_pois=num_pois)
+    return City(config=config, registry=registry, popularity=np.full(num_pois, 1.0 / num_pois))

@@ -1,0 +1,83 @@
+"""Generic (nested) dataclass <-> plain-dict conversion.
+
+The library's configuration objects (``PipelineConfig``, ``DatasetConfig`` and
+friends) are nested dataclasses of primitives and tuples.  These two helpers
+turn them into JSON-friendly dictionaries and back, preserving the nested
+structure, so savers do not need one hand-written codec per config class.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import types
+import typing
+from typing import Any, Type, TypeVar
+
+from repro.errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+def config_to_dict(config: Any) -> dict[str, Any]:
+    """Convert a (possibly nested) dataclass instance into plain dictionaries."""
+    if not dataclasses.is_dataclass(config) or isinstance(config, type):
+        raise ConfigurationError(f"config_to_dict expects a dataclass instance, got {config!r}")
+    return _encode(config)
+
+
+def _encode(value: Any) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _encode(getattr(value, f.name)) for f in dataclasses.fields(value)}
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return [_encode(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _encode(item) for key, item in value.items()}
+    return value
+
+
+def config_from_dict(cls: Type[T], data: dict[str, Any]) -> T:
+    """Rebuild a dataclass instance (recursively) from :func:`config_to_dict` output.
+
+    Unknown keys are ignored so configs saved by newer library versions still
+    load; missing keys fall back to the dataclass defaults.
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise ConfigurationError(f"config_from_dict expects a dataclass type, got {cls!r}")
+    if not isinstance(data, dict):
+        raise ConfigurationError(f"expected a dict to rebuild {cls.__name__}, got {type(data).__name__}")
+    hints = typing.get_type_hints(cls)
+    kwargs: dict[str, Any] = {}
+    for field in dataclasses.fields(cls):
+        if field.name not in data:
+            continue
+        kwargs[field.name] = _decode(hints.get(field.name, Any), data[field.name])
+    return cls(**kwargs)  # type: ignore[return-value]
+
+
+def _decode(annotation: Any, value: Any) -> Any:
+    if value is None:
+        return None
+    annotation = _strip_optional(annotation)
+    if dataclasses.is_dataclass(annotation) and isinstance(value, dict):
+        return config_from_dict(annotation, value)
+    origin = typing.get_origin(annotation)
+    if origin in (tuple, set, frozenset) and isinstance(value, list):
+        args = typing.get_args(annotation)
+        item_annotation = args[0] if args else Any
+        items = [_decode(item_annotation, item) for item in value]
+        return origin(items)
+    if origin is list and isinstance(value, list):
+        args = typing.get_args(annotation)
+        item_annotation = args[0] if args else Any
+        return [_decode(item_annotation, item) for item in value]
+    return value
+
+
+def _strip_optional(annotation: Any) -> Any:
+    """``X | None`` -> ``X`` so nested dataclasses survive optional annotations."""
+    origin = typing.get_origin(annotation)
+    if origin is typing.Union or origin is types.UnionType:
+        args = [a for a in typing.get_args(annotation) if a is not type(None)]
+        if len(args) == 1:
+            return args[0]
+    return annotation

@@ -1,0 +1,105 @@
+"""Save and load full co-location datasets.
+
+A dataset is written as a directory::
+
+    <dir>/
+      dataset.json            # name + DatasetConfig
+      city.json               # POIs, categories, popularity
+      train.jsonl.gz          # timelines of the training split
+      validation.jsonl.gz
+      test.jsonl.gz
+
+Only the raw timelines are persisted; profiles and pairs are rebuilt on load
+with the saved configuration, exactly as :func:`repro.data.build_dataset`
+builds them, so the two representations cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.data.dataset import ColocationDataset, DatasetConfig, DatasetSplit
+from repro.data.profiles import PairBuilder, ProfileBuilder
+from repro.data.store import TimelineStore
+from repro.errors import DataGenerationError
+from repro.geo.poi import POIRegistry
+from repro.io.city import load_city, save_city
+from repro.io.configs import config_from_dict, config_to_dict
+from repro.io.records_json import read_timelines_jsonl, write_timelines_jsonl
+
+#: Split names in canonical order.
+SPLITS = ("train", "validation", "test")
+
+
+def build_split(
+    name: str,
+    store: TimelineStore,
+    registry: POIRegistry,
+    config: DatasetConfig,
+    keep_unlabeled_pairs: bool,
+) -> DatasetSplit:
+    """Build one :class:`DatasetSplit` from a timeline store and a config.
+
+    This mirrors the split construction inside :func:`repro.data.build_dataset`
+    and is shared by the dataset loader and the ingest helpers.
+    """
+    profile_builder = ProfileBuilder(registry, max_history=config.max_history)
+    profiles = profile_builder.build_all(store)
+    labeled = [p for p in profiles if p.is_labeled]
+    unlabeled = [p for p in profiles if not p.is_labeled]
+    labeled_pairs, unlabeled_pairs = PairBuilder(config.pairs).build(profiles)
+    return DatasetSplit(
+        name=name,
+        store=store,
+        labeled_profiles=labeled,
+        unlabeled_profiles=unlabeled,
+        labeled_pairs=labeled_pairs,
+        unlabeled_pairs=unlabeled_pairs if keep_unlabeled_pairs else [],
+    )
+
+
+def save_dataset(dataset: ColocationDataset, directory: str | pathlib.Path) -> pathlib.Path:
+    """Write a dataset to ``directory``; returns the directory path."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = {"name": dataset.name, "config": config_to_dict(dataset.config)}
+    (directory / "dataset.json").write_text(json.dumps(manifest, indent=2))
+    save_city(dataset.city, directory / "city.json")
+    for split_name, split in zip(SPLITS, (dataset.train, dataset.validation, dataset.test)):
+        write_timelines_jsonl(split.store, directory / f"{split_name}.jsonl.gz")
+    return directory
+
+
+def load_dataset(directory: str | pathlib.Path) -> ColocationDataset:
+    """Load a dataset from a directory written by :func:`save_dataset`."""
+    directory = pathlib.Path(directory)
+    manifest_path = directory / "dataset.json"
+    if not manifest_path.exists():
+        raise DataGenerationError(f"{directory} does not contain a dataset.json manifest")
+    manifest = json.loads(manifest_path.read_text())
+    config = config_from_dict(DatasetConfig, manifest.get("config", {}))
+    city = load_city(directory / "city.json")
+
+    splits: dict[str, DatasetSplit] = {}
+    for split_name in SPLITS:
+        path = directory / f"{split_name}.jsonl.gz"
+        if not path.exists():
+            raise DataGenerationError(f"dataset directory is missing {path.name}")
+        store = TimelineStore(read_timelines_jsonl(path))
+        splits[split_name] = build_split(
+            split_name,
+            store,
+            city.registry,
+            config,
+            keep_unlabeled_pairs=(split_name == "train"),
+        )
+
+    return ColocationDataset(
+        name=manifest.get("name", city.name),
+        config=config,
+        city=city,
+        train=splits["train"],
+        validation=splits["validation"],
+        test=splits["test"],
+    )

@@ -1,0 +1,204 @@
+"""Save and load fitted :class:`repro.colocation.CoLocationPipeline` objects.
+
+A fitted pipeline is written as a directory::
+
+    <dir>/
+      pipeline.json      # PipelineConfig + text-stack settings + format version
+      city.json          # the POI registry the featurizer was trained against
+      vocabulary.json    # token list + counts
+      skipgram.npz       # input/output word vectors
+      weights.npz        # state_dicts of every network, keys prefixed by component
+
+Loading rebuilds every network from the saved configuration and restores the
+weights, so the returned pipeline predicts exactly like the one that was saved
+(dropout layers are left in eval mode).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.colocation.judge import HisRectCoLocationJudge
+from repro.colocation.onephase import OnePhaseModel
+from repro.colocation.pipeline import CoLocationPipeline, PipelineConfig
+from repro.errors import ConfigurationError, NotFittedError
+from repro.features.content import TextVectorizer
+from repro.features.hisrect import EmbeddingNetwork, HisRectFeaturizer, POIClassifier
+from repro.io.city import city_from_registry, load_city, save_city
+from repro.io.configs import config_from_dict, config_to_dict
+from repro.text.skipgram import SkipGramModel
+from repro.text.tokenize import Tokenizer, Vocabulary
+
+#: On-disk format version (bumped on incompatible layout changes).
+FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------------- saving
+
+
+def _prefixed(prefix: str, state: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    return {f"{prefix}/{key}": value for key, value in state.items()}
+
+
+def save_pipeline(pipeline: CoLocationPipeline, directory: str | pathlib.Path) -> pathlib.Path:
+    """Write a fitted pipeline to ``directory``; returns the directory path."""
+    if not getattr(pipeline, "_fitted", False):
+        raise NotFittedError("save_pipeline() requires a fitted CoLocationPipeline")
+    if pipeline.featurizer is None:
+        raise NotFittedError("the pipeline has no featurizer to save")
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    manifest: dict[str, object] = {
+        "format_version": FORMAT_VERSION,
+        "config": config_to_dict(pipeline.config),
+        "num_pois": len(pipeline.featurizer.registry),
+    }
+
+    # Text stack (absent for History-only pipelines).
+    if pipeline.vectorizer is not None and pipeline.vocabulary is not None and pipeline.skipgram is not None:
+        manifest["text_stack"] = {
+            "max_tokens": pipeline.vectorizer.max_tokens,
+            "min_tokens": pipeline.vectorizer.min_tokens,
+        }
+        vocab = pipeline.vocabulary
+        (directory / "vocabulary.json").write_text(
+            json.dumps(
+                {
+                    "id_to_token": vocab.id_to_token,
+                    "counts": {token: int(count) for token, count in vocab.counts.items()},
+                }
+            )
+        )
+        np.savez_compressed(
+            directory / "skipgram.npz",
+            input_vectors=pipeline.skipgram.embeddings,
+            output_vectors=pipeline.skipgram._output_vectors,
+        )
+
+    save_city(city_from_registry(pipeline.featurizer.registry), directory / "city.json")
+
+    weights: dict[str, np.ndarray] = {}
+    weights.update(_prefixed("featurizer", pipeline.featurizer.state_dict()))
+    if pipeline.config.mode == "one-phase":
+        if pipeline.onephase is None:
+            raise NotFittedError("one-phase pipeline has no trained model to save")
+        weights.update(_prefixed("onephase", pipeline.onephase.network.state_dict()))
+    else:
+        if pipeline.classifier is None or pipeline.embedding is None or pipeline.judge is None:
+            raise NotFittedError("two-phase pipeline is missing trained components")
+        weights.update(_prefixed("classifier", pipeline.classifier.state_dict()))
+        weights.update(_prefixed("embedding", pipeline.embedding.state_dict()))
+        weights.update(_prefixed("judge", pipeline.judge.network.state_dict()))
+    np.savez_compressed(directory / "weights.npz", **weights)
+
+    (directory / "pipeline.json").write_text(json.dumps(manifest, indent=2))
+    return directory
+
+
+# -------------------------------------------------------------------- loading
+
+
+def _split_weights(archive: np.lib.npyio.NpzFile) -> dict[str, dict[str, np.ndarray]]:
+    groups: dict[str, dict[str, np.ndarray]] = {}
+    for key in archive.files:
+        prefix, _, name = key.partition("/")
+        groups.setdefault(prefix, {})[name] = archive[key]
+    return groups
+
+
+def _load_vocabulary(path: pathlib.Path) -> Vocabulary:
+    data = json.loads(path.read_text())
+    vocab = Vocabulary()
+    for token in data["id_to_token"]:
+        vocab._add(token)
+    vocab.counts.update({token: int(count) for token, count in data.get("counts", {}).items()})
+    return vocab
+
+
+def load_pipeline(directory: str | pathlib.Path) -> CoLocationPipeline:
+    """Load a fitted pipeline from a directory written by :func:`save_pipeline`."""
+    directory = pathlib.Path(directory)
+    manifest_path = directory / "pipeline.json"
+    if not manifest_path.exists():
+        raise ConfigurationError(f"{directory} does not contain a pipeline.json manifest")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported pipeline format version {manifest.get('format_version')!r}"
+        )
+    config = config_from_dict(PipelineConfig, manifest["config"])
+    city = load_city(directory / "city.json")
+    registry = city.registry
+
+    pipeline = CoLocationPipeline(config)
+
+    # ------------------------------------------------------------- text stack
+    vectorizer = None
+    if config.hisrect.use_content:
+        text_settings = manifest.get("text_stack", {})
+        vocabulary = _load_vocabulary(directory / "vocabulary.json")
+        skipgram = SkipGramModel(vocabulary, config.skipgram)
+        with np.load(directory / "skipgram.npz") as vectors:
+            skipgram._input_vectors = vectors["input_vectors"]
+            skipgram._output_vectors = vectors["output_vectors"]
+        vectorizer = TextVectorizer(
+            vocabulary,
+            skipgram,
+            tokenizer=Tokenizer(),
+            max_tokens=int(text_settings.get("max_tokens", 16)),
+            min_tokens=int(text_settings.get("min_tokens", 4)),
+        )
+        pipeline.vocabulary = vocabulary
+        pipeline.skipgram = skipgram
+        pipeline.vectorizer = vectorizer
+
+    # --------------------------------------------------------------- networks
+    with np.load(directory / "weights.npz") as archive:
+        groups = _split_weights(archive)
+
+    featurizer = HisRectFeaturizer(registry, vectorizer, config.hisrect)
+    featurizer.load_state_dict(groups.get("featurizer", {}))
+    featurizer.eval()
+    pipeline.featurizer = featurizer
+
+    if config.mode == "one-phase":
+        onephase = OnePhaseModel(featurizer, config.onephase)
+        onephase.network.load_state_dict(groups.get("onephase", {}))
+        onephase.network.eval()
+        onephase._fitted = True
+        pipeline.onephase = onephase
+    else:
+        classifier = POIClassifier(
+            feature_dim=config.hisrect.feature_dim,
+            num_pois=int(manifest.get("num_pois", len(registry))),
+            num_layers=config.classifier_layers,
+            keep_prob=config.hisrect.keep_prob,
+            init_std=config.hisrect.init_std,
+            seed=config.seed + 1,
+        )
+        classifier.load_state_dict(groups.get("classifier", {}))
+        classifier.eval()
+        embedding = EmbeddingNetwork(
+            input_dim=config.hisrect.feature_dim,
+            embedding_dim=config.hisrect.embedding_dim,
+            num_layers=config.hisrect.num_embedding_layers,
+            normalize=True,
+            init_std=config.hisrect.init_std,
+            seed=config.seed + 2,
+        )
+        embedding.load_state_dict(groups.get("embedding", {}))
+        embedding.eval()
+        judge = HisRectCoLocationJudge(featurizer, config.judge)
+        judge.network.load_state_dict(groups.get("judge", {}))
+        judge.network.eval()
+        judge._fitted = True
+        pipeline.classifier = classifier
+        pipeline.embedding = embedding
+        pipeline.judge = judge
+
+    pipeline._fitted = True
+    return pipeline

@@ -1,0 +1,166 @@
+"""JSON codecs for the paper's record types and JSONL timeline files.
+
+The on-disk formats are deliberately plain: one JSON object per record, keyed
+by the paper's own field names, so timelines exported here can be produced by
+any external tool (or by a real Twitter crawl) and fed back through
+:mod:`repro.data.ingest`.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import pathlib
+from typing import Any, Iterable, Iterator
+
+from repro.data.records import Pair, Profile, Timeline, Tweet, Visit
+from repro.errors import DataGenerationError
+
+# --------------------------------------------------------------------- tweets
+
+
+def tweet_to_dict(tweet: Tweet) -> dict[str, Any]:
+    """JSON-friendly representation of a tweet."""
+    return {
+        "uid": tweet.uid,
+        "ts": tweet.ts,
+        "content": tweet.content,
+        "lat": tweet.lat,
+        "lon": tweet.lon,
+        "true_pid": tweet.true_pid,
+    }
+
+
+def tweet_from_dict(data: dict[str, Any]) -> Tweet:
+    """Rebuild a tweet from :func:`tweet_to_dict` output (extra keys ignored)."""
+    try:
+        return Tweet(
+            uid=int(data["uid"]),
+            ts=float(data["ts"]),
+            content=str(data.get("content", "")),
+            lat=None if data.get("lat") is None else float(data["lat"]),
+            lon=None if data.get("lon") is None else float(data["lon"]),
+            true_pid=None if data.get("true_pid") is None else int(data["true_pid"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataGenerationError(f"invalid tweet record: {data!r}") from exc
+
+
+# --------------------------------------------------------------------- visits
+
+
+def visit_to_dict(visit: Visit) -> dict[str, Any]:
+    """JSON-friendly representation of a visit."""
+    return {"ts": visit.ts, "lat": visit.lat, "lon": visit.lon}
+
+
+def visit_from_dict(data: dict[str, Any]) -> Visit:
+    """Rebuild a visit from :func:`visit_to_dict` output."""
+    try:
+        return Visit(ts=float(data["ts"]), lat=float(data["lat"]), lon=float(data["lon"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataGenerationError(f"invalid visit record: {data!r}") from exc
+
+
+# ------------------------------------------------------------------ timelines
+
+
+def timeline_to_dict(timeline: Timeline) -> dict[str, Any]:
+    """JSON-friendly representation of a timeline."""
+    return {"uid": timeline.uid, "tweets": [tweet_to_dict(t) for t in timeline.tweets]}
+
+
+def timeline_from_dict(data: dict[str, Any]) -> Timeline:
+    """Rebuild a timeline from :func:`timeline_to_dict` output."""
+    try:
+        uid = int(data["uid"])
+        tweets = tuple(tweet_from_dict(t) for t in data.get("tweets", []))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataGenerationError(f"invalid timeline record: {data!r}") from exc
+    return Timeline(uid=uid, tweets=tweets)
+
+
+# ------------------------------------------------------------------- profiles
+
+
+def profile_to_dict(profile: Profile) -> dict[str, Any]:
+    """JSON-friendly representation of a profile."""
+    return {
+        "uid": profile.uid,
+        "tweet": tweet_to_dict(profile.tweet),
+        "visit_history": [visit_to_dict(v) for v in profile.visit_history],
+        "pid": profile.pid,
+    }
+
+
+def profile_from_dict(data: dict[str, Any]) -> Profile:
+    """Rebuild a profile from :func:`profile_to_dict` output."""
+    try:
+        return Profile(
+            uid=int(data["uid"]),
+            tweet=tweet_from_dict(data["tweet"]),
+            visit_history=tuple(visit_from_dict(v) for v in data.get("visit_history", [])),
+            pid=None if data.get("pid") is None else int(data["pid"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataGenerationError(f"invalid profile record: {data!r}") from exc
+
+
+# ---------------------------------------------------------------------- pairs
+
+
+def pair_to_dict(pair: Pair) -> dict[str, Any]:
+    """JSON-friendly representation of a pair."""
+    return {
+        "left": profile_to_dict(pair.left),
+        "right": profile_to_dict(pair.right),
+        "co_label": pair.co_label,
+    }
+
+
+def pair_from_dict(data: dict[str, Any]) -> Pair:
+    """Rebuild a pair from :func:`pair_to_dict` output."""
+    try:
+        return Pair(
+            left=profile_from_dict(data["left"]),
+            right=profile_from_dict(data["right"]),
+            co_label=None if data.get("co_label") is None else int(data["co_label"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataGenerationError(f"invalid pair record: {data!r}") from exc
+
+
+# ---------------------------------------------------------------- JSONL files
+
+
+def _open_text(path: pathlib.Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def write_timelines_jsonl(timelines: Iterable[Timeline], path: str | pathlib.Path) -> int:
+    """Write timelines to a JSONL (or ``.jsonl.gz``) file; returns the count written."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with _open_text(path, "w") as handle:
+        for timeline in timelines:
+            handle.write(json.dumps(timeline_to_dict(timeline)) + "\n")
+            count += 1
+    return count
+
+
+def read_timelines_jsonl(path: str | pathlib.Path) -> Iterator[Timeline]:
+    """Yield timelines from a JSONL (or ``.jsonl.gz``) file written by this module."""
+    path = pathlib.Path(path)
+    with _open_text(path, "r") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DataGenerationError(f"{path}:{line_number}: invalid JSON") from exc
+            yield timeline_from_dict(data)

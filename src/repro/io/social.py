@@ -1,0 +1,60 @@
+"""Persistence for friendship graphs (the §7 social extension).
+
+A friendship graph is external data in a real deployment (it comes from the
+platform's follower/friend API, not from the model), so it needs its own
+save/load path: a small JSON document holding the user list and the edge
+list.  The format is deliberately trivial so crawled graphs can be produced by
+any external tool and ingested here.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.social.graph import SocialGraph
+
+#: Format marker written into every saved graph document.
+FORMAT_NAME = "repro-social-graph"
+FORMAT_VERSION = 1
+
+
+def social_graph_to_dict(graph: SocialGraph) -> dict[str, Any]:
+    """The JSON-serialisable representation of a friendship graph."""
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "users": sorted(graph),
+        "friendships": [list(edge) for edge in graph.edges()],
+    }
+
+
+def social_graph_from_dict(data: dict[str, Any]) -> SocialGraph:
+    """Rebuild a friendship graph from its dictionary representation."""
+    if data.get("format") != FORMAT_NAME:
+        raise ConfigurationError("not a repro social-graph document")
+    graph = SocialGraph(int(uid) for uid in data.get("users", []))
+    for edge in data.get("friendships", []):
+        if len(edge) != 2:
+            raise ConfigurationError(f"malformed friendship edge: {edge!r}")
+        graph.add_friendship(int(edge[0]), int(edge[1]))
+    return graph
+
+
+def save_social_graph(graph: SocialGraph, path: str | pathlib.Path) -> pathlib.Path:
+    """Write a friendship graph to a JSON file; returns the path written."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(social_graph_to_dict(graph), handle, indent=2, sort_keys=True)
+    return target
+
+
+def load_social_graph(path: str | pathlib.Path) -> SocialGraph:
+    """Read a friendship graph from a JSON file written by :func:`save_social_graph`."""
+    source = pathlib.Path(path)
+    with source.open("r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    return social_graph_from_dict(data)

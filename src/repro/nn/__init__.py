@@ -1,0 +1,103 @@
+"""Neural-network substrate: autodiff, layers, recurrent nets, losses, optimisers."""
+
+from repro.nn.autograd import Tensor, as_tensor, concatenate, stack, zeros
+from repro.nn.conv import Conv2D, TemporalConv
+from repro.nn.embedding import Embedding
+from repro.nn.gru import GRU, BiGRU, GRUCell
+from repro.nn.layers import MLP, Dropout, Linear, ReLU, Sequential, Sigmoid, Tanh, l2_normalize
+from repro.nn.normalization import BatchNorm1d, LayerNorm, RMSNorm
+from repro.nn.pooling import (
+    AttentionPooling,
+    LastState,
+    MaxOverTime,
+    MeanOverTime,
+    make_pooling,
+    softmax_over_time,
+)
+from repro.nn.losses import (
+    binary_cross_entropy_with_logits,
+    cosine_embedding_loss,
+    cosine_similarity,
+    l2_embedding_loss,
+    l2_regularization,
+    log_softmax,
+    sigmoid_probabilities,
+    softmax,
+    softmax_cross_entropy,
+)
+from repro.nn.module import Module, Parameter
+from repro.nn.gradcheck import check_module_gradients, check_tensor_gradient, max_gradient_error, numerical_gradient
+from repro.nn.optim import SGD, Adagrad, Adam, AdamW, Optimizer, RMSprop, clip_grad_norm
+from repro.nn.schedulers import (
+    CosineAnnealing,
+    ExponentialDecay,
+    InverseTimeDecay,
+    LRScheduler,
+    StepDecay,
+    WarmupWrapper,
+)
+from repro.nn.recurrent import LSTM, BiLSTM, ConvLSTM, ConvLSTMCell, LSTMCell
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concatenate",
+    "stack",
+    "zeros",
+    "Module",
+    "Parameter",
+    "Linear",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "Sequential",
+    "MLP",
+    "l2_normalize",
+    "LSTMCell",
+    "LSTM",
+    "BiLSTM",
+    "ConvLSTM",
+    "ConvLSTMCell",
+    "Conv2D",
+    "TemporalConv",
+    "softmax",
+    "log_softmax",
+    "softmax_cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "sigmoid_probabilities",
+    "cosine_similarity",
+    "cosine_embedding_loss",
+    "l2_embedding_loss",
+    "l2_regularization",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "RMSprop",
+    "Adagrad",
+    "clip_grad_norm",
+    "GRUCell",
+    "GRU",
+    "BiGRU",
+    "Embedding",
+    "LayerNorm",
+    "RMSNorm",
+    "BatchNorm1d",
+    "MeanOverTime",
+    "MaxOverTime",
+    "AttentionPooling",
+    "LastState",
+    "make_pooling",
+    "softmax_over_time",
+    "LRScheduler",
+    "InverseTimeDecay",
+    "ExponentialDecay",
+    "StepDecay",
+    "CosineAnnealing",
+    "WarmupWrapper",
+    "numerical_gradient",
+    "check_tensor_gradient",
+    "max_gradient_error",
+    "check_module_gradients",
+]

@@ -1,0 +1,407 @@
+"""A small reverse-mode automatic differentiation engine on NumPy.
+
+The paper's architecture (BiLSTM-C content encoder, fully-connected HisRect
+combiner, embedding layers, POI classifier and co-location judge) is built in
+this package from scratch since no deep-learning framework is available
+offline.  :class:`Tensor` wraps a ``numpy.ndarray`` and records the operations
+applied to it; ``Tensor.backward()`` runs reverse-mode differentiation over the
+recorded graph.
+
+Only the operations the HisRect models need are implemented, but each supports
+full NumPy broadcasting where it makes sense, and every op is covered by
+gradient-check tests in ``tests/nn``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+Array = np.ndarray
+
+
+def _as_array(value) -> Array:
+    if isinstance(value, np.ndarray):
+        return value.astype(np.float64, copy=False)
+    return np.asarray(value, dtype=np.float64)
+
+
+def _unbroadcast(grad: Array, shape: tuple[int, ...]) -> Array:
+    """Sum ``grad`` down to ``shape`` — the adjoint of NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A node in the autodiff graph.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a float64 ``numpy.ndarray``.
+    requires_grad:
+        Whether gradients should flow into this tensor.  Parameters and any
+        tensor produced from a gradient-requiring tensor have this set.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str = ""):
+        self.data: Array = _as_array(data)
+        self.grad: Array | None = None
+        self.requires_grad = bool(requires_grad)
+        self._parents: tuple[Tensor, ...] = ()
+        self._backward_fn: Callable[[Array], tuple[Array, ...]] | None = None
+        self.name = name
+
+    # ------------------------------------------------------------------ util
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> Array:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a scalar tensor as a Python float."""
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        grad_tag = ", grad" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}{grad_tag}, name={self.name!r})"
+
+    # -------------------------------------------------------------- graph ops
+    @staticmethod
+    def _make(
+        data: Array,
+        parents: Sequence["Tensor"],
+        backward_fn: Callable[[Array], tuple[Array, ...]],
+    ) -> "Tensor":
+        requires = any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward_fn = backward_fn
+        return out
+
+    def backward(self, grad: Array | None = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        ``grad`` defaults to 1.0 and is only optional for scalar outputs.
+        """
+        if not self.requires_grad:
+            raise ValueError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, Array] = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.grad is None:
+                node.grad = node_grad.copy()
+            else:
+                node.grad = node.grad + node_grad
+            if node._backward_fn is None:
+                continue
+            parent_grads = node._backward_fn(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                if id(parent) in grads:
+                    grads[id(parent)] = grads[id(parent)] + pgrad
+                else:
+                    grads[id(parent)] = pgrad
+
+    # ------------------------------------------------------------ arithmetic
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data + other.data
+
+        def backward(g: Array):
+            return (_unbroadcast(g, self.data.shape), _unbroadcast(g, other.data.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(g: Array):
+            return (-g,)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data * other.data
+
+        def backward(g: Array):
+            return (
+                _unbroadcast(g * other.data, self.data.shape),
+                _unbroadcast(g * self.data, other.data.shape),
+            )
+
+        return Tensor._make(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data / other.data
+
+        def backward(g: Array):
+            return (
+                _unbroadcast(g / other.data, self.data.shape),
+                _unbroadcast(-g * self.data / (other.data**2), other.data.shape),
+            )
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data**exponent
+
+        def backward(g: Array):
+            return (g * exponent * self.data ** (exponent - 1),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data @ other.data
+
+        def backward(g: Array):
+            grad_a = g @ np.swapaxes(other.data, -1, -2)
+            grad_b = np.swapaxes(self.data, -1, -2) @ g
+            return (
+                _unbroadcast(grad_a, self.data.shape),
+                _unbroadcast(grad_b, other.data.shape),
+            )
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def backward(g: Array):
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, g)
+            return (full,)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ----------------------------------------------------------- elementwise
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(g: Array):
+            return (g * data,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(g: Array):
+            return (g / self.data,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(g: Array):
+            return (g * (1.0 - data**2),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(g: Array):
+            return (g * data * (1.0 - data),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        data = self.data * mask
+
+        def backward(g: Array):
+            return (g * mask,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        data = np.abs(self.data)
+
+        def backward(g: Array):
+            return (g * sign,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self**0.5
+
+    # ------------------------------------------------------------ reductions
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g: Array):
+            if axis is None:
+                return (np.broadcast_to(g, self.data.shape).copy(),)
+            g_expanded = g
+            if not keepdims:
+                g_expanded = np.expand_dims(g, axis=axis)
+            return (np.broadcast_to(g_expanded, self.data.shape).copy(),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g: Array):
+            if axis is None:
+                mask = (self.data == self.data.max()).astype(np.float64)
+                mask /= mask.sum()
+                return (mask * g,)
+            expanded = data if keepdims else np.expand_dims(data, axis=axis)
+            mask = (self.data == expanded).astype(np.float64)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            g_expanded = g if keepdims else np.expand_dims(g, axis=axis)
+            return (mask * g_expanded,)
+
+        return Tensor._make(data, (self,), backward)
+
+    # --------------------------------------------------------------- reshape
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+
+        def backward(g: Array):
+            return (g.reshape(self.data.shape),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes_tuple = axes if axes else tuple(reversed(range(self.data.ndim)))
+        data = self.data.transpose(axes_tuple)
+        inverse = np.argsort(axes_tuple)
+
+        def backward(g: Array):
+            return (g.transpose(inverse),)
+
+        return Tensor._make(data, (self,), backward)
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce NumPy arrays and Python scalars into (non-grad) tensors."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along an axis, differentiably."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: Array):
+        grads = []
+        for i in range(len(tensors)):
+            slicer = [slice(None)] * g.ndim
+            slicer[axis] = slice(int(offsets[i]), int(offsets[i + 1]))
+            grads.append(g[tuple(slicer)])
+        return tuple(grads)
+
+    return Tensor._make(data, tensors, backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis, differentiably."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g: Array):
+        return tuple(np.take(g, i, axis=axis) for i in range(len(tensors)))
+
+    return Tensor._make(data, tensors, backward)
+
+
+def zeros(shape: tuple[int, ...] | int, requires_grad: bool = False) -> Tensor:
+    """A tensor of zeros."""
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def no_grad_params(tensors: Iterable[Tensor]) -> None:
+    """Clear gradients on an iterable of tensors."""
+    for tensor in tensors:
+        tensor.zero_grad()

@@ -1,0 +1,109 @@
+"""Convolution layers used by the BiLSTM-C content encoder.
+
+The paper stacks a convolution on top of the bidirectional LSTM: the forward
+and backward hidden-state sequences form a ``T x N x 2`` tensor viewed as a
+2-channel image, a ``3 x N`` filter (spanning both channels) plus a ReLU
+produce a ``(T-2) x N`` feature map, and the mean over the first dimension is
+the fixed ``N``-dimensional content feature ``Fc(r)``.
+
+:class:`Conv2D` is a general valid-mode 2-D convolution over ``(H, W, C_in)``
+inputs; :class:`TemporalConv` is the specific "3-row filter bank over time"
+instantiation the featurizer uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, concatenate
+from repro.nn.module import Module, Parameter
+
+
+class Conv2D(Module):
+    """Valid-mode 2-D convolution for channels-last inputs ``(H, W, C_in)``.
+
+    The output has shape ``(H - kh + 1, W - kw + 1, out_channels)``.  The
+    implementation loops over output positions, which is appropriate for the
+    small feature maps of this reproduction (tweets are tens of tokens).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_height: int,
+        kernel_width: int,
+        init_std: float | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if min(in_channels, out_channels, kernel_height, kernel_width) <= 0:
+            raise ValueError("convolution dimensions must be positive")
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_height = kernel_height
+        self.kernel_width = kernel_width
+        fan_in = kernel_height * kernel_width * in_channels
+        if init_std is None:
+            init_std = float(np.sqrt(2.0 / fan_in))
+        self.weight = Parameter(rng.normal(0.0, init_std, size=(fan_in, out_channels)))
+        self.bias = Parameter(np.zeros(out_channels))
+
+    def forward(self, image: Tensor) -> Tensor:
+        height, width, channels = image.shape
+        if channels != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {channels}")
+        out_h = height - self.kernel_height + 1
+        out_w = width - self.kernel_width + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError(
+                "input is smaller than the kernel: "
+                f"({height}, {width}) vs ({self.kernel_height}, {self.kernel_width})"
+            )
+        rows = []
+        for i in range(out_h):
+            cols = []
+            for j in range(out_w):
+                patch = image[i : i + self.kernel_height, j : j + self.kernel_width, :]
+                flat = patch.reshape(1, self.kernel_height * self.kernel_width * channels)
+                cols.append(flat @ self.weight + self.bias)
+            row = concatenate(cols, axis=0).reshape(1, out_w, self.out_channels)
+            rows.append(row)
+        return concatenate(rows, axis=0)
+
+
+class TemporalConv(Module):
+    """The BiLSTM-C convolution: a full-width, height-3 filter bank over time.
+
+    Consumes the ``(T, N, 2)`` stacked hidden states, applies ``N`` filters of
+    shape ``3 x N x 2`` in valid mode and returns the ``(T-2, N)`` feature map
+    (before the ReLU + mean pooling done by the content encoder).
+    """
+
+    def __init__(
+        self,
+        width: int,
+        kernel_height: int = 3,
+        init_std: float | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        self.width = width
+        self.kernel_height = kernel_height
+        self.conv = Conv2D(
+            in_channels=2,
+            out_channels=width,
+            kernel_height=kernel_height,
+            kernel_width=width,
+            init_std=init_std,
+            rng=rng,
+        )
+
+    def forward(self, stacked_states: Tensor) -> Tensor:
+        steps, width, channels = stacked_states.shape
+        if width != self.width or channels != 2:
+            raise ValueError(f"expected (T, {self.width}, 2) input, got {stacked_states.shape}")
+        feature_map = self.conv(stacked_states)  # (T - kh + 1, 1, width)
+        out_h = steps - self.kernel_height + 1
+        return feature_map.reshape(out_h, self.width)

@@ -1,0 +1,90 @@
+"""A trainable embedding lookup layer.
+
+The paper trains word vectors offline with skip-gram and keeps them frozen
+while the featurizer trains.  The reproduction also supports fine-tuning those
+vectors end-to-end: :class:`Embedding` is a plain lookup table whose rows are
+parameters, and :meth:`Embedding.from_pretrained` seeds it with skip-gram
+vectors (optionally frozen to reproduce the paper's exact setup).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.module import Module, Parameter
+
+
+class Embedding(Module):
+    """Maps integer token ids to dense vectors.
+
+    Parameters
+    ----------
+    num_embeddings:
+        Vocabulary size (number of rows).
+    embedding_dim:
+        Dimensionality of each vector.
+    init_std:
+        Standard deviation of the Gaussian initialiser.
+    rng:
+        Source of randomness for reproducible initialisation.
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        init_std: float = 0.01,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if num_embeddings <= 0 or embedding_dim <= 0:
+            raise ValueError("Embedding dimensions must be positive")
+        rng = rng or np.random.default_rng()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(rng.normal(0.0, init_std, size=(num_embeddings, embedding_dim)))
+        self._frozen = False
+
+    @classmethod
+    def from_pretrained(cls, vectors: np.ndarray, freeze: bool = True) -> "Embedding":
+        """Build a layer whose rows are ``vectors`` (e.g. skip-gram output)."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2:
+            raise ValueError("pretrained vectors must be a 2-D (vocab, dim) array")
+        layer = cls(vectors.shape[0], vectors.shape[1])
+        layer.weight.data = vectors.copy()
+        layer._frozen = freeze
+        return layer
+
+    @property
+    def frozen(self) -> bool:
+        """True when lookups bypass the autograd graph (vectors never update)."""
+        return self._frozen
+
+    def freeze(self) -> "Embedding":
+        """Stop gradient flow into the embedding table."""
+        self._frozen = True
+        return self
+
+    def unfreeze(self) -> "Embedding":
+        """Allow gradients to update the embedding table again."""
+        self._frozen = False
+        return self
+
+    def forward(self, token_ids) -> Tensor:
+        """Look up a sequence of token ids; returns a ``(T, dim)`` tensor."""
+        ids = np.asarray(token_ids, dtype=np.intp)
+        if ids.ndim != 1:
+            raise ValueError("Embedding expects a 1-D sequence of token ids")
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_embeddings):
+            raise ValueError("token id outside the embedding table")
+        if self._frozen:
+            return Tensor(self.weight.data[ids].copy())
+        return self.weight[ids]
+
+    def vector(self, token_id: int) -> np.ndarray:
+        """The current vector for one token id (a copy, never a view)."""
+        if not 0 <= token_id < self.num_embeddings:
+            raise ValueError("token id outside the embedding table")
+        return self.weight.data[token_id].copy()

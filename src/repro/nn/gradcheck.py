@@ -1,0 +1,105 @@
+"""Numerical gradient checking for the autodiff substrate.
+
+The reproduction's correctness rests on the hand-written reverse-mode engine
+in :mod:`repro.nn.autograd`; these helpers compare its gradients against
+central finite differences.  They are used by the test suite but are also
+handy when extending the engine with new operations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.module import Module, Parameter
+
+
+def numerical_gradient(
+    fn: Callable[[np.ndarray], float],
+    value: np.ndarray,
+    epsilon: float = 1e-5,
+) -> np.ndarray:
+    """Central-difference gradient of a scalar function of one array."""
+    value = np.asarray(value, dtype=np.float64)
+    grad = np.zeros_like(value)
+    flat = value.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        upper = fn(value)
+        flat[i] = original - epsilon
+        lower = fn(value)
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2.0 * epsilon)
+    return grad
+
+
+def check_tensor_gradient(
+    fn: Callable[[Tensor], Tensor],
+    value: np.ndarray,
+    epsilon: float = 1e-5,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(analytic, numerical)`` gradients of a scalar-valued tensor function."""
+    tensor = Tensor(np.asarray(value, dtype=np.float64).copy(), requires_grad=True)
+    output = fn(tensor)
+    if output.size != 1:
+        output = output.sum()
+    output.backward()
+    analytic = tensor.grad.copy()
+
+    def scalar(x: np.ndarray) -> float:
+        out = fn(Tensor(x.copy()))
+        return float(np.sum(out.data))
+
+    numerical = numerical_gradient(scalar, np.asarray(value, dtype=np.float64), epsilon=epsilon)
+    return analytic, numerical
+
+
+def max_gradient_error(
+    fn: Callable[[Tensor], Tensor],
+    value: np.ndarray,
+    epsilon: float = 1e-5,
+) -> float:
+    """Largest absolute difference between analytic and numerical gradients."""
+    analytic, numerical = check_tensor_gradient(fn, value, epsilon=epsilon)
+    return float(np.max(np.abs(analytic - numerical)))
+
+
+def check_module_gradients(
+    module: Module,
+    loss_fn: Callable[[Module], Tensor],
+    parameters: Sequence[Parameter] | None = None,
+    epsilon: float = 1e-5,
+) -> dict[str, float]:
+    """Compare analytic vs numerical gradients of a module's parameters.
+
+    ``loss_fn`` computes a scalar loss from the module (it may capture inputs
+    in a closure).  Returns the maximum absolute error per parameter name.
+    """
+    named = list(module.named_parameters())
+    if parameters is not None:
+        wanted = {id(p) for p in parameters}
+        named = [(name, p) for name, p in named if id(p) in wanted]
+
+    module.zero_grad()
+    loss = loss_fn(module)
+    loss.backward()
+    analytic = {name: (p.grad.copy() if p.grad is not None else np.zeros_like(p.data)) for name, p in named}
+
+    errors: dict[str, float] = {}
+    for name, parameter in named:
+
+        def scalar(values: np.ndarray, parameter=parameter) -> float:
+            original = parameter.data
+            parameter.data = values
+            try:
+                return float(loss_fn(module).data)
+            finally:
+                parameter.data = original
+
+        numerical = numerical_gradient(scalar, parameter.data.copy(), epsilon=epsilon)
+        errors[name] = float(np.max(np.abs(analytic[name] - numerical)))
+    return errors

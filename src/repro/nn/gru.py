@@ -1,0 +1,109 @@
+"""Gated recurrent units: GRU cell, GRU and bidirectional GRU.
+
+The paper's content encoder is a bidirectional LSTM (plus convolution —
+``BiLSTM-C``); a GRU encoder is a natural lighter-weight alternative that the
+reproduction ships as an extension approach (``BGRU`` in
+:mod:`repro.features.content`).  Interfaces mirror :mod:`repro.nn.recurrent`:
+sequences are ``(T, input_size)`` tensors processed one profile at a time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, concatenate
+from repro.nn.module import Module, Parameter
+
+
+class GRUCell(Module):
+    """A single GRU step with the standard update/reset/candidate gates."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        init_std: float | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError("GRU dimensions must be positive")
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        std_x = init_std if init_std is not None else float(np.sqrt(1.0 / input_size))
+        std_h = init_std if init_std is not None else float(np.sqrt(1.0 / hidden_size))
+        # Fused weights for the update (z) and reset (r) gates.
+        self.weight_x_zr = Parameter(rng.normal(0.0, std_x, size=(input_size, 2 * hidden_size)))
+        self.weight_h_zr = Parameter(rng.normal(0.0, std_h, size=(hidden_size, 2 * hidden_size)))
+        self.bias_zr = Parameter(np.zeros(2 * hidden_size))
+        # Candidate state weights.
+        self.weight_x_n = Parameter(rng.normal(0.0, std_x, size=(input_size, hidden_size)))
+        self.weight_h_n = Parameter(rng.normal(0.0, std_h, size=(hidden_size, hidden_size)))
+        self.bias_n = Parameter(np.zeros(hidden_size))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        """One step: ``x`` is ``(1, input_size)``, ``h`` is ``(1, hidden_size)``."""
+        gates = (x @ self.weight_x_zr + h @ self.weight_h_zr + self.bias_zr).sigmoid()
+        n = self.hidden_size
+        z_gate = gates[..., 0:n]
+        r_gate = gates[..., n : 2 * n]
+        candidate = (x @ self.weight_x_n + (r_gate * h) @ self.weight_h_n + self.bias_n).tanh()
+        return z_gate * h + (1.0 - z_gate) * candidate
+
+
+class GRU(Module):
+    """Unidirectional GRU over a ``(T, input_size)`` sequence.
+
+    Returns the ``(T, hidden_size)`` sequence of hidden states, starting from
+    a zero initial state.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        init_std: float | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        self.cell = GRUCell(input_size, hidden_size, init_std=init_std, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, sequence: Tensor, reverse: bool = False) -> Tensor:
+        steps = sequence.shape[0]
+        h = Tensor(np.zeros((1, self.hidden_size)))
+        order = range(steps - 1, -1, -1) if reverse else range(steps)
+        outputs: list[Tensor] = [None] * steps  # type: ignore[list-item]
+        for t in order:
+            x_t = sequence[t : t + 1, :]
+            h = self.cell(x_t, h)
+            outputs[t] = h
+        return concatenate(outputs, axis=0)
+
+
+class BiGRU(Module):
+    """Bidirectional GRU; concatenates forward and backward hidden states.
+
+    Output shape is ``(T, 2 * hidden_size)``, matching what the plain
+    ``BLSTM`` baseline produces so the two encoders are drop-in replacements
+    for each other.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        init_std: float | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.forward_gru = GRU(input_size, hidden_size, init_std=init_std, rng=rng)
+        self.backward_gru = GRU(input_size, hidden_size, init_std=init_std, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, sequence: Tensor) -> Tensor:
+        forward_states = self.forward_gru(sequence)
+        backward_states = self.backward_gru(sequence, reverse=True)
+        return concatenate([forward_states, backward_states], axis=-1)

@@ -1,0 +1,97 @@
+"""Loss functions used by the HisRect training objectives.
+
+* ``softmax_cross_entropy`` — the supervised POI-classification loss ``L_poi``.
+* ``binary_cross_entropy_with_logits`` — the co-location judge loss ``L_co``.
+* ``cosine_similarity`` / ``cosine_embedding_loss`` — the unsupervised SSL loss
+  ``L_u`` (the paper penalises ``a_ij * (1 - <E(F(r_i)), E(F(r_j))>)`` on
+  normalised embeddings).
+* ``l2_embedding_loss`` — the alternative unsupervised loss from §6.4.3 (the
+  Weston-style squared distance), kept for the SSL-alternatives ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax."""
+    return log_softmax(logits, axis=axis).exp()
+
+
+def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy of ``(B, C)`` logits against integer labels ``(B,)``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError("logits must be 2-D (batch, classes)")
+    if labels.ndim != 1 or labels.shape[0] != logits.shape[0]:
+        raise ValueError("labels must be 1-D and aligned with the logits batch")
+    log_probs = log_softmax(logits, axis=-1)
+    batch = logits.shape[0]
+    picked = log_probs[np.arange(batch), labels]
+    return -picked.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean binary cross-entropy of raw scores against {0, 1} targets.
+
+    Uses the stable formulation ``max(z, 0) - z*y + log(1 + exp(-|z|))``.
+    """
+    targets_t = Tensor(np.asarray(targets, dtype=np.float64))
+    zeros = logits * 0.0
+    loss = logits.relu() - logits * targets_t + ((zeros - logits.abs()).exp() + 1.0).log()
+    return loss.mean()
+
+
+def sigmoid_probabilities(logits: Tensor) -> np.ndarray:
+    """Convenience: sigmoid of detached logits as a NumPy array."""
+    return 1.0 / (1.0 + np.exp(-logits.data))
+
+
+def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Cosine similarity along ``axis``; safe for zero vectors."""
+    dot = (a * b).sum(axis=axis)
+    norm_a = ((a * a).sum(axis=axis) + eps) ** 0.5
+    norm_b = ((b * b).sum(axis=axis) + eps) ** 0.5
+    return dot / (norm_a * norm_b)
+
+
+def cosine_embedding_loss(
+    emb_a: Tensor, emb_b: Tensor, affinities: np.ndarray, axis: int = -1
+) -> Tensor:
+    """The paper's unsupervised loss ``L_u = mean_ij a_ij (1 - cos(e_i, e_j))``.
+
+    Positive affinities pull embeddings together; negative affinities (negative
+    pairs) push them apart because the ``(1 - cos)`` term then rewards
+    dissimilarity.
+    """
+    affinities_t = Tensor(np.asarray(affinities, dtype=np.float64))
+    similarity = cosine_similarity(emb_a, emb_b, axis=axis)
+    return (affinities_t * (1.0 - similarity)).mean()
+
+
+def l2_embedding_loss(emb_a: Tensor, emb_b: Tensor, affinities: np.ndarray) -> Tensor:
+    """The §6.4.3 alternative: ``mean_ij a_ij ||e_i - e_j||^2``."""
+    affinities_t = Tensor(np.asarray(affinities, dtype=np.float64))
+    diff = emb_a - emb_b
+    sq = (diff * diff).sum(axis=-1)
+    return (affinities_t * sq).mean()
+
+
+def l2_regularization(parameters, coefficient: float) -> Tensor:
+    """Sum of squared parameter values times ``coefficient``."""
+    total: Tensor | None = None
+    for param in parameters:
+        term = (param * param).sum()
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(0.0)
+    return total * coefficient

@@ -1,0 +1,109 @@
+"""Module and parameter abstractions on top of the autodiff engine.
+
+Mirrors the familiar ``torch.nn.Module`` contract at a much smaller scale:
+modules own named :class:`Parameter` tensors (and sub-modules), expose
+``parameters()`` for optimisers, and switch between training and evaluation
+mode (the paper uses dropout at train time only).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for every neural component in the reproduction."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -------------------------------------------------------------- traversal
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, recursively."""
+        for name, value in vars(self).items():
+            full_name = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield full_name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full_name}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{full_name}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full_name}.{i}.")
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters of this module and its children."""
+        return [param for _, param in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all sub-modules."""
+        yield self
+        for value in vars(self).items():
+            _, attr = value
+            if isinstance(attr, Module):
+                yield from attr.modules()
+            elif isinstance(attr, (list, tuple)):
+                for item in attr:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    # ------------------------------------------------------------------ state
+    def train(self) -> "Module":
+        """Put this module and all children into training mode."""
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Put this module and all children into evaluation mode."""
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        """Clear the gradients of every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.data.size for p in self.parameters())
+
+    # -------------------------------------------------------------- state I/O
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter value keyed by dotted name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter values produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, values in state.items():
+            if own[name].data.shape != values.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {own[name].data.shape} vs {values.shape}"
+                )
+            own[name].data = values.astype(np.float64).copy()
+
+    # ------------------------------------------------------------------ call
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)

@@ -1,0 +1,97 @@
+"""Normalisation layers: LayerNorm, RMSNorm and BatchNorm1d.
+
+The paper's architecture does not use normalisation layers, but the deeper
+configurations explored in its Table 7 (stacking more fully-connected and
+recurrent layers) are exactly where normalisation helps; the reproduction
+ships these layers so the depth ablation can also be run with normalised
+stacks.  All layers follow the reproduction's convention of operating on
+``(batch, features)`` or ``(T, features)`` shaped tensors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.module import Module, Parameter
+
+
+class LayerNorm(Module):
+    """Normalise each row to zero mean and unit variance, then scale and shift."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5):
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError("LayerNorm feature count must be positive")
+        self.num_features = num_features
+        self.eps = eps
+        self.gain = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalised = centered / ((variance + self.eps) ** 0.5)
+        return normalised * self.gain + self.bias
+
+
+class RMSNorm(Module):
+    """Root-mean-square normalisation (no mean subtraction, no bias)."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5):
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError("RMSNorm feature count must be positive")
+        self.num_features = num_features
+        self.eps = eps
+        self.gain = Parameter(np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean_square = (x * x).mean(axis=-1, keepdims=True)
+        return x / ((mean_square + self.eps) ** 0.5) * self.gain
+
+
+class BatchNorm1d(Module):
+    """Batch normalisation over the leading (batch) axis.
+
+    Keeps running estimates of the batch statistics for use at evaluation
+    time, following the usual exponential-moving-average recipe.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError("BatchNorm1d feature count must be positive")
+        if not 0.0 < momentum <= 1.0:
+            raise ValueError("momentum must be in (0, 1]")
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gain = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        # Running statistics are buffers, not parameters: they are updated in
+        # the forward pass and never receive gradients.
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2:
+            raise ValueError("BatchNorm1d expects a (batch, features) tensor")
+        if self.training:
+            batch_mean = x.mean(axis=0, keepdims=True)
+            centered = x - batch_mean
+            batch_var = (centered * centered).mean(axis=0, keepdims=True)
+            self.running_mean = (
+                (1.0 - self.momentum) * self.running_mean
+                + self.momentum * batch_mean.data.reshape(-1)
+            )
+            self.running_var = (
+                (1.0 - self.momentum) * self.running_var
+                + self.momentum * batch_var.data.reshape(-1)
+            )
+            normalised = centered / ((batch_var + self.eps) ** 0.5)
+        else:
+            centered = x - Tensor(self.running_mean.reshape(1, -1))
+            normalised = centered / Tensor(np.sqrt(self.running_var.reshape(1, -1) + self.eps))
+        return normalised * self.gain + self.bias

@@ -1,0 +1,216 @@
+"""Optimisers: SGD and mini-batch Adam with gradient clipping and decay.
+
+The paper trains its three objectives (``L_poi``, ``L_u``, ``L_co``) with three
+separate Adam optimisers, a learning rate starting at 0.01 that decays with the
+iteration count, L2 regularisation, and a hard constraint on the gradient norm
+(rescaled when it exceeds 5).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float = 5.0) -> float:
+    """Rescale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm, which training loops can log.
+    """
+    total = 0.0
+    for param in parameters:
+        if param.grad is not None:
+            total += float(np.sum(param.grad**2))
+    norm = math.sqrt(total)
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for param in parameters:
+            if param.grad is not None:
+                param.grad = param.grad * scale
+    return norm
+
+
+class Optimizer:
+    """Base optimiser holding a parameter list and shared bookkeeping."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float, weight_decay: float = 0.0):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.base_lr = lr
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def decay_lr(self, decay: float = 1e-4) -> None:
+        """Inverse-time learning-rate decay, as in the paper's training setup."""
+        self.lr = self.base_lr / (1.0 + decay * self.step_count)
+
+    def step(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr, weight_decay)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self.step_count += 1
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            velocity *= self.momentum
+            velocity -= self.lr * grad
+            param.data = param.data + velocity
+
+
+class Adam(Optimizer):
+    """Mini-batch Adam (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr, weight_decay)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self.step_count += 1
+        bias1 = 1.0 - self.beta1**self.step_count
+        bias2 = 1.0 - self.beta2**self.step_count
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class RMSprop(Optimizer):
+    """RMSprop: scale steps by a running average of squared gradients."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.001,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr, weight_decay)
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        self.alpha = alpha
+        self.eps = eps
+        self._square_avg = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self.step_count += 1
+        for param, square_avg in zip(self.parameters, self._square_avg):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            square_avg *= self.alpha
+            square_avg += (1.0 - self.alpha) * grad**2
+            param.data = param.data - self.lr * grad / (np.sqrt(square_avg) + self.eps)
+
+
+class Adagrad(Optimizer):
+    """Adagrad: per-parameter learning rates from accumulated squared gradients."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        eps: float = 1e-10,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr, weight_decay)
+        self.eps = eps
+        self._accumulated = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self.step_count += 1
+        for param, accumulated in zip(self.parameters, self._accumulated):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            accumulated += grad**2
+            param.data = param.data - self.lr * grad / (np.sqrt(accumulated) + self.eps)
+
+
+class AdamW(Optimizer):
+    """Adam with decoupled weight decay (the decay acts on the weights directly)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.001,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.01,
+    ):
+        super().__init__(parameters, lr, weight_decay)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self.step_count += 1
+        bias1 = 1.0 - self.beta1**self.step_count
+        bias2 = 1.0 - self.beta2**self.step_count
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            if self.weight_decay:
+                param.data = param.data - self.lr * self.weight_decay * param.data
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,98 @@
+"""Pooling over the time axis of recurrent-state sequences.
+
+``BiLSTM-C`` reduces its convolutional feature map with a mean over the time
+axis (paper Eq. 3).  The reproduction also offers max pooling and a learned
+attention pooling so the content-encoder ablation can compare reduction
+strategies, not just recurrent architectures.  All modules take a ``(T, N)``
+tensor and return a ``(N,)``-shaped (or ``(1, N)``) summary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+
+
+class MeanOverTime(Module):
+    """Mean of the hidden states across the time axis (the paper's reduction)."""
+
+    def forward(self, sequence: Tensor) -> Tensor:
+        return sequence.mean(axis=0)
+
+
+class MaxOverTime(Module):
+    """Element-wise maximum of the hidden states across the time axis."""
+
+    def forward(self, sequence: Tensor) -> Tensor:
+        return sequence.max(axis=0)
+
+
+def softmax_over_time(scores: Tensor) -> Tensor:
+    """Differentiable softmax of a ``(T, 1)`` (or ``(T,)``) score tensor."""
+    shifted = scores - Tensor(np.max(scores.data))
+    exponentials = shifted.exp()
+    return exponentials / exponentials.sum()
+
+
+class AttentionPooling(Module):
+    """Additive (Bahdanau-style) attention pooling over the time axis.
+
+    Each hidden state is scored with a small feed-forward scorer; the summary
+    is the attention-weighted sum of the states.  This gives the content
+    encoder a way to focus on location-bearing words ("liberty", "strip")
+    instead of averaging them together with stop-word noise.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        attention_dim: int | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError("AttentionPooling feature count must be positive")
+        rng = rng or np.random.default_rng()
+        attention_dim = attention_dim or max(num_features // 2, 1)
+        self.projection = Linear(num_features, attention_dim, rng=rng)
+        self.score = Linear(attention_dim, 1, rng=rng)
+        self.num_features = num_features
+
+    def attention_weights(self, sequence: Tensor) -> np.ndarray:
+        """The ``(T,)`` attention distribution for inspection/visualisation."""
+        scores = self.score(self.projection(sequence).tanh())
+        return softmax_over_time(scores).numpy().reshape(-1)
+
+    def forward(self, sequence: Tensor) -> Tensor:
+        scores = self.score(self.projection(sequence).tanh())  # (T, 1)
+        weights = softmax_over_time(scores)  # (T, 1)
+        weighted = sequence * weights  # broadcast over features
+        return weighted.sum(axis=0)
+
+
+class LastState(Module):
+    """Take the final hidden state as the sequence summary."""
+
+    def forward(self, sequence: Tensor) -> Tensor:
+        steps = sequence.shape[0]
+        return sequence[steps - 1 : steps, :].reshape(-1)
+
+
+def make_pooling(name: str, num_features: int, rng: np.random.Generator | None = None) -> Module:
+    """Factory mapping a pooling name to a module.
+
+    Recognised names: ``mean``, ``max``, ``attention``, ``last``.
+    """
+    normalised = name.strip().lower()
+    if normalised == "mean":
+        return MeanOverTime()
+    if normalised == "max":
+        return MaxOverTime()
+    if normalised == "attention":
+        return AttentionPooling(num_features, rng=rng)
+    if normalised == "last":
+        return LastState()
+    raise ValueError(f"unknown pooling {name!r}; expected mean, max, attention or last")

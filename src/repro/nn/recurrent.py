@@ -1,0 +1,202 @@
+"""Recurrent layers: LSTM cell, LSTM, bidirectional LSTM and a 1-D ConvLSTM.
+
+The paper encodes the word-vector sequence of a recent tweet with a
+bidirectional LSTM (plus a convolution layer on top — ``BiLSTM-C``, see
+:mod:`repro.nn.conv`), and compares against a plain ``BLSTM`` variant and a
+``ConvLSTM`` variant whose input-to-state and state-to-state transitions are
+convolutions.  Sequences are processed one profile at a time (shape ``(T, M)``)
+which keeps the implementation simple and is fast enough at the reproduction's
+laptop scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, concatenate, stack
+from repro.nn.module import Module, Parameter
+
+
+class LSTMCell(Module):
+    """A single LSTM step with the standard gate formulation."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        init_std: float | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        std_x = init_std if init_std is not None else float(np.sqrt(1.0 / input_size))
+        std_h = init_std if init_std is not None else float(np.sqrt(1.0 / hidden_size))
+        # One fused weight matrix for the four gates: input, forget, cell, output.
+        self.weight_x = Parameter(rng.normal(0.0, std_x, size=(input_size, 4 * hidden_size)))
+        self.weight_h = Parameter(rng.normal(0.0, std_h, size=(hidden_size, 4 * hidden_size)))
+        self.bias = Parameter(np.zeros(4 * hidden_size))
+
+    def forward(self, x: Tensor, h: Tensor, c: Tensor) -> tuple[Tensor, Tensor]:
+        """One step: ``x`` is ``(input_size,)`` (or ``(1, input_size)``) shaped."""
+        gates = x @ self.weight_x + h @ self.weight_h + self.bias
+        n = self.hidden_size
+        i_gate = gates[..., 0:n].sigmoid()
+        f_gate = gates[..., n : 2 * n].sigmoid()
+        g_gate = gates[..., 2 * n : 3 * n].tanh()
+        o_gate = gates[..., 3 * n : 4 * n].sigmoid()
+        c_next = f_gate * c + i_gate * g_gate
+        h_next = o_gate * c_next.tanh()
+        return h_next, c_next
+
+
+class LSTM(Module):
+    """Unidirectional LSTM over a ``(T, input_size)`` sequence.
+
+    Returns the ``(T, hidden_size)`` sequence of hidden states.  The initial
+    state is zero, matching the paper's initialisation.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        init_std: float | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, init_std=init_std, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, sequence: Tensor, reverse: bool = False) -> Tensor:
+        steps = sequence.shape[0]
+        h = Tensor(np.zeros((1, self.hidden_size)))
+        c = Tensor(np.zeros((1, self.hidden_size)))
+        order = range(steps - 1, -1, -1) if reverse else range(steps)
+        outputs: list[Tensor] = [None] * steps  # type: ignore[list-item]
+        for t in order:
+            x_t = sequence[t : t + 1, :]
+            h, c = self.cell(x_t, h, c)
+            outputs[t] = h
+        return concatenate(outputs, axis=0)
+
+
+class BiLSTM(Module):
+    """Bidirectional LSTM; concatenates forward and backward hidden states.
+
+    Output shape is ``(T, 2 * hidden_size)`` when ``stacked_channels`` is False
+    (the plain ``BLSTM`` baseline) and ``(T, hidden_size, 2)`` when True (the
+    2-channel "image" the BiLSTM-C convolution consumes).
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 1,
+        init_std: float | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        rng = rng or np.random.default_rng()
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.forward_layers = []
+        self.backward_layers = []
+        current = input_size
+        for _ in range(num_layers):
+            self.forward_layers.append(LSTM(current, hidden_size, init_std=init_std, rng=rng))
+            self.backward_layers.append(LSTM(current, hidden_size, init_std=init_std, rng=rng))
+            current = 2 * hidden_size
+
+    def forward(self, sequence: Tensor, stacked_channels: bool = False) -> Tensor:
+        current = sequence
+        fwd = bwd = None
+        for fwd_layer, bwd_layer in zip(self.forward_layers, self.backward_layers):
+            fwd = fwd_layer(current)
+            bwd = bwd_layer(current, reverse=True)
+            current = concatenate([fwd, bwd], axis=1)
+        assert fwd is not None and bwd is not None
+        if stacked_channels:
+            return stack([fwd, bwd], axis=2)
+        return current
+
+
+class ConvLSTMCell(Module):
+    """A 1-D ConvLSTM cell (Shi et al., 2015) over the feature dimension.
+
+    Input-to-state and state-to-state transitions are 1-D convolutions along
+    the word-vector dimension, so each position of the hidden state only mixes
+    nearby embedding dimensions.  This is the ``ConvLSTM`` baseline of Table 3.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        kernel_size: int = 3,
+        init_std: float | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if kernel_size % 2 == 0:
+            raise ValueError("kernel_size must be odd so padding keeps the width")
+        rng = rng or np.random.default_rng()
+        self.width = width
+        self.kernel_size = kernel_size
+        if init_std is None:
+            init_std = float(np.sqrt(1.0 / kernel_size))
+        self.weight_x = Parameter(rng.normal(0.0, init_std, size=(4, kernel_size)))
+        self.weight_h = Parameter(rng.normal(0.0, init_std, size=(4, kernel_size)))
+        self.bias = Parameter(np.zeros((4, width)))
+
+    def _conv1d(self, signal: Tensor, kernel_row: Tensor) -> Tensor:
+        """Same-padded 1-D convolution of a ``(width,)`` signal with a small kernel."""
+        pad = self.kernel_size // 2
+        padded = concatenate(
+            [Tensor(np.zeros(pad)), signal, Tensor(np.zeros(pad))], axis=0
+        )
+        taps = []
+        for k in range(self.kernel_size):
+            taps.append(padded[k : k + self.width] * kernel_row[k])
+        out = taps[0]
+        for tap in taps[1:]:
+            out = out + tap
+        return out
+
+    def forward(self, x: Tensor, h: Tensor, c: Tensor) -> tuple[Tensor, Tensor]:
+        """One step over a ``(width,)`` input."""
+        i_gate = (self._conv1d(x, self.weight_x[0]) + self._conv1d(h, self.weight_h[0]) + self.bias[0]).sigmoid()
+        f_gate = (self._conv1d(x, self.weight_x[1]) + self._conv1d(h, self.weight_h[1]) + self.bias[1]).sigmoid()
+        g_gate = (self._conv1d(x, self.weight_x[2]) + self._conv1d(h, self.weight_h[2]) + self.bias[2]).tanh()
+        o_gate = (self._conv1d(x, self.weight_x[3]) + self._conv1d(h, self.weight_h[3]) + self.bias[3]).sigmoid()
+        c_next = f_gate * c + i_gate * g_gate
+        h_next = o_gate * c_next.tanh()
+        return h_next, c_next
+
+
+class ConvLSTM(Module):
+    """Runs a :class:`ConvLSTMCell` over a ``(T, width)`` sequence."""
+
+    def __init__(
+        self,
+        width: int,
+        kernel_size: int = 3,
+        init_std: float | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        self.cell = ConvLSTMCell(width, kernel_size=kernel_size, init_std=init_std, rng=rng)
+        self.width = width
+
+    def forward(self, sequence: Tensor) -> Tensor:
+        steps = sequence.shape[0]
+        h = Tensor(np.zeros(self.width))
+        c = Tensor(np.zeros(self.width))
+        outputs = []
+        for t in range(steps):
+            h, c = self.cell(sequence[t], h, c)
+            outputs.append(h.reshape(1, self.width))
+        return concatenate(outputs, axis=0)

@@ -1,0 +1,118 @@
+"""Learning-rate schedules.
+
+The paper trains with Adam whose learning rate "decreases with the number of
+training iterations increasing"; the optimisers in :mod:`repro.nn.optim`
+implement that inverse-time decay directly (:meth:`Optimizer.decay_lr`).
+These scheduler objects offer the other common decay shapes so ablations and
+downstream users are not locked into one policy.  A scheduler wraps an
+optimiser and overwrites ``optimizer.lr`` on every :meth:`step`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.nn.optim import Optimizer
+
+
+class LRScheduler:
+    """Base class: call :meth:`step` once per optimisation step."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.base_lr
+        self.step_count = 0
+
+    def compute_lr(self, step: int) -> float:
+        """Learning rate to apply at a given step (subclasses override)."""
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one step, update the optimiser and return the new rate."""
+        self.step_count += 1
+        lr = self.compute_lr(self.step_count)
+        if lr <= 0:
+            raise ConfigurationError(f"scheduler produced non-positive learning rate {lr}")
+        self.optimizer.lr = lr
+        return lr
+
+    @property
+    def current_lr(self) -> float:
+        """The learning rate currently applied to the optimiser."""
+        return self.optimizer.lr
+
+
+class InverseTimeDecay(LRScheduler):
+    """``lr = base / (1 + decay * step)`` — the paper's policy."""
+
+    def __init__(self, optimizer: Optimizer, decay: float = 1e-3):
+        super().__init__(optimizer)
+        if decay < 0:
+            raise ConfigurationError("decay must be non-negative")
+        self.decay = decay
+
+    def compute_lr(self, step: int) -> float:
+        return self.base_lr / (1.0 + self.decay * step)
+
+
+class ExponentialDecay(LRScheduler):
+    """``lr = base * gamma ** step`` for ``gamma`` slightly below 1."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.999):
+        super().__init__(optimizer)
+        if not 0.0 < gamma <= 1.0:
+            raise ConfigurationError("gamma must lie in (0, 1]")
+        self.gamma = gamma
+
+    def compute_lr(self, step: int) -> float:
+        return self.base_lr * self.gamma**step
+
+
+class StepDecay(LRScheduler):
+    """Multiply the rate by ``factor`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int = 100, factor: float = 0.5):
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ConfigurationError("step_size must be positive")
+        if not 0.0 < factor <= 1.0:
+            raise ConfigurationError("factor must lie in (0, 1]")
+        self.step_size = step_size
+        self.factor = factor
+
+    def compute_lr(self, step: int) -> float:
+        return self.base_lr * self.factor ** (step // self.step_size)
+
+
+class CosineAnnealing(LRScheduler):
+    """Cosine decay from the base rate to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, min_lr: float = 1e-4):
+        super().__init__(optimizer)
+        if total_steps < 1:
+            raise ConfigurationError("total_steps must be positive")
+        if min_lr <= 0:
+            raise ConfigurationError("min_lr must be positive")
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def compute_lr(self, step: int) -> float:
+        progress = min(1.0, step / self.total_steps)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1.0 + math.cos(math.pi * progress))
+
+
+class WarmupWrapper(LRScheduler):
+    """Linear warm-up for ``warmup_steps`` steps, then delegate to another scheduler."""
+
+    def __init__(self, scheduler: LRScheduler, warmup_steps: int = 10):
+        super().__init__(scheduler.optimizer)
+        if warmup_steps < 0:
+            raise ConfigurationError("warmup_steps must be non-negative")
+        self.scheduler = scheduler
+        self.warmup_steps = warmup_steps
+
+    def compute_lr(self, step: int) -> float:
+        if self.warmup_steps and step <= self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        return self.scheduler.compute_lr(step - self.warmup_steps)

@@ -1,0 +1,48 @@
+"""Online co-location services built on a fitted judge.
+
+The paper motivates co-location judgement with online applications — friends
+notification, local people recommendation, community detection, followship
+measurement — and reports (Section 6.4.4) that once trained, profile
+construction and judgement run in about a millisecond, so the model "can work
+in online scenarios".  This package provides that application layer:
+
+* :class:`repro.service.stream.OnlineProfileBuilder` — turns a live tweet
+  stream into :class:`Profile` objects, maintaining each user's visit history
+  incrementally.
+* :class:`repro.service.pairing.SlidingPairWindow` — keeps the profiles seen
+  in the last Δt seconds and enumerates candidate pairs for each new profile.
+* :class:`repro.service.notification.FriendsNotificationService` — the
+  friends-notification application: feed tweets, get notifications whenever
+  two friends are judged co-located.
+* :class:`repro.service.recommendation.LocalPeopleRecommender` — local people
+  recommendation blending co-location probability with shared interests.
+* :class:`repro.service.community.CommunityDetector` — community detection
+  over the weighted co-location graph between users.
+* :class:`repro.service.followship.FollowshipAnalyzer` — followship
+  measurement: who visits a POI after whom.
+"""
+
+from repro.service.community import CommunityDetector, CommunityResult
+from repro.service.followship import FollowshipAnalyzer, FollowshipScore
+from repro.service.notification import FriendsNotificationService, Notification
+from repro.service.pairing import SlidingPairWindow
+from repro.service.recommendation import (
+    LocalPeopleRecommender,
+    Recommendation,
+    evaluate_recommender,
+)
+from repro.service.stream import OnlineProfileBuilder
+
+__all__ = [
+    "OnlineProfileBuilder",
+    "SlidingPairWindow",
+    "FriendsNotificationService",
+    "Notification",
+    "LocalPeopleRecommender",
+    "Recommendation",
+    "evaluate_recommender",
+    "CommunityDetector",
+    "CommunityResult",
+    "FollowshipAnalyzer",
+    "FollowshipScore",
+]

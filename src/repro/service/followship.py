@@ -1,0 +1,166 @@
+"""Followship measurement in the real world (paper Section 1, citing Pham & Shahabi).
+
+" 'Followship' measurement in the real world investigates when a person visits
+a POI due to the influence of another person."  The analyzer counts, for an
+ordered user pair (leader, follower), the follower's POI visits that happen
+within a trailing window after the leader visited the same POI, and reports a
+followship score normalised by the follower's total POI visits.  A permutation
+baseline (expected score when visit times are shuffled) is provided so callers
+can judge whether an observed score is above chance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.store import TimelineStore
+from repro.errors import ConfigurationError
+from repro.geo.poi import POIRegistry
+
+
+@dataclass(frozen=True, slots=True)
+class FollowshipScore:
+    """Followship of one ordered (leader, follower) user pair."""
+
+    leader_uid: int
+    follower_uid: int
+    #: Number of follower visits that trail a leader visit to the same POI.
+    followed_visits: int
+    #: Total number of follower POI visits considered.
+    total_follower_visits: int
+
+    @property
+    def score(self) -> float:
+        """Fraction of the follower's POI visits that trail the leader."""
+        if self.total_follower_visits == 0:
+            return 0.0
+        return self.followed_visits / self.total_follower_visits
+
+
+class FollowshipAnalyzer:
+    """Measure who follows whom across POIs.
+
+    Parameters
+    ----------
+    registry:
+        POI registry used to map visits onto POIs.
+    window_s:
+        A follower visit counts as "followed" when it happens strictly after a
+        leader visit to the same POI and within ``window_s`` seconds of it.
+    """
+
+    def __init__(self, registry: POIRegistry, window_s: float = 6 * 3600.0):
+        if window_s <= 0:
+            raise ConfigurationError("window_s must be positive")
+        self.registry = registry
+        self.window_s = window_s
+
+    # -------------------------------------------------------------- low level
+    def poi_events(self, visits: Sequence) -> list[tuple[int, float]]:
+        """``(pid, ts)`` events for the visits that fall inside a POI."""
+        events = []
+        for visit in visits:
+            poi = self.registry.locate(visit.lat, visit.lon)
+            if poi is not None:
+                events.append((poi.pid, visit.ts))
+        events.sort(key=lambda event: event[1])
+        return events
+
+    def score_pair(self, leader_visits: Sequence, follower_visits: Sequence, leader_uid: int = -1, follower_uid: int = -1) -> FollowshipScore:
+        """Followship score of one ordered (leader, follower) visit-history pair."""
+        leader_events = self.poi_events(leader_visits)
+        follower_events = self.poi_events(follower_visits)
+        leader_by_poi: dict[int, list[float]] = {}
+        for pid, ts in leader_events:
+            leader_by_poi.setdefault(pid, []).append(ts)
+        followed = 0
+        for pid, follower_ts in follower_events:
+            timestamps = leader_by_poi.get(pid)
+            if not timestamps:
+                continue
+            if any(0.0 < follower_ts - leader_ts <= self.window_s for leader_ts in timestamps):
+                followed += 1
+        return FollowshipScore(
+            leader_uid=leader_uid,
+            follower_uid=follower_uid,
+            followed_visits=followed,
+            total_follower_visits=len(follower_events),
+        )
+
+    def expected_score(
+        self,
+        leader_visits: Sequence,
+        follower_visits: Sequence,
+        num_permutations: int = 20,
+        seed: int = 61,
+    ) -> float:
+        """Mean followship score with follower visit times shuffled.
+
+        Shuffling destroys the temporal ordering while keeping both users'
+        POI marginals, so the result estimates how much followship would be
+        observed by coincidence alone.
+        """
+        follower_events = self.poi_events(follower_visits)
+        if not follower_events:
+            return 0.0
+        rng = np.random.default_rng(seed)
+        leader_events = self.poi_events(leader_visits)
+        leader_by_poi: dict[int, list[float]] = {}
+        for pid, ts in leader_events:
+            leader_by_poi.setdefault(pid, []).append(ts)
+        timestamps = np.array([ts for _, ts in follower_events])
+        pids = [pid for pid, _ in follower_events]
+        scores = []
+        for _ in range(num_permutations):
+            shuffled = rng.permutation(timestamps)
+            followed = 0
+            for pid, follower_ts in zip(pids, shuffled):
+                leader_ts_list = leader_by_poi.get(pid)
+                if not leader_ts_list:
+                    continue
+                if any(0.0 < follower_ts - leader_ts <= self.window_s for leader_ts in leader_ts_list):
+                    followed += 1
+            scores.append(followed / len(follower_events))
+        return float(np.mean(scores))
+
+    # ------------------------------------------------------------- store level
+    def analyze_store(
+        self,
+        store: TimelineStore,
+        min_score: float = 0.0,
+        min_followed_visits: int = 1,
+        top_k: int | None = None,
+    ) -> list[FollowshipScore]:
+        """Followship scores for every ordered user pair in a timeline store.
+
+        Pairs are filtered to those with at least ``min_followed_visits``
+        followed visits and a score of at least ``min_score``; the result is
+        sorted by decreasing score (ties broken by follower visit volume).
+        """
+        histories = {
+            timeline.uid: [
+                visit for visit in timeline.visits_before(float("inf"))
+            ]
+            for timeline in store
+        }
+        user_ids = sorted(histories)
+        results: list[FollowshipScore] = []
+        for leader_uid in user_ids:
+            for follower_uid in user_ids:
+                if leader_uid == follower_uid:
+                    continue
+                score = self.score_pair(
+                    histories[leader_uid],
+                    histories[follower_uid],
+                    leader_uid=leader_uid,
+                    follower_uid=follower_uid,
+                )
+                if score.followed_visits >= min_followed_visits and score.score >= min_score:
+                    results.append(score)
+        results.sort(key=lambda s: (-s.score, -s.total_follower_visits, s.leader_uid, s.follower_uid))
+        if top_k is not None:
+            results = results[:top_k]
+        return results

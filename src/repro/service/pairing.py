@@ -1,0 +1,94 @@
+"""Candidate-pair enumeration over a sliding Δt window.
+
+Definition 5 only pairs profiles whose timestamps differ by less than Δt, so
+an online service never needs to compare a new profile against anything older
+than Δt.  :class:`SlidingPairWindow` keeps exactly that window and, for each
+new profile, yields the candidate pairs against every retained profile of a
+different user — optionally pre-filtered by a spatial gate for geo-tagged
+profiles (two users tweeting 30 km apart cannot be co-located at one POI).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.data.records import Pair, Profile
+from repro.errors import ConfigurationError
+from repro.geo.point import equirectangular_m
+
+
+class SlidingPairWindow:
+    """Maintains recent profiles and enumerates Δt-compatible candidate pairs.
+
+    Parameters
+    ----------
+    delta_t:
+        The co-location window in seconds (paper default: one hour).
+    max_distance_m:
+        Optional spatial gate: when both profiles are geo-tagged and further
+        apart than this, the pair is skipped.  ``None`` disables the gate
+        (non-geo-tagged profiles are never gated).
+    max_profiles:
+        Hard cap on retained profiles, protecting memory under bursty streams.
+    """
+
+    def __init__(
+        self,
+        delta_t: float = 3600.0,
+        max_distance_m: float | None = None,
+        max_profiles: int = 10_000,
+    ):
+        if delta_t <= 0:
+            raise ConfigurationError("delta_t must be positive")
+        if max_profiles < 1:
+            raise ConfigurationError("max_profiles must be positive")
+        self.delta_t = delta_t
+        self.max_distance_m = max_distance_m
+        self.max_profiles = max_profiles
+        self._window: deque[Profile] = deque()
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    @property
+    def profiles(self) -> list[Profile]:
+        """The profiles currently retained, oldest first."""
+        return list(self._window)
+
+    def _evict(self, now_ts: float) -> None:
+        while self._window and now_ts - self._window[0].ts >= self.delta_t:
+            self._window.popleft()
+        # Keep room for the profile about to be appended.
+        while len(self._window) >= self.max_profiles:
+            self._window.popleft()
+
+    def _spatially_compatible(self, left: Profile, right: Profile) -> bool:
+        if self.max_distance_m is None:
+            return True
+        if left.lat is None or right.lat is None or left.lon is None or right.lon is None:
+            return True
+        distance = equirectangular_m(left.lat, left.lon, right.lat, right.lon)
+        return distance <= self.max_distance_m
+
+    def add(self, profile: Profile) -> list[Pair]:
+        """Add a profile and return its candidate pairs against the window.
+
+        Pairs follow Definition 5: different users, time gap strictly below
+        Δt.  The new profile is retained for future candidates.
+        """
+        self._evict(profile.ts)
+        candidates: list[Pair] = []
+        for other in self._window:
+            if other.uid == profile.uid:
+                continue
+            if abs(profile.ts - other.ts) >= self.delta_t:
+                continue
+            if not self._spatially_compatible(profile, other):
+                continue
+            candidates.append(Pair(left=other, right=profile, co_label=None))
+        self._window.append(profile)
+        return candidates
+
+    def clear(self) -> None:
+        """Drop every retained profile."""
+        self._window.clear()

@@ -1,0 +1,97 @@
+"""Incremental profile construction from a live tweet stream.
+
+The offline :class:`repro.data.profiles.ProfileBuilder` needs the whole
+timeline up front; an online service sees tweets one at a time.
+:class:`OnlineProfileBuilder` keeps a bounded per-user visit history and
+builds the profile for each incoming tweet from the state accumulated so far,
+mirroring Definition 4: the visit history contains only visits *before* the
+recent tweet.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.data.records import Profile, Tweet, Visit
+from repro.errors import DataGenerationError
+from repro.geo.poi import POIRegistry
+
+
+class OnlineProfileBuilder:
+    """Builds profiles from tweets arriving in timestamp order.
+
+    Parameters
+    ----------
+    registry:
+        The POI set ``P``; geo-tagged tweets inside a POI polygon produce
+        labelled profiles (their ``pid`` is set).
+    max_history:
+        Cap on the per-user visit history carried by emitted profiles.
+    enforce_order:
+        When True (default), a tweet older than the user's latest seen tweet
+        raises :class:`DataGenerationError` — out-of-order delivery would
+        silently corrupt visit histories.
+    """
+
+    def __init__(
+        self,
+        registry: POIRegistry,
+        max_history: int = 64,
+        enforce_order: bool = True,
+    ):
+        if max_history < 0:
+            raise DataGenerationError("max_history must be non-negative")
+        self.registry = registry
+        self.max_history = max_history
+        self.enforce_order = enforce_order
+        self._histories: dict[int, deque[Visit]] = {}
+        self._last_ts: dict[int, float] = {}
+        self._profiles_built = 0
+
+    # ------------------------------------------------------------------ state
+    @property
+    def num_users(self) -> int:
+        """Number of distinct users seen so far."""
+        return len(self._last_ts)
+
+    @property
+    def profiles_built(self) -> int:
+        """Number of profiles emitted so far."""
+        return self._profiles_built
+
+    def history(self, uid: int) -> tuple[Visit, ...]:
+        """The visit history currently held for a user."""
+        return tuple(self._histories.get(uid, ()))
+
+    # ---------------------------------------------------------------- consume
+    def consume(self, tweet: Tweet) -> Profile:
+        """Ingest one tweet and return the profile it defines.
+
+        The profile's visit history reflects only tweets consumed *before*
+        this one; if the tweet is geo-tagged it is added to the user's history
+        afterwards, ready for the next profile.
+        """
+        last = self._last_ts.get(tweet.uid)
+        if self.enforce_order and last is not None and tweet.ts < last:
+            raise DataGenerationError(
+                f"tweet for user {tweet.uid} at ts={tweet.ts} arrived after ts={last}"
+            )
+        self._last_ts[tweet.uid] = max(tweet.ts, last) if last is not None else tweet.ts
+
+        history = tuple(self._histories.get(tweet.uid, ()))
+        pid = None
+        if tweet.is_geotagged:
+            poi = self.registry.locate(tweet.lat, tweet.lon)  # type: ignore[arg-type]
+            if poi is not None:
+                pid = poi.pid
+        profile = Profile(uid=tweet.uid, tweet=tweet, visit_history=history, pid=pid)
+        self._profiles_built += 1
+
+        if tweet.is_geotagged:
+            bucket = self._histories.setdefault(tweet.uid, deque(maxlen=self.max_history or None))
+            bucket.append(Visit(ts=tweet.ts, lat=tweet.lat, lon=tweet.lon))  # type: ignore[arg-type]
+        return profile
+
+    def consume_many(self, tweets: list[Tweet]) -> list[Profile]:
+        """Ingest tweets in order and return their profiles."""
+        return [self.consume(tweet) for tweet in sorted(tweets, key=lambda t: t.ts)]

@@ -1,0 +1,23 @@
+"""Social extension (paper Section 7 future work): friendship graphs, pair features, stacked judge."""
+
+from repro.social.features import FEATURE_NAMES, SocialFeatureExtractor, SocialPairFeatures
+from repro.social.graph import (
+    SocialGraph,
+    SocialGraphConfig,
+    covisit_overlap,
+    generate_social_graph,
+)
+from repro.social.judge import SocialCoLocationJudge, SocialJudgeConfig, SocialJudgeHistory
+
+__all__ = [
+    "SocialGraph",
+    "SocialGraphConfig",
+    "generate_social_graph",
+    "covisit_overlap",
+    "SocialFeatureExtractor",
+    "SocialPairFeatures",
+    "FEATURE_NAMES",
+    "SocialCoLocationJudge",
+    "SocialJudgeConfig",
+    "SocialJudgeHistory",
+]

@@ -1,0 +1,147 @@
+"""A co-location judge augmented with social and frequent-pattern features.
+
+The paper's future-work section suggests that social relationships and shared
+visit patterns could strengthen co-location judgement.  This module stacks a
+small logistic layer on top of an already-trained HisRect judge: the stacked
+model sees the base judge's logit plus the :class:`SocialFeatureExtractor`
+features and learns how much to trust each signal.  Keeping the base judge
+frozen mirrors how the paper trains the judge on top of a frozen featurizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.records import Pair
+from repro.errors import NotFittedError, TrainingError
+from repro.nn import Adam, Linear, Tensor, binary_cross_entropy_with_logits, clip_grad_norm
+from repro.social.features import SocialFeatureExtractor
+
+
+@dataclass
+class SocialJudgeConfig:
+    """Hyperparameters of the stacked social judge."""
+
+    epochs: int = 40
+    learning_rate: float = 0.05
+    weight_decay: float = 1e-4
+    batch_size: int = 64
+    grad_clip: float = 5.0
+    threshold: float = 0.5
+    seed: int = 53
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise TrainingError("epochs must be at least 1")
+        if not 0.0 < self.threshold < 1.0:
+            raise TrainingError("threshold must be in (0, 1)")
+
+
+@dataclass
+class SocialJudgeHistory:
+    """Loss trace of the stacked-model training."""
+
+    losses: list[float] = field(default_factory=list)
+
+
+def _logit(probabilities: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    clipped = np.clip(probabilities, eps, 1.0 - eps)
+    return np.log(clipped / (1.0 - clipped))
+
+
+class SocialCoLocationJudge:
+    """Stack social features on top of a trained base co-location judge.
+
+    ``base_judge`` is anything exposing ``predict_proba(pairs) -> np.ndarray``
+    (the HisRect judge, the One-phase model or the pipeline itself).
+    """
+
+    def __init__(
+        self,
+        base_judge,
+        extractor: SocialFeatureExtractor,
+        config: SocialJudgeConfig | None = None,
+    ):
+        self.base_judge = base_judge
+        self.extractor = extractor
+        self.config = config or SocialJudgeConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        # +1 for the base judge's logit.
+        self.stacker = Linear(extractor.feature_dim + 1, 1, init_std=0.01, rng=self._rng)
+        self._feature_mean: np.ndarray | None = None
+        self._feature_std: np.ndarray | None = None
+        self._fitted = False
+
+    # ---------------------------------------------------------------- features
+    def _design_matrix(self, pairs: list[Pair]) -> np.ndarray:
+        base_logits = _logit(np.asarray(self.base_judge.predict_proba(pairs), dtype=float))
+        social = self.extractor.featurize_pairs(pairs)
+        if self._feature_mean is not None and self._feature_std is not None:
+            social = (social - self._feature_mean) / self._feature_std
+        return np.column_stack([base_logits, social])
+
+    # ---------------------------------------------------------------- training
+    def fit(self, labeled_pairs: list[Pair]) -> SocialJudgeHistory:
+        """Train the stacking layer on labelled pairs (base judge stays frozen)."""
+        labeled = [p for p in labeled_pairs if p.is_labeled]
+        positives = [p for p in labeled if p.is_positive]
+        negatives = [p for p in labeled if p.is_negative]
+        if not positives or not negatives:
+            raise TrainingError("social judge training needs both positive and negative pairs")
+
+        raw_social = self.extractor.featurize_pairs(labeled)
+        self._feature_mean = raw_social.mean(axis=0)
+        std = raw_social.std(axis=0)
+        std[std < 1e-8] = 1.0
+        self._feature_std = std
+
+        design = self._design_matrix(labeled)
+        labels = np.array([p.co_label for p in labeled], dtype=np.float64)
+
+        cfg = self.config
+        optimizer = Adam(self.stacker.parameters(), lr=cfg.learning_rate, weight_decay=cfg.weight_decay)
+        history = SocialJudgeHistory()
+        num_rows = design.shape[0]
+        for _ in range(cfg.epochs):
+            order = self._rng.permutation(num_rows)
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, num_rows, cfg.batch_size):
+                index = order[start : start + cfg.batch_size]
+                logits = self.stacker(Tensor(design[index])).reshape(len(index))
+                loss = binary_cross_entropy_with_logits(logits, labels[index])
+                self.stacker.zero_grad()
+                loss.backward()
+                clip_grad_norm(optimizer.parameters, cfg.grad_clip)
+                optimizer.step()
+                epoch_loss += loss.item()
+                batches += 1
+            history.losses.append(epoch_loss / max(1, batches))
+        self._fitted = True
+        return history
+
+    # --------------------------------------------------------------- inference
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError("the social co-location judge has not been fitted")
+
+    def predict_proba(self, pairs: list[Pair]) -> np.ndarray:
+        """Co-location probability for each pair, blending HisRect and social signals."""
+        self._require_fitted()
+        if not pairs:
+            return np.zeros(0)
+        logits = self.stacker(Tensor(self._design_matrix(pairs))).data.reshape(-1)
+        return 1.0 / (1.0 + np.exp(-logits))
+
+    def predict(self, pairs: list[Pair]) -> np.ndarray:
+        """Binary co-location decisions (1 = co-located)."""
+        return (self.predict_proba(pairs) >= self.config.threshold).astype(int)
+
+    def feature_weights(self) -> dict[str, float]:
+        """Learned weight per input signal (useful for interpreting the blend)."""
+        self._require_fitted()
+        weights = self.stacker.weight.data.reshape(-1)
+        names = ("base_logit",) + self.extractor.feature_names
+        return {name: float(weight) for name, weight in zip(names, weights)}

@@ -1,0 +1,19 @@
+"""Semi-supervised learning: affinity graph and the Algorithm 1 trainer."""
+
+from repro.ssl.affinity import AffinityConfig, AffinityGraphBuilder, WeightedPair
+from repro.ssl.trainer import (
+    SSLTrainingConfig,
+    SemiSupervisedHisRectTrainer,
+    TrainingHistory,
+    UNSUPERVISED_LOSSES,
+)
+
+__all__ = [
+    "AffinityConfig",
+    "AffinityGraphBuilder",
+    "WeightedPair",
+    "SSLTrainingConfig",
+    "SemiSupervisedHisRectTrainer",
+    "TrainingHistory",
+    "UNSUPERVISED_LOSSES",
+]

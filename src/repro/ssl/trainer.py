@@ -1,0 +1,228 @@
+"""Semi-supervised HisRect training (Algorithm 1 of the paper).
+
+The trainer jointly optimises three networks:
+
+* the HisRect featurizer ``F``,
+* the POI classifier ``P`` (supervised loss ``L_poi``, cross-entropy over the
+  labelled profiles ``R_L``),
+* the embedding ``E`` (unsupervised loss ``L_u`` over the affinity-weighted
+  pairs ``Γ_L ∪ Γ_U``).
+
+Each iteration flips a biased coin with ``P(supervised) = |R_L| / Ω`` where
+``Ω = |R_L| + |Γ_L ∪ Γ_U|`` and takes one Adam step on the sampled objective,
+exactly as Algorithm 1 prescribes.  Setting ``use_unlabeled=False`` recovers
+the *HisRect-SL* supervised-only ablation; ``unsupervised_loss`` switches to
+the §6.4.3 alternatives (squared L2 distance, or cosine on the raw features
+without the embedding ``E``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.records import Pair, Profile
+from repro.errors import TrainingError
+from repro.features.hisrect import EmbeddingNetwork, HisRectFeaturizer, POIClassifier
+from repro.geo.poi import POIRegistry
+from repro.nn.losses import (
+    cosine_embedding_loss,
+    l2_embedding_loss,
+    softmax_cross_entropy,
+)
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.ssl.affinity import AffinityConfig, AffinityGraphBuilder, WeightedPair
+
+#: Valid values of ``SSLTrainingConfig.unsupervised_loss``.
+UNSUPERVISED_LOSSES = ("cosine", "l2", "cosine-noembed")
+
+
+@dataclass
+class SSLTrainingConfig:
+    """Hyper-parameters of the semi-supervised featurizer training."""
+
+    batch_size: int = 8
+    max_iterations: int = 240
+    learning_rate: float = 0.01
+    weight_decay: float = 1e-5
+    grad_clip: float = 5.0
+    lr_decay: float = 1e-3
+    #: When False, only the supervised POI loss is used (the HisRect-SL ablation).
+    use_unlabeled: bool = True
+    #: ``"cosine"`` (paper), ``"l2"`` or ``"cosine-noembed"`` (§6.4.3 alternatives).
+    unsupervised_loss: str = "cosine"
+    #: Fraction of negative + unlabelled pairs kept in the sampling pool per
+    #: epoch (the paper uses 1/10 to counter the class imbalance).
+    hard_pair_fraction: float = 0.1
+    #: Stop early when the moving-average losses change less than this.
+    convergence_tolerance: float = 1e-4
+    seed: int = 67
+
+    def __post_init__(self) -> None:
+        if self.unsupervised_loss not in UNSUPERVISED_LOSSES:
+            raise TrainingError(
+                f"unsupervised_loss must be one of {UNSUPERVISED_LOSSES}, got {self.unsupervised_loss!r}"
+            )
+        if self.batch_size < 1 or self.max_iterations < 1:
+            raise TrainingError("batch_size and max_iterations must be positive")
+
+
+@dataclass
+class TrainingHistory:
+    """Loss traces recorded during training."""
+
+    poi_losses: list[float] = field(default_factory=list)
+    unsupervised_losses: list[float] = field(default_factory=list)
+    iterations: int = 0
+
+    @property
+    def final_poi_loss(self) -> float | None:
+        return self.poi_losses[-1] if self.poi_losses else None
+
+    @property
+    def final_unsupervised_loss(self) -> float | None:
+        return self.unsupervised_losses[-1] if self.unsupervised_losses else None
+
+
+class SemiSupervisedHisRectTrainer:
+    """Trains ``F``, ``P`` and ``E`` per Algorithm 1."""
+
+    def __init__(
+        self,
+        featurizer: HisRectFeaturizer,
+        classifier: POIClassifier,
+        embedding: EmbeddingNetwork,
+        registry: POIRegistry,
+        config: SSLTrainingConfig | None = None,
+        affinity_config: AffinityConfig | None = None,
+    ):
+        self.featurizer = featurizer
+        self.classifier = classifier
+        self.embedding = embedding
+        self.registry = registry
+        self.config = config or SSLTrainingConfig()
+        self.affinity = AffinityGraphBuilder(registry, affinity_config)
+        self._rng = np.random.default_rng(self.config.seed)
+
+        cfg = self.config
+        self._poi_optimizer = Adam(
+            self.featurizer.parameters() + self.classifier.parameters(),
+            lr=cfg.learning_rate,
+            weight_decay=cfg.weight_decay,
+        )
+        self._embed_optimizer = Adam(
+            self.featurizer.parameters() + self.embedding.parameters(),
+            lr=cfg.learning_rate,
+            weight_decay=cfg.weight_decay,
+        )
+
+    # ------------------------------------------------------------------ steps
+    def _poi_step(self, profiles: list[Profile]) -> float:
+        labels = np.array([self.registry.index_of(p.pid) for p in profiles], dtype=np.int64)
+        features = self.featurizer(profiles)
+        logits = self.classifier(features)
+        loss = softmax_cross_entropy(logits, labels)
+        self.featurizer.zero_grad()
+        self.classifier.zero_grad()
+        loss.backward()
+        params = self._poi_optimizer.parameters
+        clip_grad_norm(params, self.config.grad_clip)
+        self._poi_optimizer.decay_lr(self.config.lr_decay)
+        self._poi_optimizer.step()
+        return loss.item()
+
+    def _pair_step(self, weighted_pairs: list[WeightedPair]) -> float:
+        lefts = [wp.pair.left for wp in weighted_pairs]
+        rights = [wp.pair.right for wp in weighted_pairs]
+        weights = np.array([wp.weight for wp in weighted_pairs])
+        left_features = self.featurizer(lefts)
+        right_features = self.featurizer(rights)
+        mode = self.config.unsupervised_loss
+        if mode == "cosine":
+            left_emb = self.embedding(left_features)
+            right_emb = self.embedding(right_features)
+            loss = cosine_embedding_loss(left_emb, right_emb, weights)
+        elif mode == "l2":
+            left_emb = self.embedding(left_features)
+            right_emb = self.embedding(right_features)
+            loss = l2_embedding_loss(left_emb, right_emb, weights)
+        else:  # cosine-noembed: cosine loss directly on the HisRect features
+            loss = cosine_embedding_loss(left_features, right_features, weights)
+        self.featurizer.zero_grad()
+        self.embedding.zero_grad()
+        loss.backward()
+        params = self._embed_optimizer.parameters
+        clip_grad_norm(params, self.config.grad_clip)
+        self._embed_optimizer.decay_lr(self.config.lr_decay)
+        self._embed_optimizer.step()
+        return loss.item()
+
+    # ------------------------------------------------------------------ train
+    def _build_pair_pool(
+        self, labeled_pairs: list[Pair], unlabeled_pairs: list[Pair]
+    ) -> list[WeightedPair]:
+        positives = [p for p in labeled_pairs if p.is_positive]
+        others = [p for p in labeled_pairs if not p.is_positive] + (
+            unlabeled_pairs if self.config.use_unlabeled else []
+        )
+        fraction = self.config.hard_pair_fraction
+        if 0.0 < fraction < 1.0 and others:
+            keep = max(1, int(round(len(others) * fraction)))
+            indices = self._rng.choice(len(others), size=keep, replace=False)
+            others = [others[int(i)] for i in indices]
+        pool = self.affinity.build(
+            positives + [p for p in others if p.is_labeled],
+            [p for p in others if not p.is_labeled],
+        )
+        return [wp for wp in pool if wp.weight != 0.0]
+
+    def train(
+        self,
+        labeled_profiles: list[Profile],
+        labeled_pairs: list[Pair],
+        unlabeled_pairs: list[Pair] | None = None,
+    ) -> TrainingHistory:
+        """Run Algorithm 1 and return the loss history."""
+        unlabeled_pairs = unlabeled_pairs or []
+        if not labeled_profiles:
+            raise TrainingError("semi-supervised training needs labelled profiles")
+        pool = self._build_pair_pool(labeled_pairs, unlabeled_pairs)
+        use_pairs = bool(pool)
+
+        cfg = self.config
+        omega = len(labeled_profiles) + len(pool)
+        gamma_poi = len(labeled_profiles) / omega if use_pairs else 1.0
+
+        history = TrainingHistory()
+        self.featurizer.train()
+        self.classifier.train()
+        self.embedding.train()
+        for _ in range(cfg.max_iterations):
+            history.iterations += 1
+            if self._rng.random() < gamma_poi or not use_pairs:
+                batch_idx = self._rng.choice(
+                    len(labeled_profiles), size=min(cfg.batch_size, len(labeled_profiles)), replace=False
+                )
+                batch = [labeled_profiles[int(i)] for i in batch_idx]
+                history.poi_losses.append(self._poi_step(batch))
+            else:
+                batch_idx = self._rng.choice(
+                    len(pool), size=min(cfg.batch_size, len(pool)), replace=False
+                )
+                batch = [pool[int(i)] for i in batch_idx]
+                history.unsupervised_losses.append(self._pair_step(batch))
+            if self._converged(history):
+                break
+        self.featurizer.eval()
+        self.classifier.eval()
+        self.embedding.eval()
+        return history
+
+    def _converged(self, history: TrainingHistory, window: int = 20) -> bool:
+        losses = history.poi_losses
+        if len(losses) < 2 * window:
+            return False
+        recent = float(np.mean(losses[-window:]))
+        previous = float(np.mean(losses[-2 * window : -window]))
+        return abs(previous - recent) < self.config.convergence_tolerance

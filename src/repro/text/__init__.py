@@ -1,0 +1,39 @@
+"""Text substrate: tokenisation, vocabularies, n-grams, TF-IDF and word vectors."""
+
+from repro.text.cbow import CBOWConfig, CBOWModel
+from repro.text.ngrams import (
+    TfidfConfig,
+    TfidfVectorizer,
+    cosine_similarity_matrix,
+    document_similarity,
+    extract_all_ngrams,
+    extract_ngrams,
+    ngram_counts,
+)
+from repro.text.skipgram import SkipGramConfig, SkipGramModel
+from repro.text.tokenize import (
+    DEFAULT_STOPWORDS,
+    STOPWORD_TOKEN,
+    UNKNOWN_TOKEN,
+    Tokenizer,
+    Vocabulary,
+)
+
+__all__ = [
+    "Tokenizer",
+    "Vocabulary",
+    "SkipGramModel",
+    "SkipGramConfig",
+    "CBOWModel",
+    "CBOWConfig",
+    "TfidfVectorizer",
+    "TfidfConfig",
+    "extract_ngrams",
+    "extract_all_ngrams",
+    "ngram_counts",
+    "cosine_similarity_matrix",
+    "document_similarity",
+    "DEFAULT_STOPWORDS",
+    "STOPWORD_TOKEN",
+    "UNKNOWN_TOKEN",
+]

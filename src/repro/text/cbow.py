@@ -1,0 +1,163 @@
+"""Continuous-bag-of-words (CBOW) word vectors.
+
+The paper uses skip-gram to pre-train word vectors; CBOW is the companion
+architecture from the same word2vec family that predicts a centre word from
+the average of its context vectors.  The reproduction ships it as an
+alternative pre-training strategy for the content encoder ablations: both
+models expose the same ``embeddings`` / ``vector`` / ``most_similar``
+interface so they are drop-in replacements for each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import NotFittedError, TrainingError
+from repro.text.tokenize import Vocabulary
+
+
+@dataclass
+class CBOWConfig:
+    """Hyperparameters for CBOW training."""
+
+    embedding_dim: int = 32
+    window: int = 3
+    negatives: int = 5
+    epochs: int = 2
+    learning_rate: float = 0.05
+    min_learning_rate: float = 0.005
+    seed: int = 29
+
+
+class CBOWModel:
+    """CBOW with negative sampling over integer-encoded sentences."""
+
+    def __init__(self, vocabulary: Vocabulary, config: CBOWConfig | None = None):
+        self.vocabulary = vocabulary
+        self.config = config or CBOWConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self._input_vectors: np.ndarray | None = None
+        self._output_vectors: np.ndarray | None = None
+        self._noise_distribution: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ setup
+    def _initialise(self) -> None:
+        vocab_size = len(self.vocabulary)
+        if vocab_size == 0:
+            raise TrainingError("cannot train CBOW on an empty vocabulary")
+        dim = self.config.embedding_dim
+        bound = 0.5 / dim
+        self._input_vectors = self._rng.uniform(-bound, bound, size=(vocab_size, dim))
+        self._output_vectors = np.zeros((vocab_size, dim))
+        counts = np.array(
+            [max(1, self.vocabulary.counts.get(token, 1)) for token in self.vocabulary.id_to_token],
+            dtype=np.float64,
+        )
+        noise = counts**0.75
+        self._noise_distribution = noise / noise.sum()
+
+    @property
+    def embedding_dim(self) -> int:
+        return self.config.embedding_dim
+
+    @property
+    def embeddings(self) -> np.ndarray:
+        """The trained input vectors, one row per vocabulary id."""
+        if self._input_vectors is None:
+            raise NotFittedError("CBOWModel has not been trained")
+        return self._input_vectors
+
+    # --------------------------------------------------------------- training
+    def _build_examples(self, sentences: list[list[int]]) -> list[tuple[list[int], int]]:
+        window = self.config.window
+        examples: list[tuple[list[int], int]] = []
+        for sentence in sentences:
+            for position, center in enumerate(sentence):
+                lo = max(0, position - window)
+                hi = min(len(sentence), position + window + 1)
+                context = [sentence[i] for i in range(lo, hi) if i != position]
+                if context:
+                    examples.append((context, center))
+        return examples
+
+    def train(self, sentences: Iterable[Sequence[int]]) -> "CBOWModel":
+        """Train on integer-encoded sentences (lists of vocabulary ids)."""
+        self._initialise()
+        assert self._input_vectors is not None
+        assert self._output_vectors is not None
+        assert self._noise_distribution is not None
+
+        usable = [list(s) for s in sentences if len(s) >= 2]
+        if not usable:
+            raise TrainingError("CBOW received no usable sentences")
+
+        examples = self._build_examples(usable)
+        total_steps = max(1, self.config.epochs * len(examples))
+        lr_span = self.config.learning_rate - self.config.min_learning_rate
+        step = 0
+        for _ in range(self.config.epochs):
+            self._rng.shuffle(examples)
+            for context, center in examples:
+                lr = self.config.learning_rate - lr_span * (step / total_steps)
+                self._train_example(context, center, lr)
+                step += 1
+        return self
+
+    def _train_example(self, context: list[int], center: int, lr: float) -> None:
+        assert self._input_vectors is not None
+        assert self._output_vectors is not None
+        assert self._noise_distribution is not None
+        context_array = np.asarray(context, dtype=np.intp)
+        hidden = self._input_vectors[context_array].mean(axis=0)
+
+        negatives = self._rng.choice(
+            len(self._noise_distribution),
+            size=self.config.negatives,
+            p=self._noise_distribution,
+        )
+        targets = np.concatenate(([center], negatives))
+        labels = np.zeros(len(targets))
+        labels[0] = 1.0
+
+        output_rows = self._output_vectors[targets]
+        scores = output_rows @ hidden
+        predictions = 1.0 / (1.0 + np.exp(-scores))
+        errors = predictions - labels
+
+        hidden_gradient = errors @ output_rows
+        self._output_vectors[targets] -= lr * np.outer(errors, hidden)
+        self._input_vectors[context_array] -= lr * hidden_gradient / len(context)
+
+    # -------------------------------------------------------------- inference
+    def vector(self, token_id: int) -> np.ndarray:
+        """The vector of one vocabulary id."""
+        return self.embeddings[token_id]
+
+    def encode_sequence(self, token_ids: Sequence[int]) -> np.ndarray:
+        """Stack the vectors of a token-id sequence into a ``(T, dim)`` array."""
+        if not token_ids:
+            return np.zeros((0, self.embedding_dim))
+        return self.embeddings[np.asarray(token_ids, dtype=np.intp)]
+
+    def most_similar(self, token: str, top_k: int = 5) -> list[tuple[str, float]]:
+        """Nearest-neighbour tokens of ``token`` by cosine similarity."""
+        if token not in self.vocabulary:
+            raise NotFittedError(f"token {token!r} is not in the vocabulary")
+        vectors = self.embeddings
+        query = vectors[self.vocabulary.token_to_id[token]]
+        norms = np.linalg.norm(vectors, axis=1) * (np.linalg.norm(query) + 1e-12)
+        norms[norms == 0.0] = 1e-12
+        similarities = vectors @ query / norms
+        order = np.argsort(-similarities)
+        results: list[tuple[str, float]] = []
+        for index in order:
+            candidate = self.vocabulary.id_to_token[index]
+            if candidate == token:
+                continue
+            results.append((candidate, float(similarities[index])))
+            if len(results) == top_k:
+                break
+        return results

@@ -1,0 +1,189 @@
+"""N-gram extraction and TF-IDF weighting over tweet contents.
+
+The paper's ``N-Gram-Gauss`` baseline works on geo-specific n-grams and its
+``TG-TI-C`` baseline compares tweets by content similarity; both need the
+same low-level machinery: n-gram extraction from tokenised tweets and a
+document-frequency-aware vectoriser.  Centralising it here keeps the baseline
+modules small and lets the social-extension features reuse the exact same
+representation.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import NotFittedError, VocabularyError
+from repro.text.tokenize import STOPWORD_TOKEN, Tokenizer
+
+
+def extract_ngrams(
+    tokens: Sequence[str],
+    order: int,
+    skip_stopword_token: bool = True,
+) -> list[tuple[str, ...]]:
+    """All contiguous n-grams of a given ``order`` from a token sequence.
+
+    N-grams containing the ``</s>`` stop-word sentinel are skipped by default
+    because a stop word inside a phrase breaks its location specificity
+    ("statue </s> liberty" is not the landmark phrase).
+    """
+    if order < 1:
+        raise VocabularyError("n-gram order must be at least 1")
+    ngrams: list[tuple[str, ...]] = []
+    for start in range(len(tokens) - order + 1):
+        gram = tuple(tokens[start : start + order])
+        if skip_stopword_token and STOPWORD_TOKEN in gram:
+            continue
+        ngrams.append(gram)
+    return ngrams
+
+
+def extract_all_ngrams(
+    tokens: Sequence[str],
+    max_order: int = 3,
+    skip_stopword_token: bool = True,
+) -> list[tuple[str, ...]]:
+    """Unigrams up to ``max_order``-grams, concatenated."""
+    grams: list[tuple[str, ...]] = []
+    for order in range(1, max_order + 1):
+        grams.extend(extract_ngrams(tokens, order, skip_stopword_token=skip_stopword_token))
+    return grams
+
+
+def ngram_counts(
+    documents: Iterable[Sequence[str]],
+    max_order: int = 3,
+) -> Counter:
+    """Corpus-wide counts of every n-gram up to ``max_order``."""
+    counts: Counter = Counter()
+    for tokens in documents:
+        counts.update(extract_all_ngrams(tokens, max_order=max_order))
+    return counts
+
+
+@dataclass
+class TfidfConfig:
+    """Configuration of the TF-IDF vectoriser."""
+
+    max_order: int = 1
+    min_document_frequency: int = 1
+    max_features: int | None = None
+    sublinear_tf: bool = True
+    normalize: bool = True
+
+
+@dataclass
+class TfidfVectorizer:
+    """A sparse-free TF-IDF vectoriser over tokenised documents.
+
+    The vectoriser learns an n-gram vocabulary and inverse-document-frequency
+    weights from a corpus, then maps documents to dense vectors.  Cosine
+    similarity between such vectors is the content-similarity signal used by
+    the TG-TI-C baseline and the social co-posting feature.
+    """
+
+    config: TfidfConfig = field(default_factory=TfidfConfig)
+    tokenizer: Tokenizer | None = None
+    _feature_index: dict[tuple[str, ...], int] = field(default_factory=dict, repr=False)
+    _idf: np.ndarray | None = field(default=None, repr=False)
+
+    def _tokenize(self, document: str | Sequence[str]) -> list[str]:
+        if isinstance(document, str):
+            tokenizer = self.tokenizer or Tokenizer(replace_stopwords=False)
+            return tokenizer(document)
+        return list(document)
+
+    @property
+    def num_features(self) -> int:
+        """Size of the learned n-gram vocabulary."""
+        return len(self._feature_index)
+
+    @property
+    def feature_names(self) -> list[tuple[str, ...]]:
+        """The learned n-grams, ordered by feature index."""
+        ordered = sorted(self._feature_index.items(), key=lambda item: item[1])
+        return [gram for gram, _ in ordered]
+
+    def fit(self, documents: Iterable[str | Sequence[str]]) -> "TfidfVectorizer":
+        """Learn the n-gram vocabulary and IDF weights from a corpus."""
+        tokenised = [self._tokenize(doc) for doc in documents]
+        if not tokenised:
+            raise VocabularyError("TfidfVectorizer.fit received an empty corpus")
+        document_frequency: Counter = Counter()
+        for tokens in tokenised:
+            grams = set(extract_all_ngrams(tokens, max_order=self.config.max_order))
+            document_frequency.update(grams)
+        eligible = [
+            (gram, df)
+            for gram, df in document_frequency.most_common()
+            if df >= self.config.min_document_frequency
+        ]
+        if self.config.max_features is not None:
+            eligible = eligible[: self.config.max_features]
+        if not eligible:
+            raise VocabularyError("no n-gram satisfied the document-frequency threshold")
+        self._feature_index = {gram: index for index, (gram, _) in enumerate(eligible)}
+        num_documents = len(tokenised)
+        idf = np.zeros(len(eligible))
+        for gram, df in eligible:
+            idf[self._feature_index[gram]] = math.log((1.0 + num_documents) / (1.0 + df)) + 1.0
+        self._idf = idf
+        return self
+
+    def _require_fitted(self) -> None:
+        if self._idf is None or not self._feature_index:
+            raise NotFittedError("TfidfVectorizer has not been fitted")
+
+    def transform_one(self, document: str | Sequence[str]) -> np.ndarray:
+        """Vectorise a single document."""
+        self._require_fitted()
+        assert self._idf is not None
+        tokens = self._tokenize(document)
+        counts = Counter(extract_all_ngrams(tokens, max_order=self.config.max_order))
+        vector = np.zeros(len(self._feature_index))
+        for gram, count in counts.items():
+            index = self._feature_index.get(gram)
+            if index is None:
+                continue
+            tf = 1.0 + math.log(count) if self.config.sublinear_tf else float(count)
+            vector[index] = tf * self._idf[index]
+        if self.config.normalize:
+            norm = float(np.linalg.norm(vector))
+            if norm > 0.0:
+                vector /= norm
+        return vector
+
+    def transform(self, documents: Iterable[str | Sequence[str]]) -> np.ndarray:
+        """Vectorise a corpus into a ``(num_documents, num_features)`` matrix."""
+        rows = [self.transform_one(doc) for doc in documents]
+        if not rows:
+            return np.zeros((0, len(self._feature_index)))
+        return np.vstack(rows)
+
+    def fit_transform(self, documents: Sequence[str | Sequence[str]]) -> np.ndarray:
+        """Fit on a corpus and return its document-term matrix."""
+        return self.fit(documents).transform(documents)
+
+
+def cosine_similarity_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarities between the rows of a matrix."""
+    if matrix.ndim != 2:
+        raise VocabularyError("expected a 2-D document-term matrix")
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    unit = matrix / norms
+    return unit @ unit.T
+
+
+def document_similarity(first: np.ndarray, second: np.ndarray) -> float:
+    """Cosine similarity between two document vectors (0 when either is empty)."""
+    norm_a = float(np.linalg.norm(first))
+    norm_b = float(np.linalg.norm(second))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return float(np.dot(first, second) / (norm_a * norm_b))

@@ -1,0 +1,160 @@
+"""Skip-gram word embeddings with negative sampling (Mikolov et al., 2013).
+
+The paper trains word vectors on the contents of all training-timeline tweets
+with the skip-gram algorithm and represents each word as an ``M``-dimensional
+vector before feeding the sequence into the BiLSTM-C encoder.  This module is a
+NumPy implementation of skip-gram with negative sampling, sized for the
+reproduction's synthetic corpora.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import NotFittedError, TrainingError
+from repro.text.tokenize import Vocabulary
+
+
+@dataclass
+class SkipGramConfig:
+    """Hyperparameters for skip-gram training."""
+
+    embedding_dim: int = 32
+    window: int = 3
+    negatives: int = 5
+    epochs: int = 2
+    learning_rate: float = 0.05
+    min_learning_rate: float = 0.005
+    seed: int = 13
+
+
+class SkipGramModel:
+    """Skip-gram with negative sampling over integer-encoded sentences."""
+
+    def __init__(self, vocabulary: Vocabulary, config: SkipGramConfig | None = None):
+        self.vocabulary = vocabulary
+        self.config = config or SkipGramConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self._input_vectors: np.ndarray | None = None
+        self._output_vectors: np.ndarray | None = None
+        self._noise_distribution: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ setup
+    def _initialise(self) -> None:
+        vocab_size = len(self.vocabulary)
+        dim = self.config.embedding_dim
+        if vocab_size == 0:
+            raise TrainingError("cannot train skip-gram on an empty vocabulary")
+        bound = 0.5 / dim
+        self._input_vectors = self._rng.uniform(-bound, bound, size=(vocab_size, dim))
+        self._output_vectors = np.zeros((vocab_size, dim))
+        counts = np.array(
+            [max(1, self.vocabulary.counts.get(token, 1)) for token in self.vocabulary.id_to_token],
+            dtype=np.float64,
+        )
+        noise = counts**0.75
+        self._noise_distribution = noise / noise.sum()
+
+    @property
+    def embedding_dim(self) -> int:
+        return self.config.embedding_dim
+
+    @property
+    def embeddings(self) -> np.ndarray:
+        """The trained input vectors, one row per vocabulary id."""
+        if self._input_vectors is None:
+            raise NotFittedError("SkipGramModel has not been trained")
+        return self._input_vectors
+
+    # --------------------------------------------------------------- training
+    def train(self, sentences: Iterable[Sequence[int]]) -> "SkipGramModel":
+        """Train on integer-encoded sentences (lists of vocabulary ids)."""
+        self._initialise()
+        assert self._input_vectors is not None
+        assert self._output_vectors is not None
+        assert self._noise_distribution is not None
+
+        sentences = [list(s) for s in sentences if len(s) >= 2]
+        if not sentences:
+            raise TrainingError("skip-gram received no usable sentences")
+
+        pairs = self._build_pairs(sentences)
+        total_steps = self.config.epochs * len(pairs)
+        lr_span = self.config.learning_rate - self.config.min_learning_rate
+        step = 0
+        for _ in range(self.config.epochs):
+            self._rng.shuffle(pairs)
+            for center, context in pairs:
+                lr = self.config.learning_rate - lr_span * (step / max(1, total_steps))
+                self._train_pair(center, context, lr)
+                step += 1
+        return self
+
+    def _build_pairs(self, sentences: list[list[int]]) -> np.ndarray:
+        window = self.config.window
+        centers: list[int] = []
+        contexts: list[int] = []
+        for sentence in sentences:
+            length = len(sentence)
+            for i, center in enumerate(sentence):
+                lo = max(0, i - window)
+                hi = min(length, i + window + 1)
+                for j in range(lo, hi):
+                    if j != i:
+                        centers.append(center)
+                        contexts.append(sentence[j])
+        if not centers:
+            raise TrainingError("skip-gram produced no training pairs")
+        return np.stack([np.array(centers), np.array(contexts)], axis=1)
+
+    def _train_pair(self, center: int, context: int, lr: float) -> None:
+        assert self._input_vectors is not None
+        assert self._output_vectors is not None
+        assert self._noise_distribution is not None
+        negatives = self._rng.choice(
+            len(self.vocabulary), size=self.config.negatives, p=self._noise_distribution
+        )
+        v_in = self._input_vectors[center]
+        targets = np.concatenate(([context], negatives))
+        labels = np.zeros(len(targets))
+        labels[0] = 1.0
+        v_out = self._output_vectors[targets]  # (k+1, dim)
+        scores = v_out @ v_in
+        preds = 1.0 / (1.0 + np.exp(-scores))
+        errors = preds - labels  # (k+1,)
+        grad_in = errors @ v_out
+        self._output_vectors[targets] -= lr * np.outer(errors, v_in)
+        self._input_vectors[center] -= lr * grad_in
+
+    # -------------------------------------------------------------- inference
+    def vector(self, token_id: int) -> np.ndarray:
+        """The embedding of a vocabulary id."""
+        return self.embeddings[token_id]
+
+    def encode_sequence(self, token_ids: Sequence[int]) -> np.ndarray:
+        """Stack embeddings for a token-id sequence into a ``(T, M)`` matrix."""
+        if len(token_ids) == 0:
+            return np.zeros((0, self.config.embedding_dim))
+        return self.embeddings[np.asarray(token_ids, dtype=np.int64)]
+
+    def most_similar(self, token: str, top_k: int = 5) -> list[tuple[str, float]]:
+        """Nearest neighbours of a token by cosine similarity (diagnostics)."""
+        if token not in self.vocabulary:
+            return []
+        idx = self.vocabulary.token_to_id[token]
+        matrix = self.embeddings
+        query = matrix[idx]
+        norms = np.linalg.norm(matrix, axis=1) * (np.linalg.norm(query) + 1e-12) + 1e-12
+        sims = matrix @ query / norms
+        order = np.argsort(-sims)
+        results = []
+        for i in order:
+            if int(i) == idx:
+                continue
+            results.append((self.vocabulary.id_to_token[int(i)], float(sims[int(i)])))
+            if len(results) >= top_k:
+                break
+        return results

@@ -1,0 +1,136 @@
+"""Tokenisation and vocabulary handling for tweet content.
+
+The paper lower-cases tweets, replaces every stop word with a ``</s>`` symbol,
+and only keeps words that appear more than a frequency threshold when training
+word embeddings.  :class:`Tokenizer` implements that normalisation and
+:class:`Vocabulary` maps the surviving tokens to dense integer ids.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import VocabularyError
+
+#: Sentinel token the paper substitutes for stop words.
+STOPWORD_TOKEN = "</s>"
+
+#: Token used for words never seen in training.
+UNKNOWN_TOKEN = "<unk>"
+
+#: A compact English stop-word list (subset of the ranks.nl list the paper cites).
+DEFAULT_STOPWORDS = frozenset(
+    """a about above after again all am an and any are as at be because been
+    before being below between both but by could did do does doing down during
+    each few for from further had has have having he her here hers him his how
+    i if in into is it its just me more most my no nor not of off on once only
+    or other our out over own same she so some such than that the their them
+    then there these they this those through to too under until up very was we
+    were what when where which while who whom why will with you your""".split()
+)
+
+_TOKEN_RE = re.compile(r"[a-z0-9_#@']+")
+
+
+@dataclass
+class Tokenizer:
+    """Splits tweet text into normalised tokens.
+
+    Parameters
+    ----------
+    stopwords:
+        Words to replace with :data:`STOPWORD_TOKEN`.
+    replace_stopwords:
+        When False, stop words are dropped instead of replaced (useful for the
+        n-gram baselines which do not want the sentinel flooding their models).
+    """
+
+    stopwords: frozenset[str] = DEFAULT_STOPWORDS
+    replace_stopwords: bool = True
+
+    def tokenize(self, text: str) -> list[str]:
+        """Tokenise a raw tweet into lower-case tokens with stop-word handling."""
+        tokens = _TOKEN_RE.findall(text.lower())
+        result = []
+        for token in tokens:
+            if token in self.stopwords:
+                if self.replace_stopwords:
+                    result.append(STOPWORD_TOKEN)
+            else:
+                result.append(token)
+        return result
+
+    def __call__(self, text: str) -> list[str]:
+        return self.tokenize(text)
+
+
+@dataclass
+class Vocabulary:
+    """A token-to-id mapping built from a corpus with a minimum-count filter."""
+
+    token_to_id: dict[str, int] = field(default_factory=dict)
+    id_to_token: list[str] = field(default_factory=list)
+    counts: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def build(
+        cls,
+        token_sequences: Iterable[Sequence[str]],
+        min_count: int = 1,
+        max_size: int | None = None,
+    ) -> "Vocabulary":
+        """Build a vocabulary from token sequences.
+
+        ``min_count`` mirrors the paper's "only consider words appearing more
+        than 10 times" rule (scaled down by callers for small corpora).  The
+        unknown and stop-word sentinels are always present.
+        """
+        counts: Counter = Counter()
+        for tokens in token_sequences:
+            counts.update(tokens)
+        vocab = cls()
+        vocab.counts = counts
+        vocab._add(UNKNOWN_TOKEN)
+        vocab._add(STOPWORD_TOKEN)
+        eligible = [
+            (token, count)
+            for token, count in counts.most_common()
+            if count >= min_count and token not in (UNKNOWN_TOKEN, STOPWORD_TOKEN)
+        ]
+        if max_size is not None:
+            eligible = eligible[: max(0, max_size - 2)]
+        for token, _ in eligible:
+            vocab._add(token)
+        return vocab
+
+    def _add(self, token: str) -> int:
+        if token in self.token_to_id:
+            return self.token_to_id[token]
+        idx = len(self.id_to_token)
+        self.token_to_id[token] = idx
+        self.id_to_token.append(token)
+        return idx
+
+    def __len__(self) -> int:
+        return len(self.id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self.token_to_id
+
+    @property
+    def unknown_id(self) -> int:
+        return self.token_to_id[UNKNOWN_TOKEN]
+
+    def encode(self, tokens: Sequence[str]) -> list[int]:
+        """Map tokens to ids, falling back to the unknown id."""
+        if not self.id_to_token:
+            raise VocabularyError("vocabulary is empty")
+        unk = self.unknown_id
+        return [self.token_to_id.get(token, unk) for token in tokens]
+
+    def decode(self, ids: Sequence[int]) -> list[str]:
+        """Map ids back to tokens."""
+        return [self.id_to_token[i] for i in ids]

@@ -1,0 +1,100 @@
+"""Tests for the TG-TI-C and N-Gram-Gauss baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import NGramGaussBaseline, NGramGaussConfig, TGTICBaseline, TGTICConfig
+from repro.data import Pair, Profile, Tweet
+from repro.errors import NotFittedError, TrainingError
+
+
+def labeled_profile(registry, pid, uid, ts, content):
+    poi = registry.get(pid)
+    tweet = Tweet(uid=uid, ts=ts, content=content, lat=poi.center.lat, lon=poi.center.lon)
+    return Profile(uid=uid, tweet=tweet, pid=pid)
+
+
+@pytest.fixture()
+def training_profiles(small_registry):
+    """POI 0 tweets talk about coffee, POI 4 tweets talk about poker."""
+    profiles = []
+    for i in range(12):
+        profiles.append(labeled_profile(small_registry, 0, uid=i, ts=1000.0 * i,
+                                        content="coffee latte espresso morning"))
+        profiles.append(labeled_profile(small_registry, 4, uid=100 + i, ts=1000.0 * i + 50,
+                                        content="poker jackpot slots dealer"))
+    return profiles
+
+
+class TestTGTIC:
+    def test_requires_training_data(self, small_registry):
+        with pytest.raises(TrainingError):
+            TGTICBaseline(small_registry).fit([])
+
+    def test_unfitted_raises(self, small_registry, training_profiles):
+        with pytest.raises(NotFittedError):
+            TGTICBaseline(small_registry).infer_poi_proba(training_profiles[:1])
+
+    def test_infers_topically_matching_poi(self, small_registry, training_profiles):
+        model = TGTICBaseline(small_registry, TGTICConfig(top_k=5)).fit(training_profiles)
+        query = labeled_profile(small_registry, 0, uid=999, ts=500.0, content="coffee latte please")
+        assert model.infer_poi([query])[0] == 0
+        query2 = labeled_profile(small_registry, 4, uid=998, ts=500.0, content="poker slots tonight")
+        assert model.infer_poi([query2])[0] == 4
+
+    def test_proba_rows_sum_to_one(self, small_registry, training_profiles):
+        model = TGTICBaseline(small_registry).fit(training_profiles)
+        proba = model.infer_poi_proba(training_profiles[:4])
+        np.testing.assert_allclose(proba.sum(axis=1), np.ones(4), atol=1e-9)
+
+    def test_pair_prediction_uses_poi_equality(self, small_registry, training_profiles):
+        model = TGTICBaseline(small_registry).fit(training_profiles)
+        a = labeled_profile(small_registry, 0, uid=1, ts=0.0, content="coffee latte")
+        b = labeled_profile(small_registry, 0, uid=2, ts=10.0, content="espresso coffee")
+        c = labeled_profile(small_registry, 4, uid=3, ts=20.0, content="poker chips")
+        preds = model.predict([Pair(a, b, 1), Pair(a, c, 0)])
+        assert preds[0] == 1
+        assert preds[1] == 0
+
+    def test_empty_pairs(self, small_registry, training_profiles):
+        model = TGTICBaseline(small_registry).fit(training_profiles)
+        assert model.predict([]).shape == (0,)
+        assert model.predict_proba([]).shape == (0,)
+
+
+class TestNGramGauss:
+    def test_requires_training_data(self, small_registry):
+        with pytest.raises(TrainingError):
+            NGramGaussBaseline(small_registry).fit([])
+
+    def test_geo_specific_ngrams_found(self, small_registry, training_profiles):
+        model = NGramGaussBaseline(small_registry, NGramGaussConfig(min_count=3)).fit(training_profiles)
+        assert model.num_geo_specific_ngrams > 0
+
+    def test_locate_near_training_poi(self, small_registry, training_profiles):
+        model = NGramGaussBaseline(small_registry).fit(training_profiles)
+        query = labeled_profile(small_registry, 0, uid=999, ts=0.0, content="coffee latte")
+        location = model.locate(query)
+        assert location is not None
+        assert small_registry.nearest(*location)[0].pid == 0
+
+    def test_locate_unknown_words_returns_none(self, small_registry, training_profiles):
+        model = NGramGaussBaseline(small_registry).fit(training_profiles)
+        query = labeled_profile(small_registry, 0, uid=999, ts=0.0, content="zebra quantum xylophone")
+        assert model.locate(query) is None
+
+    def test_unknown_words_give_uniform_distribution(self, small_registry, training_profiles):
+        model = NGramGaussBaseline(small_registry).fit(training_profiles)
+        query = labeled_profile(small_registry, 0, uid=999, ts=0.0, content="zebra quantum xylophone")
+        proba = model.infer_poi_proba([query])
+        np.testing.assert_allclose(proba[0], np.full(len(small_registry), 1.0 / len(small_registry)))
+
+    def test_infer_poi_matches_topic(self, small_registry, training_profiles):
+        model = NGramGaussBaseline(small_registry).fit(training_profiles)
+        query = labeled_profile(small_registry, 4, uid=999, ts=0.0, content="poker jackpot")
+        assert model.infer_poi([query])[0] == 4
+
+    def test_proba_rows_sum_to_one(self, small_registry, training_profiles):
+        model = NGramGaussBaseline(small_registry).fit(training_profiles)
+        proba = model.infer_poi_proba(training_profiles[:3])
+        np.testing.assert_allclose(proba.sum(axis=1), np.ones(3), atol=1e-9)

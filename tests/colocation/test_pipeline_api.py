@@ -1,0 +1,69 @@
+"""API-contract tests for CoLocationPipeline (error paths and one-phase mode)."""
+
+import numpy as np
+import pytest
+
+from repro.colocation import CoLocationPipeline, PipelineConfig
+from repro.errors import ConfigurationError, NotFittedError
+from repro.features import HisRectConfig
+from repro.io import load_pipeline, save_pipeline
+from repro.text import SkipGramConfig
+
+
+class TestUnfittedPipeline:
+    def test_predict_before_fit_raises(self, tiny_dataset):
+        pipeline = CoLocationPipeline(PipelineConfig())
+        with pytest.raises(NotFittedError):
+            pipeline.predict(tiny_dataset.train.labeled_pairs[:2])
+
+    def test_features_before_fit_raises(self, tiny_dataset):
+        pipeline = CoLocationPipeline(PipelineConfig())
+        with pytest.raises(NotFittedError):
+            pipeline.features(tiny_dataset.train.labeled_profiles[:2])
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(mode="three-phase")
+
+
+@pytest.fixture(scope="module")
+def onephase_pipeline(tiny_dataset):
+    """A small One-phase pipeline (end-to-end pair loss, no SSL stage)."""
+    from repro.colocation.onephase import OnePhaseConfig
+
+    config = PipelineConfig(
+        hisrect=HisRectConfig(content_dim=6, feature_dim=12, embedding_dim=6),
+        onephase=OnePhaseConfig(max_iterations=20, batch_size=4),
+        skipgram=SkipGramConfig(embedding_dim=12, epochs=1),
+        mode="one-phase",
+    )
+    return CoLocationPipeline(config).fit(tiny_dataset)
+
+
+class TestOnePhasePipeline:
+    def test_predicts_probabilities(self, onephase_pipeline, tiny_dataset):
+        pairs = tiny_dataset.train.labeled_pairs[:10]
+        proba = onephase_pipeline.predict_proba(pairs)
+        assert proba.shape == (len(pairs),)
+        assert np.all((proba >= 0.0) & (proba <= 1.0))
+
+    def test_probability_matrix_not_supported(self, onephase_pipeline, tiny_dataset):
+        with pytest.raises(ConfigurationError):
+            onephase_pipeline.probability_matrix(tiny_dataset.train.labeled_profiles[:3])
+
+    def test_poi_inference_not_supported(self, onephase_pipeline, tiny_dataset):
+        with pytest.raises(ConfigurationError):
+            onephase_pipeline.infer_poi_proba(tiny_dataset.train.labeled_profiles[:3])
+
+    def test_comp2loc_not_supported(self, onephase_pipeline):
+        with pytest.raises(ConfigurationError):
+            onephase_pipeline.comp2loc()
+
+    def test_one_phase_round_trip(self, onephase_pipeline, tiny_dataset, tmp_path):
+        """Persistence also covers the one-phase layout (onephase/ weight group)."""
+        save_pipeline(onephase_pipeline, tmp_path / "onephase")
+        loaded = load_pipeline(tmp_path / "onephase")
+        pairs = tiny_dataset.train.labeled_pairs[:10]
+        np.testing.assert_allclose(
+            loaded.predict_proba(pairs), onephase_pipeline.predict_proba(pairs), atol=1e-8
+        )

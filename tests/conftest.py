@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite.
+
+Dataset generation and pipeline training are the expensive pieces, so the tiny
+dataset and a fitted pipeline are session-scoped and shared by every test that
+only needs *a* trained model rather than a specific configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.colocation import CoLocationPipeline, JudgeConfig, PipelineConfig
+from repro.data import build_dataset, tiny_dataset_config
+from repro.data.city import CityConfig, generate_city
+from repro.features import HisRectConfig
+from repro.geo import GeoPoint, POI, POIRegistry, BoundingPolygon
+from repro.ssl import SSLTrainingConfig
+from repro.text.skipgram import SkipGramConfig
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_registry() -> POIRegistry:
+    """Five POIs laid out on a line, ~400 m apart."""
+    center = GeoPoint(40.75, -73.99)
+    pois = []
+    for pid in range(5):
+        poi_center = center.offset(north_m=0.0, east_m=400.0 * pid)
+        polygon = BoundingPolygon.regular(poi_center, radius_m=80.0, sides=8)
+        pois.append(POI(pid=pid, name=f"poi_{pid}", polygon=polygon, center=poi_center, category="cafe"))
+    return POIRegistry(pois)
+
+
+@pytest.fixture(scope="session")
+def small_city():
+    """A deterministic 8-POI synthetic city."""
+    return generate_city(CityConfig(num_pois=8, num_neighborhoods=2, seed=3))
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """The tiny synthetic dataset used across integration tests."""
+    return build_dataset(tiny_dataset_config(seed=5))
+
+
+@pytest.fixture(scope="session")
+def tiny_pipeline_config() -> PipelineConfig:
+    return PipelineConfig(
+        hisrect=HisRectConfig(content_dim=8, feature_dim=16, embedding_dim=8),
+        ssl=SSLTrainingConfig(batch_size=4, max_iterations=25),
+        judge=JudgeConfig(epochs=6),
+        skipgram=SkipGramConfig(embedding_dim=12, epochs=1),
+    )
+
+
+@pytest.fixture(scope="session")
+def fitted_pipeline(tiny_dataset, tiny_pipeline_config):
+    """A HisRect pipeline fitted on the tiny dataset (shared, do not mutate)."""
+    return CoLocationPipeline(tiny_pipeline_config).fit(tiny_dataset)

@@ -1,0 +1,138 @@
+"""Tests for the synthetic substrate: language, city, mobility, timelines."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CATEGORY_WORDS,
+    CityConfig,
+    LanguageModelConfig,
+    MobilityConfig,
+    MobilityModel,
+    TimelineConfig,
+    TimelineSimulator,
+    TweetLanguageModel,
+    generate_city,
+    lv_like_config,
+    nyc_like_config,
+)
+from repro.errors import DataGenerationError
+
+
+class TestLanguageModel:
+    def test_generate_without_poi_uses_background(self, small_city):
+        model = TweetLanguageModel()
+        rng = np.random.default_rng(0)
+        text = model.generate(rng, None)
+        assert len(text.split()) >= model.config.min_length
+
+    def test_poi_tweets_mention_poi_tokens(self, small_city):
+        model = TweetLanguageModel(LanguageModelConfig(poi_word_prob=0.9, category_word_prob=0.05,
+                                                       noise_tweet_prob=0.0))
+        rng = np.random.default_rng(0)
+        poi = small_city.registry.pois[0]
+        model.register_poi(poi)
+        texts = " ".join(model.generate(rng, poi) for _ in range(10))
+        assert any(token in texts for token in model.poi_tokens(poi.pid))
+
+    def test_poi_tokens_empty_for_unknown(self):
+        assert TweetLanguageModel().poi_tokens(999) == ()
+
+    def test_category_words_exist_for_all_categories(self):
+        assert "generic" in CATEGORY_WORDS
+        for words in CATEGORY_WORDS.values():
+            assert len(words) >= 5
+
+
+class TestCityGeneration:
+    def test_city_has_requested_pois(self, small_city):
+        assert len(small_city.registry) == 8
+
+    def test_popularity_is_distribution(self, small_city):
+        assert small_city.popularity.shape == (8,)
+        assert small_city.popularity.sum() == pytest.approx(1.0)
+        assert np.all(small_city.popularity > 0)
+
+    def test_popular_pids(self, small_city):
+        top = small_city.popular_pids(3)
+        assert len(top) == 3
+        assert len(set(top)) == 3
+
+    def test_too_few_pois_rejected(self):
+        with pytest.raises(DataGenerationError):
+            generate_city(CityConfig(num_pois=1))
+
+    def test_deterministic_given_seed(self):
+        a = generate_city(CityConfig(num_pois=6, seed=9))
+        b = generate_city(CityConfig(num_pois=6, seed=9))
+        np.testing.assert_allclose(a.popularity, b.popularity)
+        assert [p.name for p in a.registry] == [p.name for p in b.registry]
+
+    def test_presets(self):
+        nyc = generate_city(nyc_like_config(num_pois=12))
+        lv = generate_city(lv_like_config(num_pois=8))
+        assert nyc.name == "NYC-like" and len(nyc.registry) == 12
+        assert lv.name == "LV-like" and len(lv.registry) == 8
+        assert all(p.category in lv.config.categories for p in lv.registry)
+
+
+class TestMobility:
+    def test_population_size(self, small_city):
+        model = MobilityModel(small_city, MobilityConfig(seed=1))
+        users = model.build_population(10)
+        assert len(users) == 10
+        assert all(len(u.favorite_indices) >= 1 for u in users)
+
+    def test_favorite_weights_sum_to_one(self, small_city):
+        model = MobilityModel(small_city, MobilityConfig(seed=1))
+        user = model.build_user(0)
+        assert sum(user.favorite_weights) == pytest.approx(1.0)
+
+    def test_destination_in_favorites_with_full_return_probability(self, small_city):
+        model = MobilityModel(small_city, MobilityConfig(return_probability=1.0, seed=1))
+        user = model.build_user(0)
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            assert model.sample_destination(user, rng) in user.favorite_indices
+
+    def test_as_distribution(self, small_city):
+        model = MobilityModel(small_city, MobilityConfig(seed=1))
+        user = model.build_user(0)
+        dist = user.as_distribution(len(small_city.registry))
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_invalid_config_rejected(self, small_city):
+        with pytest.raises(DataGenerationError):
+            MobilityModel(small_city, MobilityConfig(favorites_per_user=0))
+        with pytest.raises(DataGenerationError):
+            MobilityModel(small_city, MobilityConfig(return_probability=1.5))
+
+
+class TestTimelineSimulation:
+    @pytest.fixture(scope="class")
+    def simulation(self, small_city):
+        config = TimelineConfig(num_users=20, num_days=5, slots_per_day=3, seed=4)
+        return TimelineSimulator(small_city, config).simulate()
+
+    def test_produces_timelines(self, simulation):
+        assert len(simulation.timelines) > 0
+        assert all(len(t) > 0 for t in simulation.timelines)
+
+    def test_visit_log_pois_valid(self, simulation, small_city):
+        for _, _, pid, _ in simulation.visit_log:
+            assert pid in small_city.registry
+
+    def test_geotag_fraction_reasonable(self, simulation):
+        tweets = [t for timeline in simulation.timelines for t in timeline.tweets]
+        geo = sum(1 for t in tweets if t.is_geotagged)
+        assert 0 < geo < len(tweets)
+
+    def test_timestamps_within_horizon(self, simulation):
+        horizon = 5 * 24 * 3600.0
+        for timeline in simulation.timelines:
+            for tweet in timeline.tweets:
+                assert 0.0 <= tweet.ts <= horizon
+
+    def test_needs_two_users(self, small_city):
+        with pytest.raises(DataGenerationError):
+            TimelineSimulator(small_city, TimelineConfig(num_users=1))

@@ -1,0 +1,115 @@
+"""Tests for ingesting external tweet data into a ColocationDataset."""
+
+import pytest
+
+from repro.data import (
+    Timeline,
+    Tweet,
+    dataset_from_timelines,
+    split_timelines,
+    timelines_from_tweets,
+    tweets_from_dicts,
+)
+from repro.errors import DataGenerationError
+
+
+def poi_tweet(registry, uid, ts, pid, content="latte art at the gallery"):
+    poi = registry.get(pid)
+    return Tweet(uid=uid, ts=ts, content=content, lat=poi.center.lat, lon=poi.center.lon)
+
+
+def plain_tweet(uid, ts, content="thinking out loud"):
+    return Tweet(uid=uid, ts=ts, content=content)
+
+
+class TestTweetsFromDicts:
+    def test_parses_minimal_rows(self):
+        rows = [
+            {"uid": 1, "ts": 10.0, "content": "hello"},
+            {"uid": 2, "ts": 20.0, "content": "brunch", "lat": 40.7, "lon": -74.0},
+        ]
+        tweets = tweets_from_dicts(rows)
+        assert len(tweets) == 2
+        assert not tweets[0].is_geotagged
+        assert tweets[1].is_geotagged
+
+    def test_invalid_row_raises(self):
+        with pytest.raises(DataGenerationError):
+            tweets_from_dicts([{"ts": 1.0}])
+
+
+class TestTimelinesFromTweets:
+    def test_groups_by_user_and_sorts_by_time(self):
+        tweets = [plain_tweet(2, 30.0), plain_tweet(1, 20.0), plain_tweet(1, 10.0)]
+        timelines = timelines_from_tweets(tweets)
+        assert [t.uid for t in timelines] == [1, 2]
+        assert [t.ts for t in timelines[0].tweets] == [10.0, 20.0]
+
+
+class TestSplitTimelines:
+    def _timelines(self, count=20):
+        return [Timeline(uid=i, tweets=(plain_tweet(i, float(i)),)) for i in range(count)]
+
+    def test_split_sizes(self):
+        train, validation, test = split_timelines(self._timelines(), 0.2, 0.1, seed=3)
+        assert len(test) == 4
+        assert len(train) + len(validation) + len(test) == 20
+
+    def test_splits_are_disjoint(self):
+        train, validation, test = split_timelines(self._timelines(), 0.25, 0.2, seed=5)
+        ids = [t.uid for t in train + validation + test]
+        assert len(ids) == len(set(ids)) == 20
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(DataGenerationError):
+            split_timelines(self._timelines(), 1.5, 0.1)
+
+    def test_empty_training_split_raises(self):
+        with pytest.raises(DataGenerationError):
+            split_timelines(self._timelines(count=2), 0.9, 0.9)
+
+
+class TestDatasetFromTimelines:
+    def _timelines(self, registry, num_users=12):
+        timelines = []
+        for uid in range(num_users):
+            pid = registry.pois[uid % len(registry)].pid
+            tweets = (
+                poi_tweet(registry, uid, 100.0 + uid, pid),
+                poi_tweet(registry, uid, 2000.0 + uid, pid),
+                plain_tweet(uid, 5000.0 + uid),
+            )
+            timelines.append(Timeline(uid=uid, tweets=tweets))
+        return timelines
+
+    def test_builds_all_three_splits(self, small_registry):
+        dataset = dataset_from_timelines(self._timelines(small_registry), small_registry, name="ext")
+        assert dataset.name == "ext"
+        assert len(dataset.train.store) > 0
+        stats = dataset.statistics()
+        assert set(stats) == {"Training", "Validation", "Testing"}
+
+    def test_profiles_are_labeled_from_registry(self, small_registry):
+        dataset = dataset_from_timelines(self._timelines(small_registry), small_registry)
+        labeled = dataset.train.labeled_profiles
+        assert labeled, "POI tweets must yield labelled profiles"
+        for profile in labeled:
+            assert profile.pid in {poi.pid for poi in small_registry}
+
+    def test_accepts_city_objects(self, small_city):
+        registry = small_city.registry
+        dataset = dataset_from_timelines(self._timelines(registry), small_city)
+        assert dataset.city is small_city
+
+    def test_too_few_usable_timelines_raises(self, small_registry):
+        timelines = [Timeline(uid=0, tweets=(plain_tweet(0, 1.0),))]
+        with pytest.raises(DataGenerationError):
+            dataset_from_timelines(timelines, small_registry)
+
+    def test_require_poi_tweet_can_be_disabled(self, small_registry):
+        timelines = self._timelines(small_registry)[:4] + [
+            Timeline(uid=99, tweets=(plain_tweet(99, 1.0),))
+        ]
+        dataset = dataset_from_timelines(timelines, small_registry, require_poi_tweet=False)
+        total = len(dataset.train.store) + len(dataset.validation.store) + len(dataset.test.store)
+        assert total == 5

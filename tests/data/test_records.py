@@ -1,0 +1,100 @@
+"""Tests for the core data records (Tweet, Visit, Timeline, Profile, Pair)."""
+
+import pytest
+
+from repro.data import Pair, Profile, Timeline, Tweet, Visit, average_visits_per_profile
+
+
+def make_tweet(uid=1, ts=100.0, content="hello museum", lat=None, lon=None, pid=None):
+    return Tweet(uid=uid, ts=ts, content=content, lat=lat, lon=lon, true_pid=pid)
+
+
+class TestTweet:
+    def test_geotag_detection(self):
+        assert not make_tweet().is_geotagged
+        assert make_tweet(lat=40.7, lon=-74.0).is_geotagged
+
+    def test_half_coordinates_not_geotagged(self):
+        assert not Tweet(uid=1, ts=0.0, content="", lat=40.7, lon=None).is_geotagged
+
+
+class TestTimeline:
+    def test_tweets_sorted_by_time(self):
+        timeline = Timeline(uid=1, tweets=(make_tweet(ts=50.0), make_tweet(ts=10.0)))
+        assert [t.ts for t in timeline.tweets] == [10.0, 50.0]
+
+    def test_geotagged_filter(self):
+        timeline = Timeline(
+            uid=1, tweets=(make_tweet(ts=1.0), make_tweet(ts=2.0, lat=40.7, lon=-74.0))
+        )
+        assert len(timeline.geotagged()) == 1
+
+    def test_visits_before_strictly_earlier(self):
+        timeline = Timeline(
+            uid=1,
+            tweets=(
+                make_tweet(ts=1.0, lat=40.7, lon=-74.0),
+                make_tweet(ts=5.0, lat=40.71, lon=-74.0),
+            ),
+        )
+        visits = timeline.visits_before(5.0)
+        assert len(visits) == 1
+        assert visits[0].ts == 1.0
+
+    def test_len(self):
+        assert len(Timeline(uid=1, tweets=(make_tweet(),))) == 1
+
+
+class TestProfile:
+    def test_property_shortcuts(self):
+        tweet = make_tweet(ts=7.0, content="abc", lat=40.7, lon=-74.0)
+        profile = Profile(uid=1, tweet=tweet, visit_history=(), pid=3)
+        assert profile.ts == 7.0
+        assert profile.content == "abc"
+        assert profile.lat == 40.7
+        assert profile.is_labeled
+
+    def test_unlabeled_profile(self):
+        profile = Profile(uid=1, tweet=make_tweet())
+        assert not profile.is_labeled
+
+    def test_without_history(self):
+        profile = Profile(uid=1, tweet=make_tweet(), visit_history=(Visit(1.0, 40.7, -74.0),), pid=2)
+        stripped = profile.without_history()
+        assert stripped.visit_history == ()
+        assert stripped.pid == 2
+        assert len(profile.visit_history) == 1  # original untouched
+
+    def test_without_content(self):
+        profile = Profile(uid=1, tweet=make_tweet(content="secret words"), pid=2)
+        stripped = profile.without_content()
+        assert stripped.content == ""
+        assert stripped.ts == profile.ts
+        assert stripped.pid == 2
+
+
+class TestPair:
+    def test_positive_negative_unlabeled(self):
+        a = Profile(uid=1, tweet=make_tweet(ts=1.0), pid=5)
+        b = Profile(uid=2, tweet=make_tweet(uid=2, ts=2.0), pid=5)
+        positive = Pair(a, b, co_label=1)
+        negative = Pair(a, b, co_label=0)
+        unlabeled = Pair(a, b, co_label=None)
+        assert positive.is_positive and positive.is_labeled
+        assert negative.is_negative and not negative.is_positive
+        assert not unlabeled.is_labeled
+
+    def test_time_gap(self):
+        a = Profile(uid=1, tweet=make_tweet(ts=10.0))
+        b = Profile(uid=2, tweet=make_tweet(uid=2, ts=4.0))
+        assert Pair(a, b).time_gap == 6.0
+
+
+class TestAverageVisits:
+    def test_empty(self):
+        assert average_visits_per_profile([]) == 0.0
+
+    def test_mean(self):
+        p1 = Profile(uid=1, tweet=make_tweet(), visit_history=(Visit(1, 40.7, -74.0),) * 2)
+        p2 = Profile(uid=2, tweet=make_tweet(uid=2), visit_history=())
+        assert average_visits_per_profile([p1, p2]) == 1.0

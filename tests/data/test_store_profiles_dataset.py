@@ -1,0 +1,188 @@
+"""Tests for the timeline store, profile/pair builders and dataset assembly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    HOUR_SECONDS,
+    PairBuilder,
+    PairBuilderConfig,
+    Profile,
+    ProfileBuilder,
+    Timeline,
+    TimelineStore,
+    Tweet,
+    build_dataset,
+    split_pairs,
+    tiny_dataset_config,
+)
+from repro.errors import DataGenerationError
+
+
+def geo_tweet(uid, ts, lat, lon, content="words"):
+    return Tweet(uid=uid, ts=ts, content=content, lat=lat, lon=lon)
+
+
+@pytest.fixture()
+def store(small_registry):
+    poi0 = small_registry.get(0).center
+    poi1 = small_registry.get(1).center
+    timelines = [
+        Timeline(uid=1, tweets=(
+            geo_tweet(1, 100.0, poi0.lat, poi0.lon),
+            geo_tweet(1, 5000.0, poi1.lat, poi1.lon),
+            Tweet(uid=1, ts=6000.0, content="no geo"),
+        )),
+        Timeline(uid=2, tweets=(
+            geo_tweet(2, 5100.0, poi1.lat, poi1.lon),
+            geo_tweet(2, 9000.0, poi0.lat, poi0.lon),
+        )),
+    ]
+    return TimelineStore(timelines)
+
+
+class TestTimelineStore:
+    def test_basic_counts(self, store):
+        assert len(store) == 2
+        assert store.num_tweets() == 5
+        assert store.num_geotagged() == 4
+
+    def test_duplicate_uid_rejected(self):
+        t = Timeline(uid=1, tweets=(Tweet(1, 0.0, "x"),))
+        with pytest.raises(DataGenerationError):
+            TimelineStore([t, t])
+
+    def test_visits_before(self, store):
+        visits = store.visits_before(1, 5000.0)
+        assert len(visits) == 1
+        assert visits[0].ts == 100.0
+
+    def test_tweets_in_window(self, store):
+        window = store.tweets_in_window(4900.0, 5200.0)
+        assert {t.uid for t in window} == {1, 2}
+
+    def test_unknown_user_raises(self, store):
+        with pytest.raises(DataGenerationError):
+            store.timeline(42)
+
+    def test_subset(self, store):
+        sub = store.subset([1])
+        assert len(sub) == 1
+        assert 2 not in sub
+
+    def test_all_contents(self, store):
+        assert len(store.all_contents()) == 5
+
+
+class TestProfileBuilder:
+    def test_labels_follow_poi_containment(self, store, small_registry):
+        builder = ProfileBuilder(small_registry)
+        profiles = builder.build_all(store)
+        assert len(profiles) == 4
+        assert all(p.is_labeled for p in profiles)
+
+    def test_history_accumulates(self, store, small_registry):
+        builder = ProfileBuilder(small_registry)
+        profiles = builder.build_all(store)
+        user1 = sorted([p for p in profiles if p.uid == 1], key=lambda p: p.ts)
+        assert len(user1[0].visit_history) == 0
+        assert len(user1[1].visit_history) == 1
+
+    def test_max_history_cap(self, store, small_registry):
+        builder = ProfileBuilder(small_registry, max_history=0)
+        profiles = builder.build_all(store)
+        assert all(len(p.visit_history) == 0 for p in profiles)
+
+    def test_invalid_index_rejected(self, store, small_registry):
+        with pytest.raises(DataGenerationError):
+            ProfileBuilder(small_registry).build_profile(store, 1, 10)
+
+
+class TestPairBuilder:
+    def test_pairs_respect_delta_t_and_users(self, store, small_registry):
+        profiles = ProfileBuilder(small_registry).build_all(store)
+        labeled, unlabeled = PairBuilder(PairBuilderConfig(delta_t=HOUR_SECONDS)).build(profiles)
+        assert unlabeled == []
+        for pair in labeled:
+            assert pair.left.uid != pair.right.uid
+            assert pair.time_gap < HOUR_SECONDS
+
+    def test_positive_pair_detected(self, store, small_registry):
+        profiles = ProfileBuilder(small_registry).build_all(store)
+        labeled, _ = PairBuilder(PairBuilderConfig(delta_t=HOUR_SECONDS)).build(profiles)
+        positives, negatives = split_pairs(labeled)
+        # user1@poi1 at ts=5000 and user2@poi1 at ts=5100 co-occur.
+        assert len(positives) == 1
+        assert positives[0].left.pid == positives[0].right.pid
+
+    def test_downsampling_caps_negatives(self, small_registry):
+        poi0 = small_registry.get(0).center
+        poi1 = small_registry.get(1).center
+        profiles = []
+        for uid in range(12):
+            center = poi0 if uid % 2 == 0 else poi1
+            tweet = geo_tweet(uid, 100.0 + uid, center.lat, center.lon)
+            profiles.append(Profile(uid=uid, tweet=tweet, pid=uid % 2))
+        config = PairBuilderConfig(delta_t=HOUR_SECONDS, max_negative_pairs=5, seed=1)
+        labeled, _ = PairBuilder(config).build(profiles)
+        _, negatives = split_pairs(labeled)
+        assert len(negatives) == 5
+
+    @given(fraction=st.floats(min_value=0.1, max_value=1.0))
+    @settings(max_examples=10, deadline=None)
+    def test_negative_fraction_never_exceeds_total(self, small_registry, fraction):
+        poi0 = small_registry.get(0).center
+        poi1 = small_registry.get(1).center
+        profiles = []
+        for uid in range(8):
+            center = poi0 if uid % 2 == 0 else poi1
+            tweet = geo_tweet(uid, 200.0 + uid, center.lat, center.lon)
+            profiles.append(Profile(uid=uid, tweet=tweet, pid=uid % 2))
+        config = PairBuilderConfig(delta_t=HOUR_SECONDS, negative_keep_fraction=fraction, seed=2)
+        labeled, _ = PairBuilder(config).build(profiles)
+        positives, negatives = split_pairs(labeled)
+        assert len(negatives) <= 16  # total possible cross-POI pairs
+        assert len(positives) >= 1
+
+    def test_invalid_delta_t(self):
+        with pytest.raises(DataGenerationError):
+            PairBuilder(PairBuilderConfig(delta_t=0.0))
+
+
+class TestDataset:
+    def test_tiny_dataset_structure(self, tiny_dataset):
+        stats = tiny_dataset.statistics()
+        assert set(stats) == {"Training", "Validation", "Testing"}
+        assert stats["Training"]["timelines"] > 0
+        assert stats["Training"]["labeled_profiles"] > 0
+
+    def test_splits_are_disjoint_users(self, tiny_dataset):
+        train_users = set(tiny_dataset.train.store.user_ids)
+        test_users = set(tiny_dataset.test.store.user_ids)
+        val_users = set(tiny_dataset.validation.store.user_ids)
+        assert train_users.isdisjoint(test_users)
+        assert train_users.isdisjoint(val_users)
+
+    def test_labeled_profiles_have_known_pois(self, tiny_dataset):
+        for profile in tiny_dataset.train.labeled_profiles:
+            assert profile.pid in tiny_dataset.registry
+
+    def test_pairs_within_delta_t(self, tiny_dataset):
+        for pair in tiny_dataset.train.labeled_pairs[:200]:
+            assert pair.time_gap < tiny_dataset.delta_t
+            assert pair.left.uid != pair.right.uid
+
+    def test_pair_labels_match_pids(self, tiny_dataset):
+        for pair in tiny_dataset.train.labeled_pairs[:200]:
+            expected = 1 if pair.left.pid == pair.right.pid else 0
+            assert pair.co_label == expected
+
+    def test_training_corpus_nonempty(self, tiny_dataset):
+        assert len(tiny_dataset.training_corpus()) > 0
+
+    def test_deterministic_given_config(self):
+        a = build_dataset(tiny_dataset_config(seed=5))
+        b = build_dataset(tiny_dataset_config(seed=5))
+        assert a.statistics() == b.statistics()

@@ -1,0 +1,154 @@
+"""Tests for repro.eval.clustering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.eval import (
+    adjusted_rand_index,
+    clustering_report,
+    contingency_table,
+    labels_from_partition,
+    normalized_mutual_information,
+    pairwise_f1,
+    purity,
+    rand_index,
+)
+
+LABELS = st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=20)
+
+
+class TestContingencyTable:
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            contingency_table([1, 2], [1])
+
+    def test_counts(self):
+        table = contingency_table([0, 0, 1, 1], [0, 0, 0, 1])
+        assert table.sum() == 4
+        assert table.shape == (2, 2)
+        assert table[0, 0] == 2
+
+    def test_string_labels_supported(self):
+        table = contingency_table(["a", "a", "b"], ["x", "y", "y"])
+        assert table.sum() == 3
+
+
+class TestRandIndices:
+    def test_identical_partitions(self):
+        labels = [0, 0, 1, 1, 2]
+        assert rand_index(labels, labels) == 1.0
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_label_permutation_invariant(self):
+        true = [0, 0, 1, 1]
+        predicted = [5, 5, 9, 9]
+        assert adjusted_rand_index(true, predicted) == pytest.approx(1.0)
+
+    def test_completely_split_prediction(self):
+        true = [0, 0, 0, 0]
+        predicted = [0, 1, 2, 3]
+        assert adjusted_rand_index(true, predicted) == pytest.approx(0.0, abs=1e-9)
+
+    def test_ari_can_be_negative(self):
+        true = [0, 0, 1, 1]
+        predicted = [0, 1, 0, 1]
+        assert adjusted_rand_index(true, predicted) <= 0.0
+
+    def test_single_item(self):
+        assert rand_index([0], [0]) == 1.0
+        assert adjusted_rand_index([0], [5]) == 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(LABELS)
+    def test_ari_bounded_above_by_one(self, labels):
+        predicted = list(reversed(labels))
+        assert adjusted_rand_index(labels, predicted) <= 1.0 + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(LABELS)
+    def test_rand_index_in_unit_interval(self, labels):
+        predicted = list(reversed(labels))
+        assert 0.0 <= rand_index(labels, predicted) <= 1.0
+
+
+class TestNMIAndPurity:
+    def test_identical_partitions_nmi_one(self):
+        labels = [0, 1, 1, 2, 2, 2]
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+    def test_independent_partitions_low_nmi(self):
+        true = [0, 0, 1, 1]
+        predicted = [0, 1, 0, 1]
+        assert normalized_mutual_information(true, predicted) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_cluster_both_sides(self):
+        assert normalized_mutual_information([0, 0, 0], [7, 7, 7]) == 1.0
+
+    def test_purity_perfect(self):
+        assert purity([0, 0, 1], [4, 4, 5]) == 1.0
+
+    def test_purity_mixed_cluster(self):
+        # One predicted cluster holding 2 of class 0 and 1 of class 1.
+        assert purity([0, 0, 1], [3, 3, 3]) == pytest.approx(2.0 / 3.0)
+
+    def test_purity_singletons_always_one(self):
+        assert purity([0, 0, 1, 1], [0, 1, 2, 3]) == 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(LABELS)
+    def test_nmi_and_purity_bounded(self, labels):
+        predicted = sorted(labels)
+        assert 0.0 <= normalized_mutual_information(labels, predicted) <= 1.0 + 1e-9
+        assert 0.0 < purity(labels, predicted) <= 1.0
+
+
+class TestPairwiseF1:
+    def test_identical(self):
+        assert pairwise_f1([0, 0, 1], [5, 5, 6]) == 1.0
+
+    def test_all_singletons_vs_grouped(self):
+        assert pairwise_f1([0, 0, 0], [0, 1, 2]) == 0.0
+
+    def test_partial_overlap(self):
+        true = [0, 0, 1, 1]
+        predicted = [0, 0, 0, 1]
+        value = pairwise_f1(true, predicted)
+        assert 0.0 < value < 1.0
+
+    def test_single_item(self):
+        assert pairwise_f1([0], [9]) == 1.0
+
+    def test_no_positive_pairs_on_either_side(self):
+        assert pairwise_f1([0, 1], [2, 3]) == 1.0
+
+
+class TestHelpers:
+    def test_labels_from_partition(self):
+        partition = [frozenset({1, 2}), frozenset({3})]
+        labels = labels_from_partition(partition, [1, 2, 3, 4])
+        assert labels[0] == labels[1]
+        assert labels[2] != labels[0]
+        assert labels[3] not in (labels[0], labels[2])
+
+    def test_clustering_report_keys_and_bounds(self):
+        report = clustering_report([0, 0, 1, 1], [0, 0, 1, 2])
+        assert set(report) == {"rand_index", "adjusted_rand_index", "nmi", "purity", "pairwise_f1"}
+        for name, value in report.items():
+            if name == "adjusted_rand_index":
+                assert -1.0 <= value <= 1.0
+            else:
+                assert 0.0 <= value <= 1.0
+
+    def test_report_perfect_prediction(self):
+        report = clustering_report([0, 1, 1], [2, 3, 3])
+        assert all(value == pytest.approx(1.0) for value in report.values())
+
+    def test_numpy_array_inputs(self):
+        true = np.array([0, 0, 1, 1])
+        predicted = np.array([1, 1, 0, 0])
+        assert adjusted_rand_index(true, predicted) == pytest.approx(1.0)

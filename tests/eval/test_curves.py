@@ -1,0 +1,94 @@
+"""Tests for precision-recall and calibration curves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    average_precision,
+    best_f1_threshold,
+    calibration_curve,
+    expected_calibration_error,
+    f1_at_threshold,
+    precision_recall_curve,
+)
+
+
+class TestPrecisionRecallCurve:
+    def test_perfect_ranking(self):
+        y_true = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        precision, recall, thresholds = precision_recall_curve(y_true, scores)
+        assert precision[-1] == 1.0 and recall[-1] == 0.0
+        assert average_precision(y_true, scores) == pytest.approx(1.0)
+
+    def test_worst_ranking(self):
+        y_true = np.array([1, 1, 0, 0])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert average_precision(y_true, scores) < 0.6
+
+    def test_shapes_are_consistent(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 2, size=50)
+        scores = rng.random(50)
+        precision, recall, thresholds = precision_recall_curve(y_true, scores)
+        assert len(precision) == len(recall) == len(thresholds) + 1
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            precision_recall_curve(np.array([0, 2]), np.array([0.1, 0.2]))
+        with pytest.raises(ValueError):
+            precision_recall_curve(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            precision_recall_curve(np.array([0, 1]), np.array([0.5]))
+
+    @given(
+        labels=st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=40),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bounds_property(self, labels, seed):
+        y_true = np.array(labels)
+        scores = np.random.default_rng(seed).random(len(labels))
+        precision, recall, _ = precision_recall_curve(y_true, scores)
+        assert np.all((precision >= 0) & (precision <= 1))
+        assert np.all((recall >= 0) & (recall <= 1))
+        assert 0.0 <= average_precision(y_true, scores) <= 1.0 + 1e-9
+
+
+class TestF1Thresholding:
+    def test_f1_at_half(self):
+        y_true = np.array([1, 1, 0, 0])
+        scores = np.array([0.9, 0.4, 0.6, 0.1])
+        assert f1_at_threshold(y_true, scores, 0.5) == pytest.approx(0.5)
+
+    def test_best_threshold_recovers_perfect_split(self):
+        y_true = np.array([0, 0, 1, 1, 1])
+        scores = np.array([0.1, 0.3, 0.7, 0.8, 0.9])
+        threshold, value = best_f1_threshold(y_true, scores)
+        assert value == pytest.approx(1.0)
+        assert 0.3 < threshold <= 0.7
+
+
+class TestCalibration:
+    def test_perfectly_calibrated_constant_bins(self):
+        y_true = np.array([1, 0, 1, 0, 1, 0, 1, 0])
+        scores = np.full(8, 0.5)
+        assert expected_calibration_error(y_true, scores, num_bins=5) == pytest.approx(0.0)
+
+    def test_overconfident_scores_have_large_error(self):
+        y_true = np.array([0, 0, 0, 0, 1])
+        scores = np.array([0.95, 0.9, 0.92, 0.96, 0.99])
+        assert expected_calibration_error(y_true, scores, num_bins=5) > 0.5
+
+    def test_curve_counts_sum_to_samples(self):
+        rng = np.random.default_rng(1)
+        y_true = rng.integers(0, 2, size=30)
+        scores = rng.random(30)
+        _, _, counts = calibration_curve(y_true, scores, num_bins=6)
+        assert counts.sum() == 30
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            calibration_curve(np.array([0, 1]), np.array([0.2, 0.8]), num_bins=0)

@@ -1,0 +1,187 @@
+"""Tests for metrics, ROC/AUC, Acc@K, balanced folds, t-SNE and reports."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Pair, Profile, Tweet
+from repro.eval import (
+    accuracy_at_k,
+    balanced_test_folds,
+    binary_metrics,
+    format_series,
+    format_table,
+    pair_labels,
+    roc_auc_score,
+    roc_curve,
+    silhouette_score,
+    tsne_embed,
+)
+
+
+class TestBinaryMetrics:
+    def test_perfect_prediction(self):
+        y = np.array([0, 1, 1, 0])
+        m = binary_metrics(y, y)
+        assert m.accuracy == 1.0 and m.recall == 1.0 and m.precision == 1.0 and m.f1 == 1.0
+
+    def test_all_wrong(self):
+        m = binary_metrics(np.array([0, 1]), np.array([1, 0]))
+        assert m.accuracy == 0.0
+        assert m.f1 == 0.0
+
+    def test_known_confusion(self):
+        y_true = np.array([1, 1, 1, 0, 0, 0])
+        y_pred = np.array([1, 1, 0, 1, 0, 0])
+        m = binary_metrics(y_true, y_pred)
+        assert m.recall == pytest.approx(2 / 3)
+        assert m.precision == pytest.approx(2 / 3)
+        assert m.accuracy == pytest.approx(4 / 6)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            binary_metrics(np.array([1]), np.array([1, 0]))
+
+    def test_empty_inputs(self):
+        m = binary_metrics(np.array([]), np.array([]))
+        assert m.accuracy == 0.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_metrics_in_unit_interval(self, labels):
+        rng = np.random.default_rng(0)
+        y_true = np.array(labels)
+        y_pred = rng.integers(0, 2, size=len(labels))
+        m = binary_metrics(y_true, y_pred)
+        for value in (m.accuracy, m.recall, m.precision, m.f1):
+            assert 0.0 <= value <= 1.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=4, max_size=40))
+    @settings(max_examples=20, deadline=None)
+    def test_f1_is_harmonic_mean(self, labels):
+        rng = np.random.default_rng(1)
+        y_true = np.array(labels)
+        y_pred = rng.integers(0, 2, size=len(labels))
+        m = binary_metrics(y_true, y_pred)
+        if m.precision + m.recall > 0:
+            expected = 2 * m.precision * m.recall / (m.precision + m.recall)
+            assert m.f1 == pytest.approx(expected)
+
+
+class TestROC:
+    def test_perfect_classifier_auc_one(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc_score(y, scores) == pytest.approx(1.0)
+
+    def test_inverted_classifier_auc_zero(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc_score(y, scores) == pytest.approx(0.0)
+
+    def test_random_scores_auc_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=2000)
+        scores = rng.random(2000)
+        assert 0.45 < roc_auc_score(y, scores) < 0.55
+
+    def test_curve_monotone_and_bounded(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, size=100)
+        scores = rng.random(100)
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all((tpr >= 0) & (tpr <= 1))
+        assert fpr[0] == 0.0
+
+
+class TestAccuracyAtK:
+    def test_top1(self):
+        scores = np.array([[0.7, 0.2, 0.1], [0.1, 0.8, 0.1]])
+        assert accuracy_at_k(np.array([0, 1]), scores, 1) == 1.0
+
+    def test_k_larger_than_classes(self):
+        scores = np.array([[0.7, 0.2, 0.1]])
+        assert accuracy_at_k(np.array([2]), scores, 10) == 1.0
+
+    def test_monotone_in_k(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random((30, 8))
+        truth = rng.integers(0, 8, size=30)
+        accs = [accuracy_at_k(truth, scores, k) for k in range(1, 9)]
+        assert all(a <= b + 1e-12 for a, b in zip(accs, accs[1:]))
+        assert accs[-1] == 1.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            accuracy_at_k(np.array([0]), np.zeros(3), 1)
+
+
+def make_pair(label, ts=0.0):
+    a = Profile(uid=1, tweet=Tweet(1, ts, "a"), pid=0)
+    b = Profile(uid=2, tweet=Tweet(2, ts + 1, "b"), pid=0 if label else 1)
+    return Pair(a, b, co_label=label)
+
+
+class TestBalancedFolds:
+    def test_each_fold_contains_all_positives(self):
+        pairs = [make_pair(1) for _ in range(5)] + [make_pair(0) for _ in range(20)]
+        folds = balanced_test_folds(pairs, num_folds=4, seed=1)
+        assert len(folds) == 4
+        for fold in folds:
+            assert sum(1 for p in fold if p.is_positive) == 5
+
+    def test_negatives_partitioned(self):
+        pairs = [make_pair(1)] + [make_pair(0) for _ in range(9)]
+        folds = balanced_test_folds(pairs, num_folds=3, seed=1)
+        negative_total = sum(sum(1 for p in fold if p.is_negative) for fold in folds)
+        assert negative_total == 9
+
+    def test_no_negatives_single_fold(self):
+        pairs = [make_pair(1), make_pair(1)]
+        folds = balanced_test_folds(pairs)
+        assert len(folds) == 1
+
+    def test_pair_labels_rejects_unlabeled(self):
+        a = Profile(uid=1, tweet=Tweet(1, 0, "a"))
+        b = Profile(uid=2, tweet=Tweet(2, 1, "b"))
+        with pytest.raises(ValueError):
+            pair_labels([Pair(a, b, None)])
+
+
+class TestTSNE:
+    def test_embed_shape(self):
+        rng = np.random.default_rng(0)
+        out = tsne_embed(rng.normal(size=(30, 8)))
+        assert out.shape == (30, 2)
+        assert np.all(np.isfinite(out))
+
+    def test_empty_and_tiny_inputs(self):
+        assert tsne_embed(np.zeros((0, 4))).shape == (0, 2)
+        assert tsne_embed(np.zeros((2, 4))).shape == (2, 2)
+
+    def test_separates_well_separated_clusters(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(20, 6)) + 20.0
+        b = rng.normal(size=(20, 6)) - 20.0
+        coords = tsne_embed(np.vstack([a, b]))
+        labels = np.array([0] * 20 + [1] * 20)
+        assert silhouette_score(coords, labels) > 0.3
+
+    def test_silhouette_degenerate_cases(self):
+        assert silhouette_score(np.zeros((2, 2)), np.array([0, 0])) == 0.0
+        assert silhouette_score(np.zeros((5, 2)), np.zeros(5, dtype=int)) == 0.0
+
+
+class TestReports:
+    def test_format_table_contains_rows_and_columns(self):
+        text = format_table({"A": {"Acc": 0.5}, "B": {"Acc": 0.75}}, title="T")
+        assert "T" in text and "A" in text and "0.7500" in text
+
+    def test_format_table_empty(self):
+        assert format_table({}, title="empty") == "empty"
+
+    def test_format_series(self):
+        text = format_series({"f1": [0.1, 0.2]}, [1, 2], title="S", x_label="k")
+        assert "S" in text and "k" in text and "0.2000" in text

@@ -1,0 +1,148 @@
+"""Tests for repro.eval.ranking."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.eval import (
+    average_precision_at_k,
+    dcg_at_k,
+    hit_rate_at_k,
+    mean_average_precision,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    precision_at_k,
+    ranking_report,
+    recall_at_k,
+    reciprocal_rank,
+)
+
+RANKED = ["a", "b", "c", "d", "e"]
+
+
+class TestPrecisionRecallHit:
+    def test_invalid_k_raises(self):
+        with pytest.raises(ConfigurationError):
+            precision_at_k(RANKED, {"a"}, 0)
+        with pytest.raises(ConfigurationError):
+            recall_at_k(RANKED, {"a"}, 0)
+        with pytest.raises(ConfigurationError):
+            hit_rate_at_k(RANKED, {"a"}, 0)
+
+    def test_perfect_top_k(self):
+        assert precision_at_k(RANKED, {"a", "b"}, 2) == 1.0
+        assert recall_at_k(RANKED, {"a", "b"}, 2) == 1.0
+        assert hit_rate_at_k(RANKED, {"a", "b"}, 2) == 1.0
+
+    def test_partial_top_k(self):
+        assert precision_at_k(RANKED, {"a", "e"}, 2) == 0.5
+        assert recall_at_k(RANKED, {"a", "e"}, 2) == 0.5
+
+    def test_no_relevant_items(self):
+        assert precision_at_k(RANKED, set(), 3) == 0.0
+        assert recall_at_k(RANKED, set(), 3) == 0.0
+        assert hit_rate_at_k(RANKED, set(), 3) == 0.0
+
+    def test_empty_ranking(self):
+        assert precision_at_k([], {"a"}, 3) == 0.0
+        assert recall_at_k([], {"a"}, 3) == 0.0
+
+    def test_k_beyond_ranking_length(self):
+        assert precision_at_k(["a"], {"a"}, 10) == 1.0
+        assert recall_at_k(["a"], {"a", "b"}, 10) == 0.5
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), unique=True, max_size=10),
+        st.sets(st.integers(min_value=0, max_value=20), max_size=10),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_bounds_property(self, ranked, relevant, k):
+        for metric in (precision_at_k, recall_at_k, hit_rate_at_k):
+            value = metric(ranked, relevant, k)
+            assert 0.0 <= value <= 1.0
+
+
+class TestReciprocalRank:
+    def test_first_position(self):
+        assert reciprocal_rank(RANKED, {"a"}) == 1.0
+
+    def test_third_position(self):
+        assert reciprocal_rank(RANKED, {"c"}) == pytest.approx(1.0 / 3.0)
+
+    def test_missing_item(self):
+        assert reciprocal_rank(RANKED, {"z"}) == 0.0
+
+    def test_mrr_average(self):
+        rankings = [RANKED, RANKED]
+        relevants = [{"a"}, {"b"}]
+        assert mean_reciprocal_rank(rankings, relevants) == pytest.approx((1.0 + 0.5) / 2.0)
+
+    def test_mrr_length_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            mean_reciprocal_rank([RANKED], [{"a"}, {"b"}])
+
+    def test_mrr_empty_batch(self):
+        assert mean_reciprocal_rank([], []) == 0.0
+
+
+class TestNDCG:
+    def test_dcg_known_value(self):
+        # relevances 3, 2 at ranks 1, 2: (2^3-1)/log2(2) + (2^2-1)/log2(3)
+        expected = 7.0 + 3.0 / 1.5849625007211562
+        assert dcg_at_k([3.0, 2.0], 2) == pytest.approx(expected)
+
+    def test_perfect_ordering_scores_one(self):
+        relevance = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg_at_k(["a", "b", "c"], relevance, 3) == pytest.approx(1.0)
+
+    def test_reversed_ordering_below_one(self):
+        relevance = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg_at_k(["c", "b", "a"], relevance, 3) < 1.0
+
+    def test_no_positive_relevance(self):
+        assert ndcg_at_k(RANKED, {}, 3) == 0.0
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ConfigurationError):
+            ndcg_at_k(RANKED, {"a": 1.0}, 0)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision_at_k(["a", "b", "x"], {"a", "b"}) == pytest.approx(1.0)
+
+    def test_interleaved_ranking(self):
+        # relevant at ranks 1 and 3: (1/1 + 2/3) / 2
+        assert average_precision_at_k(["a", "x", "b"], {"a", "b"}) == pytest.approx((1.0 + 2.0 / 3.0) / 2.0)
+
+    def test_no_relevant(self):
+        assert average_precision_at_k(RANKED, set()) == 0.0
+
+    def test_no_hits(self):
+        assert average_precision_at_k(RANKED, {"z"}) == 0.0
+
+    def test_map_batches(self):
+        value = mean_average_precision([["a", "b"], ["b", "a"]], [{"a"}, {"a"}])
+        assert value == pytest.approx((1.0 + 0.5) / 2.0)
+
+    def test_map_length_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            mean_average_precision([RANKED], [])
+
+
+class TestReport:
+    def test_report_keys(self):
+        report = ranking_report([RANKED], [{"a"}], ks=(1, 3))
+        assert set(report) == {"mrr", "precision@1", "recall@1", "hit@1", "precision@3", "recall@3", "hit@3"}
+
+    def test_report_values_bounded(self):
+        report = ranking_report([RANKED, RANKED], [{"a"}, {"z"}], ks=(2,))
+        assert all(0.0 <= value <= 1.0 for value in report.values())
+
+    def test_report_length_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            ranking_report([RANKED], [{"a"}, {"b"}])

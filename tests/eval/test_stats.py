@@ -1,0 +1,100 @@
+"""Tests for the statistical comparison helpers."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    bootstrap_metric,
+    confusion_matrix,
+    mcnemar_test,
+    paired_fold_ttest,
+)
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        y_true = np.array([0, 0, 1, 1, 1])
+        y_pred = np.array([0, 1, 1, 0, 1])
+        matrix = confusion_matrix(y_true, y_pred)
+        np.testing.assert_array_equal(matrix, [[1, 1], [1, 2]])
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 2]), np.array([0, 1]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 1]), np.array([0]))
+
+
+class TestBootstrapMetric:
+    @staticmethod
+    def _accuracy(y_true, y_pred):
+        return float(np.mean(y_true == (y_pred >= 0.5)))
+
+    def test_interval_contains_point_estimate(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 2, size=200)
+        scores = np.where(y_true == 1, 0.7, 0.3) + rng.normal(0, 0.2, size=200)
+        interval = bootstrap_metric(y_true, scores, self._accuracy, num_resamples=200)
+        assert interval.lower <= interval.point <= interval.upper
+        assert interval.point in interval
+
+    def test_perfect_predictor_has_degenerate_interval(self):
+        y_true = np.array([0, 1] * 50)
+        scores = y_true.astype(float)
+        interval = bootstrap_metric(y_true, scores, self._accuracy, num_resamples=100)
+        assert interval.lower == interval.upper == interval.point == 1.0
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_metric(np.array([]), np.array([]), self._accuracy)
+        with pytest.raises(ValueError):
+            bootstrap_metric(np.array([1]), np.array([1.0]), self._accuracy, confidence=1.5)
+
+
+class TestMcNemar:
+    def test_identical_predictions_not_significant(self):
+        y_true = np.array([0, 1, 0, 1, 1])
+        predictions = np.array([0, 1, 1, 1, 0])
+        result = mcnemar_test(y_true, predictions, predictions)
+        assert result.p_value == 1.0
+        assert not result.significant
+
+    def test_clearly_better_judge_is_significant(self):
+        rng = np.random.default_rng(2)
+        y_true = rng.integers(0, 2, size=400)
+        good = y_true.copy()
+        bad = np.where(rng.random(400) < 0.5, y_true, 1 - y_true)
+        result = mcnemar_test(y_true, good, bad)
+        assert result.second_only == 0
+        assert result.significant
+
+    def test_small_sample_uses_exact_test(self):
+        y_true = np.array([1, 1, 1, 0, 0, 0])
+        first = np.array([1, 1, 1, 0, 0, 0])
+        second = np.array([0, 1, 1, 0, 0, 1])
+        result = mcnemar_test(y_true, first, second)
+        assert 0.0 <= result.p_value <= 1.0
+        assert result.first_only == 2 and result.second_only == 0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mcnemar_test(np.array([0, 1]), np.array([0]), np.array([0, 1]))
+
+
+class TestPairedFoldTTest:
+    def test_identical_scores_give_p_one(self):
+        statistic, p_value = paired_fold_ttest([0.8, 0.7, 0.9], [0.8, 0.7, 0.9])
+        assert statistic == 0.0 and p_value == 1.0
+
+    def test_consistent_improvement_is_detected(self):
+        first = [0.80, 0.82, 0.78, 0.81, 0.79]
+        second = [0.70, 0.71, 0.69, 0.72, 0.68]
+        statistic, p_value = paired_fold_ttest(first, second)
+        assert statistic > 0
+        assert p_value < 0.01
+
+    def test_needs_at_least_two_folds(self):
+        with pytest.raises(ValueError):
+            paired_fold_ttest([0.5], [0.4])

@@ -1,0 +1,110 @@
+"""Tests for the experiment configuration, approach factory and light runners.
+
+The heavyweight end-to-end runners are exercised at ``smoke`` scale only; the
+benchmark suite runs them at ``default`` scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    APPROACH_NAMES,
+    DEFAULT,
+    PRESETS,
+    SMOKE,
+    TAXONOMY,
+    ApproachSuite,
+    ExperimentContext,
+    pipeline_config_for,
+    resolve_scale,
+)
+from repro.experiments import figure5, table2, table4
+
+
+class TestScaleConfig:
+    def test_presets_exist(self):
+        assert set(PRESETS) == {"smoke", "default", "full"}
+
+    def test_resolve_by_name_and_passthrough(self):
+        assert resolve_scale("smoke") is SMOKE
+        assert resolve_scale(DEFAULT) is DEFAULT
+
+    def test_resolve_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXPERIMENT_SCALE", raising=False)
+        assert resolve_scale(None).name == "default"
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "smoke")
+        assert resolve_scale(None).name == "smoke"
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_scale("gigantic")
+
+
+class TestApproachConfigs:
+    def test_all_approaches_have_taxonomy(self):
+        assert set(TAXONOMY) == set(APPROACH_NAMES)
+
+    def test_pipeline_config_variants(self):
+        assert pipeline_config_for("HisRect", SMOKE).hisrect.use_content
+        assert not pipeline_config_for("History-only", SMOKE).hisrect.use_content
+        assert not pipeline_config_for("Tweet-only", SMOKE).hisrect.use_history
+        assert pipeline_config_for("One-hot", SMOKE).hisrect.history_encoding == "onehot"
+        assert pipeline_config_for("BLSTM", SMOKE).hisrect.content_encoder == "blstm"
+        assert pipeline_config_for("ConvLSTM", SMOKE).hisrect.content_encoder == "convlstm"
+        assert pipeline_config_for("One-phase", SMOKE).mode == "one-phase"
+        assert not pipeline_config_for("HisRect-SL", SMOKE).ssl.use_unlabeled
+
+    def test_naive_approaches_are_not_pipelines(self):
+        with pytest.raises(ConfigurationError):
+            pipeline_config_for("TG-TI-C", SMOKE)
+
+
+class TestSuiteAndRunners:
+    @pytest.fixture(scope="class")
+    def context(self):
+        return ExperimentContext("smoke", seed=7)
+
+    def test_dataset_caching(self, context):
+        assert context.dataset("nyc") is context.dataset("nyc")
+        with pytest.raises(ConfigurationError):
+            context.dataset("tokyo")
+
+    def test_table2_reports_all_splits(self, context):
+        results = table2.run(context, datasets=("nyc",))
+        assert set(results["nyc"]) == {"Training", "Validation", "Testing"}
+        report = table2.format_report(results)
+        assert "Table 2" in report
+
+    def test_suite_builds_naive_approaches(self, context):
+        suite = context.suite("nyc")
+        tgtic = suite.get("TG-TI-C")
+        ngram = suite.get("N-Gram-Gauss")
+        pairs = context.dataset("nyc").test.labeled_pairs[:5]
+        if pairs:
+            assert tgtic.predict(pairs).shape == (len(pairs),)
+            assert ngram.predict(pairs).shape == (len(pairs),)
+
+    def test_unknown_approach_rejected(self, context):
+        with pytest.raises(ConfigurationError):
+            context.suite("nyc").get("DeepCoLoc")
+
+    def test_table4_taxonomy_rows(self):
+        rows = table4.taxonomy_rows()
+        assert set(rows) == set(APPROACH_NAMES)
+        assert rows["HisRect"]["SSL"] == "x"
+        assert rows["One-phase"]["SSL"] == "-"
+
+    def test_figure5_subsample_training(self, context):
+        dataset = context.dataset("nyc")
+        reduced = figure5.subsample_training(dataset, 0.5, seed=3)
+        assert len(reduced.train.store) <= len(dataset.train.store)
+        assert reduced.test is dataset.test
+        with pytest.raises(ValueError):
+            figure5.subsample_training(dataset, 0.0)
+
+    def test_suite_caches_trained_models(self, context):
+        suite = ApproachSuite(context.dataset("nyc"), scale=SMOKE, seed=1)
+        first = suite.get("TG-TI-C")
+        assert suite.get("TG-TI-C") is first
+        assert "TG-TI-C" in suite.trained_names()

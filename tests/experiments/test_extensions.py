@@ -1,0 +1,46 @@
+"""Tests for the extension experiment runners (smoke scale only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentContext, extensions
+
+
+@pytest.fixture(scope="module")
+def context() -> ExperimentContext:
+    return ExperimentContext("smoke", seed=7)
+
+
+class TestEncoderExtension:
+    def test_runs_requested_encoders_only(self, context):
+        results = extensions.run_encoders(context, dataset="nyc", encoders=("bgru",))
+        assert set(results) == {"bgru"}
+        assert set(results["bgru"]) == {"Acc", "Rec", "Pre", "F1"}
+
+    def test_metrics_bounded(self, context):
+        results = extensions.run_encoders(context, dataset="nyc", encoders=("bgru",))
+        for metrics in results.values():
+            for value in metrics.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_report_mentions_encoders(self, context):
+        results = extensions.run_encoders(context, dataset="nyc", encoders=("bgru",))
+        report = extensions.format_encoder_report(results)
+        assert "bgru" in report
+        assert "Extension" in report
+
+
+class TestSocialExtension:
+    def test_compares_base_and_social(self, context):
+        results = extensions.run_social(context, dataset="nyc")
+        assert set(results) == {"HisRect", "HisRect+Social"}
+        for metrics in results.values():
+            assert set(metrics) == {"Acc", "Rec", "Pre", "F1"}
+            for value in metrics.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_report_format(self, context):
+        results = extensions.run_social(context, dataset="nyc")
+        report = extensions.format_social_report(results)
+        assert "HisRect+Social" in report

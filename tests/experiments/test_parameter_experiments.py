@@ -1,0 +1,42 @@
+"""Tests for the Δt and smoothing-factor experiment helpers (no training)."""
+
+from repro.data.timelines import HOUR_SECONDS
+from repro.experiments import delta_t, parameters
+
+
+class TestWithDeltaT:
+    def test_pairs_respect_new_window(self, tiny_dataset):
+        halved = delta_t.with_delta_t(tiny_dataset, 0.5 * HOUR_SECONDS)
+        assert halved.delta_t == 0.5 * HOUR_SECONDS
+        for pair in halved.train.labeled_pairs:
+            assert pair.time_gap < 0.5 * HOUR_SECONDS
+
+    def test_smaller_window_never_adds_pairs(self, tiny_dataset):
+        halved = delta_t.with_delta_t(tiny_dataset, 0.5 * HOUR_SECONDS)
+        assert len(halved.train.labeled_pairs) <= len(tiny_dataset.train.labeled_pairs)
+
+    def test_profiles_and_timelines_are_untouched(self, tiny_dataset):
+        varied = delta_t.with_delta_t(tiny_dataset, 2 * HOUR_SECONDS)
+        assert varied.train.labeled_profiles == tiny_dataset.train.labeled_profiles
+        assert varied.train.store is tiny_dataset.train.store
+
+    def test_validation_and_test_have_no_unlabeled_pairs(self, tiny_dataset):
+        varied = delta_t.with_delta_t(tiny_dataset, 2 * HOUR_SECONDS)
+        assert varied.test.unlabeled_pairs == []
+        assert varied.validation.unlabeled_pairs == []
+
+
+class TestReportFormatting:
+    def test_delta_t_report_contains_rows(self):
+        results = {
+            "dt=0.5h": {"Acc": 0.9, "Rec": 0.8, "Pre": 0.7, "F1": 0.75},
+            "dt=1h": {"Acc": 0.91, "Rec": 0.81, "Pre": 0.71, "F1": 0.76},
+        }
+        report = delta_t.format_report(results)
+        assert "dt=0.5h" in report and "Acc" in report
+
+    def test_parameters_report_contains_title(self):
+        results = {"eps_d=250m": {"Acc": 0.9, "Rec": 0.8, "Pre": 0.7, "F1": 0.75}}
+        report = parameters.format_report(results, title="Ablation: eps_d")
+        assert report.startswith("Ablation: eps_d")
+        assert "eps_d=250m" in report

@@ -1,0 +1,149 @@
+"""Tests for the content encoders and the HisRect featurizer stack."""
+
+import numpy as np
+import pytest
+
+from repro.data import Profile, Tweet, Visit
+from repro.errors import ConfigurationError
+from repro.features import (
+    BiLSTMCContentEncoder,
+    BLSTMContentEncoder,
+    ContentEncoderConfig,
+    ConvLSTMContentEncoder,
+    EmbeddingNetwork,
+    HisRectConfig,
+    HisRectFeaturizer,
+    POIClassifier,
+    TextVectorizer,
+    make_content_encoder,
+)
+from repro.text import SkipGramConfig, SkipGramModel, Tokenizer, Vocabulary
+
+
+@pytest.fixture(scope="module")
+def vectorizer():
+    corpus = [["coffee", "latte", "museum", "exhibit", "park", "sunny"]] * 30
+    vocab = Vocabulary.build(corpus, min_count=1)
+    skipgram = SkipGramModel(vocab, SkipGramConfig(embedding_dim=10, epochs=1, seed=0))
+    skipgram.train([vocab.encode(s) for s in corpus])
+    return TextVectorizer(vocab, skipgram, tokenizer=Tokenizer(), max_tokens=12, min_tokens=4)
+
+
+def profile(content="coffee latte museum", uid=1, ts=100.0, history=()):
+    tweet = Tweet(uid=uid, ts=ts, content=content)
+    return Profile(uid=uid, tweet=tweet, visit_history=tuple(history))
+
+
+class TestTextVectorizer:
+    def test_vectorize_shape(self, vectorizer):
+        matrix = vectorizer.vectorize(profile("coffee latte museum exhibit"))
+        assert matrix.shape[1] == 10
+        assert matrix.shape[0] >= 4
+
+    def test_empty_content_padded(self, vectorizer):
+        matrix = vectorizer.vectorize(profile(""))
+        assert matrix.shape == (4, 10)
+
+    def test_truncates_long_tweets(self, vectorizer):
+        matrix = vectorizer.vectorize(profile("coffee " * 50))
+        assert matrix.shape[0] == 12
+
+    def test_cache_returns_same_array(self, vectorizer):
+        p = profile("coffee latte")
+        assert vectorizer.vectorize(p) is vectorizer.vectorize(p)
+
+
+class TestContentEncoders:
+    @pytest.mark.parametrize("encoder_cls", [BiLSTMCContentEncoder, BLSTMContentEncoder, ConvLSTMContentEncoder])
+    def test_output_dimension(self, vectorizer, encoder_cls):
+        encoder = encoder_cls(vectorizer, ContentEncoderConfig(feature_dim=6, seed=1))
+        out = encoder.encode(profile("coffee latte museum exhibit park"))
+        assert out.shape == (6,)
+
+    def test_factory_known_and_unknown(self, vectorizer):
+        assert isinstance(make_content_encoder("bilstm-c", vectorizer), BiLSTMCContentEncoder)
+        with pytest.raises(ValueError):
+            make_content_encoder("transformer", vectorizer)
+
+    def test_gradients_reach_lstm(self, vectorizer):
+        encoder = BiLSTMCContentEncoder(vectorizer, ContentEncoderConfig(feature_dim=6, seed=1))
+        out = encoder.encode(profile("coffee latte museum exhibit"))
+        (out * out).sum().backward()
+        assert any(p.grad is not None for p in encoder.parameters())
+
+
+class TestHisRectFeaturizer:
+    def test_full_feature_shape(self, small_registry, vectorizer):
+        featurizer = HisRectFeaturizer(
+            small_registry, vectorizer, HisRectConfig(content_dim=6, feature_dim=12)
+        )
+        features = featurizer.featurize([profile("coffee latte museum"), profile("park sunny", uid=2)])
+        assert features.shape == (2, 12)
+
+    def test_history_only_variant_needs_no_vectorizer(self, small_registry):
+        featurizer = HisRectFeaturizer(
+            small_registry, None, HisRectConfig(use_content=False, feature_dim=12)
+        )
+        features = featurizer.featurize([profile()])
+        assert features.shape == (1, 12)
+
+    def test_content_required_when_enabled(self, small_registry):
+        with pytest.raises(ConfigurationError):
+            HisRectFeaturizer(small_registry, None, HisRectConfig(use_content=True))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            HisRectConfig(use_history=False, use_content=False)
+        with pytest.raises(ConfigurationError):
+            HisRectConfig(history_encoding="bogus")
+        with pytest.raises(ConfigurationError):
+            HisRectConfig(num_fc_layers=0)
+
+    def test_onehot_history_variant(self, small_registry, vectorizer):
+        featurizer = HisRectFeaturizer(
+            small_registry, vectorizer,
+            HisRectConfig(history_encoding="onehot", content_dim=6, feature_dim=12),
+        )
+        poi = small_registry.get(0)
+        p = profile(history=[Visit(1.0, poi.center.lat, poi.center.lon)])
+        assert featurizer.featurize([p]).shape == (1, 12)
+
+    def test_forward_requires_profiles(self, small_registry, vectorizer):
+        featurizer = HisRectFeaturizer(small_registry, vectorizer, HisRectConfig(content_dim=6, feature_dim=12))
+        with pytest.raises(ValueError):
+            featurizer([])
+
+    def test_history_profiles_differ_by_visits(self, small_registry, vectorizer):
+        featurizer = HisRectFeaturizer(
+            small_registry, vectorizer, HisRectConfig(content_dim=6, feature_dim=12, keep_prob=1.0)
+        )
+        poi0 = small_registry.get(0)
+        poi4 = small_registry.get(4)
+        p_a = profile(history=[Visit(1.0, poi0.center.lat, poi0.center.lon)], uid=1)
+        p_b = profile(history=[Visit(1.0, poi4.center.lat, poi4.center.lon)], uid=2)
+        features = featurizer.featurize([p_a, p_b])
+        assert not np.allclose(features[0], features[1])
+
+
+class TestPOIClassifierAndEmbedding:
+    def test_classifier_shapes(self):
+        classifier = POIClassifier(feature_dim=8, num_pois=5, seed=1)
+        features = np.random.default_rng(0).normal(size=(4, 8))
+        proba = classifier.predict_proba(features)
+        assert proba.shape == (4, 5)
+        np.testing.assert_allclose(proba.sum(axis=1), np.ones(4), atol=1e-9)
+        assert classifier.predict(features).shape == (4,)
+
+    def test_embedding_normalised(self):
+        embedding = EmbeddingNetwork(input_dim=8, embedding_dim=4, seed=1)
+        from repro.nn import Tensor
+
+        out = embedding(Tensor(np.random.default_rng(0).normal(size=(3, 8)))).data
+        np.testing.assert_allclose(np.linalg.norm(out, axis=1), np.ones(3), atol=1e-6)
+
+    def test_embedding_unnormalised_option(self):
+        embedding = EmbeddingNetwork(input_dim=8, embedding_dim=4, normalize=False, seed=1)
+        from repro.nn import Tensor
+
+        out = embedding(Tensor(np.random.default_rng(0).normal(size=(3, 8)))).data
+        assert not np.allclose(np.linalg.norm(out, axis=1), np.ones(3))

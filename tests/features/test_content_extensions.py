@@ -1,0 +1,86 @@
+"""Tests for the extension content encoders (BiGRU, attention pooling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Profile, Tweet
+from repro.features import (
+    AttentionContentEncoder,
+    BiGRUContentEncoder,
+    CONTENT_ENCODERS,
+    ContentEncoderConfig,
+    HisRectConfig,
+    HisRectFeaturizer,
+    TextVectorizer,
+    make_content_encoder,
+)
+from repro.text import SkipGramConfig, SkipGramModel, Tokenizer, Vocabulary
+
+
+@pytest.fixture(scope="module")
+def vectorizer() -> TextVectorizer:
+    corpus = [["coffee", "latte", "museum", "exhibit", "park", "sunny"]] * 30
+    vocab = Vocabulary.build(corpus, min_count=1)
+    skipgram = SkipGramModel(vocab, SkipGramConfig(embedding_dim=10, epochs=1, seed=0))
+    skipgram.train([vocab.encode(s) for s in corpus])
+    return TextVectorizer(vocab, skipgram, tokenizer=Tokenizer(), max_tokens=12, min_tokens=4)
+
+
+def _profile(content: str = "coffee latte museum", uid: int = 1, ts: float = 100.0) -> Profile:
+    return Profile(uid=uid, tweet=Tweet(uid=uid, ts=ts, content=content), visit_history=())
+
+
+class TestFactoryRegistration:
+    def test_new_encoders_registered(self):
+        assert "bgru" in CONTENT_ENCODERS
+        assert "attention" in CONTENT_ENCODERS
+
+    def test_factory_builds_instances(self, vectorizer):
+        assert isinstance(make_content_encoder("bgru", vectorizer), BiGRUContentEncoder)
+        assert isinstance(make_content_encoder("attention", vectorizer), AttentionContentEncoder)
+
+
+class TestEncoderOutputs:
+    @pytest.mark.parametrize("encoder_cls", [BiGRUContentEncoder, AttentionContentEncoder])
+    def test_output_dimension(self, vectorizer, encoder_cls):
+        encoder = encoder_cls(vectorizer, ContentEncoderConfig(feature_dim=6, seed=1))
+        out = encoder.encode(_profile("coffee latte museum exhibit park"))
+        assert out.shape == (6,)
+
+    @pytest.mark.parametrize("encoder_cls", [BiGRUContentEncoder, AttentionContentEncoder])
+    def test_output_finite_and_nonnegative(self, vectorizer, encoder_cls):
+        encoder = encoder_cls(vectorizer, ContentEncoderConfig(feature_dim=6, seed=1))
+        out = encoder.encode(_profile("museum exhibit sunny")).numpy()
+        assert np.isfinite(out).all()
+        assert np.all(out >= 0.0)  # both end in a ReLU projection
+
+    @pytest.mark.parametrize("encoder_cls", [BiGRUContentEncoder, AttentionContentEncoder])
+    def test_gradients_reach_all_parameters(self, vectorizer, encoder_cls):
+        encoder = encoder_cls(vectorizer, ContentEncoderConfig(feature_dim=4, seed=1))
+        out = encoder.encode(_profile("coffee latte museum exhibit"))
+        (out**2).sum().backward()
+        grads = [param.grad for _, param in encoder.named_parameters()]
+        assert any(g is not None and np.any(g != 0.0) for g in grads)
+
+    def test_empty_tweet_handled(self, vectorizer):
+        encoder = BiGRUContentEncoder(vectorizer, ContentEncoderConfig(feature_dim=4, seed=1))
+        out = encoder.encode(_profile(""))
+        assert out.shape == (4,)
+
+    def test_attention_weights_distribution(self, vectorizer):
+        encoder = AttentionContentEncoder(vectorizer, ContentEncoderConfig(feature_dim=4, seed=1))
+        weights = encoder.attention_weights(_profile("coffee latte museum exhibit park"))
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(weights >= 0.0)
+
+
+class TestHisRectIntegration:
+    @pytest.mark.parametrize("encoder_name", ["bgru", "attention"])
+    def test_featurizer_accepts_extension_encoders(self, vectorizer, small_registry, encoder_name):
+        config = HisRectConfig(content_encoder=encoder_name, content_dim=6, feature_dim=8)
+        featurizer = HisRectFeaturizer(small_registry, vectorizer, config)
+        features = featurizer.featurize([_profile("coffee latte"), _profile("museum exhibit", uid=2)])
+        assert features.shape == (2, 8)
+        assert np.isfinite(features).all()

@@ -1,0 +1,158 @@
+"""Tests for repro.geo.geohash."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geo import geohash, haversine_m
+
+LAT = st.floats(min_value=-85.0, max_value=85.0, allow_nan=False)
+LON = st.floats(min_value=-179.9, max_value=179.9, allow_nan=False)
+
+
+class TestEncodeDecode:
+    def test_known_value_wikipedia_reference(self):
+        # The canonical reference example from the geohash specification.
+        assert geohash.encode(57.64911, 10.40744, precision=11) == "u4pruydqqvj"
+
+    def test_known_prefixes_nyc_and_vegas(self):
+        # Manhattan falls in the dr5r cell, the Las Vegas Strip in 9qqj.
+        assert geohash.encode(40.758, -73.9855, precision=7).startswith("dr5r")
+        assert geohash.encode(36.1147, -115.1728, precision=6).startswith("9qqj")
+
+    def test_decode_centre_close_to_original(self):
+        code = geohash.encode(40.758, -73.9855, precision=9)
+        cell = geohash.decode(code)
+        assert cell.lat == pytest.approx(40.758, abs=1e-3)
+        assert cell.lon == pytest.approx(-73.9855, abs=1e-3)
+
+    def test_decode_bounds_contain_centre(self):
+        cell = geohash.decode("dr5ru")
+        min_lat, min_lon, max_lat, max_lon = cell.bounds
+        assert min_lat <= cell.lat <= max_lat
+        assert min_lon <= cell.lon <= max_lon
+
+    def test_invalid_latitude_raises(self):
+        with pytest.raises(GeometryError):
+            geohash.encode(95.0, 0.0)
+
+    def test_invalid_precision_raises(self):
+        with pytest.raises(GeometryError):
+            geohash.encode(0.0, 0.0, precision=0)
+
+    def test_decode_empty_raises(self):
+        with pytest.raises(GeometryError):
+            geohash.decode("")
+
+    def test_decode_invalid_character_raises(self):
+        with pytest.raises(GeometryError):
+            geohash.decode("dr5a")  # 'a' is not in the geohash alphabet
+
+    @settings(max_examples=60, deadline=None)
+    @given(LAT, LON, st.integers(min_value=4, max_value=10))
+    def test_roundtrip_error_bounded_by_cell_size(self, lat, lon, precision):
+        code = geohash.encode(lat, lon, precision)
+        cell = geohash.decode(code)
+        assert abs(cell.lat - lat) <= cell.lat_error * 1.0000001
+        assert abs(cell.lon - lon) <= cell.lon_error * 1.0000001
+
+    @settings(max_examples=60, deadline=None)
+    @given(LAT, LON, st.integers(min_value=2, max_value=10))
+    def test_prefix_property(self, lat, lon, precision):
+        longer = geohash.encode(lat, lon, precision)
+        shorter = geohash.encode(lat, lon, precision - 1)
+        assert longer.startswith(shorter)
+
+
+class TestNeighbors:
+    def test_neighbors_count(self):
+        result = geohash.neighbors("dr5ru")
+        assert len(result) == 8
+        assert len(set(result.values())) == 8
+
+    def test_adjacent_invalid_direction_raises(self):
+        with pytest.raises(GeometryError):
+            geohash.adjacent("dr5ru", "q")
+
+    def test_adjacent_empty_raises(self):
+        with pytest.raises(GeometryError):
+            geohash.adjacent("", "n")
+
+    def test_adjacent_roundtrip_north_south(self):
+        code = "dr5ru"
+        assert geohash.adjacent(geohash.adjacent(code, "n"), "s") == code
+
+    def test_adjacent_roundtrip_east_west(self):
+        code = "9qqj7"
+        assert geohash.adjacent(geohash.adjacent(code, "e"), "w") == code
+
+    def test_expand_includes_center(self):
+        cells = geohash.expand("dr5ru")
+        assert "dr5ru" in cells
+        assert len(cells) == 9
+
+    def test_neighbors_are_adjacent_cells(self):
+        code = geohash.encode(40.75, -73.99, precision=6)
+        center = geohash.decode(code)
+        for neighbor_code in geohash.neighbors(code).values():
+            neighbor = geohash.decode(neighbor_code)
+            distance = haversine_m(center.lat, center.lon, neighbor.lat, neighbor.lon)
+            # Neighbouring precision-6 cells are at most a few km apart.
+            assert distance < 5000.0
+
+
+class TestBucketingHelpers:
+    def test_precision_for_radius_monotonic(self):
+        coarse = geohash.precision_for_radius(100_000.0)
+        fine = geohash.precision_for_radius(100.0)
+        assert fine >= coarse
+
+    def test_precision_for_radius_invalid_raises(self):
+        with pytest.raises(GeometryError):
+            geohash.precision_for_radius(0.0)
+
+    def test_shared_prefix_length(self):
+        assert geohash.shared_prefix_length("dr5ru", "dr5rv") == 4
+        assert geohash.shared_prefix_length("dr5ru", "9qqj7") == 0
+        assert geohash.shared_prefix_length("dr5", "dr5ru") == 3
+
+    def test_grid_distance_zero_for_same_cell(self):
+        assert geohash.grid_distance("dr5ru", "dr5ru") == 0.0
+
+    def test_bucket_points_groups_nearby(self):
+        points = [
+            (0, 40.7580, -73.9855),
+            (1, 40.7581, -73.9856),  # metres away from point 0
+            (2, 36.1147, -115.1728),  # Las Vegas
+        ]
+        buckets = geohash.bucket_points(points, precision=6)
+        bucket_of = {pid: key for key, pids in buckets.items() for pid in pids}
+        assert bucket_of[0] == bucket_of[1]
+        assert bucket_of[0] != bucket_of[2]
+
+    def test_cell_dimensions_decrease_with_precision(self):
+        h5, w5 = geohash.cell_dimensions_m(5)
+        h7, w7 = geohash.cell_dimensions_m(7)
+        assert h7 < h5 and w7 < w5
+
+    def test_cell_dimensions_beyond_table(self):
+        h11, w11 = geohash.cell_dimensions_m(11)
+        h10, w10 = geohash.cell_dimensions_m(10)
+        assert h11 < h10 and w11 < w10
+
+    def test_cell_dimensions_invalid_raises(self):
+        with pytest.raises(GeometryError):
+            geohash.cell_dimensions_m(0)
+
+    def test_covering_cells_contains_disc(self):
+        lat, lon, radius = 40.75, -73.99, 400.0
+        cells = geohash.covering_cells(lat, lon, radius)
+        # A point on the edge of the disc must be in one of the covering cells.
+        probe = geohash.encode(lat + 0.003, lon, precision=len(cells[0]))
+        assert probe in cells
+
+    def test_haversine_cell_error_positive(self):
+        assert geohash.haversine_cell_error_m(7, lat=40.0) > 0.0

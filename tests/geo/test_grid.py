@@ -1,0 +1,37 @@
+"""Tests for repro.geo.grid."""
+
+import pytest
+
+from repro.geo import UniformGridIndex
+
+
+class TestUniformGridIndex:
+    def test_rejects_nonpositive_cell(self):
+        with pytest.raises(ValueError):
+            UniformGridIndex(cell_m=0.0)
+
+    def test_empty_index_returns_no_candidates(self):
+        grid = UniformGridIndex()
+        assert list(grid.candidates(40.0, -74.0)) == []
+
+    def test_inserted_item_is_candidate_inside_its_box(self):
+        grid = UniformGridIndex(cell_m=500.0)
+        grid.insert(7, (40.750, -73.995, 40.755, -73.990))
+        assert 7 in grid.candidates(40.752, -73.992)
+
+    def test_item_not_candidate_far_away(self):
+        grid = UniformGridIndex(cell_m=200.0)
+        grid.insert(7, (40.750, -73.995, 40.7505, -73.9945))
+        assert 7 not in grid.candidates(40.90, -73.50)
+
+    def test_len_counts_cell_entries(self):
+        grid = UniformGridIndex(cell_m=100.0)
+        grid.insert(1, (40.750, -73.995, 40.7505, -73.9945))
+        assert len(grid) >= 1
+
+    def test_large_box_spans_multiple_cells(self):
+        grid = UniformGridIndex(cell_m=100.0)
+        grid.insert(1, (40.750, -73.995, 40.760, -73.985))
+        # Any point inside that box should see the item.
+        assert 1 in grid.candidates(40.751, -73.994)
+        assert 1 in grid.candidates(40.759, -73.986)

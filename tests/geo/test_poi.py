@@ -1,0 +1,98 @@
+"""Tests for repro.geo.poi."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geo import POI, BoundingPolygon, GeoPoint, POIRegistry
+
+
+def make_poi(pid: int, center: GeoPoint, radius: float = 80.0) -> POI:
+    return POI.from_polygon(pid, f"poi_{pid}", BoundingPolygon.regular(center, radius), category="park")
+
+
+class TestPOI:
+    def test_from_polygon_sets_center(self):
+        center = GeoPoint(40.75, -73.99)
+        poi = make_poi(1, center)
+        assert poi.center.distance_to(center) < 1.0
+
+    def test_contains_center(self):
+        poi = make_poi(1, GeoPoint(40.75, -73.99))
+        assert poi.contains(poi.center.lat, poi.center.lon)
+
+    def test_distance_to(self):
+        poi = make_poi(1, GeoPoint(40.75, -73.99))
+        far = poi.center.offset(1000.0, 0.0)
+        assert poi.distance_to(far.lat, far.lon) == pytest.approx(1000.0, rel=0.01)
+
+
+class TestPOIRegistry:
+    def test_empty_registry_rejected(self):
+        with pytest.raises(GeometryError):
+            POIRegistry([])
+
+    def test_duplicate_pids_rejected(self):
+        center = GeoPoint(40.75, -73.99)
+        with pytest.raises(GeometryError):
+            POIRegistry([make_poi(1, center), make_poi(1, center.offset(500, 0))])
+
+    def test_len_iter_contains(self, small_registry):
+        assert len(small_registry) == 5
+        assert 0 in small_registry
+        assert 99 not in small_registry
+        assert len(list(small_registry)) == 5
+
+    def test_get_and_index_roundtrip(self, small_registry):
+        for poi in small_registry:
+            assert small_registry.get(poi.pid) is poi
+            assert small_registry.pid_at(small_registry.index_of(poi.pid)) == poi.pid
+
+    def test_get_unknown_raises(self, small_registry):
+        with pytest.raises(GeometryError):
+            small_registry.get(12345)
+
+    def test_distances_from_has_one_entry_per_poi(self, small_registry):
+        poi = small_registry.get(0)
+        distances = small_registry.distances_from(poi.center.lat, poi.center.lon)
+        assert distances.shape == (5,)
+        assert distances[0] == pytest.approx(0.0, abs=1.0)
+
+    def test_nearest_returns_containing_poi_center(self, small_registry):
+        poi = small_registry.get(2)
+        nearest, distance = small_registry.nearest(poi.center.lat, poi.center.lon)
+        assert nearest.pid == 2
+        assert distance < 1.0
+
+    def test_min_distance_matches_nearest(self, small_registry):
+        point = small_registry.get(1).center.offset(150.0, 0.0)
+        _, distance = small_registry.nearest(point.lat, point.lon)
+        assert small_registry.min_distance(point.lat, point.lon) == pytest.approx(distance)
+
+    def test_locate_inside_poi(self, small_registry):
+        poi = small_registry.get(3)
+        located = small_registry.locate(poi.center.lat, poi.center.lon)
+        assert located is not None
+        assert located.pid == 3
+
+    def test_locate_outside_all_pois(self, small_registry):
+        far = small_registry.get(0).center.offset(10_000.0, 10_000.0)
+        assert small_registry.locate(far.lat, far.lon) is None
+
+    def test_top_k_nearest_sorted(self, small_registry):
+        poi = small_registry.get(0)
+        results = small_registry.top_k_nearest(poi.center.lat, poi.center.lon, k=3)
+        assert len(results) == 3
+        distances = [d for _, d in results]
+        assert distances == sorted(distances)
+        assert results[0][0].pid == 0
+
+    def test_top_k_capped_at_registry_size(self, small_registry):
+        poi = small_registry.get(0)
+        results = small_registry.top_k_nearest(poi.center.lat, poi.center.lon, k=100)
+        assert len(results) == len(small_registry)
+
+    def test_center_arrays_aligned(self, small_registry):
+        assert small_registry.center_lats.shape == (5,)
+        assert small_registry.center_lons.shape == (5,)
+        assert np.all(np.isfinite(small_registry.center_lats))

@@ -1,0 +1,114 @@
+"""Tests for repro.geo.point."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geo import (
+    GeoPoint,
+    centroid,
+    equirectangular_m,
+    haversine_m,
+    pairwise_distance_m,
+    point_to_many_m,
+)
+
+LAT = st.floats(min_value=-80.0, max_value=80.0, allow_nan=False)
+LON = st.floats(min_value=-179.0, max_value=179.0, allow_nan=False)
+
+
+class TestGeoPoint:
+    def test_valid_point(self):
+        p = GeoPoint(40.7, -74.0)
+        assert p.lat == 40.7
+        assert p.lon == -74.0
+        assert p.as_tuple() == (40.7, -74.0)
+
+    def test_invalid_latitude_raises(self):
+        with pytest.raises(GeometryError):
+            GeoPoint(91.0, 0.0)
+
+    def test_invalid_longitude_raises(self):
+        with pytest.raises(GeometryError):
+            GeoPoint(0.0, 181.0)
+
+    def test_distance_to_self_is_zero(self):
+        p = GeoPoint(40.7, -74.0)
+        assert p.distance_to(p) == 0.0
+
+    def test_offset_north_moves_latitude(self):
+        p = GeoPoint(40.7, -74.0)
+        q = p.offset(north_m=1000.0, east_m=0.0)
+        assert q.lat > p.lat
+        assert q.lon == pytest.approx(p.lon)
+
+    def test_offset_distance_roundtrip(self):
+        p = GeoPoint(40.7, -74.0)
+        q = p.offset(north_m=300.0, east_m=400.0)
+        assert p.distance_to(q) == pytest.approx(500.0, rel=0.01)
+
+    def test_offset_east_moves_longitude(self):
+        p = GeoPoint(40.7, -74.0)
+        q = p.offset(north_m=0.0, east_m=500.0)
+        assert q.lon > p.lon
+
+
+class TestDistances:
+    def test_haversine_known_value(self):
+        # Central Park to Times Square is roughly 4 km.
+        d = haversine_m(40.7829, -73.9654, 40.7580, -73.9855)
+        assert 3000.0 < d < 4000.0
+
+    def test_equirectangular_close_to_haversine_at_city_scale(self):
+        d_h = haversine_m(40.75, -73.99, 40.76, -73.97)
+        d_e = equirectangular_m(40.75, -73.99, 40.76, -73.97)
+        assert d_e == pytest.approx(d_h, rel=1e-3)
+
+    @given(lat1=LAT, lon1=LON, lat2=LAT, lon2=LON)
+    @settings(max_examples=50, deadline=None)
+    def test_haversine_symmetry_and_nonnegative(self, lat1, lon1, lat2, lon2):
+        d12 = haversine_m(lat1, lon1, lat2, lon2)
+        d21 = haversine_m(lat2, lon2, lat1, lon1)
+        assert d12 >= 0.0
+        assert d12 == pytest.approx(d21, rel=1e-9, abs=1e-6)
+
+    @given(lat=LAT, lon=LON)
+    @settings(max_examples=30, deadline=None)
+    def test_zero_distance_to_self(self, lat, lon):
+        assert haversine_m(lat, lon, lat, lon) == 0.0
+        assert equirectangular_m(lat, lon, lat, lon) == 0.0
+
+    def test_point_to_many_matches_scalar(self):
+        lats = np.array([40.75, 40.76, 40.80])
+        lons = np.array([-73.99, -73.97, -73.90])
+        vector = point_to_many_m(40.7, -74.0, lats, lons)
+        for i in range(3):
+            assert vector[i] == pytest.approx(equirectangular_m(40.7, -74.0, lats[i], lons[i]))
+
+    def test_pairwise_requires_same_shape(self):
+        with pytest.raises(GeometryError):
+            pairwise_distance_m([1.0], [2.0], [1.0, 2.0], [3.0, 4.0])
+
+    def test_pairwise_distance_values(self):
+        d = pairwise_distance_m([40.7, 40.7], [-74.0, -74.0], [40.7, 40.71], [-74.0, -74.0])
+        assert d[0] == 0.0
+        assert d[1] > 1000.0
+
+
+class TestCentroid:
+    def test_centroid_of_single_point(self):
+        p = GeoPoint(40.7, -74.0)
+        assert centroid([p]) == p
+
+    def test_centroid_is_mean(self):
+        c = centroid([GeoPoint(40.0, -74.0), GeoPoint(41.0, -73.0)])
+        assert c.lat == pytest.approx(40.5)
+        assert c.lon == pytest.approx(-73.5)
+
+    def test_centroid_of_nothing_raises(self):
+        with pytest.raises(GeometryError):
+            centroid([])

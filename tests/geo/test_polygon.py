@@ -1,0 +1,84 @@
+"""Tests for repro.geo.polygon."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geo import BoundingPolygon, GeoPoint
+
+
+def square(center: GeoPoint, half_m: float = 100.0) -> BoundingPolygon:
+    return BoundingPolygon(
+        (
+            center.offset(-half_m, -half_m),
+            center.offset(-half_m, half_m),
+            center.offset(half_m, half_m),
+            center.offset(half_m, -half_m),
+        )
+    )
+
+
+class TestBoundingPolygon:
+    def test_requires_three_vertices(self):
+        with pytest.raises(GeometryError):
+            BoundingPolygon((GeoPoint(0, 0), GeoPoint(0, 1)))
+
+    def test_from_latlon_pairs(self):
+        polygon = BoundingPolygon.from_latlon_pairs([(0.0, 0.0), (0.0, 1.0), (1.0, 0.5)])
+        assert len(polygon.vertices) == 3
+
+    def test_center_inside_square(self):
+        center = GeoPoint(40.75, -73.99)
+        polygon = square(center)
+        assert polygon.contains(center.lat, center.lon)
+
+    def test_far_point_outside(self):
+        center = GeoPoint(40.75, -73.99)
+        polygon = square(center)
+        outside = center.offset(5000.0, 5000.0)
+        assert not polygon.contains(outside.lat, outside.lon)
+
+    def test_vertex_counts_as_inside(self):
+        polygon = BoundingPolygon.from_latlon_pairs([(0.0, 0.0), (0.0, 1.0), (1.0, 1.0), (1.0, 0.0)])
+        assert polygon.contains(0.0, 0.5)  # on an edge
+
+    def test_centroid_of_square_is_center(self):
+        center = GeoPoint(40.75, -73.99)
+        polygon = square(center)
+        c = polygon.centroid()
+        assert c.lat == pytest.approx(center.lat, abs=1e-9)
+        assert c.lon == pytest.approx(center.lon, abs=1e-9)
+
+    def test_bounding_box_encloses_vertices(self):
+        center = GeoPoint(40.75, -73.99)
+        polygon = square(center)
+        min_lat, min_lon, max_lat, max_lon = polygon.bounding_box()
+        for v in polygon.vertices:
+            assert min_lat <= v.lat <= max_lat
+            assert min_lon <= v.lon <= max_lon
+
+
+class TestRegularPolygon:
+    def test_requires_three_sides(self):
+        with pytest.raises(GeometryError):
+            BoundingPolygon.regular(GeoPoint(0, 0), 100.0, sides=2)
+
+    def test_requires_positive_radius(self):
+        with pytest.raises(GeometryError):
+            BoundingPolygon.regular(GeoPoint(0, 0), -5.0)
+
+    @given(radius=st.floats(min_value=20.0, max_value=500.0), sides=st.integers(min_value=3, max_value=16))
+    @settings(max_examples=25, deadline=None)
+    def test_center_always_inside_regular_polygon(self, radius, sides):
+        center = GeoPoint(40.75, -73.99)
+        polygon = BoundingPolygon.regular(center, radius, sides=sides)
+        assert polygon.contains_point(center)
+
+    @given(radius=st.floats(min_value=20.0, max_value=500.0))
+    @settings(max_examples=25, deadline=None)
+    def test_point_beyond_radius_outside(self, radius):
+        center = GeoPoint(40.75, -73.99)
+        polygon = BoundingPolygon.regular(center, radius, sides=12)
+        outside = center.offset(radius * 3.0, 0.0)
+        assert not polygon.contains_point(outside)

@@ -1,0 +1,187 @@
+"""Tests for repro.geo.quadtree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geo import BoundingBox, IndexedPoint, QuadTree, haversine_m, radius_to_bbox
+
+NYC_BOUNDS = BoundingBox(min_lat=40.5, min_lon=-74.3, max_lat=40.95, max_lon=-73.6)
+
+LAT = st.floats(min_value=40.5, max_value=40.95, allow_nan=False)
+LON = st.floats(min_value=-74.3, max_value=-73.6, allow_nan=False)
+
+
+def _random_points(count: int, seed: int = 3) -> list[IndexedPoint]:
+    rng = np.random.default_rng(seed)
+    lats = rng.uniform(NYC_BOUNDS.min_lat, NYC_BOUNDS.max_lat, size=count)
+    lons = rng.uniform(NYC_BOUNDS.min_lon, NYC_BOUNDS.max_lon, size=count)
+    return [IndexedPoint(i, float(lat), float(lon)) for i, (lat, lon) in enumerate(zip(lats, lons))]
+
+
+class TestBoundingBox:
+    def test_degenerate_box_raises(self):
+        with pytest.raises(GeometryError):
+            BoundingBox(min_lat=1.0, min_lon=0.0, max_lat=0.0, max_lon=1.0)
+
+    def test_contains_inclusive_edges(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert box.contains(0.0, 0.0)
+        assert box.contains(1.0, 1.0)
+        assert not box.contains(1.0001, 0.5)
+
+    def test_intersects_overlapping(self):
+        a = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        b = BoundingBox(0.5, 0.5, 2.0, 2.0)
+        assert a.intersects(b)
+        assert b.intersects(a)
+
+    def test_intersects_disjoint(self):
+        a = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        b = BoundingBox(2.0, 2.0, 3.0, 3.0)
+        assert not a.intersects(b)
+
+    def test_min_distance_inside_is_zero(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert box.min_distance_m(0.5, 0.5) == 0.0
+
+    def test_min_distance_outside_positive(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert box.min_distance_m(2.0, 0.5) > 0.0
+
+    def test_quadrants_cover_parent(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        quadrants = box.quadrants()
+        assert len(quadrants) == 4
+        # Every corner of the parent lies in exactly one child.
+        for lat, lon in [(0.1, 0.1), (0.9, 0.1), (0.1, 0.9), (0.9, 0.9)]:
+            assert sum(q.contains(lat, lon) for q in quadrants) >= 1
+
+    def test_radius_to_bbox_covers_circle(self):
+        box = radius_to_bbox(40.7, -74.0, 1000.0)
+        # Points just under 1 km north/east must be inside the box.
+        assert box.contains(40.7088, -74.0)
+        assert box.contains(40.7, -73.9895)
+
+    def test_radius_to_bbox_negative_radius_raises(self):
+        with pytest.raises(GeometryError):
+            radius_to_bbox(40.7, -74.0, -1.0)
+
+
+class TestQuadTreeBasics:
+    def test_empty_tree(self):
+        tree = QuadTree(NYC_BOUNDS)
+        assert len(tree) == 0
+        assert tree.nearest(40.7, -74.0) == []
+
+    def test_insert_outside_bounds_raises(self):
+        tree = QuadTree(NYC_BOUNDS)
+        with pytest.raises(GeometryError):
+            tree.insert(1, 10.0, 10.0)
+
+    def test_invalid_leaf_capacity_raises(self):
+        with pytest.raises(GeometryError):
+            QuadTree(NYC_BOUNDS, leaf_capacity=0)
+
+    def test_invalid_max_depth_raises(self):
+        with pytest.raises(GeometryError):
+            QuadTree(NYC_BOUNDS, max_depth=0)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(GeometryError):
+            QuadTree.from_points([])
+
+    def test_len_counts_inserted_points(self):
+        points = _random_points(50)
+        tree = QuadTree.from_points(points)
+        assert len(tree) == 50
+
+    def test_iteration_returns_all_points(self):
+        points = _random_points(80)
+        tree = QuadTree.from_points(points)
+        assert sorted(p.item_id for p in tree) == list(range(80))
+
+    def test_splitting_creates_depth(self):
+        points = _random_points(200)
+        tree = QuadTree.from_points(points, leaf_capacity=4)
+        assert tree.depth() >= 2
+
+    def test_nearest_invalid_k_raises(self):
+        tree = QuadTree.from_points(_random_points(10))
+        with pytest.raises(GeometryError):
+            tree.nearest(40.7, -74.0, k=0)
+
+
+class TestQuadTreeQueries:
+    @pytest.fixture(scope="class")
+    def points(self) -> list[IndexedPoint]:
+        return _random_points(300, seed=11)
+
+    @pytest.fixture(scope="class")
+    def tree(self, points) -> QuadTree:
+        return QuadTree.from_points(points, leaf_capacity=8)
+
+    def test_query_bbox_matches_bruteforce(self, tree, points):
+        box = BoundingBox(40.70, -74.05, 40.80, -73.90)
+        expected = {p.item_id for p in points if box.contains(p.lat, p.lon)}
+        found = {p.item_id for p in tree.query_bbox(box)}
+        assert found == expected
+
+    def test_query_radius_matches_bruteforce(self, tree, points):
+        lat, lon, radius = 40.75, -73.98, 3000.0
+        expected = {
+            p.item_id for p in points if haversine_m(lat, lon, p.lat, p.lon) <= radius
+        }
+        found = {p.item_id for p, _ in tree.query_radius(lat, lon, radius)}
+        assert found == expected
+
+    def test_query_radius_sorted_by_distance(self, tree):
+        results = tree.query_radius(40.75, -73.98, 5000.0)
+        distances = [d for _, d in results]
+        assert distances == sorted(distances)
+
+    def test_nearest_matches_bruteforce(self, tree, points):
+        lat, lon = 40.72, -74.0
+        brute = sorted(points, key=lambda p: haversine_m(lat, lon, p.lat, p.lon))
+        for k in (1, 5, 17):
+            expected = [p.item_id for p in brute[:k]]
+            found = [p.item_id for p, _ in tree.nearest(lat, lon, k=k)]
+            assert found == expected
+
+    def test_nearest_k_larger_than_size(self, points):
+        tree = QuadTree.from_points(points[:5])
+        results = tree.nearest(40.75, -73.98, k=50)
+        assert len(results) == 5
+
+    def test_nearest_distances_increasing(self, tree):
+        results = tree.nearest(40.8, -73.95, k=10)
+        distances = [d for _, d in results]
+        assert distances == sorted(distances)
+
+
+class TestQuadTreeProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(LAT, LON), min_size=1, max_size=60), LAT, LON)
+    def test_nearest_agrees_with_bruteforce(self, coords, query_lat, query_lon):
+        points = [IndexedPoint(i, lat, lon) for i, (lat, lon) in enumerate(coords)]
+        tree = QuadTree(NYC_BOUNDS, leaf_capacity=4)
+        for point in points:
+            tree.insert(point.item_id, point.lat, point.lon)
+        nearest_point, nearest_distance = tree.nearest(query_lat, query_lon, k=1)[0]
+        brute_best = min(
+            haversine_m(query_lat, query_lon, p.lat, p.lon) for p in points
+        )
+        assert nearest_distance == pytest.approx(brute_best, rel=1e-9, abs=1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(LAT, LON), min_size=1, max_size=60))
+    def test_every_inserted_point_is_retrievable(self, coords):
+        tree = QuadTree(NYC_BOUNDS, leaf_capacity=2, max_depth=12)
+        for i, (lat, lon) in enumerate(coords):
+            tree.insert(i, lat, lon)
+        assert len(tree) == len(coords)
+        assert sorted(p.item_id for p in tree) == list(range(len(coords)))

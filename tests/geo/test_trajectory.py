@@ -1,0 +1,169 @@
+"""Tests for repro.geo.trajectory."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.records import Visit
+from repro.errors import GeometryError
+from repro.geo import (
+    GeoPoint,
+    covisit_count,
+    covisit_jaccard,
+    detect_stay_points,
+    mean_hop_m,
+    radius_of_gyration_m,
+    summarize,
+    total_displacement_m,
+    visit_entropy,
+    visited_pois,
+)
+
+BASE = GeoPoint(40.75, -73.99)
+
+
+def _visit(ts: float, north_m: float = 0.0, east_m: float = 0.0) -> Visit:
+    point = BASE.offset(north_m=north_m, east_m=east_m)
+    return Visit(ts=ts, lat=point.lat, lon=point.lon)
+
+
+class TestDisplacementAndGyration:
+    def test_empty_history_zero(self):
+        assert total_displacement_m([]) == 0.0
+        assert radius_of_gyration_m([]) == 0.0
+        assert mean_hop_m([]) == 0.0
+
+    def test_single_visit_zero(self):
+        visits = [_visit(0.0)]
+        assert total_displacement_m(visits) == 0.0
+        assert radius_of_gyration_m(visits) == 0.0
+
+    def test_straight_line_displacement(self):
+        visits = [_visit(0.0), _visit(60.0, north_m=300.0), _visit(120.0, north_m=600.0)]
+        assert total_displacement_m(visits) == pytest.approx(600.0, rel=0.02)
+
+    def test_displacement_respects_timestamp_order(self):
+        # Same points, shuffled input order: displacement must use ts order.
+        ordered = [_visit(0.0), _visit(60.0, north_m=300.0), _visit(120.0, north_m=600.0)]
+        shuffled = [ordered[2], ordered[0], ordered[1]]
+        assert total_displacement_m(shuffled) == pytest.approx(total_displacement_m(ordered))
+
+    def test_mean_hop(self):
+        visits = [_visit(0.0), _visit(60.0, east_m=400.0), _visit(120.0, east_m=800.0)]
+        assert mean_hop_m(visits) == pytest.approx(400.0, rel=0.02)
+
+    def test_gyration_of_symmetric_pair(self):
+        visits = [_visit(0.0, east_m=-500.0), _visit(60.0, east_m=500.0)]
+        assert radius_of_gyration_m(visits) == pytest.approx(500.0, rel=0.02)
+
+    def test_commuter_has_smaller_gyration_than_explorer(self):
+        commuter = [_visit(t, east_m=(t % 2) * 200.0) for t in range(10)]
+        explorer = [_visit(t, east_m=t * 800.0, north_m=t * 500.0) for t in range(10)]
+        assert radius_of_gyration_m(commuter) < radius_of_gyration_m(explorer)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=-2000, max_value=2000), min_size=2, max_size=15))
+    def test_displacement_nonnegative_and_triangle(self, offsets):
+        visits = [_visit(float(i * 60), east_m=offset) for i, offset in enumerate(offsets)]
+        total = total_displacement_m(visits)
+        direct = visits[0]
+        last = visits[-1]
+        from repro.geo import haversine_m
+
+        assert total >= haversine_m(direct.lat, direct.lon, last.lat, last.lon) - 1e-6
+
+
+class TestStayPoints:
+    def test_invalid_thresholds_raise(self):
+        with pytest.raises(GeometryError):
+            detect_stay_points([], distance_threshold_m=0.0)
+        with pytest.raises(GeometryError):
+            detect_stay_points([], time_threshold_s=-1.0)
+
+    def test_no_stay_point_for_fast_mover(self):
+        visits = [_visit(t * 60.0, east_m=t * 1000.0) for t in range(5)]
+        assert detect_stay_points(visits, distance_threshold_m=200.0) == []
+
+    def test_detects_long_dwell(self):
+        # 40 minutes within 50 m, then a jump away.
+        visits = [_visit(t * 600.0, east_m=(t % 2) * 30.0) for t in range(5)]
+        visits.append(_visit(4000.0, east_m=5000.0))
+        stay_points = detect_stay_points(visits, distance_threshold_m=200.0, time_threshold_s=1200.0)
+        assert len(stay_points) == 1
+        assert stay_points[0].num_visits == 5
+        assert stay_points[0].duration >= 1200.0
+
+    def test_stay_point_centroid_near_cluster(self):
+        visits = [_visit(t * 900.0, east_m=10.0 * t) for t in range(4)]
+        stay_points = detect_stay_points(visits, distance_threshold_m=500.0, time_threshold_s=1800.0)
+        assert len(stay_points) == 1
+        assert stay_points[0].lat == pytest.approx(BASE.lat, abs=1e-3)
+
+
+class TestPOIStatistics:
+    def test_visit_entropy_empty(self, small_registry):
+        assert visit_entropy([], small_registry) == 0.0
+
+    def test_visit_entropy_single_poi_zero(self, small_registry):
+        poi = small_registry.pois[0]
+        visits = [Visit(ts=float(i), lat=poi.center.lat, lon=poi.center.lon) for i in range(5)]
+        assert visit_entropy(visits, small_registry) == pytest.approx(0.0)
+
+    def test_visit_entropy_two_pois_positive(self, small_registry):
+        first, second = small_registry.pois[0], small_registry.pois[1]
+        visits = [
+            Visit(ts=0.0, lat=first.center.lat, lon=first.center.lon),
+            Visit(ts=1.0, lat=second.center.lat, lon=second.center.lon),
+        ]
+        assert visit_entropy(visits, small_registry) > 0.5
+
+    def test_visited_pois_in_order(self, small_registry):
+        first, second = small_registry.pois[0], small_registry.pois[1]
+        visits = [
+            Visit(ts=10.0, lat=second.center.lat, lon=second.center.lon),
+            Visit(ts=1.0, lat=first.center.lat, lon=first.center.lon),
+        ]
+        assert visited_pois(visits, small_registry) == [first.pid, second.pid]
+
+    def test_summarize_fields(self, small_registry):
+        poi = small_registry.pois[0]
+        visits = [
+            Visit(ts=0.0, lat=poi.center.lat, lon=poi.center.lon),
+            Visit(ts=600.0, lat=poi.center.lat + 0.001, lon=poi.center.lon),
+        ]
+        summary = summarize(visits, small_registry)
+        assert summary.num_visits == 2
+        assert summary.total_displacement_m > 0.0
+        assert summary.duration_s == pytest.approx(600.0)
+
+
+class TestCoVisitSignals:
+    def test_jaccard_empty_histories(self, small_registry):
+        assert covisit_jaccard([], [], small_registry) == 0.0
+
+    def test_jaccard_identical_histories(self, small_registry):
+        poi = small_registry.pois[0]
+        visits = [Visit(ts=0.0, lat=poi.center.lat, lon=poi.center.lon)]
+        assert covisit_jaccard(visits, visits, small_registry) == 1.0
+
+    def test_jaccard_disjoint_histories(self, small_registry):
+        first, second = small_registry.pois[0], small_registry.pois[1]
+        visits_a = [Visit(ts=0.0, lat=first.center.lat, lon=first.center.lon)]
+        visits_b = [Visit(ts=0.0, lat=second.center.lat, lon=second.center.lon)]
+        assert covisit_jaccard(visits_a, visits_b, small_registry) == 0.0
+
+    def test_covisit_count_requires_same_window(self, small_registry):
+        poi = small_registry.pois[0]
+        visits_a = [Visit(ts=0.0, lat=poi.center.lat, lon=poi.center.lon)]
+        visits_b_near = [Visit(ts=1800.0, lat=poi.center.lat, lon=poi.center.lon)]
+        visits_b_far = [Visit(ts=7200.0, lat=poi.center.lat, lon=poi.center.lon)]
+        assert covisit_count(visits_a, visits_b_near, small_registry, delta_t=3600.0) == 1
+        assert covisit_count(visits_a, visits_b_far, small_registry, delta_t=3600.0) == 0
+
+    def test_covisit_count_ignores_non_poi_visits(self, small_registry):
+        off_poi = [_visit(0.0, north_m=50_000.0)]
+        poi = small_registry.pois[0]
+        at_poi = [Visit(ts=0.0, lat=poi.center.lat, lon=poi.center.lon)]
+        assert covisit_count(off_poi, at_poi, small_registry) == 0

@@ -1,0 +1,71 @@
+"""Tests for city (POI set) persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data.city import CityConfig, generate_city
+from repro.errors import DataGenerationError
+from repro.io import city_from_dict, city_to_dict, load_city, save_city
+from repro.io.city import city_from_registry, poi_from_dict, poi_to_dict
+
+
+class TestPOICodec:
+    def test_poi_round_trip(self, small_registry):
+        poi = small_registry.pois[0]
+        rebuilt = poi_from_dict(poi_to_dict(poi))
+        assert rebuilt.pid == poi.pid
+        assert rebuilt.name == poi.name
+        assert rebuilt.category == poi.category
+        assert len(rebuilt.polygon.vertices) == len(poi.polygon.vertices)
+        assert rebuilt.center.distance_to(poi.center) < 1.0  # metres
+
+    def test_containment_is_preserved(self, small_registry):
+        poi = small_registry.pois[2]
+        rebuilt = poi_from_dict(poi_to_dict(poi))
+        assert rebuilt.contains(poi.center.lat, poi.center.lon)
+
+    def test_invalid_poi_raises(self):
+        with pytest.raises(DataGenerationError):
+            poi_from_dict({"pid": 1, "polygon": [[0.0, 0.0]]})
+
+
+class TestCityRoundTrip:
+    def test_dict_round_trip(self, small_city):
+        rebuilt = city_from_dict(city_to_dict(small_city))
+        assert len(rebuilt.registry) == len(small_city.registry)
+        assert rebuilt.config.name == small_city.config.name
+        np.testing.assert_allclose(rebuilt.popularity, small_city.popularity)
+
+    def test_file_round_trip(self, small_city, tmp_path):
+        path = save_city(small_city, tmp_path / "city.json")
+        rebuilt = load_city(path)
+        assert [p.pid for p in rebuilt.registry] == [p.pid for p in small_city.registry]
+
+    def test_locate_agrees_after_round_trip(self, small_city):
+        rebuilt = city_from_dict(city_to_dict(small_city))
+        for poi in small_city.registry:
+            located = rebuilt.registry.locate(poi.center.lat, poi.center.lon)
+            assert located is not None and located.pid == poi.pid
+
+    def test_missing_pois_raises(self):
+        with pytest.raises(DataGenerationError):
+            city_from_dict({"config": {}, "pois": []})
+
+    def test_bad_popularity_length_falls_back_to_uniform(self, small_city):
+        data = city_to_dict(small_city)
+        data["popularity"] = [1.0]
+        rebuilt = city_from_dict(data)
+        np.testing.assert_allclose(rebuilt.popularity.sum(), 1.0)
+
+
+class TestCityFromRegistry:
+    def test_wraps_registry_with_uniform_popularity(self, small_registry):
+        city = city_from_registry(small_registry, name="wrapped")
+        assert city.config.name == "wrapped"
+        assert len(city.registry) == len(small_registry)
+        np.testing.assert_allclose(city.popularity, 1.0 / len(small_registry))
+
+    def test_generated_city_still_loads(self):
+        city = generate_city(CityConfig(num_pois=6, num_neighborhoods=2, seed=11))
+        rebuilt = city_from_dict(city_to_dict(city))
+        assert len(rebuilt.registry) == 6

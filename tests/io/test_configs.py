@@ -1,0 +1,80 @@
+"""Tests for the generic dataclass <-> dict config codec."""
+
+import pytest
+
+from repro.colocation import PipelineConfig
+from repro.data import DatasetConfig
+from repro.errors import ConfigurationError
+from repro.features import HisRectConfig, HistoryFeatureConfig
+from repro.io import config_from_dict, config_to_dict
+from repro.ssl import SSLTrainingConfig
+
+
+class TestConfigToDict:
+    def test_flat_dataclass(self):
+        data = config_to_dict(HistoryFeatureConfig(eps_d=500.0, eps_t=100.0))
+        assert data == {"eps_d": 500.0, "eps_t": 100.0}
+
+    def test_nested_dataclasses_become_nested_dicts(self):
+        data = config_to_dict(HisRectConfig())
+        assert isinstance(data["history"], dict)
+        assert data["history"]["eps_d"] == 1000.0
+
+    def test_tuples_become_lists(self):
+        data = config_to_dict(DatasetConfig())
+        assert isinstance(data["city"]["categories"], list)
+
+    def test_rejects_non_dataclass(self):
+        with pytest.raises(ConfigurationError):
+            config_to_dict({"not": "a dataclass"})
+
+    def test_rejects_dataclass_type(self):
+        with pytest.raises(ConfigurationError):
+            config_to_dict(HisRectConfig)
+
+
+class TestConfigFromDict:
+    def test_round_trip_pipeline_config(self):
+        original = PipelineConfig(mode="one-phase", min_word_count=5, seed=3)
+        rebuilt = config_from_dict(PipelineConfig, config_to_dict(original))
+        assert rebuilt == original
+
+    def test_round_trip_dataset_config(self):
+        original = DatasetConfig(test_fraction=0.3, max_history=10, seed=9)
+        rebuilt = config_from_dict(DatasetConfig, config_to_dict(original))
+        assert rebuilt == original
+
+    def test_round_trip_preserves_nested_overrides(self):
+        original = PipelineConfig(
+            hisrect=HisRectConfig(content_dim=4, history=HistoryFeatureConfig(eps_d=77.0)),
+            ssl=SSLTrainingConfig(max_iterations=3),
+        )
+        rebuilt = config_from_dict(PipelineConfig, config_to_dict(original))
+        assert rebuilt.hisrect.history.eps_d == 77.0
+        assert rebuilt.ssl.max_iterations == 3
+        assert rebuilt == original
+
+    def test_unknown_keys_are_ignored(self):
+        data = config_to_dict(HistoryFeatureConfig())
+        data["mystery"] = 42
+        rebuilt = config_from_dict(HistoryFeatureConfig, data)
+        assert rebuilt == HistoryFeatureConfig()
+
+    def test_missing_keys_fall_back_to_defaults(self):
+        rebuilt = config_from_dict(HistoryFeatureConfig, {"eps_d": 12.0})
+        assert rebuilt.eps_d == 12.0
+        assert rebuilt.eps_t == HistoryFeatureConfig().eps_t
+
+    def test_tuple_fields_are_restored_as_tuples(self):
+        original = DatasetConfig()
+        rebuilt = config_from_dict(DatasetConfig, config_to_dict(original))
+        assert isinstance(rebuilt.city.categories, tuple)
+        assert rebuilt.city.categories == original.city.categories
+
+    def test_rejects_non_dataclass_type(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict(dict, {})
+
+    def test_rejects_non_dict_payload(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict(HistoryFeatureConfig, [1, 2, 3])

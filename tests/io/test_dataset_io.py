@@ -1,0 +1,49 @@
+"""Tests for whole-dataset persistence (save_dataset / load_dataset)."""
+
+import pytest
+
+from repro.errors import DataGenerationError
+from repro.io import load_dataset, save_dataset
+
+
+@pytest.fixture(scope="module")
+def saved_dataset_dir(tmp_path_factory, tiny_dataset):
+    directory = tmp_path_factory.mktemp("dataset")
+    save_dataset(tiny_dataset, directory)
+    return directory
+
+
+class TestSaveDataset:
+    def test_writes_expected_files(self, saved_dataset_dir):
+        names = {p.name for p in saved_dataset_dir.iterdir()}
+        assert {"dataset.json", "city.json", "train.jsonl.gz", "validation.jsonl.gz", "test.jsonl.gz"} <= names
+
+
+class TestLoadDataset:
+    def test_round_trip_statistics_match(self, saved_dataset_dir, tiny_dataset):
+        loaded = load_dataset(saved_dataset_dir)
+        assert loaded.statistics() == tiny_dataset.statistics()
+
+    def test_round_trip_preserves_config_and_registry(self, saved_dataset_dir, tiny_dataset):
+        loaded = load_dataset(saved_dataset_dir)
+        assert loaded.config.pairs.delta_t == tiny_dataset.config.pairs.delta_t
+        assert len(loaded.registry) == len(tiny_dataset.registry)
+        assert loaded.delta_t == tiny_dataset.delta_t
+
+    def test_round_trip_preserves_pair_labels(self, saved_dataset_dir, tiny_dataset):
+        loaded = load_dataset(saved_dataset_dir)
+        original_labels = sorted(p.co_label for p in tiny_dataset.train.labeled_pairs)
+        loaded_labels = sorted(p.co_label for p in loaded.train.labeled_pairs)
+        assert loaded_labels == original_labels
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(DataGenerationError):
+            load_dataset(tmp_path)
+
+    def test_missing_split_raises(self, saved_dataset_dir, tmp_path):
+        partial = tmp_path / "partial"
+        partial.mkdir()
+        for name in ("dataset.json", "city.json", "train.jsonl.gz"):
+            (partial / name).write_bytes((saved_dataset_dir / name).read_bytes())
+        with pytest.raises(DataGenerationError):
+            load_dataset(partial)

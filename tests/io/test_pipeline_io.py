@@ -1,0 +1,57 @@
+"""Tests for fitted-pipeline persistence (save_pipeline / load_pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.colocation import CoLocationPipeline
+from repro.errors import ConfigurationError, NotFittedError
+from repro.io import load_pipeline, save_pipeline
+
+
+@pytest.fixture(scope="module")
+def saved_pipeline_dir(tmp_path_factory, fitted_pipeline):
+    directory = tmp_path_factory.mktemp("pipeline")
+    save_pipeline(fitted_pipeline, directory)
+    return directory
+
+
+class TestSavePipeline:
+    def test_requires_fitted_pipeline(self, tmp_path, tiny_pipeline_config):
+        with pytest.raises(NotFittedError):
+            save_pipeline(CoLocationPipeline(tiny_pipeline_config), tmp_path)
+
+    def test_writes_expected_files(self, saved_pipeline_dir):
+        names = {p.name for p in saved_pipeline_dir.iterdir()}
+        assert {"pipeline.json", "city.json", "vocabulary.json", "skipgram.npz", "weights.npz"} <= names
+
+
+class TestLoadPipeline:
+    def test_round_trip_predictions_identical(self, saved_pipeline_dir, fitted_pipeline, tiny_dataset):
+        loaded = load_pipeline(saved_pipeline_dir)
+        pairs = tiny_dataset.test.labeled_pairs or tiny_dataset.train.labeled_pairs[:20]
+        np.testing.assert_allclose(
+            loaded.predict_proba(pairs), fitted_pipeline.predict_proba(pairs), atol=1e-8
+        )
+
+    def test_round_trip_poi_inference_identical(self, saved_pipeline_dir, fitted_pipeline, tiny_dataset):
+        loaded = load_pipeline(saved_pipeline_dir)
+        profiles = tiny_dataset.train.labeled_profiles[:10]
+        np.testing.assert_allclose(
+            loaded.infer_poi_proba(profiles), fitted_pipeline.infer_poi_proba(profiles), atol=1e-8
+        )
+        assert loaded.infer_poi(profiles) == fitted_pipeline.infer_poi(profiles)
+
+    def test_round_trip_features_identical(self, saved_pipeline_dir, fitted_pipeline, tiny_dataset):
+        loaded = load_pipeline(saved_pipeline_dir)
+        profiles = tiny_dataset.train.labeled_profiles[:5]
+        np.testing.assert_allclose(
+            loaded.features(profiles), fitted_pipeline.features(profiles), atol=1e-8
+        )
+
+    def test_loaded_config_matches(self, saved_pipeline_dir, fitted_pipeline):
+        loaded = load_pipeline(saved_pipeline_dir)
+        assert loaded.config == fitted_pipeline.config
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_pipeline(tmp_path)

@@ -1,0 +1,132 @@
+"""Tests for the JSON record codecs and JSONL timeline files."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.records import Pair, Profile, Timeline, Tweet, Visit
+from repro.errors import DataGenerationError
+from repro.io import (
+    pair_from_dict,
+    pair_to_dict,
+    profile_from_dict,
+    profile_to_dict,
+    read_timelines_jsonl,
+    timeline_from_dict,
+    timeline_to_dict,
+    tweet_from_dict,
+    tweet_to_dict,
+    write_timelines_jsonl,
+)
+
+
+def make_tweet(uid=1, ts=100.0, geotagged=True):
+    return Tweet(
+        uid=uid,
+        ts=ts,
+        content="coffee at the museum",
+        lat=40.7 if geotagged else None,
+        lon=-74.0 if geotagged else None,
+        true_pid=3 if geotagged else None,
+    )
+
+
+def make_profile(uid=1, ts=200.0, pid=3):
+    history = (Visit(ts=50.0, lat=40.7, lon=-74.0), Visit(ts=90.0, lat=40.71, lon=-74.01))
+    return Profile(uid=uid, tweet=make_tweet(uid=uid, ts=ts), visit_history=history, pid=pid)
+
+
+class TestTweetCodec:
+    def test_round_trip_geotagged(self):
+        tweet = make_tweet()
+        assert tweet_from_dict(tweet_to_dict(tweet)) == tweet
+
+    def test_round_trip_non_geotagged(self):
+        tweet = make_tweet(geotagged=False)
+        rebuilt = tweet_from_dict(tweet_to_dict(tweet))
+        assert rebuilt == tweet
+        assert not rebuilt.is_geotagged
+
+    def test_missing_required_field_raises(self):
+        with pytest.raises(DataGenerationError):
+            tweet_from_dict({"ts": 1.0, "content": "hi"})
+
+    def test_extra_keys_are_ignored(self):
+        data = tweet_to_dict(make_tweet())
+        data["retweets"] = 10
+        assert tweet_from_dict(data) == make_tweet()
+
+    @given(
+        uid=st.integers(min_value=0, max_value=10_000),
+        ts=st.floats(min_value=0, max_value=1e9, allow_nan=False),
+        content=st.text(max_size=60),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, uid, ts, content):
+        tweet = Tweet(uid=uid, ts=ts, content=content)
+        assert tweet_from_dict(tweet_to_dict(tweet)) == tweet
+
+
+class TestProfileAndPairCodec:
+    def test_profile_round_trip(self):
+        profile = make_profile()
+        rebuilt = profile_from_dict(profile_to_dict(profile))
+        assert rebuilt.uid == profile.uid
+        assert rebuilt.pid == profile.pid
+        assert tuple(rebuilt.visit_history) == tuple(profile.visit_history)
+        assert rebuilt.content == profile.content
+
+    def test_unlabeled_profile_round_trip(self):
+        profile = make_profile(pid=None)
+        rebuilt = profile_from_dict(profile_to_dict(profile))
+        assert rebuilt.pid is None
+        assert not rebuilt.is_labeled
+
+    def test_pair_round_trip(self):
+        pair = Pair(left=make_profile(uid=1), right=make_profile(uid=2, ts=210.0), co_label=1)
+        rebuilt = pair_from_dict(pair_to_dict(pair))
+        assert rebuilt.co_label == 1
+        assert rebuilt.left.uid == 1 and rebuilt.right.uid == 2
+
+    def test_unlabeled_pair_round_trip(self):
+        pair = Pair(left=make_profile(uid=1), right=make_profile(uid=2, ts=210.0), co_label=None)
+        assert pair_from_dict(pair_to_dict(pair)).co_label is None
+
+
+class TestTimelineJsonl:
+    def _timelines(self):
+        return [
+            Timeline(uid=1, tweets=(make_tweet(uid=1, ts=10.0), make_tweet(uid=1, ts=20.0, geotagged=False))),
+            Timeline(uid=2, tweets=(make_tweet(uid=2, ts=15.0),)),
+        ]
+
+    def test_timeline_round_trip(self):
+        timeline = self._timelines()[0]
+        rebuilt = timeline_from_dict(timeline_to_dict(timeline))
+        assert rebuilt.uid == timeline.uid
+        assert len(rebuilt) == len(timeline)
+
+    def test_jsonl_round_trip_plain(self, tmp_path):
+        path = tmp_path / "timelines.jsonl"
+        count = write_timelines_jsonl(self._timelines(), path)
+        assert count == 2
+        loaded = list(read_timelines_jsonl(path))
+        assert [t.uid for t in loaded] == [1, 2]
+        assert loaded[0].tweets[0].content == "coffee at the museum"
+
+    def test_jsonl_round_trip_gzip(self, tmp_path):
+        path = tmp_path / "timelines.jsonl.gz"
+        write_timelines_jsonl(self._timelines(), path)
+        loaded = list(read_timelines_jsonl(path))
+        assert len(loaded) == 2
+
+    def test_invalid_json_line_raises(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"uid": 1, "tweets": []}\nnot json\n')
+        with pytest.raises(DataGenerationError):
+            list(read_timelines_jsonl(path))
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "blank.jsonl"
+        path.write_text('{"uid": 1, "tweets": []}\n\n\n')
+        assert len(list(read_timelines_jsonl(path))) == 1

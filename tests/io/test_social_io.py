@@ -1,0 +1,81 @@
+"""Tests for repro.io.social (friendship-graph persistence)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.io import (
+    load_social_graph,
+    save_social_graph,
+    social_graph_from_dict,
+    social_graph_to_dict,
+)
+from repro.social import SocialGraph
+
+
+@pytest.fixture()
+def graph() -> SocialGraph:
+    built = SocialGraph.from_edges([(1, 2), (2, 3), (5, 9)])
+    built.add_user(7)  # an isolated user must survive the round trip too
+    return built
+
+
+class TestDictCodec:
+    def test_roundtrip_preserves_structure(self, graph):
+        restored = social_graph_from_dict(social_graph_to_dict(graph))
+        assert sorted(restored) == sorted(graph)
+        assert restored.edges() == graph.edges()
+
+    def test_dict_contains_format_marker(self, graph):
+        data = social_graph_to_dict(graph)
+        assert data["format"] == "repro-social-graph"
+        assert data["version"] == 1
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ConfigurationError):
+            social_graph_from_dict({"format": "something-else"})
+
+    def test_malformed_edge_rejected(self):
+        data = {"format": "repro-social-graph", "version": 1, "users": [1, 2], "friendships": [[1]]}
+        with pytest.raises(ConfigurationError):
+            social_graph_from_dict(data)
+
+    def test_empty_graph_roundtrip(self):
+        restored = social_graph_from_dict(social_graph_to_dict(SocialGraph()))
+        assert restored.num_users == 0
+        assert restored.num_friendships == 0
+
+
+class TestFileRoundtrip:
+    def test_save_and_load(self, graph, tmp_path):
+        path = save_social_graph(graph, tmp_path / "graphs" / "friends.json")
+        assert path.exists()
+        restored = load_social_graph(path)
+        assert restored.edges() == graph.edges()
+        assert 7 in restored
+
+    def test_file_is_plain_json(self, graph, tmp_path):
+        path = save_social_graph(graph, tmp_path / "friends.json")
+        with path.open() as handle:
+            data = json.load(handle)
+        assert data["friendships"] == [[1, 2], [2, 3], [5, 9]]
+
+    def test_external_document_can_be_ingested(self, tmp_path):
+        # A hand-written document, as an external crawler would produce it.
+        path = tmp_path / "external.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "repro-social-graph",
+                    "version": 1,
+                    "users": [10, 11, 12],
+                    "friendships": [[10, 11]],
+                }
+            )
+        )
+        restored = load_social_graph(path)
+        assert restored.are_friends(10, 11)
+        assert restored.degree(12) == 0

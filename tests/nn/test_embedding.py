@@ -1,0 +1,113 @@
+"""Tests for repro.nn.embedding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Embedding
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(23)
+
+
+class TestConstruction:
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            Embedding(0, 4)
+        with pytest.raises(ValueError):
+            Embedding(4, 0)
+
+    def test_shape(self, rng):
+        layer = Embedding(10, 6, rng=rng)
+        assert layer.weight.data.shape == (10, 6)
+
+    def test_from_pretrained_copies_vectors(self, rng):
+        vectors = rng.normal(size=(5, 3))
+        layer = Embedding.from_pretrained(vectors)
+        np.testing.assert_allclose(layer.weight.data, vectors)
+        vectors[0, 0] = 999.0
+        assert layer.weight.data[0, 0] != 999.0
+
+    def test_from_pretrained_requires_2d(self):
+        with pytest.raises(ValueError):
+            Embedding.from_pretrained(np.zeros(5))
+
+    def test_from_pretrained_frozen_by_default(self, rng):
+        layer = Embedding.from_pretrained(rng.normal(size=(4, 2)))
+        assert layer.frozen
+
+
+class TestLookup:
+    def test_lookup_shape(self, rng):
+        layer = Embedding(10, 4, rng=rng)
+        out = layer([1, 3, 3, 7])
+        assert out.shape == (4, 4)
+
+    def test_lookup_values_match_rows(self, rng):
+        layer = Embedding(10, 4, rng=rng)
+        out = layer([2, 5]).numpy()
+        np.testing.assert_allclose(out[0], layer.weight.data[2])
+        np.testing.assert_allclose(out[1], layer.weight.data[5])
+
+    def test_out_of_range_raises(self, rng):
+        layer = Embedding(10, 4, rng=rng)
+        with pytest.raises(ValueError):
+            layer([10])
+        with pytest.raises(ValueError):
+            layer([-1])
+
+    def test_requires_1d_input(self, rng):
+        layer = Embedding(10, 4, rng=rng)
+        with pytest.raises(ValueError):
+            layer(np.zeros((2, 2), dtype=int))
+
+    def test_vector_returns_copy(self, rng):
+        layer = Embedding(10, 4, rng=rng)
+        vec = layer.vector(3)
+        vec[0] = 123.0
+        assert layer.weight.data[3, 0] != 123.0
+
+    def test_vector_out_of_range_raises(self, rng):
+        layer = Embedding(10, 4, rng=rng)
+        with pytest.raises(ValueError):
+            layer.vector(10)
+
+
+class TestGradients:
+    def test_repeated_ids_accumulate_gradient(self, rng):
+        layer = Embedding(6, 3, rng=rng)
+        out = layer([2, 2, 4])
+        out.sum().backward()
+        grad = layer.weight.grad
+        # Row 2 appears twice, row 4 once, other rows never.
+        np.testing.assert_allclose(grad[2], 2.0)
+        np.testing.assert_allclose(grad[4], 1.0)
+        np.testing.assert_allclose(grad[0], 0.0)
+
+    def test_frozen_lookup_detached_from_graph(self, rng):
+        layer = Embedding(6, 3, rng=rng).freeze()
+        out = layer([1, 2])
+        assert not out.requires_grad
+        assert layer.weight.grad is None
+
+    def test_unfreeze_restores_training(self, rng):
+        layer = Embedding(6, 3, rng=rng).freeze().unfreeze()
+        out = layer([1])
+        out.sum().backward()
+        assert layer.weight.grad is not None
+
+    def test_fine_tuning_moves_used_rows_only(self, rng):
+        layer = Embedding(5, 2, rng=rng)
+        before = layer.weight.data.copy()
+        optimizer = Adam(layer.parameters(), lr=0.1)
+        for _ in range(3):
+            optimizer.zero_grad()
+            loss = (layer([0, 1]) ** 2).sum()
+            loss.backward()
+            optimizer.step()
+        after = layer.weight.data
+        assert not np.allclose(before[0], after[0])
+        np.testing.assert_allclose(before[4], after[4])

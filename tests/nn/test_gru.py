@@ -1,0 +1,116 @@
+"""Tests for repro.nn.gru."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import GRU, Adam, BiGRU, GRUCell, Tensor
+from repro.nn.gradcheck import check_module_gradients
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(17)
+
+
+class TestGRUCell:
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            GRUCell(0, 4)
+        with pytest.raises(ValueError):
+            GRUCell(4, 0)
+
+    def test_output_shape(self, rng):
+        cell = GRUCell(3, 5, rng=rng)
+        x = Tensor(rng.normal(size=(1, 3)))
+        h = Tensor(np.zeros((1, 5)))
+        out = cell(x, h)
+        assert out.shape == (1, 5)
+
+    def test_output_bounded_by_tanh_and_gates(self, rng):
+        cell = GRUCell(3, 5, rng=rng)
+        x = Tensor(rng.normal(size=(1, 3)) * 10.0)
+        h = Tensor(np.zeros((1, 5)))
+        out = cell(x, h)
+        assert np.all(np.abs(out.numpy()) <= 1.0 + 1e-9)
+
+    def test_zero_input_keeps_state_near_zero(self, rng):
+        cell = GRUCell(3, 4, init_std=0.01, rng=rng)
+        x = Tensor(np.zeros((1, 3)))
+        h = Tensor(np.zeros((1, 4)))
+        out = cell(x, h)
+        assert np.all(np.abs(out.numpy()) < 0.1)
+
+    def test_gradients_flow_to_all_parameters(self, rng):
+        cell = GRUCell(3, 4, rng=rng)
+        x = Tensor(rng.normal(size=(1, 3)))
+        h = Tensor(np.zeros((1, 4)))
+        loss = (cell(x, h) ** 2).sum()
+        loss.backward()
+        for name, param in cell.named_parameters():
+            assert param.grad is not None, name
+
+    def test_gradcheck(self, rng):
+        cell = GRUCell(2, 3, rng=rng)
+        x = Tensor(rng.normal(size=(1, 2)))
+        h = Tensor(np.zeros((1, 3)))
+        errors = check_module_gradients(cell, lambda m: (m(x, h) ** 2).sum())
+        assert max(errors.values()) < 1e-4
+
+
+class TestGRU:
+    def test_sequence_output_shape(self, rng):
+        gru = GRU(4, 6, rng=rng)
+        sequence = Tensor(rng.normal(size=(7, 4)))
+        out = gru(sequence)
+        assert out.shape == (7, 6)
+
+    def test_reverse_changes_first_state(self, rng):
+        gru = GRU(4, 6, rng=rng)
+        sequence = Tensor(rng.normal(size=(5, 4)))
+        forward = gru(sequence).numpy()
+        backward = gru(sequence, reverse=True).numpy()
+        assert not np.allclose(forward[0], backward[0])
+
+    def test_single_step_sequence(self, rng):
+        gru = GRU(3, 2, rng=rng)
+        sequence = Tensor(rng.normal(size=(1, 3)))
+        assert gru(sequence).shape == (1, 2)
+
+    def test_training_reduces_loss(self, rng):
+        gru = GRU(3, 4, rng=rng)
+        sequence = Tensor(rng.normal(size=(6, 3)))
+        target = rng.normal(size=(6, 4))
+        optimizer = Adam(gru.parameters(), lr=0.05)
+        losses = []
+        for _ in range(30):
+            optimizer.zero_grad()
+            output = gru(sequence)
+            loss = ((output - Tensor(target)) ** 2).mean()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+
+class TestBiGRU:
+    def test_output_concatenates_directions(self, rng):
+        bigru = BiGRU(4, 5, rng=rng)
+        sequence = Tensor(rng.normal(size=(6, 4)))
+        out = bigru(sequence)
+        assert out.shape == (6, 10)
+
+    def test_parameters_are_distinct_per_direction(self, rng):
+        bigru = BiGRU(3, 4, rng=rng)
+        names = [name for name, _ in bigru.named_parameters()]
+        assert any("forward_gru" in name for name in names)
+        assert any("backward_gru" in name for name in names)
+
+    def test_gradients_reach_both_directions(self, rng):
+        bigru = BiGRU(3, 4, rng=rng)
+        sequence = Tensor(rng.normal(size=(5, 3)))
+        loss = (bigru(sequence) ** 2).sum()
+        loss.backward()
+        grads = {name: param.grad for name, param in bigru.named_parameters()}
+        assert all(g is not None for g in grads.values())

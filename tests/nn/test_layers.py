@@ -1,0 +1,226 @@
+"""Tests for layers, modules, losses and optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    Adam,
+    Dropout,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    SGD,
+    Sequential,
+    Tensor,
+    binary_cross_entropy_with_logits,
+    clip_grad_norm,
+    cosine_embedding_loss,
+    cosine_similarity,
+    l2_embedding_loss,
+    l2_normalize,
+    l2_regularization,
+    log_softmax,
+    softmax,
+    softmax_cross_entropy,
+)
+
+
+class TestLinearAndMLP:
+    def test_linear_shapes(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((2, 4))))
+        assert out.shape == (2, 3)
+
+    def test_linear_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_mlp_output_size(self):
+        mlp = MLP(4, [8, 5], rng=np.random.default_rng(0))
+        assert mlp.out_features == 5
+        assert mlp(Tensor(np.ones((3, 4)))).shape == (3, 5)
+
+    def test_mlp_requires_layers(self):
+        with pytest.raises(ValueError):
+            MLP(4, [])
+
+    def test_sequential_applies_in_order(self):
+        seq = Sequential(Linear(2, 2, rng=np.random.default_rng(0)), ReLU())
+        out = seq(Tensor(np.ones((1, 2))))
+        assert np.all(out.data >= 0.0)
+        assert len(seq) == 2
+
+
+class TestDropout:
+    def test_dropout_identity_in_eval(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        drop.eval()
+        x = Tensor(np.ones((4, 4)))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_dropout_zeroes_some_in_train(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        drop.train()
+        out = drop(Tensor(np.ones((20, 20))))
+        assert np.any(out.data == 0.0)
+
+    def test_keep_prob_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(0.0)
+
+
+class TestModule:
+    def test_named_parameters_recursive(self):
+        mlp = MLP(3, [4, 2], rng=np.random.default_rng(0))
+        names = [n for n, _ in mlp.named_parameters()]
+        assert len(names) == len(set(names))
+        assert all(isinstance(p, Parameter) for _, p in mlp.named_parameters())
+
+    def test_state_dict_roundtrip(self):
+        mlp = MLP(3, [4], rng=np.random.default_rng(0))
+        state = mlp.state_dict()
+        mlp2 = MLP(3, [4], rng=np.random.default_rng(99))
+        mlp2.load_state_dict(state)
+        for (_, a), (_, b) in zip(mlp.named_parameters(), mlp2.named_parameters()):
+            np.testing.assert_allclose(a.data, b.data)
+
+    def test_load_state_dict_rejects_mismatch(self):
+        mlp = MLP(3, [4], rng=np.random.default_rng(0))
+        with pytest.raises(KeyError):
+            mlp.load_state_dict({"bogus": np.zeros(1)})
+
+    def test_train_eval_propagates(self):
+        mlp = MLP(3, [4], keep_prob=0.5, rng=np.random.default_rng(0))
+        mlp.eval()
+        assert all(not m.training for m in mlp.modules())
+        mlp.train()
+        assert all(m.training for m in mlp.modules())
+
+    def test_num_parameters_positive(self):
+        mlp = MLP(3, [4], rng=np.random.default_rng(0))
+        assert mlp.num_parameters() == 3 * 4 + 4
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward()
+
+
+class TestLosses:
+    def test_softmax_rows_sum_to_one(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(4, 6)))
+        probs = softmax(logits).data
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(4), atol=1e-9)
+
+    def test_log_softmax_matches_softmax(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(3, 5)))
+        np.testing.assert_allclose(np.exp(log_softmax(logits).data), softmax(logits).data)
+
+    def test_cross_entropy_perfect_prediction_small(self):
+        logits = np.full((2, 3), -10.0)
+        logits[0, 1] = 10.0
+        logits[1, 2] = 10.0
+        loss = softmax_cross_entropy(Tensor(logits), np.array([1, 2]))
+        assert loss.item() < 1e-6
+
+    def test_cross_entropy_validates_shapes(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(Tensor(np.zeros(3)), np.array([0]))
+
+    def test_bce_with_logits_matches_manual(self):
+        logits = Tensor(np.array([0.0, 2.0, -2.0]))
+        targets = np.array([1.0, 1.0, 0.0])
+        loss = binary_cross_entropy_with_logits(logits, targets).item()
+        probs = 1.0 / (1.0 + np.exp(-logits.data))
+        manual = -np.mean(targets * np.log(probs) + (1 - targets) * np.log(1 - probs))
+        assert loss == pytest.approx(manual, rel=1e-9)
+
+    def test_cosine_similarity_bounds(self):
+        a = Tensor(np.random.default_rng(0).normal(size=(5, 4)))
+        b = Tensor(np.random.default_rng(1).normal(size=(5, 4)))
+        sims = cosine_similarity(a, b).data
+        assert np.all(sims <= 1.0 + 1e-9)
+        assert np.all(sims >= -1.0 - 1e-9)
+
+    def test_cosine_embedding_loss_zero_for_identical_positive(self):
+        a = Tensor(np.ones((3, 4)))
+        loss = cosine_embedding_loss(a, a, np.ones(3))
+        assert loss.item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_cosine_embedding_loss_negative_pairs_reward_dissimilarity(self):
+        a = Tensor(np.array([[1.0, 0.0]]))
+        b = Tensor(np.array([[0.0, 1.0]]))
+        loss_orthogonal = cosine_embedding_loss(a, b, np.array([-1.0])).item()
+        loss_identical = cosine_embedding_loss(a, a, np.array([-1.0])).item()
+        assert loss_orthogonal < loss_identical
+
+    def test_l2_embedding_loss_zero_for_identical(self):
+        a = Tensor(np.ones((2, 3)))
+        assert l2_embedding_loss(a, a, np.ones(2)).item() == pytest.approx(0.0)
+
+    def test_l2_regularization(self):
+        params = [Parameter(np.ones(4)), Parameter(2 * np.ones(2))]
+        assert l2_regularization(params, 0.5).item() == pytest.approx(0.5 * (4 + 8))
+
+    def test_l2_normalize_unit_norm(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 6)))
+        norms = np.linalg.norm(l2_normalize(x).data, axis=1)
+        np.testing.assert_allclose(norms, np.ones(3), atol=1e-6)
+
+
+class TestOptimisers:
+    def _quadratic_problem(self):
+        target = np.array([1.0, -2.0, 3.0])
+        param = Parameter(np.zeros(3))
+        return param, target
+
+    def test_sgd_converges_on_quadratic(self):
+        param, target = self._quadratic_problem()
+        opt = SGD([param], lr=0.1)
+        for _ in range(200):
+            loss = ((param - Tensor(target)) ** 2).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_adam_converges_on_quadratic(self):
+        param, target = self._quadratic_problem()
+        opt = Adam([param], lr=0.1)
+        for _ in range(300):
+            loss = ((param - Tensor(target)) ** 2).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-2)
+
+    def test_optimizer_requires_parameters(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_optimizer_requires_positive_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_lr_decay_reduces_lr(self):
+        opt = Adam([Parameter(np.zeros(1))], lr=0.1)
+        opt.step_count = 1000
+        opt.decay_lr(1e-2)
+        assert opt.lr < 0.1
+
+    def test_clip_grad_norm(self):
+        param = Parameter(np.zeros(3))
+        param.grad = np.array([3.0, 4.0, 0.0])
+        norm = clip_grad_norm([param], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Parameter(np.ones(2) * 10.0)
+        opt = SGD([param], lr=0.1, weight_decay=1.0)
+        param.grad = np.zeros(2)
+        opt.step()
+        assert np.all(np.abs(param.data) < 10.0)

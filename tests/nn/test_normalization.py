@@ -1,0 +1,120 @@
+"""Tests for repro.nn.normalization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm1d, LayerNorm, RMSNorm, Tensor
+from repro.nn.gradcheck import check_module_gradients
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(31)
+
+
+class TestLayerNorm:
+    def test_invalid_feature_count_raises(self):
+        with pytest.raises(ValueError):
+            LayerNorm(0)
+
+    def test_output_rows_are_standardised(self, rng):
+        layer = LayerNorm(8)
+        x = Tensor(rng.normal(loc=3.0, scale=5.0, size=(4, 8)))
+        out = layer(x).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gain_and_bias_applied(self, rng):
+        layer = LayerNorm(4)
+        layer.gain.data = np.full(4, 2.0)
+        layer.bias.data = np.full(4, 1.0)
+        x = Tensor(rng.normal(size=(2, 4)))
+        out = layer(x).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), 1.0, atol=1e-6)
+
+    def test_gradcheck(self, rng):
+        layer = LayerNorm(3)
+        x = Tensor(rng.normal(size=(2, 3)))
+        errors = check_module_gradients(layer, lambda m: (m(x) ** 2).sum())
+        assert max(errors.values()) < 1e-4
+
+    def test_works_on_sequences(self, rng):
+        layer = LayerNorm(6)
+        sequence = Tensor(rng.normal(size=(9, 6)))
+        assert layer(sequence).shape == (9, 6)
+
+
+class TestRMSNorm:
+    def test_invalid_feature_count_raises(self):
+        with pytest.raises(ValueError):
+            RMSNorm(-1)
+
+    def test_output_rms_is_one(self, rng):
+        layer = RMSNorm(8)
+        x = Tensor(rng.normal(scale=4.0, size=(5, 8)))
+        out = layer(x).numpy()
+        rms = np.sqrt((out**2).mean(axis=-1))
+        np.testing.assert_allclose(rms, 1.0, atol=1e-3)
+
+    def test_preserves_sign_pattern(self, rng):
+        layer = RMSNorm(4)
+        x = rng.normal(size=(3, 4))
+        out = layer(Tensor(x)).numpy()
+        np.testing.assert_array_equal(np.sign(out), np.sign(x))
+
+    def test_gradcheck(self, rng):
+        layer = RMSNorm(3)
+        x = Tensor(rng.normal(size=(2, 3)))
+        errors = check_module_gradients(layer, lambda m: (m(x) ** 2).sum())
+        assert max(errors.values()) < 1e-4
+
+
+class TestBatchNorm1d:
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            BatchNorm1d(0)
+        with pytest.raises(ValueError):
+            BatchNorm1d(4, momentum=0.0)
+
+    def test_requires_2d_input(self, rng):
+        layer = BatchNorm1d(4)
+        with pytest.raises(ValueError):
+            layer(Tensor(rng.normal(size=(4,))))
+
+    def test_training_normalises_batch(self, rng):
+        layer = BatchNorm1d(5)
+        x = Tensor(rng.normal(loc=-2.0, scale=3.0, size=(64, 5)))
+        out = layer(x).numpy()
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_statistics_track_batches(self, rng):
+        layer = BatchNorm1d(3, momentum=0.5)
+        x = Tensor(rng.normal(loc=4.0, size=(128, 3)))
+        layer(x)
+        assert np.all(layer.running_mean > 1.0)
+
+    def test_eval_mode_uses_running_statistics(self, rng):
+        layer = BatchNorm1d(3, momentum=1.0)
+        train_batch = Tensor(rng.normal(loc=2.0, size=(256, 3)))
+        layer(train_batch)
+        layer.eval()
+        probe = Tensor(np.full((1, 3), 2.0))
+        out = layer(probe).numpy()
+        # A point at the training mean should map near zero in eval mode.
+        assert np.all(np.abs(out) < 0.2)
+
+    def test_eval_mode_does_not_update_running_stats(self, rng):
+        layer = BatchNorm1d(3)
+        layer.eval()
+        before = layer.running_mean.copy()
+        layer(Tensor(rng.normal(loc=10.0, size=(32, 3))))
+        np.testing.assert_allclose(layer.running_mean, before)
+
+    def test_gradcheck_in_training_mode(self, rng):
+        layer = BatchNorm1d(2)
+        x = Tensor(rng.normal(size=(6, 2)))
+        errors = check_module_gradients(layer, lambda m: (m(x) ** 2).sum())
+        assert max(errors.values()) < 1e-3

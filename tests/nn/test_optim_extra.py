@@ -1,0 +1,97 @@
+"""Tests for the RMSprop, Adagrad and AdamW optimisers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Adagrad, AdamW, Linear, RMSprop, Tensor
+
+
+def _quadratic_loss(layer: Linear, x: np.ndarray, y: np.ndarray):
+    prediction = layer(Tensor(x))
+    return ((prediction - Tensor(y)) ** 2).mean()
+
+
+def _train(optimizer_cls, steps: int = 60, **kwargs) -> list[float]:
+    rng = np.random.default_rng(5)
+    layer = Linear(3, 1, rng=rng)
+    x = rng.normal(size=(32, 3))
+    true_w = np.array([[1.0], [-2.0], [0.5]])
+    y = x @ true_w + 0.01 * rng.normal(size=(32, 1))
+    optimizer = optimizer_cls(layer.parameters(), **kwargs)
+    losses = []
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = _quadratic_loss(layer, x, y)
+        loss.backward()
+        optimizer.step()
+        losses.append(loss.item())
+    return losses
+
+
+class TestConvergence:
+    def test_rmsprop_reduces_loss(self):
+        losses = _train(RMSprop, lr=0.05)
+        assert losses[-1] < 0.1 * losses[0]
+
+    def test_adagrad_reduces_loss(self):
+        losses = _train(Adagrad, lr=0.5)
+        assert losses[-1] < 0.5 * losses[0]
+
+    def test_adamw_reduces_loss(self):
+        losses = _train(AdamW, lr=0.05, weight_decay=0.0)
+        assert losses[-1] < 0.1 * losses[0]
+
+
+class TestValidation:
+    def test_rmsprop_invalid_alpha_raises(self):
+        layer = Linear(2, 1)
+        with pytest.raises(ValueError):
+            RMSprop(layer.parameters(), lr=0.01, alpha=1.5)
+
+    def test_negative_learning_rate_raises(self):
+        layer = Linear(2, 1)
+        with pytest.raises(ValueError):
+            Adagrad(layer.parameters(), lr=-0.1)
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            AdamW([], lr=0.1)
+
+
+class TestBehaviour:
+    def test_adamw_weight_decay_shrinks_unused_weights(self):
+        rng = np.random.default_rng(9)
+        layer = Linear(2, 2, rng=rng)
+        # Zero gradient: pure decay should shrink weights towards zero.
+        optimizer = AdamW(layer.parameters(), lr=0.1, weight_decay=0.5)
+        layer.zero_grad()
+        layer.weight.grad = np.zeros_like(layer.weight.data)
+        layer.bias.grad = np.zeros_like(layer.bias.data)
+        norm_before = float(np.linalg.norm(layer.weight.data))
+        for _ in range(10):
+            optimizer.step()
+        norm_after = float(np.linalg.norm(layer.weight.data))
+        assert norm_after < norm_before
+
+    def test_adagrad_step_sizes_shrink_over_time(self):
+        rng = np.random.default_rng(11)
+        layer = Linear(1, 1, rng=rng)
+        optimizer = Adagrad(layer.parameters(), lr=1.0)
+        deltas = []
+        for _ in range(5):
+            layer.zero_grad()
+            layer.weight.grad = np.ones_like(layer.weight.data)
+            layer.bias.grad = np.ones_like(layer.bias.data)
+            before = layer.weight.data.copy()
+            optimizer.step()
+            deltas.append(float(np.abs(layer.weight.data - before).sum()))
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_skips_parameters_without_gradients(self):
+        layer = Linear(2, 1)
+        optimizer = RMSprop(layer.parameters(), lr=0.1)
+        before = layer.weight.data.copy()
+        optimizer.step()  # no backward pass has run
+        np.testing.assert_allclose(layer.weight.data, before)

@@ -1,0 +1,118 @@
+"""Tests for repro.nn.pooling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AttentionPooling,
+    LastState,
+    MaxOverTime,
+    MeanOverTime,
+    Tensor,
+    make_pooling,
+    softmax_over_time,
+)
+from repro.nn.gradcheck import check_module_gradients
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(41)
+
+
+class TestSimplePooling:
+    def test_mean_over_time(self, rng):
+        sequence = rng.normal(size=(5, 3))
+        out = MeanOverTime()(Tensor(sequence)).numpy()
+        np.testing.assert_allclose(out, sequence.mean(axis=0))
+
+    def test_max_over_time(self, rng):
+        sequence = rng.normal(size=(5, 3))
+        out = MaxOverTime()(Tensor(sequence)).numpy()
+        np.testing.assert_allclose(out, sequence.max(axis=0))
+
+    def test_last_state(self, rng):
+        sequence = rng.normal(size=(5, 3))
+        out = LastState()(Tensor(sequence)).numpy()
+        np.testing.assert_allclose(out, sequence[-1])
+
+    def test_single_step_sequence(self, rng):
+        sequence = rng.normal(size=(1, 4))
+        np.testing.assert_allclose(MeanOverTime()(Tensor(sequence)).numpy(), sequence[0])
+        np.testing.assert_allclose(LastState()(Tensor(sequence)).numpy(), sequence[0])
+
+
+class TestSoftmaxOverTime:
+    def test_sums_to_one(self, rng):
+        scores = Tensor(rng.normal(size=(6, 1)))
+        weights = softmax_over_time(scores).numpy()
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(weights >= 0.0)
+
+    def test_stable_for_large_scores(self):
+        scores = Tensor(np.array([[1000.0], [1000.0], [999.0]]))
+        weights = softmax_over_time(scores).numpy()
+        assert np.isfinite(weights).all()
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_peaked_scores_concentrate_weight(self):
+        scores = Tensor(np.array([[10.0], [0.0], [0.0]]))
+        weights = softmax_over_time(scores).numpy().reshape(-1)
+        assert weights[0] > 0.99
+
+
+class TestAttentionPooling:
+    def test_invalid_feature_count_raises(self):
+        with pytest.raises(ValueError):
+            AttentionPooling(0)
+
+    def test_output_shape(self, rng):
+        pooling = AttentionPooling(6, rng=rng)
+        sequence = Tensor(rng.normal(size=(7, 6)))
+        out = pooling(sequence)
+        assert out.numpy().reshape(-1).shape == (6,)
+
+    def test_weights_form_distribution(self, rng):
+        pooling = AttentionPooling(4, rng=rng)
+        sequence = Tensor(rng.normal(size=(5, 4)))
+        weights = pooling.attention_weights(sequence)
+        assert weights.shape == (5,)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_output_is_convex_combination(self, rng):
+        pooling = AttentionPooling(3, rng=rng)
+        sequence = rng.normal(size=(4, 3))
+        out = pooling(Tensor(sequence)).numpy().reshape(-1)
+        assert np.all(out <= sequence.max(axis=0) + 1e-9)
+        assert np.all(out >= sequence.min(axis=0) - 1e-9)
+
+    def test_gradients_reach_scorer(self, rng):
+        pooling = AttentionPooling(3, rng=rng)
+        sequence = Tensor(rng.normal(size=(4, 3)))
+        loss = (pooling(sequence) ** 2).sum()
+        loss.backward()
+        for name, param in pooling.named_parameters():
+            assert param.grad is not None, name
+
+    def test_gradcheck(self, rng):
+        pooling = AttentionPooling(2, attention_dim=2, rng=rng)
+        sequence = Tensor(rng.normal(size=(3, 2)))
+        errors = check_module_gradients(pooling, lambda m: (m(sequence) ** 2).sum())
+        assert max(errors.values()) < 1e-4
+
+
+class TestFactory:
+    def test_known_names(self, rng):
+        assert isinstance(make_pooling("mean", 4), MeanOverTime)
+        assert isinstance(make_pooling("max", 4), MaxOverTime)
+        assert isinstance(make_pooling("last", 4), LastState)
+        assert isinstance(make_pooling("attention", 4, rng=rng), AttentionPooling)
+
+    def test_name_is_case_insensitive(self):
+        assert isinstance(make_pooling("  MEAN ", 4), MeanOverTime)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            make_pooling("fancy", 4)

@@ -1,0 +1,137 @@
+"""Tests for LSTM / BiLSTM / ConvLSTM and the BiLSTM-C convolution."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BiLSTM, Conv2D, ConvLSTM, LSTM, LSTMCell, TemporalConv, Tensor
+
+
+class TestLSTM:
+    def test_cell_shapes(self):
+        cell = LSTMCell(4, 6, rng=np.random.default_rng(0))
+        h = Tensor(np.zeros((1, 6)))
+        c = Tensor(np.zeros((1, 6)))
+        h2, c2 = cell(Tensor(np.ones((1, 4))), h, c)
+        assert h2.shape == (1, 6)
+        assert c2.shape == (1, 6)
+
+    def test_lstm_output_shape(self):
+        lstm = LSTM(4, 6, rng=np.random.default_rng(0))
+        out = lstm(Tensor(np.random.default_rng(1).normal(size=(7, 4))))
+        assert out.shape == (7, 6)
+
+    def test_lstm_reverse_differs(self):
+        lstm = LSTM(4, 6, rng=np.random.default_rng(0))
+        seq = Tensor(np.random.default_rng(1).normal(size=(5, 4)))
+        forward = lstm(seq).data
+        backward = lstm(seq, reverse=True).data
+        assert not np.allclose(forward, backward)
+
+    def test_lstm_gradients_flow(self):
+        lstm = LSTM(3, 4, rng=np.random.default_rng(0))
+        out = lstm(Tensor(np.random.default_rng(2).normal(size=(4, 3))))
+        (out * out).sum().backward()
+        assert all(p.grad is not None for p in lstm.parameters())
+
+    def test_lstm_bounded_hidden_state(self):
+        lstm = LSTM(3, 4, rng=np.random.default_rng(0))
+        out = lstm(Tensor(np.random.default_rng(2).normal(size=(10, 3)) * 10))
+        assert np.all(np.abs(out.data) <= 1.0 + 1e-9)
+
+
+class TestBiLSTM:
+    def test_concat_output_shape(self):
+        bilstm = BiLSTM(4, 5, rng=np.random.default_rng(0))
+        out = bilstm(Tensor(np.random.default_rng(1).normal(size=(6, 4))))
+        assert out.shape == (6, 10)
+
+    def test_stacked_channels_shape(self):
+        bilstm = BiLSTM(4, 5, rng=np.random.default_rng(0))
+        out = bilstm(Tensor(np.random.default_rng(1).normal(size=(6, 4))), stacked_channels=True)
+        assert out.shape == (6, 5, 2)
+
+    def test_multi_layer(self):
+        bilstm = BiLSTM(4, 5, num_layers=2, rng=np.random.default_rng(0))
+        out = bilstm(Tensor(np.random.default_rng(1).normal(size=(6, 4))))
+        assert out.shape == (6, 10)
+
+    def test_rejects_zero_layers(self):
+        with pytest.raises(ValueError):
+            BiLSTM(4, 5, num_layers=0)
+
+
+class TestConvLSTM:
+    def test_output_shape_preserves_width(self):
+        conv_lstm = ConvLSTM(width=8, rng=np.random.default_rng(0))
+        out = conv_lstm(Tensor(np.random.default_rng(1).normal(size=(5, 8))))
+        assert out.shape == (5, 8)
+
+    def test_even_kernel_rejected(self):
+        from repro.nn.recurrent import ConvLSTMCell
+
+        with pytest.raises(ValueError):
+            ConvLSTMCell(width=8, kernel_size=2)
+
+    def test_gradients_flow(self):
+        conv_lstm = ConvLSTM(width=6, rng=np.random.default_rng(0))
+        out = conv_lstm(Tensor(np.random.default_rng(1).normal(size=(4, 6))))
+        (out * out).sum().backward()
+        assert all(p.grad is not None for p in conv_lstm.parameters())
+
+
+class TestConv2D:
+    def test_valid_convolution_shape(self):
+        conv = Conv2D(2, 5, 3, 4, rng=np.random.default_rng(0))
+        out = conv(Tensor(np.random.default_rng(1).normal(size=(7, 4, 2))))
+        assert out.shape == (5, 1, 5)
+
+    def test_channel_mismatch_raises(self):
+        conv = Conv2D(2, 5, 3, 4, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((7, 4, 3))))
+
+    def test_input_smaller_than_kernel_raises(self):
+        conv = Conv2D(1, 1, 3, 3, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((2, 3, 1))))
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Conv2D(0, 1, 3, 3)
+
+
+class TestTemporalConv:
+    def test_feature_map_shape(self):
+        conv = TemporalConv(width=6, rng=np.random.default_rng(0))
+        out = conv(Tensor(np.random.default_rng(1).normal(size=(8, 6, 2))))
+        assert out.shape == (6, 6)
+
+    def test_wrong_width_rejected(self):
+        conv = TemporalConv(width=6, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((8, 5, 2))))
+
+    def test_gradient_check_small(self):
+        rng = np.random.default_rng(3)
+        conv = TemporalConv(width=3, rng=rng)
+        x0 = rng.normal(size=(4, 3, 2))
+
+        def loss_value(x):
+            return (conv(Tensor(x)) ** 2).sum().item()
+
+        x_t = Tensor(x0.copy(), requires_grad=True)
+        loss = (conv(x_t) ** 2).sum()
+        loss.backward()
+        analytic = x_t.grad
+        numeric = np.zeros_like(x0)
+        eps = 1e-6
+        flat = x0.ravel()
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + eps
+            plus = loss_value(x0)
+            flat[i] = orig - eps
+            minus = loss_value(x0)
+            flat[i] = orig
+            numeric.ravel()[i] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)

@@ -1,0 +1,91 @@
+"""Tests for the learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import SGD, Parameter
+from repro.nn.schedulers import (
+    CosineAnnealing,
+    ExponentialDecay,
+    InverseTimeDecay,
+    StepDecay,
+    WarmupWrapper,
+)
+
+
+@pytest.fixture
+def optimizer():
+    return SGD([Parameter(np.zeros(3))], lr=0.1)
+
+
+class TestInverseTimeDecay:
+    def test_matches_formula(self, optimizer):
+        scheduler = InverseTimeDecay(optimizer, decay=0.1)
+        assert scheduler.step() == pytest.approx(0.1 / 1.1)
+        assert scheduler.step() == pytest.approx(0.1 / 1.2)
+        assert optimizer.lr == pytest.approx(0.1 / 1.2)
+
+    def test_negative_decay_rejected(self, optimizer):
+        with pytest.raises(ConfigurationError):
+            InverseTimeDecay(optimizer, decay=-1.0)
+
+
+class TestExponentialDecay:
+    def test_monotonically_decreasing(self, optimizer):
+        scheduler = ExponentialDecay(optimizer, gamma=0.9)
+        rates = [scheduler.step() for _ in range(5)]
+        assert all(later < earlier for earlier, later in zip(rates, rates[1:]))
+        assert rates[0] == pytest.approx(0.09)
+
+    def test_invalid_gamma_rejected(self, optimizer):
+        with pytest.raises(ConfigurationError):
+            ExponentialDecay(optimizer, gamma=1.5)
+
+
+class TestStepDecay:
+    def test_halves_every_step_size(self, optimizer):
+        scheduler = StepDecay(optimizer, step_size=2, factor=0.5)
+        rates = [scheduler.step() for _ in range(5)]
+        assert rates[0] == pytest.approx(0.1)
+        assert rates[1] == pytest.approx(0.05)
+        assert rates[3] == pytest.approx(0.025)
+
+    def test_invalid_arguments_rejected(self, optimizer):
+        with pytest.raises(ConfigurationError):
+            StepDecay(optimizer, step_size=0)
+        with pytest.raises(ConfigurationError):
+            StepDecay(optimizer, factor=0.0)
+
+
+class TestCosineAnnealing:
+    def test_starts_near_base_and_ends_at_min(self, optimizer):
+        scheduler = CosineAnnealing(optimizer, total_steps=10, min_lr=0.001)
+        rates = [scheduler.step() for _ in range(10)]
+        assert rates[0] < 0.1
+        assert rates[-1] == pytest.approx(0.001, abs=1e-9)
+        assert all(later <= earlier + 1e-12 for earlier, later in zip(rates, rates[1:]))
+
+    def test_invalid_arguments_rejected(self, optimizer):
+        with pytest.raises(ConfigurationError):
+            CosineAnnealing(optimizer, total_steps=0)
+        with pytest.raises(ConfigurationError):
+            CosineAnnealing(optimizer, total_steps=5, min_lr=0.0)
+
+
+class TestWarmupWrapper:
+    def test_linear_warmup_then_delegate(self, optimizer):
+        scheduler = WarmupWrapper(InverseTimeDecay(optimizer, decay=0.0), warmup_steps=4)
+        rates = [scheduler.step() for _ in range(6)]
+        assert rates[0] == pytest.approx(0.025)
+        assert rates[3] == pytest.approx(0.1)
+        assert rates[4] == pytest.approx(0.1)
+
+    def test_scheduler_updates_optimizer_in_training_loop(self, optimizer):
+        """The scheduler's rate is what the optimiser actually applies."""
+        parameter = optimizer.parameters[0]
+        scheduler = ExponentialDecay(optimizer, gamma=0.5)
+        parameter.grad = np.ones_like(parameter.data)
+        scheduler.step()
+        optimizer.step()
+        np.testing.assert_allclose(parameter.data, -0.05 * np.ones(3))

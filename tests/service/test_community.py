@@ -1,0 +1,158 @@
+"""Tests for repro.service.community."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.records import Profile, Tweet
+from repro.errors import ConfigurationError
+from repro.service import CommunityDetector
+
+
+class _PidBaseJudge:
+    """Scores a pair 0.95 when both profiles share a true POI id, else 0.05."""
+
+    def predict_proba(self, pairs):
+        return np.array(
+            [0.95 if p.left.tweet.true_pid == p.right.tweet.true_pid else 0.05 for p in pairs]
+        )
+
+
+def _profile(uid: int, ts: float, pid: int) -> Profile:
+    tweet = Tweet(uid=uid, ts=ts, content=f"tweet from {uid}", true_pid=pid)
+    return Profile(uid=uid, tweet=tweet, visit_history=(), pid=None)
+
+
+@pytest.fixture()
+def two_group_profiles() -> list[Profile]:
+    # Users 1-3 co-located at POI 7, users 4-5 at POI 9, all within one hour.
+    return [
+        _profile(1, 100.0, 7),
+        _profile(2, 200.0, 7),
+        _profile(3, 300.0, 7),
+        _profile(4, 150.0, 9),
+        _profile(5, 250.0, 9),
+    ]
+
+
+class TestValidation:
+    def test_judge_without_predict_proba_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CommunityDetector(object())
+
+    def test_invalid_delta_t_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CommunityDetector(_PidBaseJudge(), delta_t=0.0)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CommunityDetector(_PidBaseJudge(), edge_threshold=1.2)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CommunityDetector(_PidBaseJudge(), method="magic")
+
+
+class TestUserGraph:
+    def test_graph_nodes_are_users(self, two_group_profiles):
+        detector = CommunityDetector(_PidBaseJudge())
+        graph = detector.build_user_graph(two_group_profiles)
+        assert set(graph.nodes) == {1, 2, 3, 4, 5}
+
+    def test_edges_only_above_threshold(self, two_group_profiles):
+        detector = CommunityDetector(_PidBaseJudge(), edge_threshold=0.5)
+        graph = detector.build_user_graph(two_group_profiles)
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(1, 4)
+
+    def test_pairs_outside_window_skipped(self):
+        detector = CommunityDetector(_PidBaseJudge(), delta_t=60.0)
+        profiles = [_profile(1, 0.0, 7), _profile(2, 3600.0, 7)]
+        graph = detector.build_user_graph(profiles)
+        assert graph.number_of_edges() == 0
+
+    def test_repeat_pairs_keep_max_weight(self):
+        detector = CommunityDetector(_PidBaseJudge())
+        profiles = [
+            _profile(1, 0.0, 7),
+            _profile(2, 10.0, 7),
+            _profile(1, 20.0, 7),
+        ]
+        graph = detector.build_user_graph(profiles)
+        assert graph[1][2]["weight"] == pytest.approx(0.95)
+
+    def test_empty_profile_list(self):
+        detector = CommunityDetector(_PidBaseJudge())
+        result = detector.detect([])
+        assert result.communities == []
+        assert result.num_communities == 0
+
+
+class TestDetection:
+    def test_two_clean_communities(self, two_group_profiles):
+        detector = CommunityDetector(_PidBaseJudge())
+        result = detector.detect(two_group_profiles)
+        partitions = {frozenset(c) for c in result.communities}
+        assert frozenset({1, 2, 3}) in partitions
+        assert frozenset({4, 5}) in partitions
+
+    def test_components_method_matches_structure(self, two_group_profiles):
+        detector = CommunityDetector(_PidBaseJudge(), method="components")
+        result = detector.detect(two_group_profiles)
+        partitions = {frozenset(c) for c in result.communities}
+        assert frozenset({1, 2, 3}) in partitions
+
+    def test_modularity_positive_for_separated_groups(self, two_group_profiles):
+        detector = CommunityDetector(_PidBaseJudge())
+        result = detector.detect(two_group_profiles)
+        assert result.modularity > 0.0
+
+    def test_community_of_lookup(self, two_group_profiles):
+        detector = CommunityDetector(_PidBaseJudge())
+        result = detector.detect(two_group_profiles)
+        assert result.community_of(1) == {1, 2, 3}
+        assert result.community_of(999) is None
+
+    def test_communities_sorted_largest_first(self, two_group_profiles):
+        detector = CommunityDetector(_PidBaseJudge())
+        result = detector.detect(two_group_profiles)
+        sizes = [len(c) for c in result.communities]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_isolated_users_form_singletons(self):
+        detector = CommunityDetector(_PidBaseJudge(), method="components")
+        profiles = [_profile(1, 0.0, 7), _profile(2, 10.0, 9)]
+        result = detector.detect(profiles)
+        assert {frozenset(c) for c in result.communities} == {frozenset({1}), frozenset({2})}
+
+
+class TestMatrixInterface:
+    def test_detect_from_matrix(self, two_group_profiles):
+        detector = CommunityDetector(_PidBaseJudge())
+        n = len(two_group_profiles)
+        matrix = np.full((n, n), 0.05)
+        for i in range(3):
+            for j in range(3):
+                matrix[i, j] = 0.9
+        matrix[3, 4] = matrix[4, 3] = 0.9
+        result = detector.detect_from_matrix(two_group_profiles, matrix)
+        partitions = {frozenset(c) for c in result.communities}
+        assert frozenset({1, 2, 3}) in partitions
+        assert frozenset({4, 5}) in partitions
+
+    def test_detect_from_matrix_shape_mismatch(self, two_group_profiles):
+        detector = CommunityDetector(_PidBaseJudge())
+        with pytest.raises(ConfigurationError):
+            detector.detect_from_matrix(two_group_profiles, np.zeros((2, 2)))
+
+
+class TestWithFittedPipeline:
+    def test_detect_on_real_judge(self, fitted_pipeline, tiny_dataset):
+        profiles = tiny_dataset.test.labeled_profiles[:12]
+        if len(profiles) < 4:
+            pytest.skip("tiny dataset has too few labelled test profiles")
+        detector = CommunityDetector(fitted_pipeline, delta_t=tiny_dataset.delta_t)
+        result = detector.detect(profiles)
+        covered = set().union(*result.communities) if result.communities else set()
+        assert covered == {p.uid for p in profiles}

@@ -1,0 +1,153 @@
+"""Tests for repro.service.followship."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.records import Timeline, Tweet, Visit
+from repro.data.store import TimelineStore
+from repro.errors import ConfigurationError
+from repro.service import FollowshipAnalyzer, FollowshipScore
+
+HOUR = 3600.0
+
+
+def _visit_at(registry, poi_index: int, ts: float) -> Visit:
+    poi = registry.pois[poi_index]
+    return Visit(ts=ts, lat=poi.center.lat, lon=poi.center.lon)
+
+
+def _timeline(registry, uid: int, events: list[tuple[int, float]]) -> Timeline:
+    tweets = [
+        Tweet(
+            uid=uid,
+            ts=ts,
+            content="checking in",
+            lat=registry.pois[poi_index].center.lat,
+            lon=registry.pois[poi_index].center.lon,
+        )
+        for poi_index, ts in events
+    ]
+    return Timeline(uid=uid, tweets=tuple(tweets))
+
+
+class TestValidation:
+    def test_invalid_window_rejected(self, small_registry):
+        with pytest.raises(ConfigurationError):
+            FollowshipAnalyzer(small_registry, window_s=0.0)
+
+
+class TestScorePair:
+    def test_follower_trailing_leader_counts(self, small_registry):
+        analyzer = FollowshipAnalyzer(small_registry, window_s=2 * HOUR)
+        leader = [_visit_at(small_registry, 0, ts=0.0)]
+        follower = [_visit_at(small_registry, 0, ts=HOUR)]
+        score = analyzer.score_pair(leader, follower, leader_uid=1, follower_uid=2)
+        assert score.followed_visits == 1
+        assert score.total_follower_visits == 1
+        assert score.score == pytest.approx(1.0)
+
+    def test_visit_before_leader_does_not_count(self, small_registry):
+        analyzer = FollowshipAnalyzer(small_registry, window_s=2 * HOUR)
+        leader = [_visit_at(small_registry, 0, ts=HOUR)]
+        follower = [_visit_at(small_registry, 0, ts=0.0)]
+        score = analyzer.score_pair(leader, follower)
+        assert score.followed_visits == 0
+
+    def test_visit_outside_window_does_not_count(self, small_registry):
+        analyzer = FollowshipAnalyzer(small_registry, window_s=HOUR)
+        leader = [_visit_at(small_registry, 0, ts=0.0)]
+        follower = [_visit_at(small_registry, 0, ts=10 * HOUR)]
+        score = analyzer.score_pair(leader, follower)
+        assert score.followed_visits == 0
+
+    def test_different_poi_does_not_count(self, small_registry):
+        analyzer = FollowshipAnalyzer(small_registry, window_s=2 * HOUR)
+        leader = [_visit_at(small_registry, 0, ts=0.0)]
+        follower = [_visit_at(small_registry, 1, ts=HOUR)]
+        score = analyzer.score_pair(leader, follower)
+        assert score.followed_visits == 0
+
+    def test_empty_follower_history_scores_zero(self, small_registry):
+        analyzer = FollowshipAnalyzer(small_registry)
+        score = analyzer.score_pair([_visit_at(small_registry, 0, ts=0.0)], [])
+        assert score.score == 0.0
+        assert score.total_follower_visits == 0
+
+    def test_non_poi_visits_ignored(self, small_registry):
+        analyzer = FollowshipAnalyzer(small_registry, window_s=2 * HOUR)
+        # A visit 50 km away from every POI never maps to a POI event.
+        off_poi = Visit(ts=HOUR, lat=41.2, lon=-73.99)
+        leader = [_visit_at(small_registry, 0, ts=0.0)]
+        score = analyzer.score_pair(leader, [off_poi])
+        assert score.total_follower_visits == 0
+
+    def test_score_dataclass_fields(self, small_registry):
+        analyzer = FollowshipAnalyzer(small_registry, window_s=2 * HOUR)
+        leader = [_visit_at(small_registry, 0, ts=0.0)]
+        follower = [_visit_at(small_registry, 0, ts=HOUR), _visit_at(small_registry, 1, ts=HOUR)]
+        score = analyzer.score_pair(leader, follower, leader_uid=10, follower_uid=20)
+        assert isinstance(score, FollowshipScore)
+        assert score.leader_uid == 10
+        assert score.follower_uid == 20
+        assert score.score == pytest.approx(0.5)
+
+
+class TestExpectedScore:
+    def test_expected_score_between_zero_and_one(self, small_registry):
+        analyzer = FollowshipAnalyzer(small_registry, window_s=2 * HOUR)
+        leader = [_visit_at(small_registry, 0, ts=float(i) * HOUR) for i in range(4)]
+        follower = [_visit_at(small_registry, 0, ts=float(i) * HOUR + 1800.0) for i in range(4)]
+        expected = analyzer.expected_score(leader, follower)
+        assert 0.0 <= expected <= 1.0
+
+    def test_expected_zero_for_empty_follower(self, small_registry):
+        analyzer = FollowshipAnalyzer(small_registry)
+        assert analyzer.expected_score([_visit_at(small_registry, 0, 0.0)], []) == 0.0
+
+    def test_observed_exceeds_expectation_for_true_follower(self, small_registry):
+        # Follower always arrives 30 minutes after the leader at the same POI;
+        # the leader rotates POIs so shuffled timestamps rarely line up.
+        analyzer = FollowshipAnalyzer(small_registry, window_s=HOUR)
+        leader = [_visit_at(small_registry, i % 5, ts=float(i) * 10 * HOUR) for i in range(10)]
+        follower = [
+            _visit_at(small_registry, i % 5, ts=float(i) * 10 * HOUR + 1800.0) for i in range(10)
+        ]
+        observed = analyzer.score_pair(leader, follower).score
+        expected = analyzer.expected_score(leader, follower, num_permutations=30)
+        assert observed > expected
+
+
+class TestStoreAnalysis:
+    @pytest.fixture()
+    def store(self, small_registry) -> TimelineStore:
+        leader = _timeline(small_registry, 1, [(0, 0.0), (1, 10 * HOUR), (2, 20 * HOUR)])
+        follower = _timeline(
+            small_registry, 2, [(0, HOUR), (1, 11 * HOUR), (2, 21 * HOUR)]
+        )
+        independent = _timeline(small_registry, 3, [(3, 5 * HOUR), (4, 15 * HOUR)])
+        return TimelineStore([leader, follower, independent])
+
+    def test_detects_leader_follower_pair(self, small_registry, store):
+        analyzer = FollowshipAnalyzer(small_registry, window_s=2 * HOUR)
+        results = analyzer.analyze_store(store, min_followed_visits=2)
+        assert results
+        top = results[0]
+        assert (top.leader_uid, top.follower_uid) == (1, 2)
+        assert top.score == pytest.approx(1.0)
+
+    def test_independent_user_not_reported(self, small_registry, store):
+        analyzer = FollowshipAnalyzer(small_registry, window_s=2 * HOUR)
+        results = analyzer.analyze_store(store, min_followed_visits=1)
+        assert all(3 not in (r.leader_uid, r.follower_uid) or r.followed_visits == 0 for r in results)
+
+    def test_top_k_limits_results(self, small_registry, store):
+        analyzer = FollowshipAnalyzer(small_registry, window_s=2 * HOUR)
+        results = analyzer.analyze_store(store, min_followed_visits=1, top_k=1)
+        assert len(results) <= 1
+
+    def test_results_sorted_by_score(self, small_registry, store):
+        analyzer = FollowshipAnalyzer(small_registry, window_s=2 * HOUR)
+        results = analyzer.analyze_store(store, min_followed_visits=1)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)

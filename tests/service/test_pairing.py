@@ -1,0 +1,85 @@
+"""Tests for the sliding candidate-pair window."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.records import Profile, Tweet
+from repro.errors import ConfigurationError
+from repro.service import SlidingPairWindow
+
+
+def make_profile(uid, ts, lat=None, lon=None):
+    return Profile(uid=uid, tweet=Tweet(uid=uid, ts=ts, content="x", lat=lat, lon=lon), visit_history=(), pid=None)
+
+
+class TestSlidingPairWindow:
+    def test_pairs_require_different_users(self):
+        window = SlidingPairWindow(delta_t=100.0)
+        window.add(make_profile(1, 10.0))
+        assert window.add(make_profile(1, 20.0)) == []
+        assert len(window.add(make_profile(2, 30.0))) == 2
+
+    def test_pairs_respect_delta_t(self):
+        window = SlidingPairWindow(delta_t=50.0)
+        window.add(make_profile(1, 0.0))
+        candidates = window.add(make_profile(2, 49.0))
+        assert len(candidates) == 1
+        assert window.add(make_profile(3, 120.0)) == []
+
+    def test_old_profiles_are_evicted(self):
+        window = SlidingPairWindow(delta_t=50.0)
+        window.add(make_profile(1, 0.0))
+        window.add(make_profile(2, 100.0))
+        assert len(window) == 1  # the first profile fell out of the window
+
+    def test_candidate_pairs_are_unlabeled(self):
+        window = SlidingPairWindow(delta_t=100.0)
+        window.add(make_profile(1, 0.0))
+        (pair,) = window.add(make_profile(2, 10.0))
+        assert pair.co_label is None
+        assert {pair.left.uid, pair.right.uid} == {1, 2}
+
+    def test_spatial_gate_filters_distant_profiles(self):
+        window = SlidingPairWindow(delta_t=100.0, max_distance_m=1000.0)
+        window.add(make_profile(1, 0.0, lat=40.70, lon=-74.00))
+        far = window.add(make_profile(2, 10.0, lat=40.90, lon=-74.00))  # ~22 km north
+        assert far == []
+        near = window.add(make_profile(3, 20.0, lat=40.701, lon=-74.001))
+        assert len(near) == 1 and near[0].left.uid == 1
+
+    def test_spatial_gate_ignores_non_geotagged(self):
+        window = SlidingPairWindow(delta_t=100.0, max_distance_m=10.0)
+        window.add(make_profile(1, 0.0))
+        assert len(window.add(make_profile(2, 1.0))) == 1
+
+    def test_max_profiles_cap(self):
+        window = SlidingPairWindow(delta_t=1e9, max_profiles=3)
+        for uid in range(5):
+            window.add(make_profile(uid, float(uid)))
+        assert len(window) == 3
+
+    def test_clear(self):
+        window = SlidingPairWindow(delta_t=100.0)
+        window.add(make_profile(1, 0.0))
+        window.clear()
+        assert len(window) == 0
+
+    def test_invalid_configuration_raises(self):
+        with pytest.raises(ConfigurationError):
+            SlidingPairWindow(delta_t=0.0)
+        with pytest.raises(ConfigurationError):
+            SlidingPairWindow(max_profiles=0)
+
+    @given(
+        timestamps=st.lists(st.floats(min_value=0, max_value=10_000, allow_nan=False), min_size=2, max_size=30),
+        delta_t=st.floats(min_value=1.0, max_value=5_000.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_emitted_pair_satisfies_definition_5(self, timestamps, delta_t):
+        """Property: pairs always involve distinct users within delta_t."""
+        window = SlidingPairWindow(delta_t=delta_t)
+        for uid, ts in enumerate(sorted(timestamps)):
+            for pair in window.add(make_profile(uid % 5, ts)):
+                assert pair.left.uid != pair.right.uid
+                assert abs(pair.left.ts - pair.right.ts) < delta_t

@@ -1,0 +1,193 @@
+"""Tests for repro.service.recommendation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.records import Profile, Tweet
+from repro.errors import ConfigurationError
+from repro.service import LocalPeopleRecommender, Recommendation
+from repro.text import TfidfVectorizer
+
+
+class _PidBaseJudge:
+    """Scores a pair 0.9 when the two profiles carry the same true POI id, else 0.1."""
+
+    def predict_proba(self, pairs):
+        return np.array(
+            [0.9 if p.left.tweet.true_pid == p.right.tweet.true_pid else 0.1 for p in pairs]
+        )
+
+
+def _profile(uid: int, ts: float, content: str, pid: int = 0) -> Profile:
+    tweet = Tweet(uid=uid, ts=ts, content=content, true_pid=pid)
+    return Profile(uid=uid, tweet=tweet, visit_history=(), pid=None)
+
+
+@pytest.fixture()
+def recommender() -> LocalPeopleRecommender:
+    return LocalPeopleRecommender(_PidBaseJudge(), delta_t=3600.0, colocation_weight=0.7)
+
+
+@pytest.fixture()
+def query() -> Profile:
+    return _profile(1, ts=1000.0, content="coffee and jazz downtown", pid=7)
+
+
+@pytest.fixture()
+def candidates() -> list[Profile]:
+    return [
+        _profile(2, ts=1100.0, content="jazz and coffee by the park", pid=7),   # co-located + similar
+        _profile(3, ts=1200.0, content="slot machines all night", pid=3),       # neither
+        _profile(4, ts=1300.0, content="coffee downtown again", pid=3),         # similar only
+        _profile(5, ts=90000.0, content="jazz and coffee", pid=7),              # outside delta_t
+        _profile(1, ts=1050.0, content="my own other tweet", pid=7),            # same user
+    ]
+
+
+class TestValidation:
+    def test_judge_without_predict_proba_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LocalPeopleRecommender(object())
+
+    def test_invalid_delta_t_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LocalPeopleRecommender(_PidBaseJudge(), delta_t=0.0)
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LocalPeopleRecommender(_PidBaseJudge(), colocation_weight=1.5)
+
+    def test_invalid_top_k_rejected(self, recommender, query, candidates):
+        with pytest.raises(ConfigurationError):
+            recommender.recommend(query, candidates, top_k=0)
+
+
+class TestEligibility:
+    def test_same_user_excluded(self, recommender, query, candidates):
+        results = recommender.recommend(query, candidates, top_k=10)
+        assert all(r.uid != query.uid for r in results)
+
+    def test_outside_window_excluded(self, recommender, query, candidates):
+        results = recommender.recommend(query, candidates, top_k=10)
+        assert all(r.uid != 5 for r in results)
+
+    def test_no_candidates_returns_empty(self, recommender, query):
+        assert recommender.recommend(query, [], top_k=3) == []
+
+
+class TestRanking:
+    def test_colocated_and_similar_ranks_first(self, recommender, query, candidates):
+        results = recommender.recommend(query, candidates, top_k=3)
+        assert results[0].uid == 2
+
+    def test_scores_sorted_descending(self, recommender, query, candidates):
+        results = recommender.recommend(query, candidates, top_k=10)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_k_truncates(self, recommender, query, candidates):
+        assert len(recommender.recommend(query, candidates, top_k=1)) == 1
+
+    def test_min_score_filters(self, recommender, query, candidates):
+        results = recommender.recommend(query, candidates, top_k=10, min_score=0.5)
+        assert all(r.score >= 0.5 for r in results)
+
+    def test_score_blend_respects_weight(self, query, candidates):
+        colocation_only = LocalPeopleRecommender(_PidBaseJudge(), colocation_weight=1.0)
+        results = colocation_only.recommend(query, candidates, top_k=10)
+        for result in results:
+            assert result.score == pytest.approx(result.colocation_probability)
+
+    def test_interest_similarity_breaks_ties(self, query, candidates):
+        interest_only = LocalPeopleRecommender(_PidBaseJudge(), colocation_weight=0.0)
+        results = interest_only.recommend(query, candidates, top_k=10)
+        by_uid = {r.uid: r for r in results}
+        # Candidate 2 shares words with the query, candidate 3 does not.
+        assert by_uid[2].interest_similarity > by_uid[3].interest_similarity
+
+    def test_recommendation_fields(self, recommender, query, candidates):
+        result = recommender.recommend(query, candidates, top_k=1)[0]
+        assert isinstance(result, Recommendation)
+        assert 0.0 <= result.colocation_probability <= 1.0
+        assert result.profile.uid == result.uid
+
+
+class TestBatchAndVectorizer:
+    def test_recommend_for_all_covers_every_user(self, recommender, candidates, query):
+        profiles = [query] + candidates
+        results = recommender.recommend_for_all(profiles, top_k=2)
+        assert set(results) == {p.uid for p in profiles}
+        for recommendations in results.values():
+            assert len(recommendations) <= 2
+
+    def test_prefitted_vectorizer_used(self, query, candidates):
+        vectorizer = TfidfVectorizer().fit(
+            [query.content] + [c.content for c in candidates]
+        )
+        recommender = LocalPeopleRecommender(
+            _PidBaseJudge(), colocation_weight=0.0, vectorizer=vectorizer
+        )
+        results = recommender.recommend(query, candidates, top_k=10)
+        assert any(r.interest_similarity > 0.0 for r in results)
+
+    def test_degenerate_contents_fall_back_to_zero_interest(self):
+        query = _profile(1, ts=0.0, content="", pid=1)
+        others = [_profile(2, ts=10.0, content="", pid=1)]
+        recommender = LocalPeopleRecommender(_PidBaseJudge(), colocation_weight=0.5)
+        results = recommender.recommend(query, others, top_k=1)
+        assert results[0].interest_similarity == 0.0
+
+
+class TestEvaluateRecommender:
+    def _labelled_profiles(self) -> list[Profile]:
+        # Users 1-3 at POI 7 within one window, users 4-5 at POI 9, plus a
+        # user 6 at POI 7 but hours later (never relevant to anyone).
+        def labelled(uid, ts, pid):
+            tweet = Tweet(uid=uid, ts=ts, content=f"tweet {uid}", true_pid=pid)
+            return Profile(uid=uid, tweet=tweet, visit_history=(), pid=pid)
+
+        return [
+            labelled(1, 100.0, 7),
+            labelled(2, 200.0, 7),
+            labelled(3, 300.0, 7),
+            labelled(4, 150.0, 9),
+            labelled(5, 250.0, 9),
+            labelled(6, 90000.0, 7),
+        ]
+
+    def test_report_keys_and_bounds(self):
+        from repro.service import evaluate_recommender
+
+        recommender = LocalPeopleRecommender(_PidBaseJudge(), delta_t=3600.0)
+        report = evaluate_recommender(recommender, self._labelled_profiles(), ks=(1, 3))
+        assert "mrr" in report and "precision@1" in report
+        assert all(0.0 <= value <= 1.0 for value in report.values())
+
+    def test_informative_judge_beats_uninformative(self):
+        from repro.service import evaluate_recommender
+
+        profiles = self._labelled_profiles()
+
+        class _Uninformative:
+            def predict_proba(self, pairs):
+                return np.full(len(pairs), 0.5)
+
+        informed = LocalPeopleRecommender(_PidBaseJudge(), delta_t=3600.0, colocation_weight=1.0)
+        blind = LocalPeopleRecommender(_Uninformative(), delta_t=3600.0, colocation_weight=1.0)
+        informed_report = evaluate_recommender(informed, profiles, ks=(1,))
+        blind_report = evaluate_recommender(blind, profiles, ks=(1,))
+        assert informed_report["precision@1"] >= blind_report["precision@1"]
+        assert informed_report["mrr"] >= 0.99
+
+    def test_empty_when_no_colocated_partner(self):
+        from repro.service import evaluate_recommender
+
+        def labelled(uid, ts, pid):
+            tweet = Tweet(uid=uid, ts=ts, content="x", true_pid=pid)
+            return Profile(uid=uid, tweet=tweet, visit_history=(), pid=pid)
+
+        lonely = [labelled(1, 0.0, 7), labelled(2, 10.0, 9)]
+        recommender = LocalPeopleRecommender(_PidBaseJudge(), delta_t=3600.0)
+        assert evaluate_recommender(recommender, lonely) == {}

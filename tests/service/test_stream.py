@@ -1,0 +1,78 @@
+"""Tests for the online profile builder."""
+
+import pytest
+
+from repro.data.records import Tweet
+from repro.errors import DataGenerationError
+from repro.service import OnlineProfileBuilder
+
+
+def poi_tweet(registry, uid, ts, poi_index=0, content="espresso and a view"):
+    poi = registry.pois[poi_index]
+    return Tweet(uid=uid, ts=ts, content=content, lat=poi.center.lat, lon=poi.center.lon)
+
+
+def plain_tweet(uid, ts, content="nothing much"):
+    return Tweet(uid=uid, ts=ts, content=content)
+
+
+class TestOnlineProfileBuilder:
+    def test_first_profile_has_empty_history(self, small_registry):
+        builder = OnlineProfileBuilder(small_registry)
+        profile = builder.consume(poi_tweet(small_registry, uid=1, ts=100.0))
+        assert profile.visit_history == ()
+
+    def test_history_excludes_current_tweet(self, small_registry):
+        builder = OnlineProfileBuilder(small_registry)
+        builder.consume(poi_tweet(small_registry, uid=1, ts=100.0))
+        profile = builder.consume(poi_tweet(small_registry, uid=1, ts=200.0, poi_index=1))
+        assert len(profile.visit_history) == 1
+        assert profile.visit_history[0].ts == 100.0
+
+    def test_geotagged_poi_tweet_is_labeled(self, small_registry):
+        builder = OnlineProfileBuilder(small_registry)
+        profile = builder.consume(poi_tweet(small_registry, uid=1, ts=1.0, poi_index=2))
+        assert profile.pid == small_registry.pois[2].pid
+
+    def test_non_geotagged_tweet_is_unlabeled_and_adds_no_history(self, small_registry):
+        builder = OnlineProfileBuilder(small_registry)
+        profile = builder.consume(plain_tweet(uid=1, ts=1.0))
+        assert profile.pid is None
+        assert builder.history(1) == ()
+
+    def test_out_of_order_tweet_raises(self, small_registry):
+        builder = OnlineProfileBuilder(small_registry)
+        builder.consume(plain_tweet(uid=1, ts=100.0))
+        with pytest.raises(DataGenerationError):
+            builder.consume(plain_tweet(uid=1, ts=50.0))
+
+    def test_out_of_order_allowed_when_not_enforced(self, small_registry):
+        builder = OnlineProfileBuilder(small_registry, enforce_order=False)
+        builder.consume(plain_tweet(uid=1, ts=100.0))
+        profile = builder.consume(plain_tweet(uid=1, ts=50.0))
+        assert profile.uid == 1
+
+    def test_max_history_is_enforced(self, small_registry):
+        builder = OnlineProfileBuilder(small_registry, max_history=3)
+        for step in range(6):
+            builder.consume(poi_tweet(small_registry, uid=1, ts=float(step)))
+        assert len(builder.history(1)) == 3
+        assert builder.history(1)[0].ts == 3.0
+
+    def test_histories_are_per_user(self, small_registry):
+        builder = OnlineProfileBuilder(small_registry)
+        builder.consume(poi_tweet(small_registry, uid=1, ts=1.0))
+        profile = builder.consume(poi_tweet(small_registry, uid=2, ts=2.0))
+        assert profile.visit_history == ()
+        assert builder.num_users == 2
+
+    def test_consume_many_sorts_by_timestamp(self, small_registry):
+        builder = OnlineProfileBuilder(small_registry)
+        tweets = [plain_tweet(1, 30.0), plain_tweet(2, 10.0), plain_tweet(1, 20.0)]
+        profiles = builder.consume_many(tweets)
+        assert [p.ts for p in profiles] == [10.0, 20.0, 30.0]
+        assert builder.profiles_built == 3
+
+    def test_negative_max_history_raises(self, small_registry):
+        with pytest.raises(DataGenerationError):
+            OnlineProfileBuilder(small_registry, max_history=-1)

@@ -1,0 +1,101 @@
+"""Tests for repro.social.features."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.records import Pair, Profile, Tweet, Visit
+from repro.social import FEATURE_NAMES, SocialFeatureExtractor, SocialGraph
+
+
+def _profile(uid: int, ts: float, visits: tuple[Visit, ...] = ()) -> Profile:
+    tweet = Tweet(uid=uid, ts=ts, content="coffee downtown")
+    return Profile(uid=uid, tweet=tweet, visit_history=visits, pid=None)
+
+
+@pytest.fixture()
+def graph() -> SocialGraph:
+    return SocialGraph.from_edges([(1, 2), (1, 3), (2, 3), (3, 4)])
+
+
+@pytest.fixture()
+def extractor(graph, small_registry) -> SocialFeatureExtractor:
+    return SocialFeatureExtractor(graph, small_registry, delta_t=3600.0)
+
+
+class TestFeatureVector:
+    def test_feature_dim_matches_names(self, extractor):
+        assert extractor.feature_dim == len(FEATURE_NAMES)
+        assert extractor.feature_names == FEATURE_NAMES
+
+    def test_as_array_order(self, extractor):
+        features = extractor.extract(_profile(1, 0.0), _profile(2, 10.0))
+        array = features.as_array()
+        assert array.shape == (len(FEATURE_NAMES),)
+        assert array[0] == features.is_friend
+
+    def test_friends_flagged(self, extractor):
+        features = extractor.extract(_profile(1, 0.0), _profile(2, 10.0))
+        assert features.is_friend == 1.0
+
+    def test_strangers_not_flagged(self, extractor):
+        features = extractor.extract(_profile(1, 0.0), _profile(4, 10.0))
+        assert features.is_friend == 0.0
+
+    def test_common_friends_log(self, extractor):
+        # Users 1 and 2 share friend 3 only.
+        features = extractor.extract(_profile(1, 0.0), _profile(2, 10.0))
+        assert features.common_friends_log == pytest.approx(math.log1p(1))
+
+    def test_unknown_users_have_zero_social_signal(self, extractor):
+        features = extractor.extract(_profile(77, 0.0), _profile(88, 10.0))
+        assert features.is_friend == 0.0
+        assert features.friend_jaccard == 0.0
+        assert features.adamic_adar == 0.0
+
+
+class TestHistorySignals:
+    def test_covisit_features_for_shared_poi(self, extractor, small_registry):
+        poi = small_registry.pois[0]
+        visits_a = (Visit(ts=100.0, lat=poi.center.lat, lon=poi.center.lon),)
+        visits_b = (Visit(ts=200.0, lat=poi.center.lat, lon=poi.center.lon),)
+        features = extractor.extract(_profile(1, 500.0, visits_a), _profile(2, 600.0, visits_b))
+        assert features.covisit_jaccard == pytest.approx(1.0)
+        assert features.covisit_count_log == pytest.approx(math.log1p(1))
+
+    def test_no_history_gives_zero_pattern_signal(self, extractor):
+        features = extractor.extract(_profile(1, 0.0), _profile(2, 10.0))
+        assert features.covisit_jaccard == 0.0
+        assert features.covisit_count_log == 0.0
+
+    def test_different_pois_no_covisit(self, extractor, small_registry):
+        first, second = small_registry.pois[0], small_registry.pois[1]
+        visits_a = (Visit(ts=100.0, lat=first.center.lat, lon=first.center.lon),)
+        visits_b = (Visit(ts=100.0, lat=second.center.lat, lon=second.center.lon),)
+        features = extractor.extract(_profile(1, 500.0, visits_a), _profile(2, 500.0, visits_b))
+        assert features.covisit_jaccard == 0.0
+        assert features.covisit_count_log == 0.0
+
+
+class TestBatchFeaturization:
+    def test_empty_pair_list(self, extractor):
+        matrix = extractor.featurize_pairs([])
+        assert matrix.shape == (0, extractor.feature_dim)
+
+    def test_matrix_shape_and_rows(self, extractor):
+        pairs = [
+            Pair(left=_profile(1, 0.0), right=_profile(2, 10.0), co_label=1),
+            Pair(left=_profile(1, 0.0), right=_profile(4, 10.0), co_label=0),
+        ]
+        matrix = extractor.featurize_pairs(pairs)
+        assert matrix.shape == (2, extractor.feature_dim)
+        np.testing.assert_allclose(matrix[0], extractor.extract_pair(pairs[0]).as_array())
+
+    def test_friend_pair_scores_higher_social_signal(self, extractor):
+        friend_pair = Pair(left=_profile(1, 0.0), right=_profile(2, 10.0), co_label=None)
+        stranger_pair = Pair(left=_profile(1, 0.0), right=_profile(4, 10.0), co_label=None)
+        matrix = extractor.featurize_pairs([friend_pair, stranger_pair])
+        assert matrix[0].sum() > matrix[1].sum()

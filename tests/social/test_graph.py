@@ -1,0 +1,153 @@
+"""Tests for repro.social.graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DataGenerationError
+from repro.social import SocialGraph, SocialGraphConfig, covisit_overlap, generate_social_graph
+
+
+class TestSocialGraphBasics:
+    def test_empty_graph(self):
+        graph = SocialGraph()
+        assert graph.num_users == 0
+        assert graph.num_friendships == 0
+        assert graph.friends(1) == frozenset()
+        assert not graph.are_friends(1, 2)
+
+    def test_add_friendship(self):
+        graph = SocialGraph()
+        graph.add_friendship(1, 2)
+        assert graph.are_friends(1, 2)
+        assert graph.are_friends(2, 1)
+        assert graph.num_users == 2
+        assert graph.num_friendships == 1
+
+    def test_self_loop_raises(self):
+        with pytest.raises(DataGenerationError):
+            SocialGraph().add_friendship(1, 1)
+
+    def test_duplicate_edge_not_double_counted(self):
+        graph = SocialGraph()
+        graph.add_friendship(1, 2)
+        graph.add_friendship(2, 1)
+        assert graph.num_friendships == 1
+
+    def test_add_user_idempotent(self):
+        graph = SocialGraph([1])
+        graph.add_user(1)
+        graph.add_user(2)
+        assert graph.num_users == 2
+
+    def test_remove_friendship(self):
+        graph = SocialGraph.from_edges([(1, 2), (2, 3)])
+        graph.remove_friendship(1, 2)
+        assert not graph.are_friends(1, 2)
+        assert graph.are_friends(2, 3)
+        graph.remove_friendship(5, 6)  # absent edge is a no-op
+
+    def test_edges_sorted_and_unique(self):
+        graph = SocialGraph.from_edges([(3, 1), (1, 2)])
+        assert graph.edges() == [(1, 2), (1, 3)]
+
+    def test_degree_and_membership(self):
+        graph = SocialGraph.from_edges([(1, 2), (1, 3)])
+        assert graph.degree(1) == 2
+        assert graph.degree(2) == 1
+        assert 3 in graph
+        assert 9 not in graph
+        assert sorted(graph) == [1, 2, 3]
+        assert len(graph) == 3
+
+
+class TestPairwiseSimilarities:
+    @pytest.fixture()
+    def graph(self) -> SocialGraph:
+        # 1 and 2 share mutual friends 3 and 4; 5 hangs off 3; 6 is isolated.
+        graph = SocialGraph.from_edges([(1, 3), (1, 4), (2, 3), (2, 4), (3, 5)])
+        graph.add_user(6)
+        return graph
+
+    def test_common_friends(self, graph):
+        assert graph.common_friends(1, 2) == frozenset({3, 4})
+        assert graph.common_friends(1, 6) == frozenset()
+
+    def test_friend_jaccard(self, graph):
+        assert graph.friend_jaccard(1, 2) == pytest.approx(1.0)
+        assert graph.friend_jaccard(1, 6) == 0.0
+
+    def test_adamic_adar_weights_low_degree_more(self, graph):
+        import math
+
+        # Mutual friends of 1 and 2 are 3 (degree 3) and 4 (degree 2); users 1
+        # and 5 share only the higher-degree friend 3, so their score is lower.
+        both_mutuals = graph.adamic_adar(1, 2)
+        only_via_3 = graph.adamic_adar(1, 5)
+        assert both_mutuals == pytest.approx(1.0 / math.log(3) + 1.0 / math.log(2))
+        assert only_via_3 == pytest.approx(1.0 / math.log(3))
+        assert both_mutuals > only_via_3
+
+    def test_adamic_adar_degree_one_mutual(self):
+        import math
+
+        # The single mutual friend has degree 2 (one edge to each endpoint).
+        graph = SocialGraph.from_edges([(1, 3), (2, 3)])
+        assert graph.adamic_adar(1, 2) == pytest.approx(1.0 / math.log(2))
+        # A mutual friend of degree 1 contributes exactly 1 (pendant node case).
+        pendant = SocialGraph.from_edges([(1, 3)])
+        pendant.add_user(2)
+        assert pendant.adamic_adar(1, 2) == 0.0
+
+    def test_to_networkx_roundtrip(self, graph):
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == graph.num_users
+        assert nx_graph.number_of_edges() == graph.num_friendships
+
+
+class TestCovisitOverlap:
+    def test_empty_sets(self):
+        assert covisit_overlap(set(), set()) == 0.0
+
+    def test_identical_sets(self):
+        assert covisit_overlap({1, 2}, {1, 2}) == 1.0
+
+    def test_partial_overlap(self):
+        assert covisit_overlap({1, 2}, {2, 3}) == pytest.approx(1.0 / 3.0)
+
+
+class TestGeneratedGraph:
+    def test_invalid_config_raises(self):
+        with pytest.raises(DataGenerationError):
+            SocialGraphConfig(background_rate=1.5)
+        with pytest.raises(DataGenerationError):
+            SocialGraphConfig(covisit_boost=-0.1)
+        with pytest.raises(DataGenerationError):
+            SocialGraphConfig(max_candidates_per_user=0)
+
+    def test_covers_all_users(self, tiny_dataset):
+        store = tiny_dataset.train.store
+        graph = generate_social_graph(store, tiny_dataset.registry)
+        assert graph.num_users == len(store)
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        store = tiny_dataset.train.store
+        config = SocialGraphConfig(seed=9)
+        first = generate_social_graph(store, tiny_dataset.registry, config)
+        second = generate_social_graph(store, tiny_dataset.registry, config)
+        assert first.edges() == second.edges()
+
+    def test_higher_boost_creates_more_friendships(self, tiny_dataset):
+        store = tiny_dataset.train.store
+        sparse = generate_social_graph(
+            store, tiny_dataset.registry, SocialGraphConfig(background_rate=0.0, covisit_boost=0.0, seed=3)
+        )
+        dense = generate_social_graph(
+            store, tiny_dataset.registry, SocialGraphConfig(background_rate=0.3, covisit_boost=1.0, seed=3)
+        )
+        assert dense.num_friendships > sparse.num_friendships
+
+    def test_no_self_friendships(self, tiny_dataset):
+        store = tiny_dataset.train.store
+        graph = generate_social_graph(store, tiny_dataset.registry, SocialGraphConfig(background_rate=0.5))
+        assert all(a != b for a, b in graph.edges())

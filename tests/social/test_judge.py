@@ -1,0 +1,165 @@
+"""Tests for repro.social.judge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.records import Pair, Profile, Tweet, Visit
+from repro.errors import NotFittedError, TrainingError
+from repro.geo import POIRegistry
+from repro.social import (
+    SocialCoLocationJudge,
+    SocialFeatureExtractor,
+    SocialGraph,
+    SocialJudgeConfig,
+)
+
+
+class _ConstantBaseJudge:
+    """A stand-in base judge returning a fixed probability for every pair."""
+
+    def __init__(self, probability: float = 0.5):
+        self.probability = probability
+
+    def predict_proba(self, pairs):
+        return np.full(len(pairs), self.probability)
+
+
+def _profile(uid: int, ts: float, registry: POIRegistry, pid: int | None = None) -> Profile:
+    if pid is not None:
+        poi = registry.get(pid)
+        visits = (Visit(ts=ts - 600.0, lat=poi.center.lat, lon=poi.center.lon),)
+    else:
+        visits = ()
+    tweet = Tweet(uid=uid, ts=ts, content="hello city")
+    return Profile(uid=uid, tweet=tweet, visit_history=visits, pid=pid)
+
+
+def _synthetic_pairs(registry: POIRegistry, count: int = 60) -> tuple[list[Pair], SocialGraph]:
+    """Pairs where friendship + shared history perfectly predict co-location."""
+    rng = np.random.default_rng(13)
+    graph = SocialGraph()
+    pairs: list[Pair] = []
+    for i in range(count):
+        uid_a, uid_b = 1000 + 2 * i, 1001 + 2 * i
+        positive = i % 2 == 0
+        ts = float(i * 10)
+        if positive:
+            pid = int(rng.integers(0, len(registry)))
+            graph.add_friendship(uid_a, uid_b)
+            left = _profile(uid_a, ts, registry, pid=registry.pid_at(pid))
+            right = _profile(uid_b, ts + 60.0, registry, pid=registry.pid_at(pid))
+            pairs.append(Pair(left=left, right=right, co_label=1))
+        else:
+            graph.add_user(uid_a)
+            graph.add_user(uid_b)
+            pid_a = registry.pid_at(int(rng.integers(0, len(registry))))
+            remaining = [p.pid for p in registry.pois if p.pid != pid_a]
+            pid_b = remaining[int(rng.integers(0, len(remaining)))]
+            left = _profile(uid_a, ts, registry, pid=pid_a)
+            right = _profile(uid_b, ts + 60.0, registry, pid=pid_b)
+            pairs.append(Pair(left=left, right=right, co_label=0))
+    return pairs, graph
+
+
+@pytest.fixture()
+def trained_social_judge(small_registry):
+    pairs, graph = _synthetic_pairs(small_registry)
+    extractor = SocialFeatureExtractor(graph, small_registry)
+    judge = SocialCoLocationJudge(_ConstantBaseJudge(), extractor, SocialJudgeConfig(epochs=60))
+    judge.fit(pairs)
+    return judge, pairs
+
+
+class TestConfigValidation:
+    def test_invalid_epochs_raise(self):
+        with pytest.raises(TrainingError):
+            SocialJudgeConfig(epochs=0)
+
+    def test_invalid_threshold_raises(self):
+        with pytest.raises(TrainingError):
+            SocialJudgeConfig(threshold=1.5)
+
+
+class TestTrainingGuards:
+    def test_predict_before_fit_raises(self, small_registry):
+        extractor = SocialFeatureExtractor(SocialGraph(), small_registry)
+        judge = SocialCoLocationJudge(_ConstantBaseJudge(), extractor)
+        with pytest.raises(NotFittedError):
+            judge.predict_proba([])
+
+    def test_fit_without_both_classes_raises(self, small_registry):
+        pairs, graph = _synthetic_pairs(small_registry, count=4)
+        positives = [p for p in pairs if p.is_positive]
+        extractor = SocialFeatureExtractor(graph, small_registry)
+        judge = SocialCoLocationJudge(_ConstantBaseJudge(), extractor)
+        with pytest.raises(TrainingError):
+            judge.fit(positives)
+
+
+class TestTrainedJudge:
+    def test_loss_decreases(self, small_registry):
+        pairs, graph = _synthetic_pairs(small_registry)
+        extractor = SocialFeatureExtractor(graph, small_registry)
+        judge = SocialCoLocationJudge(_ConstantBaseJudge(), extractor, SocialJudgeConfig(epochs=40))
+        history = judge.fit(pairs)
+        assert history.losses[-1] < history.losses[0]
+
+    def test_social_signal_separates_classes(self, trained_social_judge):
+        judge, pairs = trained_social_judge
+        proba = judge.predict_proba(pairs)
+        positives = proba[[i for i, p in enumerate(pairs) if p.is_positive]]
+        negatives = proba[[i for i, p in enumerate(pairs) if p.is_negative]]
+        # The base judge is uninformative (constant 0.5), so any separation
+        # must come from the social / pattern features.
+        assert positives.mean() > negatives.mean() + 0.2
+
+    def test_predict_binary_values(self, trained_social_judge):
+        judge, pairs = trained_social_judge
+        predictions = judge.predict(pairs)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    def test_empty_prediction(self, trained_social_judge):
+        judge, _ = trained_social_judge
+        assert judge.predict_proba([]).shape == (0,)
+
+    def test_probabilities_in_range(self, trained_social_judge):
+        judge, pairs = trained_social_judge
+        proba = judge.predict_proba(pairs)
+        assert np.all((proba >= 0.0) & (proba <= 1.0))
+
+    def test_feature_weights_named(self, trained_social_judge):
+        judge, _ = trained_social_judge
+        weights = judge.feature_weights()
+        assert "base_logit" in weights
+        assert "is_friend" in weights
+        assert len(weights) == judge.extractor.feature_dim + 1
+
+    def test_feature_weights_before_fit_raise(self, small_registry):
+        extractor = SocialFeatureExtractor(SocialGraph(), small_registry)
+        judge = SocialCoLocationJudge(_ConstantBaseJudge(), extractor)
+        with pytest.raises(NotFittedError):
+            judge.feature_weights()
+
+
+class TestStackingOnRealJudge:
+    def test_stacked_judge_at_least_matches_base(self, fitted_pipeline, tiny_dataset):
+        """Stacking social features on the real pipeline should not hurt accuracy."""
+        pairs = [p for p in tiny_dataset.train.labeled_pairs if p.is_labeled]
+        if not any(p.is_positive for p in pairs) or not any(p.is_negative for p in pairs):
+            pytest.skip("tiny dataset split lacks one of the classes")
+        graph = SocialGraph()
+        for pair in pairs:
+            if pair.is_positive:
+                try:
+                    graph.add_friendship(pair.left.uid, pair.right.uid)
+                except Exception:
+                    pass
+        extractor = SocialFeatureExtractor(graph, tiny_dataset.registry, delta_t=tiny_dataset.delta_t)
+        social = SocialCoLocationJudge(fitted_pipeline, extractor, SocialJudgeConfig(epochs=30))
+        social.fit(pairs)
+        labels = np.array([p.co_label for p in pairs])
+        base_acc = ((fitted_pipeline.predict_proba(pairs) >= 0.5).astype(int) == labels).mean()
+        social_acc = (social.predict(pairs) == labels).mean()
+        assert social_acc >= base_acc - 0.05

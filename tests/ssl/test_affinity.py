@@ -1,0 +1,110 @@
+"""Tests for the affinity (similarity) matrix construction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Pair, Profile, Tweet
+from repro.ssl import AffinityConfig, AffinityGraphBuilder
+
+
+def geo_profile(uid, ts, lat, lon, pid=None):
+    tweet = Tweet(uid=uid, ts=ts, content="x", lat=lat, lon=lon)
+    return Profile(uid=uid, tweet=tweet, pid=pid)
+
+
+@pytest.fixture()
+def builder(small_registry):
+    return AffinityGraphBuilder(small_registry, AffinityConfig(rho=1000.0, eps_d_prime=50.0, delta_t=3600.0))
+
+
+class TestLabeledWeights:
+    def test_positive_pair_weight(self, builder, small_registry):
+        poi = small_registry.get(0)
+        a = geo_profile(1, 0.0, poi.center.lat, poi.center.lon, pid=0)
+        b = geo_profile(2, 10.0, poi.center.lat, poi.center.lon, pid=0)
+        assert builder.weight(Pair(a, b, co_label=1)) == 1.0
+
+    def test_negative_pair_weight(self, builder, small_registry):
+        poi0, poi1 = small_registry.get(0), small_registry.get(1)
+        a = geo_profile(1, 0.0, poi0.center.lat, poi0.center.lon, pid=0)
+        b = geo_profile(2, 10.0, poi1.center.lat, poi1.center.lon, pid=1)
+        assert builder.weight(Pair(a, b, co_label=0)) == -1.0
+
+    def test_labeled_weight_on_unlabeled_pair_raises(self, builder, small_registry):
+        poi = small_registry.get(0)
+        a = geo_profile(1, 0.0, poi.center.lat, poi.center.lon)
+        b = geo_profile(2, 10.0, poi.center.lat, poi.center.lon)
+        with pytest.raises(ValueError):
+            builder.labeled_weight(Pair(a, b, co_label=None))
+
+
+class TestUnlabeledWeights:
+    def test_nearby_profiles_get_positive_weight(self, builder, small_registry):
+        poi = small_registry.get(0)
+        near = poi.center.offset(120.0, 0.0)
+        a = geo_profile(1, 0.0, poi.center.lat, poi.center.lon)
+        b = geo_profile(2, 10.0, near.lat, near.lon)
+        weight = builder.unlabeled_weight(Pair(a, b))
+        assert 0.0 < weight < 1.0
+
+    def test_weight_decreases_with_distance(self, builder, small_registry):
+        poi = small_registry.get(0)
+        a = geo_profile(1, 0.0, poi.center.lat, poi.center.lon)
+        close = geo_profile(2, 10.0, *poi.center.offset(50.0, 0.0).as_tuple())
+        far = geo_profile(2, 10.0, *poi.center.offset(600.0, 0.0).as_tuple())
+        assert builder.unlabeled_weight(Pair(a, close)) > builder.unlabeled_weight(Pair(a, far))
+
+    def test_far_apart_profiles_zero(self, builder, small_registry):
+        poi = small_registry.get(0)
+        far = poi.center.offset(5000.0, 0.0)
+        a = geo_profile(1, 0.0, poi.center.lat, poi.center.lon)
+        b = geo_profile(2, 10.0, far.lat, far.lon)
+        assert builder.unlabeled_weight(Pair(a, b)) == 0.0
+
+    def test_time_gap_beyond_delta_t_zero(self, builder, small_registry):
+        poi = small_registry.get(0)
+        a = geo_profile(1, 0.0, poi.center.lat, poi.center.lon)
+        b = geo_profile(2, 7200.0, poi.center.lat, poi.center.lon)
+        assert builder.unlabeled_weight(Pair(a, b)) == 0.0
+
+    def test_profiles_far_from_every_poi_zero(self, builder, small_registry):
+        lost = small_registry.get(0).center.offset(20_000.0, 20_000.0)
+        a = geo_profile(1, 0.0, lost.lat, lost.lon)
+        b = geo_profile(2, 10.0, lost.lat, lost.lon)
+        assert builder.unlabeled_weight(Pair(a, b)) == 0.0
+
+    def test_missing_coordinates_zero(self, builder):
+        a = Profile(uid=1, tweet=Tweet(1, 0.0, "x"))
+        b = Profile(uid=2, tweet=Tweet(2, 10.0, "y"))
+        assert builder.unlabeled_weight(Pair(a, b)) == 0.0
+
+    @given(offset_m=st.floats(min_value=1.0, max_value=900.0))
+    @settings(max_examples=20, deadline=None)
+    def test_unlabeled_weight_bounded(self, small_registry, offset_m):
+        builder = AffinityGraphBuilder(small_registry)
+        poi = small_registry.get(0)
+        near = poi.center.offset(offset_m, 0.0)
+        a = geo_profile(1, 0.0, poi.center.lat, poi.center.lon)
+        b = geo_profile(2, 10.0, near.lat, near.lon)
+        weight = builder.unlabeled_weight(Pair(a, b))
+        assert 0.0 <= weight <= 1.0
+
+
+class TestBuild:
+    def test_build_filters_zero_weights(self, builder, small_registry):
+        poi = small_registry.get(0)
+        labeled = [
+            Pair(
+                geo_profile(1, 0.0, poi.center.lat, poi.center.lon, pid=0),
+                geo_profile(2, 10.0, poi.center.lat, poi.center.lon, pid=0),
+                co_label=1,
+            )
+        ]
+        lost = poi.center.offset(30_000.0, 0.0)
+        unlabeled = [
+            Pair(geo_profile(3, 0.0, lost.lat, lost.lon), geo_profile(4, 5.0, lost.lat, lost.lon))
+        ]
+        weighted = builder.build(labeled, unlabeled)
+        assert len(weighted) == 1
+        assert weighted[0].weight == 1.0

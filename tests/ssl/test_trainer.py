@@ -1,0 +1,88 @@
+"""Tests for the semi-supervised HisRect trainer (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.features import EmbeddingNetwork, HisRectConfig, HisRectFeaturizer, POIClassifier
+from repro.ssl import SSLTrainingConfig, SemiSupervisedHisRectTrainer
+
+
+@pytest.fixture()
+def components(tiny_dataset):
+    registry = tiny_dataset.registry
+    config = HisRectConfig(use_content=False, feature_dim=12, embedding_dim=6, keep_prob=1.0)
+    featurizer = HisRectFeaturizer(registry, None, config)
+    classifier = POIClassifier(feature_dim=12, num_pois=len(registry), seed=2)
+    embedding = EmbeddingNetwork(input_dim=12, embedding_dim=6, seed=3)
+    return featurizer, classifier, embedding
+
+
+class TestSSLTrainingConfig:
+    def test_invalid_loss_rejected(self):
+        with pytest.raises(TrainingError):
+            SSLTrainingConfig(unsupervised_loss="hinge")
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(TrainingError):
+            SSLTrainingConfig(batch_size=0)
+
+
+class TestTrainer:
+    def test_training_runs_and_records_losses(self, tiny_dataset, components):
+        featurizer, classifier, embedding = components
+        trainer = SemiSupervisedHisRectTrainer(
+            featurizer, classifier, embedding, tiny_dataset.registry,
+            config=SSLTrainingConfig(batch_size=4, max_iterations=20, seed=11),
+        )
+        history = trainer.train(
+            tiny_dataset.train.labeled_profiles,
+            tiny_dataset.train.labeled_pairs,
+            tiny_dataset.train.unlabeled_pairs,
+        )
+        assert history.iterations <= 20
+        assert history.poi_losses or history.unsupervised_losses
+        assert history.final_poi_loss is None or np.isfinite(history.final_poi_loss)
+
+    def test_training_updates_parameters(self, tiny_dataset, components):
+        featurizer, classifier, embedding = components
+        before = {name: p.data.copy() for name, p in featurizer.named_parameters()}
+        trainer = SemiSupervisedHisRectTrainer(
+            featurizer, classifier, embedding, tiny_dataset.registry,
+            config=SSLTrainingConfig(batch_size=4, max_iterations=15, seed=12),
+        )
+        trainer.train(tiny_dataset.train.labeled_profiles, tiny_dataset.train.labeled_pairs,
+                      tiny_dataset.train.unlabeled_pairs)
+        changed = any(
+            not np.allclose(before[name], p.data) for name, p in featurizer.named_parameters()
+        )
+        assert changed
+
+    def test_supervised_only_mode_ignores_unlabeled(self, tiny_dataset, components):
+        featurizer, classifier, embedding = components
+        trainer = SemiSupervisedHisRectTrainer(
+            featurizer, classifier, embedding, tiny_dataset.registry,
+            config=SSLTrainingConfig(batch_size=4, max_iterations=15, use_unlabeled=False, seed=13),
+        )
+        pool = trainer._build_pair_pool(tiny_dataset.train.labeled_pairs, tiny_dataset.train.unlabeled_pairs)
+        assert all(wp.pair.is_labeled for wp in pool)
+
+    def test_requires_labeled_profiles(self, tiny_dataset, components):
+        featurizer, classifier, embedding = components
+        trainer = SemiSupervisedHisRectTrainer(featurizer, classifier, embedding, tiny_dataset.registry)
+        with pytest.raises(TrainingError):
+            trainer.train([], [], [])
+
+    @pytest.mark.parametrize("loss", ["cosine", "l2", "cosine-noembed"])
+    def test_all_unsupervised_losses_run(self, tiny_dataset, components, loss):
+        featurizer, classifier, embedding = components
+        trainer = SemiSupervisedHisRectTrainer(
+            featurizer, classifier, embedding, tiny_dataset.registry,
+            config=SSLTrainingConfig(batch_size=4, max_iterations=10, unsupervised_loss=loss, seed=14),
+        )
+        history = trainer.train(
+            tiny_dataset.train.labeled_profiles,
+            tiny_dataset.train.labeled_pairs,
+            tiny_dataset.train.unlabeled_pairs,
+        )
+        assert history.iterations > 0

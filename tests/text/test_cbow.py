@@ -1,0 +1,103 @@
+"""Tests for repro.text.cbow."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError, TrainingError
+from repro.text import CBOWConfig, CBOWModel, Tokenizer, Vocabulary
+
+
+def _toy_corpus() -> list[list[str]]:
+    # Two "neighbourhoods" of words that always co-occur, so the model should
+    # place same-neighbourhood words closer than cross-neighbourhood words.
+    nyc = ["statue", "liberty", "ferry", "harbor"]
+    vegas = ["slots", "casino", "strip", "neon"]
+    corpus = []
+    rng = np.random.default_rng(7)
+    for _ in range(80):
+        corpus.append(list(rng.permutation(nyc)))
+        corpus.append(list(rng.permutation(vegas)))
+    return corpus
+
+
+@pytest.fixture(scope="module")
+def trained_model() -> tuple[CBOWModel, Vocabulary]:
+    corpus = _toy_corpus()
+    vocabulary = Vocabulary.build(corpus, min_count=1)
+    sentences = [vocabulary.encode(tokens) for tokens in corpus]
+    config = CBOWConfig(embedding_dim=16, epochs=3, window=3, seed=3)
+    model = CBOWModel(vocabulary, config).train(sentences)
+    return model, vocabulary
+
+
+class TestTrainingGuards:
+    def test_untrained_embeddings_raise(self):
+        vocabulary = Vocabulary.build([["a", "b"]])
+        with pytest.raises(NotFittedError):
+            CBOWModel(vocabulary).embeddings
+
+    def test_empty_vocabulary_raises(self):
+        vocabulary = Vocabulary()
+        with pytest.raises(TrainingError):
+            CBOWModel(vocabulary).train([[0, 1]])
+
+    def test_no_usable_sentences_raises(self):
+        vocabulary = Vocabulary.build([["a", "b"]])
+        with pytest.raises(TrainingError):
+            CBOWModel(vocabulary).train([[0]])
+
+
+class TestTrainedModel:
+    def test_embedding_shape(self, trained_model):
+        model, vocabulary = trained_model
+        assert model.embeddings.shape == (len(vocabulary), model.embedding_dim)
+
+    def test_embeddings_finite(self, trained_model):
+        model, _ = trained_model
+        assert np.isfinite(model.embeddings).all()
+
+    def test_encode_sequence_shape(self, trained_model):
+        model, vocabulary = trained_model
+        ids = vocabulary.encode(["statue", "liberty"])
+        assert model.encode_sequence(ids).shape == (2, model.embedding_dim)
+
+    def test_encode_empty_sequence(self, trained_model):
+        model, _ = trained_model
+        assert model.encode_sequence([]).shape == (0, model.embedding_dim)
+
+    def test_vector_matches_embedding_row(self, trained_model):
+        model, vocabulary = trained_model
+        token_id = vocabulary.token_to_id["casino"]
+        np.testing.assert_allclose(model.vector(token_id), model.embeddings[token_id])
+
+    def test_most_similar_prefers_cooccurring_words(self, trained_model):
+        model, _ = trained_model
+        neighbours = [token for token, _ in model.most_similar("statue", top_k=3)]
+        assert any(token in {"liberty", "ferry", "harbor"} for token in neighbours)
+
+    def test_most_similar_unknown_token_raises(self, trained_model):
+        model, _ = trained_model
+        with pytest.raises(NotFittedError):
+            model.most_similar("notaword")
+
+    def test_deterministic_given_seed(self):
+        corpus = _toy_corpus()[:40]
+        vocabulary = Vocabulary.build(corpus, min_count=1)
+        sentences = [vocabulary.encode(tokens) for tokens in corpus]
+        config = CBOWConfig(embedding_dim=8, epochs=1, seed=11)
+        first = CBOWModel(vocabulary, config).train(sentences).embeddings
+        second = CBOWModel(vocabulary, config).train(sentences).embeddings
+        np.testing.assert_allclose(first, second)
+
+
+class TestIntegrationWithTokenizer:
+    def test_train_from_raw_text(self):
+        tokenizer = Tokenizer()
+        texts = ["having pizza near the statue of liberty", "slots night on the vegas strip"] * 10
+        tokenised = [tokenizer(text) for text in texts]
+        vocabulary = Vocabulary.build(tokenised, min_count=1)
+        sentences = [vocabulary.encode(tokens) for tokens in tokenised]
+        model = CBOWModel(vocabulary, CBOWConfig(embedding_dim=8, epochs=1)).train(sentences)
+        assert model.embeddings.shape[0] == len(vocabulary)

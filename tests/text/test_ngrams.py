@@ -1,0 +1,163 @@
+"""Tests for repro.text.ngrams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotFittedError, VocabularyError
+from repro.text import (
+    STOPWORD_TOKEN,
+    TfidfConfig,
+    TfidfVectorizer,
+    Tokenizer,
+    cosine_similarity_matrix,
+    document_similarity,
+    extract_all_ngrams,
+    extract_ngrams,
+    ngram_counts,
+)
+
+TOKENS = st.lists(st.sampled_from(["statue", "liberty", "pizza", "park", "strip"]), max_size=10)
+
+
+class TestExtractNgrams:
+    def test_invalid_order_raises(self):
+        with pytest.raises(VocabularyError):
+            extract_ngrams(["a", "b"], 0)
+
+    def test_unigrams(self):
+        assert extract_ngrams(["statue", "liberty"], 1) == [("statue",), ("liberty",)]
+
+    def test_bigrams(self):
+        grams = extract_ngrams(["statue", "of", "liberty"], 2, skip_stopword_token=False)
+        assert grams == [("statue", "of"), ("of", "liberty")]
+
+    def test_order_longer_than_sequence(self):
+        assert extract_ngrams(["hi"], 3) == []
+
+    def test_skips_stopword_sentinel(self):
+        tokens = ["statue", STOPWORD_TOKEN, "liberty"]
+        grams = extract_ngrams(tokens, 2)
+        assert grams == []
+        grams_kept = extract_ngrams(tokens, 2, skip_stopword_token=False)
+        assert len(grams_kept) == 2
+
+    def test_extract_all_orders(self):
+        grams = extract_all_ngrams(["times", "square", "crowd"], max_order=2)
+        assert ("times",) in grams
+        assert ("times", "square") in grams
+
+    def test_ngram_counts_aggregates_corpus(self):
+        counts = ngram_counts([["a", "b"], ["a", "c"]], max_order=1)
+        assert counts[("a",)] == 2
+        assert counts[("b",)] == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(TOKENS, st.integers(min_value=1, max_value=4))
+    def test_count_matches_length_formula(self, tokens, order):
+        grams = extract_ngrams(tokens, order, skip_stopword_token=False)
+        assert len(grams) == max(0, len(tokens) - order + 1)
+
+
+class TestTfidfVectorizer:
+    CORPUS = [
+        "amazing pizza slice in brooklyn tonight",
+        "brooklyn bridge walk with friends",
+        "pizza and pasta near times square",
+        "slots and shows on the vegas strip",
+        "vegas strip lights are wild tonight",
+    ]
+
+    def test_fit_empty_corpus_raises(self):
+        with pytest.raises(VocabularyError):
+            TfidfVectorizer().fit([])
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            TfidfVectorizer().transform_one("hello world")
+
+    def test_fit_transform_shape(self):
+        vectorizer = TfidfVectorizer()
+        matrix = vectorizer.fit_transform(self.CORPUS)
+        assert matrix.shape == (len(self.CORPUS), vectorizer.num_features)
+
+    def test_vectors_are_unit_norm(self):
+        matrix = TfidfVectorizer().fit_transform(self.CORPUS)
+        norms = np.linalg.norm(matrix, axis=1)
+        np.testing.assert_allclose(norms[norms > 0], 1.0, atol=1e-9)
+
+    def test_unseen_ngrams_ignored(self):
+        vectorizer = TfidfVectorizer().fit(self.CORPUS)
+        vector = vectorizer.transform_one("completely novel words only")
+        assert np.allclose(vector, 0.0)
+
+    def test_min_document_frequency_filters(self):
+        config = TfidfConfig(min_document_frequency=2)
+        vectorizer = TfidfVectorizer(config=config).fit(self.CORPUS)
+        names = {" ".join(gram) for gram in vectorizer.feature_names}
+        assert "pizza" in names
+        assert "pasta" not in names  # appears in a single document
+
+    def test_no_surviving_features_raises(self):
+        config = TfidfConfig(min_document_frequency=10)
+        with pytest.raises(VocabularyError):
+            TfidfVectorizer(config=config).fit(self.CORPUS)
+
+    def test_max_features_caps_vocabulary(self):
+        config = TfidfConfig(max_features=3)
+        vectorizer = TfidfVectorizer(config=config).fit(self.CORPUS)
+        assert vectorizer.num_features == 3
+
+    def test_bigram_features(self):
+        config = TfidfConfig(max_order=2)
+        vectorizer = TfidfVectorizer(config=config).fit(self.CORPUS)
+        assert any(len(gram) == 2 for gram in vectorizer.feature_names)
+
+    def test_related_documents_more_similar(self):
+        vectorizer = TfidfVectorizer()
+        matrix = vectorizer.fit_transform(self.CORPUS)
+        vegas_pair = document_similarity(matrix[3], matrix[4])
+        cross_city = document_similarity(matrix[0], matrix[3])
+        assert vegas_pair > cross_city
+
+    def test_accepts_pretokenized_documents(self):
+        vectorizer = TfidfVectorizer().fit([["vegas", "strip"], ["brooklyn", "pizza"]])
+        vector = vectorizer.transform_one(["vegas", "strip"])
+        assert vector.sum() > 0.0
+
+    def test_transform_empty_iterable(self):
+        vectorizer = TfidfVectorizer().fit(self.CORPUS)
+        matrix = vectorizer.transform([])
+        assert matrix.shape == (0, vectorizer.num_features)
+
+    def test_custom_tokenizer_is_used(self):
+        tokenizer = Tokenizer(replace_stopwords=False)
+        vectorizer = TfidfVectorizer(tokenizer=tokenizer).fit(self.CORPUS)
+        assert vectorizer.num_features > 0
+
+
+class TestSimilarityHelpers:
+    def test_cosine_similarity_matrix_diagonal(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.normal(size=(4, 6))
+        sims = cosine_similarity_matrix(matrix)
+        np.testing.assert_allclose(np.diag(sims), 1.0, atol=1e-9)
+
+    def test_cosine_similarity_matrix_requires_2d(self):
+        with pytest.raises(VocabularyError):
+            cosine_similarity_matrix(np.zeros(3))
+
+    def test_zero_rows_do_not_produce_nan(self):
+        matrix = np.zeros((2, 4))
+        sims = cosine_similarity_matrix(matrix)
+        assert np.isfinite(sims).all()
+
+    def test_document_similarity_zero_vectors(self):
+        assert document_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_document_similarity_identical(self):
+        vector = np.array([1.0, 2.0, 3.0])
+        assert document_similarity(vector, vector) == pytest.approx(1.0)

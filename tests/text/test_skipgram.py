@@ -1,0 +1,72 @@
+"""Tests for the skip-gram word-vector model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError, TrainingError
+from repro.text import SkipGramConfig, SkipGramModel, Vocabulary
+
+
+def small_corpus():
+    """Two 'topics' with disjoint co-occurring words."""
+    sentences = []
+    for _ in range(40):
+        sentences.append(["coffee", "latte", "espresso", "barista"])
+        sentences.append(["poker", "jackpot", "slots", "dealer"])
+    return sentences
+
+
+@pytest.fixture(scope="module")
+def trained_model():
+    corpus = small_corpus()
+    vocab = Vocabulary.build(corpus, min_count=1)
+    model = SkipGramModel(vocab, SkipGramConfig(embedding_dim=12, epochs=3, seed=1))
+    model.train([vocab.encode(s) for s in corpus])
+    return vocab, model
+
+
+class TestSkipGram:
+    def test_embeddings_shape(self, trained_model):
+        vocab, model = trained_model
+        assert model.embeddings.shape == (len(vocab), 12)
+
+    def test_untrained_access_raises(self):
+        vocab = Vocabulary.build([["a", "b"]])
+        with pytest.raises(NotFittedError):
+            SkipGramModel(vocab).embeddings
+
+    def test_empty_sentences_raise(self):
+        vocab = Vocabulary.build([["a", "b"]])
+        with pytest.raises(TrainingError):
+            SkipGramModel(vocab).train([])
+
+    def test_cooccurring_words_more_similar_than_cross_topic(self, trained_model):
+        vocab, model = trained_model
+
+        def cos(a, b):
+            va = model.vector(vocab.token_to_id[a])
+            vb = model.vector(vocab.token_to_id[b])
+            return float(va @ vb / (np.linalg.norm(va) * np.linalg.norm(vb) + 1e-12))
+
+        same_topic = cos("coffee", "latte")
+        cross_topic = cos("coffee", "poker")
+        assert same_topic > cross_topic
+
+    def test_encode_sequence_shape(self, trained_model):
+        vocab, model = trained_model
+        ids = vocab.encode(["coffee", "latte", "poker"])
+        assert model.encode_sequence(ids).shape == (3, 12)
+
+    def test_encode_empty_sequence(self, trained_model):
+        _, model = trained_model
+        assert model.encode_sequence([]).shape == (0, 12)
+
+    def test_most_similar_returns_neighbours(self, trained_model):
+        _, model = trained_model
+        neighbours = model.most_similar("coffee", top_k=3)
+        assert len(neighbours) == 3
+        assert all(isinstance(t, str) for t, _ in neighbours)
+
+    def test_most_similar_unknown_token(self, trained_model):
+        _, model = trained_model
+        assert model.most_similar("definitely-not-a-word") == []

@@ -1,0 +1,73 @@
+"""Tests for tokenisation and vocabularies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VocabularyError
+from repro.text import STOPWORD_TOKEN, UNKNOWN_TOKEN, Tokenizer, Vocabulary
+
+
+class TestTokenizer:
+    def test_lowercases_and_splits(self):
+        tokens = Tokenizer().tokenize("Coffee At The Museum")
+        assert "coffee" in tokens
+        assert "museum" in tokens
+
+    def test_stopwords_replaced_with_sentinel(self):
+        tokens = Tokenizer().tokenize("the museum")
+        assert tokens[0] == STOPWORD_TOKEN
+        assert tokens[1] == "museum"
+
+    def test_stopwords_dropped_when_disabled(self):
+        tokens = Tokenizer(replace_stopwords=False).tokenize("the museum")
+        assert tokens == ["museum"]
+
+    def test_punctuation_removed(self):
+        tokens = Tokenizer().tokenize("great!!! #vegas @friend")
+        assert "#vegas" in tokens
+        assert "@friend" in tokens
+
+    def test_empty_text(self):
+        assert Tokenizer().tokenize("") == []
+
+    def test_callable(self):
+        tokenizer = Tokenizer()
+        assert tokenizer("museum") == tokenizer.tokenize("museum")
+
+
+class TestVocabulary:
+    def test_build_includes_sentinels(self):
+        vocab = Vocabulary.build([["a", "b"], ["a"]])
+        assert UNKNOWN_TOKEN in vocab
+        assert STOPWORD_TOKEN in vocab
+
+    def test_min_count_filters(self):
+        vocab = Vocabulary.build([["rare", "common", "common"]], min_count=2)
+        assert "common" in vocab
+        assert "rare" not in vocab
+
+    def test_max_size_caps(self):
+        vocab = Vocabulary.build([[f"w{i}" for i in range(50)]], max_size=10)
+        assert len(vocab) <= 10
+
+    def test_encode_unknown_maps_to_unk(self):
+        vocab = Vocabulary.build([["known"]])
+        ids = vocab.encode(["known", "never-seen"])
+        assert ids[1] == vocab.unknown_id
+        assert ids[0] != vocab.unknown_id
+
+    def test_encode_decode_roundtrip_for_known_tokens(self):
+        vocab = Vocabulary.build([["alpha", "beta", "gamma"]])
+        tokens = ["alpha", "beta", "gamma"]
+        assert vocab.decode(vocab.encode(tokens)) == tokens
+
+    def test_empty_vocabulary_encode_raises(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary().encode(["x"])
+
+    @given(st.lists(st.sampled_from(["cafe", "museum", "park", "show"]), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_encode_length_preserved(self, tokens):
+        vocab = Vocabulary.build([["cafe", "museum", "park", "show"]])
+        assert len(vocab.encode(tokens)) == len(tokens)
