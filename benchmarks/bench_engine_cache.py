@@ -1,0 +1,142 @@
+"""Benchmark: the ColocationEngine's per-profile feature cache.
+
+Measures how many profile rows go through the HisRect featurizer — the hot
+path of online serving — with and without the engine, on two workloads:
+
+1. ``probability_matrix`` over a group of profiles.  The direct one-phase
+   judge path scores every unordered pair independently and featurizes both
+   sides of each pair (``N * (N - 1)`` rows for ``N`` profiles); the engine
+   featurizes each profile exactly once (``N`` rows).
+2. Repeated sliding windows (the service pattern): overlapping profile
+   windows scored back to back, where the engine's LRU carries features from
+   one window to the next.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_engine_cache.py
+
+or through pytest-benchmark like the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import ColocationEngine
+from repro.colocation import CoLocationPipeline, JudgeConfig, OnePhaseConfig, PipelineConfig
+from repro.data import build_dataset, tiny_dataset_config
+from repro.features import HisRectConfig
+from repro.ssl import SSLTrainingConfig
+from repro.text import SkipGramConfig
+
+
+class FeaturizerCounter:
+    """Counts profile rows pushed through ``featurizer.featurize``."""
+
+    def __init__(self, featurizer):
+        self.featurizer = featurizer
+        self.calls = 0
+        self.rows = 0
+        self._original = featurizer.featurize
+
+    def __enter__(self):
+        def counting(profiles):
+            self.calls += 1
+            self.rows += len(profiles)
+            return self._original(profiles)
+
+        self.featurizer.featurize = counting
+        return self
+
+    def __exit__(self, *exc):
+        self.featurizer.featurize = self._original
+        return False
+
+
+def _fit_pipelines(dataset):
+    base = dict(
+        hisrect=HisRectConfig(content_dim=8, feature_dim=16, embedding_dim=8),
+        ssl=SSLTrainingConfig(max_iterations=25, batch_size=4),
+        judge=JudgeConfig(epochs=6, embedding_dim=8, classifier_dim=8),
+        skipgram=SkipGramConfig(embedding_dim=12, epochs=1),
+    )
+    two_phase = CoLocationPipeline(PipelineConfig(**base)).fit(dataset)
+    one_phase = CoLocationPipeline(
+        PipelineConfig(**base, onephase=OnePhaseConfig(max_iterations=30, batch_size=4), mode="one-phase")
+    ).fit(dataset)
+    return two_phase, one_phase
+
+
+def run() -> str:
+    dataset = build_dataset(tiny_dataset_config(seed=5))
+    two_phase, one_phase = _fit_pipelines(dataset)
+    profiles = dataset.test.labeled_profiles[:24]
+    lines = ["Benchmark: engine feature cache vs direct judge paths", ""]
+
+    # ---------------------------------------------- 1. probability_matrix
+    model = one_phase.onephase
+    with FeaturizerCounter(one_phase.featurizer) as direct:
+        started = time.perf_counter()
+        direct_matrix = model.probability_matrix(profiles)
+        direct_s = time.perf_counter() - started
+
+    engine = ColocationEngine(one_phase)
+    with FeaturizerCounter(one_phase.featurizer) as cached:
+        started = time.perf_counter()
+        engine_matrix = engine.probability_matrix(profiles)
+        engine_s = time.perf_counter() - started
+
+    drift = float(abs(direct_matrix - engine_matrix).max())
+    lines += [
+        f"probability_matrix over {len(profiles)} profiles (one-phase judge):",
+        f"  direct judge path : {direct.rows:5d} profile featurizations in {direct_s * 1e3:8.1f} ms",
+        f"  engine (cached)   : {cached.rows:5d} profile featurizations in {engine_s * 1e3:8.1f} ms",
+        f"  featurization reduction: {direct.rows / max(1, cached.rows):.1f}x"
+        f"  (max |Δprob| = {drift:.2e})",
+        "",
+    ]
+
+    # ------------------------------------------- 2. sliding service windows
+    judge = two_phase.judge
+    window, step, num_windows = 16, 4, 8
+    windows = [
+        profiles[start : start + window]
+        for start in range(0, min(len(profiles), step * num_windows), step)
+    ]
+
+    judge.clear_cache()
+    with FeaturizerCounter(two_phase.featurizer) as direct:
+        started = time.perf_counter()
+        for chunk in windows:
+            judge.clear_cache()  # a fresh service instance per window
+            judge.probability_matrix(chunk)
+        direct_s = time.perf_counter() - started
+
+    engine = ColocationEngine(two_phase)
+    with FeaturizerCounter(two_phase.featurizer) as cached:
+        started = time.perf_counter()
+        for chunk in windows:
+            engine.probability_matrix(chunk)
+        engine_s = time.perf_counter() - started
+
+    info = engine.cache_info()
+    lines += [
+        f"{len(windows)} overlapping windows of {window} profiles (two-phase judge):",
+        f"  per-window judges : {direct.rows:5d} profile featurizations in {direct_s * 1e3:8.1f} ms",
+        f"  shared engine     : {cached.rows:5d} profile featurizations in {engine_s * 1e3:8.1f} ms",
+        f"  featurization reduction: {direct.rows / max(1, cached.rows):.1f}x"
+        f"  (cache hit rate {info.hit_rate:.0%})",
+    ]
+    return "\n".join(lines)
+
+
+def test_engine_cache(benchmark):
+    from conftest import run_once, save_report
+
+    report = run_once(benchmark, run)
+    save_report("engine_cache", report)
+    assert "featurization reduction" in report
+
+
+if __name__ == "__main__":
+    print(run())

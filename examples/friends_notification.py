@@ -9,6 +9,12 @@ friends is also present at the same POI in the same time."  This example
 3. replays the held-out test timelines as a live stream, printing a
    notification whenever two friends are judged co-located within Δt.
 
+This example deliberately stays on the *legacy* entry point — it passes the
+fitted pipeline straight into the service instead of wrapping it in a
+:class:`repro.api.ColocationEngine` — proving the pre-engine call sites keep
+working (the service wraps raw judges automatically).  See
+``examples/local_services.py`` for the engine-first style.
+
 Run it with::
 
     python examples/friends_notification.py

@@ -2,8 +2,10 @@
 
 Beyond friends notification, the paper motivates co-location judgement with
 local people recommendation, community detection / group analysis and
-"followship" measurement.  This example fits one HisRect pipeline and then
-drives all three services from it:
+"followship" measurement.  This example fits one HisRect pipeline, wraps it
+in a single shared :class:`repro.api.ColocationEngine` and drives all three
+services from that engine (so profile features are computed once across
+services):
 
 1. **Local people recommendation** — for a query user's latest profile, rank
    other users by a blend of co-location probability and shared-interest
@@ -22,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import ColocationEngine
 from repro.colocation import CoLocationPipeline, JudgeConfig, PipelineConfig
 from repro.data import ProfileBuilder, build_dataset, nyc_like_dataset_config
 from repro.features import HisRectConfig
@@ -30,15 +33,21 @@ from repro.ssl import SSLTrainingConfig
 from repro.text import SkipGramConfig
 
 
-def train_pipeline(dataset) -> CoLocationPipeline:
-    """Fit a small HisRect pipeline (shared by all three services)."""
+def train_engine(dataset) -> ColocationEngine:
+    """Fit a small HisRect pipeline and wrap it in one shared engine.
+
+    All three services consume the same :class:`ColocationEngine`, so a
+    profile scored by the recommender is already featurized when the
+    community detector sees it.
+    """
     config = PipelineConfig(
         hisrect=HisRectConfig(content_dim=8, feature_dim=16, embedding_dim=8),
         ssl=SSLTrainingConfig(max_iterations=60),
         judge=JudgeConfig(embedding_dim=8, classifier_dim=8, epochs=12),
         skipgram=SkipGramConfig(embedding_dim=16, epochs=1),
     )
-    return CoLocationPipeline(config).fit(dataset)
+    pipeline = CoLocationPipeline(config).fit(dataset)
+    return ColocationEngine(pipeline, cache_size=8192)
 
 
 def _busiest_window(profiles, delta_t: float):
@@ -52,13 +61,13 @@ def _busiest_window(profiles, delta_t: float):
     return max(profiles, key=neighbours)
 
 
-def demo_recommendation(pipeline, dataset) -> None:
+def demo_recommendation(engine, dataset) -> None:
     print("\n=== Local people recommendation ===")
     profiles = dataset.test.labeled_profiles[:120]
     if len(profiles) < 3:
         print("  (not enough test profiles at this scale)")
         return
-    recommender = LocalPeopleRecommender(pipeline, delta_t=dataset.delta_t, colocation_weight=0.7)
+    recommender = LocalPeopleRecommender(engine, delta_t=dataset.delta_t, colocation_weight=0.7)
     query = _busiest_window(profiles, dataset.delta_t)
     candidates = [p for p in profiles if p is not query]
     recommendations = recommender.recommend(query, candidates, top_k=5)
@@ -72,7 +81,7 @@ def demo_recommendation(pipeline, dataset) -> None:
         )
 
 
-def demo_communities(pipeline, dataset) -> None:
+def demo_communities(engine, dataset) -> None:
     print("\n=== Community detection ===")
     all_profiles = dataset.test.labeled_profiles
     if not all_profiles:
@@ -81,7 +90,7 @@ def demo_communities(pipeline, dataset) -> None:
     # Focus on the busiest part of the day so the users actually overlap in time.
     anchor = _busiest_window(all_profiles[:120], dataset.delta_t)
     profiles = [p for p in all_profiles if abs(p.ts - anchor.ts) < 3 * dataset.delta_t][:60]
-    detector = CommunityDetector(pipeline, delta_t=dataset.delta_t, edge_threshold=0.5)
+    detector = CommunityDetector(engine, delta_t=dataset.delta_t, edge_threshold=0.5)
     result = detector.detect(profiles)
     print(
         f"{len(profiles)} profiles -> {result.num_communities} communities "
@@ -93,9 +102,10 @@ def demo_communities(pipeline, dataset) -> None:
         print(f"  community of {len(community)}: {members}{suffix}")
 
 
-def demo_followship(dataset) -> None:
+def demo_followship(engine, dataset) -> None:
     print("\n=== Followship measurement ===")
-    analyzer = FollowshipAnalyzer(dataset.registry, window_s=6 * 3600.0)
+    # The analyzer only needs the POI registry, which it takes from the engine.
+    analyzer = FollowshipAnalyzer(engine, window_s=6 * 3600.0)
     scores = analyzer.analyze_store(dataset.test.store, min_followed_visits=2, top_k=5)
     if not scores:
         print("  no leader/follower pair with at least 2 followed visits")
@@ -112,17 +122,19 @@ def main() -> None:
     print("Generating a small NYC-like synthetic dataset ...")
     dataset = build_dataset(nyc_like_dataset_config(scale=0.4, seed=31))
     print("Fitting the HisRect pipeline ...")
-    pipeline = train_pipeline(dataset)
+    engine = train_engine(dataset)
 
     # A ProfileBuilder is what a production deployment would run over the live
     # stream; here the dataset already carries built profiles, so the services
     # consume those directly.
     _ = ProfileBuilder  # referenced for discoverability
 
-    demo_recommendation(pipeline, dataset)
-    demo_communities(pipeline, dataset)
-    demo_followship(dataset)
-    print("\nDone.")
+    demo_recommendation(engine, dataset)
+    demo_communities(engine, dataset)
+    demo_followship(engine, dataset)
+    info = engine.cache_info()
+    print(f"\nShared engine cache: {info.size} profiles, hit rate {info.hit_rate:.0%}")
+    print("Done.")
 
 
 if __name__ == "__main__":

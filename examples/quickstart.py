@@ -7,8 +7,10 @@ The script walks through the library's main workflow end to end:
 2. fit the full HisRect pipeline — skip-gram word vectors, the HisRect
    featurizer trained with the semi-supervised framework, and the
    co-location judge;
-3. evaluate the judge on the held-out test pairs and print the same
-   accuracy / recall / precision / F1 metrics the paper reports.
+3. wrap the fitted pipeline in the serving facade
+   (:class:`repro.api.ColocationEngine`) and evaluate it on the held-out
+   test pairs, printing the same accuracy / recall / precision / F1 metrics
+   the paper reports.
 
 Run it with::
 
@@ -24,6 +26,7 @@ import time
 
 import numpy as np
 
+from repro.api import ColocationEngine, JudgeRequest
 from repro.colocation import CoLocationPipeline, JudgeConfig, PipelineConfig
 from repro.data import build_dataset, nyc_like_dataset_config
 from repro.eval.metrics import binary_metrics, pair_labels, roc_auc_score
@@ -59,11 +62,15 @@ def main() -> None:
     print("Fitting the HisRect pipeline (skip-gram -> SSL featurizer -> judge) ...")
     pipeline = CoLocationPipeline(config).fit(dataset)
 
+    # The engine is the serving facade: batched prediction plus an LRU cache
+    # of per-profile HisRect features shared by every call.
+    engine = ColocationEngine(pipeline, cache_size=4096)
+
     # ------------------------------------------------------------ evaluation
     test_pairs = dataset.test.labeled_pairs
     y_true = pair_labels(test_pairs)
-    y_pred = pipeline.predict(test_pairs)
-    scores = pipeline.predict_proba(test_pairs)
+    y_pred = engine.predict(test_pairs)
+    scores = engine.predict_proba(test_pairs)
 
     metrics = binary_metrics(y_true, y_pred)
     auc = roc_auc_score(y_true, scores)
@@ -80,12 +87,20 @@ def main() -> None:
     # --------------------------------------------------------- a single pair
     example = next((p for p in test_pairs if p.is_positive), None)
     if example is not None:
-        probability = float(pipeline.predict_proba([example])[0])
+        # The typed request/response path a service would use.
+        response = engine.serve(JudgeRequest(pairs=(example,)))
         print()
-        print("Example positive pair:")
+        print("Example positive pair (served through the engine):")
         print(f"  user {example.left.uid} tweeted: {example.left.content[:60]!r}")
         print(f"  user {example.right.uid} tweeted: {example.right.content[:60]!r}")
-        print(f"  predicted co-location probability: {probability:.3f}")
+        print(f"  predicted co-location probability: {response.probabilities[0]:.3f}")
+        print(f"  served in {response.elapsed_ms:.2f} ms "
+              f"({response.cache_hits} cache hits, {response.cache_misses} misses)")
+
+    info = engine.cache_info()
+    print()
+    print(f"Engine feature cache: {info.size} profiles cached, "
+          f"hit rate {info.hit_rate:.0%} over {info.hits + info.misses} lookups")
 
     elapsed = time.perf_counter() - started
     print()

@@ -1,0 +1,326 @@
+""":class:`ColocationEngine` — a fitted judge behind a batched, cached facade.
+
+The engine exists because every online application asks the same two
+questions (score these pairs / score this group) and pays the same hidden
+cost: featurizing profiles.  The judges that separate featurization from pair
+scoring (:class:`repro.core.FeatureSpaceJudge`) let the engine keep one
+bounded LRU cache of per-profile feature rows shared by *all* entry points —
+``predict_proba``, ``probability_matrix``, the sliding-window services — so a
+profile seen by several services in the same Δt window is featurized once.
+
+Judges without the feature-level interface (the social judge, duck-typed test
+stubs) still work: the engine falls back to their ``predict_proba`` and the
+generic pairwise matrix.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api.messages import JudgeRequest, JudgeResponse
+from repro.core.protocols import (
+    ProfileKey,
+    pairwise_probability_matrix,
+    profile_key,
+    symmetric_probability_matrix,
+    upper_triangle_pairs,
+)
+from repro.data.records import Pair, Profile
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class EngineCacheInfo:
+    """Snapshot of the engine's feature-cache statistics."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+    #: Total profile rows pushed through the featurizer so far.
+    featurized: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of feature lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ColocationEngine:
+    """Serve a fitted co-location judge to online applications.
+
+    Parameters
+    ----------
+    judge:
+        Any fitted judge satisfying :class:`repro.core.CoLocationJudge` (or
+        at minimum exposing ``predict_proba``): a pipeline, the HisRect
+        judge, the One-phase model, Comp2Loc, the social judge, a baseline.
+    cache_size:
+        Maximum number of per-profile feature rows kept in the LRU cache.
+        ``0`` disables caching (every call featurizes from scratch).
+    threshold:
+        Decision threshold for :meth:`predict` / :meth:`serve`.  ``None``
+        adopts the judge's own ``decision_threshold`` (default 0.5).
+    batch_size:
+        Pairs scored per network invocation, bounding autograd graph size.
+    registry:
+        Optional explicit POI registry; by default it is taken from the
+        judge's featurizer, so services can derive it from the engine.
+    """
+
+    def __init__(
+        self,
+        judge,
+        *,
+        cache_size: int = 4096,
+        threshold: float | None = None,
+        batch_size: int = 1024,
+        registry=None,
+    ):
+        if not hasattr(judge, "predict_proba"):
+            raise ConfigurationError("judge must expose predict_proba(pairs)")
+        if cache_size < 0:
+            raise ConfigurationError("cache_size must be >= 0")
+        if batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        if threshold is not None and not 0.0 <= threshold <= 1.0:
+            raise ConfigurationError("threshold must lie in [0, 1]")
+        self.judge = judge
+        self.cache_size = cache_size
+        self.batch_size = batch_size
+        self._threshold = threshold
+        self._registry = registry
+        self._cache: OrderedDict[ProfileKey, np.ndarray] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._featurized = 0
+
+    # --------------------------------------------------------------- plumbing
+    @classmethod
+    def ensure(cls, judge_or_engine, **kwargs) -> "ColocationEngine":
+        """Pass an engine through unchanged; wrap a raw judge."""
+        if isinstance(judge_or_engine, ColocationEngine):
+            return judge_or_engine
+        return cls(judge_or_engine, **kwargs)
+
+    @property
+    def threshold(self) -> float:
+        """The decision threshold applied by :meth:`predict` and :meth:`serve`."""
+        if self._threshold is not None:
+            return self._threshold
+        return float(getattr(self.judge, "decision_threshold", 0.5))
+
+    @property
+    def registry(self):
+        """The POI registry behind the judge's featurizer (or the explicit one)."""
+        if self._registry is not None:
+            return self._registry
+        featurizer = getattr(self.judge, "featurizer", None)
+        registry = getattr(featurizer, "registry", None)
+        if registry is None:
+            raise ConfigurationError(
+                "the wrapped judge exposes no POI registry; pass registry= explicitly"
+            )
+        return registry
+
+    @property
+    def _feature_space(self) -> bool:
+        return hasattr(self.judge, "featurize_profiles") and hasattr(
+            self.judge, "score_feature_pairs"
+        )
+
+    # ----------------------------------------------------------- feature cache
+    def _features_for(self, profiles: list[Profile]) -> np.ndarray:
+        """Feature rows for profiles through the LRU; featurizes misses once.
+
+        Duplicate profiles within one call are deduplicated before touching
+        the featurizer, so each distinct profile is featurized exactly once
+        even with a disabled cache.
+        """
+        keys = [profile_key(p) for p in profiles]
+        missing: dict[ProfileKey, Profile] = {}
+        resolved: dict[ProfileKey, np.ndarray] = {}
+        for key, profile in zip(keys, profiles):
+            if key in resolved or key in missing:
+                continue
+            row = self._cache.get(key)
+            if row is not None:
+                self._cache.move_to_end(key)
+                self._hits += 1
+                resolved[key] = row
+            else:
+                self._misses += 1
+                missing[key] = profile
+        if missing:
+            batch = list(missing.values())
+            rows = self.judge.featurize_profiles(batch)
+            self._featurized += len(batch)
+            for profile, row in zip(batch, rows):
+                key = profile_key(profile)
+                resolved[key] = row
+                if self.cache_size > 0:
+                    # Copy: the row is a view into the whole featurized batch,
+                    # and caching the view would pin that batch in memory.
+                    self._cache[key] = np.array(row, copy=True)
+                    self._cache.move_to_end(key)
+                    while len(self._cache) > self.cache_size:
+                        self._cache.popitem(last=False)
+                        self._evictions += 1
+        return np.stack([resolved[key] for key in keys])
+
+    def warm(self, profiles: list[Profile]) -> int:
+        """Pre-featurize profiles into the cache; returns rows featurized."""
+        if not profiles or not self._feature_space:
+            return 0
+        before = self._featurized
+        self._features_for(profiles)
+        return self._featurized - before
+
+    def cache_info(self) -> EngineCacheInfo:
+        """Current feature-cache statistics."""
+        return EngineCacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._cache),
+            maxsize=self.cache_size,
+            featurized=self._featurized,
+        )
+
+    def clear_cache(self) -> None:
+        """Drop every cached feature row (keeps the counters)."""
+        self._cache.clear()
+
+    # -------------------------------------------------------------- judgement
+    def _score_batched(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        chunks = []
+        for start in range(0, len(left), self.batch_size):
+            stop = start + self.batch_size
+            chunks.append(self.judge.score_feature_pairs(left[start:stop], right[start:stop]))
+        return np.concatenate(chunks) if chunks else np.zeros(0)
+
+    def predict_proba(self, pairs: list[Pair]) -> np.ndarray:
+        """Co-location probability per pair (batched, feature-cached)."""
+        if not pairs:
+            return np.zeros(0)
+        if self._feature_space:
+            left = self._features_for([p.left for p in pairs])
+            right = self._features_for([p.right for p in pairs])
+            return self._score_batched(left, right)
+        return np.asarray(self.judge.predict_proba(list(pairs)), dtype=float)
+
+    def predict(self, pairs: list[Pair]) -> np.ndarray:
+        """Binary co-location decisions per pair.
+
+        Follows the judge's own decision rule — including non-threshold
+        rules like Comp2Loc's argmax equality — unless the engine was given
+        an explicit ``threshold``, which then cuts the probabilities.
+        """
+        if not pairs:
+            return np.zeros(0, dtype=int)
+        if self._threshold is None:
+            if self._feature_space and hasattr(self.judge, "decide_feature_pairs"):
+                # Non-threshold decisions still benefit from the feature cache.
+                left = self._features_for([p.left for p in pairs])
+                right = self._features_for([p.right for p in pairs])
+                return np.asarray(self.judge.decide_feature_pairs(left, right), dtype=int)
+            if not self._feature_space and hasattr(self.judge, "predict"):
+                # Keep the wrapped judge's own rule (e.g. a baseline's argmax
+                # equality); there is no cache to route through anyway.
+                return np.asarray(self.judge.predict(list(pairs)), dtype=int)
+        return (self.predict_proba(pairs) >= self.threshold).astype(int)
+
+    def probability_matrix(self, profiles: list[Profile]) -> np.ndarray:
+        """The ``N x N`` pairwise probability matrix, featurizing each profile once."""
+        n = len(profiles)
+        if self._feature_space:
+            if n < 2:
+                return np.zeros((n, n))
+            features = self._features_for(profiles)
+            index_pairs = upper_triangle_pairs(n)
+            left = features[[i for i, _ in index_pairs]]
+            right = features[[j for _, j in index_pairs]]
+            probabilities = self._score_batched(left, right)
+            return symmetric_probability_matrix(n, index_pairs, probabilities)
+        if hasattr(self.judge, "probability_matrix"):
+            return np.asarray(self.judge.probability_matrix(list(profiles)), dtype=float)
+        return pairwise_probability_matrix(self.judge, list(profiles))
+
+    def features(self, profiles: list[Profile]) -> np.ndarray:
+        """Cached frozen feature rows for profiles (t-SNE, diagnostics)."""
+        if not self._feature_space:
+            raise ConfigurationError(
+                "the wrapped judge has no feature-level interface (FeatureSpaceJudge)"
+            )
+        if not profiles:
+            featurizer = getattr(self.judge, "featurizer", None)
+            return np.zeros((0, getattr(featurizer, "feature_dim", 0)))
+        return self._features_for(profiles)
+
+    # ---------------------------------------------------------- POI inference
+    def infer_poi_proba(self, profiles: list[Profile]) -> np.ndarray:
+        """POI probability distributions per profile (two-phase judges only)."""
+        if not hasattr(self.judge, "infer_poi_proba"):
+            raise ConfigurationError("the wrapped judge does not support POI inference")
+        return self.judge.infer_poi_proba(profiles)
+
+    def infer_poi(self, profiles: list[Profile]) -> list[int]:
+        """Hard POI (pid) predictions per profile (two-phase judges only)."""
+        if not hasattr(self.judge, "infer_poi"):
+            raise ConfigurationError("the wrapped judge does not support POI inference")
+        return self.judge.infer_poi(profiles)
+
+    # ----------------------------------------------------------------- serving
+    def serve(self, request: JudgeRequest) -> JudgeResponse:
+        """Answer one typed judgement request.
+
+        With no explicit threshold (neither on the request nor on the
+        engine), decisions follow the judge's own rule — matching
+        :meth:`predict`, including non-threshold rules like Comp2Loc's
+        argmax equality.  An explicit threshold cuts the probabilities.
+        """
+        if request.threshold is not None and not 0.0 <= request.threshold <= 1.0:
+            raise ConfigurationError("request threshold must lie in [0, 1]")
+        started = time.perf_counter()
+        hits_before, misses_before = self._hits, self._misses
+        pairs = list(request.pairs)
+        threshold = self.threshold if request.threshold is None else float(request.threshold)
+        default_rule = request.threshold is None and self._threshold is None
+        if pairs and self._feature_space:
+            # Gather features once; probabilities and decisions share them.
+            left = self._features_for([p.left for p in pairs])
+            right = self._features_for([p.right for p in pairs])
+            probabilities = self._score_batched(left, right)
+            if default_rule and hasattr(self.judge, "decide_feature_pairs"):
+                decisions = np.asarray(self.judge.decide_feature_pairs(left, right), dtype=int)
+            else:
+                decisions = (probabilities >= threshold).astype(int)
+        else:
+            probabilities = self.predict_proba(pairs)
+            if pairs and default_rule and hasattr(self.judge, "predict"):
+                decisions = np.asarray(self.judge.predict(pairs), dtype=int)
+            else:
+                decisions = (probabilities >= threshold).astype(int)
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        return JudgeResponse(
+            probabilities=tuple(float(p) for p in probabilities),
+            decisions=tuple(int(d) for d in decisions),
+            threshold=threshold,
+            cache_hits=self._hits - hits_before,
+            cache_misses=self._misses - misses_before,
+            elapsed_ms=elapsed_ms,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        info = self.cache_info()
+        return (
+            f"ColocationEngine(judge={type(self.judge).__name__}, "
+            f"cache={info.size}/{info.maxsize}, hit_rate={info.hit_rate:.2f})"
+        )

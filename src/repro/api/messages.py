@@ -1,0 +1,71 @@
+"""Typed request/response messages of the serving boundary.
+
+The engine's programmatic methods (``predict_proba`` and friends) stay
+array-in/array-out for library use; services and RPC-style callers go through
+:class:`JudgeRequest` / :class:`JudgeResponse`, which carry the decision
+threshold actually applied and the cache statistics of the call — the numbers
+an operator needs to reason about latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.records import Pair, Profile
+
+
+@dataclass(frozen=True)
+class JudgeRequest:
+    """One batch of candidate pairs to judge.
+
+    ``threshold`` overrides the engine's decision threshold for this request
+    only; ``None`` keeps the engine default.
+    """
+
+    pairs: tuple[Pair, ...]
+    threshold: float | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.pairs, tuple):
+            object.__setattr__(self, "pairs", tuple(self.pairs))
+
+    @classmethod
+    def for_profiles(cls, query: Profile, candidates: list[Profile], threshold: float | None = None) -> "JudgeRequest":
+        """Pair one query profile against every candidate of a different user."""
+        pairs = tuple(
+            Pair(left=query, right=candidate, co_label=None)
+            for candidate in candidates
+            if candidate.uid != query.uid
+        )
+        return cls(pairs=pairs, threshold=threshold)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+@dataclass(frozen=True)
+class JudgeResponse:
+    """The engine's answer for one :class:`JudgeRequest`."""
+
+    #: Co-location probability per requested pair.
+    probabilities: tuple[float, ...]
+    #: Binary decisions.  Cut from the probabilities at ``threshold``, except
+    #: for judges with a non-threshold decision rule (Comp2Loc's argmax
+    #: equality) when no explicit request threshold was given.
+    decisions: tuple[int, ...]
+    #: The engine's decision threshold in effect for this request.
+    threshold: float
+    #: Feature-cache hits/misses incurred by this request (0/0 for judges
+    #: without a feature-level interface).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Wall-clock time spent inside the engine, in milliseconds.
+    elapsed_ms: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.probabilities)
+
+    @property
+    def num_positive(self) -> int:
+        """How many pairs were judged co-located."""
+        return int(sum(self.decisions))

@@ -1,11 +1,18 @@
-"""Naive location-inference baselines: TG-TI-C and N-Gram-Gauss."""
+"""Naive location-inference baselines: TG-TI-C and N-Gram-Gauss.
 
-from repro.baselines.base import LocationInferenceBaseline
+Both baselines self-register in :mod:`repro.registry` under the ``"judge"``
+and ``"baseline"`` kinds (names ``"tg-ti-c"`` and ``"n-gram-gauss"``) via
+:class:`repro.baselines.base.BaselineApproach`, which binds them to a
+dataset's POI registry at fit time.
+"""
+
+from repro.baselines.base import BaselineApproach, LocationInferenceBaseline
 from repro.baselines.ngram_gauss import NGramGaussBaseline, NGramGaussConfig
 from repro.baselines.tg_ti_c import TGTICBaseline, TGTICConfig
 
 __all__ = [
     "LocationInferenceBaseline",
+    "BaselineApproach",
     "TGTICBaseline",
     "TGTICConfig",
     "NGramGaussBaseline",

@@ -10,11 +10,17 @@ can treat every approach uniformly.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any
+
 import numpy as np
 
+from repro.core.protocols import shared_poi_probability_matrix
 from repro.data.records import Pair, Profile
 from repro.errors import NotFittedError
 from repro.geo.poi import POIRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.data.dataset import ColocationDataset
 
 
 class LocationInferenceBaseline:
@@ -58,5 +64,81 @@ class LocationInferenceBaseline:
         right = self.infer_poi_proba([p.right for p in pairs])
         return np.sum(left * right, axis=1)
 
+    def probability_matrix(self, profiles: list[Profile]) -> np.ndarray:
+        """Pairwise shared-POI probability matrix (``P P^T`` of the POI scores)."""
+        if len(profiles) < 2:
+            return np.zeros((len(profiles), len(profiles)))
+        return shared_poi_probability_matrix(self.infer_poi_proba(profiles))
+
+    def fit_dataset(self, dataset: "ColocationDataset") -> "LocationInferenceBaseline":
+        """Fit on a dataset's labelled training profiles (TrainableApproach)."""
+        return self.fit(dataset.train.labeled_profiles)
+
     def _uniform(self, count: int) -> np.ndarray:
         return np.full((count, len(self.registry)), 1.0 / len(self.registry))
+
+
+class BaselineApproach:
+    """Registry adapter: bind a baseline class to a dataset at fit time.
+
+    The baselines need the dataset's :class:`POIRegistry` at construction,
+    which a plain configuration dictionary cannot carry.  This wrapper holds
+    the class and its config, builds the model inside :meth:`fit` and then
+    delegates the whole :class:`repro.core.CoLocationJudge` surface, so
+    ``repro.registry.build("judge", "tg-ti-c", cfg).fit(dataset)`` works like
+    any other approach.
+    """
+
+    def __init__(self, baseline_cls: type[LocationInferenceBaseline], config: Any = None):
+        self.baseline_cls = baseline_cls
+        self.config = config
+        self.model: LocationInferenceBaseline | None = None
+
+    def to_config(self) -> dict[str, Any]:
+        from repro.io.configs import config_to_dict
+
+        return config_to_dict(self.config) if self.config is not None else {}
+
+    def fit(self, dataset: "ColocationDataset") -> "BaselineApproach":
+        """Build the baseline against the dataset's POI registry and train it."""
+        self.model = self.baseline_cls(dataset.registry, self.config)
+        self.model.fit_dataset(dataset)
+        return self
+
+    def _require_model(self) -> LocationInferenceBaseline:
+        if self.model is None:
+            raise NotFittedError(f"{self.baseline_cls.__name__} has not been fitted")
+        return self.model
+
+    def predict(self, pairs: list[Pair]) -> np.ndarray:
+        return self._require_model().predict(pairs)
+
+    def predict_proba(self, pairs: list[Pair]) -> np.ndarray:
+        return self._require_model().predict_proba(pairs)
+
+    def probability_matrix(self, profiles: list[Profile]) -> np.ndarray:
+        return self._require_model().probability_matrix(profiles)
+
+    def infer_poi(self, profiles: list[Profile]) -> list[int]:
+        return self._require_model().infer_poi(profiles)
+
+    def infer_poi_proba(self, profiles: list[Profile]) -> np.ndarray:
+        return self._require_model().infer_poi_proba(profiles)
+
+
+def register_baseline(
+    name: str,
+    baseline_cls: type[LocationInferenceBaseline],
+    config_cls: type,
+    description: str,
+) -> None:
+    """Self-register a baseline under both the ``judge`` and ``baseline`` kinds."""
+    from repro.registry import register
+
+    def factory(config: dict | None = None) -> BaselineApproach:
+        from repro.io.configs import config_from_dict
+
+        return BaselineApproach(baseline_cls, config_from_dict(config_cls, config or {}))
+
+    register("judge", name, factory=factory, description=description)
+    register("baseline", name, factory=factory, description=description)

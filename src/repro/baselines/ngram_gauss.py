@@ -130,3 +130,13 @@ class NGramGaussBaseline(LocationInferenceBaseline):
             weights = np.exp(logits)
             scores[row] = weights / weights.sum()
         return scores
+
+
+from repro.baselines.base import register_baseline
+
+register_baseline(
+    "n-gram-gauss",
+    NGramGaussBaseline,
+    NGramGaussConfig,
+    "N-Gram-Gauss: Gaussians over geo-specific n-grams (naive co-location)",
+)

@@ -115,3 +115,13 @@ class TGTICBaseline(LocationInferenceBaseline):
                 scores[row] = 1.0
             scores[row] /= scores[row].sum()
         return scores
+
+
+from repro.baselines.base import register_baseline
+
+register_baseline(
+    "tg-ti-c",
+    TGTICBaseline,
+    TGTICConfig,
+    "TG-TI-C: TF-IDF + hour-of-day tweet geolocalisation (naive co-location)",
+)

@@ -1,4 +1,10 @@
-"""Co-location judgement: the HisRect judge, naive judges, clustering and pipeline."""
+"""Co-location judgement: the HisRect judge, naive judges, clustering and pipeline.
+
+Every judge-like class in this package satisfies the
+:class:`repro.core.CoLocationJudge` protocol, self-registers in
+:mod:`repro.registry` (``"judge"`` kind) and can be served through
+:class:`repro.api.ColocationEngine`.
+"""
 
 from repro.colocation.clustering import (
     ClusteringResult,
@@ -14,7 +20,9 @@ from repro.colocation.judge import (
     JudgeTrainingHistory,
 )
 from repro.colocation.onephase import OnePhaseConfig, OnePhaseModel
-from repro.colocation.pipeline import MODES, CoLocationPipeline, PipelineConfig
+from repro.colocation.pipeline import CoLocationPipeline, PipelineConfig, training_modes
+from repro.colocation.strategies import OnePhaseStrategy, TwoPhaseStrategy
+from repro.colocation.variants import Comp2LocApproach, variant_pipeline_config
 
 __all__ = [
     "JudgeConfig",
@@ -22,6 +30,7 @@ __all__ = [
     "HisRectCoLocationJudge",
     "JudgeTrainingHistory",
     "Comp2LocJudge",
+    "Comp2LocApproach",
     "OnePhaseConfig",
     "OnePhaseModel",
     "ProfileClusterer",
@@ -30,5 +39,16 @@ __all__ = [
     "partitions_equal",
     "CoLocationPipeline",
     "PipelineConfig",
-    "MODES",
+    "TwoPhaseStrategy",
+    "OnePhaseStrategy",
+    "training_modes",
+    "variant_pipeline_config",
 ]
+
+
+def __getattr__(name: str):
+    if name == "MODES":
+        from repro.colocation.pipeline import _deprecated_modes
+
+        return _deprecated_modes(__name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

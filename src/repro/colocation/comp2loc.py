@@ -14,6 +14,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.protocols import (
+    ProfileKey,
+    featurize_in_chunks,
+    profile_key,
+    shared_poi_probability_matrix,
+)
 from repro.data.records import Pair, Profile
 from repro.errors import NotFittedError
 from repro.features.hisrect import HisRectFeaturizer, POIClassifier
@@ -25,18 +31,19 @@ class Comp2LocJudge:
     def __init__(self, featurizer: HisRectFeaturizer, classifier: POIClassifier):
         self.featurizer = featurizer
         self.classifier = classifier
-        self._feature_cache: dict[tuple[int, float, str], np.ndarray] = {}
+        self._feature_cache: dict[ProfileKey, np.ndarray] = {}
+
+    def featurize_profiles(self, profiles: list[Profile]) -> np.ndarray:
+        """Frozen HisRect feature rows for profiles (uncached, chunked)."""
+        return featurize_in_chunks(self.featurizer, profiles)
 
     def _features(self, profiles: list[Profile]) -> np.ndarray:
-        missing = [p for p in profiles if (p.uid, p.ts, p.content) not in self._feature_cache]
+        missing = [p for p in profiles if profile_key(p) not in self._feature_cache]
         if missing:
-            chunk = 64
-            for start in range(0, len(missing), chunk):
-                batch = missing[start : start + chunk]
-                rows = self.featurizer.featurize(batch)
-                for profile, row in zip(batch, rows):
-                    self._feature_cache[(profile.uid, profile.ts, profile.content)] = row
-        return np.stack([self._feature_cache[(p.uid, p.ts, p.content)] for p in profiles])
+            rows = self.featurize_profiles(missing)
+            for profile, row in zip(missing, rows):
+                self._feature_cache[profile_key(profile)] = row
+        return np.stack([self._feature_cache[profile_key(p)] for p in profiles])
 
     def infer_poi_indices(self, profiles: list[Profile]) -> np.ndarray:
         """Dense POI-index predictions for profiles."""
@@ -61,9 +68,34 @@ class Comp2LocJudge:
         """Soft score: probability the two profiles share a POI under ``P``."""
         if not pairs:
             return np.zeros(0)
-        left = self.classifier.predict_proba(self._features([p.left for p in pairs]))
-        right = self.classifier.predict_proba(self._features([p.right for p in pairs]))
-        return np.sum(left * right, axis=1)
+        left = self._features([p.left for p in pairs])
+        right = self._features([p.right for p in pairs])
+        return self.score_feature_pairs(left, right)
+
+    def score_feature_pairs(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """Shared-POI probability from two aligned feature matrices."""
+        if len(left) == 0:
+            return np.zeros(0)
+        left_proba = self.classifier.predict_proba(left)
+        right_proba = self.classifier.predict_proba(right)
+        return np.sum(left_proba * right_proba, axis=1)
+
+    def decide_feature_pairs(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """Same-POI decisions (argmax equality) from two aligned feature matrices."""
+        if len(left) == 0:
+            return np.zeros(0, dtype=int)
+        return (self.classifier.predict(left) == self.classifier.predict(right)).astype(int)
+
+    def probability_matrix(self, profiles: list[Profile]) -> np.ndarray:
+        """Pairwise shared-POI probability matrix (clustering input).
+
+        With the POI distributions ``p_i`` already computed per profile the
+        matrix is just ``P P^T``; each profile is featurized once.
+        """
+        if len(profiles) < 2:
+            return np.zeros((len(profiles), len(profiles)))
+        proba = self.classifier.predict_proba(self._features(profiles))
+        return shared_poi_probability_matrix(proba)
 
     def predict_proba_profiles(self, profiles: list[Profile]) -> np.ndarray:
         """POI probability distributions for profiles (POI-inference experiments)."""

@@ -18,6 +18,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.protocols import (
+    ProfileKey,
+    featurize_in_chunks,
+    profile_key,
+    symmetric_probability_matrix,
+    upper_triangle_pairs,
+)
 from repro.data.records import Pair, Profile
 from repro.errors import NotFittedError, TrainingError
 from repro.features.hisrect import EmbeddingNetwork, HisRectFeaturizer
@@ -105,24 +112,24 @@ class HisRectCoLocationJudge:
         self.config = config or JudgeConfig()
         self.network = CoLocationJudgeNetwork(featurizer.feature_dim, self.config)
         self._rng = np.random.default_rng(self.config.seed)
-        self._feature_cache: dict[tuple[int, float, str], np.ndarray] = {}
+        self._feature_cache: dict[ProfileKey, np.ndarray] = {}
         self._fitted = False
 
     # ---------------------------------------------------------------- features
-    def _profile_key(self, profile: Profile) -> tuple[int, float, str]:
-        return (profile.uid, profile.ts, profile.content)
+    def _profile_key(self, profile: Profile) -> ProfileKey:
+        return profile_key(profile)
+
+    def featurize_profiles(self, profiles: list[Profile]) -> np.ndarray:
+        """Frozen HisRect feature rows for profiles (uncached, chunked)."""
+        return featurize_in_chunks(self.featurizer, profiles)
 
     def profile_features(self, profiles: list[Profile]) -> np.ndarray:
         """Frozen HisRect features for profiles, memoised across calls."""
         missing = [p for p in profiles if self._profile_key(p) not in self._feature_cache]
         if missing:
-            # Featurize in manageable chunks to bound graph size.
-            chunk = 64
-            for start in range(0, len(missing), chunk):
-                batch = missing[start : start + chunk]
-                features = self.featurizer.featurize(batch)
-                for profile, row in zip(batch, features):
-                    self._feature_cache[self._profile_key(profile)] = row
+            features = self.featurize_profiles(missing)
+            for profile, row in zip(missing, features):
+                self._feature_cache[self._profile_key(profile)] = row
         return np.stack([self._feature_cache[self._profile_key(p)] for p in profiles])
 
     def clear_cache(self) -> None:
@@ -179,6 +186,20 @@ class HisRectCoLocationJudge:
         return history
 
     # --------------------------------------------------------------- inference
+    @property
+    def decision_threshold(self) -> float:
+        """The probability threshold behind :meth:`predict`."""
+        return self.config.threshold
+
+    def score_feature_pairs(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """Co-location probabilities from two aligned HisRect feature matrices."""
+        if not self._fitted:
+            raise NotFittedError("the co-location judge has not been fitted")
+        if len(left) == 0:
+            return np.zeros(0)
+        logits = self.network(Tensor(left), Tensor(right)).data
+        return 1.0 / (1.0 + np.exp(-logits))
+
     def predict_proba(self, pairs: list[Pair]) -> np.ndarray:
         """Co-location probability for each pair."""
         if not self._fitted:
@@ -187,8 +208,7 @@ class HisRectCoLocationJudge:
             return np.zeros(0)
         left = self.profile_features([p.left for p in pairs])
         right = self.profile_features([p.right for p in pairs])
-        logits = self.network(Tensor(left), Tensor(right)).data
-        return 1.0 / (1.0 + np.exp(-logits))
+        return self.score_feature_pairs(left, right)
 
     def predict(self, pairs: list[Pair]) -> np.ndarray:
         """Binary co-location decisions (1 = co-located)."""
@@ -199,16 +219,11 @@ class HisRectCoLocationJudge:
         if not self._fitted:
             raise NotFittedError("the co-location judge has not been fitted")
         n = len(profiles)
-        matrix = np.zeros((n, n))
         if n < 2:
-            return matrix
+            return np.zeros((n, n))
         features = self.profile_features(profiles)
-        index_pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        index_pairs = upper_triangle_pairs(n)
         left = np.stack([features[i] for i, _ in index_pairs])
         right = np.stack([features[j] for _, j in index_pairs])
-        logits = self.network(Tensor(left), Tensor(right)).data
-        probs = 1.0 / (1.0 + np.exp(-logits))
-        for (i, j), prob in zip(index_pairs, probs):
-            matrix[i, j] = matrix[j, i] = prob
-        np.fill_diagonal(matrix, 1.0)
-        return matrix
+        probs = self.score_feature_pairs(left, right)
+        return symmetric_probability_matrix(n, index_pairs, probs)

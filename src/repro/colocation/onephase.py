@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.data.records import Pair
+from repro.core.protocols import featurize_in_chunks, pairwise_probability_matrix
+from repro.data.records import Pair, Profile
 from repro.errors import NotFittedError, TrainingError
 from repro.features.hisrect import HisRectFeaturizer
 from repro.colocation.judge import CoLocationJudgeNetwork, JudgeConfig
@@ -91,19 +92,48 @@ class OnePhaseModel:
         self._fitted = True
         return losses
 
+    @property
+    def decision_threshold(self) -> float:
+        """The probability threshold behind :meth:`predict`."""
+        return self.config.judge.threshold
+
+    def featurize_profiles(self, profiles: list[Profile]) -> np.ndarray:
+        """Feature rows for profiles through the jointly-trained featurizer."""
+        if not self._fitted:
+            raise NotFittedError("the One-phase model has not been fitted")
+        return featurize_in_chunks(self.featurizer, profiles)
+
+    def score_feature_pairs(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """Co-location probabilities from two aligned feature matrices."""
+        if not self._fitted:
+            raise NotFittedError("the One-phase model has not been fitted")
+        if len(left) == 0:
+            return np.zeros(0)
+        from repro.nn.autograd import Tensor
+
+        logits = self.network(Tensor(left), Tensor(right)).data
+        return 1.0 / (1.0 + np.exp(-logits))
+
     def predict_proba(self, pairs: list[Pair]) -> np.ndarray:
         """Co-location probabilities for pairs."""
         if not self._fitted:
             raise NotFittedError("the One-phase model has not been fitted")
         if not pairs:
             return np.zeros(0)
-        from repro.nn.autograd import Tensor
-
-        left = Tensor(self.featurizer.featurize([p.left for p in pairs]))
-        right = Tensor(self.featurizer.featurize([p.right for p in pairs]))
-        logits = self.network(left, right).data
-        return 1.0 / (1.0 + np.exp(-logits))
+        left = self.featurizer.featurize([p.left for p in pairs])
+        right = self.featurizer.featurize([p.right for p in pairs])
+        return self.score_feature_pairs(left, right)
 
     def predict(self, pairs: list[Pair]) -> np.ndarray:
         """Binary co-location decisions."""
         return (self.predict_proba(pairs) >= self.config.judge.threshold).astype(int)
+
+    def probability_matrix(self, profiles: list[Profile]) -> np.ndarray:
+        """Pairwise probability matrix via the generic pair-scoring fallback.
+
+        The :class:`repro.api.ColocationEngine` computes the same matrix from
+        cached per-profile features, featurizing each profile exactly once.
+        """
+        if not self._fitted:
+            raise NotFittedError("the One-phase model has not been fitted")
+        return pairwise_probability_matrix(self, profiles)

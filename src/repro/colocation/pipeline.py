@@ -5,48 +5,56 @@
 1. build a vocabulary from the training tweets and train skip-gram word
    vectors (Section 4.2);
 2. build the HisRect featurizer ``F`` with the configured feature variant;
-3. train ``F`` together with the POI classifier ``P`` and the embedding ``E``
-   using the semi-supervised framework (Section 4.4) — or train everything
-   end-to-end on the pair loss for the One-phase variant;
-4. train the co-location judge (``E'`` + ``C``) on labelled pairs with the
-   featurizer frozen (Section 5).
+3. dispatch to the configured :class:`repro.core.TrainingStrategy` —
+   ``"two-phase"`` trains ``F`` with the semi-supervised framework
+   (Section 4.4) and then the judge ``E'`` + ``C`` on labelled pairs
+   (Section 5); ``"one-phase"`` trains everything end-to-end on the pair loss.
 
 The fitted pipeline answers every question the evaluation needs: pair
 co-location probabilities and decisions, POI inference distributions (Acc@K),
 HisRect feature vectors (t-SNE), pairwise probability matrices (clustering) and
-a Comp2Loc judge sharing its featurizer and classifier.
+a Comp2Loc judge sharing its featurizer and classifier.  It satisfies the
+:class:`repro.core.CoLocationJudge` and :class:`repro.core.FeatureSpaceJudge`
+protocols, so it can be served directly through
+:class:`repro.api.ColocationEngine`.
 
 Typical use::
 
+    from repro.api import ColocationEngine
     from repro.data import build_dataset, nyc_like_dataset_config
     from repro.colocation import CoLocationPipeline, PipelineConfig
 
     dataset = build_dataset(nyc_like_dataset_config(scale=0.5))
     pipeline = CoLocationPipeline(PipelineConfig()).fit(dataset)
-    probabilities = pipeline.predict_proba(dataset.test.labeled_pairs)
+    engine = ColocationEngine(pipeline)
+    probabilities = engine.predict_proba(dataset.test.labeled_pairs)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
+import repro.registry as registry_mod
 from repro.colocation.comp2loc import Comp2LocJudge
 from repro.colocation.judge import HisRectCoLocationJudge, JudgeConfig
 from repro.colocation.onephase import OnePhaseConfig, OnePhaseModel
+from repro.core.strategy import COMP2LOC, POI_INFERENCE, PROBABILITY_MATRIX, TrainingStrategy
 from repro.data.dataset import ColocationDataset
 from repro.data.records import Pair, Profile
 from repro.errors import ConfigurationError, NotFittedError
 from repro.features.content import TextVectorizer
 from repro.features.hisrect import EmbeddingNetwork, HisRectConfig, HisRectFeaturizer, POIClassifier
 from repro.ssl.affinity import AffinityConfig
-from repro.ssl.trainer import SSLTrainingConfig, SemiSupervisedHisRectTrainer, TrainingHistory
+from repro.ssl.trainer import SSLTrainingConfig, TrainingHistory
 from repro.text.skipgram import SkipGramConfig, SkipGramModel
 from repro.text.tokenize import Tokenizer, Vocabulary
 
-#: Pipeline training modes.
-MODES = ("two-phase", "one-phase")
+def training_modes() -> tuple[str, ...]:
+    """The registered pipeline training modes (``"strategy"`` registry kind)."""
+    return registry_mod.names("strategy")
 
 
 @dataclass
@@ -59,7 +67,7 @@ class PipelineConfig:
     affinity: AffinityConfig = field(default_factory=AffinityConfig)
     skipgram: SkipGramConfig = field(default_factory=SkipGramConfig)
     onephase: OnePhaseConfig = field(default_factory=OnePhaseConfig)
-    #: ``"two-phase"`` (HisRect) or ``"one-phase"`` (end-to-end baseline).
+    #: Training strategy name: ``"two-phase"`` (HisRect) or ``"one-phase"``.
     mode: str = "two-phase"
     #: Minimum word frequency for the vocabulary (the paper uses 10 at full scale).
     min_word_count: int = 2
@@ -68,8 +76,9 @@ class PipelineConfig:
     seed: int = 97
 
     def __post_init__(self) -> None:
-        if self.mode not in MODES:
-            raise ConfigurationError(f"mode must be one of {MODES}, got {self.mode!r}")
+        modes = training_modes()
+        if self.mode not in modes:
+            raise ConfigurationError(f"mode must be one of {modes}, got {self.mode!r}")
 
 
 class CoLocationPipeline:
@@ -87,7 +96,29 @@ class CoLocationPipeline:
         self.onephase: OnePhaseModel | None = None
         self.ssl_history: TrainingHistory | None = None
         self._dataset: ColocationDataset | None = None
+        self._strategy: TrainingStrategy | None = None
         self._fitted = False
+
+    # ------------------------------------------------------------------ config
+    @classmethod
+    def from_config(cls, config: dict[str, Any] | None = None) -> "CoLocationPipeline":
+        """Build an unfitted pipeline from a plain configuration dictionary."""
+        from repro.io.configs import config_from_dict
+
+        return cls(config_from_dict(PipelineConfig, config or {}))
+
+    def to_config(self) -> dict[str, Any]:
+        """This pipeline's configuration as a plain dictionary."""
+        from repro.io.configs import config_to_dict
+
+        return config_to_dict(self.config)
+
+    @property
+    def strategy(self) -> TrainingStrategy:
+        """The training strategy implementing ``config.mode`` (lazily resolved)."""
+        if self._strategy is None or self._strategy.name != self.config.mode:
+            self._strategy = registry_mod.build("strategy", self.config.mode)
+        return self._strategy
 
     # ------------------------------------------------------------------ stages
     def _build_text_stack(self, dataset: ColocationDataset) -> None:
@@ -106,27 +137,11 @@ class CoLocationPipeline:
             min_tokens=4,
         )
 
-    def _build_models(self, dataset: ColocationDataset) -> None:
+    def _build_featurizer(self, dataset: ColocationDataset) -> HisRectFeaturizer:
         cfg = self.config
-        registry = dataset.registry
         vectorizer = self.vectorizer if cfg.hisrect.use_content else None
-        self.featurizer = HisRectFeaturizer(registry, vectorizer, cfg.hisrect)
-        self.classifier = POIClassifier(
-            feature_dim=cfg.hisrect.feature_dim,
-            num_pois=len(registry),
-            num_layers=cfg.classifier_layers,
-            keep_prob=cfg.hisrect.keep_prob,
-            init_std=cfg.hisrect.init_std,
-            seed=cfg.seed + 1,
-        )
-        self.embedding = EmbeddingNetwork(
-            input_dim=cfg.hisrect.feature_dim,
-            embedding_dim=cfg.hisrect.embedding_dim,
-            num_layers=cfg.hisrect.num_embedding_layers,
-            normalize=True,
-            init_std=cfg.hisrect.init_std,
-            seed=cfg.seed + 2,
-        )
+        self.featurizer = HisRectFeaturizer(dataset.registry, vectorizer, cfg.hisrect)
+        return self.featurizer
 
     # --------------------------------------------------------------------- fit
     def fit(self, dataset: ColocationDataset) -> "CoLocationPipeline":
@@ -134,28 +149,8 @@ class CoLocationPipeline:
         self._dataset = dataset
         if self.config.hisrect.use_content:
             self._build_text_stack(dataset)
-        self._build_models(dataset)
-        assert self.featurizer is not None
-
-        train = dataset.train
-        if self.config.mode == "one-phase":
-            self.onephase = OnePhaseModel(self.featurizer, self.config.onephase)
-            self.onephase.fit(train.labeled_pairs)
-        else:
-            assert self.classifier is not None and self.embedding is not None
-            trainer = SemiSupervisedHisRectTrainer(
-                self.featurizer,
-                self.classifier,
-                self.embedding,
-                dataset.registry,
-                config=self.config.ssl,
-                affinity_config=self.config.affinity,
-            )
-            self.ssl_history = trainer.train(
-                train.labeled_profiles, train.labeled_pairs, train.unlabeled_pairs
-            )
-            self.judge = HisRectCoLocationJudge(self.featurizer, self.config.judge)
-            self.judge.fit(train.labeled_pairs)
+        self._build_featurizer(dataset)
+        self.strategy.fit(self, dataset)
         self._fitted = True
         return self
 
@@ -163,60 +158,97 @@ class CoLocationPipeline:
         if not self._fitted:
             raise NotFittedError("CoLocationPipeline.fit() has not been called")
 
+    def _require_featurizer(self) -> HisRectFeaturizer:
+        self._require_fitted()
+        if self.featurizer is None:
+            raise NotFittedError("the pipeline has no trained featurizer")
+        return self.featurizer
+
+    def _require_capability(self, capability: str, question: str) -> None:
+        if not self.strategy.supports(capability):
+            raise ConfigurationError(
+                f"{question} requires the two-phase pipeline (mode is {self.config.mode!r})"
+            )
+
+    def _judge_model(self):
+        """The fitted judge-like model behind this pipeline's strategy."""
+        self._require_fitted()
+        return self.strategy.fitted_judge(self)
+
     # ------------------------------------------------------------- co-location
     def predict_proba(self, pairs: list[Pair]) -> np.ndarray:
         """Co-location probability per pair."""
-        self._require_fitted()
-        if self.config.mode == "one-phase":
-            assert self.onephase is not None
-            return self.onephase.predict_proba(pairs)
-        assert self.judge is not None
-        return self.judge.predict_proba(pairs)
+        return self._judge_model().predict_proba(pairs)
 
     def predict(self, pairs: list[Pair]) -> np.ndarray:
         """Binary co-location decisions (1 = same POI within Δt)."""
-        self._require_fitted()
-        if self.config.mode == "one-phase":
-            assert self.onephase is not None
-            return self.onephase.predict(pairs)
-        assert self.judge is not None
-        return self.judge.predict(pairs)
+        return self._judge_model().predict(pairs)
 
     def probability_matrix(self, profiles: list[Profile]) -> np.ndarray:
         """Pairwise co-location probability matrix for a group of profiles."""
         self._require_fitted()
-        if self.config.mode == "one-phase":
-            raise ConfigurationError("probability_matrix requires the two-phase pipeline")
-        assert self.judge is not None
-        return self.judge.probability_matrix(profiles)
+        self._require_capability(PROBABILITY_MATRIX, "probability_matrix")
+        return self._judge_model().probability_matrix(profiles)
+
+    # --------------------------------------------------------- feature scoring
+    def featurize_profiles(self, profiles: list[Profile]) -> np.ndarray:
+        """Frozen HisRect feature rows for profiles (uncached, chunked)."""
+        return self._judge_model().featurize_profiles(profiles)
+
+    def score_feature_pairs(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """Co-location probabilities from two aligned feature matrices."""
+        return self._judge_model().score_feature_pairs(left, right)
+
+    @property
+    def decision_threshold(self) -> float:
+        """The probability threshold behind :meth:`predict`."""
+        model = self._judge_model()
+        return float(getattr(model, "decision_threshold", 0.5))
 
     # ------------------------------------------------------------ POI inference
     def infer_poi_proba(self, profiles: list[Profile]) -> np.ndarray:
         """POI probability distributions (dense registry order) per profile."""
         self._require_fitted()
-        if self.config.mode == "one-phase" or self.classifier is None or self.featurizer is None:
-            raise ConfigurationError("POI inference requires the two-phase pipeline")
-        features = self.featurizer.featurize(profiles)
+        self._require_capability(POI_INFERENCE, "POI inference")
+        if self.classifier is None:
+            raise NotFittedError("the pipeline has no trained POI classifier")
+        features = self._require_featurizer().featurize(profiles)
         return self.classifier.predict_proba(features)
 
     def infer_poi(self, profiles: list[Profile]) -> list[int]:
         """Hard POI (pid) predictions per profile."""
-        self._require_fitted()
-        assert self.featurizer is not None
         proba = self.infer_poi_proba(profiles)
-        registry = self.featurizer.registry
+        registry = self._require_featurizer().registry
         return [registry.pid_at(int(i)) for i in proba.argmax(axis=1)]
 
     # ----------------------------------------------------------------- features
     def features(self, profiles: list[Profile]) -> np.ndarray:
         """Frozen HisRect feature vectors (e.g. for the t-SNE visualisation)."""
-        self._require_fitted()
-        assert self.featurizer is not None
-        return self.featurizer.featurize(profiles)
+        return self._require_featurizer().featurize(profiles)
 
     def comp2loc(self) -> Comp2LocJudge:
         """A Comp2Loc judge sharing this pipeline's featurizer and classifier."""
         self._require_fitted()
-        if self.config.mode == "one-phase" or self.classifier is None or self.featurizer is None:
-            raise ConfigurationError("Comp2Loc requires the two-phase pipeline")
-        return Comp2LocJudge(self.featurizer, self.classifier)
+        self._require_capability(COMP2LOC, "Comp2Loc")
+        if self.classifier is None:
+            raise NotFittedError("the pipeline has no trained POI classifier")
+        return Comp2LocJudge(self._require_featurizer(), self.classifier)
+
+
+def _deprecated_modes(qualname: str) -> tuple[str, ...]:
+    """Shared body of the ``MODES`` deprecation shims (here and the package)."""
+    import warnings
+
+    warnings.warn(
+        f"{qualname}.MODES is deprecated; use "
+        'repro.registry.names("strategy") or repro.colocation.training_modes() instead',
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return training_modes()
+
+
+def __getattr__(name: str):
+    if name == "MODES":
+        return _deprecated_modes(__name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,88 @@
+"""Concrete training strategies for the co-location pipeline.
+
+Each pipeline ``mode`` is one :class:`repro.core.TrainingStrategy` registered
+under the ``"strategy"`` registry kind:
+
+* ``"two-phase"`` — the paper's HisRect regime: train the featurizer with the
+  semi-supervised framework (Section 4.4), then the judge ``E'`` + ``C`` on
+  labelled pairs with the featurizer frozen (Section 5).
+* ``"one-phase"`` — the end-to-end baseline: featurizer and judge trained
+  jointly on the pair loss only.
+
+The strategies own the mode-specific model construction too, so the pipeline
+no longer builds a POI classifier it will never train in one-phase mode.
+"""
+
+from __future__ import annotations
+
+from repro.colocation.judge import HisRectCoLocationJudge
+from repro.colocation.onephase import OnePhaseModel
+from repro.core.strategy import COMP2LOC, POI_INFERENCE, PROBABILITY_MATRIX, TrainingStrategy
+from repro.errors import NotFittedError
+from repro.features.hisrect import EmbeddingNetwork, POIClassifier
+from repro.registry import register
+from repro.ssl.trainer import SemiSupervisedHisRectTrainer
+
+
+@register("strategy", "two-phase", description="SSL featurizer training, then a frozen-feature judge (HisRect)")
+class TwoPhaseStrategy(TrainingStrategy):
+    """Phase one trains ``F`` + ``P`` + ``E``; phase two trains ``E'`` + ``C``."""
+
+    name = "two-phase"
+    capabilities = frozenset({POI_INFERENCE, PROBABILITY_MATRIX, COMP2LOC})
+
+    def fit(self, pipeline, dataset) -> None:
+        cfg = pipeline.config
+        registry = dataset.registry
+        pipeline.classifier = POIClassifier(
+            feature_dim=cfg.hisrect.feature_dim,
+            num_pois=len(registry),
+            num_layers=cfg.classifier_layers,
+            keep_prob=cfg.hisrect.keep_prob,
+            init_std=cfg.hisrect.init_std,
+            seed=cfg.seed + 1,
+        )
+        pipeline.embedding = EmbeddingNetwork(
+            input_dim=cfg.hisrect.feature_dim,
+            embedding_dim=cfg.hisrect.embedding_dim,
+            num_layers=cfg.hisrect.num_embedding_layers,
+            normalize=True,
+            init_std=cfg.hisrect.init_std,
+            seed=cfg.seed + 2,
+        )
+        train = dataset.train
+        trainer = SemiSupervisedHisRectTrainer(
+            pipeline.featurizer,
+            pipeline.classifier,
+            pipeline.embedding,
+            registry,
+            config=cfg.ssl,
+            affinity_config=cfg.affinity,
+        )
+        pipeline.ssl_history = trainer.train(
+            train.labeled_profiles, train.labeled_pairs, train.unlabeled_pairs
+        )
+        pipeline.judge = HisRectCoLocationJudge(pipeline.featurizer, cfg.judge)
+        pipeline.judge.fit(train.labeled_pairs)
+
+    def fitted_judge(self, pipeline):
+        if pipeline.judge is None:
+            raise NotFittedError("the two-phase pipeline has no trained judge; call fit() first")
+        return pipeline.judge
+
+
+@register("strategy", "one-phase", description="featurizer and judge trained end-to-end on the pair loss")
+class OnePhaseStrategy(TrainingStrategy):
+    """Joint training of ``F``, ``E'`` and ``C`` on ``L_co`` alone."""
+
+    name = "one-phase"
+    capabilities = frozenset()
+
+    def fit(self, pipeline, dataset) -> None:
+        pipeline.onephase = OnePhaseModel(pipeline.featurizer, pipeline.config.onephase)
+        pipeline.onephase.fit(dataset.train.labeled_pairs)
+
+    def fitted_judge(self, pipeline):
+        if pipeline.onephase is None:
+            raise NotFittedError("the one-phase pipeline has no trained model; call fit() first")
+        return pipeline.onephase

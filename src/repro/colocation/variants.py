@@ -1,0 +1,167 @@
+"""Registry entries for every pipeline-backed co-location approach.
+
+The paper's Table 3 approaches are mostly configuration variants of one
+:class:`repro.colocation.CoLocationPipeline`; this module registers each of
+them under the ``"judge"`` registry kind so they can be built from a plain
+configuration dictionary::
+
+    import repro.registry as registry
+
+    approach = registry.build("judge", "history-only", config_dict)
+    approach.fit(dataset)
+
+The configuration dictionary is a serialised
+:class:`repro.colocation.PipelineConfig` (see
+:func:`repro.io.configs.config_to_dict`); the variant factory then forces the
+fields that define the variant (feature selection, history encoding, content
+encoder or training mode).  Feature-level variants delegate to the
+``"featurizer"`` registry kind so the two layers cannot drift apart.
+
+``Comp2Loc`` is the odd one out — it is derived from a *trained* two-phase
+pipeline — so it gets a small :class:`Comp2LocApproach` wrapper that either
+trains its own pipeline or shares an existing one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any
+
+import numpy as np
+
+import repro.registry as registry_mod
+from repro.colocation.comp2loc import Comp2LocJudge
+from repro.colocation.pipeline import CoLocationPipeline, PipelineConfig
+from repro.data.dataset import ColocationDataset
+from repro.data.records import Pair, Profile
+from repro.errors import ConfigurationError, NotFittedError
+from repro.registry import register
+
+#: Judge variants that are pure pipeline configurations, keyed by registry
+#: name: ``(featurizer-variant name or None, pipeline mode)``.
+PIPELINE_VARIANTS: dict[str, tuple[str | None, str]] = {
+    "hisrect": (None, "two-phase"),
+    "hisrect-sl": (None, "two-phase"),
+    "history-only": ("history-only", "two-phase"),
+    "tweet-only": ("tweet-only", "two-phase"),
+    "one-hot": ("one-hot", "two-phase"),
+    "blstm": ("blstm", "two-phase"),
+    "convlstm": ("convlstm", "two-phase"),
+    "one-phase": (None, "one-phase"),
+}
+
+
+def variant_pipeline_config(name: str, base: PipelineConfig) -> PipelineConfig:
+    """Adjust a base pipeline configuration to implement a named variant."""
+    if name not in PIPELINE_VARIANTS:
+        raise ConfigurationError(
+            f"{name!r} is not a pipeline-based approach; choose from {sorted(PIPELINE_VARIANTS)}"
+        )
+    featurizer_variant, mode = PIPELINE_VARIANTS[name]
+    config = replace(base, mode=mode)
+    if featurizer_variant is not None:
+        from repro.io.configs import config_to_dict
+
+        hisrect = registry_mod.build(
+            "featurizer", featurizer_variant, config_to_dict(config.hisrect)
+        )
+        config = replace(config, hisrect=hisrect)
+    if name == "hisrect-sl":
+        config = replace(config, ssl=replace(config.ssl, use_unlabeled=False))
+    return config
+
+
+def _register_pipeline_variant(name: str, description: str) -> None:
+    def factory(config: dict[str, Any] | None = None) -> CoLocationPipeline:
+        from repro.io.configs import config_from_dict
+
+        base = config_from_dict(PipelineConfig, config or {})
+        return CoLocationPipeline(variant_pipeline_config(name, base))
+
+    register("judge", name, factory=factory, description=description)
+
+
+_register_pipeline_variant("hisrect", "the paper's full two-phase HisRect approach")
+_register_pipeline_variant("hisrect-sl", "HisRect without the unsupervised SSL loss")
+_register_pipeline_variant("history-only", "HisRect on the historical-visit feature only")
+_register_pipeline_variant("tweet-only", "HisRect on the recent-tweet content feature only")
+_register_pipeline_variant("one-hot", "HisRect with one-hot (untimed) history encoding")
+_register_pipeline_variant("blstm", "HisRect with the plain BLSTM content encoder")
+_register_pipeline_variant("convlstm", "HisRect with the ConvLSTM content encoder")
+_register_pipeline_variant("one-phase", "featurizer and judge trained end-to-end on the pair loss")
+
+
+@register("judge", "comp2loc", description="naive infer-both-POIs-and-compare judge on HisRect features")
+class Comp2LocApproach:
+    """Trainable wrapper producing a :class:`Comp2LocJudge` from a dataset.
+
+    Comp2Loc reuses the POI classifier trained alongside the HisRect
+    featurizer, so fitting either trains a fresh two-phase pipeline or — via
+    :meth:`from_pipeline` — shares one that is already trained.
+    """
+
+    def __init__(self, config: PipelineConfig | None = None):
+        self.config = variant_pipeline_config("hisrect", config or PipelineConfig())
+        self.pipeline: CoLocationPipeline | None = None
+        self.model: Comp2LocJudge | None = None
+
+    @classmethod
+    def from_config(cls, config: dict[str, Any] | None = None) -> "Comp2LocApproach":
+        from repro.io.configs import config_from_dict
+
+        return cls(config_from_dict(PipelineConfig, config or {}))
+
+    def to_config(self) -> dict[str, Any]:
+        from repro.io.configs import config_to_dict
+
+        return config_to_dict(self.config)
+
+    @classmethod
+    def from_pipeline(cls, pipeline: CoLocationPipeline) -> "Comp2LocApproach":
+        """Share an already-trained two-phase pipeline instead of refitting."""
+        approach = cls(pipeline.config)
+        approach.pipeline = pipeline
+        approach.model = pipeline.comp2loc()
+        return approach
+
+    # ---------------------------------------------------------------- training
+    def fit(self, dataset: ColocationDataset) -> "Comp2LocApproach":
+        """Train the backing two-phase pipeline and derive the judge."""
+        if self.model is None:
+            self.pipeline = CoLocationPipeline(self.config).fit(dataset)
+            self.model = self.pipeline.comp2loc()
+        return self
+
+    def _require_model(self) -> Comp2LocJudge:
+        if self.model is None:
+            raise NotFittedError("Comp2LocApproach.fit() has not been called")
+        return self.model
+
+    # --------------------------------------------------------------- judgement
+    def predict_proba(self, pairs: list[Pair]) -> np.ndarray:
+        return self._require_model().predict_proba(pairs)
+
+    def predict(self, pairs: list[Pair]) -> np.ndarray:
+        return self._require_model().predict(pairs)
+
+    def probability_matrix(self, profiles: list[Profile]) -> np.ndarray:
+        return self._require_model().probability_matrix(profiles)
+
+    def featurize_profiles(self, profiles: list[Profile]) -> np.ndarray:
+        return self._require_model().featurize_profiles(profiles)
+
+    def score_feature_pairs(self, left, right) -> np.ndarray:
+        return self._require_model().score_feature_pairs(left, right)
+
+    def decide_feature_pairs(self, left, right) -> np.ndarray:
+        return self._require_model().decide_feature_pairs(left, right)
+
+    # ------------------------------------------------------------ POI inference
+    def infer_poi(self, profiles: list[Profile]) -> list[int]:
+        return self._require_model().infer_poi(profiles)
+
+    def infer_poi_indices(self, profiles: list[Profile]) -> np.ndarray:
+        return self._require_model().infer_poi_indices(profiles)
+
+    def predict_proba_profiles(self, profiles: list[Profile]) -> np.ndarray:
+        return self._require_model().predict_proba_profiles(profiles)

@@ -1,0 +1,50 @@
+"""The training-strategy abstraction behind ``CoLocationPipeline.fit``.
+
+The pipeline used to branch on ``config.mode`` with bare ``assert`` guards.
+Each mode is now a :class:`TrainingStrategy` registered under the
+``"strategy"`` registry kind; the pipeline resolves its strategy by name and
+delegates training, judge access and capability checks to it.  Adding a new
+training regime means registering a new strategy, not editing the pipeline.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.colocation.pipeline import CoLocationPipeline
+    from repro.data.dataset import ColocationDataset
+
+#: Capability names a strategy may advertise.
+POI_INFERENCE = "poi-inference"
+PROBABILITY_MATRIX = "probability-matrix"
+COMP2LOC = "comp2loc"
+
+
+class TrainingStrategy(abc.ABC):
+    """How one pipeline mode trains and which questions it can answer."""
+
+    #: Registry name of the strategy (equals ``PipelineConfig.mode``).
+    name: str = ""
+    #: Capabilities of a pipeline trained with this strategy.
+    capabilities: frozenset[str] = frozenset()
+
+    @abc.abstractmethod
+    def fit(self, pipeline: "CoLocationPipeline", dataset: "ColocationDataset") -> None:
+        """Train the mode-specific components onto ``pipeline`` in place.
+
+        The pipeline has already built its shared pieces (text stack and
+        featurizer); the strategy owns everything after that.
+        """
+
+    @abc.abstractmethod
+    def fitted_judge(self, pipeline: "CoLocationPipeline"):
+        """The pipeline's trained judge-like model, or ``None`` before fit."""
+
+    def supports(self, capability: str) -> bool:
+        """True when pipelines trained with this strategy offer ``capability``."""
+        return capability in self.capabilities
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -258,15 +258,55 @@ def lv_like_dataset_config(scale: float = 1.0, seed: int = 11) -> DatasetConfig:
     )
 
 
-def tiny_dataset_config(seed: int = 5) -> DatasetConfig:
-    """A deliberately small preset used by unit tests."""
+def tiny_dataset_config(seed: int = 5, scale: float = 1.0) -> DatasetConfig:
+    """A deliberately small preset used by unit tests.
+
+    ``scale`` multiplies the user count (floor 12) so the CLI's ``--scale``
+    flag means the same thing on every preset; the default reproduces the
+    historical 30-user dataset exactly.
+    """
     base = nyc_like_dataset_config(scale=0.3, seed=seed)
+    num_users = max(12, int(round(30 * scale)))
     return replace(
         base,
         timelines=TimelineConfig(
-            num_users=30, num_days=7, slots_per_day=3, seed=seed + 1, geotag_probability=0.7
+            num_users=num_users, num_days=7, slots_per_day=3, seed=seed + 1, geotag_probability=0.7
         ),
         pairs=PairBuilderConfig(
             delta_t=HOUR_SECONDS, max_negative_pairs=2_000, max_unlabeled_pairs=2_000, seed=seed + 3
         ),
     )
+
+
+def _register_dataset_presets() -> None:
+    """Register the synthetic dataset presets under the ``"preset"`` kind.
+
+    ``repro.registry.build("preset", name, {"scale": 0.5, "seed": 7})``
+    returns the corresponding :class:`DatasetConfig`, ready for
+    :func:`build_dataset`.
+    """
+    from repro.registry import register
+
+    presets = {
+        "nyc": (nyc_like_dataset_config, "NYC-like synthetic city (paper's larger dataset)"),
+        "lv": (lv_like_dataset_config, "LV-like synthetic city (fewer POIs and users)"),
+        "tiny": (tiny_dataset_config, "deliberately small preset used by unit tests"),
+    }
+
+    def make_factory(builder):
+        def factory(config: dict | None = None) -> DatasetConfig:
+            # Unknown keys are dropped, matching config_from_dict's tolerance
+            # (e.g. the tiny preset has no `scale` knob).
+            import inspect
+
+            accepted = inspect.signature(builder).parameters
+            kwargs = {k: v for k, v in (config or {}).items() if k in accepted}
+            return builder(**kwargs)
+
+        return factory
+
+    for name, (builder, description) in presets.items():
+        register("preset", name, factory=make_factory(builder), description=description)
+
+
+_register_dataset_presets()

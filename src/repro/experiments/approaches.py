@@ -1,23 +1,35 @@
-"""The eleven co-location approaches of Table 3, built from one factory.
+"""The eleven co-location approaches of Table 3, built through the registry.
 
 Every approach exposes ``predict(pairs)`` and ``predict_proba(pairs)``; the
 non-naive ones also expose ``infer_poi_proba(profiles)`` (POI inference,
 Figure 4) and, for the feature-first ones, ``probability_matrix(profiles)``
-(clustering, Table 8).  :class:`ApproachSuite` trains approaches lazily and
-caches them, so experiments that share a trained model (Table 4, Figure 2,
+(clustering, Table 8).  The Table 3 names map one-to-one onto ``"judge"``
+registry entries (``registry_name_for``), so :class:`ApproachSuite` builds
+each approach from a plain configuration dictionary via
+``repro.registry.build`` instead of hand-wired imports, trains it lazily and
+caches it — experiments that share a trained model (Table 4, Figure 2,
 Figure 4, Table 8, ...) never retrain it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
-from repro.baselines import NGramGaussBaseline, TGTICBaseline
-from repro.colocation import CoLocationPipeline, JudgeConfig, OnePhaseConfig, PipelineConfig
+import repro.registry as registry_mod
+from repro.colocation import (
+    Comp2LocApproach,
+    CoLocationPipeline,
+    JudgeConfig,
+    OnePhaseConfig,
+    PipelineConfig,
+    variant_pipeline_config,
+)
+from repro.colocation.variants import PIPELINE_VARIANTS
 from repro.data.dataset import ColocationDataset
 from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentScale, resolve_scale
 from repro.features import HisRectConfig
+from repro.io.configs import config_to_dict
 from repro.ssl import SSLTrainingConfig
 from repro.text.skipgram import SkipGramConfig
 
@@ -113,29 +125,19 @@ def base_pipeline_config(scale: ExperimentScale, seed: int = 97) -> PipelineConf
     )
 
 
+def registry_name_for(name: str) -> str:
+    """The ``"judge"`` registry name implementing a Table 3 approach."""
+    if name not in APPROACH_NAMES:
+        raise ConfigurationError(f"unknown approach {name!r}; choose from {APPROACH_NAMES}")
+    return name.lower()
+
+
 def pipeline_config_for(name: str, scale: ExperimentScale, seed: int = 97) -> PipelineConfig:
     """The pipeline configuration implementing a neural Table 3 approach."""
     config = base_pipeline_config(scale, seed=seed)
-    hisrect = config.hisrect
-    if name in ("HisRect", "Comp2Loc"):
-        pass
-    elif name == "HisRect-SL":
-        config = replace(config, ssl=replace(config.ssl, use_unlabeled=False))
-    elif name == "History-only":
-        hisrect = replace(hisrect, use_content=False)
-    elif name == "Tweet-only":
-        hisrect = replace(hisrect, use_history=False)
-    elif name == "One-hot":
-        hisrect = replace(hisrect, history_encoding="onehot")
-    elif name == "BLSTM":
-        hisrect = replace(hisrect, content_encoder="blstm")
-    elif name == "ConvLSTM":
-        hisrect = replace(hisrect, content_encoder="convlstm")
-    elif name == "One-phase":
-        config = replace(config, mode="one-phase")
-    else:
-        raise ConfigurationError(f"{name!r} is not a pipeline-based approach")
-    return replace(config, hisrect=hisrect)
+    # Comp2Loc rides on the plain two-phase HisRect pipeline.
+    variant = "hisrect" if name == "Comp2Loc" else name.lower()
+    return variant_pipeline_config(variant, config)
 
 
 class ApproachSuite:
@@ -165,17 +167,17 @@ class ApproachSuite:
         return self._cache[name]
 
     def _build(self, name: str):
-        train_profiles = self.dataset.train.labeled_profiles
-        if name == "TG-TI-C":
-            return TGTICBaseline(self.dataset.registry).fit(train_profiles)
-        if name == "N-Gram-Gauss":
-            return NGramGaussBaseline(self.dataset.registry).fit(train_profiles)
         if name == "Comp2Loc":
             # Comp2Loc shares the HisRect featurizer and POI classifier.
             hisrect: CoLocationPipeline = self.get("HisRect")  # type: ignore[assignment]
-            return hisrect.comp2loc()
-        config = pipeline_config_for(name, self.scale, seed=self.seed)
-        return CoLocationPipeline(config).fit(self.dataset)
+            return Comp2LocApproach.from_pipeline(hisrect)
+        key = registry_name_for(name)
+        if key in PIPELINE_VARIANTS:
+            config = config_to_dict(base_pipeline_config(self.scale, seed=self.seed))
+        else:
+            config = None  # Baselines run with their published defaults.
+        approach = registry_mod.build("judge", key, config)
+        return approach.fit(self.dataset)
 
     def trained_names(self) -> list[str]:
         """Approaches already trained (for reporting/caching diagnostics)."""

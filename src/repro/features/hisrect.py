@@ -78,6 +78,41 @@ class HisRectConfig:
             raise ConfigurationError("layer counts must be >= 1")
 
 
+def _register_featurizer_variants() -> None:
+    """Register the paper's featurizer ablations under the ``"featurizer"`` kind.
+
+    Each factory maps a serialised :class:`HisRectConfig` dictionary to a
+    config with the variant-defining fields forced, so a judge variant and its
+    featurizer variant can never drift apart.
+    """
+    from repro.registry import register
+
+    variants: dict[str, tuple[str, dict[str, object]]] = {
+        "hisrect": ("the full HisRect featurizer (history + content)", {}),
+        "history-only": ("historical-visit feature only", {"use_content": False}),
+        "tweet-only": ("recent-tweet content feature only", {"use_history": False}),
+        "one-hot": ("one-hot (untimed) history encoding", {"history_encoding": "onehot"}),
+        "blstm": ("plain BLSTM content encoder", {"content_encoder": "blstm"}),
+        "convlstm": ("ConvLSTM content encoder", {"content_encoder": "convlstm"}),
+    }
+
+    def make_factory(overrides: dict[str, object]):
+        def factory(config: dict | None = None) -> HisRectConfig:
+            from dataclasses import replace
+
+            from repro.io.configs import config_from_dict
+
+            return replace(config_from_dict(HisRectConfig, config or {}), **overrides)
+
+        return factory
+
+    for name, (description, overrides) in variants.items():
+        register("featurizer", name, factory=make_factory(overrides), description=description)
+
+
+_register_featurizer_variants()
+
+
 class HisRectFeaturizer(Module):
     """The HisRect featurizer ``F`` (paper Sections 4.1-4.3)."""
 

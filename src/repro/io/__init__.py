@@ -17,7 +17,7 @@
 from repro.io.city import city_from_dict, city_to_dict, load_city, save_city
 from repro.io.configs import config_from_dict, config_to_dict
 from repro.io.datasets import load_dataset, save_dataset
-from repro.io.pipeline import load_pipeline, save_pipeline
+from repro.io.pipeline import load_engine, load_pipeline, save_pipeline
 from repro.io.social import (
     load_social_graph,
     save_social_graph,
@@ -58,6 +58,7 @@ __all__ = [
     "load_dataset",
     "save_pipeline",
     "load_pipeline",
+    "load_engine",
     "social_graph_to_dict",
     "social_graph_from_dict",
     "save_social_graph",

@@ -32,15 +32,31 @@ def poi_to_dict(poi: POI) -> dict[str, Any]:
 
 
 def poi_from_dict(data: dict[str, Any]) -> POI:
-    """Rebuild a POI from :func:`poi_to_dict` output."""
+    """Rebuild a POI from :func:`poi_to_dict` output.
+
+    The saved ``center`` is restored verbatim when present (recomputing the
+    centroid from the polygon perturbs the last float bits, which would break
+    bitwise round-trips of pipelines whose features depend on POI centers);
+    hand-written records without a center fall back to the centroid.
+    """
     try:
         polygon = BoundingPolygon.from_latlon_pairs([(float(lat), float(lon)) for lat, lon in data["polygon"]])
-        poi = POI.from_polygon(
-            pid=int(data["pid"]),
-            name=str(data.get("name", f"poi_{data['pid']}")),
-            polygon=polygon,
-            category=str(data.get("category", "generic")),
-        )
+        pid = int(data["pid"])
+        name = str(data.get("name", f"poi_{data['pid']}"))
+        category = str(data.get("category", "generic"))
+        center = data.get("center")
+        if center is not None:
+            from repro.geo.point import GeoPoint
+
+            poi = POI(
+                pid=pid,
+                name=name,
+                polygon=polygon,
+                center=GeoPoint(float(center[0]), float(center[1])),
+                category=category,
+            )
+        else:
+            poi = POI.from_polygon(pid=pid, name=name, polygon=polygon, category=category)
     except (KeyError, TypeError, ValueError, GeometryError) as exc:
         raise DataGenerationError(f"invalid POI record: {data!r}") from exc
     return poi

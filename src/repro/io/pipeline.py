@@ -202,3 +202,15 @@ def load_pipeline(directory: str | pathlib.Path) -> CoLocationPipeline:
 
     pipeline._fitted = True
     return pipeline
+
+
+def load_engine(directory: str | pathlib.Path, **engine_kwargs):
+    """Load a saved pipeline and wrap it in a :class:`repro.api.ColocationEngine`.
+
+    The one-call path from a ``save_pipeline`` directory to a serving-ready
+    engine; ``engine_kwargs`` are forwarded to the engine constructor
+    (``cache_size``, ``threshold``, ``batch_size``).
+    """
+    from repro.api import ColocationEngine
+
+    return ColocationEngine(load_pipeline(directory), **engine_kwargs)

@@ -1,0 +1,164 @@
+"""A string-keyed component registry for judges, baselines, featurizers and presets.
+
+Components self-register at import time under a ``(kind, name)`` key together
+with a ``from_config(dict)`` factory, so callers build them from plain
+configuration dictionaries instead of hand-wired imports::
+
+    import repro.registry as registry
+
+    approach = registry.build("judge", "one-phase", {"seed": 7})
+    judge = approach.fit(dataset)            # TrainableApproach protocol
+    preset = registry.build("preset", "nyc", {"scale": 0.5})
+
+Kinds in use:
+
+* ``"judge"`` — trainable co-location approaches (``fit(dataset)`` plus the
+  :class:`repro.core.CoLocationJudge` protocol): the HisRect pipeline and its
+  feature ablations, One-phase, Comp2Loc, the social judge and both
+  location-inference baselines.
+* ``"baseline"`` — the naive location-inference baselines on their own.
+* ``"featurizer"`` — HisRect featurizer variants, mapping a config dict to a
+  variant-adjusted :class:`repro.features.HisRectConfig`.
+* ``"preset"`` — synthetic dataset presets producing a ``DatasetConfig``.
+* ``"strategy"`` — pipeline training strategies (two-phase / one-phase).
+
+Registration happens in the component's own module; the registry lazily
+imports the provider modules on first query so ``repro.registry`` stays
+import-light.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+
+#: Modules whose import populates the registry (self-registration).
+_PROVIDER_MODULES = (
+    "repro.data.dataset",
+    "repro.features.hisrect",
+    "repro.baselines",
+    "repro.colocation.strategies",
+    "repro.colocation.variants",
+    "repro.social.judge",
+)
+
+_bootstrapped = False
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One registered component: its key, factory and documentation."""
+
+    kind: str
+    name: str
+    factory: Callable[[dict[str, Any] | None], Any] = field(repr=False)
+    description: str = ""
+
+
+_components: dict[str, dict[str, ComponentSpec]] = {}
+
+
+def _bootstrap() -> None:
+    """Import every provider module once so components self-register."""
+    global _bootstrapped
+    if _bootstrapped:
+        return
+    # Set the flag first: provider imports may query the registry themselves
+    # (e.g. PipelineConfig validation), which must not recurse into bootstrap.
+    _bootstrapped = True
+    try:
+        for module in _PROVIDER_MODULES:
+            importlib.import_module(module)
+    except BaseException:
+        # A failed provider import must not leave the registry silently
+        # half-populated for the rest of the process.
+        _bootstrapped = False
+        raise
+
+
+def register(
+    kind: str,
+    name: str,
+    *,
+    factory: Callable[[dict[str, Any] | None], Any] | None = None,
+    description: str = "",
+):
+    """Register a component under ``(kind, name)``.
+
+    Use as a decorator on a factory function or on a class exposing a
+    ``from_config(dict)`` classmethod, or call directly with ``factory=``.
+    Returns the decorated object unchanged.
+    """
+
+    def _register(target):
+        if factory is not None:
+            built = factory
+        elif isinstance(target, type) and hasattr(target, "from_config"):
+            built = target.from_config
+        elif isinstance(target, type):
+            built = lambda config=None: target(**(config or {}))  # noqa: E731
+        else:
+            built = target
+        bucket = _components.setdefault(kind, {})
+        if name in bucket:
+            raise ConfigurationError(f"{kind}/{name} is already registered")
+        bucket[name] = ComponentSpec(kind=kind, name=name, factory=built, description=description)
+        return target
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def build(kind: str, name: str, config: dict[str, Any] | None = None) -> Any:
+    """Construct the component registered under ``(kind, name)``.
+
+    ``config`` is the component's plain-dict configuration (see
+    :func:`repro.io.configs.config_from_dict`); ``None`` means defaults.
+    """
+    return spec(kind, name).factory(config)
+
+
+def spec(kind: str, name: str) -> ComponentSpec:
+    """The :class:`ComponentSpec` for ``(kind, name)``; raises when unknown."""
+    _bootstrap()
+    bucket = _components.get(kind)
+    if not bucket:
+        raise ConfigurationError(f"unknown component kind {kind!r}; choose from {kinds()}")
+    if name not in bucket:
+        raise ConfigurationError(
+            f"unknown {kind} {name!r}; choose from {names(kind)}"
+        )
+    return bucket[name]
+
+
+def names(kind: str) -> tuple[str, ...]:
+    """All registered names under a kind, sorted."""
+    _bootstrap()
+    return tuple(sorted(_components.get(kind, {})))
+
+
+def kinds() -> tuple[str, ...]:
+    """All registered component kinds, sorted."""
+    _bootstrap()
+    return tuple(sorted(_components))
+
+
+def is_registered(kind: str, name: str) -> bool:
+    """True when ``(kind, name)`` names a registered component."""
+    _bootstrap()
+    return name in _components.get(kind, {})
+
+
+__all__ = [
+    "ComponentSpec",
+    "register",
+    "build",
+    "spec",
+    "names",
+    "kinds",
+    "is_registered",
+]

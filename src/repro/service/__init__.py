@@ -1,14 +1,19 @@
-"""Online co-location services built on a fitted judge.
+"""Online co-location services built on a :class:`repro.api.ColocationEngine`.
 
 The paper motivates co-location judgement with online applications — friends
 notification, local people recommendation, community detection, followship
 measurement — and reports (Section 6.4.4) that once trained, profile
 construction and judgement run in about a millisecond, so the model "can work
-in online scenarios".  This package provides that application layer:
+in online scenarios".  This package provides that application layer.  Every
+application takes a :class:`repro.api.ColocationEngine` (raw fitted judges
+are wrapped automatically), so profile features are cached across services
+sharing an engine:
 
 * :class:`repro.service.stream.OnlineProfileBuilder` — turns a live tweet
   stream into :class:`Profile` objects, maintaining each user's visit history
   incrementally.
+* :class:`repro.service.stream.StreamScorer` — builder + sliding window +
+  engine: tweets in, scored candidate pairs out.
 * :class:`repro.service.pairing.SlidingPairWindow` — keeps the profiles seen
   in the last Δt seconds and enumerates candidate pairs for each new profile.
 * :class:`repro.service.notification.FriendsNotificationService` — the
@@ -31,10 +36,12 @@ from repro.service.recommendation import (
     Recommendation,
     evaluate_recommender,
 )
-from repro.service.stream import OnlineProfileBuilder
+from repro.service.stream import OnlineProfileBuilder, ScoredPair, StreamScorer
 
 __all__ = [
     "OnlineProfileBuilder",
+    "StreamScorer",
+    "ScoredPair",
     "SlidingPairWindow",
     "FriendsNotificationService",
     "Notification",

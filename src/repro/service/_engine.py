@@ -1,0 +1,31 @@
+"""Shared engine plumbing of the service layer.
+
+Every application takes a :class:`repro.api.ColocationEngine` as its first
+argument; raw fitted judges are still accepted (and wrapped on the fly) so
+pre-engine call sites keep working, and the legacy ``judge=`` keyword remains
+available behind a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.api import ColocationEngine
+from repro.errors import ConfigurationError
+
+
+def resolve_engine(engine, judge=None) -> ColocationEngine:
+    """Normalise a service's ``engine``/legacy ``judge`` arguments to an engine."""
+    if judge is not None:
+        if engine is not None:
+            raise ConfigurationError("pass either engine or judge, not both")
+        warnings.warn(
+            "the judge= keyword is deprecated; pass a ColocationEngine "
+            "(or a fitted judge) as the first argument",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        engine = judge
+    if engine is None:
+        raise ConfigurationError("an engine (or fitted judge) is required")
+    return ColocationEngine.ensure(engine)

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.data.records import Pair, Profile
 from repro.errors import ConfigurationError
+from repro.service._engine import resolve_engine
 
 
 @dataclass
@@ -47,8 +48,9 @@ class CommunityDetector:
 
     Parameters
     ----------
-    judge:
-        Any fitted judge exposing ``predict_proba(pairs)``.
+    engine:
+        A :class:`repro.api.ColocationEngine`, or any fitted judge exposing
+        ``predict_proba(pairs)`` (wrapped into an engine automatically).
     delta_t:
         Pairing window: profiles of two users are only compared when their
         timestamps are within ``delta_t`` seconds.
@@ -57,27 +59,34 @@ class CommunityDetector:
     method:
         ``"modularity"`` (greedy modularity maximisation, the default) or
         ``"components"`` (plain connected components, as in Table 8).
+    judge:
+        Deprecated alias for ``engine`` (kept for pre-engine call sites).
     """
 
     def __init__(
         self,
-        judge,
+        engine=None,
         delta_t: float = 3600.0,
         edge_threshold: float = 0.5,
         method: str = "modularity",
+        *,
+        judge=None,
     ):
-        if not hasattr(judge, "predict_proba"):
-            raise ConfigurationError("judge must expose predict_proba(pairs)")
         if delta_t <= 0:
             raise ConfigurationError("delta_t must be positive")
         if not 0.0 <= edge_threshold <= 1.0:
             raise ConfigurationError("edge_threshold must lie in [0, 1]")
         if method not in ("modularity", "components"):
             raise ConfigurationError("method must be 'modularity' or 'components'")
-        self.judge = judge
+        self.engine = resolve_engine(engine, judge)
         self.delta_t = delta_t
         self.edge_threshold = edge_threshold
         self.method = method
+
+    @property
+    def judge(self):
+        """The raw judge behind the engine (legacy accessor)."""
+        return self.engine.judge
 
     # -------------------------------------------------------------- the graph
     def build_user_graph(self, profiles: list[Profile]) -> nx.Graph:
@@ -99,7 +108,7 @@ class CommunityDetector:
                 candidate_pairs.append(Pair(left=left, right=right, co_label=None))
         if not candidate_pairs:
             return graph
-        probabilities = np.asarray(self.judge.predict_proba(candidate_pairs), dtype=float)
+        probabilities = np.asarray(self.engine.predict_proba(candidate_pairs), dtype=float)
         for pair, probability in zip(candidate_pairs, probabilities):
             if probability < self.edge_threshold:
                 continue

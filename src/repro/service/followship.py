@@ -46,7 +46,9 @@ class FollowshipAnalyzer:
     Parameters
     ----------
     registry:
-        POI registry used to map visits onto POIs.
+        POI registry used to map visits onto POIs, or a
+        :class:`repro.api.ColocationEngine`, whose registry is adopted — so
+        every service application can be constructed from the same engine.
     window_s:
         A follower visit counts as "followed" when it happens strictly after a
         leader visit to the same POI and within ``window_s`` seconds of it.
@@ -55,6 +57,8 @@ class FollowshipAnalyzer:
     def __init__(self, registry: POIRegistry, window_s: float = 6 * 3600.0):
         if window_s <= 0:
             raise ConfigurationError("window_s must be positive")
+        if not hasattr(registry, "locate") and hasattr(registry, "registry"):
+            registry = registry.registry
         self.registry = registry
         self.window_s = window_s
 

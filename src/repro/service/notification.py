@@ -1,10 +1,13 @@
 """The friends-notification application (paper Section 1's motivating service).
 
 "Friends notification ... notifies a user that one of his/her friends is also
-present at the same POI in the same time."  Given a fitted co-location judge
-and a friendship graph, :class:`FriendsNotificationService` consumes a tweet
-stream and emits a :class:`Notification` whenever a pair of friends is judged
-co-located with probability above a threshold.
+present at the same POI in the same time."  Given a
+:class:`repro.api.ColocationEngine` and a friendship graph,
+:class:`FriendsNotificationService` consumes a tweet stream and emits a
+:class:`Notification` whenever a pair of friends is judged co-located with
+probability above a threshold.  Candidate enumeration and scoring ride on
+:class:`repro.service.stream.StreamScorer`, so friend pairs are filtered
+before the engine is invoked and profile features are cached across pairs.
 """
 
 from __future__ import annotations
@@ -14,8 +17,8 @@ from dataclasses import dataclass
 from repro.data.records import Pair, Profile, Tweet
 from repro.errors import ConfigurationError
 from repro.geo.poi import POIRegistry
-from repro.service.pairing import SlidingPairWindow
-from repro.service.stream import OnlineProfileBuilder
+from repro.service._engine import resolve_engine
+from repro.service.stream import StreamScorer
 
 
 @dataclass(frozen=True)
@@ -38,12 +41,12 @@ class FriendsNotificationService:
 
     Parameters
     ----------
-    judge:
-        Any fitted co-location judge exposing ``predict_proba(pairs)`` —
-        a :class:`repro.colocation.CoLocationPipeline`, a
-        :class:`repro.colocation.HisRectCoLocationJudge`, etc.
+    engine:
+        A :class:`repro.api.ColocationEngine`, or any fitted judge exposing
+        ``predict_proba(pairs)`` (wrapped into an engine automatically).
     registry:
-        The POI set used to label geo-tagged tweets and build histories.
+        The POI set used to label geo-tagged tweets and build histories;
+        defaults to the engine's registry.
     friendships:
         Iterable of ``(uid, uid)`` friendship edges (undirected).
     delta_t:
@@ -52,30 +55,54 @@ class FriendsNotificationService:
         Minimum co-location probability that triggers a notification.
     max_distance_m:
         Optional spatial gate passed to the sliding window.
+    judge:
+        Deprecated alias for ``engine`` (kept for pre-engine call sites).
     """
 
     def __init__(
         self,
-        judge,
-        registry: POIRegistry,
-        friendships,
+        engine=None,
+        registry: POIRegistry | None = None,
+        friendships=(),
         delta_t: float = 3600.0,
         threshold: float = 0.5,
         max_history: int = 64,
         max_distance_m: float | None = None,
+        *,
+        judge=None,
     ):
-        if not hasattr(judge, "predict_proba"):
-            raise ConfigurationError("judge must expose predict_proba(pairs)")
         if not 0.0 <= threshold <= 1.0:
             raise ConfigurationError("threshold must lie in [0, 1]")
-        self.judge = judge
+        self.engine = resolve_engine(engine, judge)
         self.threshold = threshold
-        self.builder = OnlineProfileBuilder(registry, max_history=max_history)
-        self.window = SlidingPairWindow(delta_t=delta_t, max_distance_m=max_distance_m)
         self._friends: set[frozenset[int]] = set()
         for a, b in friendships:
             self.add_friendship(a, b)
+        self.scorer = StreamScorer(
+            self.engine,
+            registry=registry,
+            delta_t=delta_t,
+            max_history=max_history,
+            max_distance_m=max_distance_m,
+            pair_filter=lambda pair: self.are_friends(pair.left.uid, pair.right.uid),
+        )
         self._notifications_sent = 0
+
+    # ------------------------------------------------------------ compat views
+    @property
+    def judge(self):
+        """The raw judge behind the engine (legacy accessor)."""
+        return self.engine.judge
+
+    @property
+    def builder(self):
+        """The online profile builder feeding the sliding window."""
+        return self.scorer.builder
+
+    @property
+    def window(self):
+        """The sliding Δt window of recent profiles."""
+        return self.scorer.window
 
     # ------------------------------------------------------------ friendships
     def add_friendship(self, uid_a: int, uid_b: int) -> None:
@@ -101,26 +128,20 @@ class FriendsNotificationService:
     # ----------------------------------------------------------------- stream
     def process(self, tweet: Tweet) -> list[Notification]:
         """Consume one tweet and return any triggered notifications."""
-        profile = self.builder.consume(tweet)
-        candidates = self.window.add(profile)
-        friend_pairs = [
-            pair for pair in candidates if self.are_friends(pair.left.uid, pair.right.uid)
-        ]
-        if not friend_pairs:
-            return []
-        probabilities = self.judge.predict_proba(friend_pairs)
         notifications: list[Notification] = []
-        for pair, probability in zip(friend_pairs, probabilities):
-            if probability >= self.threshold:
-                notifications.append(
-                    Notification(
-                        uid_a=pair.left.uid,
-                        uid_b=pair.right.uid,
-                        probability=float(probability),
-                        ts=max(pair.left.ts, pair.right.ts),
-                        pair=pair,
-                    )
+        for scored in self.scorer.process(tweet):
+            if scored.probability < self.threshold:
+                continue
+            pair = scored.pair
+            notifications.append(
+                Notification(
+                    uid_a=pair.left.uid,
+                    uid_b=pair.right.uid,
+                    probability=scored.probability,
+                    ts=max(pair.left.ts, pair.right.ts),
+                    pair=pair,
                 )
+            )
         self._notifications_sent += len(notifications)
         return notifications
 
@@ -143,12 +164,12 @@ class FriendsNotificationService:
             for right in profiles[i + 1 :]:
                 if left.uid == right.uid or not self.are_friends(left.uid, right.uid):
                     continue
-                if abs(left.ts - right.ts) >= self.window.delta_t:
+                if abs(left.ts - right.ts) >= self.scorer.window.delta_t:
                     continue
                 pairs.append(Pair(left=left, right=right, co_label=None))
         if not pairs:
             return []
-        probabilities = self.judge.predict_proba(pairs)
+        probabilities = self.engine.predict_proba(pairs)
         return [
             (pair.left, pair.right, float(probability))
             for pair, probability in zip(pairs, probabilities)

@@ -17,6 +17,7 @@ import numpy as np
 from repro.data.records import Pair, Profile
 from repro.errors import ConfigurationError
 from repro.eval.ranking import ranking_report
+from repro.service._engine import resolve_engine
 from repro.text.ngrams import TfidfVectorizer, document_similarity
 
 
@@ -37,12 +38,13 @@ class Recommendation:
 
 
 class LocalPeopleRecommender:
-    """Recommend nearby, like-minded users with a co-location judge.
+    """Recommend nearby, like-minded users with a co-location engine.
 
     Parameters
     ----------
-    judge:
-        Any fitted judge exposing ``predict_proba(pairs)``.
+    engine:
+        A :class:`repro.api.ColocationEngine`, or any fitted judge exposing
+        ``predict_proba(pairs)`` (wrapped into an engine automatically).
     delta_t:
         Only candidates whose recent tweet falls within ``delta_t`` seconds of
         the query profile's tweet are considered (the problem's pairing rule).
@@ -53,25 +55,32 @@ class LocalPeopleRecommender:
         Optional pre-fitted :class:`TfidfVectorizer` used for the interest
         signal.  When omitted, one is fitted lazily on the candidate contents
         of each request.
+    judge:
+        Deprecated alias for ``engine`` (kept for pre-engine call sites).
     """
 
     def __init__(
         self,
-        judge,
+        engine=None,
         delta_t: float = 3600.0,
         colocation_weight: float = 0.7,
         vectorizer: TfidfVectorizer | None = None,
+        *,
+        judge=None,
     ):
-        if not hasattr(judge, "predict_proba"):
-            raise ConfigurationError("judge must expose predict_proba(pairs)")
         if delta_t <= 0:
             raise ConfigurationError("delta_t must be positive")
         if not 0.0 <= colocation_weight <= 1.0:
             raise ConfigurationError("colocation_weight must lie in [0, 1]")
-        self.judge = judge
+        self.engine = resolve_engine(engine, judge)
         self.delta_t = delta_t
         self.colocation_weight = colocation_weight
         self.vectorizer = vectorizer
+
+    @property
+    def judge(self):
+        """The raw judge behind the engine (legacy accessor)."""
+        return self.engine.judge
 
     # -------------------------------------------------------------- internals
     def _eligible(self, query: Profile, candidates: list[Profile]) -> list[Profile]:
@@ -106,7 +115,7 @@ class LocalPeopleRecommender:
         if not eligible:
             return []
         pairs = [Pair(left=query, right=candidate, co_label=None) for candidate in eligible]
-        probabilities = np.asarray(self.judge.predict_proba(pairs), dtype=float)
+        probabilities = np.asarray(self.engine.predict_proba(pairs), dtype=float)
         interests = self._interest_similarities(query, eligible)
         weight = self.colocation_weight
         recommendations = []

@@ -1,4 +1,4 @@
-"""Incremental profile construction from a live tweet stream.
+"""Incremental profile construction and scoring from a live tweet stream.
 
 The offline :class:`repro.data.profiles.ProfileBuilder` needs the whole
 timeline up front; an online service sees tweets one at a time.
@@ -6,15 +6,24 @@ timeline up front; an online service sees tweets one at a time.
 builds the profile for each incoming tweet from the state accumulated so far,
 mirroring Definition 4: the visit history contains only visits *before* the
 recent tweet.
+
+:class:`StreamScorer` composes the builder with a
+:class:`repro.service.pairing.SlidingPairWindow` and a
+:class:`repro.api.ColocationEngine`: tweets in, scored Δt-compatible candidate
+pairs out.  It is the common substrate of the streaming applications (friends
+notification builds on it directly).
 """
 
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
+from typing import Callable
 
-from repro.data.records import Profile, Tweet, Visit
+from repro.data.records import Pair, Profile, Tweet, Visit
 from repro.errors import DataGenerationError
 from repro.geo.poi import POIRegistry
+from repro.service.pairing import SlidingPairWindow
 
 
 class OnlineProfileBuilder:
@@ -95,3 +104,71 @@ class OnlineProfileBuilder:
     def consume_many(self, tweets: list[Tweet]) -> list[Profile]:
         """Ingest tweets in order and return their profiles."""
         return [self.consume(tweet) for tweet in sorted(tweets, key=lambda t: t.ts)]
+
+
+@dataclass(frozen=True)
+class ScoredPair:
+    """One candidate pair with the engine's co-location probability."""
+
+    pair: Pair
+    probability: float
+
+
+class StreamScorer:
+    """Tweets in, engine-scored candidate pairs out.
+
+    Parameters
+    ----------
+    engine:
+        A :class:`repro.api.ColocationEngine` (or a raw fitted judge, which
+        is wrapped).  The engine's feature cache is what keeps a profile from
+        being re-featurized for every pair it participates in.
+    registry:
+        POI set for labelling geo-tagged tweets; defaults to the engine's.
+    delta_t / max_distance_m / max_history:
+        Forwarded to the sliding window and the profile builder.
+    pair_filter:
+        Optional predicate applied to candidate pairs *before* they reach the
+        engine (e.g. "are these two users friends"), keeping the judged batch
+        small.
+    """
+
+    def __init__(
+        self,
+        engine,
+        registry: POIRegistry | None = None,
+        delta_t: float = 3600.0,
+        max_history: int = 64,
+        max_distance_m: float | None = None,
+        pair_filter: Callable[[Pair], bool] | None = None,
+    ):
+        from repro.api import ColocationEngine
+
+        self.engine = ColocationEngine.ensure(engine)
+        self.builder = OnlineProfileBuilder(
+            registry if registry is not None else self.engine.registry,
+            max_history=max_history,
+        )
+        self.window = SlidingPairWindow(delta_t=delta_t, max_distance_m=max_distance_m)
+        self.pair_filter = pair_filter
+
+    def process(self, tweet: Tweet) -> list[ScoredPair]:
+        """Consume one tweet; return its scored Δt-compatible candidate pairs."""
+        profile = self.builder.consume(tweet)
+        candidates = self.window.add(profile)
+        if self.pair_filter is not None:
+            candidates = [pair for pair in candidates if self.pair_filter(pair)]
+        if not candidates:
+            return []
+        probabilities = self.engine.predict_proba(candidates)
+        return [
+            ScoredPair(pair=pair, probability=float(probability))
+            for pair, probability in zip(candidates, probabilities)
+        ]
+
+    def process_many(self, tweets: list[Tweet]) -> list[ScoredPair]:
+        """Consume tweets in timestamp order and collect every scored pair."""
+        scored: list[ScoredPair] = []
+        for tweet in sorted(tweets, key=lambda t: t.ts):
+            scored.extend(self.process(tweet))
+        return scored

@@ -7,9 +7,17 @@ from repro.social.graph import (
     covisit_overlap,
     generate_social_graph,
 )
-from repro.social.judge import SocialCoLocationJudge, SocialJudgeConfig, SocialJudgeHistory
+from repro.social.judge import (
+    SocialApproachConfig,
+    SocialCoLocationJudge,
+    SocialColocationApproach,
+    SocialJudgeConfig,
+    SocialJudgeHistory,
+)
 
 __all__ = [
+    "SocialApproachConfig",
+    "SocialColocationApproach",
     "SocialGraph",
     "SocialGraphConfig",
     "generate_social_graph",

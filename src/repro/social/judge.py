@@ -14,10 +14,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.data.records import Pair
+from typing import TYPE_CHECKING, Any
+
+from repro.core.protocols import pairwise_probability_matrix
+from repro.data.records import Pair, Profile
 from repro.errors import NotFittedError, TrainingError
 from repro.nn import Adam, Linear, Tensor, binary_cross_entropy_with_logits, clip_grad_norm
 from repro.social.features import SocialFeatureExtractor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.data.dataset import ColocationDataset
 
 
 @dataclass
@@ -139,9 +145,111 @@ class SocialCoLocationJudge:
         """Binary co-location decisions (1 = co-located)."""
         return (self.predict_proba(pairs) >= self.config.threshold).astype(int)
 
+    @property
+    def decision_threshold(self) -> float:
+        """The probability threshold behind :meth:`predict`."""
+        return self.config.threshold
+
+    def probability_matrix(self, profiles: list[Profile]) -> np.ndarray:
+        """Pairwise co-location probability matrix (generic pair-scoring path).
+
+        Social features are defined per *pair*, so there is no feature-level
+        shortcut; every unordered pair is scored through the stacker.
+        """
+        self._require_fitted()
+        return pairwise_probability_matrix(self, profiles)
+
     def feature_weights(self) -> dict[str, float]:
         """Learned weight per input signal (useful for interpreting the blend)."""
         self._require_fitted()
         weights = self.stacker.weight.data.reshape(-1)
         names = ("base_logit",) + self.extractor.feature_names
         return {name: float(weight) for name, weight in zip(names, weights)}
+
+
+@dataclass
+class SocialApproachConfig:
+    """Configuration of the registry-buildable social approach."""
+
+    #: Configuration of the base HisRect pipeline (serialised PipelineConfig).
+    base: dict[str, Any] = field(default_factory=dict)
+    #: Synthetic friendship-graph generator settings.
+    graph: dict[str, Any] = field(default_factory=dict)
+    #: Stacked-judge training hyper-parameters.
+    judge: dict[str, Any] = field(default_factory=dict)
+
+
+class SocialColocationApproach:
+    """Trainable wrapper: base pipeline + friendship graph + stacked judge.
+
+    Registered under ``("judge", "social")``.  Fitting trains (or reuses) a
+    two-phase HisRect pipeline, generates a friendship graph correlated with
+    co-visitation over the training timelines, extracts social pair features
+    and trains the stacking layer — everything from one dataset, so the
+    approach composes with the CLI and the experiment runners.
+    """
+
+    def __init__(self, config: SocialApproachConfig | None = None, base_judge=None):
+        self.config = config or SocialApproachConfig()
+        self.base_judge = base_judge
+        self.model: SocialCoLocationJudge | None = None
+
+    @classmethod
+    def from_config(cls, config: dict[str, Any] | None = None) -> "SocialColocationApproach":
+        from repro.io.configs import config_from_dict
+
+        return cls(config_from_dict(SocialApproachConfig, config or {}))
+
+    def to_config(self) -> dict[str, Any]:
+        from repro.io.configs import config_to_dict
+
+        return config_to_dict(self.config)
+
+    def fit(self, dataset: "ColocationDataset") -> "SocialColocationApproach":
+        """Train the base judge (unless shared), the graph and the stacker."""
+        from repro.io.configs import config_from_dict
+        from repro.social.graph import SocialGraphConfig, generate_social_graph
+
+        if self.base_judge is None:
+            from repro.colocation.pipeline import CoLocationPipeline
+
+            base = CoLocationPipeline.from_config(dict(self.config.base, mode="two-phase"))
+            self.base_judge = base.fit(dataset)
+        graph_config = config_from_dict(SocialGraphConfig, self.config.graph)
+        graph = generate_social_graph(dataset.train.store, dataset.registry, graph_config)
+        extractor = SocialFeatureExtractor(graph, dataset.registry, delta_t=dataset.delta_t)
+        judge_config = config_from_dict(SocialJudgeConfig, self.config.judge)
+        self.model = SocialCoLocationJudge(self.base_judge, extractor, judge_config)
+        self.model.fit(dataset.train.labeled_pairs)
+        return self
+
+    def _require_model(self) -> SocialCoLocationJudge:
+        if self.model is None:
+            raise NotFittedError("SocialColocationApproach.fit() has not been called")
+        return self.model
+
+    def predict_proba(self, pairs: list[Pair]) -> np.ndarray:
+        return self._require_model().predict_proba(pairs)
+
+    def predict(self, pairs: list[Pair]) -> np.ndarray:
+        return self._require_model().predict(pairs)
+
+    def probability_matrix(self, profiles: list[Profile]) -> np.ndarray:
+        return self._require_model().probability_matrix(profiles)
+
+    def feature_weights(self) -> dict[str, float]:
+        return self._require_model().feature_weights()
+
+
+def _register_social_judge() -> None:
+    from repro.registry import register
+
+    register(
+        "judge",
+        "social",
+        factory=SocialColocationApproach.from_config,
+        description="HisRect stacked with social / frequent-pattern pair features",
+    )
+
+
+_register_social_judge()

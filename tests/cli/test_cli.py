@@ -101,6 +101,55 @@ class TestWorkflow:
         assert "error:" in captured.err
 
 
+class TestJudgeSelection:
+    def test_train_parser_accepts_judge(self):
+        args = build_parser().parse_args(["train", "--dataset", "d", "--judge", "tg-ti-c"])
+        assert args.judge == "tg-ti-c"
+        assert args.out is None
+
+    def test_train_baseline_judge_end_to_end(self, dataset_dir, capsys):
+        exit_code = main(["train", "--dataset", str(dataset_dir), "--judge", "tg-ti-c"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "trained judge 'tg-ti-c'" in captured.out
+        # Non-persistable judges report quick held-out metrics instead of saving.
+        for metric in ("Acc", "Rec", "Pre", "F1"):
+            assert metric in captured.out
+
+    def test_train_pipeline_judge_requires_out(self, dataset_dir, capsys):
+        exit_code = main(
+            [
+                "train",
+                "--dataset", str(dataset_dir),
+                "--judge", "hisrect",
+                "--ssl-iterations", "2",
+                "--judge-epochs", "1",
+                "--content-dim", "6",
+                "--feature-dim", "12",
+                "--embedding-dim", "6",
+                "--word-dim", "12",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "--out is required" in captured.err
+
+    def test_components_lists_registry(self, capsys):
+        exit_code = main(["components"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for kind in ("judge:", "baseline:", "featurizer:", "preset:", "strategy:"):
+            assert kind in captured.out
+        assert "hisrect" in captured.out and "tg-ti-c" in captured.out
+
+    def test_components_single_kind(self, capsys):
+        exit_code = main(["components", "--kind", "strategy"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "two-phase" in captured.out
+        assert "tg-ti-c" not in captured.out
+
+
 class TestExperimentCommand:
     def test_table2_smoke(self, capsys):
         exit_code = main(["experiment", "table2", "--scale", "smoke"])

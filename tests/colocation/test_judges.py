@@ -73,11 +73,14 @@ class TestComp2Loc:
 
 class TestOnePhase:
     def test_fit_predict(self, tiny_dataset, fitted_pipeline):
-        model = OnePhaseModel(
-            # reuse an (untrained) featurizer-compatible config by building a fresh one
-            fitted_pipeline.featurizer,
-            OnePhaseConfig(max_iterations=10, batch_size=4),
+        from repro.features.hisrect import HisRectFeaturizer
+
+        # One-phase training mutates the featurizer (joint end-to-end fit), so
+        # build a fresh one instead of corrupting the shared fitted_pipeline's.
+        featurizer = HisRectFeaturizer(
+            tiny_dataset.registry, fitted_pipeline.vectorizer, fitted_pipeline.config.hisrect
         )
+        model = OnePhaseModel(featurizer, OnePhaseConfig(max_iterations=10, batch_size=4))
         losses = model.fit(tiny_dataset.train.labeled_pairs)
         assert len(losses) == 10
         preds = model.predict(tiny_dataset.train.labeled_pairs[:5])

@@ -1,0 +1,121 @@
+"""Tests for the repro.core judge protocols and strategy dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CoLocationJudge,
+    FeatureSpaceJudge,
+    pairwise_probability_matrix,
+    profile_key,
+)
+from repro.errors import ConfigurationError, NotFittedError
+
+
+class TestProtocolConformance:
+    def test_pipeline_is_a_judge(self, fitted_pipeline):
+        assert isinstance(fitted_pipeline, CoLocationJudge)
+        assert isinstance(fitted_pipeline, FeatureSpaceJudge)
+
+    def test_hisrect_judge_is_a_judge(self, fitted_pipeline):
+        assert isinstance(fitted_pipeline.judge, CoLocationJudge)
+        assert isinstance(fitted_pipeline.judge, FeatureSpaceJudge)
+
+    def test_comp2loc_is_a_judge(self, fitted_pipeline):
+        comp2loc = fitted_pipeline.comp2loc()
+        assert isinstance(comp2loc, CoLocationJudge)
+        assert isinstance(comp2loc, FeatureSpaceJudge)
+
+    def test_baseline_is_a_judge(self, small_registry):
+        from repro.baselines import TGTICBaseline
+
+        assert isinstance(TGTICBaseline(small_registry), CoLocationJudge)
+
+
+class TestStrategyDispatch:
+    def test_pipeline_resolves_strategy_by_mode(self, fitted_pipeline):
+        assert fitted_pipeline.strategy.name == "two-phase"
+
+    def test_unfitted_pipeline_raises_not_fitted(self, tiny_pipeline_config):
+        from repro.colocation import CoLocationPipeline
+
+        pipeline = CoLocationPipeline(tiny_pipeline_config)
+        with pytest.raises(NotFittedError):
+            pipeline.predict_proba([])
+        with pytest.raises(NotFittedError):
+            pipeline.featurize_profiles([])
+
+    def test_guards_survive_python_O(self, tiny_pipeline_config):
+        """The fit guards are real exceptions, not asserts (python -O safe)."""
+        from repro.colocation import CoLocationPipeline
+
+        pipeline = CoLocationPipeline(tiny_pipeline_config)
+        with pytest.raises(NotFittedError):
+            pipeline.probability_matrix([])
+        with pytest.raises(NotFittedError):
+            pipeline.infer_poi_proba([])
+        with pytest.raises(NotFittedError):
+            pipeline.comp2loc()
+
+
+class TestPairwiseMatrix:
+    def test_matches_judge_matrix(self, fitted_pipeline, tiny_dataset):
+        """The generic fallback agrees with the judge's feature-level matrix."""
+        profiles = tiny_dataset.train.labeled_profiles[:6]
+        judge = fitted_pipeline.judge
+        np.testing.assert_allclose(
+            pairwise_probability_matrix(judge, profiles),
+            judge.probability_matrix(profiles),
+            atol=1e-8,
+        )
+
+    def test_degenerate_sizes(self, fitted_pipeline, tiny_dataset):
+        judge = fitted_pipeline.judge
+        assert pairwise_probability_matrix(judge, []).shape == (0, 0)
+        single = pairwise_probability_matrix(judge, tiny_dataset.train.labeled_profiles[:1])
+        assert single.shape == (1, 1)
+
+    def test_social_judge_uses_generic_matrix(self, fitted_pipeline, tiny_dataset):
+        from repro.social import (
+            SocialCoLocationJudge,
+            SocialFeatureExtractor,
+            SocialGraphConfig,
+            generate_social_graph,
+        )
+
+        graph = generate_social_graph(
+            tiny_dataset.train.store, tiny_dataset.registry, SocialGraphConfig(seed=3)
+        )
+        extractor = SocialFeatureExtractor(graph, tiny_dataset.registry, delta_t=tiny_dataset.delta_t)
+        social = SocialCoLocationJudge(fitted_pipeline, extractor)
+        social.fit(tiny_dataset.train.labeled_pairs)
+        assert isinstance(social, CoLocationJudge)
+        profiles = tiny_dataset.train.labeled_profiles[:5]
+        matrix = social.probability_matrix(profiles)
+        assert matrix.shape == (5, 5)
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+
+
+class TestProfileKey:
+    def test_key_fields(self, tiny_dataset):
+        profile = tiny_dataset.train.labeled_profiles[0]
+        assert profile_key(profile) == (
+            profile.uid,
+            profile.ts,
+            profile.content,
+            len(profile.visit_history),
+        )
+
+    def test_grown_history_changes_the_key(self, tiny_dataset):
+        """Same uid/ts/content but a longer visit history must not collide."""
+        import dataclasses
+
+        from repro.data.records import Visit
+
+        profile = tiny_dataset.train.labeled_profiles[0]
+        grown = dataclasses.replace(
+            profile,
+            visit_history=profile.visit_history + (Visit(ts=profile.ts, lat=0.0, lon=0.0),),
+        )
+        assert profile_key(grown) != profile_key(profile)

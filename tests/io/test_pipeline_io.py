@@ -3,9 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.colocation import CoLocationPipeline
+from repro.colocation import CoLocationPipeline, OnePhaseConfig, PipelineConfig
 from repro.errors import ConfigurationError, NotFittedError
-from repro.io import load_pipeline, save_pipeline
+from repro.features import HisRectConfig
+from repro.io import load_engine, load_pipeline, save_pipeline
+from repro.text import SkipGramConfig
 
 
 @pytest.fixture(scope="module")
@@ -55,3 +57,44 @@ class TestLoadPipeline:
     def test_missing_manifest_raises(self, tmp_path):
         with pytest.raises(ConfigurationError):
             load_pipeline(tmp_path)
+
+    def test_load_engine_wraps_loaded_pipeline(self, saved_pipeline_dir, fitted_pipeline, tiny_dataset):
+        engine = load_engine(saved_pipeline_dir, cache_size=64)
+        pairs = tiny_dataset.test.labeled_pairs[:10] or tiny_dataset.train.labeled_pairs[:10]
+        np.testing.assert_allclose(
+            engine.predict_proba(pairs), fitted_pipeline.predict_proba(pairs), atol=1e-8
+        )
+
+
+class TestOnePhaseRoundTrip:
+    """The one-phase persistence path must reproduce predictions bit-for-bit."""
+
+    @pytest.fixture(scope="class")
+    def onephase_pipeline(self, tiny_dataset):
+        config = PipelineConfig(
+            hisrect=HisRectConfig(content_dim=6, feature_dim=12, embedding_dim=6),
+            onephase=OnePhaseConfig(max_iterations=15, batch_size=4),
+            skipgram=SkipGramConfig(embedding_dim=12, epochs=1),
+            mode="one-phase",
+        )
+        return CoLocationPipeline(config).fit(tiny_dataset)
+
+    def test_one_phase_round_trip_bitwise_identical(
+        self, onephase_pipeline, tiny_dataset, tmp_path
+    ):
+        save_pipeline(onephase_pipeline, tmp_path / "onephase")
+        loaded = load_pipeline(tmp_path / "onephase")
+        pairs = tiny_dataset.test.labeled_pairs[:20] or tiny_dataset.train.labeled_pairs[:20]
+        np.testing.assert_array_equal(
+            loaded.predict_proba(pairs), onephase_pipeline.predict_proba(pairs)
+        )
+        np.testing.assert_array_equal(loaded.predict(pairs), onephase_pipeline.predict(pairs))
+
+    def test_one_phase_round_trip_weights_identical(self, onephase_pipeline, tmp_path):
+        save_pipeline(onephase_pipeline, tmp_path / "onephase-weights")
+        loaded = load_pipeline(tmp_path / "onephase-weights")
+        original_state = onephase_pipeline.onephase.network.state_dict()
+        loaded_state = loaded.onephase.network.state_dict()
+        assert sorted(original_state) == sorted(loaded_state)
+        for key, value in original_state.items():
+            np.testing.assert_array_equal(value, loaded_state[key])

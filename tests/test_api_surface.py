@@ -1,0 +1,128 @@
+"""Snapshot tests of the public API surface and its deprecation shims.
+
+These tests pin the exported names of the new top-level packages so an
+accidental rename or a dropped export fails loudly, and they prove the legacy
+entry points still work — behind a DeprecationWarning — after the engine
+redesign.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+
+class TestExportedNames:
+    def test_repro_api_surface(self):
+        import repro.api
+
+        assert sorted(repro.api.__all__) == [
+            "ColocationEngine",
+            "EngineCacheInfo",
+            "JudgeRequest",
+            "JudgeResponse",
+        ]
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name) is not None
+
+    def test_repro_core_surface(self):
+        import repro.core
+
+        assert sorted(repro.core.__all__) == [
+            "CoLocationJudge",
+            "FEATURIZE_CHUNK",
+            "FeatureSpaceJudge",
+            "ProfileKey",
+            "TrainableApproach",
+            "TrainingStrategy",
+            "featurize_in_chunks",
+            "pairwise_probability_matrix",
+            "profile_key",
+            "shared_poi_probability_matrix",
+        ]
+        for name in repro.core.__all__:
+            assert getattr(repro.core, name) is not None
+
+    def test_repro_registry_surface(self):
+        import repro.registry
+
+        assert sorted(repro.registry.__all__) == [
+            "ComponentSpec",
+            "build",
+            "is_registered",
+            "kinds",
+            "names",
+            "register",
+            "spec",
+        ]
+        for name in repro.registry.__all__:
+            assert getattr(repro.registry, name) is not None
+
+    def test_top_level_lazy_exports(self):
+        import repro
+        from repro.api import ColocationEngine, JudgeRequest, JudgeResponse
+
+        assert repro.ColocationEngine is ColocationEngine
+        assert repro.JudgeRequest is JudgeRequest
+        assert repro.JudgeResponse is JudgeResponse
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+
+class TestDeprecationShims:
+    def test_colocation_modes_warns(self):
+        import repro.colocation
+
+        with pytest.warns(DeprecationWarning, match="MODES is deprecated"):
+            modes = repro.colocation.MODES
+        assert set(modes) == {"two-phase", "one-phase"}
+
+    def test_pipeline_module_modes_warns(self):
+        import repro.colocation.pipeline as pipeline_module
+
+        with pytest.warns(DeprecationWarning, match="MODES is deprecated"):
+            modes = pipeline_module.MODES
+        assert set(modes) == {"two-phase", "one-phase"}
+
+    def test_service_judge_keyword_warns_and_works(self):
+        from repro.service import CommunityDetector
+
+        class Stub:
+            def predict_proba(self, pairs):
+                return np.full(len(pairs), 0.7)
+
+        with pytest.warns(DeprecationWarning, match="judge= keyword is deprecated"):
+            detector = CommunityDetector(judge=Stub())
+        assert detector.judge.__class__ is Stub
+
+    def test_raw_judge_positional_does_not_warn(self):
+        from repro.service import LocalPeopleRecommender
+
+        class Stub:
+            def predict_proba(self, pairs):
+                return np.zeros(len(pairs))
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            recommender = LocalPeopleRecommender(Stub())
+        assert recommender.engine.judge.__class__ is Stub
+
+    def test_cli_mode_flag_warns(self):
+        import argparse
+
+        from repro.cli.main import _selected_judge
+
+        args = argparse.Namespace(mode="one-phase", judge=None)
+        with pytest.warns(DeprecationWarning, match="--mode is deprecated"):
+            assert _selected_judge(args) == "one-phase"
+        args = argparse.Namespace(mode="two-phase", judge=None)
+        with pytest.warns(DeprecationWarning):
+            assert _selected_judge(args) == "hisrect"
+
+    def test_cli_judge_defaults_to_hisrect(self):
+        import argparse
+
+        from repro.cli.main import _selected_judge
+
+        assert _selected_judge(argparse.Namespace(mode=None, judge=None)) == "hisrect"
+        assert _selected_judge(argparse.Namespace(mode=None, judge="tg-ti-c")) == "tg-ti-c"
