@@ -1,0 +1,131 @@
+"""Benchmark: vectorised history featurization vs the per-visit loop.
+
+The Eq. (1)-(2) featurizer is the cold-path cost of every service: each new
+profile in a Δt window must be featurized before the judge can score it.  The
+scalar reference path calls ``registry.distances_from`` once per visit per
+profile; the vectorised ``featurize_batch`` computes one broadcast
+``(total_visits, |P|)`` relevance matrix and segment-sums per profile.
+
+This benchmark sweeps profile counts and history lengths for both the
+temporal (Eq. 1-2) and one-hot featurizers, reports the speedup, and checks
+the two paths agree to 1e-9 on every configuration (the property tests in
+``tests/features/test_history_batch.py`` pin the same contract).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_featurize_batch.py
+
+or through pytest-benchmark like the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.data.records import Profile, Tweet, Visit
+from repro.features import HistoricalVisitFeaturizer, OneHotHistoryFeaturizer
+from repro.geo import POI, BoundingPolygon, GeoPoint, POIRegistry
+
+NUM_POIS = 64
+REFERENCE_TS = 1_000_000.0
+
+
+def _build_registry() -> POIRegistry:
+    """A synthetic city: an 8x8 POI lattice, ~350 m apart."""
+    center = GeoPoint(40.75, -73.99)
+    pois = []
+    for pid in range(NUM_POIS):
+        poi_center = center.offset(north_m=350.0 * (pid // 8), east_m=350.0 * (pid % 8))
+        polygon = BoundingPolygon.regular(poi_center, radius_m=60.0, sides=8)
+        pois.append(POI(pid=pid, name=f"poi_{pid}", polygon=polygon, center=poi_center))
+    return POIRegistry(pois)
+
+
+def _build_profiles(
+    registry: POIRegistry, num_profiles: int, history_len: int, seed: int = 11
+) -> list[Profile]:
+    """Profiles whose visits scatter around the POI lattice (some inside POIs)."""
+    rng = np.random.default_rng(seed)
+    anchor = registry.pois[0].center
+    profiles = []
+    for uid in range(num_profiles):
+        visits = []
+        for _ in range(history_len):
+            point = anchor.offset(
+                north_m=float(rng.uniform(-200.0, 2_700.0)),
+                east_m=float(rng.uniform(-200.0, 2_700.0)),
+            )
+            visits.append(Visit(ts=float(rng.uniform(0.0, REFERENCE_TS)), lat=point.lat, lon=point.lon))
+        tweet = Tweet(uid=uid, ts=REFERENCE_TS, content="x")
+        profiles.append(Profile(uid=uid, tweet=tweet, visit_history=tuple(visits)))
+    return profiles
+
+
+def _scalar_loop(featurizer, profiles: list[Profile]) -> np.ndarray:
+    """The reference path: one ``featurize`` call per profile."""
+    return np.stack([featurizer.featurize(p) for p in profiles])
+
+
+def _time(fn, *args, repeats: int = 3) -> tuple[float, np.ndarray]:
+    """Best-of-N wall time after one warmup call (steady-state cost)."""
+    result = fn(*args)
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def run() -> str:
+    registry = _build_registry()
+    featurizers = {
+        "temporal (Eq. 1-2)": HistoricalVisitFeaturizer(registry),
+        "one-hot": OneHotHistoryFeaturizer(registry),
+    }
+    grid = [(32, 8), (64, 16), (256, 32), (512, 64)]
+    lines = [
+        f"Benchmark: featurize_batch (vectorised) vs per-visit loop, |P| = {NUM_POIS}",
+        "",
+        f"{'featurizer':<20} {'profiles':>8} {'history':>8} {'loop ms':>10} "
+        f"{'batch ms':>10} {'speedup':>8} {'max |Δ|':>10}",
+    ]
+    headline_speedup = None
+    for name, featurizer in featurizers.items():
+        for num_profiles, history_len in grid:
+            profiles = _build_profiles(registry, num_profiles, history_len)
+            loop_s, loop_rows = _time(_scalar_loop, featurizer, profiles)
+            batch_s, batch_rows = _time(featurizer.featurize_batch, profiles)
+            drift = float(np.abs(loop_rows - batch_rows).max())
+            if drift > 1e-9:
+                raise AssertionError(
+                    f"{name} batch path drifted from the scalar loop by {drift:.2e}"
+                )
+            speedup = loop_s / batch_s if batch_s > 0 else float("inf")
+            if name.startswith("temporal") and (num_profiles, history_len) == (256, 32):
+                headline_speedup = speedup
+            lines.append(
+                f"{name:<20} {num_profiles:>8d} {history_len:>8d} {loop_s * 1e3:>10.1f} "
+                f"{batch_s * 1e3:>10.1f} {speedup:>7.1f}x {drift:>10.2e}"
+            )
+        lines.append("")
+    assert headline_speedup is not None
+    lines.append(
+        f"headline (temporal, 256 profiles x 32 visits): {headline_speedup:.1f}x "
+        f"({'meets' if headline_speedup >= 5.0 else 'MISSES'} the >= 5x target)"
+    )
+    return "\n".join(lines)
+
+
+def test_featurize_batch(benchmark):
+    from conftest import run_once, save_report
+
+    report = run_once(benchmark, run)
+    save_report("featurize_batch", report)
+    assert "meets the >= 5x target" in report
+
+
+if __name__ == "__main__":
+    print(run())

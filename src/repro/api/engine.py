@@ -24,6 +24,7 @@ import numpy as np
 from repro.api.messages import JudgeRequest, JudgeResponse
 from repro.core.protocols import (
     ProfileKey,
+    featurizer_dim,
     pairwise_probability_matrix,
     profile_key,
     symmetric_probability_matrix,
@@ -261,7 +262,7 @@ class ColocationEngine:
             )
         if not profiles:
             featurizer = getattr(self.judge, "featurizer", None)
-            return np.zeros((0, getattr(featurizer, "feature_dim", 0)))
+            return np.zeros((0, featurizer_dim(featurizer)))
         return self._features_for(profiles)
 
     # ---------------------------------------------------------- POI inference

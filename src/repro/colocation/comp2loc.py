@@ -16,7 +16,6 @@ import numpy as np
 
 from repro.core.protocols import (
     ProfileKey,
-    featurize_in_chunks,
     profile_key,
     shared_poi_probability_matrix,
 )
@@ -34,8 +33,12 @@ class Comp2LocJudge:
         self._feature_cache: dict[ProfileKey, np.ndarray] = {}
 
     def featurize_profiles(self, profiles: list[Profile]) -> np.ndarray:
-        """Frozen HisRect feature rows for profiles (uncached, chunked)."""
-        return featurize_in_chunks(self.featurizer, profiles)
+        """Frozen HisRect feature rows for profiles (uncached, chunked).
+
+        Delegates to the featurizer's own batch path, so each chunk computes
+        its history features in one vectorised pass.
+        """
+        return self.featurizer.featurize_profiles(profiles)
 
     def _features(self, profiles: list[Profile]) -> np.ndarray:
         missing = [p for p in profiles if profile_key(p) not in self._feature_cache]

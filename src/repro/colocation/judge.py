@@ -20,7 +20,6 @@ import numpy as np
 
 from repro.core.protocols import (
     ProfileKey,
-    featurize_in_chunks,
     profile_key,
     symmetric_probability_matrix,
     upper_triangle_pairs,
@@ -120,8 +119,12 @@ class HisRectCoLocationJudge:
         return profile_key(profile)
 
     def featurize_profiles(self, profiles: list[Profile]) -> np.ndarray:
-        """Frozen HisRect feature rows for profiles (uncached, chunked)."""
-        return featurize_in_chunks(self.featurizer, profiles)
+        """Frozen HisRect feature rows for profiles (uncached, chunked).
+
+        Delegates to the featurizer's own batch path, so each chunk computes
+        its history features in one vectorised pass.
+        """
+        return self.featurizer.featurize_profiles(profiles)
 
     def profile_features(self, profiles: list[Profile]) -> np.ndarray:
         """Frozen HisRect features for profiles, memoised across calls."""

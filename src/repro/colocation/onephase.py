@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.protocols import featurize_in_chunks, pairwise_probability_matrix
+from repro.core.protocols import pairwise_probability_matrix
 from repro.data.records import Pair, Profile
 from repro.errors import NotFittedError, TrainingError
 from repro.features.hisrect import HisRectFeaturizer
@@ -98,10 +98,14 @@ class OnePhaseModel:
         return self.config.judge.threshold
 
     def featurize_profiles(self, profiles: list[Profile]) -> np.ndarray:
-        """Feature rows for profiles through the jointly-trained featurizer."""
+        """Feature rows for profiles through the jointly-trained featurizer.
+
+        Delegates to the featurizer's own batch path, so each chunk computes
+        its history features in one vectorised pass.
+        """
         if not self._fitted:
             raise NotFittedError("the One-phase model has not been fitted")
-        return featurize_in_chunks(self.featurizer, profiles)
+        return self.featurizer.featurize_profiles(profiles)
 
     def score_feature_pairs(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
         """Co-location probabilities from two aligned feature matrices."""

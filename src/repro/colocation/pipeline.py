@@ -212,7 +212,7 @@ class CoLocationPipeline:
         self._require_capability(POI_INFERENCE, "POI inference")
         if self.classifier is None:
             raise NotFittedError("the pipeline has no trained POI classifier")
-        features = self._require_featurizer().featurize(profiles)
+        features = self._require_featurizer().featurize_profiles(profiles)
         return self.classifier.predict_proba(features)
 
     def infer_poi(self, profiles: list[Profile]) -> list[int]:
@@ -224,7 +224,7 @@ class CoLocationPipeline:
     # ----------------------------------------------------------------- features
     def features(self, profiles: list[Profile]) -> np.ndarray:
         """Frozen HisRect feature vectors (e.g. for the t-SNE visualisation)."""
-        return self._require_featurizer().featurize(profiles)
+        return self._require_featurizer().featurize_profiles(profiles)
 
     def comp2loc(self) -> Comp2LocJudge:
         """A Comp2Loc judge sharing this pipeline's featurizer and classifier."""

@@ -26,6 +26,7 @@ from repro.core.protocols import (
     ProfileKey,
     TrainableApproach,
     featurize_in_chunks,
+    featurizer_dim,
     pairwise_probability_matrix,
     profile_key,
     shared_poi_probability_matrix,
@@ -41,6 +42,7 @@ __all__ = [
     "FEATURIZE_CHUNK",
     "profile_key",
     "featurize_in_chunks",
+    "featurizer_dim",
     "pairwise_probability_matrix",
     "shared_poi_probability_matrix",
 ]

@@ -25,6 +25,20 @@ ProfileKey = tuple[int, float, str, int]
 FEATURIZE_CHUNK = 64
 
 
+def featurizer_dim(featurizer, default: int = 0) -> int:
+    """The feature dimensionality a featurizer-like object reports.
+
+    Every featurizer exposes ``feature_dim``; the history featurizers also
+    keep their historical ``dimension`` alias, which older duck-typed stubs
+    may be the only thing to offer.  Empty-batch shapes everywhere go through
+    this one lookup so ``(0, D)`` is right for all of them.
+    """
+    dim = getattr(featurizer, "feature_dim", None)
+    if dim is None:
+        dim = getattr(featurizer, "dimension", default)
+    return int(dim)
+
+
 def featurize_in_chunks(featurizer, profiles: "list[Profile]", chunk: int = FEATURIZE_CHUNK) -> np.ndarray:
     """Run profiles through ``featurizer.featurize`` in bounded chunks.
 
@@ -35,7 +49,7 @@ def featurize_in_chunks(featurizer, profiles: "list[Profile]", chunk: int = FEAT
     rows = []
     for start in range(0, len(profiles), chunk):
         rows.append(featurizer.featurize(profiles[start : start + chunk]))
-    return np.concatenate(rows) if rows else np.zeros((0, featurizer.feature_dim))
+    return np.concatenate(rows) if rows else np.zeros((0, featurizer_dim(featurizer)))
 
 
 def shared_poi_probability_matrix(poi_proba: np.ndarray) -> np.ndarray:

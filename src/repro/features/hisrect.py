@@ -147,7 +147,7 @@ class HisRectFeaturizer(Module):
 
         input_dim = 0
         if cfg.use_history:
-            input_dim += self.history_featurizer.dimension
+            input_dim += self.history_featurizer.feature_dim
         if cfg.use_content:
             input_dim += cfg.content_dim
         self.combiner = MLP(
@@ -168,12 +168,34 @@ class HisRectFeaturizer(Module):
 
     def history_feature(self, profile: Profile) -> np.ndarray:
         """``Fv(r)`` with memoisation (it does not depend on trainable weights)."""
-        key = (profile.uid, profile.ts, len(profile.visit_history))
+        key = self._history_key(profile)
         cached = self._history_cache.get(key)
         if cached is None:
             cached = self.history_featurizer.featurize(profile)
             self._history_cache[key] = cached
         return cached
+
+    @staticmethod
+    def _history_key(profile: Profile) -> tuple[int, float, int]:
+        return (profile.uid, profile.ts, len(profile.visit_history))
+
+    def _warm_history_cache(self, profiles: list[Profile]) -> None:
+        """Batch-featurize the histories a forward pass is about to need.
+
+        One vectorised ``featurize_batch`` call replaces per-profile Eq. (1)-(2)
+        loops for every cache miss in the batch; ``history_feature`` then serves
+        each profile from the warmed cache.
+        """
+        missing: dict[tuple[int, float, int], Profile] = {}
+        for profile in profiles:
+            key = self._history_key(profile)
+            if key not in self._history_cache and key not in missing:
+                missing[key] = profile
+        if not missing:
+            return
+        rows = self.history_featurizer.featurize_batch(list(missing.values()))
+        for key, row in zip(missing, rows):
+            self._history_cache[key] = row
 
     def raw_feature(self, profile: Profile) -> Tensor:
         """The concatenated ``[Fv(r), Fc(r)]`` before the combiner."""
@@ -192,6 +214,8 @@ class HisRectFeaturizer(Module):
         """The HisRect features ``F(r)`` of a batch of profiles, ``(B, feature_dim)``."""
         if not profiles:
             raise ValueError("forward() needs at least one profile")
+        if self.config.use_history:
+            self._warm_history_cache(profiles)
         raw = stack([self.raw_feature(p) for p in profiles], axis=0)
         return self.combiner(raw)
 
@@ -203,6 +227,17 @@ class HisRectFeaturizer(Module):
         if was_training:
             self.train()
         return features
+
+    def featurize_profiles(self, profiles: list[Profile]) -> np.ndarray:
+        """Detached feature rows in bounded chunks, ``(B, feature_dim)``.
+
+        The judges' ``featurize_profiles`` delegate here: chunking bounds the
+        autograd graph per forward pass while each chunk still takes the
+        vectorised history fast path.
+        """
+        from repro.core.protocols import featurize_in_chunks
+
+        return featurize_in_chunks(self, profiles)
 
 
 class POIClassifier(Module):

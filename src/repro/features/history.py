@@ -10,6 +10,23 @@ model copes with timelines that contain no POI tweet.
 ``OneHotHistoryFeaturizer`` is the alternative the paper compares against
 (the *One-hot* approach): a normalised visit-count vector over POI identities
 that ignores visit recency and discards visits falling outside every POI.
+
+Batch featurization contract
+----------------------------
+Each featurizer exposes two entry points with one semantics:
+
+* ``featurize(profile)`` — the per-profile **reference implementation**, a
+  plain Python loop over the visit history.  It defines what the feature *is*.
+* ``featurize_batch(profiles)`` — the vectorised fast path used by every
+  serving/training layer.  It flattens all visits of the batch into coordinate
+  and timestamp arrays, runs one broadcast distance (or containment) pass over
+  the whole batch, and segment-sums per profile.
+
+``featurize_batch`` must agree with stacking ``featurize`` per profile
+bitwise-or-epsilon (within a few float64 ulps; the equivalence tests in
+``tests/features/test_history_batch.py`` pin this to ``1e-9``).  Any change to
+one path must be mirrored in the other — the scalar loop is the spec, the
+batch path is the optimisation.
 """
 
 from __future__ import annotations
@@ -35,6 +52,42 @@ class HistoryFeatureConfig:
     eps_t: float = 86_400.0
 
 
+def _uniform_row(dimension: int) -> np.ndarray:
+    """The unit-norm uniform fallback row shared by both featurizers."""
+    uniform = np.ones(dimension)
+    return uniform / np.linalg.norm(uniform)
+
+
+def _flatten_histories(
+    profiles: list[Profile],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten the visit histories of a batch into aligned coordinate arrays.
+
+    Returns ``(counts, lats, lons, ts, ref_ts)`` where ``counts[b]`` is the
+    number of visits of profile ``b`` and the other arrays hold one entry per
+    visit, in batch order (all visits of profile 0, then profile 1, ...).
+    ``ref_ts`` repeats each profile's own timestamp per visit, ready for the
+    temporal-decay computation.
+    """
+    counts = np.array([len(p.visit_history) for p in profiles], dtype=np.int64)
+    visits = [visit for profile in profiles for visit in profile.visit_history]
+    ts = np.array([v.ts for v in visits], dtype=np.float64)
+    lats = np.array([v.lat for v in visits], dtype=np.float64)
+    lons = np.array([v.lon for v in visits], dtype=np.float64)
+    ref_ts = np.repeat(np.array([p.ts for p in profiles], dtype=np.float64), counts)
+    return counts, lats, lons, ts, ref_ts
+
+
+def _normalize_rows(rows: np.ndarray, uniform: np.ndarray) -> np.ndarray:
+    """L2-normalise each row in place; zero-norm rows become the uniform vector."""
+    norms = np.linalg.norm(rows, axis=1)
+    zero = norms == 0.0
+    norms[zero] = 1.0
+    rows /= norms[:, None]
+    rows[zero] = uniform
+    return rows
+
+
 class HistoricalVisitFeaturizer:
     """The paper's temporal-spatial history feature ``Fv(r)`` (Eq. 1-2)."""
 
@@ -45,9 +98,14 @@ class HistoricalVisitFeaturizer:
             raise ValueError("smoothing factors must be positive")
 
     @property
-    def dimension(self) -> int:
+    def feature_dim(self) -> int:
         """Feature dimensionality — one entry per POI."""
         return len(self.registry)
+
+    @property
+    def dimension(self) -> int:
+        """Alias of :attr:`feature_dim` (kept for backwards compatibility)."""
+        return self.feature_dim
 
     def visit_relevance(self, lat: float, lon: float) -> np.ndarray:
         """The spatial-relevance vector ``w(v)`` of Eq. (1) for one visit."""
@@ -55,24 +113,54 @@ class HistoricalVisitFeaturizer:
         return self.config.eps_d / (self.config.eps_d + distances)
 
     def featurize(self, profile: Profile) -> np.ndarray:
-        """``Fv(r)`` for one profile."""
+        """``Fv(r)`` for one profile — the batch path's reference semantics."""
         if not profile.visit_history:
-            uniform = np.ones(self.dimension)
-            return uniform / np.linalg.norm(uniform)
-        accumulated = np.zeros(self.dimension)
+            return _uniform_row(self.feature_dim)
+        accumulated = np.zeros(self.feature_dim)
         for visit in profile.visit_history:
             age = max(0.0, profile.ts - visit.ts)
             temporal_weight = self.config.eps_t / (self.config.eps_t + age)
             accumulated += temporal_weight * self.visit_relevance(visit.lat, visit.lon)
         norm = np.linalg.norm(accumulated)
         if norm == 0.0:
-            uniform = np.ones(self.dimension)
-            return uniform / np.linalg.norm(uniform)
+            return _uniform_row(self.feature_dim)
         return accumulated / norm
 
     def featurize_batch(self, profiles: list[Profile]) -> np.ndarray:
-        """Stack ``Fv`` for a batch of profiles into a ``(B, |P|)`` matrix."""
-        return np.stack([self.featurize(p) for p in profiles]) if profiles else np.zeros((0, self.dimension))
+        """``Fv`` for a batch of profiles as one broadcast computation, ``(B, |P|)``.
+
+        All visits of the batch are scored against every POI in a single
+        ``(total_visits, |P|)`` relevance matrix, temporal-decay weights are
+        applied vectorially and per-profile rows come out of one segment sum
+        (``np.add.reduceat`` over the profile offsets) — no per-visit Python
+        round-trips.  Matches the scalar :meth:`featurize` loop per the module
+        contract.
+        """
+        out = np.empty((len(profiles), self.feature_dim))
+        if not profiles:
+            return out
+        uniform = _uniform_row(self.feature_dim)
+        counts, lats, lons, ts, ref_ts = _flatten_histories(profiles)
+        if len(lats) == 0:
+            out[:] = uniform
+            return out
+        ages = np.maximum(0.0, ref_ts - ts)
+        temporal_weights = self.config.eps_t / (self.config.eps_t + ages)
+        # In-place on the big (total_visits, |P|) buffer: relevance
+        # eps_d / (eps_d + d), then the temporal weight per visit row.
+        weighted = self.registry.distances_from_many(lats, lons)
+        weighted += self.config.eps_d
+        np.divide(self.config.eps_d, weighted, out=weighted)
+        weighted *= temporal_weights[:, None]
+        # reduceat cannot express zero-length segments (it would return the
+        # next row instead of zero), so sum only the non-empty profiles and
+        # give the empty ones the uniform fallback directly.
+        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        nonempty = counts > 0
+        sums = np.add.reduceat(weighted, offsets[nonempty], axis=0)
+        out[nonempty] = _normalize_rows(sums, uniform)
+        out[~nonempty] = uniform
+        return out
 
 
 class OneHotHistoryFeaturizer:
@@ -82,20 +170,43 @@ class OneHotHistoryFeaturizer:
         self.registry = registry
 
     @property
-    def dimension(self) -> int:
+    def feature_dim(self) -> int:
+        """Feature dimensionality — one entry per POI."""
         return len(self.registry)
 
+    @property
+    def dimension(self) -> int:
+        """Alias of :attr:`feature_dim` (kept for backwards compatibility)."""
+        return self.feature_dim
+
     def featurize(self, profile: Profile) -> np.ndarray:
-        counts = np.zeros(self.dimension)
+        """Normalised visit counts for one profile — the batch path's reference."""
+        counts = np.zeros(self.feature_dim)
         for visit in profile.visit_history:
             poi = self.registry.locate(visit.lat, visit.lon)
             if poi is not None:
                 counts[self.registry.index_of(poi.pid)] += 1.0
         norm = np.linalg.norm(counts)
         if norm == 0.0:
-            uniform = np.ones(self.dimension)
-            return uniform / np.linalg.norm(uniform)
+            return _uniform_row(self.feature_dim)
         return counts / norm
 
     def featurize_batch(self, profiles: list[Profile]) -> np.ndarray:
-        return np.stack([self.featurize(p) for p in profiles]) if profiles else np.zeros((0, self.dimension))
+        """Visit-count rows for a batch via one ``locate_batch`` pass, ``(B, |P|)``.
+
+        Every visit of the batch is resolved to its containing POI with the
+        grid-indexed :meth:`repro.geo.poi.POIRegistry.locate_batch`, then the
+        count matrix is built with one scatter-add.  Matches the scalar
+        :meth:`featurize` loop per the module contract.
+        """
+        if not profiles:
+            return np.empty((0, self.feature_dim))
+        uniform = _uniform_row(self.feature_dim)
+        counts, lats, lons, _, _ = _flatten_histories(profiles)
+        rows = np.zeros((len(profiles), self.feature_dim))
+        if len(lats) > 0:
+            located = self.registry.locate_batch(lats, lons)
+            hit = located >= 0
+            profile_of_visit = np.repeat(np.arange(len(profiles)), counts)
+            np.add.at(rows, (profile_of_visit[hit], located[hit]), 1.0)
+        return _normalize_rows(rows, uniform)

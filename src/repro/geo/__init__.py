@@ -21,6 +21,7 @@ from repro.geo.point import (
     centroid,
     equirectangular_m,
     haversine_m,
+    many_to_many_m,
     pairwise_distance_m,
     point_to_many_m,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "UniformGridIndex",
     "haversine_m",
     "equirectangular_m",
+    "many_to_many_m",
     "pairwise_distance_m",
     "point_to_many_m",
     "centroid",

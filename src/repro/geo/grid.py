@@ -12,6 +12,8 @@ import math
 from collections import defaultdict
 from typing import Iterable
 
+import numpy as np
+
 
 class UniformGridIndex:
     """Buckets integer item ids by the grid cells their bounding boxes cover."""
@@ -50,7 +52,29 @@ class UniformGridIndex:
         """Item ids whose bounding boxes may contain the query point."""
         if self._deg_lat is None:
             return ()
-        return tuple(self._cells.get(self._cell_of(lat, lon), ()))
+        return self.candidates_in_cell(self._cell_of(lat, lon))
+
+    def cells_of_batch(self, lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
+        """Grid cells of many query points at once, shape ``(N, 2)``.
+
+        One vectorised floor-divide replaces N scalar :meth:`_cell_of` calls;
+        the batch ``locate`` path groups points by the returned cells so the
+        bucket dictionary is consulted once per distinct cell.
+        """
+        lats = np.asarray(lats, dtype=np.float64)
+        lons = np.asarray(lons, dtype=np.float64)
+        if self._deg_lat is None or len(lats) == 0:
+            return np.zeros((len(lats), 2), dtype=np.int64)
+        cells = np.empty((len(lats), 2), dtype=np.int64)
+        cells[:, 0] = np.floor(lats / self._deg_lat)
+        cells[:, 1] = np.floor(lons / self._deg_lon)
+        return cells
+
+    def candidates_in_cell(self, cell: tuple[int, int]) -> Iterable[int]:
+        """Item ids bucketed in one grid cell (for batch lookups)."""
+        if self._deg_lat is None:
+            return ()
+        return tuple(self._cells.get(cell, ()))
 
     def __len__(self) -> int:
         return sum(len(v) for v in self._cells.values())

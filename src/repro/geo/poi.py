@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.errors import GeometryError
 from repro.geo.grid import UniformGridIndex
-from repro.geo.point import GeoPoint, point_to_many_m
+from repro.geo.point import GeoPoint, many_to_many_m, point_to_many_m
 from repro.geo.polygon import BoundingPolygon
 
 
@@ -132,6 +132,16 @@ class POIRegistry:
         """Distances in metres from ``(lat, lon)`` to every POI center (Eq. 1 input)."""
         return point_to_many_m(lat, lon, self._lats, self._lons)
 
+    def distances_from_many(self, lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
+        """The ``(N, |P|)`` distance matrix from N points to every POI center.
+
+        Row ``i`` agrees with ``distances_from(lats[i], lons[i])`` to within a
+        few float64 ulps (see :func:`repro.geo.point.many_to_many_m`); this is
+        the single broadcast computation behind the vectorised Eq. (1)
+        featurization path.
+        """
+        return many_to_many_m(lats, lons, self._lats, self._lons)
+
     def nearest(self, lat: float, lon: float) -> tuple[POI, float]:
         """Return the nearest POI and its distance ``d(r, P)`` in metres."""
         distances = self.distances_from(lat, lon)
@@ -153,6 +163,47 @@ class POIRegistry:
             if poi.contains(lat, lon):
                 return poi
         return None
+
+    def locate_batch(self, lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
+        """Dense registry indices of the containing POI for many points at once.
+
+        Returns an ``(N,)`` int array; ``-1`` marks points inside no POI.
+        Each entry matches ``locate`` exactly (first inserted polygon wins):
+        cell assignment is one vectorised computation, points are grouped per
+        distinct grid cell, and each candidate polygon tests a whole group
+        through the vectorised ray-casting of
+        :meth:`repro.geo.polygon.BoundingPolygon.contains_batch`.
+        """
+        lats = np.asarray(lats, dtype=np.float64)
+        lons = np.asarray(lons, dtype=np.float64)
+        if lats.shape != lons.shape:
+            raise GeometryError("latitude and longitude arrays must share the same shape")
+        result = np.full(len(lats), -1, dtype=np.int64)
+        if len(lats) == 0:
+            return result
+        cells = self._grid.cells_of_batch(lats, lons)
+        # Regroup candidate pairs POI-major: one vectorised ray-cast per
+        # candidate polygon over all its query points beats one call per grid
+        # cell (many cells hold only a handful of points).  Candidates are
+        # processed in ascending registry index, which is their grid insertion
+        # order, so "first inserted polygon wins" is preserved.
+        points_by_candidate: dict[int, list[int]] = {}
+        cached_candidates: dict[tuple[int, int], Iterable[int]] = {}
+        for point, cell in enumerate(map(tuple, cells.tolist())):
+            candidates = cached_candidates.get(cell)
+            if candidates is None:
+                candidates = self._grid.candidates_in_cell(cell)
+                cached_candidates[cell] = candidates
+            for idx in candidates:
+                points_by_candidate.setdefault(idx, []).append(point)
+        for idx in sorted(points_by_candidate):
+            points = np.array(points_by_candidate[idx], dtype=np.int64)
+            points = points[result[points] == -1]
+            if len(points) == 0:
+                continue
+            hit = self._pois[idx].polygon.contains_batch(lats[points], lons[points])
+            result[points[hit]] = idx
+        return result
 
     def top_k_nearest(self, lat: float, lon: float, k: int) -> list[tuple[POI, float]]:
         """The ``k`` closest POIs and their distances, nearest first."""

@@ -13,6 +13,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import numpy as np
+
 from repro.errors import GeometryError
 from repro.geo.point import GeoPoint
 
@@ -86,6 +88,52 @@ class BoundingPolygon:
     def contains_point(self, point: GeoPoint) -> bool:
         """Point-in-polygon test for a :class:`GeoPoint`."""
         return self.contains(point.lat, point.lon)
+
+    def _edge_arrays(self) -> tuple[np.ndarray, ...]:
+        """Per-edge vertex coordinates as ``(V,)`` arrays, lazily cached.
+
+        ``(yi, xi)`` is each edge's first endpoint, ``(yj, xj)`` its second
+        (the predecessor vertex, matching the scalar ray-cast's iteration).
+        """
+        cached = self.__dict__.get("_edges")
+        if cached is None:
+            yi = np.array([v.lat for v in self.vertices], dtype=np.float64)
+            xi = np.array([v.lon for v in self.vertices], dtype=np.float64)
+            yj = np.roll(yi, 1)
+            xj = np.roll(xi, 1)
+            cached = (yi, xi, yj, xj)
+            # Frozen dataclass: stash through __dict__ (pure cache, not state).
+            object.__setattr__(self, "_edges", cached)
+        return cached
+
+    def contains_batch(self, lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
+        """Vectorised ray-casting over many query points at once.
+
+        Returns a boolean array; entry ``i`` equals ``contains(lats[i],
+        lons[i])`` exactly (the same arithmetic runs element-wise over an
+        ``(edges, points)`` broadcast, including the on-edge tolerance), with
+        none of the per-point Python overhead.
+        """
+        lats = np.asarray(lats, dtype=np.float64)[None, :]
+        lons = np.asarray(lons, dtype=np.float64)[None, :]
+        yi, xi, yj, xj = (a[:, None] for a in self._edge_arrays())
+        cross = (lons - xi) * (yj - yi) - (lats - yi) * (xj - xi)
+        on_edge = (
+            (np.abs(cross) <= 1e-12)
+            & (lons >= np.minimum(xi, xj) - 1e-12)
+            & (lons <= np.maximum(xi, xj) + 1e-12)
+            & (lats >= np.minimum(yi, yj) - 1e-12)
+            & (lats <= np.maximum(yi, yj) + 1e-12)
+        )
+        straddles = (yi > lats) != (yj > lats)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            # Where an edge does not straddle the ray, the division may hit
+            # 0/0; `straddles` masks those lanes just like the scalar
+            # short-circuit does.
+            intersects = straddles & (lons < (xj - xi) * (lats - yi) / (yj - yi) + xi)
+        # Ray-cast parity: odd number of crossed edges == inside.
+        inside = np.bitwise_xor.reduce(intersects, axis=0)
+        return inside | on_edge.any(axis=0)
 
     def bounding_box(self) -> tuple[float, float, float, float]:
         """Return ``(min_lat, min_lon, max_lat, max_lon)``."""

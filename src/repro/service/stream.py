@@ -36,6 +36,8 @@ class OnlineProfileBuilder:
         labelled profiles (their ``pid`` is set).
     max_history:
         Cap on the per-user visit history carried by emitted profiles.
+        ``0`` keeps no visits at all (every profile has an empty history);
+        ``None`` keeps an unbounded history.
     enforce_order:
         When True (default), a tweet older than the user's latest seen tweet
         raises :class:`DataGenerationError` — out-of-order delivery would
@@ -45,10 +47,10 @@ class OnlineProfileBuilder:
     def __init__(
         self,
         registry: POIRegistry,
-        max_history: int = 64,
+        max_history: int | None = 64,
         enforce_order: bool = True,
     ):
-        if max_history < 0:
+        if max_history is not None and max_history < 0:
             raise DataGenerationError("max_history must be non-negative")
         self.registry = registry
         self.max_history = max_history
@@ -97,7 +99,9 @@ class OnlineProfileBuilder:
         self._profiles_built += 1
 
         if tweet.is_geotagged:
-            bucket = self._histories.setdefault(tweet.uid, deque(maxlen=self.max_history or None))
+            # maxlen=0 is a valid deque bound (keep nothing); only None means
+            # unbounded.  `self.max_history or None` would conflate the two.
+            bucket = self._histories.setdefault(tweet.uid, deque(maxlen=self.max_history))
             bucket.append(Visit(ts=tweet.ts, lat=tweet.lat, lon=tweet.lon))  # type: ignore[arg-type]
         return profile
 
@@ -125,8 +129,10 @@ class StreamScorer:
         being re-featurized for every pair it participates in.
     registry:
         POI set for labelling geo-tagged tweets; defaults to the engine's.
-    delta_t / max_distance_m / max_history:
+    delta_t / max_distance_m / max_history / enforce_order:
         Forwarded to the sliding window and the profile builder.
+        ``enforce_order`` keeps the builder's strict default; pass ``False``
+        for tolerant out-of-order ingestion.
     pair_filter:
         Optional predicate applied to candidate pairs *before* they reach the
         engine (e.g. "are these two users friends"), keeping the judged batch
@@ -138,9 +144,10 @@ class StreamScorer:
         engine,
         registry: POIRegistry | None = None,
         delta_t: float = 3600.0,
-        max_history: int = 64,
+        max_history: int | None = 64,
         max_distance_m: float | None = None,
         pair_filter: Callable[[Pair], bool] | None = None,
+        enforce_order: bool = True,
     ):
         from repro.api import ColocationEngine
 
@@ -148,6 +155,7 @@ class StreamScorer:
         self.builder = OnlineProfileBuilder(
             registry if registry is not None else self.engine.registry,
             max_history=max_history,
+            enforce_order=enforce_order,
         )
         self.window = SlidingPairWindow(delta_t=delta_t, max_distance_m=max_distance_m)
         self.pair_filter = pair_filter

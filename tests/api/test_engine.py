@@ -231,6 +231,46 @@ class TestServe:
     def test_features_empty_input_keeps_feature_dim(self, engine, fitted_pipeline):
         assert engine.features([]).shape == (0, fitted_pipeline.featurizer.feature_dim)
 
+    def test_features_empty_input_with_history_featurizer(self, small_registry):
+        # Regression: featurizers exposing the historical `dimension` name
+        # (the raw history featurizers) used to yield a wrong (0, 0) shape.
+        from repro.features import HistoricalVisitFeaturizer
+
+        class HistoryOnlyJudge:
+            def __init__(self, registry):
+                self.featurizer = HistoricalVisitFeaturizer(registry)
+
+            def predict_proba(self, pairs):
+                return np.zeros(len(pairs))
+
+            def featurize_profiles(self, profiles):
+                return self.featurizer.featurize_batch(profiles)
+
+            def score_feature_pairs(self, left, right):
+                return np.zeros(len(left))
+
+        engine = ColocationEngine(HistoryOnlyJudge(small_registry), registry=small_registry)
+        assert engine.features([]).shape == (0, len(small_registry))
+
+    def test_features_empty_input_with_dimension_only_featurizer(self, small_registry):
+        class LegacyFeaturizer:
+            dimension = 7
+
+        class LegacyJudge:
+            featurizer = LegacyFeaturizer()
+
+            def predict_proba(self, pairs):
+                return np.zeros(len(pairs))
+
+            def featurize_profiles(self, profiles):
+                return np.zeros((len(profiles), 7))
+
+            def score_feature_pairs(self, left, right):
+                return np.zeros(len(left))
+
+        engine = ColocationEngine(LegacyJudge(), registry=small_registry)
+        assert engine.features([]).shape == (0, 7)
+
     def test_request_for_profiles_skips_same_user(self, tiny_dataset):
         profiles = tiny_dataset.train.labeled_profiles[:6]
         request = JudgeRequest.for_profiles(profiles[0], profiles)

@@ -96,3 +96,51 @@ class TestPOIRegistry:
         assert small_registry.center_lats.shape == (5,)
         assert small_registry.center_lons.shape == (5,)
         assert np.all(np.isfinite(small_registry.center_lats))
+
+
+class TestLocateBatch:
+    def test_matches_scalar_locate(self, small_registry):
+        rng = np.random.default_rng(3)
+        anchor = small_registry.get(0).center
+        lats, lons = [], []
+        for _ in range(200):
+            point = anchor.offset(
+                north_m=float(rng.uniform(-300.0, 300.0)),
+                east_m=float(rng.uniform(-300.0, 2_000.0)),
+            )
+            lats.append(point.lat)
+            lons.append(point.lon)
+        lats, lons = np.array(lats), np.array(lons)
+        located = small_registry.locate_batch(lats, lons)
+        assert (located >= 0).any()  # the sweep crosses several POI polygons
+        assert (located == -1).any()
+        for i in range(len(lats)):
+            poi = small_registry.locate(lats[i], lons[i])
+            if poi is None:
+                assert located[i] == -1
+            else:
+                assert located[i] == small_registry.index_of(poi.pid)
+
+    def test_poi_centers_locate_to_themselves(self, small_registry):
+        located = small_registry.locate_batch(
+            small_registry.center_lats, small_registry.center_lons
+        )
+        assert located.tolist() == list(range(len(small_registry)))
+
+    def test_empty_input(self, small_registry):
+        assert small_registry.locate_batch(np.empty(0), np.empty(0)).shape == (0,)
+
+    def test_mismatched_shapes_raise(self, small_registry):
+        with pytest.raises(GeometryError):
+            small_registry.locate_batch(np.zeros(2), np.zeros(3))
+
+    def test_distances_from_many_matches_rows(self, small_registry):
+        points = [small_registry.get(1).center.offset(123.0, -45.0), small_registry.get(4).center]
+        lats = np.array([p.lat for p in points])
+        lons = np.array([p.lon for p in points])
+        matrix = small_registry.distances_from_many(lats, lons)
+        assert matrix.shape == (2, len(small_registry))
+        for i in range(2):
+            np.testing.assert_allclose(
+                matrix[i], small_registry.distances_from(lats[i], lons[i]), rtol=1e-12, atol=1e-9
+            )

@@ -13,6 +13,7 @@ from repro.geo import (
     centroid,
     equirectangular_m,
     haversine_m,
+    many_to_many_m,
     pairwise_distance_m,
     point_to_many_m,
 )
@@ -97,6 +98,49 @@ class TestDistances:
         d = pairwise_distance_m([40.7, 40.7], [-74.0, -74.0], [40.7, 40.71], [-74.0, -74.0])
         assert d[0] == 0.0
         assert d[1] > 1000.0
+
+
+class TestManyToMany:
+    def test_matches_point_to_many_rows(self):
+        rng = np.random.default_rng(7)
+        lats1 = rng.uniform(40.5, 41.0, size=17)
+        lons1 = rng.uniform(-74.2, -73.8, size=17)
+        lats2 = rng.uniform(40.5, 41.0, size=9)
+        lons2 = rng.uniform(-74.2, -73.8, size=9)
+        matrix = many_to_many_m(lats1, lons1, lats2, lons2)
+        assert matrix.shape == (17, 9)
+        for i in range(len(lats1)):
+            np.testing.assert_allclose(
+                matrix[i], point_to_many_m(lats1[i], lons1[i], lats2, lons2), rtol=1e-12, atol=1e-9
+            )
+
+    def test_matches_equirectangular_entries(self):
+        matrix = many_to_many_m([40.7], [-74.0], [40.71, 40.8], [-74.0, -73.9])
+        assert matrix[0, 0] == pytest.approx(equirectangular_m(40.7, -74.0, 40.71, -74.0), rel=1e-12)
+        assert matrix[0, 1] == pytest.approx(equirectangular_m(40.7, -74.0, 40.8, -73.9), rel=1e-12)
+
+    def test_zero_distance_diagonal(self):
+        lats, lons = np.array([40.7, 40.8]), np.array([-74.0, -73.9])
+        matrix = many_to_many_m(lats, lons, lats, lons)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_empty_sides(self):
+        assert many_to_many_m([], [], [40.7], [-74.0]).shape == (0, 1)
+        assert many_to_many_m([40.7], [-74.0], [], []).shape == (1, 0)
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(GeometryError):
+            many_to_many_m([40.7], [-74.0, -73.9], [40.7], [-74.0])
+        with pytest.raises(GeometryError):
+            many_to_many_m([[40.7]], [[-74.0]], [40.7], [-74.0])
+
+    @given(lat1=LAT, lon1=LON, lat2=LAT, lon2=LON)
+    @settings(max_examples=30, deadline=None)
+    def test_property_agrees_with_scalar_equirectangular(self, lat1, lon1, lat2, lon2):
+        matrix = many_to_many_m([lat1], [lon1], [lat2], [lon2])
+        assert matrix[0, 0] == pytest.approx(
+            equirectangular_m(lat1, lon1, lat2, lon2), rel=1e-9, abs=1e-6
+        )
 
 
 class TestCentroid:

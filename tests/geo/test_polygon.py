@@ -82,3 +82,49 @@ class TestRegularPolygon:
         polygon = BoundingPolygon.regular(center, radius, sides=12)
         outside = center.offset(radius * 3.0, 0.0)
         assert not polygon.contains_point(outside)
+
+
+class TestContainsBatch:
+    @given(
+        north_m=st.floats(min_value=-400.0, max_value=400.0, allow_nan=False),
+        east_m=st.floats(min_value=-400.0, max_value=400.0, allow_nan=False),
+        sides=st.integers(min_value=3, max_value=12),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_scalar_contains(self, north_m, east_m, sides):
+        import numpy as np
+
+        center = GeoPoint(40.75, -73.99)
+        polygon = BoundingPolygon.regular(center, 150.0, sides=sides)
+        point = center.offset(north_m, east_m)
+        batch = polygon.contains_batch(np.array([point.lat]), np.array([point.lon]))
+        assert bool(batch[0]) == polygon.contains(point.lat, point.lon)
+
+    def test_batch_over_mixed_points(self):
+        import numpy as np
+
+        center = GeoPoint(40.75, -73.99)
+        polygon = square(center)
+        points = [center, center.offset(50.0, 50.0), center.offset(500.0, 0.0), center.offset(0.0, -99.0)]
+        lats = np.array([p.lat for p in points])
+        lons = np.array([p.lon for p in points])
+        batch = polygon.contains_batch(lats, lons)
+        expected = [polygon.contains(p.lat, p.lon) for p in points]
+        assert batch.tolist() == expected
+
+    def test_on_vertex_and_edge_points_count_as_inside(self):
+        import numpy as np
+
+        polygon = BoundingPolygon.from_latlon_pairs([(0.0, 0.0), (0.0, 1.0), (1.0, 1.0), (1.0, 0.0)])
+        lats = np.array([0.0, 0.0, 0.5])  # a vertex, an edge midpoint, an interior edge point
+        lons = np.array([0.0, 0.5, 0.0])
+        batch = polygon.contains_batch(lats, lons)
+        assert batch.all()
+        for lat, lon in zip(lats, lons):
+            assert polygon.contains(lat, lon)
+
+    def test_empty_input(self):
+        import numpy as np
+
+        polygon = square(GeoPoint(40.75, -73.99))
+        assert polygon.contains_batch(np.empty(0), np.empty(0)).shape == (0,)

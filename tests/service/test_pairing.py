@@ -83,3 +83,44 @@ class TestSlidingPairWindow:
             for pair in window.add(make_profile(uid % 5, ts)):
                 assert pair.left.uid != pair.right.uid
                 assert abs(pair.left.ts - pair.right.ts) < delta_t
+
+
+class TestDeltaTBoundary:
+    """Pin Definition 5's strict inequality: a gap of exactly Δt is out.
+
+    Both the eviction sweep and the pairing check use ``>= delta_t``; these
+    boundary tests keep the vectorization work from drifting either one to a
+    non-strict comparison.
+    """
+
+    def test_gap_of_exactly_delta_t_is_not_paired(self):
+        window = SlidingPairWindow(delta_t=50.0)
+        window.add(make_profile(1, 0.0))
+        assert window.add(make_profile(2, 50.0)) == []
+
+    def test_gap_just_below_delta_t_is_paired(self):
+        window = SlidingPairWindow(delta_t=50.0)
+        window.add(make_profile(1, 0.0))
+        assert len(window.add(make_profile(2, 49.999))) == 1
+
+    def test_gap_of_exactly_delta_t_is_evicted(self):
+        window = SlidingPairWindow(delta_t=50.0)
+        window.add(make_profile(1, 0.0))
+        window.add(make_profile(2, 50.0))
+        # The ts=0 profile aged out (gap == delta_t); only ts=50 remains.
+        assert [p.ts for p in window.profiles] == [50.0]
+
+    def test_gap_just_below_delta_t_is_retained(self):
+        window = SlidingPairWindow(delta_t=50.0)
+        window.add(make_profile(1, 0.0))
+        window.add(make_profile(2, 49.999))
+        assert [p.ts for p in window.profiles] == [0.0, 49.999]
+
+    def test_eviction_and_pairing_agree_at_the_boundary(self):
+        # A profile excluded from pairing by the boundary is also evicted, so
+        # the window never retains profiles that can no longer pair.
+        window = SlidingPairWindow(delta_t=50.0)
+        window.add(make_profile(1, 0.0))
+        candidates = window.add(make_profile(2, 50.0))
+        assert candidates == []
+        assert len(window) == 1

@@ -76,3 +76,50 @@ class TestOnlineProfileBuilder:
     def test_negative_max_history_raises(self, small_registry):
         with pytest.raises(DataGenerationError):
             OnlineProfileBuilder(small_registry, max_history=-1)
+
+    def test_zero_max_history_keeps_no_visits(self, small_registry):
+        # Regression: deque(maxlen=0 or None) silently meant *unbounded*;
+        # max_history=0 must mean "emit profiles with no history at all".
+        builder = OnlineProfileBuilder(small_registry, max_history=0)
+        for step in range(4):
+            profile = builder.consume(poi_tweet(small_registry, uid=1, ts=float(step)))
+            assert profile.visit_history == ()
+        assert builder.history(1) == ()
+
+    def test_none_max_history_is_unbounded(self, small_registry):
+        builder = OnlineProfileBuilder(small_registry, max_history=None)
+        for step in range(100):
+            builder.consume(poi_tweet(small_registry, uid=1, ts=float(step)))
+        assert len(builder.history(1)) == 100
+
+
+class _StubJudge:
+    """Minimal judge for exercising the scorer plumbing without a model."""
+
+    def predict_proba(self, pairs):
+        return [0.5] * len(pairs)
+
+
+class TestStreamScorerOrdering:
+    def test_default_is_strict(self, small_registry):
+        from repro.service import StreamScorer
+
+        scorer = StreamScorer(_StubJudge(), registry=small_registry)
+        scorer.process(plain_tweet(uid=1, ts=100.0))
+        with pytest.raises(DataGenerationError):
+            scorer.process(plain_tweet(uid=1, ts=50.0))
+
+    def test_enforce_order_false_reaches_the_builder(self, small_registry):
+        from repro.service import StreamScorer
+
+        scorer = StreamScorer(_StubJudge(), registry=small_registry, enforce_order=False)
+        scorer.process(plain_tweet(uid=1, ts=100.0))
+        scored = scorer.process(plain_tweet(uid=1, ts=50.0))  # tolerated, same user: no pairs
+        assert scored == []
+        assert scorer.builder.enforce_order is False
+
+    def test_max_history_none_reaches_the_builder(self, small_registry):
+        from repro.service import StreamScorer
+
+        scorer = StreamScorer(_StubJudge(), registry=small_registry, max_history=None)
+        assert scorer.builder.max_history is None

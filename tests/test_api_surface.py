@@ -36,6 +36,7 @@ class TestExportedNames:
             "TrainableApproach",
             "TrainingStrategy",
             "featurize_in_chunks",
+            "featurizer_dim",
             "pairwise_probability_matrix",
             "profile_key",
             "shared_poi_probability_matrix",
