@@ -135,12 +135,21 @@ class CoLocationPipeline:
             tokenizer=tokenizer,
             max_tokens=16,
             min_tokens=4,
+            # Epoch scans revisit every training tweet; keep them all resident
+            # so the LRU never thrashes during training.
+            cache_size=max(4096, 2 * len(corpus)),
         )
 
     def _build_featurizer(self, dataset: ColocationDataset) -> HisRectFeaturizer:
         cfg = self.config
         vectorizer = self.vectorizer if cfg.hisrect.use_content else None
         self.featurizer = HisRectFeaturizer(dataset.registry, vectorizer, cfg.hisrect)
+        # Like the vectorizer cache: keep every training profile's Fv(r) row
+        # resident so epoch scans never thrash the LRU.
+        num_profiles = len(dataset.train.labeled_profiles) + len(dataset.train.unlabeled_profiles)
+        self.featurizer.history_cache_size = max(
+            HisRectFeaturizer.HISTORY_CACHE_SIZE, 2 * num_profiles
+        )
         return self.featurizer
 
     # --------------------------------------------------------------------- fit

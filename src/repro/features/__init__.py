@@ -10,6 +10,7 @@ from repro.features.content import (
     ContentEncoderConfig,
     ConvLSTMContentEncoder,
     TextVectorizer,
+    VectorizerCacheInfo,
     make_content_encoder,
 )
 from repro.features.history import (
@@ -31,6 +32,7 @@ __all__ = [
     "ContentEncoder",
     "ContentEncoderConfig",
     "TextVectorizer",
+    "VectorizerCacheInfo",
     "BiLSTMCContentEncoder",
     "BLSTMContentEncoder",
     "ConvLSTMContentEncoder",

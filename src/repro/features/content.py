@@ -22,11 +22,28 @@ benchmarks:
 
 All encoders share a :class:`TextVectorizer` that tokenises, maps to
 vocabulary ids, looks up the (frozen) skip-gram vectors and pads very short
-tweets so the convolution always has at least ``kernel_height`` rows.
+(or empty) tweets so the convolution always has at least ``kernel_height``
+rows.  Its per-profile word-vector cache is a bounded LRU
+(:attr:`TextVectorizer.cache_stats` reports hits/misses/evictions), so
+long-running serving cannot leak one entry per distinct tweet forever.
+
+**Batch contract.**  Every encoder exposes two paths:
+
+* ``encode(profile)`` — the scalar reference implementation, one profile at a
+  time; kept as the documented ground truth.
+* ``encode_batch(profiles)`` — the hot path: ``TextVectorizer.vectorize_batch``
+  right-pads the ``B`` tweets into one ``(B, T, M)`` tensor with a length
+  vector, the recurrent layers step over time once for the whole batch
+  (``(B, 4N)`` fused gate matmuls instead of ``B`` separate ``(1, 4N)``
+  calls), and masked mean/attention pooling restricts each row's reduction to
+  its valid positions.  Rows match ``encode`` within 1e-9
+  (``tests/features/test_content_batch.py`` pins the contract), and the path
+  is autograd-compatible so training and cold-miss serving share it.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -37,8 +54,8 @@ from repro.nn.conv import TemporalConv
 from repro.nn.gru import BiGRU
 from repro.nn.layers import Linear
 from repro.nn.module import Module
-from repro.nn.pooling import AttentionPooling
-from repro.nn.recurrent import BiLSTM, ConvLSTM
+from repro.nn.pooling import AttentionPooling, masked_mean_over_time
+from repro.nn.recurrent import BiLSTM, ConvLSTM, time_mask
 from repro.text.skipgram import SkipGramModel
 from repro.text.tokenize import STOPWORD_TOKEN, Tokenizer, Vocabulary
 
@@ -60,8 +77,37 @@ class ContentEncoderConfig:
     seed: int = 31
 
 
+@dataclass(frozen=True)
+class VectorizerCacheInfo:
+    """Snapshot of the :class:`TextVectorizer` word-vector cache statistics."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of vectorize lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
 class TextVectorizer:
-    """Tokenise + encode + embed tweet text into a ``(T, M)`` word-vector matrix."""
+    """Tokenise + encode + embed tweet text into a ``(T, M)`` word-vector matrix.
+
+    Parameters
+    ----------
+    cache_size:
+        Maximum number of per-profile word-vector matrices kept in the LRU
+        cache (the same eviction pattern as the serving engine's feature
+        cache).  ``0`` disables caching; the previous unbounded dict grew one
+        entry per distinct ``(uid, ts, content)`` forever — a memory leak in
+        long-running serving.  Training scans revisit every profile each
+        epoch, so trainers should size the cache at least as large as the
+        training set (the pipeline does) or the LRU thrashes.
+    """
 
     def __init__(
         self,
@@ -70,25 +116,49 @@ class TextVectorizer:
         tokenizer: Tokenizer | None = None,
         max_tokens: int = 16,
         min_tokens: int = 4,
+        cache_size: int = 4096,
     ):
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
         self.vocabulary = vocabulary
         self.skipgram = skipgram
         self.tokenizer = tokenizer or Tokenizer()
         self.max_tokens = max_tokens
         self.min_tokens = min_tokens
+        self.cache_size = cache_size
         self._pad_id = vocabulary.token_to_id.get(STOPWORD_TOKEN, vocabulary.unknown_id)
-        self._cache: dict[tuple[int, float, str], np.ndarray] = {}
+        self._cache: OrderedDict[tuple[int, float, str], np.ndarray] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
 
     @property
     def word_dim(self) -> int:
         """Dimensionality ``M`` of the word vectors."""
         return self.skipgram.embedding_dim
 
+    @property
+    def cache_stats(self) -> VectorizerCacheInfo:
+        """Current word-vector cache statistics."""
+        return VectorizerCacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._cache),
+            maxsize=self.cache_size,
+        )
+
     def token_ids(self, text: str) -> list[int]:
-        """Vocabulary ids of a tweet, truncated/padded to the configured bounds."""
+        """Vocabulary ids of a tweet, truncated/padded to the configured bounds.
+
+        Empty and whitespace-only tweets tokenise to nothing and come back as
+        an all-pad sequence; the floor of one token (even with
+        ``min_tokens=0``) guarantees every profile yields a non-empty
+        sequence the recurrent encoders can consume.
+        """
         tokens = self.tokenizer.tokenize(text)[: self.max_tokens]
         ids = self.vocabulary.encode(tokens) if tokens else []
-        while len(ids) < self.min_tokens:
+        while len(ids) < max(1, self.min_tokens):
             ids.append(self._pad_id)
         return ids
 
@@ -97,10 +167,34 @@ class TextVectorizer:
         key = (profile.uid, profile.ts, profile.content)
         cached = self._cache.get(key)
         if cached is not None:
+            self._cache.move_to_end(key)
+            self._hits += 1
             return cached
+        self._misses += 1
         matrix = self.skipgram.encode_sequence(self.token_ids(profile.content))
-        self._cache[key] = matrix
+        if self.cache_size > 0:
+            self._cache[key] = matrix
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+                self._evictions += 1
         return matrix
+
+    def vectorize_batch(self, profiles: list[Profile]) -> tuple[np.ndarray, np.ndarray]:
+        """Right-pad the profiles' word-vector matrices into one batch tensor.
+
+        Returns the ``(B, T, M)`` tensor (``T`` the longest sequence, shorter
+        rows zero-padded on the right) and the ``(B,)`` length vector the
+        batched encoders mask with.  Per-profile matrices go through
+        :meth:`vectorize`, so the LRU cache is shared with the scalar path.
+        """
+        if not profiles:
+            return np.zeros((0, max(1, self.min_tokens), self.word_dim)), np.zeros(0, dtype=np.int64)
+        matrices = [self.vectorize(profile) for profile in profiles]
+        lengths = np.array([matrix.shape[0] for matrix in matrices], dtype=np.int64)
+        batch = np.zeros((len(matrices), int(lengths.max()), self.word_dim))
+        for row, matrix in enumerate(matrices):
+            batch[row, : matrix.shape[0]] = matrix
+        return batch, lengths
 
 
 class ContentEncoder(Module):
@@ -116,7 +210,22 @@ class ContentEncoder(Module):
         return self.config.feature_dim
 
     def encode(self, profile: Profile) -> Tensor:
-        """Return the ``(feature_dim,)`` content feature of one profile."""
+        """The ``(feature_dim,)`` content feature of one profile (scalar reference)."""
+        raise NotImplementedError
+
+    def encode_batch(self, profiles: list[Profile]) -> Tensor:
+        """The ``(B, feature_dim)`` content features of a batch of profiles.
+
+        The hot path: one padded ``(B, T, M)`` tensor, batched recurrence and
+        masked pooling.  Each row matches :meth:`encode` within 1e-9.
+        """
+        if not profiles:
+            return Tensor(np.zeros((0, self.config.feature_dim)))
+        batch, lengths = self.vectorizer.vectorize_batch(profiles)
+        return self._encode_batch(Tensor(batch), lengths)
+
+    def _encode_batch(self, sequences: Tensor, lengths: np.ndarray) -> Tensor:
+        """Encode a padded ``(B, T, M)`` tensor with its length vector."""
         raise NotImplementedError
 
     def forward(self, profile: Profile) -> Tensor:
@@ -145,6 +254,19 @@ class BiLSTMCContentEncoder(ContentEncoder):
         feature_map = self.conv(stacked).relu()  # (T - 2, N)
         return feature_map.mean(axis=0)
 
+    def _encode_batch(self, sequences: Tensor, lengths: np.ndarray) -> Tensor:
+        kernel_height = self.conv.kernel_height
+        if int(lengths.min()) < kernel_height:
+            raise ValueError(
+                f"every sequence must have at least {kernel_height} tokens for the "
+                "BiLSTM-C convolution; raise TextVectorizer.min_tokens"
+            )
+        stacked = self.bilstm.forward_batch(sequences, lengths, stacked_channels=True)
+        feature_map = self.conv.forward_batch(stacked).relu()  # (B, T - 2, N)
+        # Conv position i is valid iff its last row i + kh - 1 is a real token.
+        conv_mask = time_mask(lengths - (kernel_height - 1), feature_map.shape[1])
+        return masked_mean_over_time(feature_map, conv_mask)
+
 
 class BLSTMContentEncoder(ContentEncoder):
     """Bidirectional LSTM without the convolution layer (the *BLSTM* approach)."""
@@ -168,6 +290,11 @@ class BLSTMContentEncoder(ContentEncoder):
         pooled = states.mean(axis=0).reshape(1, 2 * self.config.feature_dim)
         return self.project(pooled).relu().reshape(self.config.feature_dim)
 
+    def _encode_batch(self, sequences: Tensor, lengths: np.ndarray) -> Tensor:
+        states = self.bilstm.forward_batch(sequences, lengths)  # (B, T, 2N)
+        pooled = masked_mean_over_time(states, time_mask(lengths, states.shape[1]))
+        return self.project(pooled).relu()
+
 
 class ConvLSTMContentEncoder(ContentEncoder):
     """ConvLSTM encoder (convolutional input/state transitions, Shi et al. 2015)."""
@@ -184,6 +311,11 @@ class ConvLSTMContentEncoder(ContentEncoder):
         states = self.convlstm(sequence)  # (T, M)
         pooled = states.mean(axis=0).reshape(1, self.vectorizer.word_dim)
         return self.project(pooled).relu().reshape(self.config.feature_dim)
+
+    def _encode_batch(self, sequences: Tensor, lengths: np.ndarray) -> Tensor:
+        states = self.convlstm.forward_batch(sequences, lengths)  # (B, T, M)
+        pooled = masked_mean_over_time(states, time_mask(lengths, states.shape[1]))
+        return self.project(pooled).relu()
 
 
 class BiGRUContentEncoder(ContentEncoder):
@@ -206,6 +338,11 @@ class BiGRUContentEncoder(ContentEncoder):
         states = self.bigru(sequence)  # (T, 2N)
         pooled = states.mean(axis=0).reshape(1, 2 * self.config.feature_dim)
         return self.project(pooled).relu().reshape(self.config.feature_dim)
+
+    def _encode_batch(self, sequences: Tensor, lengths: np.ndarray) -> Tensor:
+        states = self.bigru.forward_batch(sequences, lengths)  # (B, T, 2N)
+        pooled = masked_mean_over_time(states, time_mask(lengths, states.shape[1]))
+        return self.project(pooled).relu()
 
 
 class AttentionContentEncoder(ContentEncoder):
@@ -234,6 +371,11 @@ class AttentionContentEncoder(ContentEncoder):
         states = self.bilstm(sequence)  # (T, 2N)
         pooled = self.pooling(states).reshape(1, 2 * self.config.feature_dim)
         return self.project(pooled).relu().reshape(self.config.feature_dim)
+
+    def _encode_batch(self, sequences: Tensor, lengths: np.ndarray) -> Tensor:
+        states = self.bilstm.forward_batch(sequences, lengths)  # (B, T, 2N)
+        pooled = self.pooling.forward_batch(states, time_mask(lengths, states.shape[1]))
+        return self.project(pooled).relu()
 
     def attention_weights(self, profile: Profile) -> np.ndarray:
         """The per-token attention distribution (for inspection)."""

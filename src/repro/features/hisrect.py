@@ -14,6 +14,7 @@ The featurizer also covers the paper's feature ablations through its config:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,7 +33,7 @@ from repro.features.history import (
     OneHotHistoryFeaturizer,
 )
 from repro.geo.poi import POIRegistry
-from repro.nn.autograd import Tensor, concatenate, stack
+from repro.nn.autograd import Tensor, concatenate
 from repro.nn.layers import MLP, Dropout, Linear, l2_normalize
 from repro.nn.module import Module
 
@@ -116,6 +117,12 @@ _register_featurizer_variants()
 class HisRectFeaturizer(Module):
     """The HisRect featurizer ``F`` (paper Sections 4.1-4.3)."""
 
+    #: Default bound on memoised ``Fv(r)`` rows; caps the history cache in
+    #: long-running serving the same way the vectorizer and engine LRUs do.
+    #: Trainers should raise the instance's ``history_cache_size`` to the
+    #: training-set size (the pipeline does) so epoch scans stay warm.
+    HISTORY_CACHE_SIZE = 8192
+
     def __init__(
         self,
         registry: POIRegistry,
@@ -158,7 +165,8 @@ class HisRectFeaturizer(Module):
             init_std=cfg.init_std,
             rng=rng,
         )
-        self._history_cache: dict[tuple[int, float, int], np.ndarray] = {}
+        self.history_cache_size = self.HISTORY_CACHE_SIZE
+        self._history_cache: OrderedDict[tuple[int, float, int], np.ndarray] = OrderedDict()
 
     # ----------------------------------------------------------------- pieces
     @property
@@ -172,33 +180,56 @@ class HisRectFeaturizer(Module):
         cached = self._history_cache.get(key)
         if cached is None:
             cached = self.history_featurizer.featurize(profile)
-            self._history_cache[key] = cached
+            self._store_history_row(key, cached)
+        else:
+            self._history_cache.move_to_end(key)
         return cached
 
     @staticmethod
     def _history_key(profile: Profile) -> tuple[int, float, int]:
         return (profile.uid, profile.ts, len(profile.visit_history))
 
-    def _warm_history_cache(self, profiles: list[Profile]) -> None:
-        """Batch-featurize the histories a forward pass is about to need.
+    def _store_history_row(self, key: tuple[int, float, int], row: np.ndarray) -> None:
+        self._history_cache[key] = row
+        self._history_cache.move_to_end(key)
+        while len(self._history_cache) > self.history_cache_size:
+            self._history_cache.popitem(last=False)
+
+    def _history_rows(self, profiles: list[Profile]) -> np.ndarray:
+        """The ``(B, |P|)`` history rows of a batch through the LRU memo.
 
         One vectorised ``featurize_batch`` call replaces per-profile Eq. (1)-(2)
-        loops for every cache miss in the batch; ``history_feature`` then serves
-        each profile from the warmed cache.
+        loops for every cache miss in the batch; rows come back directly, so
+        the result is right even when the batch outgrows the cache bound.
         """
+        keys = [self._history_key(p) for p in profiles]
+        resolved: dict[tuple[int, float, int], np.ndarray] = {}
         missing: dict[tuple[int, float, int], Profile] = {}
-        for profile in profiles:
-            key = self._history_key(profile)
-            if key not in self._history_cache and key not in missing:
+        for key, profile in zip(keys, profiles):
+            if key in resolved or key in missing:
+                continue
+            row = self._history_cache.get(key)
+            if row is not None:
+                self._history_cache.move_to_end(key)
+                resolved[key] = row
+            else:
                 missing[key] = profile
-        if not missing:
-            return
-        rows = self.history_featurizer.featurize_batch(list(missing.values()))
-        for key, row in zip(missing, rows):
-            self._history_cache[key] = row
+        if missing:
+            rows = self.history_featurizer.featurize_batch(list(missing.values()))
+            for key, row in zip(missing, rows):
+                # Copy: the row is a view into the whole featurized batch, and
+                # caching the view would pin that batch in memory.
+                row = np.array(row, copy=True)
+                resolved[key] = row
+                self._store_history_row(key, row)
+        return np.stack([resolved[key] for key in keys])
 
     def raw_feature(self, profile: Profile) -> Tensor:
-        """The concatenated ``[Fv(r), Fc(r)]`` before the combiner."""
+        """The concatenated ``[Fv(r), Fc(r)]`` of one profile (scalar reference).
+
+        Uses the content encoder's scalar ``encode``; :meth:`forward` takes
+        the batched path and must match this row by row within 1e-9.
+        """
         parts: list[Tensor] = []
         if self.config.use_history:
             parts.append(Tensor(self.history_feature(profile)))
@@ -211,12 +242,22 @@ class HisRectFeaturizer(Module):
 
     # ---------------------------------------------------------------- forward
     def forward(self, profiles: list[Profile]) -> Tensor:
-        """The HisRect features ``F(r)`` of a batch of profiles, ``(B, feature_dim)``."""
+        """The HisRect features ``F(r)`` of a batch of profiles, ``(B, feature_dim)``.
+
+        Both feature halves take their vectorised fast paths: histories warm
+        through one ``featurize_batch`` call and the content encoder runs its
+        batched recurrence (``ContentEncoder.encode_batch``), so training and
+        cold-miss serving never loop the Python-level per-profile encoders.
+        """
         if not profiles:
             raise ValueError("forward() needs at least one profile")
+        parts: list[Tensor] = []
         if self.config.use_history:
-            self._warm_history_cache(profiles)
-        raw = stack([self.raw_feature(p) for p in profiles], axis=0)
+            parts.append(Tensor(self._history_rows(profiles)))
+        if self.config.use_content:
+            assert self.content_encoder is not None
+            parts.append(self.content_encoder.encode_batch(profiles))
+        raw = parts[0] if len(parts) == 1 else concatenate(parts, axis=1)
         return self.combiner(raw)
 
     def featurize(self, profiles: list[Profile]) -> np.ndarray:
@@ -228,12 +269,23 @@ class HisRectFeaturizer(Module):
             self.train()
         return features
 
+    def featurize_batch(self, profiles: list[Profile]) -> np.ndarray:
+        """Detached feature rows via one batched forward, ``(B, feature_dim)``.
+
+        :meth:`featurize` plus an empty-batch guard.  The serving stack
+        reaches the batch path through :meth:`featurize_profiles`, which
+        chunks unbounded batches before taking the same forward.
+        """
+        if not profiles:
+            return np.zeros((0, self.feature_dim))
+        return self.featurize(profiles)
+
     def featurize_profiles(self, profiles: list[Profile]) -> np.ndarray:
         """Detached feature rows in bounded chunks, ``(B, feature_dim)``.
 
         The judges' ``featurize_profiles`` delegate here: chunking bounds the
         autograd graph per forward pass while each chunk still takes the
-        vectorised history fast path.
+        vectorised history and batched content fast paths.
         """
         from repro.core.protocols import featurize_in_chunks
 

@@ -63,6 +63,7 @@ def save_pipeline(pipeline: CoLocationPipeline, directory: str | pathlib.Path) -
         manifest["text_stack"] = {
             "max_tokens": pipeline.vectorizer.max_tokens,
             "min_tokens": pipeline.vectorizer.min_tokens,
+            "cache_size": pipeline.vectorizer.cache_size,
         }
         vocab = pipeline.vocabulary
         (directory / "vocabulary.json").write_text(
@@ -151,6 +152,7 @@ def load_pipeline(directory: str | pathlib.Path) -> CoLocationPipeline:
             tokenizer=Tokenizer(),
             max_tokens=int(text_settings.get("max_tokens", 16)),
             min_tokens=int(text_settings.get("min_tokens", 4)),
+            cache_size=int(text_settings.get("cache_size", 4096)),
         )
         pipeline.vocabulary = vocabulary
         pipeline.skipgram = skipgram

@@ -12,6 +12,8 @@ from repro.nn.pooling import (
     MaxOverTime,
     MeanOverTime,
     make_pooling,
+    masked_mean_over_time,
+    masked_softmax_over_time,
     softmax_over_time,
 )
 from repro.nn.losses import (
@@ -36,7 +38,7 @@ from repro.nn.schedulers import (
     StepDecay,
     WarmupWrapper,
 )
-from repro.nn.recurrent import LSTM, BiLSTM, ConvLSTM, ConvLSTMCell, LSTMCell
+from repro.nn.recurrent import LSTM, BiLSTM, ConvLSTM, ConvLSTMCell, LSTMCell, time_mask
 
 __all__ = [
     "Tensor",
@@ -90,6 +92,9 @@ __all__ = [
     "LastState",
     "make_pooling",
     "softmax_over_time",
+    "masked_mean_over_time",
+    "masked_softmax_over_time",
+    "time_mask",
     "LRScheduler",
     "InverseTimeDecay",
     "ExponentialDecay",

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.autograd import Tensor, concatenate
+from repro.nn.autograd import Tensor, concatenate, stack
 from repro.nn.module import Module, Parameter
 
 
@@ -72,6 +72,32 @@ class Conv2D(Module):
             rows.append(row)
         return concatenate(rows, axis=0)
 
+    def forward_batch(self, images: Tensor) -> Tensor:
+        """Convolve a ``(B, H, W, C_in)`` batch into ``(B, H', W', C_out)``.
+
+        Each output position is one ``(B, fan_in) @ (fan_in, C_out)`` matmul
+        covering the whole batch, so the per-position Python loop is paid once
+        per batch instead of once per image; each row matches :meth:`forward`.
+        """
+        batch, height, width, channels = images.shape
+        if channels != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {channels}")
+        out_h = height - self.kernel_height + 1
+        out_w = width - self.kernel_width + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError(
+                "input is smaller than the kernel: "
+                f"({height}, {width}) vs ({self.kernel_height}, {self.kernel_width})"
+            )
+        positions = []
+        for i in range(out_h):
+            for j in range(out_w):
+                patch = images[:, i : i + self.kernel_height, j : j + self.kernel_width, :]
+                flat = patch.reshape(batch, self.kernel_height * self.kernel_width * channels)
+                positions.append(flat @ self.weight + self.bias)
+        grid = stack(positions, axis=1)  # (B, out_h * out_w, C_out)
+        return grid.reshape(batch, out_h, out_w, self.out_channels)
+
 
 class TemporalConv(Module):
     """The BiLSTM-C convolution: a full-width, height-3 filter bank over time.
@@ -107,3 +133,11 @@ class TemporalConv(Module):
         feature_map = self.conv(stacked_states)  # (T - kh + 1, 1, width)
         out_h = steps - self.kernel_height + 1
         return feature_map.reshape(out_h, self.width)
+
+    def forward_batch(self, stacked_states: Tensor) -> Tensor:
+        """Convolve a ``(B, T, N, 2)`` batch of stacked states into ``(B, T - kh + 1, N)``."""
+        batch, steps, width, channels = stacked_states.shape
+        if width != self.width or channels != 2:
+            raise ValueError(f"expected (B, T, {self.width}, 2) input, got {stacked_states.shape}")
+        feature_map = self.conv.forward_batch(stacked_states)  # (B, T - kh + 1, 1, width)
+        return feature_map.reshape(batch, steps - self.kernel_height + 1, self.width)

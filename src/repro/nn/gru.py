@@ -4,15 +4,19 @@ The paper's content encoder is a bidirectional LSTM (plus convolution —
 ``BiLSTM-C``); a GRU encoder is a natural lighter-weight alternative that the
 reproduction ships as an extension approach (``BGRU`` in
 :mod:`repro.features.content`).  Interfaces mirror :mod:`repro.nn.recurrent`:
-sequences are ``(T, input_size)`` tensors processed one profile at a time.
+``forward`` is the scalar ``(T, input_size)`` reference path and
+``forward_batch`` steps a right-padded ``(B, T, input_size)`` batch with a
+length vector, fusing the gate matmuls into ``(B, ...)`` calls and freezing
+finished rows' states so valid positions match the scalar path.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.autograd import Tensor, concatenate
+from repro.nn.autograd import Tensor, concatenate, stack
 from repro.nn.module import Module, Parameter
+from repro.nn.recurrent import masked_state, time_mask
 
 
 class GRUCell(Module):
@@ -81,6 +85,22 @@ class GRU(Module):
             outputs[t] = h
         return concatenate(outputs, axis=0)
 
+    def forward_batch(self, sequence: Tensor, lengths: np.ndarray, reverse: bool = False) -> Tensor:
+        """Run the GRU over a right-padded ``(B, T, input_size)`` batch.
+
+        Returns ``(B, T, hidden_size)`` states; see
+        :meth:`repro.nn.recurrent.LSTM.forward_batch` for the masking contract.
+        """
+        batch, steps = sequence.shape[0], sequence.shape[1]
+        h = Tensor(np.zeros((batch, self.hidden_size)))
+        mask = time_mask(lengths, steps)
+        order = range(steps - 1, -1, -1) if reverse else range(steps)
+        outputs: list[Tensor] = [None] * steps  # type: ignore[list-item]
+        for t in order:
+            h = masked_state(self.cell(sequence[:, t, :], h), h, mask[:, t])
+            outputs[t] = h
+        return stack(outputs, axis=1)
+
 
 class BiGRU(Module):
     """Bidirectional GRU; concatenates forward and backward hidden states.
@@ -106,4 +126,10 @@ class BiGRU(Module):
     def forward(self, sequence: Tensor) -> Tensor:
         forward_states = self.forward_gru(sequence)
         backward_states = self.backward_gru(sequence, reverse=True)
+        return concatenate([forward_states, backward_states], axis=-1)
+
+    def forward_batch(self, sequence: Tensor, lengths: np.ndarray) -> Tensor:
+        """Batched bidirectional pass; ``(B, T, 2 * hidden_size)`` states."""
+        forward_states = self.forward_gru.forward_batch(sequence, lengths)
+        backward_states = self.backward_gru.forward_batch(sequence, lengths, reverse=True)
         return concatenate([forward_states, backward_states], axis=-1)

@@ -5,6 +5,12 @@ axis (paper Eq. 3).  The reproduction also offers max pooling and a learned
 attention pooling so the content-encoder ablation can compare reduction
 strategies, not just recurrent architectures.  All modules take a ``(T, N)``
 tensor and return a ``(N,)``-shaped (or ``(1, N)``) summary.
+
+The batched content encoders pool right-padded ``(B, T, N)`` sequences
+instead; :func:`masked_mean_over_time`, :func:`masked_softmax_over_time` and
+:meth:`AttentionPooling.forward_batch` take the ``(B, T)`` validity mask of
+:func:`repro.nn.recurrent.time_mask` and reduce each row over its valid
+positions only, matching the scalar reductions within 1e-9.
 """
 
 from __future__ import annotations
@@ -35,6 +41,36 @@ def softmax_over_time(scores: Tensor) -> Tensor:
     shifted = scores - Tensor(np.max(scores.data))
     exponentials = shifted.exp()
     return exponentials / exponentials.sum()
+
+
+def masked_mean_over_time(sequence: Tensor, mask: np.ndarray) -> Tensor:
+    """Per-row mean over the valid positions of a ``(B, T, N)`` sequence.
+
+    ``mask`` is the ``(B, T)`` validity mask; every row must have at least one
+    valid position.  Padded positions contribute exact zeros to the sum, so
+    each row equals the scalar ``states.mean(axis=0)`` of its valid prefix.
+    """
+    counts = mask.sum(axis=1)
+    weighted = sequence * Tensor(mask[:, :, None])
+    return weighted.sum(axis=1) * Tensor((1.0 / counts)[:, None])
+
+
+def masked_softmax_over_time(scores: Tensor, mask: np.ndarray) -> Tensor:
+    """Softmax over axis 1 of ``(B, T, 1)`` scores, restricted to valid positions.
+
+    Matches :func:`softmax_over_time` on each row's valid prefix: the per-row
+    peak is taken over valid positions only and padded positions get exactly
+    zero weight.
+    """
+    column_mask = mask[:, :, None]
+    finite = np.where(column_mask > 0.0, scores.data, -np.inf)
+    peaks = finite.max(axis=1, keepdims=True)  # (B, 1, 1)
+    # Zero the shifted scores at padded positions *before* exp: a filler-state
+    # score far above the row's valid peak would otherwise overflow exp() to
+    # inf, and inf * 0 would poison the row with NaN.
+    mask_tensor = Tensor(column_mask)
+    exponentials = ((scores - Tensor(peaks)) * mask_tensor).exp() * mask_tensor
+    return exponentials / exponentials.sum(axis=1, keepdims=True)
 
 
 class AttentionPooling(Module):
@@ -71,6 +107,16 @@ class AttentionPooling(Module):
         weights = softmax_over_time(scores)  # (T, 1)
         weighted = sequence * weights  # broadcast over features
         return weighted.sum(axis=0)
+
+    def forward_batch(self, sequence: Tensor, mask: np.ndarray) -> Tensor:
+        """Attention-pool a right-padded ``(B, T, N)`` batch into ``(B, N)``.
+
+        ``mask`` is the ``(B, T)`` validity mask; padded positions receive
+        zero attention so each row matches :meth:`forward` on its valid prefix.
+        """
+        scores = self.score(self.projection(sequence).tanh())  # (B, T, 1)
+        weights = masked_softmax_over_time(scores, mask)  # (B, T, 1)
+        return (sequence * weights).sum(axis=1)
 
 
 class LastState(Module):

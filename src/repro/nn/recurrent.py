@@ -4,9 +4,23 @@ The paper encodes the word-vector sequence of a recent tweet with a
 bidirectional LSTM (plus a convolution layer on top — ``BiLSTM-C``, see
 :mod:`repro.nn.conv`), and compares against a plain ``BLSTM`` variant and a
 ``ConvLSTM`` variant whose input-to-state and state-to-state transitions are
-convolutions.  Sequences are processed one profile at a time (shape ``(T, M)``)
-which keeps the implementation simple and is fast enough at the reproduction's
-laptop scale.
+convolutions.
+
+Every layer offers two forwards:
+
+* ``forward`` — the scalar reference path over one ``(T, M)`` sequence,
+  kept as the documented ground truth for the equivalence tests.
+* ``forward_batch`` — the serving/training hot path over a right-padded
+  ``(B, T, M)`` batch with a per-row length vector.  Each time step runs one
+  fused gate matmul of shape ``(B, 4N)`` instead of ``B`` separate ``(1, 4N)``
+  calls, and rows whose sequence has ended keep (forward direction) or have
+  not yet started (backward direction) a frozen state, so per-row outputs at
+  valid positions match the scalar path within 1e-9
+  (``tests/nn/test_recurrent_batch.py`` and
+  ``tests/features/test_content_batch.py`` pin the contract).
+
+Positions at or beyond a row's length carry frozen/zero filler states; callers
+must mask them out when pooling (see :mod:`repro.nn.pooling`).
 """
 
 from __future__ import annotations
@@ -15,6 +29,29 @@ import numpy as np
 
 from repro.nn.autograd import Tensor, concatenate, stack
 from repro.nn.module import Module, Parameter
+
+
+def time_mask(lengths: np.ndarray, steps: int) -> np.ndarray:
+    """The ``(B, steps)`` validity mask of right-padded sequences.
+
+    ``mask[b, t]`` is 1.0 iff ``t < lengths[b]``; lengths clip at zero so a
+    shortened length vector (e.g. conv-output lengths ``L - kh + 1``) is safe.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    return (np.arange(steps)[None, :] < lengths[:, None]).astype(np.float64)
+
+
+def masked_state(new: Tensor, old: Tensor, column: np.ndarray) -> Tensor:
+    """Blend one recurrent-state update by a ``(B,)`` validity column.
+
+    Rows with column 1.0 advance to ``new``; rows with 0.0 keep ``old`` — the
+    state freeze that makes right-padded batches match the scalar recurrence
+    at every valid position.  An all-valid column skips the blend graph.
+    """
+    if column.all():
+        return new
+    keep = Tensor(column[:, None])
+    return new * keep + old * Tensor(1.0 - column[:, None])
 
 
 class LSTMCell(Module):
@@ -81,6 +118,29 @@ class LSTM(Module):
             outputs[t] = h
         return concatenate(outputs, axis=0)
 
+    def forward_batch(self, sequence: Tensor, lengths: np.ndarray, reverse: bool = False) -> Tensor:
+        """Run the recurrence over a right-padded ``(B, T, input_size)`` batch.
+
+        Returns the ``(B, T, hidden_size)`` hidden states.  Rows shorter than
+        ``T`` freeze their state once past ``lengths[b]`` (forward) or stay at
+        the zero initial state until entering the valid region (backward), so
+        outputs at valid positions match :meth:`forward` row by row; outputs
+        at padded positions are filler the caller must mask out.
+        """
+        batch, steps = sequence.shape[0], sequence.shape[1]
+        h = Tensor(np.zeros((batch, self.hidden_size)))
+        c = Tensor(np.zeros((batch, self.hidden_size)))
+        mask = time_mask(lengths, steps)
+        order = range(steps - 1, -1, -1) if reverse else range(steps)
+        outputs: list[Tensor] = [None] * steps  # type: ignore[list-item]
+        for t in order:
+            h_next, c_next = self.cell(sequence[:, t, :], h, c)
+            column = mask[:, t]
+            h = masked_state(h_next, h, column)
+            c = masked_state(c_next, c, column)
+            outputs[t] = h
+        return stack(outputs, axis=1)
+
 
 class BiLSTM(Module):
     """Bidirectional LSTM; concatenates forward and backward hidden states.
@@ -122,6 +182,25 @@ class BiLSTM(Module):
         assert fwd is not None and bwd is not None
         if stacked_channels:
             return stack([fwd, bwd], axis=2)
+        return current
+
+    def forward_batch(
+        self, sequence: Tensor, lengths: np.ndarray, stacked_channels: bool = False
+    ) -> Tensor:
+        """Batched bidirectional pass over a right-padded ``(B, T, M)`` batch.
+
+        Output shape is ``(B, T, 2 * hidden_size)`` (or ``(B, T, hidden_size,
+        2)`` with ``stacked_channels``); valid positions match :meth:`forward`.
+        """
+        current = sequence
+        fwd = bwd = None
+        for fwd_layer, bwd_layer in zip(self.forward_layers, self.backward_layers):
+            fwd = fwd_layer.forward_batch(current, lengths)
+            bwd = bwd_layer.forward_batch(current, lengths, reverse=True)
+            current = concatenate([fwd, bwd], axis=2)
+        assert fwd is not None and bwd is not None
+        if stacked_channels:
+            return stack([fwd, bwd], axis=3)
         return current
 
 
@@ -166,12 +245,40 @@ class ConvLSTMCell(Module):
             out = out + tap
         return out
 
+    def _conv1d_batch(self, signal: Tensor, kernel_row: Tensor) -> Tensor:
+        """Same-padded 1-D convolution of every row of a ``(B, width)`` signal.
+
+        Tap order and per-element arithmetic mirror :meth:`_conv1d`, so each
+        row equals the scalar convolution of that row exactly.
+        """
+        pad = self.kernel_size // 2
+        zeros = Tensor(np.zeros((signal.shape[0], pad)))
+        padded = concatenate([zeros, signal, zeros], axis=1)
+        taps = []
+        for k in range(self.kernel_size):
+            taps.append(padded[:, k : k + self.width] * kernel_row[k])
+        out = taps[0]
+        for tap in taps[1:]:
+            out = out + tap
+        return out
+
     def forward(self, x: Tensor, h: Tensor, c: Tensor) -> tuple[Tensor, Tensor]:
         """One step over a ``(width,)`` input."""
         i_gate = (self._conv1d(x, self.weight_x[0]) + self._conv1d(h, self.weight_h[0]) + self.bias[0]).sigmoid()
         f_gate = (self._conv1d(x, self.weight_x[1]) + self._conv1d(h, self.weight_h[1]) + self.bias[1]).sigmoid()
         g_gate = (self._conv1d(x, self.weight_x[2]) + self._conv1d(h, self.weight_h[2]) + self.bias[2]).tanh()
         o_gate = (self._conv1d(x, self.weight_x[3]) + self._conv1d(h, self.weight_h[3]) + self.bias[3]).sigmoid()
+        c_next = f_gate * c + i_gate * g_gate
+        h_next = o_gate * c_next.tanh()
+        return h_next, c_next
+
+    def forward_batch(self, x: Tensor, h: Tensor, c: Tensor) -> tuple[Tensor, Tensor]:
+        """One step over a ``(B, width)`` input with ``(B, width)`` states."""
+        conv = self._conv1d_batch
+        i_gate = (conv(x, self.weight_x[0]) + conv(h, self.weight_h[0]) + self.bias[0]).sigmoid()
+        f_gate = (conv(x, self.weight_x[1]) + conv(h, self.weight_h[1]) + self.bias[1]).sigmoid()
+        g_gate = (conv(x, self.weight_x[2]) + conv(h, self.weight_h[2]) + self.bias[2]).tanh()
+        o_gate = (conv(x, self.weight_x[3]) + conv(h, self.weight_h[3]) + self.bias[3]).sigmoid()
         c_next = f_gate * c + i_gate * g_gate
         h_next = o_gate * c_next.tanh()
         return h_next, c_next
@@ -200,3 +307,23 @@ class ConvLSTM(Module):
             h, c = self.cell(sequence[t], h, c)
             outputs.append(h.reshape(1, self.width))
         return concatenate(outputs, axis=0)
+
+    def forward_batch(self, sequence: Tensor, lengths: np.ndarray) -> Tensor:
+        """Run the ConvLSTM over a right-padded ``(B, T, width)`` batch.
+
+        Returns ``(B, T, width)`` states; rows freeze once past ``lengths[b]``
+        so valid positions match :meth:`forward` and padded positions are
+        filler the caller must mask out.
+        """
+        batch, steps = sequence.shape[0], sequence.shape[1]
+        h = Tensor(np.zeros((batch, self.width)))
+        c = Tensor(np.zeros((batch, self.width)))
+        mask = time_mask(lengths, steps)
+        outputs = []
+        for t in range(steps):
+            h_next, c_next = self.cell.forward_batch(sequence[:, t, :], h, c)
+            column = mask[:, t]
+            h = masked_state(h_next, h, column)
+            c = masked_state(c_next, c, column)
+            outputs.append(h)
+        return stack(outputs, axis=1)

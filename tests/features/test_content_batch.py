@@ -1,0 +1,247 @@
+"""Equivalence tests for the batched content encoders and the vectorizer cache.
+
+The module contract (see ``repro.features.content``) says the scalar
+``encode`` is the reference implementation and ``encode_batch`` must match it
+row by row within 1e-9 across ragged tweet lengths — including all-pad
+(empty/whitespace) tweets, ``T = min_tokens`` rows and single-profile batches
+— mirroring ``tests/features/test_history_batch.py``'s contract for the
+history feature.  The vectorizer tests pin the bounded-LRU fix for the
+previously unbounded word-vector cache.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Profile, Tweet
+from repro.features import (
+    CONTENT_ENCODERS,
+    ContentEncoderConfig,
+    HisRectConfig,
+    HisRectFeaturizer,
+    TextVectorizer,
+    make_content_encoder,
+)
+from repro.nn.autograd import concatenate, stack
+from repro.text import SkipGramConfig, SkipGramModel, Tokenizer, Vocabulary
+
+TOLERANCE = dict(rtol=0.0, atol=1e-9)
+
+WORDS = ["coffee", "latte", "museum", "exhibit", "park", "sunny", "liberty", "strip"]
+
+
+def build_vectorizer(**kwargs) -> TextVectorizer:
+    corpus = [WORDS] * 30
+    vocab = Vocabulary.build(corpus, min_count=1)
+    skipgram = SkipGramModel(vocab, SkipGramConfig(embedding_dim=8, epochs=1, seed=0))
+    skipgram.train([vocab.encode(s) for s in corpus])
+    kwargs.setdefault("max_tokens", 10)
+    kwargs.setdefault("min_tokens", 4)
+    return TextVectorizer(vocab, skipgram, tokenizer=Tokenizer(), **kwargs)
+
+
+@pytest.fixture(scope="module")
+def vectorizer() -> TextVectorizer:
+    return build_vectorizer()
+
+
+def profile(content: str, uid: int = 1, ts: float = 100.0) -> Profile:
+    return Profile(uid=uid, tweet=Tweet(uid=uid, ts=ts, content=content), visit_history=())
+
+
+def profiles_with_token_counts(counts) -> list[Profile]:
+    """One profile per count; ``0`` gives an all-pad (empty-tweet) sequence."""
+    rng = np.random.default_rng(sum(counts) + len(counts))
+    return [
+        profile(" ".join(rng.choice(WORDS, size=count)) if count else "", uid=uid, ts=float(uid))
+        for uid, count in enumerate(counts, start=1)
+    ]
+
+
+def reference_rows(encoder, profiles: list[Profile]) -> np.ndarray:
+    """The scalar loop the batch path must reproduce."""
+    return np.stack([encoder.encode(p).data for p in profiles])
+
+
+class TestTextVectorizerBatch:
+    def test_padding_and_lengths(self, vectorizer):
+        batch, lengths = vectorizer.vectorize_batch(
+            [profile("coffee latte museum exhibit park sunny"), profile("coffee", uid=2)]
+        )
+        assert batch.shape == (2, 6, vectorizer.word_dim)
+        np.testing.assert_array_equal(lengths, [6, 4])  # short row pads to min_tokens
+        np.testing.assert_array_equal(batch[1, 4:], 0.0)  # zero right-padding
+        np.testing.assert_allclose(batch[1, :4], vectorizer.vectorize(profile("coffee", uid=2)))
+
+    def test_empty_batch(self, vectorizer):
+        batch, lengths = vectorizer.vectorize_batch([])
+        assert batch.shape == (0, 4, vectorizer.word_dim)
+        assert lengths.shape == (0,)
+
+    def test_min_tokens_floor_of_one(self):
+        # min_tokens=0 used to produce an empty (0, M) matrix for empty tweets,
+        # which crashed every recurrent encoder; the floor is one pad token.
+        vectorizer = build_vectorizer(min_tokens=0)
+        assert len(vectorizer.token_ids("")) == 1
+        assert vectorizer.vectorize(profile("")).shape == (1, vectorizer.word_dim)
+
+
+class TestTextVectorizerCache:
+    def test_cache_is_bounded_with_lru_eviction(self):
+        vectorizer = build_vectorizer(cache_size=3)
+        for uid in range(5):
+            vectorizer.vectorize(profile("coffee", uid=uid))
+        stats = vectorizer.cache_stats
+        assert stats.size == 3
+        assert stats.maxsize == 3
+        assert stats.evictions == 2
+        assert stats.misses == 5
+        # The oldest entries were evicted, the newest survive.
+        assert (0, 0.0 + 100.0, "coffee") not in vectorizer._cache
+
+    def test_hits_move_entries_to_the_back(self):
+        vectorizer = build_vectorizer(cache_size=2)
+        first, second, third = (profile("coffee", uid=uid) for uid in range(3))
+        vectorizer.vectorize(first)
+        vectorizer.vectorize(second)
+        vectorizer.vectorize(first)  # refresh: second is now the LRU entry
+        vectorizer.vectorize(third)
+        assert vectorizer.vectorize(first) is vectorizer.vectorize(first)
+        stats = vectorizer.cache_stats
+        assert stats.evictions == 1
+        assert stats.hit_rate > 0.0
+
+    def test_zero_cache_size_disables_caching(self):
+        vectorizer = build_vectorizer(cache_size=0)
+        p = profile("coffee latte")
+        vectorizer.vectorize(p)
+        vectorizer.vectorize(p)
+        stats = vectorizer.cache_stats
+        assert stats.size == 0
+        assert stats.misses == 2
+
+    def test_negative_cache_size_rejected(self):
+        with pytest.raises(ValueError):
+            build_vectorizer(cache_size=-1)
+
+
+class TestEncodeBatchEquivalence:
+    @pytest.mark.parametrize("kind", sorted(CONTENT_ENCODERS))
+    def test_ragged_batch_matches_scalar(self, vectorizer, kind):
+        encoder = make_content_encoder(kind, vectorizer, ContentEncoderConfig(feature_dim=6, seed=3))
+        batch = profiles_with_token_counts([0, 3, 10, 7, 4, 1, 9])
+        np.testing.assert_allclose(
+            encoder.encode_batch(batch).data, reference_rows(encoder, batch), **TOLERANCE
+        )
+
+    @pytest.mark.parametrize("kind", sorted(CONTENT_ENCODERS))
+    def test_single_profile_batch(self, vectorizer, kind):
+        encoder = make_content_encoder(kind, vectorizer, ContentEncoderConfig(feature_dim=6, seed=3))
+        batch = profiles_with_token_counts([5])
+        rows = encoder.encode_batch(batch)
+        assert rows.shape == (1, 6)
+        np.testing.assert_allclose(rows.data, reference_rows(encoder, batch), **TOLERANCE)
+
+    @pytest.mark.parametrize("kind", sorted(CONTENT_ENCODERS))
+    def test_min_tokens_rows_only(self, vectorizer, kind):
+        # Every row exactly T = min_tokens: the mask is all-ones and the
+        # batch degenerates to a plain stacked forward.
+        encoder = make_content_encoder(kind, vectorizer, ContentEncoderConfig(feature_dim=6, seed=3))
+        batch = profiles_with_token_counts([4, 4, 4])
+        np.testing.assert_allclose(
+            encoder.encode_batch(batch).data, reference_rows(encoder, batch), **TOLERANCE
+        )
+
+    @pytest.mark.parametrize("kind", sorted(CONTENT_ENCODERS))
+    def test_empty_and_whitespace_tweets_encode_finite(self, vectorizer, kind):
+        # The all-pad sequence must encode without error in both paths and
+        # produce a finite feature vector.
+        encoder = make_content_encoder(kind, vectorizer, ContentEncoderConfig(feature_dim=6, seed=3))
+        batch = [profile(""), profile("   \t  ", uid=2), profile("coffee", uid=3)]
+        rows = encoder.encode_batch(batch).data
+        assert np.isfinite(rows).all()
+        np.testing.assert_allclose(rows, reference_rows(encoder, batch), **TOLERANCE)
+
+    @pytest.mark.parametrize("kind", sorted(CONTENT_ENCODERS))
+    def test_empty_profile_list(self, vectorizer, kind):
+        encoder = make_content_encoder(kind, vectorizer, ContentEncoderConfig(feature_dim=6, seed=3))
+        assert encoder.encode_batch([]).shape == (0, 6)
+
+    @pytest.mark.parametrize("kind", sorted(CONTENT_ENCODERS))
+    def test_gradients_flow_through_batch_path(self, vectorizer, kind):
+        encoder = make_content_encoder(kind, vectorizer, ContentEncoderConfig(feature_dim=4, seed=3))
+        out = encoder.encode_batch(profiles_with_token_counts([5, 2, 0]))
+        (out * out).sum().backward()
+        grads = [param.grad for _, param in encoder.named_parameters()]
+        assert any(g is not None and np.any(g != 0.0) for g in grads)
+
+    @given(counts=st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=6))
+    @settings(max_examples=15, deadline=None)
+    def test_property_batch_matches_scalar_loop(self, vectorizer, counts):
+        batch = profiles_with_token_counts(counts)
+        for kind in sorted(CONTENT_ENCODERS):
+            encoder = make_content_encoder(
+                kind, vectorizer, ContentEncoderConfig(feature_dim=4, seed=7)
+            )
+            np.testing.assert_allclose(
+                encoder.encode_batch(batch).data, reference_rows(encoder, batch), **TOLERANCE
+            )
+
+    def test_bilstm_c_rejects_rows_shorter_than_kernel(self):
+        vectorizer = build_vectorizer(min_tokens=1)
+        encoder = make_content_encoder("bilstm-c", vectorizer, ContentEncoderConfig(feature_dim=4))
+        with pytest.raises(ValueError):
+            encoder.encode_batch([profile("coffee")])
+
+
+class TestHisRectBatchPath:
+    def hisrect(self, registry, vectorizer, **overrides):
+        config = dict(content_dim=6, feature_dim=12, keep_prob=1.0)
+        config.update(overrides)
+        return HisRectFeaturizer(registry, vectorizer, HisRectConfig(**config))
+
+    def test_forward_matches_scalar_reference(self, small_registry, vectorizer):
+        featurizer = self.hisrect(small_registry, vectorizer).eval()
+        batch = profiles_with_token_counts([0, 3, 8, 4])
+        raw = stack([featurizer.raw_feature(p) for p in batch], axis=0)
+        reference = featurizer.combiner(raw).data
+        np.testing.assert_allclose(featurizer.forward(batch).data, reference, **TOLERANCE)
+
+    @pytest.mark.parametrize("kind", sorted(CONTENT_ENCODERS))
+    def test_forward_matches_reference_for_every_encoder(self, small_registry, vectorizer, kind):
+        featurizer = self.hisrect(small_registry, vectorizer, content_encoder=kind).eval()
+        batch = profiles_with_token_counts([2, 0, 6])
+        raw = stack([featurizer.raw_feature(p) for p in batch], axis=0)
+        np.testing.assert_allclose(
+            featurizer.forward(batch).data, featurizer.combiner(raw).data, **TOLERANCE
+        )
+
+    def test_featurize_batch_matches_featurize(self, small_registry, vectorizer):
+        featurizer = self.hisrect(small_registry, vectorizer)
+        batch = profiles_with_token_counts([3, 5])
+        np.testing.assert_allclose(
+            featurizer.featurize_batch(batch), featurizer.featurize(batch), **TOLERANCE
+        )
+        assert featurizer.featurize_batch([]).shape == (0, 12)
+
+    def test_history_cache_is_bounded(self, small_registry, vectorizer, monkeypatch):
+        # The Fv(r) memo is an LRU like the vectorizer/engine caches; batches
+        # larger than the bound still featurize correctly row for row.
+        monkeypatch.setattr(HisRectFeaturizer, "HISTORY_CACHE_SIZE", 4)
+        featurizer = self.hisrect(small_registry, vectorizer).eval()
+        batch = profiles_with_token_counts([2] * 10)
+        raw = stack([featurizer.raw_feature(p) for p in batch], axis=0)
+        reference = featurizer.combiner(raw).data
+        np.testing.assert_allclose(featurizer.forward(batch).data, reference, **TOLERANCE)
+        assert len(featurizer._history_cache) <= 4
+
+    def test_tweet_only_variant_uses_batch_encoder(self, small_registry, vectorizer):
+        featurizer = self.hisrect(small_registry, vectorizer, use_history=False).eval()
+        batch = profiles_with_token_counts([4, 0, 7])
+        raw = concatenate(
+            [featurizer.raw_feature(p).reshape(1, -1) for p in batch], axis=0
+        )
+        np.testing.assert_allclose(
+            featurizer.forward(batch).data, featurizer.combiner(raw).data, **TOLERANCE
+        )

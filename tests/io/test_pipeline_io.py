@@ -54,6 +54,12 @@ class TestLoadPipeline:
         loaded = load_pipeline(saved_pipeline_dir)
         assert loaded.config == fitted_pipeline.config
 
+    def test_vectorizer_settings_round_trip(self, saved_pipeline_dir, fitted_pipeline):
+        loaded = load_pipeline(saved_pipeline_dir)
+        assert loaded.vectorizer.max_tokens == fitted_pipeline.vectorizer.max_tokens
+        assert loaded.vectorizer.min_tokens == fitted_pipeline.vectorizer.min_tokens
+        assert loaded.vectorizer.cache_size == fitted_pipeline.vectorizer.cache_size
+
     def test_missing_manifest_raises(self, tmp_path):
         with pytest.raises(ConfigurationError):
             load_pipeline(tmp_path)

@@ -1,0 +1,197 @@
+"""Equivalence tests for the batched recurrent forwards.
+
+The module contract (see ``repro.nn.recurrent``) says ``forward`` is the
+scalar reference and ``forward_batch`` must match it row by row at every valid
+position of a right-padded batch; positions past a row's length are filler the
+caller masks out.  These tests pin that contract for every recurrent layer,
+the batched convolution and the masked pooling helpers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BiGRU,
+    BiLSTM,
+    Conv2D,
+    ConvLSTM,
+    LSTM,
+    TemporalConv,
+    Tensor,
+    masked_mean_over_time,
+    masked_softmax_over_time,
+    softmax_over_time,
+    time_mask,
+)
+from repro.nn.pooling import AttentionPooling
+
+TOLERANCE = dict(rtol=0.0, atol=1e-9)
+
+
+def ragged_batch(lengths, width, seed=0):
+    """Right-padded (B, T, width) array plus the per-row sequences."""
+    rng = np.random.default_rng(seed)
+    sequences = [rng.normal(size=(length, width)) for length in lengths]
+    steps = max(lengths)
+    padded = np.zeros((len(lengths), steps, width))
+    for row, sequence in enumerate(sequences):
+        padded[row, : len(sequence)] = sequence
+    return padded, sequences
+
+
+class TestTimeMask:
+    def test_shape_and_values(self):
+        mask = time_mask(np.array([3, 1, 0]), 4)
+        np.testing.assert_array_equal(
+            mask, [[1, 1, 1, 0], [1, 0, 0, 0], [0, 0, 0, 0]]
+        )
+
+    def test_negative_lengths_clip_to_zero(self):
+        # Conv-output lengths (L - kh + 1) can go negative for short rows.
+        assert time_mask(np.array([-2]), 3).sum() == 0.0
+
+
+@pytest.mark.parametrize("reverse", [False, True])
+class TestLSTMBatch:
+    def test_matches_scalar_on_valid_positions(self, reverse):
+        lstm = LSTM(5, 4, rng=np.random.default_rng(0))
+        lengths = [6, 3, 1, 6, 4]
+        padded, sequences = ragged_batch(lengths, 5, seed=1)
+        batch = lstm.forward_batch(Tensor(padded), np.array(lengths), reverse=reverse)
+        assert batch.shape == (5, 6, 4)
+        for row, sequence in enumerate(sequences):
+            reference = lstm(Tensor(sequence), reverse=reverse)
+            np.testing.assert_allclose(
+                batch.data[row, : len(sequence)], reference.data, **TOLERANCE
+            )
+
+    def test_gradients_flow(self, reverse):
+        lstm = LSTM(3, 4, rng=np.random.default_rng(0))
+        padded, _ = ragged_batch([4, 2], 3, seed=2)
+        out = lstm.forward_batch(Tensor(padded), np.array([4, 2]), reverse=reverse)
+        (out * out).sum().backward()
+        assert all(p.grad is not None for p in lstm.parameters())
+
+
+class TestBiLSTMBatch:
+    @pytest.mark.parametrize("num_layers", [1, 2])
+    def test_concat_output_matches_scalar(self, num_layers):
+        bilstm = BiLSTM(4, 5, num_layers=num_layers, rng=np.random.default_rng(0))
+        lengths = [7, 4, 7, 2]
+        padded, sequences = ragged_batch(lengths, 4, seed=3)
+        batch = bilstm.forward_batch(Tensor(padded), np.array(lengths))
+        assert batch.shape == (4, 7, 10)
+        for row, sequence in enumerate(sequences):
+            reference = bilstm(Tensor(sequence))
+            np.testing.assert_allclose(
+                batch.data[row, : len(sequence)], reference.data, **TOLERANCE
+            )
+
+    def test_stacked_channels_matches_scalar(self):
+        bilstm = BiLSTM(4, 5, rng=np.random.default_rng(0))
+        lengths = [6, 3]
+        padded, sequences = ragged_batch(lengths, 4, seed=4)
+        batch = bilstm.forward_batch(Tensor(padded), np.array(lengths), stacked_channels=True)
+        assert batch.shape == (2, 6, 5, 2)
+        for row, sequence in enumerate(sequences):
+            reference = bilstm(Tensor(sequence), stacked_channels=True)
+            np.testing.assert_allclose(
+                batch.data[row, : len(sequence)], reference.data, **TOLERANCE
+            )
+
+
+class TestBiGRUBatch:
+    def test_matches_scalar_on_valid_positions(self):
+        bigru = BiGRU(4, 3, rng=np.random.default_rng(0))
+        lengths = [5, 1, 3]
+        padded, sequences = ragged_batch(lengths, 4, seed=5)
+        batch = bigru.forward_batch(Tensor(padded), np.array(lengths))
+        assert batch.shape == (3, 5, 6)
+        for row, sequence in enumerate(sequences):
+            reference = bigru(Tensor(sequence))
+            np.testing.assert_allclose(
+                batch.data[row, : len(sequence)], reference.data, **TOLERANCE
+            )
+
+
+class TestConvLSTMBatch:
+    def test_matches_scalar_on_valid_positions(self):
+        convlstm = ConvLSTM(width=6, rng=np.random.default_rng(0))
+        lengths = [5, 2, 4]
+        padded, sequences = ragged_batch(lengths, 6, seed=6)
+        batch = convlstm.forward_batch(Tensor(padded), np.array(lengths))
+        assert batch.shape == (3, 5, 6)
+        for row, sequence in enumerate(sequences):
+            reference = convlstm(Tensor(sequence))
+            np.testing.assert_allclose(
+                batch.data[row, : len(sequence)], reference.data, **TOLERANCE
+            )
+
+    def test_gradients_flow(self):
+        convlstm = ConvLSTM(width=4, rng=np.random.default_rng(0))
+        padded, _ = ragged_batch([3, 2], 4, seed=7)
+        out = convlstm.forward_batch(Tensor(padded), np.array([3, 2]))
+        (out * out).sum().backward()
+        assert all(p.grad is not None for p in convlstm.parameters())
+
+
+class TestConvBatch:
+    def test_conv2d_batch_matches_scalar(self):
+        conv = Conv2D(2, 3, kernel_height=3, kernel_width=2, rng=np.random.default_rng(0))
+        images = np.random.default_rng(1).normal(size=(4, 6, 5, 2))
+        batch = conv.forward_batch(Tensor(images))
+        assert batch.shape == (4, 4, 4, 3)
+        for row in range(4):
+            reference = conv(Tensor(images[row]))
+            np.testing.assert_allclose(batch.data[row], reference.data, **TOLERANCE)
+
+    def test_temporal_conv_batch_matches_scalar(self):
+        conv = TemporalConv(width=5, rng=np.random.default_rng(0))
+        stacked = np.random.default_rng(1).normal(size=(3, 7, 5, 2))
+        batch = conv.forward_batch(Tensor(stacked))
+        assert batch.shape == (3, 5, 5)
+        for row in range(3):
+            reference = conv(Tensor(stacked[row]))
+            np.testing.assert_allclose(batch.data[row], reference.data, **TOLERANCE)
+
+    def test_temporal_conv_batch_rejects_wrong_shape(self):
+        conv = TemporalConv(width=5, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            conv.forward_batch(Tensor(np.zeros((2, 7, 4, 2))))
+
+
+class TestMaskedPooling:
+    def test_masked_mean_matches_per_row_mean(self):
+        lengths = np.array([4, 1, 3])
+        padded, sequences = ragged_batch(list(lengths), 5, seed=8)
+        pooled = masked_mean_over_time(Tensor(padded), time_mask(lengths, 4))
+        for row, sequence in enumerate(sequences):
+            np.testing.assert_allclose(pooled.data[row], sequence.mean(axis=0), **TOLERANCE)
+
+    def test_masked_softmax_matches_scalar_softmax(self):
+        lengths = np.array([5, 2, 4])
+        scores = np.random.default_rng(9).normal(size=(3, 5, 1))
+        weights = masked_softmax_over_time(Tensor(scores), time_mask(lengths, 5))
+        for row, length in enumerate(lengths):
+            reference = softmax_over_time(Tensor(scores[row, :length]))
+            np.testing.assert_allclose(weights.data[row, :length], reference.data, **TOLERANCE)
+            np.testing.assert_array_equal(weights.data[row, length:], 0.0)
+
+    def test_masked_softmax_survives_huge_padded_scores(self):
+        # A filler-state score far above the valid peak must not overflow
+        # exp() into inf * 0 = NaN; padded positions are zeroed before exp.
+        scores = np.zeros((1, 4, 1))
+        scores[0, 2:] = 1000.0  # padded positions
+        weights = masked_softmax_over_time(Tensor(scores), time_mask(np.array([2]), 4))
+        assert np.isfinite(weights.data).all()
+        np.testing.assert_allclose(weights.data[0, :2, 0], [0.5, 0.5], **TOLERANCE)
+        np.testing.assert_array_equal(weights.data[0, 2:], 0.0)
+
+    def test_attention_pooling_batch_matches_scalar(self):
+        pooling = AttentionPooling(6, rng=np.random.default_rng(0))
+        lengths = [5, 3, 1]
+        padded, sequences = ragged_batch(lengths, 6, seed=10)
+        pooled = pooling.forward_batch(Tensor(padded), time_mask(np.array(lengths), 5))
+        for row, sequence in enumerate(sequences):
+            reference = pooling(Tensor(sequence))
+            np.testing.assert_allclose(pooled.data[row], reference.data, **TOLERANCE)
