@@ -1,0 +1,101 @@
+"""Benchmark: single-engine serving vs. the sharded, micro-batched cluster.
+
+The services today call one :class:`repro.api.ColocationEngine` synchronously
+with caller-sized batches — each request pays the fixed featurize/score
+invocation overhead on its own.  ``repro.cluster`` coalesces concurrent
+requests into micro-batches over hash-partitioned shards, so the PR 2–3 batch
+kernels amortise across the whole in-flight window and a skewed user mix is
+deduplicated per flush.
+
+This benchmark fits a small HisRect judge, generates a seeded Zipf-skewed
+request stream (fresh query profile per request — every request carries a
+cold featurization, as in a live tweet stream) and serves the *same* sequence
+through both paths from a cold cache with the same total cache budget.  The
+cluster must reach >= 2x the single engine's throughput at 4 shards, the
+sharded engine's direct ``predict_proba`` must match the single engine's
+bit-for-bit, and the micro-batched results may drift from it only by
+last-mantissa-bit coalescing noise (<= 1e-12).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_sharded_serving.py
+
+pass ``--smoke`` (the CI invocation) for a tiny load that only exercises the
+bit-for-bit equivalence check, or run through pytest-benchmark like the other
+benchmarks.  The CLI twin is ``repro-hisrect serve-bench``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from repro.cluster.loadgen import (
+    LoadConfig,
+    compare_serving_paths,
+    fit_serving_pipeline,
+    generate_requests,
+)
+
+NUM_SHARDS = 4
+TARGET_SPEEDUP = 2.0
+
+
+def run(smoke: bool = False) -> str:
+    config = (
+        LoadConfig(num_users=48, num_requests=48, pairs_per_request=3)
+        if smoke
+        else LoadConfig(num_users=256, num_requests=384, pairs_per_request=4)
+    )
+    pipeline, dataset = fit_serving_pipeline(seed=5)
+    requests = generate_requests(dataset.registry, dataset.training_corpus(), config)
+    report = compare_serving_paths(
+        pipeline,
+        requests,
+        num_shards=NUM_SHARDS,
+        cache_size=4096,
+        max_batch=256,
+    )
+    lines = [
+        f"Benchmark: single-engine vs. sharded micro-batched serving, "
+        f"{NUM_SHARDS} shards, zipf s={config.zipf_s}, "
+        f"{config.num_requests} requests x {config.pairs_per_request} pairs, "
+        f"{config.num_users} users" + (" [smoke]" if smoke else ""),
+        "",
+        report.format(),
+        "",
+    ]
+    if not report.exact_match:
+        raise AssertionError("sharded probabilities diverged from the single engine")
+    if report.coalescing_drift > 1e-12:
+        raise AssertionError(
+            f"micro-batch coalescing drifted by {report.coalescing_drift:.2e} "
+            "(expected last-mantissa-bit noise only)"
+        )
+    if smoke:
+        lines.append("smoke run: bit-for-bit equivalence checked, speedup target not enforced")
+    else:
+        lines.append(
+            f"headline ({NUM_SHARDS} shards, cold cache): {report.speedup:.2f}x "
+            f"({'meets' if report.speedup >= TARGET_SPEEDUP else 'MISSES'} the "
+            f">= {TARGET_SPEEDUP:.0f}x target)"
+        )
+    return "\n".join(lines)
+
+
+def test_sharded_serving(benchmark):
+    from conftest import run_once, save_report
+
+    report = run_once(benchmark, run)
+    save_report("sharded_serving", report)
+    assert "meets the >= 2x target" in report
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv[1:]
+    report = run(smoke=smoke)
+    print(report)
+    if not smoke:
+        results = pathlib.Path(__file__).parent / "results"
+        results.mkdir(exist_ok=True)
+        (results / "sharded_serving.txt").write_text(report + "\n")

@@ -24,9 +24,13 @@ The package is organised as:
 * :mod:`repro.social` — the Section 7 extension: friendship graphs, social and
   frequent-pattern pair features, the stacked social co-location judge.
 * :mod:`repro.api` — the serving facade: :class:`repro.api.ColocationEngine`
-  wraps any fitted judge behind batched prediction, an LRU feature cache and
-  typed :class:`repro.api.JudgeRequest` / :class:`repro.api.JudgeResponse`
-  messages.
+  wraps any fitted judge behind batched prediction, a thread-safe LRU feature
+  cache and typed :class:`repro.api.JudgeRequest` /
+  :class:`repro.api.JudgeResponse` messages.
+* :mod:`repro.cluster` — serving at scale: the hash-partitioned
+  :class:`repro.cluster.ShardedEngine`, the request-coalescing
+  :class:`repro.cluster.MicroBatcher` and :class:`repro.cluster.ClusterMetrics`
+  telemetry.
 * :mod:`repro.eval` — metrics, ROC/AUC, Acc@K, ranking and clustering metrics,
   t-SNE, group-pattern case study.
 * :mod:`repro.service` — friends notification, local people recommendation,
@@ -43,13 +47,22 @@ The serving entry point is importable from the top level::
 
 from repro.version import __version__
 
-__all__ = ["__version__", "ColocationEngine", "JudgeRequest", "JudgeResponse"]
+__all__ = [
+    "__version__",
+    "ColocationEngine",
+    "JudgeRequest",
+    "JudgeResponse",
+    "MicroBatcher",
+    "ShardedEngine",
+]
 
 #: Top-level conveniences, resolved lazily to keep ``import repro`` light.
 _LAZY_EXPORTS = {
     "ColocationEngine": "repro.api",
     "JudgeRequest": "repro.api",
     "JudgeResponse": "repro.api",
+    "MicroBatcher": "repro.cluster",
+    "ShardedEngine": "repro.cluster",
 }
 
 

@@ -15,9 +15,11 @@ generic pairwise matrix.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
@@ -32,6 +34,22 @@ from repro.core.protocols import (
 )
 from repro.data.records import Pair, Profile
 from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CallCacheStats:
+    """One call's own cache traffic (never contaminated by concurrent callers)."""
+
+    hits: int
+    misses: int
+    featurized: int
+
+    def __add__(self, other: "CallCacheStats") -> "CallCacheStats":
+        return CallCacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            featurized=self.featurized + other.featurized,
+        )
 
 
 @dataclass(frozen=True)
@@ -51,6 +69,31 @@ class EngineCacheInfo:
         """Fraction of feature lookups served from the cache."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    @classmethod
+    def merge(cls, infos: Iterable["EngineCacheInfo"]) -> "EngineCacheInfo":
+        """Aggregate shard-level snapshots into one cluster-level snapshot.
+
+        Counters, sizes and capacities sum; ``hit_rate`` derives from the
+        summed counters.  An empty iterable merges to the all-zero snapshot
+        (whose ``hit_rate`` is 0.0, matching a cache that saw no lookups).
+        """
+        hits = misses = evictions = size = maxsize = featurized = 0
+        for info in infos:
+            hits += info.hits
+            misses += info.misses
+            evictions += info.evictions
+            size += info.size
+            maxsize += info.maxsize
+            featurized += info.featurized
+        return cls(
+            hits=hits,
+            misses=misses,
+            evictions=evictions,
+            size=size,
+            maxsize=maxsize,
+            featurized=featurized,
+        )
 
 
 class ColocationEngine:
@@ -98,6 +141,10 @@ class ColocationEngine:
         self._threshold = threshold
         self._registry = registry
         self._cache: OrderedDict[ProfileKey, np.ndarray] = OrderedDict()
+        #: Guards the cache and its counters.  Featurization itself runs
+        #: outside the lock so concurrent callers only serialise on the
+        #: bookkeeping, not on the network forward.
+        self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -144,67 +191,142 @@ class ColocationEngine:
         Duplicate profiles within one call are deduplicated before touching
         the featurizer, so each distinct profile is featurized exactly once
         even with a disabled cache.
+
+        Thread-safe: cache reads/writes and counter updates hold the engine
+        lock; featurization of the misses runs outside it so concurrent
+        callers overlap on the expensive part.  Two threads missing the same
+        profile simultaneously both featurize it (both misses are counted,
+        last insert wins) — wasted work, never corruption of *this* cache.
+        The wrapped judge's ``featurize_profiles`` must itself tolerate the
+        resulting concurrency; judges with unsynchronised internal caches
+        (the HisRect featurizer) should be driven by one thread at a time,
+        which is how :class:`repro.cluster.ShardedEngine` schedules them
+        (one gather lock per judge replica).
+        """
+        rows, _ = self._resolve_features(profiles)
+        return rows
+
+    def _resolve_features(self, profiles: list[Profile]) -> tuple[np.ndarray, "CallCacheStats"]:
+        """:meth:`_features_for` plus this call's own cache statistics.
+
+        The stats are local to the call (its hits, misses and the ``len`` of
+        the miss batch it featurized), so concurrent callers never leak into
+        each other's accounting the way a before/after read of the global
+        counters would.
         """
         keys = [profile_key(p) for p in profiles]
         missing: dict[ProfileKey, Profile] = {}
         resolved: dict[ProfileKey, np.ndarray] = {}
-        for key, profile in zip(keys, profiles):
-            if key in resolved or key in missing:
-                continue
-            row = self._cache.get(key)
-            if row is not None:
-                self._cache.move_to_end(key)
-                self._hits += 1
-                resolved[key] = row
-            else:
-                self._misses += 1
-                missing[key] = profile
+        call_hits = 0
+        with self._lock:
+            for key, profile in zip(keys, profiles):
+                if key in resolved or key in missing:
+                    continue
+                row = self._cache.get(key)
+                if row is not None:
+                    self._cache.move_to_end(key)
+                    self._hits += 1
+                    call_hits += 1
+                    resolved[key] = row
+                else:
+                    self._misses += 1
+                    missing[key] = profile
         if missing:
             batch = list(missing.values())
             rows = self.judge.featurize_profiles(batch)
-            self._featurized += len(batch)
-            for profile, row in zip(batch, rows):
-                key = profile_key(profile)
-                resolved[key] = row
-                if self.cache_size > 0:
-                    # Copy: the row is a view into the whole featurized batch,
-                    # and caching the view would pin that batch in memory.
-                    self._cache[key] = np.array(row, copy=True)
-                    self._cache.move_to_end(key)
-                    while len(self._cache) > self.cache_size:
-                        self._cache.popitem(last=False)
-                        self._evictions += 1
-        return np.stack([resolved[key] for key in keys])
+            with self._lock:
+                self._featurized += len(batch)
+                for profile, row in zip(batch, rows):
+                    key = profile_key(profile)
+                    resolved[key] = row
+                    if self.cache_size > 0:
+                        # Copy: the row is a view into the whole featurized batch,
+                        # and caching the view would pin that batch in memory.
+                        self._cache[key] = np.array(row, copy=True)
+                        self._cache.move_to_end(key)
+                        while len(self._cache) > self.cache_size:
+                            self._cache.popitem(last=False)
+                            self._evictions += 1
+        stats = CallCacheStats(hits=call_hits, misses=len(missing), featurized=len(missing))
+        return np.stack([resolved[key] for key in keys]), stats
 
     def warm(self, profiles: list[Profile]) -> int:
-        """Pre-featurize profiles into the cache; returns rows featurized."""
+        """Pre-featurize profiles into the cache; returns rows featurized.
+
+        The count covers this call only — concurrent callers featurizing at
+        the same time do not inflate it.
+        """
         if not profiles or not self._feature_space:
             return 0
-        before = self._featurized
-        self._features_for(profiles)
-        return self._featurized - before
+        _, stats = self._resolve_features(profiles)
+        return stats.featurized
 
     def cache_info(self) -> EngineCacheInfo:
-        """Current feature-cache statistics."""
-        return EngineCacheInfo(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            size=len(self._cache),
-            maxsize=self.cache_size,
-            featurized=self._featurized,
-        )
+        """Current feature-cache statistics (a consistent snapshot)."""
+        with self._lock:
+            return EngineCacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._cache),
+                maxsize=self.cache_size,
+                featurized=self._featurized,
+            )
 
     def clear_cache(self) -> None:
         """Drop every cached feature row (keeps the counters)."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
+
+    def export_cache(self) -> dict[ProfileKey, np.ndarray]:
+        """Copy the cached feature rows, LRU order preserved (coldest first).
+
+        The snapshot half of shard warm-start: a restarted worker calls
+        :meth:`import_cache` with a previous incarnation's export and serves
+        its first window from a hot cache instead of refeaturizing it.
+        """
+        with self._lock:
+            return {key: np.array(row, copy=True) for key, row in self._cache.items()}
+
+    def import_cache(self, rows: dict[ProfileKey, np.ndarray]) -> int:
+        """Install previously exported feature rows; returns imported rows kept.
+
+        Imported rows count as neither hits nor misses (they were computed by
+        another engine); the LRU bound still applies, so importing more rows
+        than ``cache_size`` keeps only the hottest (last-iterated) tail of
+        the export.  The return value counts imported rows still resident
+        after the bound was enforced — evictions of pre-existing rows do not
+        subtract from it.
+        """
+        if self.cache_size == 0:
+            return 0
+        with self._lock:
+            for key, row in rows.items():
+                self._cache[key] = np.array(row, copy=True)
+                self._cache.move_to_end(key)
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+                    self._evictions += 1
+            return sum(1 for key in rows if key in self._cache)
 
     # -------------------------------------------------------------- judgement
     def _score_batched(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        # A single-pair chunk is padded with a duplicate row and the extra
+        # score dropped, for the same reason as featurize_in_chunks: the
+        # B=1 BLAS path drifts ~1e-16 from the batched kernel, and scores
+        # must not depend on how a workload was chunked or coalesced.
         chunks = []
         for start in range(0, len(left), self.batch_size):
             stop = start + self.batch_size
-            chunks.append(self.judge.score_feature_pairs(left[start:stop], right[start:stop]))
+            chunk_left, chunk_right = left[start:stop], right[start:stop]
+            if len(chunk_left) == 1:
+                doubled = self.judge.score_feature_pairs(
+                    np.concatenate([chunk_left, chunk_left]),
+                    np.concatenate([chunk_right, chunk_right]),
+                )
+                chunks.append(np.asarray(doubled)[:1])
+            else:
+                chunks.append(self.judge.score_feature_pairs(chunk_left, chunk_right))
         return np.concatenate(chunks) if chunks else np.zeros(0)
 
     def predict_proba(self, pairs: list[Pair]) -> np.ndarray:
@@ -290,14 +412,17 @@ class ColocationEngine:
         if request.threshold is not None and not 0.0 <= request.threshold <= 1.0:
             raise ConfigurationError("request threshold must lie in [0, 1]")
         started = time.perf_counter()
-        hits_before, misses_before = self._hits, self._misses
         pairs = list(request.pairs)
         threshold = self.threshold if request.threshold is None else float(request.threshold)
         default_rule = request.threshold is None and self._threshold is None
+        stats = CallCacheStats(hits=0, misses=0, featurized=0)
         if pairs and self._feature_space:
             # Gather features once; probabilities and decisions share them.
-            left = self._features_for([p.left for p in pairs])
-            right = self._features_for([p.right for p in pairs])
+            # Per-call stats keep the response's cache traffic attributable
+            # to this request even with concurrent callers on the engine.
+            left, left_stats = self._resolve_features([p.left for p in pairs])
+            right, right_stats = self._resolve_features([p.right for p in pairs])
+            stats = left_stats + right_stats
             probabilities = self._score_batched(left, right)
             if default_rule and hasattr(self.judge, "decide_feature_pairs"):
                 decisions = np.asarray(self.judge.decide_feature_pairs(left, right), dtype=int)
@@ -314,8 +439,8 @@ class ColocationEngine:
             probabilities=tuple(float(p) for p in probabilities),
             decisions=tuple(int(d) for d in decisions),
             threshold=threshold,
-            cache_hits=self._hits - hits_before,
-            cache_misses=self._misses - misses_before,
+            cache_hits=stats.hits,
+            cache_misses=stats.misses,
             elapsed_ms=elapsed_ms,
         )
 

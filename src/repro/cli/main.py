@@ -11,6 +11,9 @@ Subcommands cover the common workflows without writing Python:
 * ``infer-poi``  — Acc@K POI inference of a saved pipeline on a saved dataset.
 * ``experiment`` — run one of the paper's table/figure experiments and print
   its report (the same runners the benchmark suite uses).
+* ``serve-bench`` — fit a small judge and race the single-engine serving path
+  against the sharded, micro-batched cluster on a skewed synthetic load
+  (the same harness as ``benchmarks/bench_sharded_serving.py``).
 * ``components`` — list every registered component (judges, baselines,
   featurizer variants, dataset presets, training strategies).
 
@@ -200,6 +203,53 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Race single-engine vs. sharded micro-batched serving on a skewed load."""
+    # Imported lazily: the cluster load generator pulls in the full pipeline.
+    from repro.cluster.loadgen import (
+        LoadConfig,
+        compare_serving_paths,
+        fit_serving_pipeline,
+        generate_requests,
+    )
+
+    config = LoadConfig(
+        num_users=args.users,
+        num_requests=args.requests,
+        pairs_per_request=args.pairs,
+        zipf_s=args.skew,
+        seed=args.seed,
+    )
+    print(
+        f"fitting the serving judge and generating {config.num_requests} requests "
+        f"({config.pairs_per_request} pairs each, {config.num_users} users, "
+        f"zipf s={config.zipf_s}) ..."
+    )
+    pipeline, dataset = fit_serving_pipeline(seed=args.seed)
+    requests = generate_requests(dataset.registry, dataset.training_corpus(), config)
+    report = compare_serving_paths(
+        pipeline,
+        requests,
+        num_shards=args.shards,
+        cache_size=args.cache_size,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+    )
+    print(report.format())
+    if not report.exact_match:
+        print("error: sharded probabilities diverged from the single engine", file=sys.stderr)
+        return 1
+    if report.coalescing_drift > 1e-12:
+        # The same bound the benchmark enforces: coalescing may flip the
+        # last mantissa bit, never more.
+        print(
+            f"error: micro-batch coalescing drifted by {report.coalescing_drift:.2e}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_components(args: argparse.Namespace) -> int:
     """List every registered component, grouped by kind."""
     kinds = (args.kind,) if args.kind else registry_mod.kinds()
@@ -280,6 +330,20 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--dataset", choices=("nyc", "lv"), default="nyc")
     experiment.add_argument("--scale", choices=("smoke", "default", "full"), default="smoke")
     experiment.set_defaults(func=cmd_experiment)
+
+    serve_bench = subparsers.add_parser(
+        "serve-bench", help="race single-engine vs. sharded micro-batched serving"
+    )
+    serve_bench.add_argument("--shards", type=int, default=4, help="engine shards")
+    serve_bench.add_argument("--requests", type=int, default=384, help="requests to serve")
+    serve_bench.add_argument("--pairs", type=int, default=4, help="pairs per request")
+    serve_bench.add_argument("--users", type=int, default=256, help="distinct users in the mix")
+    serve_bench.add_argument("--skew", type=float, default=1.1, help="Zipf exponent of the user mix")
+    serve_bench.add_argument("--cache-size", type=int, default=4096, help="total feature-cache budget")
+    serve_bench.add_argument("--max-batch", type=int, default=256, help="micro-batch flush size")
+    serve_bench.add_argument("--max-delay-ms", type=float, default=0.0, help="micro-batch flush delay")
+    serve_bench.add_argument("--seed", type=int, default=23)
+    serve_bench.set_defaults(func=cmd_serve_bench)
 
     components = subparsers.add_parser("components", help="list registered components")
     components.add_argument(

@@ -1,0 +1,33 @@
+"""``repro.cluster`` — sharded, micro-batched serving over the engine.
+
+PRs 2–3 made every per-profile cost batch-capable; this subsystem turns those
+batch kernels into *concurrent throughput*.  Three pieces compose:
+
+* :class:`ShardedEngine` — N hash-partitioned :class:`repro.api.ColocationEngine`
+  shards, each owning a disjoint slice of users and its own bounded feature
+  cache; feature gathering fans out across shards on a thread pool, and pair
+  scoring reuses the engine's exact chunking so results are bit-for-bit the
+  single engine's.  Shard caches snapshot/restore for worker warm-start.
+* :class:`MicroBatcher` — an async request coalescer: concurrent ``score`` /
+  ``probability_matrix`` / ``warm`` requests accumulate up to
+  ``max_batch``/``max_delay_ms`` and flush as one featurize+score call, with
+  a bounded queue and explicit backpressure
+  (:class:`repro.errors.EngineOverloadError` vs. blocking).
+* :class:`ClusterMetrics` — merged per-shard cache statistics, flush/batch
+  counters and latency percentiles in one thread-safe snapshot.
+
+:mod:`repro.cluster.loadgen` carries the skewed load generator behind
+``benchmarks/bench_sharded_serving.py`` and the CLI's ``serve-bench``.
+"""
+
+from repro.cluster.batcher import MicroBatcher
+from repro.cluster.metrics import ClusterMetrics, ClusterMetricsSnapshot
+from repro.cluster.sharded import ShardedEngine, shard_index
+
+__all__ = [
+    "ClusterMetrics",
+    "ClusterMetricsSnapshot",
+    "MicroBatcher",
+    "ShardedEngine",
+    "shard_index",
+]

@@ -1,0 +1,277 @@
+""":class:`MicroBatcher` — coalesce concurrent serving requests into batches.
+
+Every service today calls the engine synchronously with caller-sized batches:
+a notification window scores 4 pairs, then another scores 6, and each call
+pays the fixed featurize/score invocation overhead that the PR 2–3 batch
+kernels amortise only across *one* call.  The micro-batcher turns concurrency
+into batch size: requests enqueue, a single flusher thread drains the queue
+every ``max_delay_ms`` (or as soon as ``max_batch`` work items accumulate)
+and issues **one** featurize+score call for everything in the flush — so a
+skewed user mix is deduplicated across requests by the engine's
+within-call dedup, and every profile featurizes in a large batch.
+
+Backpressure is explicit: the queue is bounded at ``max_queue`` requests and
+an overflowing submit either raises :class:`repro.errors.EngineOverloadError`
+(``overflow="reject"``, the default — shed load at the edge) or blocks until
+the flusher catches up (``overflow="block"`` — smooth producers that can
+wait).
+
+Results come back as :class:`concurrent.futures.Future`; the ``score`` /
+``probability_matrix`` / ``warm`` convenience wrappers submit and wait.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.metrics import ClusterMetrics
+from repro.data.records import Pair, Profile
+from repro.errors import ConfigurationError, EngineOverloadError
+
+
+@dataclass
+class _Pending:
+    """One enqueued request awaiting the next flush."""
+
+    kind: str  # "score" | "matrix" | "warm"
+    payload: list
+    weight: int  # pairs (score) or profiles (matrix/warm) — the batch budget
+    future: Future = field(default_factory=Future)
+    enqueued: float = field(default_factory=time.perf_counter)
+
+
+class MicroBatcher:
+    """Async request coalescer over a (sharded or single) engine.
+
+    Parameters
+    ----------
+    engine:
+        A :class:`repro.cluster.ShardedEngine` or
+        :class:`repro.api.ColocationEngine` — anything exposing
+        ``predict_proba`` / ``probability_matrix`` / ``warm``.
+    max_batch:
+        Flush as soon as this many work items (pairs + profiles) are queued.
+    max_delay_ms:
+        Flush no later than this after the oldest queued request arrived.
+        ``0`` flushes as fast as the flusher can loop — requests still
+        coalesce while a previous flush is in flight.
+    max_queue:
+        Bound on queued *requests*; submits beyond it trigger ``overflow``.
+    overflow:
+        ``"reject"`` raises :class:`EngineOverloadError` immediately;
+        ``"block"`` waits for queue space.
+    metrics:
+        Optional externally owned :class:`ClusterMetrics`; by default the
+        batcher creates one (exposed as :attr:`metrics`).
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        max_batch: int = 256,
+        max_delay_ms: float = 2.0,
+        max_queue: int = 1024,
+        overflow: str = "reject",
+        metrics: ClusterMetrics | None = None,
+    ):
+        if not hasattr(engine, "predict_proba"):
+            raise ConfigurationError("engine must expose predict_proba(pairs)")
+        if max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        if max_delay_ms < 0:
+            raise ConfigurationError("max_delay_ms must be >= 0")
+        if max_queue < 1:
+            raise ConfigurationError("max_queue must be >= 1")
+        if overflow not in ("reject", "block"):
+            raise ConfigurationError('overflow must be "reject" or "block"')
+        self.engine = engine
+        self.max_batch = max_batch
+        self.max_delay = max_delay_ms / 1e3
+        self.max_queue = max_queue
+        self.overflow = overflow
+        self.metrics = metrics if metrics is not None else ClusterMetrics(engine)
+        self._queue: deque[_Pending] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._flusher = threading.Thread(
+            target=self._run, name="repro-microbatcher", daemon=True
+        )
+        self._flusher.start()
+
+    # ------------------------------------------------------------- submission
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a flush."""
+        with self._cond:
+            return len(self._queue)
+
+    def _submit(self, kind: str, payload: list, weight: int) -> Future:
+        pending = _Pending(kind=kind, payload=payload, weight=weight)
+        if weight == 0:
+            pending.future.set_result(_EMPTY_RESULTS[kind]())
+            return pending.future
+        with self._cond:
+            if self._closed:
+                raise ConfigurationError("the MicroBatcher is closed")
+            while len(self._queue) >= self.max_queue:
+                if self.overflow == "reject":
+                    self.metrics.observe_rejection()
+                    raise EngineOverloadError(
+                        f"micro-batch queue is full ({self.max_queue} requests)"
+                    )
+                self._cond.wait()
+                if self._closed:
+                    raise ConfigurationError("the MicroBatcher is closed")
+            self._queue.append(pending)
+            self._cond.notify_all()
+        return pending.future
+
+    def submit_score(self, pairs: list[Pair]) -> Future:
+        """Queue pairs for scoring; resolves to the probability array."""
+        pairs = list(pairs)
+        return self._submit("score", pairs, len(pairs))
+
+    def submit_probability_matrix(self, profiles: list[Profile]) -> Future:
+        """Queue a pairwise-matrix request; resolves to the ``N x N`` matrix."""
+        profiles = list(profiles)
+        return self._submit("matrix", profiles, len(profiles))
+
+    def submit_warm(self, profiles: list[Profile]) -> Future:
+        """Queue a cache pre-warm; resolves to rows this request featurized
+        (overlap already warmed earlier in the flush counts toward the
+        earlier request, mirroring ``ColocationEngine.warm``'s per-call
+        accounting)."""
+        profiles = list(profiles)
+        return self._submit("warm", profiles, len(profiles))
+
+    def score(self, pairs: list[Pair]) -> np.ndarray:
+        """Submit and wait: co-location probability per pair."""
+        return self.submit_score(pairs).result()
+
+    def probability_matrix(self, profiles: list[Profile]) -> np.ndarray:
+        """Submit and wait: the pairwise probability matrix."""
+        return self.submit_probability_matrix(profiles).result()
+
+    def warm(self, profiles: list[Profile]) -> int:
+        """Submit and wait: pre-featurize profiles into the engine cache."""
+        return self.submit_warm(profiles).result()
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self, drain: bool = True) -> None:
+        """Stop the flusher.  ``drain=True`` serves queued requests first;
+        ``drain=False`` fails them with :class:`EngineOverloadError`."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            if not drain:
+                while self._queue:
+                    pending = self._queue.popleft()
+                    pending.future.set_exception(
+                        EngineOverloadError("the MicroBatcher was closed")
+                    )
+            self._cond.notify_all()
+        self._flusher.join()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # ---------------------------------------------------------------- flusher
+    def _run(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            self._flush(batch)
+
+    def _next_batch(self) -> list[_Pending] | None:
+        """Block until a flush is due; drain up to ``max_batch`` work items."""
+        with self._cond:
+            while not self._queue and not self._closed:
+                self._cond.wait()
+            if not self._queue:
+                return None  # closed and drained
+            deadline = self._queue[0].enqueued + self.max_delay
+            while (
+                not self._closed
+                and sum(p.weight for p in self._queue) < self.max_batch
+            ):
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+                if not self._queue:  # drained by a non-drain close
+                    return None if self._closed else []
+            batch: list[_Pending] = []
+            weight = 0
+            while self._queue and (not batch or weight < self.max_batch):
+                batch.append(self._queue.popleft())
+                weight += batch[-1].weight
+            self._cond.notify_all()  # wake blocked submitters
+            return batch
+
+    def _flush(self, batch: list[_Pending]) -> None:
+        if not batch:
+            return
+        depth = self.queue_depth
+        started = time.perf_counter()
+        try:
+            score_requests = [p for p in batch if p.kind == "score"]
+            if score_requests:
+                all_pairs: list[Pair] = []
+                for pending in score_requests:
+                    all_pairs.extend(pending.payload)
+                probabilities = self.engine.predict_proba(all_pairs)
+                offset = 0
+                for pending in score_requests:
+                    stop = offset + pending.weight
+                    pending.future.set_result(probabilities[offset:stop])
+                    offset = stop
+
+            # Warm/matrix requests run per request, in flush order: each call
+            # is still one batched featurize, the engine's cache deduplicates
+            # overlap between them, and every warm future reports the rows
+            # *its own* call featurized — not the whole flush's total.
+            for pending in batch:
+                if pending.kind == "matrix":
+                    pending.future.set_result(self.engine.probability_matrix(pending.payload))
+                elif pending.kind == "warm":
+                    featurized = (
+                        self.engine.warm(pending.payload)
+                        if hasattr(self.engine, "warm")
+                        else 0
+                    )
+                    pending.future.set_result(featurized)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to every caller
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+        finally:
+            finished = time.perf_counter()
+            self.metrics.observe_flush(
+                num_requests=len(batch),
+                num_pairs=sum(p.weight for p in batch if p.kind == "score"),
+                queue_depth=depth,
+                elapsed_ms=(finished - started) * 1e3,
+            )
+            for pending in batch:
+                self.metrics.observe_latency((finished - pending.enqueued) * 1e3)
+
+
+#: Immediate results for zero-weight submissions, per request kind.
+_EMPTY_RESULTS = {
+    "score": lambda: np.zeros(0),
+    "matrix": lambda: np.zeros((0, 0)),
+    "warm": lambda: 0,
+}

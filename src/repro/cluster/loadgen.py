@@ -1,0 +1,305 @@
+"""Skewed serving-load generator and the single-vs-sharded throughput harness.
+
+The shared core behind ``benchmarks/bench_sharded_serving.py`` and the CLI's
+``serve-bench`` subcommand.  It models the streaming workload every service
+produces:
+
+* each request is one user's *fresh* profile (a new tweet — always a cold
+  featurization, exactly as in a live stream) scored against a handful of
+  resident candidate profiles drawn from a fixed pool;
+* users are sampled from a seeded Zipf-like distribution (``p(rank k) ∝
+  k^-s``), so a head of hot users dominates the mix the way real traffic
+  does — which is precisely what per-flush deduplication and per-user shard
+  caches exploit.
+
+Two serving paths run the *same* request sequence from a cold cache:
+
+* **single** — today's synchronous path: one ``predict_proba`` call per
+  request on one :class:`repro.api.ColocationEngine` (caller-sized batches);
+* **cluster** — a :class:`repro.cluster.MicroBatcher` coalescing concurrent
+  requests over a :class:`repro.cluster.ShardedEngine`, with the same *total*
+  cache budget.
+
+The harness also pins correctness: the sharded engine's direct
+``predict_proba`` must match the single engine bit-for-bit, and the
+micro-batched results may differ only by last-mantissa-bit coalescing noise
+(one BLAS call of a different shape).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api import ColocationEngine
+from repro.api.engine import EngineCacheInfo
+from repro.cluster.batcher import MicroBatcher
+from repro.cluster.metrics import ClusterMetricsSnapshot
+from repro.cluster.sharded import ShardedEngine
+from repro.data.records import Pair, Profile, Tweet, Visit
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """Shape of the synthetic serving load."""
+
+    num_users: int = 256
+    num_requests: int = 384
+    pairs_per_request: int = 4
+    history_len: int = 12
+    #: Zipf exponent of the user mix; larger = more skewed.
+    zipf_s: float = 1.1
+    seed: int = 23
+
+
+@dataclass(frozen=True)
+class ServingRun:
+    """One serving path's measured throughput."""
+
+    label: str
+    elapsed_s: float
+    requests: int
+    pairs: int
+    cache: EngineCacheInfo
+
+    @property
+    def requests_per_s(self) -> float:
+        return self.requests / self.elapsed_s if self.elapsed_s > 0 else float("inf")
+
+    @property
+    def pairs_per_s(self) -> float:
+        return self.pairs / self.elapsed_s if self.elapsed_s > 0 else float("inf")
+
+
+def fit_serving_pipeline(seed: int = 5):
+    """A small fitted HisRect pipeline + its dataset (the bench's judge)."""
+    from repro.colocation import CoLocationPipeline, JudgeConfig, PipelineConfig
+    from repro.data import build_dataset, tiny_dataset_config
+    from repro.features import HisRectConfig
+    from repro.ssl import SSLTrainingConfig
+    from repro.text.skipgram import SkipGramConfig
+
+    dataset = build_dataset(tiny_dataset_config(seed=seed))
+    config = PipelineConfig(
+        hisrect=HisRectConfig(content_dim=8, feature_dim=16, embedding_dim=8),
+        ssl=SSLTrainingConfig(batch_size=4, max_iterations=20),
+        judge=JudgeConfig(epochs=4),
+        skipgram=SkipGramConfig(embedding_dim=12, epochs=1),
+    )
+    pipeline = CoLocationPipeline(config).fit(dataset)
+    return pipeline, dataset
+
+
+def _zipf_probabilities(num_users: int, s: float) -> np.ndarray:
+    ranks = np.arange(1, num_users + 1, dtype=float)
+    weights = ranks**-s
+    return weights / weights.sum()
+
+
+def _profile(registry, rng, words: list[str], uid: int, ts: float, history_len: int) -> Profile:
+    anchor = registry.pois[int(rng.integers(len(registry.pois)))].center
+    visits = []
+    for _ in range(history_len):
+        point = anchor.offset(
+            north_m=float(rng.uniform(-400.0, 400.0)),
+            east_m=float(rng.uniform(-400.0, 400.0)),
+        )
+        visits.append(Visit(ts=ts - float(rng.uniform(1.0, 1e5)), lat=point.lat, lon=point.lon))
+    content = " ".join(rng.choice(words, size=int(rng.integers(5, 11))))
+    tweet = Tweet(uid=uid, ts=ts, content=content)
+    return Profile(uid=uid, tweet=tweet, visit_history=tuple(visits))
+
+
+def generate_requests(registry, corpus: list[str], config: LoadConfig) -> list[list[Pair]]:
+    """The request sequence: fresh query profile vs. resident candidates."""
+    if config.num_users < 2:
+        # Candidates must differ from the query user; one user has none.
+        raise ConfigurationError("the load mix needs num_users >= 2")
+    if config.num_requests < 1 or config.pairs_per_request < 1:
+        raise ConfigurationError("the load mix needs num_requests >= 1 and pairs_per_request >= 1")
+    rng = np.random.default_rng(config.seed)
+    words = sorted({word for text in corpus for word in text.split()})
+    if not words:
+        words = ["here", "now"]
+    probabilities = _zipf_probabilities(config.num_users, config.zipf_s)
+    #: Zipf ranks map to shuffled uids so the hot users spread over shards.
+    uids = rng.permutation(config.num_users)
+    residents = [
+        _profile(registry, rng, words, int(uid), ts=1e6, history_len=config.history_len)
+        for uid in range(config.num_users)
+    ]
+    requests: list[list[Pair]] = []
+    for step in range(config.num_requests):
+        query_uid = int(uids[rng.choice(config.num_users, p=probabilities)])
+        query = _profile(
+            registry, rng, words, query_uid, ts=1e6 + step + 1, history_len=config.history_len
+        )
+        pairs: list[Pair] = []
+        while len(pairs) < config.pairs_per_request:
+            candidate_uid = int(uids[rng.choice(config.num_users, p=probabilities)])
+            if candidate_uid == query_uid:
+                continue
+            pairs.append(Pair(left=query, right=residents[candidate_uid], co_label=None))
+        requests.append(pairs)
+    return requests
+
+
+def run_single(engine: ColocationEngine, requests: list[list[Pair]]) -> tuple[ServingRun, list[np.ndarray]]:
+    """Today's path: one synchronous ``predict_proba`` call per request."""
+    started = time.perf_counter()
+    results = [engine.predict_proba(pairs) for pairs in requests]
+    elapsed = time.perf_counter() - started
+    return (
+        ServingRun(
+            label="single engine",
+            elapsed_s=elapsed,
+            requests=len(requests),
+            pairs=sum(len(r) for r in requests),
+            cache=engine.cache_info(),
+        ),
+        results,
+    )
+
+
+def run_cluster(
+    engine: ShardedEngine,
+    requests: list[list[Pair]],
+    *,
+    max_batch: int = 256,
+    max_delay_ms: float = 0.0,
+    max_queue: int = 512,
+) -> tuple[ServingRun, list[np.ndarray], ClusterMetricsSnapshot]:
+    """The cluster path: concurrent submissions coalesced by a MicroBatcher.
+
+    Requests are submitted as fast as the bounded queue admits them
+    (``overflow="block"`` backpressure), so the batcher coalesces whatever
+    accumulates while each flush is in flight — the steady state of a busy
+    service.
+    """
+    with MicroBatcher(
+        engine,
+        max_batch=max_batch,
+        max_delay_ms=max_delay_ms,
+        max_queue=max_queue,
+        overflow="block",
+    ) as batcher:
+        started = time.perf_counter()
+        futures = [batcher.submit_score(pairs) for pairs in requests]
+        results = [future.result() for future in futures]
+        elapsed = time.perf_counter() - started
+    # Snapshot after close(): the flusher records a flush's metrics *after*
+    # resolving its futures, so a snapshot taken the moment the last result
+    # lands can miss the final flush; close() joins the flusher first.
+    snapshot = batcher.metrics.snapshot()
+    return (
+        ServingRun(
+            label=f"sharded x{engine.num_shards} + micro-batch",
+            elapsed_s=elapsed,
+            requests=len(requests),
+            pairs=sum(len(r) for r in requests),
+            cache=engine.cache_info(),
+        ),
+        results,
+        snapshot,
+    )
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Single-vs-cluster throughput over the same cold-cache request sequence."""
+
+    single: ServingRun
+    cluster: ServingRun
+    metrics: ClusterMetricsSnapshot
+    #: ``ShardedEngine.predict_proba`` agrees bit-for-bit with the single
+    #: engine on every request (checked on a fresh, cold sharded engine).
+    exact_match: bool
+    #: Largest |Δ probability| between the micro-batched results and the
+    #: single engine.  Coalescing flushes many requests as one BLAS call of a
+    #: different shape, which may flip the last mantissa bit (~1e-16); the
+    #: sharding itself contributes nothing (see ``exact_match``).
+    coalescing_drift: float
+
+    @property
+    def speedup(self) -> float:
+        return (
+            self.single.elapsed_s / self.cluster.elapsed_s
+            if self.cluster.elapsed_s > 0
+            else float("inf")
+        )
+
+    def format(self) -> str:
+        lines = [
+            f"{'path':<28} {'elapsed s':>10} {'req/s':>10} {'pairs/s':>10} {'hit_rate':>9}",
+        ]
+        for run in (self.single, self.cluster):
+            lines.append(
+                f"{run.label:<28} {run.elapsed_s:>10.3f} {run.requests_per_s:>10.1f} "
+                f"{run.pairs_per_s:>10.1f} {run.cache.hit_rate:>9.3f}"
+            )
+        lines.append("")
+        lines.append(
+            f"throughput speedup: {self.speedup:.2f}x  "
+            f"(sharded probabilities bit-for-bit: {'yes' if self.exact_match else 'NO'}, "
+            f"micro-batch coalescing drift: {self.coalescing_drift:.1e})"
+        )
+        lines.append(self.metrics.format())
+        return "\n".join(lines)
+
+
+def compare_serving_paths(
+    judge,
+    requests: list[list[Pair]],
+    *,
+    num_shards: int = 4,
+    cache_size: int = 4096,
+    max_batch: int = 256,
+    max_delay_ms: float = 0.0,
+    max_queue: int = 512,
+) -> ComparisonReport:
+    """Run both serving paths cold and compare throughput and results.
+
+    Three passes: the single engine (throughput baseline), the micro-batched
+    cluster (throughput), and an un-timed direct pass over a fresh cold
+    :class:`ShardedEngine` pinning the bit-for-bit contract without the
+    batcher's shape-dependent coalescing in the way.
+
+    Every engine is constructed — and every shard's judge replica
+    deep-copied — *before* the first pass runs: the judge's internal
+    featurizer caches (history cache, text-vectorizer LRU) warm up during
+    the single-engine pass, and replicas copied afterwards would inherit
+    that warmth and fake part of the cluster's speedup.
+    """
+    single_engine = ColocationEngine(judge, cache_size=cache_size)
+    with ShardedEngine(judge, num_shards=num_shards, cache_size=cache_size) as sharded, ShardedEngine(
+        judge, num_shards=num_shards, cache_size=cache_size
+    ) as fresh:
+        single, single_results = run_single(single_engine, requests)
+        cluster, cluster_results, snapshot = run_cluster(
+            sharded,
+            requests,
+            max_batch=max_batch,
+            max_delay_ms=max_delay_ms,
+            max_queue=max_queue,
+        )
+        drift = max(
+            (
+                (float(np.abs(a - b).max()) if len(a) else 0.0)
+                for a, b in zip(single_results, cluster_results)
+            ),
+            default=0.0,
+        )
+        exact = all(
+            np.array_equal(single_result, fresh.predict_proba(pairs))
+            for single_result, pairs in zip(single_results, requests)
+        )
+    return ComparisonReport(
+        single=single,
+        cluster=cluster,
+        metrics=snapshot,
+        exact_match=exact,
+        coalescing_drift=drift,
+    )

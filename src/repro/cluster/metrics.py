@@ -1,0 +1,158 @@
+""":class:`ClusterMetrics` — the numbers an operator needs from a cluster.
+
+Aggregates three kinds of signal:
+
+* **cache** — per-shard :class:`repro.api.EngineCacheInfo` snapshots and
+  their cluster-level merge (:meth:`EngineCacheInfo.merge`), pulled live from
+  the attached engine;
+* **throughput** — requests/pairs served, flush count and mean flush size
+  (how well the micro-batcher is coalescing), rejections (how often
+  backpressure fired);
+* **latency** — per-request enqueue→result percentiles over a bounded sliding
+  window of recent requests.
+
+All observation methods are thread-safe; :meth:`snapshot` returns one frozen,
+printable :class:`ClusterMetricsSnapshot`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api.engine import EngineCacheInfo
+
+
+@dataclass(frozen=True)
+class ClusterMetricsSnapshot:
+    """One consistent, frozen view of the cluster's operational counters."""
+
+    #: Requests completed (every kind: score, matrix, warm).
+    requests: int
+    #: Pairs scored across all score requests.
+    pairs_scored: int
+    #: Batches flushed by the micro-batcher.
+    flushes: int
+    #: Submissions rejected by backpressure.
+    rejections: int
+    #: Queue depth observed at the most recent flush.
+    queue_depth: int
+    #: Mean requests per flush (0.0 before the first flush).
+    mean_flush_requests: float
+    #: Enqueue-to-result latency percentiles over the recent window, in ms.
+    latency_p50_ms: float
+    latency_p90_ms: float
+    latency_p99_ms: float
+    #: Merged cache statistics (``None`` when no engine is attached).
+    cache: EngineCacheInfo | None
+    #: Per-shard cache statistics (empty for a single, unsharded engine).
+    shard_caches: tuple[EngineCacheInfo, ...]
+
+    def format(self) -> str:
+        """A compact multi-line operator report."""
+        lines = [
+            f"requests={self.requests} pairs={self.pairs_scored} "
+            f"flushes={self.flushes} mean_flush={self.mean_flush_requests:.1f} "
+            f"rejections={self.rejections} queue_depth={self.queue_depth}",
+            f"latency ms: p50={self.latency_p50_ms:.2f} "
+            f"p90={self.latency_p90_ms:.2f} p99={self.latency_p99_ms:.2f}",
+        ]
+        if self.cache is not None:
+            lines.append(
+                f"cache: size={self.cache.size}/{self.cache.maxsize} "
+                f"hit_rate={self.cache.hit_rate:.3f} featurized={self.cache.featurized}"
+            )
+        for index, info in enumerate(self.shard_caches):
+            lines.append(
+                f"  shard {index}: size={info.size}/{info.maxsize} "
+                f"hit_rate={info.hit_rate:.3f} featurized={info.featurized}"
+            )
+        return "\n".join(lines)
+
+
+class ClusterMetrics:
+    """Thread-safe counters for a serving cluster.
+
+    Parameters
+    ----------
+    engine:
+        Optional engine whose cache statistics the snapshot should include;
+        anything with ``cache_info()`` works, and engines that also expose
+        ``shard_cache_infos()`` (the :class:`repro.cluster.ShardedEngine`)
+        get per-shard breakdowns.
+    latency_window:
+        How many recent request latencies the percentile window keeps.
+    """
+
+    def __init__(self, engine=None, latency_window: int = 4096):
+        self._engine = engine
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+        self._requests = 0
+        self._pairs = 0
+        self._flushes = 0
+        self._rejections = 0
+        self._flush_requests = 0
+        self._last_queue_depth = 0
+
+    # ------------------------------------------------------------ observation
+    def observe_flush(
+        self, num_requests: int, num_pairs: int, queue_depth: int, elapsed_ms: float
+    ) -> None:
+        """Record one completed micro-batch flush."""
+        with self._lock:
+            self._flushes += 1
+            self._requests += num_requests
+            self._flush_requests += num_requests
+            self._pairs += num_pairs
+            self._last_queue_depth = queue_depth
+
+    def observe_latency(self, latency_ms: float) -> None:
+        """Record one request's enqueue-to-result latency."""
+        with self._lock:
+            self._latencies.append(float(latency_ms))
+
+    def observe_rejection(self) -> None:
+        """Record one submission shed by backpressure."""
+        with self._lock:
+            self._rejections += 1
+
+    # --------------------------------------------------------------- snapshot
+    def snapshot(self) -> ClusterMetricsSnapshot:
+        """Freeze the current counters (and live cache statistics) into one view."""
+        with self._lock:
+            latencies = np.array(self._latencies) if self._latencies else np.zeros(0)
+            requests = self._requests
+            pairs = self._pairs
+            flushes = self._flushes
+            rejections = self._rejections
+            flush_requests = self._flush_requests
+            queue_depth = self._last_queue_depth
+        if latencies.size:
+            p50, p90, p99 = (float(p) for p in np.percentile(latencies, (50, 90, 99)))
+        else:
+            p50 = p90 = p99 = 0.0
+        cache = None
+        shard_caches: tuple[EngineCacheInfo, ...] = ()
+        if self._engine is not None:
+            if hasattr(self._engine, "shard_cache_infos"):
+                shard_caches = self._engine.shard_cache_infos()
+                cache = EngineCacheInfo.merge(shard_caches)
+            elif hasattr(self._engine, "cache_info"):
+                cache = self._engine.cache_info()
+        return ClusterMetricsSnapshot(
+            requests=requests,
+            pairs_scored=pairs,
+            flushes=flushes,
+            rejections=rejections,
+            queue_depth=queue_depth,
+            mean_flush_requests=flush_requests / flushes if flushes else 0.0,
+            latency_p50_ms=p50,
+            latency_p90_ms=p90,
+            latency_p99_ms=p99,
+            cache=cache,
+            shard_caches=shard_caches,
+        )

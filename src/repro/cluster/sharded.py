@@ -1,0 +1,392 @@
+""":class:`ShardedEngine` — N hash-partitioned :class:`ColocationEngine` shards.
+
+One :class:`repro.api.ColocationEngine` owns one feature cache and serves one
+caller at a time; the sharded engine splits the user population across ``N``
+shards so (a) each shard's bounded LRU holds a *disjoint* slice of users — a
+burst of traffic for one slice never churns another slice's cache — and (b)
+feature gathering for a batch fans out across shards on a thread pool, one
+featurize call per shard.
+
+Routing is by a **stable** hash of the profile's ``uid`` (the first component
+of :func:`repro.core.profile_key`): every profile a user emits lands on the
+same shard, and — unlike the salted builtin ``hash`` — the mapping survives
+process restarts, so a :meth:`snapshot` taken by one incarnation restores
+cleanly into the next (even with a different shard count: :meth:`restore`
+re-routes every row by key).
+
+Pair scoring gathers feature rows from both owners and reuses the judge's
+``score_feature_pairs`` with the engine's exact chunking, so
+``ShardedEngine.predict_proba`` is bit-for-bit identical to a single
+:class:`ColocationEngine` over the same fitted judge.  Judges without the
+feature-level interface fall back to their own ``predict_proba`` (there is
+nothing to shard — no per-profile features exist).
+
+Python threads share one interpreter, so by default each shard drives its own
+``copy.deepcopy`` of the judge: the judge's internal featurizer caches (text
+vectorizer LRU, history cache) are not thread-safe, and replicating the model
+per shard mirrors the production layout anyway (one replica per worker).
+Featurization is additionally serialised *per shard* — concurrent top-level
+callers fan out across shards but queue within one, so a replica's caches are
+only ever mutated by one thread at a time.  Pass ``replicate_judge=False`` to
+share one judge across shards and serialise featurization through a single
+lock (memory-lean, gather parallelism disabled).
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.api.engine import CallCacheStats, ColocationEngine, EngineCacheInfo
+from repro.api.messages import JudgeRequest, JudgeResponse
+from repro.core.protocols import (
+    ProfileKey,
+    pairwise_probability_matrix,
+    profile_key,
+    symmetric_probability_matrix,
+    upper_triangle_pairs,
+)
+from repro.data.records import Pair, Profile
+from repro.errors import ConfigurationError
+
+
+def shard_index(key: ProfileKey, num_shards: int) -> int:
+    """The owning shard of a profile key: a stable hash of its ``uid``.
+
+    CRC-32 of the uid's fixed-width big-endian bytes — deterministic across
+    processes and platforms (builtin ``hash`` is salted per process), uniform
+    enough for load spreading, and a function of the *user* only, so every
+    profile version a user emits shares a shard with its history.
+    """
+    uid = int(key[0])
+    return zlib.crc32(uid.to_bytes(8, "big", signed=True)) % num_shards
+
+
+class ShardedEngine:
+    """Serve a fitted judge across hash-partitioned engine shards.
+
+    Parameters
+    ----------
+    judge:
+        Any fitted judge a :class:`ColocationEngine` accepts.
+    num_shards:
+        Number of engine shards (each with its own bounded feature cache).
+    cache_size:
+        **Total** feature-row budget, split evenly across shards — so a
+        sharded engine and a single engine with the same ``cache_size`` hold
+        the same number of rows and compare fairly.
+    threshold / batch_size / registry:
+        Forwarded to every shard (see :class:`ColocationEngine`).
+    replicate_judge:
+        Deep-copy the judge once per shard so shards featurize in parallel
+        (default).  ``False`` shares the single judge instance and serialises
+        featurization through a lock.  Judges without the feature-level
+        interface are never replicated — every call path falls back to the
+        original judge, so replicas would only waste memory.
+    max_workers:
+        Thread-pool width for per-shard feature gathering; defaults to
+        ``num_shards``.
+    """
+
+    def __init__(
+        self,
+        judge,
+        *,
+        num_shards: int = 4,
+        cache_size: int = 4096,
+        threshold: float | None = None,
+        batch_size: int = 1024,
+        registry=None,
+        replicate_judge: bool = True,
+        max_workers: int | None = None,
+    ):
+        if num_shards < 1:
+            raise ConfigurationError("num_shards must be >= 1")
+        if cache_size < 0:
+            raise ConfigurationError("cache_size must be >= 0")
+        self.judge = judge
+        self.num_shards = num_shards
+        self.cache_size = cache_size
+        self.batch_size = batch_size
+        # Replicas exist to isolate the featurizers' internal caches, so a
+        # judge without the feature-level interface never needs them (every
+        # call path falls back to the original judge) — and a single shard
+        # still gets one: sharing the caller's instance would let warmth
+        # leak between engines that are supposed to be independent.
+        feature_space = hasattr(judge, "featurize_profiles") and hasattr(
+            judge, "score_feature_pairs"
+        )
+        self.replicated = replicate_judge and feature_space
+        # Split the total budget exactly: the first cache_size % num_shards
+        # shards take the remainder, so merged maxsize == cache_size.
+        base, extra = divmod(cache_size, num_shards)
+        self.shards: list[ColocationEngine] = []
+        for index in range(num_shards):
+            shard_judge = copy.deepcopy(judge) if self.replicated else judge
+            self.shards.append(
+                ColocationEngine(
+                    shard_judge,
+                    cache_size=base + (1 if index < extra else 0),
+                    threshold=threshold,
+                    batch_size=batch_size,
+                    registry=registry,
+                )
+            )
+        # Featurization must be serialised per judge instance: the judges'
+        # internal featurizer caches (text vectorizer LRU, history cache) are
+        # not thread-safe.  With replicas that is one lock per shard —
+        # concurrent top-level callers still fan out across shards — and with
+        # a shared judge it is one lock for everything.
+        if self.replicated:
+            self._gather_locks = [threading.Lock() for _ in range(num_shards)]
+        else:
+            shared = threading.Lock()
+            self._gather_locks = [shared] * num_shards
+        workers = max_workers if max_workers is not None else num_shards
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, min(workers, num_shards)),
+            thread_name_prefix="repro-shard",
+        )
+
+    # --------------------------------------------------------------- plumbing
+    @property
+    def threshold(self) -> float:
+        """The decision threshold applied by :meth:`predict` and :meth:`serve`."""
+        return self.shards[0].threshold
+
+    @property
+    def registry(self):
+        """The POI registry behind the judge (shard 0's view)."""
+        return self.shards[0].registry
+
+    @property
+    def _feature_space(self) -> bool:
+        return self.shards[0]._feature_space
+
+    def shard_of(self, profile: Profile) -> int:
+        """The index of the shard owning this profile's user."""
+        return shard_index(profile_key(profile), self.num_shards)
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # ----------------------------------------------------------- feature path
+    def _gather(self, shard: int, profiles: list[Profile]) -> tuple[np.ndarray, CallCacheStats]:
+        with self._gather_locks[shard]:
+            return self.shards[shard]._resolve_features(profiles)
+
+    def _resolve_features(
+        self, profiles: list[Profile]
+    ) -> tuple[np.ndarray, CallCacheStats]:
+        """Feature rows gathered from each profile's owner shard, in parallel,
+        plus this call's own cache traffic summed over the shards."""
+        owners = [self.shard_of(p) for p in profiles]
+        groups: dict[int, list[int]] = {}
+        for position, owner in enumerate(owners):
+            groups.setdefault(owner, []).append(position)
+        futures = {
+            owner: self._pool.submit(self._gather, owner, [profiles[i] for i in positions])
+            for owner, positions in groups.items()
+        }
+        rows: np.ndarray | None = None
+        stats = CallCacheStats(hits=0, misses=0, featurized=0)
+        for owner, positions in groups.items():
+            shard_rows, shard_stats = futures[owner].result()
+            stats = stats + shard_stats
+            if rows is None:
+                rows = np.empty((len(profiles), shard_rows.shape[1]), dtype=shard_rows.dtype)
+            rows[positions] = shard_rows
+        assert rows is not None
+        return rows, stats
+
+    def _features_for(self, profiles: list[Profile]) -> np.ndarray:
+        """Feature rows gathered from each profile's owner shard, in parallel."""
+        rows, _ = self._resolve_features(profiles)
+        return rows
+
+    def _warm_shard(self, shard: int, profiles: list[Profile]) -> int:
+        with self._gather_locks[shard]:
+            return self.shards[shard].warm(profiles)
+
+    def warm(self, profiles: list[Profile]) -> int:
+        """Pre-featurize profiles into their owner shards; returns rows featurized.
+
+        The count sums each shard's own per-call accounting, so concurrent
+        callers driving the same cluster do not inflate each other's totals.
+        """
+        if not profiles or not self._feature_space:
+            return 0
+        groups: dict[int, list[Profile]] = {}
+        for profile in profiles:
+            groups.setdefault(self.shard_of(profile), []).append(profile)
+        futures = [
+            self._pool.submit(self._warm_shard, owner, group) for owner, group in groups.items()
+        ]
+        return sum(future.result() for future in futures)
+
+    def features(self, profiles: list[Profile]) -> np.ndarray:
+        """Cached frozen feature rows for profiles (gathered across shards)."""
+        if not self._feature_space:
+            raise ConfigurationError(
+                "the wrapped judge has no feature-level interface (FeatureSpaceJudge)"
+            )
+        if not profiles:
+            return self.shards[0].features([])
+        return self._features_for(profiles)
+
+    # ------------------------------------------------------------- cache admin
+    def cache_info(self) -> EngineCacheInfo:
+        """Cluster-level cache statistics (all shards merged)."""
+        return EngineCacheInfo.merge(self.shard_cache_infos())
+
+    def shard_cache_infos(self) -> tuple[EngineCacheInfo, ...]:
+        """Per-shard cache statistics, index-aligned with :attr:`shards`."""
+        return tuple(shard.cache_info() for shard in self.shards)
+
+    def clear_cache(self) -> None:
+        """Drop every shard's cached feature rows (keeps the counters)."""
+        for shard in self.shards:
+            shard.clear_cache()
+
+    def snapshot(self) -> tuple[dict[ProfileKey, np.ndarray], ...]:
+        """Per-shard cache exports, index-aligned with :attr:`shards`."""
+        return tuple(shard.export_cache() for shard in self.shards)
+
+    def restore(self, snapshot: tuple[dict[ProfileKey, np.ndarray], ...]) -> int:
+        """Repopulate shard caches from a :meth:`snapshot`; returns rows kept.
+
+        Every row is re-routed by its key's stable hash, so a snapshot taken
+        at one shard count restores correctly into another.  Source exports
+        are interleaved position-wise (each shard's coldest rows first, its
+        hottest last) so when the restored capacity is smaller, the LRU
+        bound evicts the approximately coldest rows across the whole
+        snapshot rather than whichever source shard happened to import
+        first.
+        """
+        routed: list[dict[ProfileKey, np.ndarray]] = [{} for _ in self.shards]
+        iterators = [iter(rows.items()) for rows in snapshot]
+        while iterators:
+            remaining = []
+            for iterator in iterators:
+                item = next(iterator, None)
+                if item is None:
+                    continue
+                key, row = item
+                routed[shard_index(key, self.num_shards)][key] = row
+                remaining.append(iterator)
+            iterators = remaining
+        return sum(
+            shard.import_cache(rows) for shard, rows in zip(self.shards, routed)
+        )
+
+    # -------------------------------------------------------------- judgement
+    def predict_proba(self, pairs: list[Pair]) -> np.ndarray:
+        """Co-location probability per pair; bit-for-bit the single engine's.
+
+        Left and right profiles gather in one fan-out (each shard featurizes
+        its misses as one batch); scoring reuses the engine's exact chunking
+        over the full pair list, so neither sharding nor gather order changes
+        a single bit of the result.
+        """
+        if not pairs:
+            return np.zeros(0)
+        if self._feature_space:
+            profiles = [p.left for p in pairs] + [p.right for p in pairs]
+            rows = self._features_for(profiles)
+            left, right = rows[: len(pairs)], rows[len(pairs) :]
+            return self.shards[0]._score_batched(left, right)
+        return np.asarray(self.judge.predict_proba(list(pairs)), dtype=float)
+
+    def predict(self, pairs: list[Pair]) -> np.ndarray:
+        """Binary co-location decisions per pair (judge's rule, like the engine)."""
+        if not pairs:
+            return np.zeros(0, dtype=int)
+        shard0 = self.shards[0]
+        if shard0._threshold is None:
+            if self._feature_space and hasattr(shard0.judge, "decide_feature_pairs"):
+                profiles = [p.left for p in pairs] + [p.right for p in pairs]
+                rows = self._features_for(profiles)
+                left, right = rows[: len(pairs)], rows[len(pairs) :]
+                return np.asarray(shard0.judge.decide_feature_pairs(left, right), dtype=int)
+            if not self._feature_space and hasattr(self.judge, "predict"):
+                return np.asarray(self.judge.predict(list(pairs)), dtype=int)
+        return (self.predict_proba(pairs) >= self.threshold).astype(int)
+
+    def probability_matrix(self, profiles: list[Profile]) -> np.ndarray:
+        """The ``N x N`` pairwise matrix, each profile featurized on its shard."""
+        n = len(profiles)
+        if self._feature_space:
+            if n < 2:
+                return np.zeros((n, n))
+            features = self._features_for(profiles)
+            index_pairs = upper_triangle_pairs(n)
+            left = features[[i for i, _ in index_pairs]]
+            right = features[[j for _, j in index_pairs]]
+            probabilities = self.shards[0]._score_batched(left, right)
+            return symmetric_probability_matrix(n, index_pairs, probabilities)
+        if hasattr(self.judge, "probability_matrix"):
+            return np.asarray(self.judge.probability_matrix(list(profiles)), dtype=float)
+        return pairwise_probability_matrix(self.judge, list(profiles))
+
+    # ----------------------------------------------------------------- serving
+    def serve(self, request: JudgeRequest) -> JudgeResponse:
+        """Answer one typed judgement request (cache traffic summed over shards)."""
+        if request.threshold is not None and not 0.0 <= request.threshold <= 1.0:
+            raise ConfigurationError("request threshold must lie in [0, 1]")
+        started = time.perf_counter()
+        pairs = list(request.pairs)
+        threshold = self.threshold if request.threshold is None else float(request.threshold)
+        default_rule = request.threshold is None and self.shards[0]._threshold is None
+        stats = CallCacheStats(hits=0, misses=0, featurized=0)
+        if pairs and self._feature_space:
+            # Gather features once; probabilities and decisions share them
+            # (mirrors ColocationEngine.serve), and the per-call stats keep
+            # the response's cache traffic attributable to this request even
+            # with concurrent callers on the cluster.  Feature-space calls go
+            # through shard 0's judge replica (the same one that scores);
+            # fallbacks for non-feature-space judges use the original
+            # `self.judge`.
+            shard0_judge = self.shards[0].judge
+            profiles = [p.left for p in pairs] + [p.right for p in pairs]
+            rows, stats = self._resolve_features(profiles)
+            left, right = rows[: len(pairs)], rows[len(pairs) :]
+            probabilities = self.shards[0]._score_batched(left, right)
+            if default_rule and hasattr(shard0_judge, "decide_feature_pairs"):
+                decisions = np.asarray(shard0_judge.decide_feature_pairs(left, right), dtype=int)
+            else:
+                decisions = (probabilities >= threshold).astype(int)
+        else:
+            probabilities = self.predict_proba(pairs)
+            if pairs and default_rule and hasattr(self.judge, "predict"):
+                decisions = np.asarray(self.judge.predict(pairs), dtype=int)
+            else:
+                decisions = (probabilities >= threshold).astype(int)
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        return JudgeResponse(
+            probabilities=tuple(float(p) for p in probabilities),
+            decisions=tuple(int(d) for d in decisions),
+            threshold=threshold,
+            cache_hits=stats.hits,
+            cache_misses=stats.misses,
+            elapsed_ms=elapsed_ms,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        info = self.cache_info()
+        return (
+            f"ShardedEngine(judge={type(self.judge).__name__}, shards={self.num_shards}, "
+            f"cache={info.size}/{info.maxsize}, hit_rate={info.hit_rate:.2f})"
+        )

@@ -45,10 +45,22 @@ def featurize_in_chunks(featurizer, profiles: "list[Profile]", chunk: int = FEAT
     The shared implementation behind every judge's ``featurize_profiles``:
     identical chunking everywhere keeps feature rows bit-identical no matter
     which entry point computed them.
+
+    Feature rows are independent of their chunk companions *except* for
+    single-profile chunks, where BLAS takes a different (gemv) kernel and
+    rows drift by ~1e-16 from their batched values.  A singleton chunk is
+    therefore padded with a duplicate of its profile and the extra row
+    dropped, so every row comes off the batched kernel and any partition of
+    a workload into chunks — including the per-shard miss batches of
+    :class:`repro.cluster.ShardedEngine` — yields bit-identical features.
     """
     rows = []
     for start in range(0, len(profiles), chunk):
-        rows.append(featurizer.featurize(profiles[start : start + chunk]))
+        piece = profiles[start : start + chunk]
+        if len(piece) == 1:
+            rows.append(featurizer.featurize([piece[0], piece[0]])[:1])
+        else:
+            rows.append(featurizer.featurize(piece))
     return np.concatenate(rows) if rows else np.zeros((0, featurizer_dim(featurizer)))
 
 

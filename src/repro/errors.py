@@ -27,6 +27,10 @@ class TrainingError(ReproError):
     """Raised when a training loop receives data it cannot train on."""
 
 
+class EngineOverloadError(ReproError):
+    """Raised when a serving queue is full and the backpressure policy rejects."""
+
+
 class NotFittedError(ReproError):
     """Raised when a model is used for prediction before being trained."""
 

@@ -1,9 +1,10 @@
 """Shared engine plumbing of the service layer.
 
-Every application takes a :class:`repro.api.ColocationEngine` as its first
-argument; raw fitted judges are still accepted (and wrapped on the fly) so
-pre-engine call sites keep working, and the legacy ``judge=`` keyword remains
-available behind a :class:`DeprecationWarning`.
+Every application takes a :class:`repro.api.ColocationEngine` — or a
+:class:`repro.cluster.ShardedEngine`, which exposes the same serving surface —
+as its first argument; raw fitted judges are still accepted (and wrapped on
+the fly) so pre-engine call sites keep working, and the legacy ``judge=``
+keyword remains available behind a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
@@ -14,8 +15,14 @@ from repro.api import ColocationEngine
 from repro.errors import ConfigurationError
 
 
-def resolve_engine(engine, judge=None) -> ColocationEngine:
-    """Normalise a service's ``engine``/legacy ``judge`` arguments to an engine."""
+def resolve_engine(engine, judge=None):
+    """Normalise a service's ``engine``/legacy ``judge`` arguments to an engine.
+
+    A :class:`repro.cluster.ShardedEngine` passes through unchanged — it
+    already speaks the full engine surface (``predict_proba`` /
+    ``probability_matrix`` / ``warm`` / ``cache_info`` / ``registry``) — so
+    every service gains the sharded path by construction.
+    """
     if judge is not None:
         if engine is not None:
             raise ConfigurationError("pass either engine or judge, not both")
@@ -28,4 +35,8 @@ def resolve_engine(engine, judge=None) -> ColocationEngine:
         engine = judge
     if engine is None:
         raise ConfigurationError("an engine (or fitted judge) is required")
+    from repro.cluster.sharded import ShardedEngine
+
+    if isinstance(engine, ShardedEngine):
+        return engine
     return ColocationEngine.ensure(engine)

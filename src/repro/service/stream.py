@@ -124,8 +124,10 @@ class StreamScorer:
     Parameters
     ----------
     engine:
-        A :class:`repro.api.ColocationEngine` (or a raw fitted judge, which
-        is wrapped).  The engine's feature cache is what keeps a profile from
+        A :class:`repro.api.ColocationEngine`, a
+        :class:`repro.cluster.ShardedEngine` (the sharded path: each user's
+        features live on their owner shard) or a raw fitted judge, which is
+        wrapped.  The engine's feature cache is what keeps a profile from
         being re-featurized for every pair it participates in.
     registry:
         POI set for labelling geo-tagged tweets; defaults to the engine's.
@@ -149,9 +151,9 @@ class StreamScorer:
         pair_filter: Callable[[Pair], bool] | None = None,
         enforce_order: bool = True,
     ):
-        from repro.api import ColocationEngine
+        from repro.service._engine import resolve_engine
 
-        self.engine = ColocationEngine.ensure(engine)
+        self.engine = resolve_engine(engine)
         self.builder = OnlineProfileBuilder(
             registry if registry is not None else self.engine.registry,
             max_history=max_history,

@@ -162,3 +162,30 @@ class TestExperimentCommand:
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "unknown experiment" in captured.err
+
+
+class TestServeBenchCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.shards == 4
+        assert args.requests == 384
+        assert args.pairs == 4
+        assert args.max_batch == 256
+
+    def test_serve_bench_small_run(self, capsys):
+        exit_code = main(
+            [
+                "serve-bench",
+                "--shards", "2",
+                "--requests", "24",
+                "--pairs", "2",
+                "--users", "16",
+                "--cache-size", "256",
+                "--max-batch", "32",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "single engine" in captured.out
+        assert "sharded x2 + micro-batch" in captured.out
+        assert "bit-for-bit: yes" in captured.out

@@ -1,0 +1,227 @@
+"""Tests for the MicroBatcher request coalescer."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import ColocationEngine
+from repro.cluster import MicroBatcher, ShardedEngine
+from repro.errors import ConfigurationError, EngineOverloadError
+
+
+@pytest.fixture(scope="module")
+def engine(fitted_pipeline):
+    return ColocationEngine(fitted_pipeline, cache_size=512)
+
+
+@pytest.fixture(scope="module")
+def test_pairs(tiny_dataset):
+    pairs = tiny_dataset.test.labeled_pairs or tiny_dataset.train.labeled_pairs
+    return pairs[:20]
+
+
+class SlowJudge:
+    """A controllable judge: featurization-free, scoring latency injectable."""
+
+    def __init__(self, delay_s=0.0):
+        self.delay_s = delay_s
+        self.calls = []
+        self.release = threading.Event()
+        self.release.set()
+
+    def predict_proba(self, pairs):
+        self.release.wait()
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        self.calls.append(len(pairs))
+        return np.full(len(pairs), 0.5)
+
+    def probability_matrix(self, profiles):
+        n = len(profiles)
+        matrix = np.full((n, n), 0.5)
+        np.fill_diagonal(matrix, 1.0)
+        return matrix
+
+
+class TestValidation:
+    def test_rejects_bad_settings(self, engine):
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(object())
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(engine, max_batch=0)
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(engine, max_delay_ms=-1)
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(engine, max_queue=0)
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(engine, overflow="drop")
+
+    def test_submit_after_close_raises(self, engine, test_pairs):
+        batcher = MicroBatcher(engine)
+        batcher.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            batcher.submit_score(test_pairs)
+
+
+class TestCoalescing:
+    def test_score_results_match_direct_engine(self, engine, test_pairs):
+        direct = engine.predict_proba(test_pairs)
+        with MicroBatcher(engine, max_delay_ms=0.0) as batcher:
+            coalesced = batcher.score(test_pairs)
+        np.testing.assert_allclose(coalesced, direct, atol=1e-12)
+
+    def test_concurrent_requests_coalesce_into_fewer_engine_calls(self):
+        judge = SlowJudge()
+        judge.release.clear()  # hold the flusher so submissions pile up
+        from repro.data.records import Pair, Profile, Tweet
+
+        def pair(i):
+            left = Profile(uid=2 * i, tweet=Tweet(uid=2 * i, ts=1.0, content="x"), visit_history=())
+            right = Profile(uid=2 * i + 1, tweet=Tweet(uid=2 * i + 1, ts=1.0, content="y"), visit_history=())
+            return Pair(left=left, right=right, co_label=None)
+
+        with MicroBatcher(judge, max_batch=64, max_delay_ms=0.0) as batcher:
+            futures = [batcher.submit_score([pair(i)]) for i in range(12)]
+            judge.release.set()
+            results = [f.result(timeout=10) for f in futures]
+        assert all(r.shape == (1,) for r in results)
+        # 12 one-pair requests flushed in far fewer engine invocations (the
+        # first may slip through alone before the pile-up).
+        assert len(judge.calls) < 12
+        assert sum(judge.calls) == 12
+
+    def test_matrix_and_warm_requests_round_trip(self, engine, tiny_dataset):
+        profiles = tiny_dataset.train.labeled_profiles[:6]
+        direct = engine.probability_matrix(profiles)
+        with MicroBatcher(engine) as batcher:
+            warmed = batcher.warm(profiles)
+            matrix = batcher.probability_matrix(profiles)
+        assert warmed >= 0
+        np.testing.assert_allclose(matrix, direct, atol=1e-12)
+
+    def test_coalesced_warms_report_per_request_counts(self, tiny_dataset):
+        """Two warms of the same profiles in one flush: the first featurizes,
+        the second reports 0 — per-call accounting, not the flush total."""
+        from repro.api import ColocationEngine
+
+        release = threading.Event()
+
+        class GatedFeatureJudge:
+            def predict_proba(self, pairs):
+                release.wait()
+                return np.zeros(len(pairs))
+
+            def featurize_profiles(self, profiles):
+                return np.array([[float(p.uid)] for p in profiles])
+
+            def score_feature_pairs(self, left, right):
+                return np.zeros(len(left))
+
+        from repro.data.records import Pair
+
+        engine = ColocationEngine(GatedFeatureJudge(), cache_size=64)
+        profiles = tiny_dataset.train.labeled_profiles[:5]
+        blocker = [Pair(left=profiles[0], right=profiles[1], co_label=None)]
+        with MicroBatcher(engine, max_delay_ms=0.0) as batcher:
+            holding = batcher.submit_score(blocker)  # occupies the flusher
+            first = batcher.submit_warm(profiles)
+            second = batcher.submit_warm(profiles)  # same flush as `first`
+            release.set()
+            holding.result(timeout=10)
+            assert first.result(timeout=10) > 0
+            assert second.result(timeout=10) == 0
+
+    def test_empty_submissions_resolve_immediately(self, engine):
+        with MicroBatcher(engine) as batcher:
+            assert batcher.score([]).shape == (0,)
+            assert batcher.probability_matrix([]).shape == (0, 0)
+            assert batcher.warm([]) == 0
+
+    def test_works_over_a_sharded_engine(self, fitted_pipeline, test_pairs):
+        single = ColocationEngine(fitted_pipeline, cache_size=512)
+        direct = single.predict_proba(test_pairs)
+        with ShardedEngine(fitted_pipeline, num_shards=2, cache_size=512) as sharded:
+            with MicroBatcher(sharded) as batcher:
+                np.testing.assert_allclose(batcher.score(test_pairs), direct, atol=1e-12)
+
+
+class TestBackpressure:
+    def test_reject_policy_raises_engine_overload(self):
+        judge = SlowJudge()
+        judge.release.clear()
+        from repro.data.records import Pair, Profile, Tweet
+
+        left = Profile(uid=1, tweet=Tweet(uid=1, ts=1.0, content="x"), visit_history=())
+        right = Profile(uid=2, tweet=Tweet(uid=2, ts=1.0, content="y"), visit_history=())
+        pairs = [Pair(left=left, right=right, co_label=None)]
+        batcher = MicroBatcher(judge, max_queue=2, overflow="reject", max_delay_ms=50.0)
+        try:
+            accepted = []
+            with pytest.raises(EngineOverloadError):
+                for _ in range(50):
+                    accepted.append(batcher.submit_score(pairs))
+            assert batcher.metrics.snapshot().rejections == 1
+        finally:
+            judge.release.set()
+            batcher.close()
+
+    def test_block_policy_waits_for_space(self):
+        judge = SlowJudge(delay_s=0.01)
+        from repro.data.records import Pair, Profile, Tweet
+
+        left = Profile(uid=1, tweet=Tweet(uid=1, ts=1.0, content="x"), visit_history=())
+        right = Profile(uid=2, tweet=Tweet(uid=2, ts=1.0, content="y"), visit_history=())
+        pairs = [Pair(left=left, right=right, co_label=None)]
+        with MicroBatcher(judge, max_queue=2, overflow="block", max_batch=2) as batcher:
+            futures = [batcher.submit_score(pairs) for _ in range(20)]
+            results = [f.result(timeout=30) for f in futures]
+        assert len(results) == 20
+        assert batcher.metrics.snapshot().rejections == 0
+
+    def test_close_without_drain_fails_pending(self):
+        judge = SlowJudge()
+        judge.release.clear()
+        from repro.data.records import Pair, Profile, Tweet
+
+        left = Profile(uid=1, tweet=Tweet(uid=1, ts=1.0, content="x"), visit_history=())
+        right = Profile(uid=2, tweet=Tweet(uid=2, ts=1.0, content="y"), visit_history=())
+        pairs = [Pair(left=left, right=right, co_label=None)]
+        batcher = MicroBatcher(judge, max_delay_ms=1000.0, max_batch=1024)
+        futures = [batcher.submit_score(pairs) for _ in range(5)]
+        batcher.close(drain=False)
+        judge.release.set()
+        failed = 0
+        for future in futures:
+            try:
+                future.result(timeout=10)
+            except EngineOverloadError:
+                failed += 1
+        # Whatever had not yet been picked up by the flusher fails loudly.
+        assert failed >= 1
+
+    def test_flush_error_propagates_to_every_caller(self, tiny_dataset):
+        class ExplodingJudge:
+            def predict_proba(self, pairs):
+                raise RuntimeError("boom")
+
+        pairs = tiny_dataset.train.labeled_pairs[:2]
+        with MicroBatcher(ExplodingJudge(), max_delay_ms=0.0) as batcher:
+            future = batcher.submit_score(pairs)
+            with pytest.raises(RuntimeError, match="boom"):
+                future.result(timeout=10)
+
+
+class TestMetricsIntegration:
+    def test_flushes_and_latency_recorded(self, engine, test_pairs):
+        with MicroBatcher(engine) as batcher:
+            batcher.score(test_pairs)
+        # Snapshot after close: flush metrics are recorded after the futures
+        # resolve, so only a joined flusher guarantees a complete count.
+        snapshot = batcher.metrics.snapshot()
+        assert snapshot.requests == 1
+        assert snapshot.pairs_scored == len(test_pairs)
+        assert snapshot.flushes >= 1
+        assert snapshot.latency_p50_ms > 0.0
+        assert snapshot.cache is not None

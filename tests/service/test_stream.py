@@ -123,3 +123,29 @@ class TestStreamScorerOrdering:
 
         scorer = StreamScorer(_StubJudge(), registry=small_registry, max_history=None)
         assert scorer.builder.max_history is None
+
+
+class TestStreamScorerShardedPath:
+    def test_sharded_engine_passes_through_and_scores(self, fitted_pipeline):
+        from repro.cluster import ShardedEngine
+        from repro.service import StreamScorer
+
+        with ShardedEngine(fitted_pipeline, num_shards=2, cache_size=128) as engine:
+            scorer = StreamScorer(engine, delta_t=3600.0)
+            assert scorer.engine is engine  # resolve_engine must not re-wrap it
+            registry = engine.registry
+            tweets = [
+                poi_tweet(registry, uid=uid, ts=100.0 + uid, poi_index=uid % 2)
+                for uid in range(4)
+            ]
+            scored = scorer.process_many(tweets)
+            assert scored  # Δt-compatible cross-user pairs were judged
+            assert all(0.0 <= s.probability <= 1.0 for s in scored)
+            assert engine.cache_info().misses > 0  # featurized on the shards
+
+    def test_raw_judge_still_wraps_to_a_single_engine(self, small_registry):
+        from repro.api import ColocationEngine
+        from repro.service import StreamScorer
+
+        scorer = StreamScorer(_StubJudge(), registry=small_registry)
+        assert isinstance(scorer.engine, ColocationEngine)

@@ -25,6 +25,19 @@ class TestExportedNames:
         for name in repro.api.__all__:
             assert getattr(repro.api, name) is not None
 
+    def test_repro_cluster_surface(self):
+        import repro.cluster
+
+        assert sorted(repro.cluster.__all__) == [
+            "ClusterMetrics",
+            "ClusterMetricsSnapshot",
+            "MicroBatcher",
+            "ShardedEngine",
+            "shard_index",
+        ]
+        for name in repro.cluster.__all__:
+            assert getattr(repro.cluster, name) is not None
+
     def test_repro_core_surface(self):
         import repro.core
 
@@ -62,10 +75,13 @@ class TestExportedNames:
     def test_top_level_lazy_exports(self):
         import repro
         from repro.api import ColocationEngine, JudgeRequest, JudgeResponse
+        from repro.cluster import MicroBatcher, ShardedEngine
 
         assert repro.ColocationEngine is ColocationEngine
         assert repro.JudgeRequest is JudgeRequest
         assert repro.JudgeResponse is JudgeResponse
+        assert repro.ShardedEngine is ShardedEngine
+        assert repro.MicroBatcher is MicroBatcher
         with pytest.raises(AttributeError):
             repro.does_not_exist
 
