@@ -72,8 +72,22 @@ def run(smoke: bool = False) -> str:
             f"micro-batch coalescing drifted by {report.coalescing_drift:.2e} "
             "(expected last-mantissa-bit noise only)"
         )
+    # The serve-path parity suite: engine vs. sharded (bit-for-bit, decisions
+    # and thresholds included) vs. the batcher's submit_serve front door
+    # (coalescing drift only).  Any hand-forked serving logic reintroduced in
+    # one of the three paths fails here, in CI's smoke step.
+    if not report.serve_exact:
+        raise AssertionError("typed serve responses diverged across the serving paths")
+    if report.serve_drift > 1e-12:
+        raise AssertionError(
+            f"batched serve drifted by {report.serve_drift:.2e} "
+            "(expected last-mantissa-bit noise only)"
+        )
     if smoke:
-        lines.append("smoke run: bit-for-bit equivalence checked, speedup target not enforced")
+        lines.append(
+            "smoke run: engine/sharded/batcher parity checked (score + serve), "
+            "speedup target not enforced"
+        )
     else:
         lines.append(
             f"headline ({NUM_SHARDS} shards, cold cache): {report.speedup:.2f}x "

@@ -62,9 +62,23 @@ def main() -> None:
         with MicroBatcher(sharded, max_batch=128, max_delay_ms=1.0, overflow="block") as batcher:
             futures = [batcher.submit_score(pairs) for pairs in requests]
             results = [future.result() for future in futures]
+
+            # The typed front door coalesces too: JudgeRequests (with
+            # per-request thresholds) flush through the shared serving core.
+            from repro.api import JudgeRequest
+
+            serve_futures = [
+                batcher.submit_serve(JudgeRequest(pairs=tuple(pairs), threshold=0.4))
+                for pairs in requests[:16]
+            ]
+            responses = [future.result() for future in serve_futures]
         print(
             f"served {len(results)} concurrent requests "
             f"({sum(len(r) for r in results)} pairs) through the batcher"
+        )
+        print(
+            f"plus {len(responses)} typed serve requests "
+            f"({sum(r.num_positive for r in responses)} positives at threshold 0.4)"
         )
         # Snapshot after the batcher closed, so the final flush is recorded.
         print(batcher.metrics.snapshot().format())

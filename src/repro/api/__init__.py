@@ -10,17 +10,24 @@ cached API that every :mod:`repro.service` application consumes.
 * :class:`ColocationEngine` — batched ``predict_proba`` / ``predict``, an LRU
   cache over per-profile HisRect features, a ``probability_matrix`` that
   featurizes each profile exactly once, and cache telemetry.
+* :class:`JudgementCore` — the one decision/serve path shared by the engine,
+  :class:`repro.cluster.ShardedEngine` and
+  :class:`repro.cluster.MicroBatcher`, parameterized on a feature-gather
+  callable and a pair scorer.
 * :class:`JudgeRequest` / :class:`JudgeResponse` — typed request/response
   dataclasses for the serving boundary.
 * :class:`EngineCacheInfo` — snapshot of the feature cache's hit statistics.
 """
 
+from repro.api.core import CallCacheStats, JudgementCore
 from repro.api.engine import ColocationEngine, EngineCacheInfo
 from repro.api.messages import JudgeRequest, JudgeResponse
 
 __all__ = [
+    "CallCacheStats",
     "ColocationEngine",
     "EngineCacheInfo",
+    "JudgementCore",
     "JudgeRequest",
     "JudgeResponse",
 ]

@@ -11,45 +11,32 @@ profile seen by several services in the same Δt window is featurized once.
 Judges without the feature-level interface (the social judge, duck-typed test
 stubs) still work: the engine falls back to their ``predict_proba`` and the
 generic pairwise matrix.
+
+Decision and serving logic itself lives in :class:`repro.api.JudgementCore`
+— shared verbatim with :class:`repro.cluster.ShardedEngine`, so the two
+transports cannot diverge.  The engine contributes the feature cache (its
+``_resolve_features`` is the core's ``gather``) and the chunk-canonical
+``_score_batched`` scorer.
 """
 
 from __future__ import annotations
 
 import threading
-import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable
 
 import numpy as np
 
+from repro.api.core import CallCacheStats, JudgementCore
 from repro.api.messages import JudgeRequest, JudgeResponse
 from repro.core.protocols import (
     ProfileKey,
     featurizer_dim,
-    pairwise_probability_matrix,
     profile_key,
-    symmetric_probability_matrix,
-    upper_triangle_pairs,
 )
 from repro.data.records import Pair, Profile
 from repro.errors import ConfigurationError
-
-
-@dataclass(frozen=True)
-class CallCacheStats:
-    """One call's own cache traffic (never contaminated by concurrent callers)."""
-
-    hits: int
-    misses: int
-    featurized: int
-
-    def __add__(self, other: "CallCacheStats") -> "CallCacheStats":
-        return CallCacheStats(
-            hits=self.hits + other.hits,
-            misses=self.misses + other.misses,
-            featurized=self.featurized + other.featurized,
-        )
 
 
 @dataclass(frozen=True)
@@ -133,13 +120,19 @@ class ColocationEngine:
             raise ConfigurationError("cache_size must be >= 0")
         if batch_size < 1:
             raise ConfigurationError("batch_size must be >= 1")
-        if threshold is not None and not 0.0 <= threshold <= 1.0:
-            raise ConfigurationError("threshold must lie in [0, 1]")
         self.judge = judge
         self.cache_size = cache_size
         self.batch_size = batch_size
-        self._threshold = threshold
         self._registry = registry
+        #: The shared decision/serve logic (one path for engine, shards and
+        #: batcher), parameterized on this engine's cache-backed gather and
+        #: chunk-canonical scorer.  Validates ``threshold``.
+        self._core = JudgementCore(
+            judge,
+            gather=self._resolve_features,
+            scorer=self._score_batched,
+            explicit_threshold=threshold,
+        )
         self._cache: OrderedDict[ProfileKey, np.ndarray] = OrderedDict()
         #: Guards the cache and its counters.  Featurization itself runs
         #: outside the lock so concurrent callers only serialise on the
@@ -161,9 +154,7 @@ class ColocationEngine:
     @property
     def threshold(self) -> float:
         """The decision threshold applied by :meth:`predict` and :meth:`serve`."""
-        if self._threshold is not None:
-            return self._threshold
-        return float(getattr(self.judge, "decision_threshold", 0.5))
+        return self._core.threshold
 
     @property
     def registry(self):
@@ -180,9 +171,7 @@ class ColocationEngine:
 
     @property
     def _feature_space(self) -> bool:
-        return hasattr(self.judge, "featurize_profiles") and hasattr(
-            self.judge, "score_feature_pairs"
-        )
+        return self._core.feature_space
 
     # ----------------------------------------------------------- feature cache
     def _features_for(self, profiles: list[Profile]) -> np.ndarray:
@@ -330,14 +319,12 @@ class ColocationEngine:
         return np.concatenate(chunks) if chunks else np.zeros(0)
 
     def predict_proba(self, pairs: list[Pair]) -> np.ndarray:
-        """Co-location probability per pair (batched, feature-cached)."""
-        if not pairs:
-            return np.zeros(0)
-        if self._feature_space:
-            left = self._features_for([p.left for p in pairs])
-            right = self._features_for([p.right for p in pairs])
-            return self._score_batched(left, right)
-        return np.asarray(self.judge.predict_proba(list(pairs)), dtype=float)
+        """Co-location probability per pair (batched, feature-cached).
+
+        Both sides resolve in one gather, so a profile appearing on both
+        sides of the batch featurizes once even with ``cache_size=0``.
+        """
+        return self._core.predict_proba(pairs)
 
     def predict(self, pairs: list[Pair]) -> np.ndarray:
         """Binary co-location decisions per pair.
@@ -346,35 +333,11 @@ class ColocationEngine:
         rules like Comp2Loc's argmax equality — unless the engine was given
         an explicit ``threshold``, which then cuts the probabilities.
         """
-        if not pairs:
-            return np.zeros(0, dtype=int)
-        if self._threshold is None:
-            if self._feature_space and hasattr(self.judge, "decide_feature_pairs"):
-                # Non-threshold decisions still benefit from the feature cache.
-                left = self._features_for([p.left for p in pairs])
-                right = self._features_for([p.right for p in pairs])
-                return np.asarray(self.judge.decide_feature_pairs(left, right), dtype=int)
-            if not self._feature_space and hasattr(self.judge, "predict"):
-                # Keep the wrapped judge's own rule (e.g. a baseline's argmax
-                # equality); there is no cache to route through anyway.
-                return np.asarray(self.judge.predict(list(pairs)), dtype=int)
-        return (self.predict_proba(pairs) >= self.threshold).astype(int)
+        return self._core.predict(pairs)
 
     def probability_matrix(self, profiles: list[Profile]) -> np.ndarray:
         """The ``N x N`` pairwise probability matrix, featurizing each profile once."""
-        n = len(profiles)
-        if self._feature_space:
-            if n < 2:
-                return np.zeros((n, n))
-            features = self._features_for(profiles)
-            index_pairs = upper_triangle_pairs(n)
-            left = features[[i for i, _ in index_pairs]]
-            right = features[[j for _, j in index_pairs]]
-            probabilities = self._score_batched(left, right)
-            return symmetric_probability_matrix(n, index_pairs, probabilities)
-        if hasattr(self.judge, "probability_matrix"):
-            return np.asarray(self.judge.probability_matrix(list(profiles)), dtype=float)
-        return pairwise_probability_matrix(self.judge, list(profiles))
+        return self._core.probability_matrix(profiles)
 
     def features(self, profiles: list[Profile]) -> np.ndarray:
         """Cached frozen feature rows for profiles (t-SNE, diagnostics)."""
@@ -409,40 +372,15 @@ class ColocationEngine:
         :meth:`predict`, including non-threshold rules like Comp2Loc's
         argmax equality.  An explicit threshold cuts the probabilities.
         """
-        if request.threshold is not None and not 0.0 <= request.threshold <= 1.0:
-            raise ConfigurationError("request threshold must lie in [0, 1]")
-        started = time.perf_counter()
-        pairs = list(request.pairs)
-        threshold = self.threshold if request.threshold is None else float(request.threshold)
-        default_rule = request.threshold is None and self._threshold is None
-        stats = CallCacheStats(hits=0, misses=0, featurized=0)
-        if pairs and self._feature_space:
-            # Gather features once; probabilities and decisions share them.
-            # Per-call stats keep the response's cache traffic attributable
-            # to this request even with concurrent callers on the engine.
-            left, left_stats = self._resolve_features([p.left for p in pairs])
-            right, right_stats = self._resolve_features([p.right for p in pairs])
-            stats = left_stats + right_stats
-            probabilities = self._score_batched(left, right)
-            if default_rule and hasattr(self.judge, "decide_feature_pairs"):
-                decisions = np.asarray(self.judge.decide_feature_pairs(left, right), dtype=int)
-            else:
-                decisions = (probabilities >= threshold).astype(int)
-        else:
-            probabilities = self.predict_proba(pairs)
-            if pairs and default_rule and hasattr(self.judge, "predict"):
-                decisions = np.asarray(self.judge.predict(pairs), dtype=int)
-            else:
-                decisions = (probabilities >= threshold).astype(int)
-        elapsed_ms = (time.perf_counter() - started) * 1e3
-        return JudgeResponse(
-            probabilities=tuple(float(p) for p in probabilities),
-            decisions=tuple(int(d) for d in decisions),
-            threshold=threshold,
-            cache_hits=stats.hits,
-            cache_misses=stats.misses,
-            elapsed_ms=elapsed_ms,
-        )
+        return self._core.serve(request)
+
+    def serve_batch(self, requests: Iterable[JudgeRequest]) -> list[JudgeResponse]:
+        """Answer typed requests together, scoring them as one coalesced batch.
+
+        See :meth:`repro.api.JudgementCore.serve_batch` — this is the entry
+        point ``MicroBatcher.submit_serve`` flushes through.
+        """
+        return self._core.serve_batch(requests)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         info = self.cache_info()

@@ -247,6 +247,15 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if not report.serve_exact:
+        print("error: typed serve responses diverged across the serving paths", file=sys.stderr)
+        return 1
+    if report.serve_drift > 1e-12:
+        print(
+            f"error: batched serve drifted by {report.serve_drift:.2e}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -9,10 +9,17 @@ batch kernels into *concurrent throughput*.  Three pieces compose:
   scoring reuses the engine's exact chunking so results are bit-for-bit the
   single engine's.  Shard caches snapshot/restore for worker warm-start.
 * :class:`MicroBatcher` — an async request coalescer: concurrent ``score`` /
-  ``probability_matrix`` / ``warm`` requests accumulate up to
-  ``max_batch``/``max_delay_ms`` and flush as one featurize+score call, with
-  a bounded queue and explicit backpressure
-  (:class:`repro.errors.EngineOverloadError` vs. blocking).
+  ``probability_matrix`` / ``warm`` / typed ``serve`` requests accumulate up
+  to ``max_batch``/``max_delay_ms`` and flush as one featurize+score call
+  (serves via the shared core's ``serve_batch``), with a bounded queue and
+  explicit backpressure (:class:`repro.errors.EngineOverloadError` vs.
+  blocking).  The batcher speaks the full engine surface, so services can be
+  fronted by one.
+
+All three transports delegate their decision/serve logic to one
+:class:`repro.api.JudgementCore`, so threshold rules, fallbacks and cache
+accounting exist exactly once; parity is pinned by
+``tests/cluster/test_serving_parity.py``.
 * :class:`ClusterMetrics` — merged per-shard cache statistics, flush/batch
   counters and latency percentiles in one thread-safe snapshot.
 

@@ -16,12 +16,32 @@ an overflowing submit either raises :class:`repro.errors.EngineOverloadError`
 the flusher catches up (``overflow="block"`` — smooth producers that can
 wait).
 
+Typed :class:`repro.api.JudgeRequest` serving goes through the batcher too:
+``submit_serve`` requests — including per-request thresholds — coalesce into
+the same flushes and resolve through the engine's ``serve_batch`` (one
+scorer call for the whole flush, decisions and cache accounting still per
+request), so the serving tier's front door goes *through* the batcher
+instead of around it.  The batcher itself speaks the engine surface
+(``predict_proba`` / ``probability_matrix`` / ``warm`` / ``serve`` plus the
+``registry`` / ``judge`` / ``threshold`` / ``cache_info`` pass-throughs), so
+every :mod:`repro.service` application can be fronted by one.
+
 Results come back as :class:`concurrent.futures.Future`; the ``score`` /
-``probability_matrix`` / ``warm`` convenience wrappers submit and wait.
+``probability_matrix`` / ``warm`` / ``serve`` convenience wrappers submit
+and wait.
+
+The flusher thread is deliberately hard to kill: metrics hooks are guarded
+(a user-supplied ``metrics`` object raising in ``observe_flush`` /
+``observe_latency`` cannot take it down), an exception escaping a flush
+fails that flush's futures and keeps the loop alive, and if the thread dies
+anyway (a ``BaseException``), every queued future fails with
+:class:`EngineOverloadError` and subsequent submits raise instead of
+waiting forever on a flush that will never come.
 """
 
 from __future__ import annotations
 
+import inspect
 import threading
 import time
 from collections import deque
@@ -30,6 +50,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.messages import JudgeRequest, JudgeResponse
 from repro.cluster.metrics import ClusterMetrics
 from repro.data.records import Pair, Profile
 from repro.errors import ConfigurationError, EngineOverloadError
@@ -39,9 +60,9 @@ from repro.errors import ConfigurationError, EngineOverloadError
 class _Pending:
     """One enqueued request awaiting the next flush."""
 
-    kind: str  # "score" | "matrix" | "warm"
-    payload: list
-    weight: int  # pairs (score) or profiles (matrix/warm) — the batch budget
+    kind: str  # "score" | "matrix" | "warm" | "serve"
+    payload: object  # pairs/profiles list, or the JudgeRequest (serve)
+    weight: int  # pairs (score/serve) or profiles (matrix/warm) — the batch budget
     future: Future = field(default_factory=Future)
     enqueued: float = field(default_factory=time.perf_counter)
 
@@ -100,6 +121,12 @@ class MicroBatcher:
         self._queue: deque[_Pending] = deque()
         self._cond = threading.Condition()
         self._closed = False
+        #: The BaseException that killed the flusher, if any.  Guarded by
+        #: ``_cond``; once set, every queued future has been failed and every
+        #: subsequent submit raises instead of waiting on a dead thread.
+        self._death: BaseException | None = None
+        self._metrics_errors = 0
+        self._metrics_takes_serves: bool | None = None
         self._flusher = threading.Thread(
             target=self._run, name="repro-microbatcher", daemon=True
         )
@@ -112,23 +139,69 @@ class MicroBatcher:
         with self._cond:
             return len(self._queue)
 
-    def _submit(self, kind: str, payload: list, weight: int) -> Future:
+    @property
+    def metrics_errors(self) -> int:
+        """Exceptions swallowed from the metrics hooks (a broken user-supplied
+        ``metrics`` object degrades telemetry, never the serving path)."""
+        return self._metrics_errors
+
+    def _observe(self, hook: str, *args, **kwargs) -> None:
+        """Call a metrics hook without letting it break serving.
+
+        The metrics object may be user-supplied; an exception escaping a
+        hook inside the flusher used to kill the ``repro-microbatcher``
+        thread silently, hanging every queued and future submission.
+        """
+        try:
+            getattr(self.metrics, hook)(*args, **kwargs)
+        except Exception:
+            with self._cond:  # reentrant: safe from the reject path too
+                self._metrics_errors += 1
+
+    def _flush_accepts_num_serves(self) -> bool:
+        """Whether the metrics object's ``observe_flush`` takes ``num_serves``.
+
+        User-supplied metrics written against the pre-serve signature keep
+        receiving the call they understand instead of a swallowed TypeError
+        that would silently drop all their flush telemetry.
+        """
+        if self._metrics_takes_serves is None:
+            try:
+                parameters = inspect.signature(self.metrics.observe_flush).parameters
+                self._metrics_takes_serves = "num_serves" in parameters or any(
+                    parameter.kind is inspect.Parameter.VAR_KEYWORD
+                    for parameter in parameters.values()
+                )
+            except Exception:  # unsignaturable/odd callables: just try it
+                self._metrics_takes_serves = True
+        return self._metrics_takes_serves
+
+    def _raise_if_unavailable(self) -> None:
+        """Caller must hold ``_cond``."""
+        if self._death is not None:
+            raise EngineOverloadError(
+                "the MicroBatcher flusher died; no further flushes will run"
+            ) from self._death
+        if self._closed:
+            raise ConfigurationError("the MicroBatcher is closed")
+
+    def _submit(self, kind: str, payload, weight: int) -> Future:
         pending = _Pending(kind=kind, payload=payload, weight=weight)
         if weight == 0:
+            # Nothing to flush: resolve immediately, even mid-close — an
+            # empty answer needs no flusher.
             pending.future.set_result(_EMPTY_RESULTS[kind]())
             return pending.future
         with self._cond:
-            if self._closed:
-                raise ConfigurationError("the MicroBatcher is closed")
+            self._raise_if_unavailable()
             while len(self._queue) >= self.max_queue:
                 if self.overflow == "reject":
-                    self.metrics.observe_rejection()
+                    self._observe("observe_rejection")
                     raise EngineOverloadError(
                         f"micro-batch queue is full ({self.max_queue} requests)"
                     )
                 self._cond.wait()
-                if self._closed:
-                    raise ConfigurationError("the MicroBatcher is closed")
+                self._raise_if_unavailable()
             self._queue.append(pending)
             self._cond.notify_all()
         return pending.future
@@ -151,9 +224,37 @@ class MicroBatcher:
         profiles = list(profiles)
         return self._submit("warm", profiles, len(profiles))
 
+    def submit_serve(self, request: JudgeRequest) -> Future:
+        """Queue one typed :class:`JudgeRequest`; resolves to its
+        :class:`JudgeResponse`.
+
+        Serve requests coalesce into flushes like every other kind — all the
+        flush's pairs score in one ``serve_batch`` call on the engine —
+        while thresholds, decisions and cache accounting stay per request.
+        """
+        if not hasattr(self.engine, "serve"):
+            raise ConfigurationError(
+                "the engine does not expose serve(request); "
+                "wrap the judge in a ColocationEngine or ShardedEngine"
+            )
+        if request.threshold is not None and not 0.0 <= request.threshold <= 1.0:
+            raise ConfigurationError("request threshold must lie in [0, 1]")
+        if not request.pairs:
+            # Nothing to flush; answer synchronously (the engine resolves the
+            # effective threshold for the empty response).
+            future: Future = Future()
+            future.set_result(self.engine.serve(request))
+            return future
+        return self._submit("serve", request, len(request.pairs))
+
     def score(self, pairs: list[Pair]) -> np.ndarray:
         """Submit and wait: co-location probability per pair."""
         return self.submit_score(pairs).result()
+
+    def predict_proba(self, pairs: list[Pair]) -> np.ndarray:
+        """Engine-surface alias of :meth:`score`, so services can be fronted
+        by a batcher wherever they take an engine."""
+        return self.score(pairs)
 
     def probability_matrix(self, profiles: list[Profile]) -> np.ndarray:
         """Submit and wait: the pairwise probability matrix."""
@@ -162,6 +263,30 @@ class MicroBatcher:
     def warm(self, profiles: list[Profile]) -> int:
         """Submit and wait: pre-featurize profiles into the engine cache."""
         return self.submit_warm(profiles).result()
+
+    def serve(self, request: JudgeRequest) -> JudgeResponse:
+        """Submit and wait: answer one typed judgement request."""
+        return self.submit_serve(request).result()
+
+    # ----------------------------------------------------- engine pass-throughs
+    @property
+    def judge(self):
+        """The raw judge behind the engine (engine-surface pass-through)."""
+        return getattr(self.engine, "judge", self.engine)
+
+    @property
+    def registry(self):
+        """The POI registry behind the engine (engine-surface pass-through)."""
+        return self.engine.registry
+
+    @property
+    def threshold(self) -> float:
+        """The engine's decision threshold (engine-surface pass-through)."""
+        return self.engine.threshold
+
+    def cache_info(self):
+        """The engine's feature-cache statistics (engine-surface pass-through)."""
+        return self.engine.cache_info()
 
     # -------------------------------------------------------------- lifecycle
     def close(self, drain: bool = True) -> None:
@@ -189,11 +314,39 @@ class MicroBatcher:
 
     # ---------------------------------------------------------------- flusher
     def _run(self) -> None:
-        while True:
-            batch = self._next_batch()
-            if batch is None:
-                return
-            self._flush(batch)
+        try:
+            while True:
+                batch = self._next_batch()
+                if batch is None:
+                    return
+                try:
+                    self._flush(batch)
+                except Exception as exc:
+                    # _flush forwards engine errors to its futures itself;
+                    # anything still escaping fails this batch loudly and
+                    # keeps the flusher alive for the next one.
+                    for pending in batch:
+                        if not pending.future.done():
+                            pending.future.set_exception(exc)
+        except BaseException as exc:
+            # The flusher is dying (KeyboardInterrupt, MemoryError, ...):
+            # leaving the queue silently unserved would hang every waiter.
+            self._die(exc)
+            raise
+
+    def _die(self, cause: BaseException) -> None:
+        """Fail every queued future and refuse new submissions."""
+        with self._cond:
+            self._death = cause
+            self._closed = True
+            while self._queue:
+                pending = self._queue.popleft()
+                error = EngineOverloadError(
+                    f"the MicroBatcher flusher died: {cause!r}"
+                )
+                error.__cause__ = cause
+                pending.future.set_exception(error)
+            self._cond.notify_all()  # wake blocked submitters so they raise
 
     def _next_batch(self) -> list[_Pending] | None:
         """Block until a flush is due; drain up to ``max_batch`` work items."""
@@ -239,6 +392,29 @@ class MicroBatcher:
                     pending.future.set_result(probabilities[offset:stop])
                     offset = stop
 
+            serve_requests = [p for p in batch if p.kind == "serve"]
+            if serve_requests:
+                # One serve_batch call for the whole flush: every request's
+                # pairs score together (the engine's JudgementCore keeps
+                # thresholds, decisions and cache stats per request).
+                # Engines predating serve_batch fall back to per-request
+                # serve calls in flush order.
+                if hasattr(self.engine, "serve_batch"):
+                    responses = list(
+                        self.engine.serve_batch([p.payload for p in serve_requests])
+                    )
+                else:
+                    responses = [self.engine.serve(p.payload) for p in serve_requests]
+                if len(responses) != len(serve_requests):
+                    # Fail loudly into the except below — a silent zip
+                    # truncation would leave the surplus futures hanging.
+                    raise RuntimeError(
+                        f"serve_batch returned {len(responses)} responses "
+                        f"for {len(serve_requests)} requests"
+                    )
+                for pending, response in zip(serve_requests, responses):
+                    pending.future.set_result(response)
+
             # Warm/matrix requests run per request, in flush order: each call
             # is still one batched featurize, the engine's cache deduplicates
             # overlap between them, and every warm future reports the rows
@@ -257,19 +433,26 @@ class MicroBatcher:
             for pending in batch:
                 if not pending.future.done():
                     pending.future.set_exception(exc)
+            if not isinstance(exc, Exception):
+                raise  # fatal (KeyboardInterrupt, ...): let _run declare death
         finally:
             finished = time.perf_counter()
-            self.metrics.observe_flush(
+            flush_kwargs = dict(
                 num_requests=len(batch),
-                num_pairs=sum(p.weight for p in batch if p.kind == "score"),
+                num_pairs=sum(p.weight for p in batch if p.kind in ("score", "serve")),
                 queue_depth=depth,
                 elapsed_ms=(finished - started) * 1e3,
             )
+            if self._flush_accepts_num_serves():
+                flush_kwargs["num_serves"] = sum(1 for p in batch if p.kind == "serve")
+            self._observe("observe_flush", **flush_kwargs)
             for pending in batch:
-                self.metrics.observe_latency((finished - pending.enqueued) * 1e3)
+                self._observe("observe_latency", (finished - pending.enqueued) * 1e3)
 
 
-#: Immediate results for zero-weight submissions, per request kind.
+#: Immediate results for zero-weight submissions, per request kind ("serve"
+#: is absent: an empty JudgeRequest resolves synchronously in submit_serve,
+#: where the engine supplies the effective threshold).
 _EMPTY_RESULTS = {
     "score": lambda: np.zeros(0),
     "matrix": lambda: np.zeros((0, 0)),

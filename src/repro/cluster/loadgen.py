@@ -33,7 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.api import ColocationEngine
+from repro.api import ColocationEngine, JudgeRequest, JudgeResponse
 from repro.api.engine import EngineCacheInfo
 from repro.cluster.batcher import MicroBatcher
 from repro.cluster.metrics import ClusterMetricsSnapshot
@@ -222,6 +222,15 @@ class ComparisonReport:
     #: different shape, which may flip the last mantissa bit (~1e-16); the
     #: sharding itself contributes nothing (see ``exact_match``).
     coalescing_drift: float
+    #: The typed ``serve`` path agrees across all three transports: the
+    #: sharded engine's direct serve matches the single engine bit-for-bit
+    #: (probabilities, decisions and thresholds), and decisions through the
+    #: micro-batcher's ``submit_serve`` match except where a probability
+    #: sits within coalescing drift of an explicit threshold.
+    serve_exact: bool
+    #: Largest |Δ probability| between ``submit_serve`` responses and the
+    #: single engine's serve (the serve twin of ``coalescing_drift``).
+    serve_drift: float
 
     @property
     def speedup(self) -> float:
@@ -245,6 +254,10 @@ class ComparisonReport:
             f"throughput speedup: {self.speedup:.2f}x  "
             f"(sharded probabilities bit-for-bit: {'yes' if self.exact_match else 'NO'}, "
             f"micro-batch coalescing drift: {self.coalescing_drift:.1e})"
+        )
+        lines.append(
+            f"serve parity: exact={'yes' if self.serve_exact else 'NO'} "
+            f"batched-serve drift: {self.serve_drift:.1e}"
         )
         lines.append(self.metrics.format())
         return "\n".join(lines)
@@ -296,10 +309,103 @@ def compare_serving_paths(
             np.array_equal(single_result, fresh.predict_proba(pairs))
             for single_result, pairs in zip(single_results, requests)
         )
+        serve_exact, serve_drift = _serve_parity(
+            single_engine,
+            fresh,
+            sharded,
+            requests,
+            max_batch=max_batch,
+            max_queue=max_queue,
+        )
     return ComparisonReport(
         single=single,
         cluster=cluster,
         metrics=snapshot,
         exact_match=exact,
         coalescing_drift=drift,
+        serve_exact=serve_exact,
+        serve_drift=serve_drift,
     )
+
+
+def _decisions_match_modulo_drift(
+    batched: JudgeResponse, expected: JudgeResponse, drift_bound: float = 1e-12
+) -> bool:
+    """Coalesced decisions must match except at an exact threshold graze.
+
+    Explicit-threshold decisions cut the coalesced probabilities, so a pair
+    whose uncoalesced probability sits within the coalescing drift of the
+    threshold may legitimately flip (see ``JudgementCore.serve_batch``); a
+    flip anywhere else is a real divergence.
+    """
+    return all(
+        batched_decision == expected_decision
+        or abs(probability - expected.threshold) <= drift_bound
+        for batched_decision, expected_decision, probability in zip(
+            batched.decisions, expected.decisions, expected.probabilities
+        )
+    )
+
+
+def _serve_parity(
+    single_engine: ColocationEngine,
+    sharded_direct: ShardedEngine,
+    sharded_batched: ShardedEngine,
+    requests: list[list[Pair]],
+    *,
+    max_batch: int,
+    max_queue: int,
+    samples: int = 24,
+) -> tuple[bool, float]:
+    """The typed-serve twin of the bit-for-bit / drift checks.
+
+    A sample of the request stream (alternating default and explicit
+    per-request thresholds) is served three ways: the single engine, the
+    sharded engine directly (must match bit-for-bit — probabilities,
+    decisions, threshold), and a micro-batcher's ``submit_serve`` front door
+    over the sharded engine (decisions must match modulo a threshold graze —
+    see :func:`_decisions_match_modulo_drift`; probabilities may carry the
+    usual shape-dependent coalescing drift, which is returned for the caller
+    to bound).  Results are cache-state independent, so the warm engines
+    from the throughput passes serve fine.
+    """
+    step = max(1, len(requests) // samples)
+    serve_requests = [
+        JudgeRequest(pairs=tuple(pairs), threshold=(None if index % 2 == 0 else 0.4))
+        for index, pairs in enumerate(requests[::step])
+    ]
+    single_responses = [single_engine.serve(request) for request in serve_requests]
+    exact = all(
+        direct.probabilities == expected.probabilities
+        and direct.decisions == expected.decisions
+        and direct.threshold == expected.threshold
+        for direct, expected in zip(
+            (sharded_direct.serve(request) for request in serve_requests),
+            single_responses,
+        )
+    )
+    with MicroBatcher(
+        sharded_batched,
+        max_batch=max_batch,
+        max_delay_ms=0.0,
+        max_queue=max_queue,
+        overflow="block",
+    ) as batcher:
+        futures = [batcher.submit_serve(request) for request in serve_requests]
+        batched_responses = [future.result() for future in futures]
+    exact = exact and all(
+        batched.threshold == expected.threshold
+        and _decisions_match_modulo_drift(batched, expected)
+        for batched, expected in zip(batched_responses, single_responses)
+    )
+    drift = max(
+        (
+            max(
+                (abs(a - b) for a, b in zip(batched.probabilities, expected.probabilities)),
+                default=0.0,
+            )
+            for batched, expected in zip(batched_responses, single_responses)
+        ),
+        default=0.0,
+    )
+    return exact, drift

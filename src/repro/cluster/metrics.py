@@ -30,9 +30,11 @@ from repro.api.engine import EngineCacheInfo
 class ClusterMetricsSnapshot:
     """One consistent, frozen view of the cluster's operational counters."""
 
-    #: Requests completed (every kind: score, matrix, warm).
+    #: Requests completed (every kind: score, matrix, warm, serve).
     requests: int
-    #: Pairs scored across all score requests.
+    #: Typed ``serve`` requests among them (the JudgeRequest front door).
+    serve_requests: int
+    #: Pairs scored across all score and serve requests.
     pairs_scored: int
     #: Batches flushed by the micro-batcher.
     flushes: int
@@ -54,7 +56,8 @@ class ClusterMetricsSnapshot:
     def format(self) -> str:
         """A compact multi-line operator report."""
         lines = [
-            f"requests={self.requests} pairs={self.pairs_scored} "
+            f"requests={self.requests} serves={self.serve_requests} "
+            f"pairs={self.pairs_scored} "
             f"flushes={self.flushes} mean_flush={self.mean_flush_requests:.1f} "
             f"rejections={self.rejections} queue_depth={self.queue_depth}",
             f"latency ms: p50={self.latency_p50_ms:.2f} "
@@ -92,6 +95,7 @@ class ClusterMetrics:
         self._lock = threading.Lock()
         self._latencies: deque[float] = deque(maxlen=latency_window)
         self._requests = 0
+        self._serves = 0
         self._pairs = 0
         self._flushes = 0
         self._rejections = 0
@@ -100,12 +104,22 @@ class ClusterMetrics:
 
     # ------------------------------------------------------------ observation
     def observe_flush(
-        self, num_requests: int, num_pairs: int, queue_depth: int, elapsed_ms: float
+        self,
+        num_requests: int,
+        num_pairs: int,
+        queue_depth: int,
+        elapsed_ms: float,
+        num_serves: int = 0,
     ) -> None:
-        """Record one completed micro-batch flush."""
+        """Record one completed micro-batch flush.
+
+        ``num_serves`` counts the typed ``serve`` requests among
+        ``num_requests`` (0 for flushes predating the serve kind).
+        """
         with self._lock:
             self._flushes += 1
             self._requests += num_requests
+            self._serves += num_serves
             self._flush_requests += num_requests
             self._pairs += num_pairs
             self._last_queue_depth = queue_depth
@@ -126,6 +140,7 @@ class ClusterMetrics:
         with self._lock:
             latencies = np.array(self._latencies) if self._latencies else np.zeros(0)
             requests = self._requests
+            serves = self._serves
             pairs = self._pairs
             flushes = self._flushes
             rejections = self._rejections
@@ -145,6 +160,7 @@ class ClusterMetrics:
                 cache = self._engine.cache_info()
         return ClusterMetricsSnapshot(
             requests=requests,
+            serve_requests=serves,
             pairs_scored=pairs,
             flushes=flushes,
             rejections=rejections,

@@ -36,21 +36,16 @@ from __future__ import annotations
 
 import copy
 import threading
-import time
 import zlib
 from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable
 
 import numpy as np
 
-from repro.api.engine import CallCacheStats, ColocationEngine, EngineCacheInfo
+from repro.api.core import CallCacheStats, JudgementCore
+from repro.api.engine import ColocationEngine, EngineCacheInfo
 from repro.api.messages import JudgeRequest, JudgeResponse
-from repro.core.protocols import (
-    ProfileKey,
-    pairwise_probability_matrix,
-    profile_key,
-    symmetric_probability_matrix,
-    upper_triangle_pairs,
-)
+from repro.core.protocols import ProfileKey, profile_key
 from repro.data.records import Pair, Profile
 from repro.errors import ConfigurationError
 
@@ -58,13 +53,25 @@ from repro.errors import ConfigurationError
 def shard_index(key: ProfileKey, num_shards: int) -> int:
     """The owning shard of a profile key: a stable hash of its ``uid``.
 
-    CRC-32 of the uid's fixed-width big-endian bytes — deterministic across
-    processes and platforms (builtin ``hash`` is salted per process), uniform
-    enough for load spreading, and a function of the *user* only, so every
-    profile version a user emits shares a shard with its history.
+    CRC-32 of the uid's canonical big-endian two's-complement bytes —
+    deterministic across processes and platforms (builtin ``hash`` is salted
+    per process), uniform enough for load spreading, and a function of the
+    *user* only, so every profile version a user emits shares a shard with
+    its history.
+
+    The encoding is variable-length with an 8-byte floor: every uid in the
+    signed 64-bit range keeps the fixed 8-byte encoding (so snapshots taken
+    before the width fix still restore onto the same shards), and wider uids
+    take exactly as many bytes as their two's-complement value needs — one
+    canonical encoding per integer, so any int routes stably instead of
+    raising ``OverflowError``.
     """
     uid = int(key[0])
-    return zlib.crc32(uid.to_bytes(8, "big", signed=True)) % num_shards
+    # Minimal two's-complement width in bits (value bits + one sign bit),
+    # floored at 64 so in-range uids keep the legacy 8-byte encoding.
+    bits = (uid.bit_length() if uid >= 0 else (~uid).bit_length()) + 1
+    length = max(8, (bits + 7) // 8)
+    return zlib.crc32(uid.to_bytes(length, "big", signed=True)) % num_shards
 
 
 class ShardedEngine:
@@ -152,12 +159,24 @@ class ShardedEngine:
             max_workers=max(1, min(workers, num_shards)),
             thread_name_prefix="repro-shard",
         )
+        #: The shared decision/serve logic — the exact object the single
+        #: engine runs, parameterized on this cluster's cross-shard gather
+        #: and shard 0's chunk-canonical scorer.  Feature-space calls go
+        #: through shard 0's judge replica (the same one that scores);
+        #: fallbacks for non-feature-space judges use the original ``judge``.
+        self._core = JudgementCore(
+            self.shards[0].judge,
+            gather=self._resolve_features,
+            scorer=self.shards[0]._score_batched,
+            explicit_threshold=threshold,
+            fallback_judge=judge,
+        )
 
     # --------------------------------------------------------------- plumbing
     @property
     def threshold(self) -> float:
         """The decision threshold applied by :meth:`predict` and :meth:`serve`."""
-        return self.shards[0].threshold
+        return self._core.threshold
 
     @property
     def registry(self):
@@ -166,7 +185,7 @@ class ShardedEngine:
 
     @property
     def _feature_space(self) -> bool:
-        return self.shards[0]._feature_space
+        return self._core.feature_space
 
     def shard_of(self, profile: Profile) -> int:
         """The index of the shard owning this profile's user."""
@@ -301,88 +320,28 @@ class ShardedEngine:
         over the full pair list, so neither sharding nor gather order changes
         a single bit of the result.
         """
-        if not pairs:
-            return np.zeros(0)
-        if self._feature_space:
-            profiles = [p.left for p in pairs] + [p.right for p in pairs]
-            rows = self._features_for(profiles)
-            left, right = rows[: len(pairs)], rows[len(pairs) :]
-            return self.shards[0]._score_batched(left, right)
-        return np.asarray(self.judge.predict_proba(list(pairs)), dtype=float)
+        return self._core.predict_proba(pairs)
 
     def predict(self, pairs: list[Pair]) -> np.ndarray:
         """Binary co-location decisions per pair (judge's rule, like the engine)."""
-        if not pairs:
-            return np.zeros(0, dtype=int)
-        shard0 = self.shards[0]
-        if shard0._threshold is None:
-            if self._feature_space and hasattr(shard0.judge, "decide_feature_pairs"):
-                profiles = [p.left for p in pairs] + [p.right for p in pairs]
-                rows = self._features_for(profiles)
-                left, right = rows[: len(pairs)], rows[len(pairs) :]
-                return np.asarray(shard0.judge.decide_feature_pairs(left, right), dtype=int)
-            if not self._feature_space and hasattr(self.judge, "predict"):
-                return np.asarray(self.judge.predict(list(pairs)), dtype=int)
-        return (self.predict_proba(pairs) >= self.threshold).astype(int)
+        return self._core.predict(pairs)
 
     def probability_matrix(self, profiles: list[Profile]) -> np.ndarray:
         """The ``N x N`` pairwise matrix, each profile featurized on its shard."""
-        n = len(profiles)
-        if self._feature_space:
-            if n < 2:
-                return np.zeros((n, n))
-            features = self._features_for(profiles)
-            index_pairs = upper_triangle_pairs(n)
-            left = features[[i for i, _ in index_pairs]]
-            right = features[[j for _, j in index_pairs]]
-            probabilities = self.shards[0]._score_batched(left, right)
-            return symmetric_probability_matrix(n, index_pairs, probabilities)
-        if hasattr(self.judge, "probability_matrix"):
-            return np.asarray(self.judge.probability_matrix(list(profiles)), dtype=float)
-        return pairwise_probability_matrix(self.judge, list(profiles))
+        return self._core.probability_matrix(profiles)
 
     # ----------------------------------------------------------------- serving
     def serve(self, request: JudgeRequest) -> JudgeResponse:
         """Answer one typed judgement request (cache traffic summed over shards)."""
-        if request.threshold is not None and not 0.0 <= request.threshold <= 1.0:
-            raise ConfigurationError("request threshold must lie in [0, 1]")
-        started = time.perf_counter()
-        pairs = list(request.pairs)
-        threshold = self.threshold if request.threshold is None else float(request.threshold)
-        default_rule = request.threshold is None and self.shards[0]._threshold is None
-        stats = CallCacheStats(hits=0, misses=0, featurized=0)
-        if pairs and self._feature_space:
-            # Gather features once; probabilities and decisions share them
-            # (mirrors ColocationEngine.serve), and the per-call stats keep
-            # the response's cache traffic attributable to this request even
-            # with concurrent callers on the cluster.  Feature-space calls go
-            # through shard 0's judge replica (the same one that scores);
-            # fallbacks for non-feature-space judges use the original
-            # `self.judge`.
-            shard0_judge = self.shards[0].judge
-            profiles = [p.left for p in pairs] + [p.right for p in pairs]
-            rows, stats = self._resolve_features(profiles)
-            left, right = rows[: len(pairs)], rows[len(pairs) :]
-            probabilities = self.shards[0]._score_batched(left, right)
-            if default_rule and hasattr(shard0_judge, "decide_feature_pairs"):
-                decisions = np.asarray(shard0_judge.decide_feature_pairs(left, right), dtype=int)
-            else:
-                decisions = (probabilities >= threshold).astype(int)
-        else:
-            probabilities = self.predict_proba(pairs)
-            if pairs and default_rule and hasattr(self.judge, "predict"):
-                decisions = np.asarray(self.judge.predict(pairs), dtype=int)
-            else:
-                decisions = (probabilities >= threshold).astype(int)
-        elapsed_ms = (time.perf_counter() - started) * 1e3
-        return JudgeResponse(
-            probabilities=tuple(float(p) for p in probabilities),
-            decisions=tuple(int(d) for d in decisions),
-            threshold=threshold,
-            cache_hits=stats.hits,
-            cache_misses=stats.misses,
-            elapsed_ms=elapsed_ms,
-        )
+        return self._core.serve(request)
+
+    def serve_batch(self, requests: Iterable[JudgeRequest]) -> list[JudgeResponse]:
+        """Answer typed requests together, scoring them as one coalesced batch.
+
+        See :meth:`repro.api.JudgementCore.serve_batch` — this is the entry
+        point ``MicroBatcher.submit_serve`` flushes through.
+        """
+        return self._core.serve_batch(requests)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         info = self.cache_info()

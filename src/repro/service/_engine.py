@@ -18,10 +18,12 @@ from repro.errors import ConfigurationError
 def resolve_engine(engine, judge=None):
     """Normalise a service's ``engine``/legacy ``judge`` arguments to an engine.
 
-    A :class:`repro.cluster.ShardedEngine` passes through unchanged — it
-    already speaks the full engine surface (``predict_proba`` /
-    ``probability_matrix`` / ``warm`` / ``cache_info`` / ``registry``) — so
-    every service gains the sharded path by construction.
+    A :class:`repro.cluster.ShardedEngine` or a
+    :class:`repro.cluster.MicroBatcher` passes through unchanged — both
+    speak the full engine surface (``predict_proba`` /
+    ``probability_matrix`` / ``warm`` / ``serve`` / ``cache_info`` /
+    ``registry``) — so every service gains the sharded and micro-batched
+    paths by construction.
     """
     if judge is not None:
         if engine is not None:
@@ -35,8 +37,9 @@ def resolve_engine(engine, judge=None):
         engine = judge
     if engine is None:
         raise ConfigurationError("an engine (or fitted judge) is required")
+    from repro.cluster.batcher import MicroBatcher
     from repro.cluster.sharded import ShardedEngine
 
-    if isinstance(engine, ShardedEngine):
+    if isinstance(engine, (ShardedEngine, MicroBatcher)):
         return engine
     return ColocationEngine.ensure(engine)

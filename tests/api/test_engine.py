@@ -231,6 +231,33 @@ class TestFeatureCache:
         assert final.featurized - after.featurized == len(profiles)
         assert final.hits == 0
 
+    def test_disabled_cache_gathers_both_pair_sides_once(self, fitted_pipeline, tiny_dataset):
+        """Regression: predict_proba/serve used to resolve left and right
+        profiles in two gather calls, so a profile appearing on both sides
+        featurized twice with caching disabled (while the sharded engine
+        gathered both sides in one call).  One shared core, one gather."""
+        from repro.api import JudgeRequest
+        from repro.core import profile_key
+        from repro.data.records import Pair
+
+        uncached = ColocationEngine(fitted_pipeline, cache_size=0)
+        profiles, seen = [], set()
+        for profile in tiny_dataset.train.labeled_profiles:
+            if profile_key(profile) not in seen:
+                seen.add(profile_key(profile))
+                profiles.append(profile)
+        a, b, c = profiles[:3]
+        # b sits on the right of the first pair and the left of the second.
+        pairs = [Pair(left=a, right=b, co_label=None), Pair(left=b, right=c, co_label=None)]
+        with CountingFeaturizer(fitted_pipeline.featurizer) as counter:
+            uncached.predict_proba(pairs)
+        assert counter.rows == 3  # a, b, c — not 4
+        info = uncached.cache_info()
+        assert info.misses == 3
+        response = uncached.serve(JudgeRequest(pairs=tuple(pairs)))
+        assert response.cache_misses == 3
+        assert uncached.cache_info().misses == 6  # serve paid the same 3 again
+
     def test_warm_on_non_feature_space_judge_is_a_noop(self, tiny_dataset):
         engine = ColocationEngine(StubJudge(), registry=tiny_dataset.registry)
         assert engine.warm(tiny_dataset.train.labeled_profiles[:5]) == 0

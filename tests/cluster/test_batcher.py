@@ -6,9 +6,19 @@ import time
 import numpy as np
 import pytest
 
-from repro.api import ColocationEngine
+from repro.api import ColocationEngine, JudgeRequest
 from repro.cluster import MicroBatcher, ShardedEngine
 from repro.errors import ConfigurationError, EngineOverloadError
+
+
+def _stub_pair(i=0):
+    from repro.data.records import Pair, Profile, Tweet
+
+    left = Profile(uid=2 * i, tweet=Tweet(uid=2 * i, ts=1.0, content="x"), visit_history=())
+    right = Profile(
+        uid=2 * i + 1, tweet=Tweet(uid=2 * i + 1, ts=1.0, content="y"), visit_history=()
+    )
+    return Pair(left=left, right=right, co_label=None)
 
 
 @pytest.fixture(scope="module")
@@ -225,3 +235,315 @@ class TestMetricsIntegration:
         assert snapshot.flushes >= 1
         assert snapshot.latency_p50_ms > 0.0
         assert snapshot.cache is not None
+
+    def test_legacy_metrics_signature_still_receives_flushes(self, engine, test_pairs):
+        """A user metrics object written against the pre-serve observe_flush
+        signature (no num_serves) keeps getting its flush telemetry."""
+
+        class LegacyMetrics:
+            def __init__(self):
+                self.flushes = 0
+
+            def observe_flush(self, num_requests, num_pairs, queue_depth, elapsed_ms):
+                self.flushes += 1
+
+            def observe_latency(self, latency_ms):
+                pass
+
+            def observe_rejection(self):
+                pass
+
+        metrics = LegacyMetrics()
+        with MicroBatcher(engine, metrics=metrics) as batcher:
+            batcher.score(test_pairs)
+            batcher.serve(JudgeRequest(pairs=tuple(test_pairs)))
+        assert metrics.flushes >= 2
+        assert batcher.metrics_errors == 0
+
+    def test_serve_requests_are_counted(self, engine, test_pairs):
+        with MicroBatcher(engine) as batcher:
+            batcher.serve(JudgeRequest(pairs=tuple(test_pairs)))
+            batcher.score(test_pairs)
+        snapshot = batcher.metrics.snapshot()
+        assert snapshot.serve_requests == 1
+        assert snapshot.requests == 2
+        # Serve pairs count as scored pairs: they went through the scorer.
+        assert snapshot.pairs_scored == 2 * len(test_pairs)
+
+
+class TestServeKind:
+    def test_serve_matches_direct_engine(self, engine, test_pairs):
+        request = JudgeRequest(pairs=tuple(test_pairs), threshold=0.4)
+        direct = engine.serve(request)
+        with MicroBatcher(engine, max_delay_ms=0.0) as batcher:
+            response = batcher.serve(request)
+        np.testing.assert_allclose(
+            np.asarray(response.probabilities), np.asarray(direct.probabilities), atol=1e-12
+        )
+        assert response.decisions == direct.decisions
+        assert response.threshold == direct.threshold
+
+    def test_serve_requests_coalesce_into_one_serve_batch_call(
+        self, fitted_pipeline, test_pairs
+    ):
+        class CountingEngine:
+            """Engine proxy that gates scoring and counts serve_batch calls."""
+
+            def __init__(self, inner):
+                self.inner = inner
+                self.serve_batch_sizes = []
+                self.release = threading.Event()
+
+            def predict_proba(self, pairs):
+                self.release.wait()
+                return self.inner.predict_proba(pairs)
+
+            def serve(self, request):
+                return self.inner.serve(request)
+
+            def serve_batch(self, requests):
+                requests = list(requests)
+                self.serve_batch_sizes.append(len(requests))
+                return self.inner.serve_batch(requests)
+
+            def cache_info(self):
+                return self.inner.cache_info()
+
+        counting = CountingEngine(ColocationEngine(fitted_pipeline, cache_size=512))
+        request = JudgeRequest(pairs=tuple(test_pairs[:3]))
+        with MicroBatcher(counting, max_delay_ms=0.0) as batcher:
+            holding = batcher.submit_score([test_pairs[0]])  # occupies the flusher
+            futures = [batcher.submit_serve(request) for _ in range(6)]
+            counting.release.set()
+            holding.result(timeout=10)
+            responses = [future.result(timeout=10) for future in futures]
+        assert all(len(response) == len(request.pairs) for response in responses)
+        # The six concurrent serves flushed in far fewer serve_batch calls.
+        assert sum(counting.serve_batch_sizes) == 6
+        assert max(counting.serve_batch_sizes) > 1
+
+    def test_empty_serve_resolves_immediately(self, engine):
+        with MicroBatcher(engine) as batcher:
+            response = batcher.serve(JudgeRequest(pairs=()))
+        assert response.probabilities == ()
+        assert response.decisions == ()
+        assert response.threshold == engine.threshold
+
+    def test_submit_serve_requires_a_serving_engine(self):
+        with MicroBatcher(SlowJudge()) as batcher:
+            with pytest.raises(ConfigurationError, match="serve"):
+                batcher.submit_serve(JudgeRequest(pairs=(_stub_pair(),)))
+
+    def test_submit_serve_rejects_invalid_threshold(self, engine, test_pairs):
+        with MicroBatcher(engine) as batcher:
+            with pytest.raises(ConfigurationError, match="threshold"):
+                batcher.submit_serve(JudgeRequest(pairs=tuple(test_pairs), threshold=7.0))
+
+    def test_batcher_speaks_the_engine_surface(self, engine, test_pairs):
+        """Services resolve a batcher like an engine: the pass-throughs and
+        predict_proba alias must behave."""
+        with MicroBatcher(engine) as batcher:
+            assert batcher.judge is engine.judge
+            assert batcher.registry is engine.registry
+            assert batcher.threshold == engine.threshold
+            assert batcher.cache_info().maxsize == engine.cache_info().maxsize
+            np.testing.assert_allclose(
+                batcher.predict_proba(test_pairs), engine.predict_proba(test_pairs), atol=1e-12
+            )
+
+
+class BrokenMetrics:
+    """A user-supplied metrics object whose every hook raises."""
+
+    def __init__(self):
+        self.flush_calls = 0
+
+    def observe_flush(self, **kwargs):
+        self.flush_calls += 1
+        raise RuntimeError("broken metrics")
+
+    def observe_latency(self, latency_ms):
+        raise RuntimeError("broken metrics")
+
+    def observe_rejection(self):
+        raise RuntimeError("broken metrics")
+
+
+class FatalMetrics:
+    """Raises a non-Exception BaseException on the first flush — the only
+    way left to kill the flusher thread."""
+
+    def __init__(self):
+        self.fired = False
+
+    def observe_flush(self, **kwargs):
+        if not self.fired:
+            self.fired = True
+            raise KeyboardInterrupt("fatal in metrics")
+
+    def observe_latency(self, latency_ms):
+        pass
+
+    def observe_rejection(self):
+        pass
+
+
+class TestFlusherResilience:
+    def test_broken_metrics_do_not_kill_the_flusher(self, engine, test_pairs):
+        """Regression: an exception escaping observe_flush/observe_latency in
+        the flush's finally block killed the repro-microbatcher thread
+        silently, hanging every queued and future submission."""
+        metrics = BrokenMetrics()
+        with MicroBatcher(engine, metrics=metrics) as batcher:
+            first = batcher.score(test_pairs)
+            second = batcher.score(test_pairs)  # would hang forever before the fix
+        assert first.shape == second.shape == (len(test_pairs),)
+        assert metrics.flush_calls >= 2
+        assert batcher.metrics_errors > 0
+
+    def test_broken_rejection_metrics_still_raise_overload(self):
+        judge = SlowJudge()
+        judge.release.clear()
+        pairs = [_stub_pair()]
+        batcher = MicroBatcher(
+            judge, max_queue=1, overflow="reject", max_delay_ms=50.0, metrics=BrokenMetrics()
+        )
+        try:
+            with pytest.raises(EngineOverloadError):
+                for _ in range(50):
+                    batcher.submit_score(pairs)
+        finally:
+            judge.release.set()
+            batcher.close()
+
+    def test_dead_flusher_fails_pending_and_subsequent_submits(self):
+        """If the flusher does die, queued futures fail loudly and new
+        submissions raise instead of waiting on a flush that never comes."""
+        judge = SlowJudge()
+        judge.release.clear()
+        pairs = [_stub_pair()]
+        batcher = MicroBatcher(
+            judge, max_delay_ms=0.0, max_batch=1, metrics=FatalMetrics()
+        )
+        first = batcher.submit_score(pairs)  # the flusher takes it and blocks
+        deadline = time.time() + 5.0
+        while batcher.queue_depth and time.time() < deadline:
+            time.sleep(0.001)
+        second = batcher.submit_score(pairs)  # queued behind the first
+        judge.release.set()  # first flush completes; its metrics kill the flusher
+        batcher._flusher.join(timeout=10)
+        assert not batcher._flusher.is_alive()
+        assert first.result(timeout=10).shape == (1,)
+        with pytest.raises(EngineOverloadError, match="died"):
+            second.result(timeout=10)
+        with pytest.raises(EngineOverloadError, match="died"):
+            batcher.submit_score(pairs)
+        batcher.close()  # idempotent on a dead batcher
+
+
+class TestLifecycleEdges:
+    def test_close_without_drain_unblocks_blocked_submitters(self):
+        """A submitter stuck in overflow="block" must raise on close, not
+        wait forever for queue space that will never free."""
+        judge = SlowJudge()
+        judge.release.clear()
+        pairs = [_stub_pair()]
+        batcher = MicroBatcher(judge, max_queue=1, overflow="block", max_delay_ms=0.0)
+        batcher.submit_score(pairs)  # the flusher takes it and blocks
+        deadline = time.time() + 5.0
+        while batcher.queue_depth and time.time() < deadline:
+            time.sleep(0.001)
+        second = batcher.submit_score(pairs)  # fills the queue
+        outcome = {}
+
+        def blocked_submitter():
+            try:
+                outcome["future"] = batcher.submit_score(pairs)
+            except Exception as exc:
+                outcome["error"] = exc
+
+        submitter = threading.Thread(target=blocked_submitter)
+        submitter.start()
+        time.sleep(0.05)  # let it block in the overflow wait
+        closer = threading.Thread(target=lambda: batcher.close(drain=False))
+        closer.start()
+        submitter.join(timeout=10)
+        assert not submitter.is_alive()
+        judge.release.set()  # free the flusher so close() can join it
+        closer.join(timeout=10)
+        assert not closer.is_alive()
+        if "error" in outcome:
+            assert isinstance(outcome["error"], (ConfigurationError, EngineOverloadError))
+        else:  # it slipped in before close; close then failed its future
+            with pytest.raises(EngineOverloadError):
+                outcome["future"].result(timeout=10)
+        with pytest.raises(EngineOverloadError):
+            second.result(timeout=10)
+
+    def test_engine_error_fails_every_future_in_a_mixed_kind_flush(self, engine):
+        """One exploding flush must resolve score, matrix, warm AND serve
+        futures — a survivor would hang its caller forever."""
+
+        class GatedExplodingEngine:
+            def __init__(self):
+                self.release = threading.Event()
+
+            def predict_proba(self, pairs):
+                self.release.wait()
+                raise RuntimeError("boom")
+
+            def probability_matrix(self, profiles):
+                raise RuntimeError("boom")
+
+            def warm(self, profiles):
+                raise RuntimeError("boom")
+
+            def serve(self, request):
+                raise RuntimeError("boom")
+
+            def serve_batch(self, requests):
+                raise RuntimeError("boom")
+
+        exploding = GatedExplodingEngine()
+        profiles = [_stub_pair(i).left for i in range(3)]
+        with MicroBatcher(exploding, max_delay_ms=0.0) as batcher:
+            blocker = batcher.submit_score([_stub_pair()])  # occupies the flusher
+            futures = [
+                batcher.submit_score([_stub_pair(1)]),
+                batcher.submit_probability_matrix(profiles),
+                batcher.submit_warm(profiles),
+                batcher.submit_serve(JudgeRequest(pairs=(_stub_pair(2),))),
+            ]
+            exploding.release.set()
+            for future in [blocker, *futures]:
+                with pytest.raises(RuntimeError, match="boom"):
+                    future.result(timeout=10)
+
+    def test_zero_weight_submissions_racing_close(self, engine):
+        """Empty submissions resolve immediately — even racing or after a
+        close — because there is nothing to flush."""
+        batcher = MicroBatcher(engine)
+        stop = threading.Event()
+        outcomes = {"results": 0, "errors": []}
+
+        def spam():
+            while not stop.is_set():
+                try:
+                    batcher.submit_score([]).result(timeout=1)
+                    outcomes["results"] += 1
+                except Exception as exc:  # pragma: no cover - diagnostics
+                    outcomes["errors"].append(exc)
+
+        spammer = threading.Thread(target=spam)
+        spammer.start()
+        time.sleep(0.02)
+        batcher.close()
+        stop.set()
+        spammer.join(timeout=10)
+        assert not outcomes["errors"]
+        assert outcomes["results"] > 0
+        # Still immediate after close, for every zero-weight kind.
+        assert batcher.submit_score([]).result(timeout=1).shape == (0,)
+        assert batcher.probability_matrix([]).shape == (0, 0)
+        assert batcher.warm([]) == 0
+        assert batcher.serve(JudgeRequest(pairs=())).probabilities == ()

@@ -126,6 +126,27 @@ class TestStreamScorerOrdering:
 
 
 class TestStreamScorerShardedPath:
+    def test_micro_batcher_passes_through_and_scores(self, fitted_pipeline):
+        """A MicroBatcher speaks the engine surface, so a service can sit
+        behind the coalescing front door instead of around it."""
+        from repro.api import ColocationEngine
+        from repro.cluster import MicroBatcher
+        from repro.service import StreamScorer
+
+        engine = ColocationEngine(fitted_pipeline, cache_size=128)
+        with MicroBatcher(engine) as batcher:
+            scorer = StreamScorer(batcher, delta_t=3600.0)
+            assert scorer.engine is batcher  # resolve_engine must not re-wrap it
+            registry = batcher.registry
+            tweets = [
+                poi_tweet(registry, uid=uid, ts=100.0 + uid, poi_index=uid % 2)
+                for uid in range(4)
+            ]
+            scored = scorer.process_many(tweets)
+            assert scored
+            assert all(0.0 <= s.probability <= 1.0 for s in scored)
+        assert batcher.metrics.snapshot().requests > 0  # went through the flusher
+
     def test_sharded_engine_passes_through_and_scores(self, fitted_pipeline):
         from repro.cluster import ShardedEngine
         from repro.service import StreamScorer

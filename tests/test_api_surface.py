@@ -17,10 +17,12 @@ class TestExportedNames:
         import repro.api
 
         assert sorted(repro.api.__all__) == [
+            "CallCacheStats",
             "ColocationEngine",
             "EngineCacheInfo",
             "JudgeRequest",
             "JudgeResponse",
+            "JudgementCore",
         ]
         for name in repro.api.__all__:
             assert getattr(repro.api, name) is not None
