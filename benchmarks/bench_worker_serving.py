@@ -1,0 +1,139 @@
+"""Benchmark: thread-tier (sharded) vs. process-tier (worker pool) serving.
+
+The sharded engine's shard threads amortise call overhead but share one GIL —
+featurization, the dominant per-request cost, never runs truly in parallel.
+:class:`repro.cluster.WorkerPool` moves each shard into its own *process*
+(spawned from the fitted judge via the save/load bundle) behind an asyncio
+gateway speaking the binary wire protocol, so feature gathering fans out
+across cores.
+
+This benchmark fits a small HisRect judge, generates the same seeded
+Zipf-skewed request stream as ``bench_sharded_serving.py``, and serves it
+cold through the single engine, the thread tier, and the process tier with
+the same total cache budget.  It asserts the serving contract everywhere:
+
+* worker-pool ``predict_proba`` matches the single engine **bit-for-bit**
+  (save/load restores exactly; the wire gather contributes nothing);
+* micro-batched worker results drift only by coalescing noise (<= 1e-12);
+* typed serve responses agree across all four transports;
+* after ``close()``, no worker process survives (the no-orphans check).
+
+On a multi-core host the full run also enforces the headline: the process
+tier must beat the thread tier on this CPU-bound load.  On a single core the
+comparison is reported but not enforced — there is no parallelism to win.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_worker_serving.py
+
+pass ``--smoke`` (the CI invocation) for a tiny load that checks parity and
+orphan hygiene only.  The CLI twin is ``repro-hisrect serve-bench --workers``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pathlib
+import sys
+
+from repro.cluster.loadgen import (
+    LoadConfig,
+    compare_serving_paths,
+    fit_serving_pipeline,
+    generate_requests,
+)
+
+NUM_WORKERS = 4
+
+
+def run(smoke: bool = False) -> str:
+    config = (
+        LoadConfig(num_users=48, num_requests=48, pairs_per_request=3)
+        if smoke
+        else LoadConfig(num_users=256, num_requests=384, pairs_per_request=4)
+    )
+    pipeline, dataset = fit_serving_pipeline(seed=5)
+    requests = generate_requests(dataset.registry, dataset.training_corpus(), config)
+    num_workers = 2 if smoke else NUM_WORKERS
+    report = compare_serving_paths(
+        pipeline,
+        requests,
+        num_shards=num_workers,
+        cache_size=4096,
+        max_batch=256,
+        num_workers=num_workers,
+    )
+    cores = os.cpu_count() or 1
+    lines = [
+        f"Benchmark: thread-tier vs. process-tier serving, "
+        f"{num_workers} shards/workers on {cores} cores, zipf s={config.zipf_s}, "
+        f"{config.num_requests} requests x {config.pairs_per_request} pairs, "
+        f"{config.num_users} users" + (" [smoke]" if smoke else ""),
+        "",
+        report.format(),
+        "",
+    ]
+    if not report.workers_exact:
+        raise AssertionError("worker-pool probabilities diverged from the single engine")
+    if report.workers_drift > 1e-12:
+        raise AssertionError(
+            f"worker-tier coalescing drifted by {report.workers_drift:.2e} "
+            "(expected last-mantissa-bit noise only)"
+        )
+    if not report.serve_exact or not report.workers_serve_exact:
+        raise AssertionError("typed serve responses diverged across the four transports")
+    # No-orphans check: compare_serving_paths closed the pool on exit; any
+    # worker process still alive here escaped the lifecycle.
+    orphans = multiprocessing.active_children()
+    if orphans:
+        raise AssertionError(f"worker processes survived close(): {orphans}")
+    thread_vs_process = (
+        report.cluster.elapsed_s / report.workers.elapsed_s
+        if report.workers.elapsed_s > 0
+        else float("inf")
+    )
+    lines.append(
+        f"thread tier {report.cluster.elapsed_s:.3f}s vs process tier "
+        f"{report.workers.elapsed_s:.3f}s -> {thread_vs_process:.2f}x on {cores} cores"
+    )
+    if smoke:
+        lines.append(
+            "smoke run: four-transport parity + no-orphans checked, "
+            "scaling target not enforced"
+        )
+    elif cores >= 2:
+        lines.append(
+            f"headline ({num_workers} workers, cold cache): {thread_vs_process:.2f}x "
+            f"({'meets' if thread_vs_process >= 1.0 else 'MISSES'} the "
+            f"process-beats-threads target)"
+        )
+        if thread_vs_process < 1.0:
+            raise AssertionError(
+                f"process tier ({report.workers.elapsed_s:.3f}s) slower than the "
+                f"thread tier ({report.cluster.elapsed_s:.3f}s) on {cores} cores"
+            )
+    else:
+        lines.append(
+            "single-core host: process-beats-threads target reported, not enforced "
+            "(no parallelism to win; the wire adds pure overhead here)"
+        )
+    return "\n".join(lines)
+
+
+def test_worker_serving(benchmark):
+    from conftest import run_once, save_report
+
+    report = run_once(benchmark, run)
+    save_report("worker_serving", report)
+    assert "diverged" not in report
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv[1:]
+    report = run(smoke=smoke)
+    print(report)
+    if not smoke:
+        results = pathlib.Path(__file__).parent / "results"
+        results.mkdir(exist_ok=True)
+        (results / "worker_serving.txt").write_text(report + "\n")

@@ -5,11 +5,16 @@ array-in/array-out for library use; services and RPC-style callers go through
 :class:`JudgeRequest` / :class:`JudgeResponse`, which carry the decision
 threshold actually applied and the cache statistics of the call — the numbers
 an operator needs to reason about latency.
+
+Both messages round-trip through plain dicts (``to_dict`` / ``from_dict``,
+built on the :mod:`repro.io.records_json` codecs) so the cluster wire
+protocol — and any external RPC layer — can carry them without pickling.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.data.records import Pair, Profile
 
@@ -39,6 +44,25 @@ class JudgeRequest:
         )
         return cls(pairs=pairs, threshold=threshold)
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly representation (the wire-protocol request body)."""
+        from repro.io.records_json import pair_to_dict
+
+        return {
+            "pairs": [pair_to_dict(pair) for pair in self.pairs],
+            "threshold": self.threshold,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "JudgeRequest":
+        """Rebuild a request from :meth:`to_dict` output (extra keys ignored)."""
+        from repro.io.records_json import pair_from_dict
+
+        return cls(
+            pairs=tuple(pair_from_dict(pair) for pair in data.get("pairs", [])),
+            threshold=None if data.get("threshold") is None else float(data["threshold"]),
+        )
+
     def __len__(self) -> int:
         return len(self.pairs)
 
@@ -61,6 +85,29 @@ class JudgeResponse:
     cache_misses: int = 0
     #: Wall-clock time spent inside the engine, in milliseconds.
     elapsed_ms: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly representation (the wire-protocol response body)."""
+        return {
+            "probabilities": [float(p) for p in self.probabilities],
+            "decisions": [int(d) for d in self.decisions],
+            "threshold": self.threshold,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "elapsed_ms": self.elapsed_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "JudgeResponse":
+        """Rebuild a response from :meth:`to_dict` output (extra keys ignored)."""
+        return cls(
+            probabilities=tuple(float(p) for p in data.get("probabilities", [])),
+            decisions=tuple(int(d) for d in data.get("decisions", [])),
+            threshold=float(data.get("threshold", 0.5)),
+            cache_hits=int(data.get("cache_hits", 0)),
+            cache_misses=int(data.get("cache_misses", 0)),
+            elapsed_ms=float(data.get("elapsed_ms", 0.0)),
+        )
 
     def __len__(self) -> int:
         return len(self.probabilities)

@@ -13,7 +13,12 @@ Subcommands cover the common workflows without writing Python:
   its report (the same runners the benchmark suite uses).
 * ``serve-bench`` — fit a small judge and race the single-engine serving path
   against the sharded, micro-batched cluster on a skewed synthetic load
-  (the same harness as ``benchmarks/bench_sharded_serving.py``).
+  (the same harness as ``benchmarks/bench_sharded_serving.py``); with
+  ``--workers N`` the process-worker tier joins the race.
+* ``worker``     — run one shard worker over a saved pipeline: ``--listen``
+  accepts gateway connections standalone, ``--connect`` dials back into a
+  running gateway (the loop spawned :class:`repro.cluster.WorkerPool` workers
+  run in-process).
 * ``components`` — list every registered component (judges, baselines,
   featurizer variants, dataset presets, training strategies).
 
@@ -234,6 +239,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         max_batch=args.max_batch,
         max_delay_ms=args.max_delay_ms,
+        num_workers=args.workers if args.workers > 0 else None,
     )
     print(report.format())
     if not report.exact_match:
@@ -256,6 +262,71 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if report.workers is not None:
+        if not report.workers_exact:
+            print(
+                "error: worker-pool probabilities diverged from the single engine",
+                file=sys.stderr,
+            )
+            return 1
+        if report.workers_drift > 1e-12:
+            print(
+                f"error: worker-tier coalescing drifted by {report.workers_drift:.2e}",
+                file=sys.stderr,
+            )
+            return 1
+        if not report.workers_serve_exact:
+            print(
+                "error: worker-pool serve responses diverged from the single engine",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def _parse_endpoint(value: str) -> tuple[str, int]:
+    host, separator, port = value.rpartition(":")
+    if not separator or not port.isdigit():
+        raise ReproError(f"endpoint {value!r} is not HOST:PORT")
+    return (host or "127.0.0.1", int(port))
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Run one shard worker over a saved pipeline (or worker bundle)."""
+    import pathlib
+
+    from repro.cluster.worker import (
+        load_judge_bundle,
+        run_worker_client,
+        run_worker_listener,
+    )
+
+    if args.connect and args.token is None:
+        print("error: --connect requires --token", file=sys.stderr)
+        return 2
+    model_dir = pathlib.Path(args.model)
+    if (model_dir / "bundle.json").exists():
+        judge = load_judge_bundle(model_dir)
+    else:
+        judge = load_pipeline(args.model)
+    knobs = {
+        "cache_size": args.cache_size,
+        "threshold": args.threshold,
+        "batch_size": args.batch_size,
+    }
+    if args.connect:
+        host, port = _parse_endpoint(args.connect)
+        run_worker_client(judge, host, port, args.token, args.id, **knobs)
+        return 0
+    host, port = _parse_endpoint(args.listen)
+    run_worker_listener(
+        judge,
+        host,
+        port,
+        once=args.once,
+        ready=lambda address: print(f"worker listening on {address[0]}:{address[1]}", flush=True),
+        **knobs,
+    )
     return 0
 
 
@@ -352,7 +423,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--max-batch", type=int, default=256, help="micro-batch flush size")
     serve_bench.add_argument("--max-delay-ms", type=float, default=0.0, help="micro-batch flush delay")
     serve_bench.add_argument("--seed", type=int, default=23)
+    serve_bench.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="also race a WorkerPool with this many worker processes (0 = off)",
+    )
     serve_bench.set_defaults(func=cmd_serve_bench)
+
+    worker = subparsers.add_parser(
+        "worker", help="run one shard worker over a saved pipeline"
+    )
+    worker.add_argument("--model", required=True, help="pipeline or worker-bundle directory")
+    endpoint = worker.add_mutually_exclusive_group(required=True)
+    endpoint.add_argument("--listen", help="HOST:PORT to accept gateway connections on")
+    endpoint.add_argument("--connect", help="HOST:PORT of a gateway to dial back into")
+    worker.add_argument("--id", type=int, default=0, help="worker index (with --connect)")
+    worker.add_argument("--token", help="gateway HELLO token (with --connect)")
+    worker.add_argument("--cache-size", type=int, default=4096, help="feature-cache rows")
+    worker.add_argument("--threshold", type=float, default=None, help="decision threshold")
+    worker.add_argument("--batch-size", type=int, default=1024, help="scoring chunk size")
+    worker.add_argument(
+        "--once", action="store_true", help="exit after the first connection (with --listen)"
+    )
+    worker.set_defaults(func=cmd_worker)
 
     components = subparsers.add_parser("components", help="list registered components")
     components.add_argument(

@@ -18,7 +18,10 @@ Two serving paths run the *same* request sequence from a cold cache:
   request on one :class:`repro.api.ColocationEngine` (caller-sized batches);
 * **cluster** — a :class:`repro.cluster.MicroBatcher` coalescing concurrent
   requests over a :class:`repro.cluster.ShardedEngine`, with the same *total*
-  cache budget.
+  cache budget;
+* **workers** (``num_workers`` set) — the same micro-batcher over a
+  :class:`repro.cluster.WorkerPool`, so featurization leaves the GIL and runs
+  in worker *processes* — the tier that scales with cores.
 
 The harness also pins correctness: the sharded engine's direct
 ``predict_proba`` must match the single engine bit-for-bit, and the
@@ -36,6 +39,7 @@ import numpy as np
 from repro.api import ColocationEngine, JudgeRequest, JudgeResponse
 from repro.api.engine import EngineCacheInfo
 from repro.cluster.batcher import MicroBatcher
+from repro.cluster.gateway import WorkerPool
 from repro.cluster.metrics import ClusterMetricsSnapshot
 from repro.cluster.sharded import ShardedEngine
 from repro.data.records import Pair, Profile, Tweet, Visit
@@ -207,6 +211,44 @@ def run_cluster(
     )
 
 
+def run_workers(
+    pool: WorkerPool,
+    requests: list[list[Pair]],
+    *,
+    max_batch: int = 256,
+    max_delay_ms: float = 0.0,
+    max_queue: int = 512,
+) -> tuple[ServingRun, list[np.ndarray], ClusterMetricsSnapshot]:
+    """The process tier: the same micro-batched submission over a WorkerPool.
+
+    Identical batching knobs to :func:`run_cluster`, so the only variable is
+    the transport underneath — shard threads vs. worker processes.
+    """
+    with MicroBatcher(
+        pool,
+        max_batch=max_batch,
+        max_delay_ms=max_delay_ms,
+        max_queue=max_queue,
+        overflow="block",
+    ) as batcher:
+        started = time.perf_counter()
+        futures = [batcher.submit_score(pairs) for pairs in requests]
+        results = [future.result() for future in futures]
+        elapsed = time.perf_counter() - started
+    snapshot = batcher.metrics.snapshot()
+    return (
+        ServingRun(
+            label=f"workers x{pool.num_workers} + micro-batch",
+            elapsed_s=elapsed,
+            requests=len(requests),
+            pairs=sum(len(r) for r in requests),
+            cache=pool.cache_info(),
+        ),
+        results,
+        snapshot,
+    )
+
+
 @dataclass(frozen=True)
 class ComparisonReport:
     """Single-vs-cluster throughput over the same cold-cache request sequence."""
@@ -231,6 +273,16 @@ class ComparisonReport:
     #: Largest |Δ probability| between ``submit_serve`` responses and the
     #: single engine's serve (the serve twin of ``coalescing_drift``).
     serve_drift: float
+    #: The process tier's run (``None`` unless ``num_workers`` was set).
+    workers: ServingRun | None = None
+    #: ``WorkerPool.predict_proba`` agrees bit-for-bit with the single engine
+    #: on every request (the wire gather contributes nothing).
+    workers_exact: bool | None = None
+    #: Largest |Δ probability| between the micro-batched worker results and
+    #: the single engine (the process twin of ``coalescing_drift``).
+    workers_drift: float | None = None
+    #: Direct ``WorkerPool.serve`` matches the single engine bit-for-bit.
+    workers_serve_exact: bool | None = None
 
     @property
     def speedup(self) -> float:
@@ -240,11 +292,22 @@ class ComparisonReport:
             else float("inf")
         )
 
+    @property
+    def workers_speedup(self) -> float | None:
+        if self.workers is None:
+            return None
+        return (
+            self.single.elapsed_s / self.workers.elapsed_s
+            if self.workers.elapsed_s > 0
+            else float("inf")
+        )
+
     def format(self) -> str:
         lines = [
             f"{'path':<28} {'elapsed s':>10} {'req/s':>10} {'pairs/s':>10} {'hit_rate':>9}",
         ]
-        for run in (self.single, self.cluster):
+        runs = [self.single, self.cluster] + ([self.workers] if self.workers else [])
+        for run in runs:
             lines.append(
                 f"{run.label:<28} {run.elapsed_s:>10.3f} {run.requests_per_s:>10.1f} "
                 f"{run.pairs_per_s:>10.1f} {run.cache.hit_rate:>9.3f}"
@@ -259,6 +322,13 @@ class ComparisonReport:
             f"serve parity: exact={'yes' if self.serve_exact else 'NO'} "
             f"batched-serve drift: {self.serve_drift:.1e}"
         )
+        if self.workers is not None:
+            lines.append(
+                f"process tier: speedup={self.workers_speedup:.2f}x "
+                f"bit-for-bit: {'yes' if self.workers_exact else 'NO'} "
+                f"drift: {self.workers_drift:.1e} "
+                f"serve exact: {'yes' if self.workers_serve_exact else 'NO'}"
+            )
         lines.append(self.metrics.format())
         return "\n".join(lines)
 
@@ -272,19 +342,23 @@ def compare_serving_paths(
     max_batch: int = 256,
     max_delay_ms: float = 0.0,
     max_queue: int = 512,
+    num_workers: int | None = None,
 ) -> ComparisonReport:
     """Run both serving paths cold and compare throughput and results.
 
     Three passes: the single engine (throughput baseline), the micro-batched
     cluster (throughput), and an un-timed direct pass over a fresh cold
     :class:`ShardedEngine` pinning the bit-for-bit contract without the
-    batcher's shape-dependent coalescing in the way.
+    batcher's shape-dependent coalescing in the way.  With ``num_workers``
+    set, a fourth pass runs the same micro-batched load over a cold
+    :class:`WorkerPool` (the process tier) and pins its parity too.
 
     Every engine is constructed — and every shard's judge replica
     deep-copied — *before* the first pass runs: the judge's internal
     featurizer caches (history cache, text-vectorizer LRU) warm up during
     the single-engine pass, and replicas copied afterwards would inherit
-    that warmth and fake part of the cluster's speedup.
+    that warmth and fake part of the cluster's speedup.  (Worker processes
+    are immune: they rebuild the judge from the saved bundle.)
     """
     single_engine = ColocationEngine(judge, cache_size=cache_size)
     with ShardedEngine(judge, num_shards=num_shards, cache_size=cache_size) as sharded, ShardedEngine(
@@ -317,6 +391,44 @@ def compare_serving_paths(
             max_batch=max_batch,
             max_queue=max_queue,
         )
+    workers = workers_exact = workers_drift = workers_serve_exact = None
+    if num_workers is not None:
+        with WorkerPool(judge, num_workers=num_workers, cache_size=cache_size) as pool:
+            workers, worker_results, _ = run_workers(
+                pool,
+                requests,
+                max_batch=max_batch,
+                max_delay_ms=max_delay_ms,
+                max_queue=max_queue,
+            )
+            workers_drift = max(
+                (
+                    (float(np.abs(a - b).max()) if len(a) else 0.0)
+                    for a, b in zip(single_results, worker_results)
+                ),
+                default=0.0,
+            )
+            # Un-timed direct passes (results are cache-state independent):
+            # the wire gather must contribute nothing to the probabilities,
+            # and the pool's typed serve must match the single engine.
+            workers_exact = all(
+                np.array_equal(single_result, pool.predict_proba(pairs))
+                for single_result, pairs in zip(single_results, requests)
+            )
+            step = max(1, len(requests) // 24)
+            sample = [
+                JudgeRequest(pairs=tuple(pairs), threshold=(None if index % 2 == 0 else 0.4))
+                for index, pairs in enumerate(requests[::step])
+            ]
+            workers_serve_exact = all(
+                got.probabilities == expected.probabilities
+                and got.decisions == expected.decisions
+                and got.threshold == expected.threshold
+                for got, expected in zip(
+                    (pool.serve(request) for request in sample),
+                    (single_engine.serve(request) for request in sample),
+                )
+            )
     return ComparisonReport(
         single=single,
         cluster=cluster,
@@ -325,6 +437,10 @@ def compare_serving_paths(
         coalescing_drift=drift,
         serve_exact=serve_exact,
         serve_drift=serve_drift,
+        workers=workers,
+        workers_exact=workers_exact,
+        workers_drift=workers_drift,
+        workers_serve_exact=workers_serve_exact,
     )
 
 

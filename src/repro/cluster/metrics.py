@@ -52,6 +52,10 @@ class ClusterMetricsSnapshot:
     cache: EngineCacheInfo | None
     #: Per-shard cache statistics (empty for a single, unsharded engine).
     shard_caches: tuple[EngineCacheInfo, ...]
+    #: Process-tier incidents: workers that died (connection lost / killed)
+    #: and respawns the gateway performed.  Always 0 for in-process tiers.
+    worker_deaths: int = 0
+    worker_respawns: int = 0
 
     def format(self) -> str:
         """A compact multi-line operator report."""
@@ -63,6 +67,10 @@ class ClusterMetricsSnapshot:
             f"latency ms: p50={self.latency_p50_ms:.2f} "
             f"p90={self.latency_p90_ms:.2f} p99={self.latency_p99_ms:.2f}",
         ]
+        if self.worker_deaths or self.worker_respawns:
+            lines.append(
+                f"workers: deaths={self.worker_deaths} respawns={self.worker_respawns}"
+            )
         if self.cache is not None:
             lines.append(
                 f"cache: size={self.cache.size}/{self.cache.maxsize} "
@@ -101,6 +109,8 @@ class ClusterMetrics:
         self._rejections = 0
         self._flush_requests = 0
         self._last_queue_depth = 0
+        self._worker_deaths = 0
+        self._worker_respawns = 0
 
     # ------------------------------------------------------------ observation
     def observe_flush(
@@ -134,6 +144,16 @@ class ClusterMetrics:
         with self._lock:
             self._rejections += 1
 
+    def observe_worker_death(self) -> None:
+        """Record one worker process lost (killed, crashed, connection broke)."""
+        with self._lock:
+            self._worker_deaths += 1
+
+    def observe_worker_respawn(self) -> None:
+        """Record one worker the gateway respawned after a death."""
+        with self._lock:
+            self._worker_respawns += 1
+
     # --------------------------------------------------------------- snapshot
     def snapshot(self) -> ClusterMetricsSnapshot:
         """Freeze the current counters (and live cache statistics) into one view."""
@@ -146,6 +166,8 @@ class ClusterMetrics:
             rejections = self._rejections
             flush_requests = self._flush_requests
             queue_depth = self._last_queue_depth
+            worker_deaths = self._worker_deaths
+            worker_respawns = self._worker_respawns
         if latencies.size:
             p50, p90, p99 = (float(p) for p in np.percentile(latencies, (50, 90, 99)))
         else:
@@ -171,4 +193,6 @@ class ClusterMetrics:
             latency_p99_ms=p99,
             cache=cache,
             shard_caches=shard_caches,
+            worker_deaths=worker_deaths,
+            worker_respawns=worker_respawns,
         )

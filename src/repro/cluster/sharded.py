@@ -74,6 +74,35 @@ def shard_index(key: ProfileKey, num_shards: int) -> int:
     return zlib.crc32(uid.to_bytes(length, "big", signed=True)) % num_shards
 
 
+def route_snapshot_rows(
+    snapshot: tuple[dict[ProfileKey, np.ndarray], ...], num_shards: int
+) -> list[dict[ProfileKey, np.ndarray]]:
+    """Re-route per-shard cache exports onto ``num_shards`` owner slots.
+
+    Every row lands on its key's stable-hash owner, so a snapshot taken at
+    one shard/worker count restores correctly into another.  Source exports
+    are interleaved position-wise (each source's coldest rows first, its
+    hottest last) so when the restored capacity is smaller, the LRU bound
+    evicts the approximately coldest rows across the whole snapshot rather
+    than whichever source happened to import first.  Shared by
+    :meth:`ShardedEngine.restore` and the process-tier
+    :meth:`repro.cluster.WorkerPool.restore`.
+    """
+    routed: list[dict[ProfileKey, np.ndarray]] = [{} for _ in range(num_shards)]
+    iterators = [iter(rows.items()) for rows in snapshot]
+    while iterators:
+        remaining = []
+        for iterator in iterators:
+            item = next(iterator, None)
+            if item is None:
+                continue
+            key, row = item
+            routed[shard_index(key, num_shards)][key] = row
+            remaining.append(iterator)
+        iterators = remaining
+    return routed
+
+
 class ShardedEngine:
     """Serve a fitted judge across hash-partitioned engine shards.
 
@@ -288,25 +317,10 @@ class ShardedEngine:
         """Repopulate shard caches from a :meth:`snapshot`; returns rows kept.
 
         Every row is re-routed by its key's stable hash, so a snapshot taken
-        at one shard count restores correctly into another.  Source exports
-        are interleaved position-wise (each shard's coldest rows first, its
-        hottest last) so when the restored capacity is smaller, the LRU
-        bound evicts the approximately coldest rows across the whole
-        snapshot rather than whichever source shard happened to import
-        first.
+        at one shard count restores correctly into another — see
+        :func:`route_snapshot_rows` for the eviction-fairness interleave.
         """
-        routed: list[dict[ProfileKey, np.ndarray]] = [{} for _ in self.shards]
-        iterators = [iter(rows.items()) for rows in snapshot]
-        while iterators:
-            remaining = []
-            for iterator in iterators:
-                item = next(iterator, None)
-                if item is None:
-                    continue
-                key, row = item
-                routed[shard_index(key, self.num_shards)][key] = row
-                remaining.append(iterator)
-            iterators = remaining
+        routed = route_snapshot_rows(snapshot, self.num_shards)
         return sum(
             shard.import_cache(rows) for shard, rows in zip(self.shards, routed)
         )

@@ -35,5 +35,35 @@ class NotFittedError(ReproError):
     """Raised when a model is used for prediction before being trained."""
 
 
+class WireProtocolError(ReproError):
+    """Raised for malformed traffic on the cluster wire protocol.
+
+    Covers every way a frame can be unreadable: truncated headers or
+    payloads, a length prefix beyond the configured frame bound, an unknown
+    protocol version, and payload bodies that fail to decode.  Connection
+    loss *between* frames is not a protocol error (it is a clean EOF);
+    connection loss *inside* one is.
+    """
+
+
+class WorkerCrashError(ReproError):
+    """Raised when a cluster worker process died (or its connection broke).
+
+    The fail-fast signal of the process-worker tier: every call in flight to
+    — or queued behind — the dead worker fails with this error instead of
+    hanging, and with respawn disabled, later calls routed to that worker
+    raise it immediately.
+    """
+
+
+class RemoteJudgeError(ReproError):
+    """A worker-side exception of a type the wire protocol cannot map back.
+
+    Known :mod:`repro.errors` types re-raise as themselves client-side; any
+    other worker-side exception (a numpy ``ValueError``, a bug) arrives as
+    this, carrying the original type name and message.
+    """
+
+
 class VocabularyError(ReproError):
     """Raised for out-of-vocabulary or empty-vocabulary conditions."""

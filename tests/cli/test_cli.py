@@ -189,3 +189,48 @@ class TestServeBenchCommand:
         assert "single engine" in captured.out
         assert "sharded x2 + micro-batch" in captured.out
         assert "bit-for-bit: yes" in captured.out
+
+
+class TestWorkerCommand:
+    def test_parser(self):
+        args = build_parser().parse_args(
+            ["worker", "--model", "m", "--listen", "127.0.0.1:0", "--once"]
+        )
+        assert args.listen == "127.0.0.1:0"
+        assert args.once
+        args = build_parser().parse_args(
+            ["worker", "--model", "m", "--connect", "127.0.0.1:9", "--id", "3", "--token", "t"]
+        )
+        assert args.connect == "127.0.0.1:9"
+        assert args.id == 3
+
+    def test_listen_and_connect_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["worker", "--model", "m", "--listen", "a:1", "--connect", "b:2"]
+            )
+
+    def test_connect_without_token_errors(self, capsys):
+        exit_code = main(
+            ["worker", "--model", "does-not-matter", "--connect", "127.0.0.1:9"]
+        )
+        assert exit_code == 2
+        assert "--token" in capsys.readouterr().err
+
+    def test_serve_bench_workers_row(self, capsys):
+        exit_code = main(
+            [
+                "serve-bench",
+                "--shards", "2",
+                "--workers", "2",
+                "--requests", "24",
+                "--pairs", "2",
+                "--users", "16",
+                "--cache-size", "256",
+                "--max-batch", "32",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "workers x2 + micro-batch" in captured.out
+        assert "serve exact: yes" in captured.out

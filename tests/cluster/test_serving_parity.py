@@ -1,13 +1,16 @@
-"""One decision path, three transports — the shared serving parity suite.
+"""One decision path, four transports — the shared serving parity suite.
 
 Every judgement surface is served by a single :class:`repro.api.JudgementCore`
-behind three transports: the single :class:`ColocationEngine`, the
-hash-partitioned :class:`ShardedEngine`, and the request-coalescing
-:class:`MicroBatcher`.  This suite parametrizes over the transports and pins
-the correctness contract once, instead of hand-mirroring it per path:
+behind four transports: the single :class:`ColocationEngine`, the
+hash-partitioned :class:`ShardedEngine`, the request-coalescing
+:class:`MicroBatcher`, and the process-tier :class:`WorkerPool` (worker
+processes rebuilt from the judge's save/load bundle, gathered over the binary
+wire protocol).  This suite parametrizes over the transports and pins the
+correctness contract once, instead of hand-mirroring it per path:
 
-* engine and sharded agree **bit-for-bit** (their gathers produce identical
-  rows and they share the scorer's exact chunking);
+* engine, sharded and workers agree **bit-for-bit** (their gathers produce
+  identical rows — save/load restores exactly, the wire moves raw float64
+  bytes — and they share the scorer's exact chunking);
 * the batcher may drift by last-mantissa-bit coalescing noise only
   (<= 1e-12) because a flush scores many requests as one BLAS call of a
   different shape — decisions and thresholds still match exactly.
@@ -17,10 +20,10 @@ import numpy as np
 import pytest
 
 from repro.api import ColocationEngine, JudgeRequest
-from repro.cluster import MicroBatcher, ShardedEngine
+from repro.cluster import MicroBatcher, ShardedEngine, WorkerPool
 
 #: Transports whose probabilities must match the reference bit-for-bit.
-EXACT = {"engine", "sharded"}
+EXACT = {"engine", "sharded", "workers"}
 #: Largest |Δ probability| the batcher's shape-dependent coalescing may add.
 COALESCE_ATOL = 1e-12
 
@@ -31,14 +34,17 @@ def reference(fitted_pipeline):
     return ColocationEngine(fitted_pipeline, cache_size=1024)
 
 
-@pytest.fixture(scope="module", params=["engine", "sharded", "batcher"])
+@pytest.fixture(scope="module", params=["engine", "sharded", "batcher", "workers"])
 def serving_path(request, fitted_pipeline):
-    """(name, transport) for each of the three serving paths."""
+    """(name, transport) for each of the four serving paths."""
     if request.param == "engine":
         yield request.param, ColocationEngine(fitted_pipeline, cache_size=1024)
     elif request.param == "sharded":
         with ShardedEngine(fitted_pipeline, num_shards=3, cache_size=1024) as sharded:
             yield request.param, sharded
+    elif request.param == "workers":
+        with WorkerPool(fitted_pipeline, num_workers=2, cache_size=1024) as pool:
+            yield request.param, pool
     else:
         with ShardedEngine(fitted_pipeline, num_shards=3, cache_size=1024) as sharded:
             with MicroBatcher(sharded, max_delay_ms=2.0, overflow="block") as batcher:

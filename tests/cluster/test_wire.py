@@ -1,0 +1,358 @@
+"""The wire protocol: roundtrips, malformed-frame rejection, typed errors.
+
+The contract under test: every receive path fails *promptly and typed* —
+truncated frames, oversized length prefixes, unknown protocol versions and
+mid-frame disconnects raise :class:`repro.errors.WireProtocolError` (never a
+hang, never a partial frame passed off as a whole one), while a clean EOF at
+a frame boundary is ``None``.  A fuzz loop hammers the payload decoder with
+mutated bytes: any outcome other than a successful decode or a
+``WireProtocolError`` is a bug.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cluster import wire
+from repro.errors import (
+    ConfigurationError,
+    EngineOverloadError,
+    RemoteJudgeError,
+    ReproError,
+    WireProtocolError,
+)
+
+# ------------------------------------------------------------------ roundtrips
+
+
+def test_payload_roundtrip_body_only():
+    body = {"op": "gather", "nested": [1, 2.5, "x", None, True]}
+    decoded, arrays = wire.decode_payload(wire.encode_payload(body))
+    assert decoded == body
+    assert arrays == []
+
+
+@pytest.mark.parametrize(
+    "array",
+    [
+        np.arange(12, dtype=np.float64).reshape(3, 4),
+        np.arange(5, dtype=np.int32),
+        np.array([], dtype=np.float32).reshape(0, 7),
+        np.array(3.5),  # zero-dimensional
+        np.array([True, False, True]),
+    ],
+)
+def test_payload_roundtrip_arrays(array):
+    body, arrays = wire.decode_payload(wire.encode_payload({"n": 1}, [array]))
+    assert body == {"n": 1}
+    (decoded,) = arrays
+    assert decoded.dtype == array.dtype
+    assert decoded.shape == array.shape
+    assert np.array_equal(decoded, array)
+
+
+def test_payload_roundtrip_multiple_arrays_preserves_order():
+    first = np.arange(6, dtype=np.float64).reshape(2, 3)
+    second = np.arange(4, dtype=np.int64)
+    _, arrays = wire.decode_payload(wire.encode_payload(None, [first, second]))
+    assert np.array_equal(arrays[0], first)
+    assert np.array_equal(arrays[1], second)
+
+
+def test_decoded_arrays_are_writable_copies():
+    payload = wire.encode_payload(None, [np.arange(4, dtype=np.float64)])
+    _, (array,) = wire.decode_payload(payload)
+    array[0] = 99.0  # must not raise: not a read-only view into the payload
+    assert array[0] == 99.0
+
+
+def test_non_contiguous_array_roundtrips():
+    array = np.arange(24, dtype=np.float64).reshape(4, 6)[:, ::2]
+    _, (decoded,) = wire.decode_payload(wire.encode_payload(None, [array]))
+    assert np.array_equal(decoded, array)
+
+
+def test_object_dtype_refused_on_encode():
+    with pytest.raises(WireProtocolError):
+        wire.encode_payload(None, [np.array([object()], dtype=object)])
+
+
+def test_string_dtype_refused_on_encode():
+    with pytest.raises(WireProtocolError):
+        wire.encode_payload(None, [np.array(["a", "b"])])
+
+
+# ------------------------------------------------------------- malformed frames
+
+
+def test_truncated_json_header_raises():
+    payload = wire.encode_payload({"op": "x"})
+    with pytest.raises(WireProtocolError):
+        wire.decode_payload(payload[: len(payload) // 2])
+
+
+def test_truncated_array_data_raises():
+    payload = wire.encode_payload(None, [np.arange(100, dtype=np.float64)])
+    with pytest.raises(WireProtocolError):
+        wire.decode_payload(payload[:-8])
+
+
+def test_trailing_bytes_raise():
+    with pytest.raises(WireProtocolError):
+        wire.decode_payload(wire.encode_payload({"op": "x"}) + b"\x00")
+
+
+def test_bad_json_raises():
+    header = b"not json at all"
+    with pytest.raises(WireProtocolError):
+        wire.decode_payload(struct.pack(">I", len(header)) + header)
+
+
+def test_bad_dtype_descriptor_raises():
+    import json
+
+    header = json.dumps(
+        {"body": None, "arrays": [{"dtype": "V8", "shape": [1]}]}
+    ).encode()
+    payload = struct.pack(">I", len(header)) + header + b"\x00" * 8
+    with pytest.raises(WireProtocolError):
+        wire.decode_payload(payload)
+
+
+def test_negative_shape_raises():
+    import json
+
+    header = json.dumps(
+        {"body": None, "arrays": [{"dtype": "<f8", "shape": [-1]}]}
+    ).encode()
+    with pytest.raises(WireProtocolError):
+        wire.decode_payload(struct.pack(">I", len(header)) + header)
+
+
+def test_unknown_version_raises():
+    frame = bytearray(wire.encode_frame(wire.FRAME_PING, b""))
+    frame[4] = wire.WIRE_VERSION + 1
+    with pytest.raises(WireProtocolError, match="version"):
+        wire._parse_header(bytes(frame[:6]), wire.MAX_FRAME_BYTES)
+
+
+def test_unknown_frame_type_raises():
+    header = struct.pack(">IBB", 0, wire.WIRE_VERSION, 200)
+    with pytest.raises(WireProtocolError, match="frame type"):
+        wire._parse_header(header, wire.MAX_FRAME_BYTES)
+
+
+def test_oversized_length_prefix_rejected_before_allocation():
+    # 3 GiB length prefix: must be refused from the 6 header bytes alone.
+    header = struct.pack(">IBB", 3 * 1024**3, wire.WIRE_VERSION, wire.FRAME_CALL)
+    with pytest.raises(WireProtocolError, match="bound"):
+        wire._parse_header(header, wire.MAX_FRAME_BYTES)
+
+
+# ----------------------------------------------------------------- typed errors
+
+
+def test_known_error_roundtrips_as_itself():
+    decoded = wire.decode_error(wire.encode_error(EngineOverloadError("queue full")))
+    assert isinstance(decoded, EngineOverloadError)
+    assert "queue full" in str(decoded)
+
+
+def test_configuration_error_roundtrips():
+    decoded = wire.decode_error(wire.encode_error(ConfigurationError("bad op")))
+    assert isinstance(decoded, ConfigurationError)
+
+
+def test_unknown_error_becomes_remote_judge_error():
+    decoded = wire.decode_error(wire.encode_error(ValueError("boom")))
+    assert isinstance(decoded, RemoteJudgeError)
+    assert "ValueError" in str(decoded)
+    assert "boom" in str(decoded)
+
+
+def test_hostile_error_type_cannot_escape_repro_errors():
+    # A frame naming a non-exception attribute of repro.errors must not be
+    # instantiated as one; it degrades to RemoteJudgeError.
+    payload = wire.encode_payload({"type": "annotations", "message": "x"})
+    decoded = wire.decode_error(payload)
+    assert isinstance(decoded, RemoteJudgeError)
+
+
+# ----------------------------------------------------------------- socket paths
+
+
+def _socket_pair():
+    left, right = socket.socketpair()
+    left.settimeout(5.0)
+    right.settimeout(5.0)
+    return left, right
+
+
+def test_send_recv_frame_over_socket():
+    left, right = _socket_pair()
+    try:
+        payload = wire.encode_payload({"op": "ping"}, [np.arange(3, dtype=np.float64)])
+        wire.send_frame(left, wire.FRAME_CALL, payload)
+        frame_type, received = wire.recv_frame(right)
+        assert frame_type == wire.FRAME_CALL
+        assert received == payload
+    finally:
+        left.close()
+        right.close()
+
+
+def test_clean_eof_at_frame_boundary_is_none():
+    left, right = _socket_pair()
+    try:
+        wire.send_frame(left, wire.FRAME_PING)
+        left.close()
+        assert wire.recv_frame(right) == (wire.FRAME_PING, b"")
+        assert wire.recv_frame(right) is None
+    finally:
+        right.close()
+
+
+def test_disconnect_mid_header_raises_promptly():
+    left, right = _socket_pair()
+    try:
+        left.sendall(wire.encode_frame(wire.FRAME_PING)[:3])  # half a header
+        left.close()
+        with pytest.raises(WireProtocolError, match="mid-frame"):
+            wire.recv_frame(right)
+    finally:
+        right.close()
+
+
+def test_disconnect_mid_payload_raises_promptly():
+    left, right = _socket_pair()
+    try:
+        frame = wire.encode_frame(wire.FRAME_CALL, b"x" * 1000)
+        left.sendall(frame[: len(frame) - 400])
+        left.close()
+        with pytest.raises(WireProtocolError, match="mid-frame"):
+            wire.recv_frame(right)
+    finally:
+        right.close()
+
+
+def test_recv_frame_honours_max_frame_bytes():
+    left, right = _socket_pair()
+    try:
+        wire.send_frame(left, wire.FRAME_CALL, b"x" * 4096)
+        with pytest.raises(WireProtocolError, match="bound"):
+            wire.recv_frame(right, max_frame_bytes=1024)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_async_reader_matches_sync_semantics():
+    import asyncio
+
+    async def scenario():
+        reader = asyncio.StreamReader()
+        payload = wire.encode_payload({"op": "x"})
+        reader.feed_data(wire.encode_frame(wire.FRAME_RESULT, payload))
+        frame_type, received = await wire.read_frame_async(reader)
+        assert frame_type == wire.FRAME_RESULT
+        assert received == payload
+
+        # clean EOF at a boundary -> None
+        reader.feed_eof()
+        assert await wire.read_frame_async(reader) is None
+
+        # EOF mid-header -> typed error
+        broken = asyncio.StreamReader()
+        broken.feed_data(b"\x00\x00\x00")
+        broken.feed_eof()
+        try:
+            await wire.read_frame_async(broken)
+        except WireProtocolError:
+            pass
+        else:
+            raise AssertionError("mid-header EOF did not raise")
+
+        # EOF mid-payload -> typed error
+        broken = asyncio.StreamReader()
+        broken.feed_data(wire.encode_frame(wire.FRAME_CALL, b"abcdef")[:-2])
+        broken.feed_eof()
+        try:
+            await wire.read_frame_async(broken)
+        except WireProtocolError:
+            pass
+        else:
+            raise AssertionError("mid-payload EOF did not raise")
+
+    asyncio.run(scenario())
+
+
+# ------------------------------------------------------------------- fuzz loop
+
+
+def test_payload_decoder_fuzz_never_hangs_or_crashes():
+    """Mutated payload bytes either decode or raise WireProtocolError.
+
+    Anything else — a segfault-adjacent numpy error, a KeyError, an unbounded
+    allocation — is a decoder bug.  Seeded, so failures reproduce.
+    """
+    rng = np.random.default_rng(20260808)
+    seeds = [
+        wire.encode_payload({"op": "gather", "profiles": [1, 2, 3]}),
+        wire.encode_payload(None, [np.arange(32, dtype=np.float64).reshape(4, 8)]),
+        wire.encode_payload({"k": "v"}, [np.arange(3, dtype=np.int32), np.zeros(2)]),
+        wire.encode_error(EngineOverloadError("full")),
+    ]
+    for trial in range(300):
+        base = bytearray(seeds[trial % len(seeds)])
+        mutation = trial % 5
+        if mutation == 0:  # truncate
+            base = base[: int(rng.integers(0, len(base)))]
+        elif mutation == 1:  # flip random bytes
+            for _ in range(int(rng.integers(1, 6))):
+                base[int(rng.integers(len(base)))] = int(rng.integers(256))
+        elif mutation == 2:  # append junk
+            base.extend(rng.integers(0, 256, size=int(rng.integers(1, 40))).astype(np.uint8).tobytes())
+        elif mutation == 3:  # scramble the JSON length prefix
+            base[0:4] = struct.pack(">I", int(rng.integers(0, 2**31)))
+        else:  # random garbage of a plausible size
+            base = bytearray(rng.integers(0, 256, size=int(rng.integers(0, 200))).astype(np.uint8).tobytes())
+        try:
+            body, arrays = wire.decode_payload(bytes(base))
+        except WireProtocolError:
+            pass  # the only acceptable failure
+        else:
+            assert isinstance(arrays, list)
+
+
+def test_frame_stream_fuzz_fails_typed_and_promptly():
+    """A peer writing garbage mid-stream must produce a typed error, fast."""
+    rng = np.random.default_rng(99)
+    for trial in range(20):
+        left, right = _socket_pair()
+        try:
+            good = wire.encode_frame(wire.FRAME_CALL, wire.encode_payload({"t": trial}))
+            junk = rng.integers(0, 256, size=int(rng.integers(1, 64))).astype(np.uint8).tobytes()
+            cut = int(rng.integers(0, len(good)))
+
+            def peer(sock=left, prefix=good[:cut], garbage=junk):
+                sock.sendall(prefix + garbage)
+                sock.close()
+
+            thread = threading.Thread(target=peer)
+            thread.start()
+            try:
+                while True:  # drain until EOF or a typed failure
+                    if wire.recv_frame(right) is None:
+                        break
+            except ReproError:
+                pass
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()
+        finally:
+            left.close()
+            right.close()

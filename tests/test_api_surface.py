@@ -35,6 +35,7 @@ class TestExportedNames:
             "ClusterMetricsSnapshot",
             "MicroBatcher",
             "ShardedEngine",
+            "WorkerPool",
             "shard_index",
         ]
         for name in repro.cluster.__all__:
