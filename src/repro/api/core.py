@@ -51,17 +51,28 @@ from repro.errors import ConfigurationError
 
 @dataclass(frozen=True)
 class CallCacheStats:
-    """One call's own cache traffic (never contaminated by concurrent callers)."""
+    """One call's own cache traffic (never contaminated by concurrent callers).
+
+    ``invalidated`` counts the cache rows dropped by explicit
+    ``invalidate``/``invalidate_stale`` calls that this gather observed —
+    each engine drains its not-yet-reported invalidation count into the next
+    gather's stats, so a request served right after a profile mutation
+    carries the invalidation traffic that preceded it (the micro-batcher
+    processes invalidations first in a flush; the flush's requests then
+    account them).
+    """
 
     hits: int
     misses: int
     featurized: int
+    invalidated: int = 0
 
     def __add__(self, other: "CallCacheStats") -> "CallCacheStats":
         return CallCacheStats(
             hits=self.hits + other.hits,
             misses=self.misses + other.misses,
             featurized=self.featurized + other.featurized,
+            invalidated=self.invalidated + other.invalidated,
         )
 
 
@@ -290,6 +301,7 @@ class JudgementCore:
                 threshold=thresholds[index],
                 cache_hits=stats[index].hits,
                 cache_misses=stats[index].misses,
+                cache_invalidated=stats[index].invalidated,
                 elapsed_ms=elapsed_ms,
             )
             for index in range(len(requests))

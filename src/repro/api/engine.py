@@ -32,6 +32,7 @@ from repro.api.core import CallCacheStats, JudgementCore
 from repro.api.messages import JudgeRequest, JudgeResponse
 from repro.core.protocols import (
     ProfileKey,
+    RevisionedKeyIndex,
     featurizer_dim,
     profile_key,
 )
@@ -50,6 +51,8 @@ class EngineCacheInfo:
     maxsize: int
     #: Total profile rows pushed through the featurizer so far.
     featurized: int
+    #: Rows dropped by explicit ``invalidate``/``invalidate_stale`` calls.
+    invalidated: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -65,7 +68,7 @@ class EngineCacheInfo:
         summed counters.  An empty iterable merges to the all-zero snapshot
         (whose ``hit_rate`` is 0.0, matching a cache that saw no lookups).
         """
-        hits = misses = evictions = size = maxsize = featurized = 0
+        hits = misses = evictions = size = maxsize = featurized = invalidated = 0
         for info in infos:
             hits += info.hits
             misses += info.misses
@@ -73,6 +76,7 @@ class EngineCacheInfo:
             size += info.size
             maxsize += info.maxsize
             featurized += info.featurized
+            invalidated += info.invalidated
         return cls(
             hits=hits,
             misses=misses,
@@ -80,6 +84,7 @@ class EngineCacheInfo:
             size=size,
             maxsize=maxsize,
             featurized=featurized,
+            invalidated=invalidated,
         )
 
 
@@ -134,6 +139,10 @@ class ColocationEngine:
             explicit_threshold=threshold,
         )
         self._cache: OrderedDict[ProfileKey, np.ndarray] = OrderedDict()
+        #: Per-uid index over resident keys: answers ``invalidate(uids)`` /
+        #: ``invalidate_stale()`` in O(rows dropped) and detects rows a
+        #: fresher revision supersedes.  Mutated only under the lock.
+        self._index = RevisionedKeyIndex()
         #: Guards the cache and its counters.  Featurization itself runs
         #: outside the lock so concurrent callers only serialise on the
         #: bookkeeping, not on the network forward.
@@ -142,6 +151,13 @@ class ColocationEngine:
         self._misses = 0
         self._evictions = 0
         self._featurized = 0
+        self._invalidations = 0
+        #: Invalidated-row count not yet reported by a gather call: drained
+        #: into the next call's :class:`CallCacheStats`, so typed responses
+        #: surface the invalidation traffic that preceded them (the batcher
+        #: processes invalidations first in a flush; the flush's serves then
+        #: account them).
+        self._pending_invalidated = 0
 
     # --------------------------------------------------------------- plumbing
     @classmethod
@@ -229,15 +245,75 @@ class ColocationEngine:
                     key = profile_key(profile)
                     resolved[key] = row
                     if self.cache_size > 0:
-                        # Copy: the row is a view into the whole featurized batch,
-                        # and caching the view would pin that batch in memory.
-                        self._cache[key] = np.array(row, copy=True)
-                        self._cache.move_to_end(key)
-                        while len(self._cache) > self.cache_size:
-                            self._cache.popitem(last=False)
-                            self._evictions += 1
-        stats = CallCacheStats(hits=call_hits, misses=len(missing), featurized=len(missing))
+                        self._insert_row_locked(key, row)
+        with self._lock:
+            call_invalidated = self._pending_invalidated
+            self._pending_invalidated = 0
+        stats = CallCacheStats(
+            hits=call_hits,
+            misses=len(missing),
+            featurized=len(missing),
+            invalidated=call_invalidated,
+        )
         return np.stack([resolved[key] for key in keys]), stats
+
+    def _insert_row_locked(self, key: ProfileKey, row: np.ndarray) -> None:
+        """Insert one row under the lock, indexing it and enforcing the bound.
+
+        Insertion never drops other revisions of the same user: with
+        revision-exact keys every resident row is correct for its own key,
+        and older generations stay legitimately queryable (timeline replay,
+        the sliding window's not-yet-expired profiles).  Reclaiming dead
+        revisions is the caller's explicit decision — :meth:`invalidate` /
+        :meth:`invalidate_stale` — not an insert side effect.
+        """
+        # Copy: the row is a view into the whole featurized batch, and
+        # caching the view would pin that batch in memory.
+        self._cache[key] = np.array(row, copy=True)
+        self._cache.move_to_end(key)
+        self._index.register(key)
+        while len(self._cache) > self.cache_size:
+            evicted, _ = self._cache.popitem(last=False)
+            self._index.discard(evicted)
+            self._evictions += 1
+
+    # ------------------------------------------------------------ invalidation
+    def invalidate(self, uids: Iterable[int]) -> int:
+        """Drop every cached feature row of the given users; returns rows dropped.
+
+        The live-mutation hook: a user whose visit history changed outside
+        the revision-stamped path (or whose old rows should be reclaimed
+        eagerly) gets all resident rows — any timestamp, any revision —
+        removed, so the next lookup re-featurizes.  Revision-exact keys
+        already prevent *serving* a stale row; invalidation reclaims the
+        memory and keeps ``cache_info`` honest about live users.
+        """
+        with self._lock:
+            dropped = 0
+            for key in self._index.keys_of(uids):
+                if self._cache.pop(key, None) is not None:
+                    dropped += 1
+                self._index.discard(key)
+            self._invalidations += dropped
+            self._pending_invalidated += dropped
+            return dropped
+
+    def invalidate_stale(self) -> int:
+        """Drop resident rows superseded by a higher observed revision.
+
+        Unrevisioned rows (profiles built outside the builders) are never
+        dropped — they carry no ordering to judge staleness by.
+        Returns the rows dropped.
+        """
+        with self._lock:
+            dropped = 0
+            for key in self._index.stale_keys():
+                if self._cache.pop(key, None) is not None:
+                    dropped += 1
+                self._index.discard(key)
+            self._invalidations += dropped
+            self._pending_invalidated += dropped
+            return dropped
 
     def warm(self, profiles: list[Profile]) -> int:
         """Pre-featurize profiles into the cache; returns rows featurized.
@@ -260,12 +336,14 @@ class ColocationEngine:
                 size=len(self._cache),
                 maxsize=self.cache_size,
                 featurized=self._featurized,
+                invalidated=self._invalidations,
             )
 
     def clear_cache(self) -> None:
         """Drop every cached feature row (keeps the counters)."""
         with self._lock:
             self._cache.clear()
+            self._index.clear()
 
     def export_cache(self) -> dict[ProfileKey, np.ndarray]:
         """Copy the cached feature rows, LRU order preserved (coldest first).
@@ -291,11 +369,7 @@ class ColocationEngine:
             return 0
         with self._lock:
             for key, row in rows.items():
-                self._cache[key] = np.array(row, copy=True)
-                self._cache.move_to_end(key)
-                while len(self._cache) > self.cache_size:
-                    self._cache.popitem(last=False)
-                    self._evictions += 1
+                self._insert_row_locked(key, row)
             return sum(1 for key in rows if key in self._cache)
 
     # -------------------------------------------------------------- judgement

@@ -83,6 +83,9 @@ class JudgeResponse:
     #: without a feature-level interface).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Cache rows dropped by ``invalidate``/``invalidate_stale`` calls this
+    #: request's gather observed (invalidation traffic preceding it).
+    cache_invalidated: int = 0
     #: Wall-clock time spent inside the engine, in milliseconds.
     elapsed_ms: float = 0.0
 
@@ -94,6 +97,7 @@ class JudgeResponse:
             "threshold": self.threshold,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "cache_invalidated": self.cache_invalidated,
             "elapsed_ms": self.elapsed_ms,
         }
 
@@ -106,6 +110,7 @@ class JudgeResponse:
             threshold=float(data.get("threshold", 0.5)),
             cache_hits=int(data.get("cache_hits", 0)),
             cache_misses=int(data.get("cache_misses", 0)),
+            cache_invalidated=int(data.get("cache_invalidated", 0)),
             elapsed_ms=float(data.get("elapsed_ms", 0.0)),
         )
 

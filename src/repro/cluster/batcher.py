@@ -24,7 +24,10 @@ request), so the serving tier's front door goes *through* the batcher
 instead of around it.  The batcher itself speaks the engine surface
 (``predict_proba`` / ``probability_matrix`` / ``warm`` / ``serve`` plus the
 ``registry`` / ``judge`` / ``threshold`` / ``cache_info`` pass-throughs), so
-every :mod:`repro.service` application can be fronted by one.
+every :mod:`repro.service` application can be fronted by one.  Cache
+invalidations (``submit_invalidate`` / ``invalidate_stale``) queue like any
+other request but are processed *first* in their flush, so a profile
+mutation always lands before the requests flushed alongside it gather rows.
 
 Results come back as :class:`concurrent.futures.Future`; the ``score`` /
 ``probability_matrix`` / ``warm`` / ``serve`` convenience wrappers submit
@@ -60,8 +63,9 @@ from repro.errors import ConfigurationError, EngineOverloadError
 class _Pending:
     """One enqueued request awaiting the next flush."""
 
-    kind: str  # "score" | "matrix" | "warm" | "serve"
-    payload: object  # pairs/profiles list, or the JudgeRequest (serve)
+    kind: str  # "score" | "matrix" | "warm" | "serve" | "invalidate"
+    payload: object  # pairs/profiles list, the JudgeRequest (serve), or
+    # ("uids", [uid, ...]) / ("stale", None) for invalidations
     weight: int  # pairs (score/serve) or profiles (matrix/warm) — the batch budget
     future: Future = field(default_factory=Future)
     enqueued: float = field(default_factory=time.perf_counter)
@@ -247,6 +251,33 @@ class MicroBatcher:
             return future
         return self._submit("serve", request, len(request.pairs))
 
+    def submit_invalidate(self, uids: list[int]) -> Future:
+        """Queue a cache invalidation for the given users; resolves to rows
+        dropped.
+
+        Invalidations are processed **first** in their flush, before any
+        score/serve gather in the same batch touches the cache — a mutation
+        observed before a flush cannot lose the race against requests queued
+        alongside it, and a request whose profile revision was superseded
+        re-gathers fresh rows instead of reading dropped ones.
+        """
+        if not hasattr(self.engine, "invalidate"):
+            raise ConfigurationError(
+                "the engine does not expose invalidate(uids); "
+                "wrap the judge in a ColocationEngine, ShardedEngine or WorkerPool"
+            )
+        uids = [int(uid) for uid in uids]
+        return self._submit("invalidate", ("uids", uids), len(uids))
+
+    def submit_invalidate_stale(self) -> Future:
+        """Queue a superseded-revision sweep; resolves to rows dropped."""
+        if not hasattr(self.engine, "invalidate_stale"):
+            raise ConfigurationError(
+                "the engine does not expose invalidate_stale(); "
+                "wrap the judge in a ColocationEngine, ShardedEngine or WorkerPool"
+            )
+        return self._submit("invalidate", ("stale", None), 1)
+
     def score(self, pairs: list[Pair]) -> np.ndarray:
         """Submit and wait: co-location probability per pair."""
         return self.submit_score(pairs).result()
@@ -267,6 +298,14 @@ class MicroBatcher:
     def serve(self, request: JudgeRequest) -> JudgeResponse:
         """Submit and wait: answer one typed judgement request."""
         return self.submit_serve(request).result()
+
+    def invalidate(self, uids: list[int]) -> int:
+        """Submit and wait: drop cached rows of the given users."""
+        return self.submit_invalidate(uids).result()
+
+    def invalidate_stale(self) -> int:
+        """Submit and wait: sweep superseded-revision rows from the cache."""
+        return self.submit_invalidate_stale().result()
 
     # ----------------------------------------------------- engine pass-throughs
     @property
@@ -380,6 +419,21 @@ class MicroBatcher:
         depth = self.queue_depth
         started = time.perf_counter()
         try:
+            # Invalidations first: a flush is the batcher's unit of ordering,
+            # and a mutation queued before (or alongside) a request must win —
+            # the request's gather then repopulates fresh rows instead of the
+            # flush re-reading rows the caller already declared dead.
+            for pending in batch:
+                if pending.kind != "invalidate":
+                    continue
+                mode, target = pending.payload
+                if mode == "stale":
+                    dropped = self.engine.invalidate_stale()
+                else:
+                    dropped = self.engine.invalidate(target)
+                self._observe("observe_invalidation", dropped)
+                pending.future.set_result(int(dropped))
+
             score_requests = [p for p in batch if p.kind == "score"]
             if score_requests:
                 all_pairs: list[Pair] = []
@@ -457,4 +511,5 @@ _EMPTY_RESULTS = {
     "score": lambda: np.zeros(0),
     "matrix": lambda: np.zeros((0, 0)),
     "warm": lambda: 0,
+    "invalidate": lambda: 0,
 }

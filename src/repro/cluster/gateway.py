@@ -22,7 +22,10 @@ surface (``predict_proba`` / ``predict`` / ``probability_matrix`` / ``serve``
 / ``serve_batch`` / ``warm`` / ``features`` / ``cache_info`` / ``threshold``)
 is the engine surface — ``resolve_engine`` passes a pool through and any
 :mod:`repro.service` application, or a :class:`repro.cluster.MicroBatcher`,
-can sit on top unchanged.
+can sit on top unchanged.  Cache invalidation is a first-class surface too:
+:meth:`WorkerPool.invalidate` routes ``INVALIDATE`` frames to owner workers
+and purges the gateway's retained warm-start rows, so neither a live worker
+nor a respawned one can serve a superseded profile revision.
 
 **Failure model.**  A worker dying (crash, kill, broken socket) fails the
 call in flight — and every call queued behind it — *promptly* with
@@ -56,7 +59,12 @@ from repro.cluster import wire
 from repro.cluster.metrics import ClusterMetrics
 from repro.cluster.sharded import route_snapshot_rows, shard_index
 from repro.cluster.worker import save_judge_bundle, worker_main
-from repro.core.protocols import ProfileKey, profile_key
+from repro.core.protocols import (
+    ProfileKey,
+    key_revision,
+    profile_key,
+    superseded_keys,
+)
 from repro.data.records import Pair, Profile
 from repro.errors import ConfigurationError, WireProtocolError, WorkerCrashError
 
@@ -312,10 +320,10 @@ class WorkerPool:
                     pass  # a cold respawned worker is still a working worker
             return replacement
 
-    def _observe(self, hook: str) -> None:
+    def _observe(self, hook: str, *args) -> None:
         """Metrics must never break serving (mirrors MicroBatcher._observe)."""
         try:
-            getattr(self.metrics, hook)()
+            getattr(self.metrics, hook)(*args)
         except Exception:
             pass
 
@@ -361,9 +369,19 @@ class WorkerPool:
                 )
             return frame
 
-    async def _request(self, handle: _WorkerHandle, op: str, body: dict, arrays=()):
-        payload = wire.encode_payload({**body, "op": op}, arrays)
-        frame_type, response = await self._roundtrip(handle, wire.FRAME_CALL, payload)
+    async def _request(
+        self,
+        handle: _WorkerHandle,
+        op: str,
+        body: dict,
+        arrays=(),
+        frame: int = wire.FRAME_CALL,
+    ):
+        if frame == wire.FRAME_CALL:
+            payload = wire.encode_payload({**body, "op": op}, arrays)
+        else:  # dedicated frames (INVALIDATE) carry their body verbatim
+            payload = wire.encode_payload(body, arrays)
+        frame_type, response = await self._roundtrip(handle, frame, payload)
         if frame_type == wire.FRAME_ERROR:
             # A typed worker-side error: the worker is alive and the
             # connection stays usable — EngineOverloadError and friends
@@ -377,9 +395,16 @@ class WorkerPool:
             ) from exc
         return wire.decode_payload(response)
 
-    def _request_sync(self, handle: _WorkerHandle, op: str, body: dict, arrays=()):
+    def _request_sync(
+        self,
+        handle: _WorkerHandle,
+        op: str,
+        body: dict,
+        arrays=(),
+        frame: int = wire.FRAME_CALL,
+    ):
         return asyncio.run_coroutine_threadsafe(
-            self._request(handle, op, body, arrays), self._loop
+            self._request(handle, op, body, arrays, frame=frame), self._loop
         ).result(self.call_timeout)
 
     def _call(self, index: int, op: str, body: dict, arrays=()):
@@ -458,6 +483,7 @@ class WorkerPool:
                 hits=int(body["hits"]),
                 misses=int(body["misses"]),
                 featurized=int(body["featurized"]),
+                invalidated=int(body.get("invalidated", 0)),
             )
             if rows is None:
                 rows = np.empty(
@@ -532,7 +558,10 @@ class WorkerPool:
         )
         exports = []
         for index, (body, arrays) in enumerate(results):
-            keys = [(int(k[0]), float(k[1]), str(k[2]), int(k[3])) for k in body["keys"]]
+            keys = [
+                (int(k[0]), float(k[1]), str(k[2]), int(k[3]), int(k[4]))
+                for k in body["keys"]
+            ]
             rows = arrays[0] if arrays else np.zeros((0, 0))
             export = {key: np.array(row, copy=True) for key, row in zip(keys, rows)}
             self._retained[index] = export
@@ -541,7 +570,7 @@ class WorkerPool:
 
     @staticmethod
     def _restore_body(rows: dict[ProfileKey, np.ndarray]) -> dict:
-        return {"keys": [[k[0], k[1], k[2], k[3]] for k in rows]}
+        return {"keys": [[k[0], k[1], k[2], k[3], key_revision(k)] for k in rows]}
 
     def restore(self, snapshot: tuple[dict[ProfileKey, np.ndarray], ...]) -> int:
         """Repopulate worker caches from a snapshot; returns rows kept.
@@ -559,6 +588,64 @@ class WorkerPool:
             calls.append((index, "restore", self._restore_body(rows), arrays))
         results = self._call_all(calls)
         return sum(int(body["imported"]) for body, _ in results)
+
+    def _invalidate_worker(self, index: int, body: dict) -> int:
+        """One INVALIDATE frame to one worker; rows dropped there.
+
+        A dead worker answers 0 rather than failing the sweep: its retained
+        warm-start rows were already purged gateway-side, which is the part
+        that matters — a respawn cannot resurrect the stale rows.
+        """
+        try:
+            handle = self._ensure_worker(index)
+            response, _ = self._request_sync(
+                handle, "invalidate", body, (), frame=wire.FRAME_INVALIDATE
+            )
+        except WorkerCrashError:
+            return 0
+        return int(response.get("invalidated", 0))
+
+    def invalidate(self, uids: Iterable[int]) -> int:
+        """Drop every cached feature row of the given users, pool-wide.
+
+        Purges the gateway's retained snapshot rows for **all** workers first
+        (so a later respawn warm-start cannot restore them), then sends the
+        owner worker of each uid an ``INVALIDATE`` frame.  Returns rows
+        dropped inside live workers.
+        """
+        uid_set = {int(uid) for uid in uids}
+        if not uid_set or self._closed:
+            return 0
+        for retained in self._retained:
+            if retained:
+                for key in [k for k in retained if k[0] in uid_set]:
+                    del retained[key]
+        groups: dict[int, list[int]] = {}
+        for uid in sorted(uid_set):
+            groups.setdefault(shard_index(uid, self.num_workers), []).append(uid)
+        dropped = sum(
+            self._invalidate_worker(owner, {"uids": group})
+            for owner, group in sorted(groups.items())
+        )
+        if dropped:
+            self._observe("observe_invalidation", dropped)
+        return dropped
+
+    def invalidate_stale(self) -> int:
+        """Sweep superseded-revision rows from every worker (and retained rows)."""
+        if self._closed:
+            return 0
+        for retained in self._retained:
+            if retained:
+                for key in superseded_keys(retained):
+                    retained.pop(key, None)
+        dropped = sum(
+            self._invalidate_worker(index, {"stale": True})
+            for index in range(self.num_workers)
+        )
+        if dropped:
+            self._observe("observe_invalidation", dropped)
+        return dropped
 
     # ---------------------------------------------------------------- liveness
     def ping(self, index: int) -> bool:

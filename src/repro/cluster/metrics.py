@@ -56,6 +56,9 @@ class ClusterMetricsSnapshot:
     #: and respawns the gateway performed.  Always 0 for in-process tiers.
     worker_deaths: int = 0
     worker_respawns: int = 0
+    #: Cache rows dropped by explicit invalidation calls routed through the
+    #: batcher (profile mutations superseding cached feature rows).
+    invalidated_rows: int = 0
 
     def format(self) -> str:
         """A compact multi-line operator report."""
@@ -71,6 +74,8 @@ class ClusterMetricsSnapshot:
             lines.append(
                 f"workers: deaths={self.worker_deaths} respawns={self.worker_respawns}"
             )
+        if self.invalidated_rows:
+            lines.append(f"invalidated_rows={self.invalidated_rows}")
         if self.cache is not None:
             lines.append(
                 f"cache: size={self.cache.size}/{self.cache.maxsize} "
@@ -111,6 +116,7 @@ class ClusterMetrics:
         self._last_queue_depth = 0
         self._worker_deaths = 0
         self._worker_respawns = 0
+        self._invalidated_rows = 0
 
     # ------------------------------------------------------------ observation
     def observe_flush(
@@ -154,6 +160,11 @@ class ClusterMetrics:
         with self._lock:
             self._worker_respawns += 1
 
+    def observe_invalidation(self, rows: int) -> None:
+        """Record cache rows dropped by one invalidation call."""
+        with self._lock:
+            self._invalidated_rows += int(rows)
+
     # --------------------------------------------------------------- snapshot
     def snapshot(self) -> ClusterMetricsSnapshot:
         """Freeze the current counters (and live cache statistics) into one view."""
@@ -168,6 +179,7 @@ class ClusterMetrics:
             queue_depth = self._last_queue_depth
             worker_deaths = self._worker_deaths
             worker_respawns = self._worker_respawns
+            invalidated_rows = self._invalidated_rows
         if latencies.size:
             p50, p90, p99 = (float(p) for p in np.percentile(latencies, (50, 90, 99)))
         else:
@@ -195,4 +207,5 @@ class ClusterMetrics:
             shard_caches=shard_caches,
             worker_deaths=worker_deaths,
             worker_respawns=worker_respawns,
+            invalidated_rows=invalidated_rows,
         )

@@ -50,14 +50,16 @@ from repro.data.records import Pair, Profile
 from repro.errors import ConfigurationError
 
 
-def shard_index(key: ProfileKey, num_shards: int) -> int:
-    """The owning shard of a profile key: a stable hash of its ``uid``.
+def shard_index(key: "ProfileKey | int", num_shards: int) -> int:
+    """The owning shard of a profile key (or bare uid): a stable uid hash.
 
     CRC-32 of the uid's canonical big-endian two's-complement bytes —
     deterministic across processes and platforms (builtin ``hash`` is salted
     per process), uniform enough for load spreading, and a function of the
     *user* only, so every profile version a user emits shares a shard with
-    its history.
+    its history.  A bare ``int`` routes identically to any key of that uid —
+    which is what lets ``invalidate(uids)`` find a user's owner without
+    having any of their profiles in hand.
 
     The encoding is variable-length with an 8-byte floor: every uid in the
     signed 64-bit range keeps the fixed 8-byte encoding (so snapshots taken
@@ -66,7 +68,7 @@ def shard_index(key: ProfileKey, num_shards: int) -> int:
     canonical encoding per integer, so any int routes stably instead of
     raising ``OverflowError``.
     """
-    uid = int(key[0])
+    uid = int(key) if isinstance(key, int) else int(key[0])
     # Minimal two's-complement width in bits (value bits + one sign bit),
     # floored at 64 so in-range uids keep the legacy 8-byte encoding.
     bits = (uid.bit_length() if uid >= 0 else (~uid).bit_length()) + 1
@@ -308,6 +310,22 @@ class ShardedEngine:
         """Drop every shard's cached feature rows (keeps the counters)."""
         for shard in self.shards:
             shard.clear_cache()
+
+    def invalidate(self, uids: Iterable[int]) -> int:
+        """Drop the given users' cached rows on their owner shards.
+
+        Each uid routes to its stable-hash owner — only that shard can hold
+        the user's rows, so invalidation never touches (or locks) the other
+        shards' caches.  Returns the total rows dropped.
+        """
+        groups: dict[int, list[int]] = {}
+        for uid in uids:
+            groups.setdefault(shard_index(int(uid), self.num_shards), []).append(int(uid))
+        return sum(self.shards[owner].invalidate(group) for owner, group in groups.items())
+
+    def invalidate_stale(self) -> int:
+        """Drop superseded-revision rows on every shard; returns rows dropped."""
+        return sum(shard.invalidate_stale() for shard in self.shards)
 
     def snapshot(self) -> tuple[dict[ProfileKey, np.ndarray], ...]:
         """Per-shard cache exports, index-aligned with :attr:`shards`."""

@@ -50,7 +50,9 @@ from repro import errors as errors_mod
 from repro.errors import ReproError, RemoteJudgeError, WireProtocolError
 
 #: Protocol generation; bumped on incompatible frame-format changes.
-WIRE_VERSION = 1
+#: Version 2: profile keys on the wire (snapshot/restore) grew a fifth
+#: ``revision`` element, and the ``INVALIDATE`` frame joined the protocol.
+WIRE_VERSION = 2
 
 #: Default bound on one frame's payload, enforced before allocation.
 MAX_FRAME_BYTES = 256 * 1024 * 1024
@@ -67,9 +69,19 @@ FRAME_ERROR = 4  #: a typed worker-side error: {"type", "message"}
 FRAME_PING = 5  #: heartbeat probe; payload echoed back verbatim
 FRAME_PONG = 6  #: heartbeat echo
 FRAME_SHUTDOWN = 7  #: gateway -> worker: finish up and exit
+FRAME_INVALIDATE = 8  #: gateway -> worker cache invalidation: {"uids" | "stale"}
 
 _KNOWN_FRAMES = frozenset(
-    (FRAME_HELLO, FRAME_CALL, FRAME_RESULT, FRAME_ERROR, FRAME_PING, FRAME_PONG, FRAME_SHUTDOWN)
+    (
+        FRAME_HELLO,
+        FRAME_CALL,
+        FRAME_RESULT,
+        FRAME_ERROR,
+        FRAME_PING,
+        FRAME_PONG,
+        FRAME_SHUTDOWN,
+        FRAME_INVALIDATE,
+    )
 )
 
 

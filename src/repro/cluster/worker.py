@@ -16,7 +16,9 @@ rows as raw numpy payloads plus the call's own cache traffic),
 ``serve_batch`` (the worker runs :class:`repro.api.JudgementCore.serve_batch`
 through its engine), ``warm`` / ``cache_info`` / ``threshold``, and
 ``snapshot`` / ``restore`` so a respawned worker warm-starts from its
-predecessor's cache export.
+predecessor's cache export.  A dedicated ``INVALIDATE`` frame drops cached
+rows by uid (or sweeps superseded revisions) without going through the CALL
+path, so the gateway can propagate profile mutations to every worker.
 
 Lifecycle: the worker exits cleanly on a ``SHUTDOWN`` frame, on EOF (the
 gateway closed or died — no orphan processes), and on ``SIGTERM``.  An
@@ -41,6 +43,7 @@ import sys
 import numpy as np
 
 from repro.cluster import wire
+from repro.core.protocols import key_revision
 from repro.errors import ConfigurationError, WireProtocolError
 
 #: Bundle manifest file name.
@@ -111,7 +114,10 @@ def _pairs_from(body: dict) -> list:
 
 
 def _keys_from(body: dict) -> list[tuple]:
-    return [(int(k[0]), float(k[1]), str(k[2]), int(k[3])) for k in body.get("keys", [])]
+    return [
+        (int(k[0]), float(k[1]), str(k[2]), int(k[3]), int(k[4]))
+        for k in body.get("keys", [])
+    ]
 
 
 def handle_call(engine, payload: bytes) -> bytes:
@@ -128,7 +134,12 @@ def handle_call(engine, payload: bytes) -> bytes:
     if op == "gather":
         rows, stats = engine._resolve_features(_profiles_from(body))
         return wire.encode_payload(
-            {"hits": stats.hits, "misses": stats.misses, "featurized": stats.featurized},
+            {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "featurized": stats.featurized,
+                "invalidated": stats.invalidated,
+            },
             [rows],
         )
     if op == "features":
@@ -156,13 +167,14 @@ def handle_call(engine, payload: bytes) -> bytes:
                 "size": info.size,
                 "maxsize": info.maxsize,
                 "featurized": info.featurized,
+                "invalidated": info.invalidated,
             }
         )
     if op == "threshold":
         return wire.encode_payload({"threshold": float(engine.threshold)})
     if op == "snapshot":
         export = engine.export_cache()
-        keys = [[k[0], k[1], k[2], k[3]] for k in export]
+        keys = [[k[0], k[1], k[2], k[3], key_revision(k)] for k in export]
         rows = [np.stack(list(export.values()))] if export else []
         return wire.encode_payload({"keys": keys}, rows)
     if op == "restore":
@@ -175,6 +187,22 @@ def handle_call(engine, payload: bytes) -> bytes:
         imported = engine.import_cache(dict(zip(keys, rows)))
         return wire.encode_payload({"imported": imported})
     raise ConfigurationError(f"unknown worker operation {op!r}")
+
+
+def handle_invalidate(engine, payload: bytes) -> bytes:
+    """Decode one INVALIDATE payload, drop the rows, encode the RESULT payload.
+
+    The body is ``{"uids": [...]}`` for targeted invalidation or
+    ``{"stale": true}`` for a superseded-revision sweep.
+    """
+    body, _ = wire.decode_payload(payload)
+    if not isinstance(body, dict):
+        raise WireProtocolError(f"malformed invalidate body: {body!r}")
+    if body.get("stale"):
+        dropped = engine.invalidate_stale()
+    else:
+        dropped = engine.invalidate([int(uid) for uid in body.get("uids", [])])
+    return wire.encode_payload({"invalidated": int(dropped)})
 
 
 def serve_connection(sock, engine) -> None:
@@ -192,6 +220,14 @@ def serve_connection(sock, engine) -> None:
             return
         if frame_type == wire.FRAME_PING:
             wire.send_frame(sock, wire.FRAME_PONG, payload)
+            continue
+        if frame_type == wire.FRAME_INVALIDATE:
+            try:
+                result = handle_invalidate(engine, payload)
+            except Exception as exc:
+                wire.send_frame(sock, wire.FRAME_ERROR, wire.encode_error(exc))
+                continue
+            wire.send_frame(sock, wire.FRAME_RESULT, result)
             continue
         if frame_type != wire.FRAME_CALL:
             wire.send_frame(

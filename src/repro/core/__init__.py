@@ -21,15 +21,19 @@ language:
 
 from repro.core.protocols import (
     FEATURIZE_CHUNK,
+    UNREVISIONED,
     CoLocationJudge,
     FeatureSpaceJudge,
     ProfileKey,
+    RevisionedKeyIndex,
     TrainableApproach,
     featurize_in_chunks,
     featurizer_dim,
+    key_revision,
     pairwise_probability_matrix,
     profile_key,
     shared_poi_probability_matrix,
+    superseded_keys,
 )
 from repro.core.strategy import TrainingStrategy
 
@@ -39,10 +43,14 @@ __all__ = [
     "TrainableApproach",
     "TrainingStrategy",
     "ProfileKey",
+    "RevisionedKeyIndex",
     "FEATURIZE_CHUNK",
+    "UNREVISIONED",
+    "key_revision",
     "profile_key",
     "featurize_in_chunks",
     "featurizer_dim",
     "pairwise_probability_matrix",
     "shared_poi_probability_matrix",
+    "superseded_keys",
 ]

@@ -10,7 +10,7 @@ capability test in the serving layer.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Iterable, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -18,8 +18,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.data.dataset import ColocationDataset
     from repro.data.records import Pair, Profile
 
-#: The cache key identifying one profile's frozen HisRect feature vector.
-ProfileKey = tuple[int, float, str, int]
+#: The cache key identifying one profile's frozen HisRect feature vector:
+#: ``(uid, ts, content, len(visit_history), revision)``.  ``revision`` is the
+#: builder-stamped history revision (``-1`` for unstamped profiles).
+ProfileKey = tuple[int, float, str, int, int]
+
+#: Revision component of keys built from profiles without a stamped revision.
+UNREVISIONED = -1
 
 #: Profiles featurized per featurizer invocation (bounds autograd graph size).
 FEATURIZE_CHUNK = 64
@@ -81,14 +86,105 @@ def shared_poi_probability_matrix(poi_proba: np.ndarray) -> np.ndarray:
 
 
 def profile_key(profile: "Profile") -> ProfileKey:
-    """The feature-cache key: ``(uid, ts, content, len(visit_history))``.
+    """The feature-cache key: ``(uid, ts, content, len(visit_history), revision)``.
 
     The history length distinguishes profiles emitted at the same timestamp
     with the same tweet but a grown visit history (duplicate stream delivery
-    appends the visit between emissions), mirroring the featurizer's own
-    history-cache key.  Profiles sharing this key featurize identically.
+    appends the visit between emissions).  Length alone is not identity,
+    though: a full ``maxlen`` deque that drops its oldest visit and appends a
+    new one produces a *different* feature vector at an unchanged length, so
+    the key also carries the builder-stamped monotonic ``Profile.revision``
+    (``UNREVISIONED`` = -1 when the profile was built outside the builders and
+    falls back to length-based identity).  Profiles sharing this key
+    featurize identically.  ``uid`` stays the first element — shard routing
+    (:func:`repro.cluster.shard_index`) keys on ``key[0]``.
     """
-    return (profile.uid, profile.ts, profile.content, len(profile.visit_history))
+    revision = UNREVISIONED if profile.revision is None else int(profile.revision)
+    return (profile.uid, profile.ts, profile.content, len(profile.visit_history), revision)
+
+
+def key_revision(key: ProfileKey) -> int:
+    """The revision component of a profile key.
+
+    Legacy 4-tuple keys (snapshots exported before the revision element)
+    read as :data:`UNREVISIONED`, so they import and index cleanly — they
+    simply carry no ordering to judge staleness by.
+    """
+    return int(key[4]) if len(key) > 4 else UNREVISIONED
+
+
+def superseded_keys(keys: "Iterable[ProfileKey]") -> set[ProfileKey]:
+    """The stale subset of ``keys``: revisioned keys below their uid's maximum.
+
+    Unrevisioned keys (revision ``UNREVISIONED``) are never considered stale —
+    they carry no ordering information.  Shared by every cache that needs an
+    ``invalidate_stale`` sweep (engine rows, the worker pool's retained
+    snapshot rows).
+    """
+    latest: dict[int, int] = {}
+    materialized = list(keys)
+    for key in materialized:
+        revision = key_revision(key)
+        if revision >= 0 and revision > latest.get(key[0], UNREVISIONED):
+            latest[key[0]] = revision
+    return {
+        key
+        for key in materialized
+        if 0 <= key_revision(key) < latest.get(key[0], UNREVISIONED)
+    }
+
+
+class RevisionedKeyIndex:
+    """Per-uid index over resident :data:`ProfileKey` cache keys.
+
+    Serving caches (:class:`repro.api.ColocationEngine`, the judge-side
+    feature cache) keep one of these alongside their LRU so invalidation is
+    O(rows dropped), not O(cache): ``keys_of`` answers ``invalidate(uids)``
+    and ``stale_keys`` answers ``invalidate_stale()``.  Registration never
+    drops anything by itself — with revision-exact keys every resident row
+    is correct for its own key, and older generations stay legitimately
+    queryable (timeline replay, a sliding window's not-yet-expired
+    profiles); reclaiming them is the caller's explicit decision.
+    Not thread-safe — callers mutate it under their own cache lock.
+    """
+
+    def __init__(self) -> None:
+        self._by_uid: dict[int, set[ProfileKey]] = {}
+        self._latest: dict[int, int] = {}
+
+    def register(self, key: ProfileKey) -> None:
+        """Index a newly inserted key (and advance its uid's revision watermark)."""
+        uid, revision = key[0], key_revision(key)
+        self._by_uid.setdefault(uid, set()).add(key)
+        if revision > self._latest.get(uid, UNREVISIONED):
+            self._latest[uid] = revision
+
+    def discard(self, key: ProfileKey) -> None:
+        """Drop a key from the index (cache eviction or invalidation)."""
+        resident = self._by_uid.get(key[0])
+        if resident is not None:
+            resident.discard(key)
+            if not resident:
+                del self._by_uid[key[0]]
+
+    def keys_of(self, uids: "Iterable[int]") -> list[ProfileKey]:
+        """All resident keys belonging to the given uids."""
+        out: list[ProfileKey] = []
+        for uid in uids:
+            out.extend(self._by_uid.get(int(uid), ()))
+        return out
+
+    def stale_keys(self) -> list[ProfileKey]:
+        """Resident revisioned keys superseded by a higher observed revision."""
+        out: list[ProfileKey] = []
+        for uid, resident in self._by_uid.items():
+            latest = self._latest.get(uid, UNREVISIONED)
+            out.extend(k for k in resident if 0 <= key_revision(k) < latest)
+        return out
+
+    def clear(self) -> None:
+        """Forget every resident key (revision watermarks survive)."""
+        self._by_uid.clear()
 
 
 @runtime_checkable

@@ -44,6 +44,11 @@ class ProfileBuilder:
             )
         tweet = geo[tweet_index]
         history = store.visits_before(uid, tweet.ts)
+        # The profile's history revision is the number of visits the user had
+        # accumulated when the profile was built — the untruncated count, so a
+        # capped history that slides its window still advances the revision
+        # and agrees with OnlineProfileBuilder's per-ingest counter.
+        revision = len(history)
         if self.max_history is not None and len(history) > self.max_history:
             history = history[len(history) - self.max_history :] if self.max_history > 0 else ()
         poi = self.registry.locate(tweet.lat, tweet.lon)  # type: ignore[arg-type]
@@ -52,6 +57,7 @@ class ProfileBuilder:
             tweet=tweet,
             visit_history=history,
             pid=poi.pid if poi is not None else None,
+            revision=revision,
         )
 
     def build_all(self, store: TimelineStore) -> list[Profile]:

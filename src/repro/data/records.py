@@ -80,12 +80,23 @@ class Profile:
 
     ``pid`` is the POI identifier when the recent tweet is a POI tweet
     (labelled profile) and ``None`` otherwise (unlabelled profile).
+
+    ``revision`` is the monotonic per-user visit-history revision stamped by
+    the profile builders (:class:`repro.data.profiles.ProfileBuilder`,
+    :class:`repro.service.stream.OnlineProfileBuilder`): it increments every
+    time the user's history mutates, so two profiles whose histories differ
+    *always* differ in revision — even when a capped history drops its oldest
+    visit and appends a new one at unchanged length.  Serving caches key on
+    it (see :func:`repro.core.profile_key`).  ``None`` marks a profile built
+    outside the builders (tests, ad-hoc construction); such profiles fall
+    back to length-based identity.
     """
 
     uid: int
     tweet: Tweet
     visit_history: tuple[Visit, ...] = field(default_factory=tuple)
     pid: int | None = None
+    revision: int | None = None
 
     @property
     def ts(self) -> float:
@@ -113,7 +124,12 @@ class Profile:
         return self.pid is not None
 
     def without_history(self) -> "Profile":
-        """Copy of the profile with an empty visit history (Table 5 ablation)."""
+        """Copy of the profile with an empty visit history (Table 5 ablation).
+
+        The copy's history is a different history state, so it does not keep
+        the original's revision — it reverts to length-based identity and can
+        never collide with the original's cache rows.
+        """
         return Profile(uid=self.uid, tweet=self.tweet, visit_history=(), pid=self.pid)
 
     def without_content(self, placeholder: str = "") -> "Profile":
@@ -126,7 +142,13 @@ class Profile:
             lon=self.tweet.lon,
             true_pid=self.tweet.true_pid,
         )
-        return Profile(uid=self.uid, tweet=blank, visit_history=self.visit_history, pid=self.pid)
+        return Profile(
+            uid=self.uid,
+            tweet=blank,
+            visit_history=self.visit_history,
+            pid=self.pid,
+            revision=self.revision,
+        )
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,8 @@ from repro.features.content import (
 )
 from repro.features.history import (
     HistoricalVisitFeaturizer,
+    HistoryDeltaState,
+    HistoryDeltaTracker,
     HistoryFeatureConfig,
     OneHotHistoryFeaturizer,
 )
@@ -28,6 +30,8 @@ from repro.features.hisrect import (
 __all__ = [
     "HistoryFeatureConfig",
     "HistoricalVisitFeaturizer",
+    "HistoryDeltaState",
+    "HistoryDeltaTracker",
     "OneHotHistoryFeaturizer",
     "ContentEncoder",
     "ContentEncoderConfig",

@@ -37,6 +37,9 @@ from repro.nn.autograd import Tensor, concatenate
 from repro.nn.layers import MLP, Dropout, Linear, l2_normalize
 from repro.nn.module import Module
 
+#: Memo key of one ``Fv(r)`` row: ``(uid, ts, len(visit_history), revision)``.
+HistoryKey = tuple[int, float, int, int]
+
 
 @dataclass
 class HisRectConfig:
@@ -166,7 +169,7 @@ class HisRectFeaturizer(Module):
             rng=rng,
         )
         self.history_cache_size = self.HISTORY_CACHE_SIZE
-        self._history_cache: OrderedDict[tuple[int, float, int], np.ndarray] = OrderedDict()
+        self._history_cache: OrderedDict[HistoryKey, np.ndarray] = OrderedDict()
 
     # ----------------------------------------------------------------- pieces
     @property
@@ -186,14 +189,40 @@ class HisRectFeaturizer(Module):
         return cached
 
     @staticmethod
-    def _history_key(profile: Profile) -> tuple[int, float, int]:
-        return (profile.uid, profile.ts, len(profile.visit_history))
+    def _history_key(profile: Profile) -> HistoryKey:
+        """Memo key of ``Fv(r)``: ``(uid, ts, len, revision)``.
 
-    def _store_history_row(self, key: tuple[int, float, int], row: np.ndarray) -> None:
+        The builder-stamped revision (``-1`` when absent) keeps a capped
+        history that slid its window — same length, different visits — from
+        hitting the stale row, mirroring :func:`repro.core.profile_key`.
+        """
+        revision = -1 if profile.revision is None else int(profile.revision)
+        return (profile.uid, profile.ts, len(profile.visit_history), revision)
+
+    def _store_history_row(self, key: HistoryKey, row: np.ndarray) -> None:
         self._history_cache[key] = row
         self._history_cache.move_to_end(key)
         while len(self._history_cache) > self.history_cache_size:
             self._history_cache.popitem(last=False)
+
+    def warm_history_row(self, profile: Profile, row: np.ndarray) -> None:
+        """Seed the ``Fv(r)`` memo with an externally computed row.
+
+        The live-serving hook: :class:`repro.service.stream.StreamScorer`
+        computes the profile's history row incrementally
+        (:meth:`repro.features.history.HistoricalVisitFeaturizer.featurize_delta`
+        is bit-identical to the scratch batch path) and plants it here, so the
+        serving gather's cold miss skips the Eq. (1)-(2) distance kernel and
+        only runs the content encoder + combiner.
+        """
+        if not self.config.use_history:
+            return
+        if row.shape != (self.history_featurizer.feature_dim,):
+            raise ValueError(
+                f"history row has shape {row.shape}, "
+                f"expected ({self.history_featurizer.feature_dim},)"
+            )
+        self._store_history_row(self._history_key(profile), np.array(row, copy=True))
 
     def _history_rows(self, profiles: list[Profile]) -> np.ndarray:
         """The ``(B, |P|)`` history rows of a batch through the LRU memo.
@@ -203,8 +232,8 @@ class HisRectFeaturizer(Module):
         the result is right even when the batch outgrows the cache bound.
         """
         keys = [self._history_key(p) for p in profiles]
-        resolved: dict[tuple[int, float, int], np.ndarray] = {}
-        missing: dict[tuple[int, float, int], Profile] = {}
+        resolved: dict[HistoryKey, np.ndarray] = {}
+        missing: dict[HistoryKey, Profile] = {}
         for key, profile in zip(keys, profiles):
             if key in resolved or key in missing:
                 continue

@@ -27,6 +27,43 @@ bitwise-or-epsilon (within a few float64 ulps; the equivalence tests in
 ``tests/features/test_history_batch.py`` pin this to ``1e-9``).  Any change to
 one path must be mirrored in the other — the scalar loop is the spec, the
 batch path is the optimisation.
+
+Delta featurization contract
+----------------------------
+Live serving mutates one visit at a time, and recomputing a whole capped
+history per mutation wastes exactly the work the mutation did *not* change.
+The delta path splits Eq. (1)-(2) at the only seam the temporal decay allows:
+the **spatial** relevance row of a visit (``eps_d / (eps_d + d(v, p_i))``, or
+the one-hot indicator row) never changes once the visit exists, while the
+**temporal** weight ``eps_t / (eps_t + r.ts - v.ts)`` changes with every new
+reference timestamp.  The incremental state is therefore the per-visit
+relevance matrix, not the summed feature row:
+
+* ``visit_rows(visits)`` — the spatial relevance rows of a list of visits,
+  one kernel call, independent of any reference timestamp;
+* ``update_delta(prev, added, removed)`` — append the ``added`` visits' rows
+  and drop the ``removed`` oldest (a capped history evicting), touching only
+  the changed visits;
+* ``delta_row(state, ref_ts)`` — re-weight the retained rows by temporal
+  decay at ``ref_ts``, segment-sum and L2-normalise: O(|history|) cheap ops,
+  no distance/containment kernel;
+* ``featurize_delta(prev, added, removed, ref_ts=...)`` — the two above in
+  one call, returning ``(feature_row, new_state)``.
+
+Because ``visit_rows`` runs the *same* elementwise kernels as
+``featurize_batch`` (each visit's row is independent of its batch companions)
+and ``delta_row`` sums with the same ``np.add.reduceat``, the delta row is
+**bit-identical** to the scratch batch row for the same history — the tests
+pin ``<= 1e-9`` but the paths agree exactly, which is what lets
+:class:`repro.service.stream.StreamScorer` seed serving caches with delta
+rows without breaking the four-transport bit-for-bit parity contract.
+The **batched** read path (``delta_rows``, ``HistoryDeltaTracker.rows_for``)
+is the one deliberate exception: equal-length batches sum via one batched
+matmul instead of ``reduceat`` — an order of magnitude faster per tick — so
+batch rows may differ from scratch in summation order only (``<= 1e-9``
+pinned, ~1e-16 observed); callers that need bit-identity read per row.
+``HistoryDeltaTracker`` maintains the per-user states mirroring an
+:class:`repro.service.stream.OnlineProfileBuilder`'s capped deques.
 """
 
 from __future__ import annotations
@@ -35,7 +72,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.data.records import Profile
+from repro.data.records import Profile, Visit
 from repro.geo.poi import POIRegistry
 
 
@@ -86,6 +123,51 @@ def _normalize_rows(rows: np.ndarray, uniform: np.ndarray) -> np.ndarray:
     rows /= norms[:, None]
     rows[zero] = uniform
     return rows
+
+
+@dataclass
+class HistoryDeltaState:
+    """The incremental Eq. (1)-(2) state of one visit history.
+
+    ``ts[i]`` and ``rows[i]`` are the timestamp and spatial relevance row of
+    the ``i``-th retained visit, oldest first — exactly the order the batch
+    path sums in.  The state is reference-timestamp-free: temporal decay is
+    applied by :meth:`delta_row` at query time, which is what makes the state
+    reusable as the profile's recent tweet advances.
+    """
+
+    ts: np.ndarray
+    rows: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.ts)
+
+
+def _delta_update(
+    prev: HistoryDeltaState | None,
+    added_ts: np.ndarray,
+    added_rows: np.ndarray,
+    removed: int,
+    dimension: int,
+) -> HistoryDeltaState:
+    """Shared ``update_delta`` body: drop the ``removed`` oldest, append the new."""
+    if removed < 0:
+        raise ValueError("removed must be non-negative")
+    if prev is None:
+        ts = np.empty(0, dtype=np.float64)
+        rows = np.empty((0, dimension))
+    else:
+        ts, rows = prev.ts, prev.rows
+    if removed > len(ts):
+        raise ValueError(f"cannot remove {removed} visits from a history of {len(ts)}")
+    if removed:
+        ts, rows = ts[removed:], rows[removed:]
+    if len(added_ts):
+        ts = np.concatenate([ts, added_ts])
+        rows = np.concatenate([rows, added_rows])
+    # Slices/concatenations may share memory with ``prev`` — states are never
+    # mutated in place, so views are safe and keep eviction O(1) in copies.
+    return HistoryDeltaState(ts=ts, rows=rows)
 
 
 class HistoricalVisitFeaturizer:
@@ -162,6 +244,121 @@ class HistoricalVisitFeaturizer:
         out[~nonempty] = uniform
         return out
 
+    # ------------------------------------------------------------- delta path
+    def visit_rows(self, visits: "list[Visit]") -> np.ndarray:
+        """Spatial relevance rows ``w(v)`` for a list of visits, ``(V, |P|)``.
+
+        Runs the same elementwise kernel as :meth:`featurize_batch` before its
+        temporal re-weighting, so each row is bit-identical to the one the
+        scratch batch would compute for the same visit.
+        """
+        if not visits:
+            return np.empty((0, self.feature_dim))
+        lats = np.array([v.lat for v in visits], dtype=np.float64)
+        lons = np.array([v.lon for v in visits], dtype=np.float64)
+        rows = self.registry.distances_from_many(lats, lons)
+        rows += self.config.eps_d
+        np.divide(self.config.eps_d, rows, out=rows)
+        return rows
+
+    def empty_delta(self) -> HistoryDeltaState:
+        """The delta state of an empty visit history."""
+        return HistoryDeltaState(
+            ts=np.empty(0, dtype=np.float64), rows=np.empty((0, self.feature_dim))
+        )
+
+    def update_delta(
+        self,
+        prev: HistoryDeltaState | None,
+        added: "list[Visit]" = (),
+        removed: int = 0,
+    ) -> HistoryDeltaState:
+        """Apply a history mutation to the delta state, touching only the delta.
+
+        ``added`` visits are appended (one :meth:`visit_rows` kernel call for
+        just those visits); the ``removed`` oldest retained visits are dropped
+        (a capped history evicting).  ``prev=None`` starts from an empty
+        history.
+        """
+        added = list(added)
+        added_ts = np.array([v.ts for v in added], dtype=np.float64)
+        return _delta_update(prev, added_ts, self.visit_rows(added), removed, self.feature_dim)
+
+    def delta_row(self, state: HistoryDeltaState, ref_ts: float) -> np.ndarray:
+        """``Fv`` at reference timestamp ``ref_ts`` from the delta state.
+
+        Temporal decay, segment sum and normalisation only — no distance
+        kernel.  Bit-identical to :meth:`featurize_batch` on the equivalent
+        profile (same elementwise weighting, same ``np.add.reduceat`` sum).
+        """
+        uniform = _uniform_row(self.feature_dim)
+        if len(state) == 0:
+            return uniform
+        ages = np.maximum(0.0, ref_ts - state.ts)
+        temporal_weights = self.config.eps_t / (self.config.eps_t + ages)
+        weighted = state.rows * temporal_weights[:, None]
+        sums = np.add.reduceat(weighted, np.array([0]), axis=0)
+        return _normalize_rows(sums, uniform)[0]
+
+    def featurize_delta(
+        self,
+        prev: HistoryDeltaState | None,
+        added: "list[Visit]" = (),
+        removed: int = 0,
+        *,
+        ref_ts: float = 0.0,
+    ) -> tuple[np.ndarray, HistoryDeltaState]:
+        """Incrementally updated ``(feature_row, new_state)`` after a mutation.
+
+        Equivalent to rebuilding the profile and calling :meth:`featurize` /
+        :meth:`featurize_batch` from scratch (the scalar loop remains the
+        pinned reference), at the cost of the mutation instead of the history.
+        """
+        state = self.update_delta(prev, added, removed)
+        return self.delta_row(state, ref_ts), state
+
+    def delta_rows(
+        self, states: "list[HistoryDeltaState]", ref_ts: np.ndarray
+    ) -> np.ndarray:
+        """``Fv`` rows for a batch of delta states at per-state timestamps.
+
+        The batched :meth:`delta_row`: all retained relevance rows concatenate
+        into one matrix, temporal weights apply vectorially and the per-state
+        rows come out of one segment sum — the same shape of computation as
+        :meth:`featurize_batch` minus the distance kernel.  When every state
+        holds the same number of visits (the steady state of a capped live
+        workload) the segment sum becomes one batched matmul, an order of
+        magnitude faster than ``np.add.reduceat``; the matmul reassociates
+        the additions, so batch rows may differ from scratch in summation
+        order only — well inside the ``1e-9`` row tolerance the live-profile
+        bench pins (``delta_row`` / ``featurize_delta`` remain bit-identical).
+        """
+        out = np.empty((len(states), self.feature_dim))
+        if not states:
+            return out
+        uniform = _uniform_row(self.feature_dim)
+        counts = np.array([len(state) for state in states], dtype=np.int64)
+        if counts.sum() == 0:
+            out[:] = uniform
+            return out
+        ts = np.concatenate([state.ts for state in states])
+        rows = np.concatenate([state.rows for state in states])
+        ages = np.maximum(0.0, np.repeat(np.asarray(ref_ts, dtype=np.float64), counts) - ts)
+        temporal_weights = self.config.eps_t / (self.config.eps_t + ages)
+        if counts.min() == counts.max():
+            length = int(counts[0])
+            stacked = rows.reshape(len(states), length, self.feature_dim)
+            weights = temporal_weights.reshape(len(states), 1, length)
+            sums = (weights @ stacked)[:, 0, :]
+            return _normalize_rows(sums, uniform)
+        weighted = rows * temporal_weights[:, None]
+        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        nonempty = counts > 0
+        sums = np.add.reduceat(weighted, offsets[nonempty], axis=0)
+        out[nonempty] = _normalize_rows(sums, uniform)
+        out[~nonempty] = uniform
+        return out
+
 
 class OneHotHistoryFeaturizer:
     """One-hot (visit-count) history encoding — the *One-hot* baseline feature."""
@@ -210,3 +407,188 @@ class OneHotHistoryFeaturizer:
             profile_of_visit = np.repeat(np.arange(len(profiles)), counts)
             np.add.at(rows, (profile_of_visit[hit], located[hit]), 1.0)
         return _normalize_rows(rows, uniform)
+
+    # ------------------------------------------------------------- delta path
+    def visit_rows(self, visits: list[Visit]) -> np.ndarray:
+        """One-hot POI indicator rows for a list of visits, ``(V, |P|)``.
+
+        A visit outside every POI polygon contributes an all-zero row, exactly
+        as it contributes nothing to the batch path's scatter-add.
+        """
+        rows = np.zeros((len(visits), self.feature_dim))
+        if visits:
+            lats = np.array([v.lat for v in visits], dtype=np.float64)
+            lons = np.array([v.lon for v in visits], dtype=np.float64)
+            located = self.registry.locate_batch(lats, lons)
+            hit = located >= 0
+            rows[np.nonzero(hit)[0], located[hit]] = 1.0
+        return rows
+
+    def empty_delta(self) -> HistoryDeltaState:
+        """The delta state of an empty visit history."""
+        return HistoryDeltaState(
+            ts=np.empty(0, dtype=np.float64), rows=np.empty((0, self.feature_dim))
+        )
+
+    def update_delta(
+        self,
+        prev: HistoryDeltaState | None,
+        added: list[Visit] = (),
+        removed: int = 0,
+    ) -> HistoryDeltaState:
+        """Apply a history mutation to the delta state (see the module contract)."""
+        added = list(added)
+        added_ts = np.array([v.ts for v in added], dtype=np.float64)
+        return _delta_update(prev, added_ts, self.visit_rows(added), removed, self.feature_dim)
+
+    def delta_row(self, state: HistoryDeltaState, ref_ts: float = 0.0) -> np.ndarray:
+        """Normalised visit counts from the delta state (``ref_ts`` is unused —
+        one-hot counts carry no temporal decay, the signature just mirrors the
+        temporal featurizer's)."""
+        uniform = _uniform_row(self.feature_dim)
+        if len(state) == 0:
+            return uniform
+        sums = np.add.reduceat(state.rows, np.array([0]), axis=0)
+        return _normalize_rows(sums, uniform)[0]
+
+    def featurize_delta(
+        self,
+        prev: HistoryDeltaState | None,
+        added: list[Visit] = (),
+        removed: int = 0,
+        *,
+        ref_ts: float = 0.0,
+    ) -> tuple[np.ndarray, HistoryDeltaState]:
+        """Incrementally updated ``(feature_row, new_state)`` after a mutation."""
+        state = self.update_delta(prev, added, removed)
+        return self.delta_row(state, ref_ts), state
+
+    def delta_rows(
+        self, states: "list[HistoryDeltaState]", ref_ts: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Batched :meth:`delta_row` (``ref_ts`` is accepted for signature
+        parity with the temporal featurizer and ignored — counts don't decay)."""
+        out = np.empty((len(states), self.feature_dim))
+        if not states:
+            return out
+        uniform = _uniform_row(self.feature_dim)
+        counts = np.array([len(state) for state in states], dtype=np.int64)
+        if counts.sum() == 0:
+            out[:] = uniform
+            return out
+        rows = np.concatenate([state.rows for state in states])
+        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        nonempty = counts > 0
+        sums = np.add.reduceat(rows, offsets[nonempty], axis=0)
+        out[nonempty] = _normalize_rows(sums, uniform)
+        out[~nonempty] = uniform
+        return out
+
+
+class HistoryDeltaTracker:
+    """Per-user delta states mirroring an online builder's capped histories.
+
+    The tracker holds one :class:`HistoryDeltaState` per user and applies the
+    same ``maxlen`` eviction rule as
+    :class:`repro.service.stream.OnlineProfileBuilder`'s deques, so the state
+    for a user always mirrors the visit history their next emitted profile
+    will carry.  :meth:`row_for` returns the profile's Eq. (1)-(2) row from
+    the state (rebuilding it transparently if the tracker was never shown the
+    profile's history — e.g. a tracker attached mid-stream).
+
+    ``append_batch`` exists because live workloads mutate many users per
+    tick: it featurizes *all* appended visits in one :meth:`visit_rows`
+    kernel call and then distributes the rows, which is where the
+    incremental-over-scratch speedup pinned by ``bench_live_profiles.py``
+    comes from.
+    """
+
+    def __init__(self, featurizer, max_history: int | None = 64):
+        if max_history is not None and max_history < 0:
+            raise ValueError("max_history must be non-negative")
+        self.featurizer = featurizer
+        self.max_history = max_history
+        self._states: dict[int, HistoryDeltaState] = {}
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def state_of(self, uid: int) -> HistoryDeltaState | None:
+        """The tracked state of a user (None when never seen)."""
+        return self._states.get(uid)
+
+    def append(self, uid: int, visit: Visit) -> None:
+        """Record one visit for one user, evicting the oldest when capped."""
+        self.append_batch([uid], [visit])
+
+    def append_batch(self, uids: "list[int]", visits: list[Visit]) -> None:
+        """Record aligned ``(uid, visit)`` entries with one featurizer kernel call."""
+        if len(uids) != len(visits):
+            raise ValueError("uids and visits must be aligned")
+        if not uids or self.max_history == 0:
+            return
+        rows = self.featurizer.visit_rows(list(visits))
+        ts = np.array([v.ts for v in visits], dtype=np.float64)
+        for index, uid in enumerate(uids):
+            prev = self._states.get(uid)
+            length = 0 if prev is None else len(prev)
+            removed = 0
+            if self.max_history is not None and length + 1 > self.max_history:
+                removed = length + 1 - self.max_history
+            self._states[int(uid)] = _delta_update(
+                prev, ts[index : index + 1], rows[index : index + 1], removed,
+                self.featurizer.feature_dim,
+            )
+
+    def row_for(self, profile: Profile) -> np.ndarray:
+        """The profile's history feature row from the tracked state.
+
+        If the tracked state does not mirror ``profile.visit_history`` (the
+        tracker joined mid-stream, or the profile came from elsewhere), the
+        state is rebuilt from the profile's history first — a one-off scratch
+        cost, after which updates are incremental again.
+        """
+        state = self._states.get(profile.uid)
+        if state is None or not self._mirrors(state, profile.visit_history):
+            state = self.featurizer.update_delta(None, list(profile.visit_history))
+            if self.max_history != 0:
+                self._states[profile.uid] = state
+        return self.featurizer.delta_row(state, profile.ts)
+
+    def rows_for(self, profiles: "list[Profile]") -> np.ndarray:
+        """Batched :meth:`row_for`: one re-weight + segment sum for the batch.
+
+        This is the live read path at scale — after an ``append_batch`` tick,
+        every mutated user's current row comes out of a single
+        :meth:`delta_rows` call instead of per-profile numpy round-trips.
+        Batch rows agree with per-profile :meth:`row_for` within float64
+        summation tolerance (``<= 1e-9``; the equal-length fast path sums by
+        matmul) — serving caches that need bit-identity seed via
+        :meth:`row_for`.
+        """
+        states = []
+        for profile in profiles:
+            state = self._states.get(profile.uid)
+            if state is None or not self._mirrors(state, profile.visit_history):
+                state = self.featurizer.update_delta(None, list(profile.visit_history))
+                if self.max_history != 0:
+                    self._states[profile.uid] = state
+            states.append(state)
+        ref_ts = np.array([profile.ts for profile in profiles], dtype=np.float64)
+        return self.featurizer.delta_rows(states, ref_ts)
+
+    @staticmethod
+    def _mirrors(state: HistoryDeltaState, history: tuple[Visit, ...]) -> bool:
+        if len(state) != len(history):
+            return False
+        if not history:
+            return True
+        return bool(state.ts[0] == history[0].ts and state.ts[-1] == history[-1].ts)
+
+    def reset(self, uid: int) -> None:
+        """Forget one user's state."""
+        self._states.pop(uid, None)
+
+    def clear(self) -> None:
+        """Forget every user's state."""
+        self._states.clear()

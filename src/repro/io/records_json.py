@@ -90,6 +90,7 @@ def profile_to_dict(profile: Profile) -> dict[str, Any]:
         "tweet": tweet_to_dict(profile.tweet),
         "visit_history": [visit_to_dict(v) for v in profile.visit_history],
         "pid": profile.pid,
+        "revision": profile.revision,
     }
 
 
@@ -101,6 +102,7 @@ def profile_from_dict(data: dict[str, Any]) -> Profile:
             tweet=tweet_from_dict(data["tweet"]),
             visit_history=tuple(visit_from_dict(v) for v in data.get("visit_history", [])),
             pid=None if data.get("pid") is None else int(data["pid"]),
+            revision=None if data.get("revision") is None else int(data["revision"]),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise DataGenerationError(f"invalid profile record: {data!r}") from exc

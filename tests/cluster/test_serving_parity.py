@@ -16,11 +16,14 @@ correctness contract once, instead of hand-mirroring it per path:
   different shape — decisions and thresholds still match exactly.
 """
 
+import dataclasses
+
 import numpy as np
 import pytest
 
 from repro.api import ColocationEngine, JudgeRequest
 from repro.cluster import MicroBatcher, ShardedEngine, WorkerPool
+from repro.data.records import Pair, Visit
 
 #: Transports whose probabilities must match the reference bit-for-bit.
 EXACT = {"engine", "sharded", "workers"}
@@ -107,6 +110,81 @@ class TestParity:
         name, path = serving_path
         assert path.predict_proba([]).shape == (0,)
         assert path.probability_matrix([]).shape == (0, 0)
+
+
+class TestMutationParity:
+    """Live-mutation parity: transports serve mutated users like a fresh engine.
+
+    A seeded sequence of profile mutations — visits appended, capped histories
+    sliding, revisions bumping, explicit invalidations interleaved — must
+    leave every transport answering exactly like a freshly-built single
+    engine that never cached anything.  This is the contract that makes the
+    revisioned key + invalidation machinery safe to run under live traffic.
+    """
+
+    MAX_HISTORY = 4
+
+    @staticmethod
+    def _mutate(profile, visit_pool, rng, step):
+        """One live mutation: append a visit (capped) and bump the revision."""
+        template = visit_pool[int(rng.integers(len(visit_pool)))]
+        new_visit = Visit(ts=profile.ts + 30.0 * (step + 1), lat=template.lat, lon=template.lon)
+        history = (profile.visit_history + (new_visit,))[-TestMutationParity.MAX_HISTORY:]
+        tweet = dataclasses.replace(profile.tweet, ts=profile.ts + 60.0 * (step + 1))
+        return dataclasses.replace(
+            profile,
+            tweet=tweet,
+            visit_history=history,
+            revision=(profile.revision or 0) + 1,
+        )
+
+    def test_seeded_mutation_sequence_matches_a_fresh_engine(
+        self, serving_path, fitted_pipeline, tiny_dataset
+    ):
+        name, path = serving_path
+        fresh = ColocationEngine(fitted_pipeline, cache_size=0)
+        profiles = {p.uid: p for p in tiny_dataset.train.labeled_profiles[:12]}
+        visit_pool = [
+            visit
+            for p in tiny_dataset.train.labeled_profiles
+            for visit in p.visit_history
+        ]
+        rng = np.random.default_rng(42)
+        uids = sorted(profiles)
+        for step in range(4):
+            mutated_uids = rng.choice(uids, size=4, replace=False)
+            for uid in mutated_uids:
+                profiles[uid] = self._mutate(profiles[uid], visit_pool, rng, step)
+            # the mutation traffic a live deployment would send alongside
+            path.invalidate([int(uid) for uid in mutated_uids])
+            if step % 2:
+                path.invalidate_stale()
+            current = [profiles[uid] for uid in uids]
+            pairs = [
+                Pair(current[i], current[(i + 1 + step) % len(current)])
+                for i in range(len(current))
+            ]
+            assert_probabilities_agree(
+                name, path.predict_proba(pairs), fresh.predict_proba(pairs)
+            )
+
+    def test_mutated_user_is_served_fresh_without_invalidation(
+        self, serving_path, fitted_pipeline, tiny_dataset
+    ):
+        """Revision-exact keys alone prevent stale serving — even when nobody
+        calls invalidate, the bumped-revision profile misses the cache."""
+        name, path = serving_path
+        fresh = ColocationEngine(fitted_pipeline, cache_size=0)
+        profiles = tiny_dataset.train.labeled_profiles[:6]
+        visit_pool = [v for p in tiny_dataset.train.labeled_profiles for v in p.visit_history]
+        rng = np.random.default_rng(7)
+        pairs = [Pair(profiles[i], profiles[(i + 1) % 6]) for i in range(6)]
+        path.predict_proba(pairs)  # warm the old generation into the caches
+        mutated = [self._mutate(p, visit_pool, rng, 0) for p in profiles]
+        mutated_pairs = [Pair(mutated[i], mutated[(i + 1) % 6]) for i in range(6)]
+        assert_probabilities_agree(
+            name, path.predict_proba(mutated_pairs), fresh.predict_proba(mutated_pairs)
+        )
 
 
 class TestCoalescedServes:

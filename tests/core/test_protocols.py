@@ -105,7 +105,18 @@ class TestProfileKey:
             profile.ts,
             profile.content,
             len(profile.visit_history),
+            profile.revision,
         )
+
+    def test_unstamped_revision_maps_to_sentinel(self, tiny_dataset):
+        import dataclasses
+
+        from repro.core import UNREVISIONED
+
+        profile = dataclasses.replace(
+            tiny_dataset.train.labeled_profiles[0], revision=None
+        )
+        assert profile_key(profile)[4] == UNREVISIONED
 
     def test_grown_history_changes_the_key(self, tiny_dataset):
         """Same uid/ts/content but a longer visit history must not collide."""

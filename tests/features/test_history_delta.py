@@ -1,0 +1,368 @@
+"""Tests for the incremental Eq. (1)-(2) delta path of the history featurizers.
+
+The module contract in ``repro.features.history`` promises that
+``featurize_delta`` / ``HistoryDeltaTracker`` produce rows **bit-identical**
+to the scratch ``featurize_batch`` path for the same history.  These tests pin
+that with ``np.array_equal`` (exact), not ``allclose`` — the delta path runs
+the same elementwise kernels and the same segment sum, so any drift is a bug.
+The one exception is the batched read path (``delta_rows`` / ``rows_for``),
+whose equal-length matmul fast path reassociates the sum: those tests pin the
+looser documented ``1e-9`` contract (see :class:`TestBatchedDeltaRows`).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.data import Profile, Tweet, Visit
+from repro.features import (
+    HistoricalVisitFeaturizer,
+    HistoryDeltaTracker,
+    OneHotHistoryFeaturizer,
+)
+
+FEATURIZERS = [HistoricalVisitFeaturizer, OneHotHistoryFeaturizer]
+
+
+def profile_with(visits, ts, uid=1, revision=0):
+    tweet = Tweet(uid=uid, ts=ts, content="x", lat=None, lon=None)
+    return Profile(uid=uid, tweet=tweet, visit_history=tuple(visits), revision=revision)
+
+
+def scattered_visits(registry, n, seed=7):
+    """Visits jittered around the registry's POIs — some inside, some outside."""
+    rng = np.random.default_rng(seed)
+    visits = []
+    for i in range(n):
+        base = registry.get(i % len(registry)).center
+        point = base.offset(
+            north_m=float(rng.normal(0, 120)), east_m=float(rng.normal(0, 120))
+        )
+        visits.append(Visit(ts=float(i * 100), lat=point.lat, lon=point.lon))
+    return visits
+
+
+@pytest.mark.parametrize("featurizer_cls", FEATURIZERS)
+class TestDeltaEqualsScratch:
+    def test_append_only_growth_is_bit_identical(self, small_registry, featurizer_cls):
+        featurizer = featurizer_cls(small_registry)
+        visits = scattered_visits(small_registry, 12)
+        state = None
+        for i, visit in enumerate(visits):
+            ref_ts = visit.ts + 50.0
+            row, state = featurizer.featurize_delta(state, added=[visit], ref_ts=ref_ts)
+            scratch = featurizer.featurize_batch([profile_with(visits[: i + 1], ref_ts)])[0]
+            assert np.array_equal(row, scratch)
+
+    def test_capped_eviction_is_bit_identical(self, small_registry, featurizer_cls):
+        """A full window evicting its oldest visit matches the scratch window."""
+        featurizer = featurizer_cls(small_registry)
+        visits = scattered_visits(small_registry, 20)
+        maxlen = 6
+        state = None
+        for i, visit in enumerate(visits):
+            window = visits[max(0, i + 1 - maxlen) : i + 1]
+            removed = 0 if state is None else max(0, len(state) + 1 - maxlen)
+            ref_ts = visit.ts + 50.0
+            row, state = featurizer.featurize_delta(
+                state, added=[visit], removed=removed, ref_ts=ref_ts
+            )
+            assert len(state) == len(window)
+            scratch = featurizer.featurize_batch([profile_with(window, ref_ts)])[0]
+            assert np.array_equal(row, scratch)
+
+    def test_empty_history_is_the_uniform_row(self, small_registry, featurizer_cls):
+        featurizer = featurizer_cls(small_registry)
+        row, state = featurizer.featurize_delta(None, ref_ts=123.0)
+        assert len(state) == 0
+        scratch = featurizer.featurize_batch([profile_with([], 123.0)])[0]
+        assert np.array_equal(row, scratch)
+
+    def test_delta_row_reusable_across_reference_timestamps(
+        self, small_registry, featurizer_cls
+    ):
+        """One state serves many ref_ts values — the state is ts-free."""
+        featurizer = featurizer_cls(small_registry)
+        visits = scattered_visits(small_registry, 5)
+        state = featurizer.update_delta(None, visits)
+        for ref_ts in (500.0, 5_000.0, 50_000.0):
+            row = featurizer.delta_row(state, ref_ts)
+            scratch = featurizer.featurize_batch([profile_with(visits, ref_ts)])[0]
+            assert np.array_equal(row, scratch)
+
+    def test_states_are_never_mutated_in_place(self, small_registry, featurizer_cls):
+        featurizer = featurizer_cls(small_registry)
+        visits = scattered_visits(small_registry, 4)
+        base = featurizer.update_delta(None, visits[:2])
+        snapshot = (base.ts.copy(), base.rows.copy())
+        featurizer.update_delta(base, visits[2:], removed=1)
+        assert np.array_equal(base.ts, snapshot[0])
+        assert np.array_equal(base.rows, snapshot[1])
+
+    def test_removed_validation(self, small_registry, featurizer_cls):
+        featurizer = featurizer_cls(small_registry)
+        with pytest.raises(ValueError):
+            featurizer.update_delta(None, [], removed=-1)
+        with pytest.raises(ValueError):
+            featurizer.update_delta(None, [], removed=1)
+
+
+@pytest.mark.parametrize("featurizer_cls", FEATURIZERS)
+class TestHistoryDeltaTracker:
+    def test_mirrors_a_capped_deque(self, small_registry, featurizer_cls):
+        """Appending visit-by-visit tracks exactly a maxlen deque's window."""
+        featurizer = featurizer_cls(small_registry)
+        tracker = HistoryDeltaTracker(featurizer, max_history=4)
+        visits = scattered_visits(small_registry, 10)
+        history = []
+        for i, visit in enumerate(visits):
+            profile = profile_with(history, visit.ts + 50.0, revision=i)
+            row = tracker.row_for(profile)
+            scratch = featurizer.featurize_batch([profile])[0]
+            assert np.array_equal(row, scratch)
+            tracker.append(profile.uid, visit)
+            history.append(visit)
+            history[:] = history[-4:]
+
+    def test_rebuilds_when_joining_mid_stream(self, small_registry, featurizer_cls):
+        featurizer = featurizer_cls(small_registry)
+        tracker = HistoryDeltaTracker(featurizer, max_history=None)
+        visits = scattered_visits(small_registry, 6)
+        profile = profile_with(visits, 99_999.0)
+        assert tracker.state_of(profile.uid) is None
+        row = tracker.row_for(profile)
+        assert np.array_equal(row, featurizer.featurize_batch([profile])[0])
+        # The rebuild is retained: the next lookup hits the mirrored state.
+        assert tracker.state_of(profile.uid) is not None
+        assert len(tracker.state_of(profile.uid)) == len(visits)
+
+    def test_rebuilds_when_history_diverges(self, small_registry, featurizer_cls):
+        """A profile whose history the tracker never saw gets a fresh state."""
+        featurizer = featurizer_cls(small_registry)
+        tracker = HistoryDeltaTracker(featurizer, max_history=None)
+        visits = scattered_visits(small_registry, 6)
+        for visit in visits[:3]:
+            tracker.append(1, visit)
+        foreign = profile_with(visits[1:5], 99_999.0)  # different window
+        row = tracker.row_for(foreign)
+        assert np.array_equal(row, featurizer.featurize_batch([foreign])[0])
+
+    def test_append_batch_matches_per_append(self, small_registry, featurizer_cls):
+        featurizer = featurizer_cls(small_registry)
+        visits = scattered_visits(small_registry, 8)
+        uids = [1, 2, 1, 3, 2, 1, 3, 1]
+        one_by_one = HistoryDeltaTracker(featurizer, max_history=3)
+        batched = HistoryDeltaTracker(featurizer, max_history=3)
+        for uid, visit in zip(uids, visits):
+            one_by_one.append(uid, visit)
+        batched.append_batch(uids, visits)
+        for uid in set(uids):
+            a, b = one_by_one.state_of(uid), batched.state_of(uid)
+            assert np.array_equal(a.ts, b.ts)
+            assert np.array_equal(a.rows, b.rows)
+
+    def test_append_batch_rejects_misaligned_inputs(self, small_registry, featurizer_cls):
+        tracker = HistoryDeltaTracker(featurizer_cls(small_registry))
+        with pytest.raises(ValueError):
+            tracker.append_batch([1, 2], [Visit(1.0, 0.0, 0.0)])
+
+    def test_zero_max_history_tracks_nothing(self, small_registry, featurizer_cls):
+        featurizer = featurizer_cls(small_registry)
+        tracker = HistoryDeltaTracker(featurizer, max_history=0)
+        tracker.append(1, Visit(1.0, 40.75, -73.99))
+        assert len(tracker) == 0
+        profile = profile_with([], 10.0)
+        assert np.array_equal(
+            tracker.row_for(profile), featurizer.featurize_batch([profile])[0]
+        )
+        assert len(tracker) == 0
+
+    def test_reset_and_clear(self, small_registry, featurizer_cls):
+        featurizer = featurizer_cls(small_registry)
+        tracker = HistoryDeltaTracker(featurizer)
+        tracker.append(1, Visit(1.0, 40.75, -73.99))
+        tracker.append(2, Visit(2.0, 40.75, -73.99))
+        tracker.reset(1)
+        assert tracker.state_of(1) is None and tracker.state_of(2) is not None
+        tracker.clear()
+        assert len(tracker) == 0
+
+    def test_negative_max_history_rejected(self, small_registry, featurizer_cls):
+        with pytest.raises(ValueError):
+            HistoryDeltaTracker(featurizer_cls(small_registry), max_history=-1)
+
+
+@pytest.mark.parametrize("featurizer_cls", FEATURIZERS)
+class TestBatchedDeltaRows:
+    """The batched read path: ``delta_rows`` / ``HistoryDeltaTracker.rows_for``.
+
+    The batch contract is looser than the per-row one: equal-length batches
+    take a matmul fast path whose summation order differs from scratch, so
+    rows agree within ``1e-9`` (observed ~1e-16) rather than bit-for-bit.
+    Mixed-length batches still go through the same segment sum as
+    ``delta_row`` and stay exact.
+    """
+
+    ATOL = 1e-9
+
+    def test_uniform_length_batch_matches_scratch(self, small_registry, featurizer_cls):
+        featurizer = featurizer_cls(small_registry)
+        visits = scattered_visits(small_registry, 12)
+        states = [featurizer.update_delta(None, visits[k : k + 4]) for k in (0, 4, 8)]
+        ref_ts = np.array([2_000.0, 3_000.0, 4_000.0])
+        rows = featurizer.delta_rows(states, ref_ts)
+        for k, start in enumerate((0, 4, 8)):
+            scratch = featurizer.featurize_batch(
+                [profile_with(visits[start : start + 4], ref_ts[k])]
+            )[0]
+            np.testing.assert_allclose(rows[k], scratch, atol=self.ATOL, rtol=0.0)
+
+    def test_mixed_length_batch_is_bit_identical(self, small_registry, featurizer_cls):
+        """Ragged batches use the segment sum — exact, like ``delta_row``."""
+        featurizer = featurizer_cls(small_registry)
+        visits = scattered_visits(small_registry, 10)
+        windows = [visits[0:2], visits[2:7], visits[7:10]]
+        states = [featurizer.update_delta(None, window) for window in windows]
+        ref_ts = np.array([1_500.0, 2_500.0, 3_500.0])
+        rows = featurizer.delta_rows(states, ref_ts)
+        for k, state in enumerate(states):
+            assert np.array_equal(rows[k], featurizer.delta_row(state, float(ref_ts[k])))
+
+    def test_empty_states_get_the_uniform_row(self, small_registry, featurizer_cls):
+        featurizer = featurizer_cls(small_registry)
+        visits = scattered_visits(small_registry, 5)
+        states = [
+            featurizer.update_delta(None, visits[:3]),
+            featurizer.update_delta(None, []),
+            featurizer.update_delta(None, visits[3:]),
+        ]
+        ref_ts = np.array([900.0, 900.0, 900.0])
+        rows = featurizer.delta_rows(states, ref_ts)
+        empty_scratch = featurizer.featurize_batch([profile_with([], 900.0)])[0]
+        assert np.array_equal(rows[1], empty_scratch)
+        for k in (0, 2):
+            np.testing.assert_allclose(
+                rows[k],
+                featurizer.delta_row(states[k], 900.0),
+                atol=self.ATOL,
+                rtol=0.0,
+            )
+
+    def test_all_empty_and_zero_size_batches(self, small_registry, featurizer_cls):
+        featurizer = featurizer_cls(small_registry)
+        empties = [featurizer.update_delta(None, []) for _ in range(3)]
+        rows = featurizer.delta_rows(empties, np.zeros(3))
+        uniform = featurizer.featurize_batch([profile_with([], 0.0)])[0]
+        for row in rows:
+            assert np.array_equal(row, uniform)
+        assert featurizer.delta_rows([], np.zeros(0)).shape == (0, featurizer.feature_dim)
+
+    def test_tracker_rows_for_matches_row_for(self, small_registry, featurizer_cls):
+        featurizer = featurizer_cls(small_registry)
+        tracker = HistoryDeltaTracker(featurizer, max_history=4)
+        visits = scattered_visits(small_registry, 16)
+        uids = [i % 4 + 1 for i in range(16)]
+        tracker.append_batch(uids, visits)
+        histories = {uid: [] for uid in set(uids)}
+        for uid, visit in zip(uids, visits):
+            histories[uid] = (histories[uid] + [visit])[-4:]
+        profiles = [
+            profile_with(histories[uid], 2_000.0 + uid, uid=uid, revision=4)
+            for uid in sorted(histories)
+        ]
+        batch = tracker.rows_for(profiles)
+        for k, profile in enumerate(profiles):
+            np.testing.assert_allclose(
+                batch[k], tracker.row_for(profile), atol=self.ATOL, rtol=0.0
+            )
+
+    def test_tracker_rows_for_rebuilds_unknown_users(self, small_registry, featurizer_cls):
+        """A mixed batch — tracked and never-seen users — is still correct."""
+        featurizer = featurizer_cls(small_registry)
+        tracker = HistoryDeltaTracker(featurizer, max_history=None)
+        visits = scattered_visits(small_registry, 8)
+        for visit in visits[:3]:
+            tracker.append(1, visit)
+        known = profile_with(visits[:3], 5_000.0, uid=1, revision=3)
+        unknown = profile_with(visits[3:8], 5_000.0, uid=9, revision=5)
+        batch = tracker.rows_for([known, unknown])
+        for k, profile in enumerate((known, unknown)):
+            scratch = featurizer.featurize_batch([profile])[0]
+            np.testing.assert_allclose(batch[k], scratch, atol=self.ATOL, rtol=0.0)
+        assert tracker.state_of(9) is not None  # the rebuild is retained
+
+
+class TestRevisionDisambiguatesCappedHistories:
+    def test_full_window_slide_changes_the_key(self, small_registry):
+        """The capped-history collision the revisioned key exists to prevent.
+
+        A full maxlen window that drops its oldest visit and appends a new one
+        at the *same timestamp spacing* keeps ``len(visit_history)`` constant;
+        with an unchanged recent tweet the old 4-field key collided and served
+        the stale cached row.  The revision field breaks the tie.
+        """
+        from repro.core import profile_key
+
+        visits = scattered_visits(small_registry, 5)
+        window_old = visits[0:4]
+        window_new = visits[1:5]
+        tweet = Tweet(uid=1, ts=99_999.0, content="same tweet", lat=None, lon=None)
+        gen0 = Profile(uid=1, tweet=tweet, visit_history=tuple(window_old), revision=4)
+        gen1 = Profile(uid=1, tweet=tweet, visit_history=tuple(window_new), revision=5)
+        assert len(gen0.visit_history) == len(gen1.visit_history)
+        assert profile_key(gen0) != profile_key(gen1)
+        # Without the revision the first four fields collide — the regression.
+        assert profile_key(gen0)[:4] == profile_key(gen1)[:4]
+
+    def test_colliding_generations_get_distinct_cached_rows(self, small_registry):
+        """An engine serving both generations featurizes each exactly once."""
+        from repro.api import ColocationEngine
+        from repro.data.records import Pair
+
+        featurizer = HistoricalVisitFeaturizer(small_registry)
+
+        class HistoryJudge:
+            def __init__(self):
+                self.featurized = 0
+
+            def featurize_profiles(self, profiles):
+                self.featurized += len(profiles)
+                return featurizer.featurize_batch(list(profiles))
+
+            def score_feature_pairs(self, left, right):
+                return np.clip(np.einsum("ij,ij->i", left, right), 0.0, 1.0)
+
+            def predict_proba(self, pairs):
+                profiles = [p for pair in pairs for p in pair]
+                rows = self.featurize_profiles(profiles)
+                return np.clip(
+                    np.einsum("ij,ij->i", rows[0::2], rows[1::2]), 0.0, 1.0
+                )
+
+        visits = scattered_visits(small_registry, 5)
+        tweet = Tweet(uid=1, ts=99_999.0, content="same tweet", lat=None, lon=None)
+        gen0 = Profile(uid=1, tweet=tweet, visit_history=tuple(visits[0:4]), revision=4)
+        gen1 = Profile(uid=1, tweet=tweet, visit_history=tuple(visits[1:5]), revision=5)
+        other = profile_with(visits[:2], 99_999.0, uid=2, revision=2)
+
+        judge = HistoryJudge()
+        engine = ColocationEngine(judge)
+        first = engine.predict_proba([Pair(gen0, other)])
+        second = engine.predict_proba([Pair(gen1, other)])
+        # gen1 must NOT reuse gen0's row: the histories differ, so generally
+        # the scores differ too.
+        expected_gen1 = float(
+            np.clip(
+                featurizer.featurize_batch([gen1])[0]
+                @ featurizer.featurize_batch([other])[0],
+                0.0,
+                1.0,
+            )
+        )
+        assert second[0] == pytest.approx(expected_gen1, abs=0.0)
+        assert first[0] != second[0]
+        # Three distinct keys cached: gen0, gen1 and 'other'.
+        info = engine.cache_info()
+        assert info.size == 3
+        assert info.featurized == 3

@@ -1,5 +1,6 @@
-"""Tests for the online profile builder."""
+"""Tests for the online profile builder and the stream scorer's live paths."""
 
+import numpy as np
 import pytest
 
 from repro.data.records import Tweet
@@ -170,3 +171,159 @@ class TestStreamScorerShardedPath:
 
         scorer = StreamScorer(_StubJudge(), registry=small_registry)
         assert isinstance(scorer.engine, ColocationEngine)
+
+
+def stream_tweets(registry, n=24, users=5):
+    """A deterministic mixed stream: geo-tagged POI tweets, plain tweets, and
+    bursts of tweets sharing one timestamp (to exercise coalescing)."""
+    tweets = []
+    for step in range(n):
+        uid = step % users
+        ts = 100.0 + 40.0 * (step // 2)  # pairs of tweets share a timestamp
+        if step % 4 == 3:
+            tweets.append(plain_tweet(uid=uid, ts=ts, content=f"plain {step}"))
+        else:
+            tweets.append(
+                poi_tweet(
+                    registry, uid=uid, ts=ts, poi_index=step % len(registry.pois),
+                    content=f"visit {step}",
+                )
+            )
+    return tweets
+
+
+def assert_scored_equal(got, expected):
+    assert len(got) == len(expected)
+    for left, right in zip(got, expected):
+        assert left.pair.left.uid == right.pair.left.uid
+        assert left.pair.right.uid == right.pair.right.uid
+        assert left.pair.left.ts == right.pair.left.ts
+        assert left.probability == right.probability  # bit-for-bit
+
+
+class TestStreamScorerIncremental:
+    def test_seeded_scores_are_bit_identical_to_scratch(self, fitted_pipeline):
+        from repro.api import ColocationEngine
+        from repro.service import StreamScorer
+
+        incremental = StreamScorer(
+            ColocationEngine(fitted_pipeline, cache_size=512), delta_t=3600.0
+        )
+        scratch = StreamScorer(
+            ColocationEngine(fitted_pipeline, cache_size=512),
+            delta_t=3600.0,
+            incremental=False,
+        )
+        assert incremental.incremental and not scratch.incremental
+        tweets = stream_tweets(incremental.engine.registry)
+        got = [s for tweet in tweets for s in incremental.process(tweet)]
+        expected = [s for tweet in tweets for s in scratch.process(tweet)]
+        assert got  # the stream produced judged pairs
+        assert_scored_equal(got, expected)
+
+    def test_seeded_sharded_scores_are_bit_identical(self, fitted_pipeline):
+        from repro.cluster import ShardedEngine
+        from repro.service import StreamScorer
+
+        with ShardedEngine(fitted_pipeline, num_shards=2, cache_size=512) as sharded:
+            scorer = StreamScorer(sharded, delta_t=3600.0)
+            assert scorer.incremental  # per-shard replicas are seedable
+            tweets = stream_tweets(sharded.registry)
+            got = [s for tweet in tweets for s in scorer.process(tweet)]
+        from repro.api import ColocationEngine
+        from repro.service import StreamScorer as Scorer
+
+        reference = Scorer(
+            ColocationEngine(fitted_pipeline, cache_size=512),
+            delta_t=3600.0,
+            incremental=False,
+        )
+        expected = [s for tweet in stream_tweets(reference.engine.registry) for s in reference.process(tweet)]
+        assert_scored_equal(got, expected)
+
+    def test_process_many_coalesces_to_batcher_precision(self, fitted_pipeline):
+        """Coalesced per-timestamp groups agree with per-tweet calls to the
+        MicroBatcher's coalescing tolerance (the BLAS batch shape changes)."""
+        from repro.api import ColocationEngine
+        from repro.service import StreamScorer
+
+        batched = StreamScorer(
+            ColocationEngine(fitted_pipeline, cache_size=512), delta_t=3600.0
+        )
+        one_by_one = StreamScorer(
+            ColocationEngine(fitted_pipeline, cache_size=512), delta_t=3600.0
+        )
+        tweets = stream_tweets(batched.engine.registry)
+        got = batched.process_many(tweets)
+        expected = [s for tweet in sorted(tweets, key=lambda t: t.ts) for s in one_by_one.process(tweet)]
+        assert got
+        assert len(got) == len(expected)
+        for left, right in zip(got, expected):
+            assert left.pair.left.uid == right.pair.left.uid
+            assert left.pair.right.uid == right.pair.right.uid
+            assert left.probability == pytest.approx(right.probability, abs=1e-12)
+        # the groups really coalesced: fewer engine calls than scoring tweets
+        ts_groups = {t.ts for t in tweets}
+        assert len(ts_groups) < len(tweets)
+
+    def test_incremental_flag_by_engine_type(self, fitted_pipeline, small_registry):
+        from repro.api import ColocationEngine
+        from repro.cluster import MicroBatcher
+        from repro.service import StreamScorer
+
+        engine = ColocationEngine(fitted_pipeline, cache_size=64)
+        assert StreamScorer(engine).incremental
+        assert not StreamScorer(engine, incremental=False).incremental
+        # a batcher front walks down to its seedable engine
+        with MicroBatcher(engine, max_delay_ms=1.0) as batcher:
+            assert StreamScorer(batcher).incremental
+        # a judge with no feature-level surface cannot be seeded
+        assert not StreamScorer(_StubJudge(), registry=small_registry).incremental
+
+    def test_worker_pool_falls_back_to_scratch(self, fitted_pipeline):
+        """The pool's featurizers live in worker processes: no seeding, same
+        scores."""
+        from repro.cluster import WorkerPool
+        from repro.service import StreamScorer
+
+        with WorkerPool(fitted_pipeline, num_workers=1, cache_size=512) as pool:
+            scorer = StreamScorer(pool, delta_t=3600.0)
+            assert not scorer.incremental
+            tweets = stream_tweets(pool.registry, n=12)
+            got = [s for tweet in tweets for s in scorer.process(tweet)]
+        from repro.api import ColocationEngine
+
+        reference = StreamScorer(
+            ColocationEngine(fitted_pipeline, cache_size=512),
+            delta_t=3600.0,
+            incremental=False,
+        )
+        expected = [
+            s
+            for tweet in stream_tweets(reference.engine.registry, n=12)
+            for s in reference.process(tweet)
+        ]
+        assert_scored_equal(got, expected)
+
+    def test_seeding_skips_the_history_kernel(self, fitted_pipeline, monkeypatch):
+        """The seeded featurizer serves its history rows from the warm memo —
+        the engine's gather never runs the scratch Eq. (1)-(2) kernel."""
+        from repro.api import ColocationEngine
+        from repro.service import StreamScorer
+
+        engine = ColocationEngine(fitted_pipeline, cache_size=512)
+        scorer = StreamScorer(engine, delta_t=3600.0)
+        assert scorer.incremental
+        history = fitted_pipeline.judge.featurizer.history_featurizer
+        calls = []
+        original = history.featurize_batch
+        monkeypatch.setattr(
+            history,
+            "featurize_batch",
+            lambda profiles: calls.append(len(profiles)) or original(profiles),
+        )
+        for tweet in stream_tweets(engine.registry, n=10):
+            scorer.process(tweet)
+        # every history row came from the delta tracker's seeded memo; the
+        # scratch batch kernel never ran (visit_rows is the delta's own path)
+        assert calls == []

@@ -49,13 +49,17 @@ class TestExportedNames:
             "FEATURIZE_CHUNK",
             "FeatureSpaceJudge",
             "ProfileKey",
+            "RevisionedKeyIndex",
             "TrainableApproach",
             "TrainingStrategy",
+            "UNREVISIONED",
             "featurize_in_chunks",
             "featurizer_dim",
+            "key_revision",
             "pairwise_probability_matrix",
             "profile_key",
             "shared_poi_probability_matrix",
+            "superseded_keys",
         ]
         for name in repro.core.__all__:
             assert getattr(repro.core, name) is not None
