@@ -4,9 +4,12 @@ The engine exists because every online application asks the same two
 questions (score these pairs / score this group) and pays the same hidden
 cost: featurizing profiles.  The judges that separate featurization from pair
 scoring (:class:`repro.core.FeatureSpaceJudge`) let the engine keep one
-bounded LRU cache of per-profile feature rows shared by *all* entry points —
+bounded feature store of per-profile rows shared by *all* entry points —
 ``predict_proba``, ``probability_matrix``, the sliding-window services — so a
 profile seen by several services in the same Δt window is featurized once.
+The store itself is pluggable (:class:`repro.store.FeatureStore`): by default
+an in-RAM LRU, optionally tiered over a memmap arena (``arena_dir=``) so the
+warm set survives restarts and outgrows RAM.
 
 Judges without the feature-level interface (the social judge, duck-typed test
 stubs) still work: the engine falls back to their ``predict_proba`` and the
@@ -21,8 +24,9 @@ transports cannot diverge.  The engine contributes the feature cache (its
 
 from __future__ import annotations
 
+import os
 import threading
-from collections import OrderedDict
+import warnings
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -30,14 +34,10 @@ import numpy as np
 
 from repro.api.core import CallCacheStats, JudgementCore
 from repro.api.messages import JudgeRequest, JudgeResponse
-from repro.core.protocols import (
-    ProfileKey,
-    RevisionedKeyIndex,
-    featurizer_dim,
-    profile_key,
-)
+from repro.core.protocols import ProfileKey, featurizer_dim, profile_key
 from repro.data.records import Pair, Profile
 from repro.errors import ConfigurationError
+from repro.store import ArenaStore, FeatureStore, HotStore, TieredStore
 
 
 @dataclass(frozen=True)
@@ -53,6 +53,15 @@ class EngineCacheInfo:
     featurized: int
     #: Rows dropped by explicit ``invalidate``/``invalidate_stale`` calls.
     invalidated: int = 0
+    #: Per-tier traffic (``hits`` = ``hot_hits`` + ``cold_hits``): lookups
+    #: answered from RAM vs. the memmap arena, cold rows copied back into
+    #: RAM, and hot-tier evictions that stayed reachable in the arena.
+    hot_hits: int = 0
+    cold_hits: int = 0
+    promotions: int = 0
+    demotions: int = 0
+    #: Live rows in the cold arena tier (0 without one).
+    cold_size: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -69,6 +78,7 @@ class EngineCacheInfo:
         (whose ``hit_rate`` is 0.0, matching a cache that saw no lookups).
         """
         hits = misses = evictions = size = maxsize = featurized = invalidated = 0
+        hot_hits = cold_hits = promotions = demotions = cold_size = 0
         for info in infos:
             hits += info.hits
             misses += info.misses
@@ -77,6 +87,11 @@ class EngineCacheInfo:
             maxsize += info.maxsize
             featurized += info.featurized
             invalidated += info.invalidated
+            hot_hits += info.hot_hits
+            cold_hits += info.cold_hits
+            promotions += info.promotions
+            demotions += info.demotions
+            cold_size += info.cold_size
         return cls(
             hits=hits,
             misses=misses,
@@ -85,6 +100,11 @@ class EngineCacheInfo:
             maxsize=maxsize,
             featurized=featurized,
             invalidated=invalidated,
+            hot_hits=hot_hits,
+            cold_hits=cold_hits,
+            promotions=promotions,
+            demotions=demotions,
+            cold_size=cold_size,
         )
 
 
@@ -98,8 +118,9 @@ class ColocationEngine:
         at minimum exposing ``predict_proba``): a pipeline, the HisRect
         judge, the One-phase model, Comp2Loc, the social judge, a baseline.
     cache_size:
-        Maximum number of per-profile feature rows kept in the LRU cache.
-        ``0`` disables caching (every call featurizes from scratch).
+        Maximum number of per-profile feature rows kept in the hot (in-RAM)
+        tier of the feature store.  ``0`` disables the hot tier (every call
+        featurizes from scratch unless a cold arena answers).
     threshold:
         Decision threshold for :meth:`predict` / :meth:`serve`.  ``None``
         adopts the judge's own ``decision_threshold`` (default 0.5).
@@ -108,6 +129,14 @@ class ColocationEngine:
     registry:
         Optional explicit POI registry; by default it is taken from the
         judge's featurizer, so services can derive it from the engine.
+    store:
+        An explicit :class:`repro.store.FeatureStore` to serve rows from
+        (``cache_size`` is then ignored in favour of the store's capacity).
+    arena_dir:
+        Convenience for the common tiering: build a
+        :class:`repro.store.TieredStore` whose cold tier is a memmap
+        :class:`repro.store.ArenaStore` in this directory.  Mutually
+        exclusive with ``store``.
     """
 
     def __init__(
@@ -118,6 +147,8 @@ class ColocationEngine:
         threshold: float | None = None,
         batch_size: int = 1024,
         registry=None,
+        store: FeatureStore | None = None,
+        arena_dir: str | os.PathLike | None = None,
     ):
         if not hasattr(judge, "predict_proba"):
             raise ConfigurationError("judge must expose predict_proba(pairs)")
@@ -125,8 +156,17 @@ class ColocationEngine:
             raise ConfigurationError("cache_size must be >= 0")
         if batch_size < 1:
             raise ConfigurationError("batch_size must be >= 1")
+        if store is not None and arena_dir is not None:
+            raise ConfigurationError("pass either store= or arena_dir=, not both")
+        if store is None:
+            cold = ArenaStore(arena_dir) if arena_dir is not None else None
+            store = TieredStore(HotStore(cache_size), cold)
+        #: The feature store serving ``_resolve_features`` — by default a
+        #: :class:`repro.store.TieredStore` (hot LRU only, plus a memmap
+        #: arena cold tier when ``arena_dir`` is given).
+        self.store = store
         self.judge = judge
-        self.cache_size = cache_size
+        self.cache_size = store.capacity
         self.batch_size = batch_size
         self._registry = registry
         #: The shared decision/serve logic (one path for engine, shards and
@@ -138,18 +178,12 @@ class ColocationEngine:
             scorer=self._score_batched,
             explicit_threshold=threshold,
         )
-        self._cache: OrderedDict[ProfileKey, np.ndarray] = OrderedDict()
-        #: Per-uid index over resident keys: answers ``invalidate(uids)`` /
-        #: ``invalidate_stale()`` in O(rows dropped) and detects rows a
-        #: fresher revision supersedes.  Mutated only under the lock.
-        self._index = RevisionedKeyIndex()
-        #: Guards the cache and its counters.  Featurization itself runs
-        #: outside the lock so concurrent callers only serialise on the
-        #: bookkeeping, not on the network forward.
+        #: Guards the engine's own counters.  Row storage is the store's
+        #: problem (stores carry their own lock); featurization runs outside
+        #: any lock so concurrent callers only serialise on bookkeeping.
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
-        self._evictions = 0
         self._featurized = 0
         self._invalidations = 0
         #: Invalidated-row count not yet reported by a gather call: drained
@@ -191,15 +225,15 @@ class ColocationEngine:
 
     # ----------------------------------------------------------- feature cache
     def _features_for(self, profiles: list[Profile]) -> np.ndarray:
-        """Feature rows for profiles through the LRU; featurizes misses once.
+        """Feature rows for profiles through the store; featurizes misses once.
 
         Duplicate profiles within one call are deduplicated before touching
         the featurizer, so each distinct profile is featurized exactly once
         even with a disabled cache.
 
-        Thread-safe: cache reads/writes and counter updates hold the engine
-        lock; featurization of the misses runs outside it so concurrent
-        callers overlap on the expensive part.  Two threads missing the same
+        Thread-safe: the store carries its own lock and the engine lock only
+        guards counters; featurization of the misses runs outside both so
+        concurrent callers overlap on the expensive part.  Two threads missing the same
         profile simultaneously both featurize it (both misses are counted,
         last insert wins) — wasted work, never corruption of *this* cache.
         The wrapped judge's ``featurize_profiles`` must itself tolerate the
@@ -223,29 +257,30 @@ class ColocationEngine:
         missing: dict[ProfileKey, Profile] = {}
         resolved: dict[ProfileKey, np.ndarray] = {}
         call_hits = 0
+        for key, profile in zip(keys, profiles):
+            if key in resolved or key in missing:
+                continue
+            row = self.store.get(key)
+            if row is not None:
+                call_hits += 1
+                resolved[key] = row
+            else:
+                missing[key] = profile
         with self._lock:
-            for key, profile in zip(keys, profiles):
-                if key in resolved or key in missing:
-                    continue
-                row = self._cache.get(key)
-                if row is not None:
-                    self._cache.move_to_end(key)
-                    self._hits += 1
-                    call_hits += 1
-                    resolved[key] = row
-                else:
-                    self._misses += 1
-                    missing[key] = profile
+            self._hits += call_hits
+            self._misses += len(missing)
         if missing:
             batch = list(missing.values())
             rows = self.judge.featurize_profiles(batch)
             with self._lock:
                 self._featurized += len(batch)
-                for profile, row in zip(batch, rows):
-                    key = profile_key(profile)
-                    resolved[key] = row
-                    if self.cache_size > 0:
-                        self._insert_row_locked(key, row)
+            for profile, row in zip(batch, rows):
+                key = profile_key(profile)
+                resolved[key] = row
+                # Ownership moves to the store — the engine just allocated
+                # these rows, so no defensive copy (borrowed rows come in
+                # through import_rows, which copies).
+                self.store.put(key, row)
         with self._lock:
             call_invalidated = self._pending_invalidated
             self._pending_invalidated = 0
@@ -257,46 +292,22 @@ class ColocationEngine:
         )
         return np.stack([resolved[key] for key in keys]), stats
 
-    def _insert_row_locked(self, key: ProfileKey, row: np.ndarray) -> None:
-        """Insert one row under the lock, indexing it and enforcing the bound.
-
-        Insertion never drops other revisions of the same user: with
-        revision-exact keys every resident row is correct for its own key,
-        and older generations stay legitimately queryable (timeline replay,
-        the sliding window's not-yet-expired profiles).  Reclaiming dead
-        revisions is the caller's explicit decision — :meth:`invalidate` /
-        :meth:`invalidate_stale` — not an insert side effect.
-        """
-        # Copy: the row is a view into the whole featurized batch, and
-        # caching the view would pin that batch in memory.
-        self._cache[key] = np.array(row, copy=True)
-        self._cache.move_to_end(key)
-        self._index.register(key)
-        while len(self._cache) > self.cache_size:
-            evicted, _ = self._cache.popitem(last=False)
-            self._index.discard(evicted)
-            self._evictions += 1
-
     # ------------------------------------------------------------ invalidation
     def invalidate(self, uids: Iterable[int]) -> int:
         """Drop every cached feature row of the given users; returns rows dropped.
 
         The live-mutation hook: a user whose visit history changed outside
         the revision-stamped path (or whose old rows should be reclaimed
-        eagerly) gets all resident rows — any timestamp, any revision —
-        removed, so the next lookup re-featurizes.  Revision-exact keys
-        already prevent *serving* a stale row; invalidation reclaims the
-        memory and keeps ``cache_info`` honest about live users.
+        eagerly) gets all resident rows — any timestamp, any revision, any
+        tier — removed, so the next lookup re-featurizes.  Revision-exact
+        keys already prevent *serving* a stale row; invalidation reclaims
+        the space and keeps ``cache_info`` honest about live users.
         """
+        dropped = self.store.invalidate(uids)
         with self._lock:
-            dropped = 0
-            for key in self._index.keys_of(uids):
-                if self._cache.pop(key, None) is not None:
-                    dropped += 1
-                self._index.discard(key)
             self._invalidations += dropped
             self._pending_invalidated += dropped
-            return dropped
+        return dropped
 
     def invalidate_stale(self) -> int:
         """Drop resident rows superseded by a higher observed revision.
@@ -305,15 +316,11 @@ class ColocationEngine:
         dropped — they carry no ordering to judge staleness by.
         Returns the rows dropped.
         """
+        dropped = self.store.invalidate_stale()
         with self._lock:
-            dropped = 0
-            for key in self._index.stale_keys():
-                if self._cache.pop(key, None) is not None:
-                    dropped += 1
-                self._index.discard(key)
             self._invalidations += dropped
             self._pending_invalidated += dropped
-            return dropped
+        return dropped
 
     def warm(self, profiles: list[Profile]) -> int:
         """Pre-featurize profiles into the cache; returns rows featurized.
@@ -327,50 +334,61 @@ class ColocationEngine:
         return stats.featurized
 
     def cache_info(self) -> EngineCacheInfo:
-        """Current feature-cache statistics (a consistent snapshot)."""
+        """Current feature-store statistics (a consistent snapshot)."""
+        stats = self.store.stats()
         with self._lock:
             return EngineCacheInfo(
                 hits=self._hits,
                 misses=self._misses,
-                evictions=self._evictions,
-                size=len(self._cache),
-                maxsize=self.cache_size,
+                evictions=stats.evictions,
+                size=stats.size,
+                maxsize=stats.maxsize,
                 featurized=self._featurized,
                 invalidated=self._invalidations,
+                hot_hits=stats.hot_hits,
+                cold_hits=stats.cold_hits,
+                promotions=stats.promotions,
+                demotions=stats.demotions,
+                cold_size=stats.cold_size,
             )
 
     def clear_cache(self) -> None:
-        """Drop every cached feature row (keeps the counters)."""
-        with self._lock:
-            self._cache.clear()
-            self._index.clear()
+        """Drop every cached feature row, all tiers (keeps the counters)."""
+        self.store.clear()
+
+    def close(self) -> None:
+        """Flush and release the store's cold tier, if any (idempotent)."""
+        close = getattr(self.store, "close", None)
+        if close is not None:
+            close()
 
     def export_cache(self) -> dict[ProfileKey, np.ndarray]:
-        """Copy the cached feature rows, LRU order preserved (coldest first).
+        """Deprecated: use ``engine.store.export()``.
 
-        The snapshot half of shard warm-start: a restarted worker calls
-        :meth:`import_cache` with a previous incarnation's export and serves
-        its first window from a hot cache instead of refeaturizing it.
+        The snapshot half of wire warm-start, kept as a shim over the store
+        so existing callers survive the extraction.
         """
-        with self._lock:
-            return {key: np.array(row, copy=True) for key, row in self._cache.items()}
+        warnings.warn(
+            "ColocationEngine.export_cache() is deprecated; use engine.store.export()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.store.export()
 
     def import_cache(self, rows: dict[ProfileKey, np.ndarray]) -> int:
-        """Install previously exported feature rows; returns imported rows kept.
+        """Deprecated: use ``engine.store.import_rows()``.
 
-        Imported rows count as neither hits nor misses (they were computed by
-        another engine); the LRU bound still applies, so importing more rows
-        than ``cache_size`` keeps only the hottest (last-iterated) tail of
-        the export.  The return value counts imported rows still resident
-        after the bound was enforced — evictions of pre-existing rows do not
-        subtract from it.
+        Imported rows count as neither hits nor misses (they were computed
+        by another engine); the hot-tier bound still applies, so importing
+        more rows than ``cache_size`` keeps only the hottest (last-iterated)
+        tail of the export.  Returns imported rows still resident.
         """
-        if self.cache_size == 0:
-            return 0
-        with self._lock:
-            for key, row in rows.items():
-                self._insert_row_locked(key, row)
-            return sum(1 for key in rows if key in self._cache)
+        warnings.warn(
+            "ColocationEngine.import_cache() is deprecated; use engine.store.import_rows()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.store.import_rows(rows)
 
     # -------------------------------------------------------------- judgement
     def _score_batched(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:

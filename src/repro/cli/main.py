@@ -313,6 +313,7 @@ def cmd_worker(args: argparse.Namespace) -> int:
         "cache_size": args.cache_size,
         "threshold": args.threshold,
         "batch_size": args.batch_size,
+        "arena_dir": args.arena_dir,
     }
     if args.connect:
         host, port = _parse_endpoint(args.connect)
@@ -441,6 +442,11 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--id", type=int, default=0, help="worker index (with --connect)")
     worker.add_argument("--token", help="gateway HELLO token (with --connect)")
     worker.add_argument("--cache-size", type=int, default=4096, help="feature-cache rows")
+    worker.add_argument(
+        "--arena-dir",
+        default=None,
+        help="memmap arena slice directory for the cold feature tier",
+    )
     worker.add_argument("--threshold", type=float, default=None, help="decision threshold")
     worker.add_argument("--batch-size", type=int, default=1024, help="scoring chunk size")
     worker.add_argument(

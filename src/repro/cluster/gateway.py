@@ -57,7 +57,7 @@ from repro.api.engine import ColocationEngine, EngineCacheInfo
 from repro.api.messages import JudgeRequest, JudgeResponse
 from repro.cluster import wire
 from repro.cluster.metrics import ClusterMetrics
-from repro.cluster.sharded import route_snapshot_rows, shard_index
+from repro.cluster.sharded import route_snapshot_rows, shard_arena_dir, shard_index
 from repro.cluster.worker import save_judge_bundle, worker_main
 from repro.core.protocols import (
     ProfileKey,
@@ -122,6 +122,12 @@ class WorkerPool:
     bundle_dir:
         Reuse an existing :func:`save_judge_bundle` directory instead of
         writing a fresh one (the pool then does not delete it on close).
+    arena_dir:
+        Optional cold-tier root: each worker tiers its cache onto a memmap
+        arena slice ``arena_dir/worker-NNN``.  A respawned worker then
+        warm-starts by *mapping its slice* — zero featurize calls, zero rows
+        on the wire — and the gateway's retained-row reship is skipped (it
+        remains the fallback when no arena is configured).
     """
 
     def __init__(
@@ -137,6 +143,7 @@ class WorkerPool:
         start_timeout: float = 120.0,
         call_timeout: float | None = None,
         bundle_dir: str | None = None,
+        arena_dir: str | None = None,
     ):
         if num_workers < 1:
             raise ConfigurationError("num_workers must be >= 1")
@@ -147,6 +154,7 @@ class WorkerPool:
         self.cache_size = cache_size
         self.batch_size = batch_size
         self.respawn = respawn
+        self.arena_dir = arena_dir
         self.start_timeout = start_timeout
         self.call_timeout = call_timeout
         self.metrics = metrics if metrics is not None else ClusterMetrics(self)
@@ -257,6 +265,7 @@ class WorkerPool:
                     "cache_size": self._worker_cache_sizes[index],
                     "threshold": self._explicit_threshold,
                     "batch_size": self.batch_size,
+                    "arena_dir": shard_arena_dir(self.arena_dir, index, prefix="worker"),
                 },
                 daemon=True,
                 name=f"repro-worker-{index}",
@@ -307,8 +316,11 @@ class WorkerPool:
             (replacement,) = self._spawn_many([index])
             self._handles[index] = replacement
             self._observe("observe_worker_respawn")
+            # With an arena the respawned worker already mapped its slice —
+            # its warm set came off disk, not the wire.  The retained-row
+            # reship below is the no-arena fallback.
             retained = self._retained[index]
-            if retained:
+            if retained and self.arena_dir is None:
                 try:
                     self._request_sync(
                         replacement,

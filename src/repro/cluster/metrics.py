@@ -81,6 +81,18 @@ class ClusterMetricsSnapshot:
                 f"cache: size={self.cache.size}/{self.cache.maxsize} "
                 f"hit_rate={self.cache.hit_rate:.3f} featurized={self.cache.featurized}"
             )
+            tiered = (
+                self.cache.cold_hits
+                or self.cache.promotions
+                or self.cache.demotions
+                or self.cache.cold_size
+            )
+            if tiered:  # only clusters running a cold tier get the extra line
+                lines.append(
+                    f"tiers: hot_hits={self.cache.hot_hits} "
+                    f"cold_hits={self.cache.cold_hits} cold_size={self.cache.cold_size} "
+                    f"promotions={self.cache.promotions} demotions={self.cache.demotions}"
+                )
         for index, info in enumerate(self.shard_caches):
             lines.append(
                 f"  shard {index}: size={info.size}/{info.maxsize} "

@@ -35,6 +35,7 @@ lock (memory-lean, gather parallelism disabled).
 from __future__ import annotations
 
 import copy
+import os
 import threading
 import zlib
 from concurrent.futures import ThreadPoolExecutor
@@ -74,6 +75,20 @@ def shard_index(key: "ProfileKey | int", num_shards: int) -> int:
     bits = (uid.bit_length() if uid >= 0 else (~uid).bit_length()) + 1
     length = max(8, (bits + 7) // 8)
     return zlib.crc32(uid.to_bytes(length, "big", signed=True)) % num_shards
+
+
+def shard_arena_dir(
+    root: "str | os.PathLike | None", index: int, prefix: str = "shard"
+) -> str | None:
+    """The arena slice directory of one shard/worker under a shared root.
+
+    Slices are per-owner subdirectories (``shard-003``, ``worker-001``)
+    because each arena file has exactly one writer; the shared *root* is
+    what a whole cluster points at to warm-start.  ``None`` root → no arena.
+    """
+    if root is None:
+        return None
+    return os.path.join(os.fspath(root), f"{prefix}-{index:03d}")
 
 
 def route_snapshot_rows(
@@ -129,6 +144,11 @@ class ShardedEngine:
     max_workers:
         Thread-pool width for per-shard feature gathering; defaults to
         ``num_shards``.
+    arena_dir:
+        Optional cold-tier root: each shard gets its own memmap arena slice
+        ``arena_dir/shard-NNN`` behind its hot LRU, so evicted rows demote
+        to disk instead of dropping and a restarted cluster pointed at the
+        same directory warm-starts without re-featurizing.
     """
 
     def __init__(
@@ -142,6 +162,7 @@ class ShardedEngine:
         registry=None,
         replicate_judge: bool = True,
         max_workers: int | None = None,
+        arena_dir: str | os.PathLike | None = None,
     ):
         if num_shards < 1:
             raise ConfigurationError("num_shards must be >= 1")
@@ -163,6 +184,7 @@ class ShardedEngine:
         # Split the total budget exactly: the first cache_size % num_shards
         # shards take the remainder, so merged maxsize == cache_size.
         base, extra = divmod(cache_size, num_shards)
+        self.arena_dir = arena_dir
         self.shards: list[ColocationEngine] = []
         for index in range(num_shards):
             shard_judge = copy.deepcopy(judge) if self.replicated else judge
@@ -173,6 +195,7 @@ class ShardedEngine:
                     threshold=threshold,
                     batch_size=batch_size,
                     registry=registry,
+                    arena_dir=shard_arena_dir(arena_dir, index),
                 )
             )
         # Featurization must be serialised per judge instance: the judges'
@@ -223,8 +246,10 @@ class ShardedEngine:
         return shard_index(profile_key(profile), self.num_shards)
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
+        """Shut down the gather pool and flush shard arenas (idempotent)."""
         self._pool.shutdown(wait=True)
+        for shard in self.shards:
+            shard.close()
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -328,11 +353,11 @@ class ShardedEngine:
         return sum(shard.invalidate_stale() for shard in self.shards)
 
     def snapshot(self) -> tuple[dict[ProfileKey, np.ndarray], ...]:
-        """Per-shard cache exports, index-aligned with :attr:`shards`."""
-        return tuple(shard.export_cache() for shard in self.shards)
+        """Per-shard store exports, index-aligned with :attr:`shards`."""
+        return tuple(shard.store.export() for shard in self.shards)
 
     def restore(self, snapshot: tuple[dict[ProfileKey, np.ndarray], ...]) -> int:
-        """Repopulate shard caches from a :meth:`snapshot`; returns rows kept.
+        """Repopulate shard stores from a :meth:`snapshot`; returns rows kept.
 
         Every row is re-routed by its key's stable hash, so a snapshot taken
         at one shard count restores correctly into another — see
@@ -340,7 +365,7 @@ class ShardedEngine:
         """
         routed = route_snapshot_rows(snapshot, self.num_shards)
         return sum(
-            shard.import_cache(rows) for shard, rows in zip(self.shards, routed)
+            shard.store.import_rows(rows) for shard, rows in zip(self.shards, routed)
         )
 
     # -------------------------------------------------------------- judgement

@@ -168,12 +168,17 @@ def handle_call(engine, payload: bytes) -> bytes:
                 "maxsize": info.maxsize,
                 "featurized": info.featurized,
                 "invalidated": info.invalidated,
+                "hot_hits": info.hot_hits,
+                "cold_hits": info.cold_hits,
+                "promotions": info.promotions,
+                "demotions": info.demotions,
+                "cold_size": info.cold_size,
             }
         )
     if op == "threshold":
         return wire.encode_payload({"threshold": float(engine.threshold)})
     if op == "snapshot":
-        export = engine.export_cache()
+        export = engine.store.export()
         keys = [[k[0], k[1], k[2], k[3], key_revision(k)] for k in export]
         rows = [np.stack(list(export.values()))] if export else []
         return wire.encode_payload({"keys": keys}, rows)
@@ -184,7 +189,7 @@ def handle_call(engine, payload: bytes) -> bytes:
             raise WireProtocolError(
                 f"restore carries {len(keys)} keys but {len(rows)} rows"
             )
-        imported = engine.import_cache(dict(zip(keys, rows)))
+        imported = engine.store.import_rows(dict(zip(keys, rows)))
         return wire.encode_payload({"imported": imported})
     raise ConfigurationError(f"unknown worker operation {op!r}")
 
@@ -246,11 +251,22 @@ def serve_connection(sock, engine) -> None:
         wire.send_frame(sock, wire.FRAME_RESULT, result)
 
 
-def _build_engine(judge, *, cache_size: int, threshold: float | None, batch_size: int):
+def _build_engine(
+    judge,
+    *,
+    cache_size: int,
+    threshold: float | None,
+    batch_size: int,
+    arena_dir: str | None = None,
+):
     from repro.api.engine import ColocationEngine
 
     return ColocationEngine(
-        judge, cache_size=cache_size, threshold=threshold, batch_size=batch_size
+        judge,
+        cache_size=cache_size,
+        threshold=threshold,
+        batch_size=batch_size,
+        arena_dir=arena_dir,
     )
 
 
@@ -272,17 +288,24 @@ def run_worker_client(
     cache_size: int = 4096,
     threshold: float | None = None,
     batch_size: int = 1024,
+    arena_dir: str | None = None,
 ) -> None:
     """Connect to a gateway, identify with a HELLO frame, serve until shutdown.
 
     The HELLO carries ``worker_id`` + the spawn ``token``, so a stray
     connection cannot impersonate a worker.  The CLI's ``worker --connect``
     runs this over a loaded pipeline; spawned workers come in through
-    :func:`worker_main`.
+    :func:`worker_main`.  With ``arena_dir`` the engine tiers onto a memmap
+    arena slice — a respawned worker pointed at the same slice maps its
+    predecessor's warm set off disk instead of receiving it over the wire.
     """
     _install_sigterm_exit()
     engine = _build_engine(
-        judge, cache_size=cache_size, threshold=threshold, batch_size=batch_size
+        judge,
+        cache_size=cache_size,
+        threshold=threshold,
+        batch_size=batch_size,
+        arena_dir=arena_dir,
     )
     sock = socket.create_connection((host, port), timeout=60.0)
     try:
@@ -299,6 +322,7 @@ def run_worker_client(
         serve_connection(sock, engine)
     finally:
         sock.close()
+        engine.close()  # flush + compact the arena slice on clean exit
 
 
 def worker_main(
@@ -310,6 +334,7 @@ def worker_main(
     cache_size: int = 4096,
     threshold: float | None = None,
     batch_size: int = 1024,
+    arena_dir: str | None = None,
 ) -> None:
     """Entry point of a spawned worker process: load the bundle, then serve."""
     run_worker_client(
@@ -321,6 +346,7 @@ def worker_main(
         cache_size=cache_size,
         threshold=threshold,
         batch_size=batch_size,
+        arena_dir=arena_dir,
     )
 
 
@@ -332,6 +358,7 @@ def run_worker_listener(
     cache_size: int = 4096,
     threshold: float | None = None,
     batch_size: int = 1024,
+    arena_dir: str | None = None,
     once: bool = False,
     ready=None,
 ) -> None:
@@ -344,7 +371,11 @@ def run_worker_listener(
     """
     _install_sigterm_exit()
     engine = _build_engine(
-        judge, cache_size=cache_size, threshold=threshold, batch_size=batch_size
+        judge,
+        cache_size=cache_size,
+        threshold=threshold,
+        batch_size=batch_size,
+        arena_dir=arena_dir,
     )
     listener = socket.create_server((host, port))
     try:
@@ -361,3 +392,4 @@ def run_worker_listener(
                 return
     finally:
         listener.close()
+        engine.close()

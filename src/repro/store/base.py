@@ -1,0 +1,100 @@
+"""The feature-store contract: what a serving cache must do, tier-agnostic.
+
+:class:`FeatureStore` is the structural protocol every serving transport's
+feature cache satisfies — the single hot-tier LRU (:class:`repro.store.HotStore`),
+the memmap arena cold tier (:class:`repro.store.ArenaStore`), and the
+:class:`repro.store.TieredStore` that composes them.  The
+:class:`repro.api.ColocationEngine` talks only to this contract, so swapping
+the cache layout (bigger-than-RAM cold tiers, shared read-only arenas, future
+remote tiers) never touches the judgement path.
+
+Ownership rule: ``put(key, row)`` *moves* the row into the store — callers
+that just allocated the row (the engine inserting the batch it featurized)
+hand it over without a defensive copy; callers holding borrowed rows
+(``import_rows`` restoring another engine's export, wire restores) pass
+``copy=True``.  ``get`` returns rows the caller must treat as read-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.protocols import ProfileKey
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """One consistent snapshot of a store's tier traffic and occupancy.
+
+    ``size``/``maxsize`` describe the hot (in-RAM) tier — the numbers the
+    legacy engine cache reported — while ``cold_size`` counts live rows in
+    the cold arena.  ``hot_hits``/``cold_hits`` split lookup traffic by the
+    tier that answered; ``promotions`` are cold rows copied into the hot
+    tier on a hot-miss/cold-hit, ``demotions`` are hot-tier evictions whose
+    row stayed reachable in the cold tier instead of being dropped.
+    """
+
+    size: int
+    maxsize: int
+    evictions: int = 0
+    hot_hits: int = 0
+    cold_hits: int = 0
+    promotions: int = 0
+    demotions: int = 0
+    cold_size: int = 0
+
+
+@runtime_checkable
+class FeatureStore(Protocol):
+    """What the serving layer requires of a feature-row cache.
+
+    Implementations are thread-safe: the engine featurizes outside any lock
+    and concurrent callers race benignly (both featurize a shared miss, last
+    insert wins), so every store method must tolerate interleaved calls.
+    """
+
+    #: Hot-tier row bound (0 disables in-RAM caching).
+    capacity: int
+
+    def get(self, key: ProfileKey) -> np.ndarray | None:
+        """The row cached under ``key`` (any tier), or ``None``.  Treat as read-only."""
+        ...
+
+    def put(self, key: ProfileKey, row: np.ndarray, *, copy: bool = False) -> None:
+        """Install a row, taking ownership; ``copy=True`` for borrowed rows."""
+        ...
+
+    def invalidate(self, uids: Iterable[int]) -> int:
+        """Drop every row of the given users, all tiers; returns keys dropped."""
+        ...
+
+    def invalidate_stale(self) -> int:
+        """Drop rows superseded by a higher observed revision; returns keys dropped."""
+        ...
+
+    def clear(self) -> None:
+        """Drop every resident row (counters survive)."""
+        ...
+
+    def export(self) -> dict[ProfileKey, np.ndarray]:
+        """Copy the hot tier's rows, LRU order preserved (coldest first)."""
+        ...
+
+    def import_rows(self, rows: dict[ProfileKey, np.ndarray]) -> int:
+        """Install borrowed rows (always copied); returns keys still resident."""
+        ...
+
+    def stats(self) -> StoreStats:
+        """Current tier traffic and occupancy."""
+        ...
+
+    def __len__(self) -> int:
+        """Hot-tier rows resident."""
+        ...
+
+    def __contains__(self, key: ProfileKey) -> bool:
+        """Whether ``key`` is resident in any tier."""
+        ...

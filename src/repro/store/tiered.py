@@ -1,0 +1,177 @@
+""":class:`TieredStore` — hot LRU over a cold memmap arena.
+
+The composition the serving transports actually run: every lookup tries the
+in-RAM :class:`repro.store.HotStore` first, falls through to the
+:class:`repro.store.ArenaStore`, and a cold hit *promotes* the row back into
+RAM.  Writes are write-through — a freshly featurized row lands in the arena
+immediately, so the durable tier is complete even if the process dies the
+next instant (this is what makes crash-respawn warm starts featurize-free).
+Hot-tier LRU evictions become *demotions*: because the arena already holds
+the row, eviction only sheds the RAM copy and the row stays servable at
+cold-read cost instead of re-featurization cost.
+
+With ``cold=None`` the tiered store degenerates to the plain hot LRU — the
+default for every transport when no arena directory is configured, with
+byte-identical semantics to the pre-store engine cache.  A read-only cold
+tier (an arena mapped ``mode="r"``) serves lookups and promotions but is
+skipped by writes, demotions, invalidation, and clear.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.protocols import ProfileKey
+from repro.store.arena import ArenaStore
+from repro.store.base import StoreStats
+from repro.store.hot import HotStore
+
+
+class TieredStore:
+    """Two-tier feature store: RAM LRU in front, memmap arena behind.
+
+    Parameters
+    ----------
+    hot:
+        The in-RAM tier.  Its ``on_evict`` hook is claimed by this store
+        (evictions turn into demotion accounting).
+    cold:
+        Optional arena tier; ``None`` leaves a single-tier LRU.
+    """
+
+    def __init__(self, hot: HotStore, cold: ArenaStore | None = None):
+        self._hot = hot
+        self._cold = cold
+        self._hot._on_evict = self._demote
+        self._counters = threading.Lock()
+        self._cold_hits = 0
+        self._promotions = 0
+        self._demotions = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._hot.capacity
+
+    @property
+    def hot(self) -> HotStore:
+        return self._hot
+
+    @property
+    def cold(self) -> ArenaStore | None:
+        return self._cold
+
+    def _cold_writable(self) -> bool:
+        return self._cold is not None and self._cold.writable
+
+    # ----------------------------------------------------------------- lookups
+    def get(self, key: ProfileKey) -> np.ndarray | None:
+        row = self._hot.get(key)
+        if row is not None:
+            return row
+        if self._cold is None:
+            return None
+        # The arena copies under its own lock (a recycled slot must not tear
+        # into the returned row); the hot tier then owns that stable copy.
+        row = self._cold.get(key)
+        if row is None:
+            return None
+        promoted = False
+        if self._hot.capacity > 0:
+            self._hot.put(key, row)
+            promoted = True
+        with self._counters:
+            self._cold_hits += 1
+            if promoted:
+                self._promotions += 1
+        return row
+
+    def put(self, key: ProfileKey, row: np.ndarray, *, copy: bool = False) -> None:
+        # Write-through: the arena copies into the mapped file, making the
+        # row durable before the RAM tier ever sees it.
+        if self._cold_writable():
+            self._cold.put(key, row)
+        self._hot.put(key, row, copy=copy)
+
+    def _demote(self, key: ProfileKey, row: np.ndarray) -> None:
+        """Hot-tier eviction hook: keep the row reachable in the arena."""
+        if not self._cold_writable():
+            return
+        if key not in self._cold:
+            self._cold.put(key, row)
+        with self._counters:
+            self._demotions += 1
+
+    def __len__(self) -> int:
+        return len(self._hot)
+
+    def __contains__(self, key: ProfileKey) -> bool:
+        if key in self._hot:
+            return True
+        return self._cold is not None and key in self._cold
+
+    # ------------------------------------------------------------ invalidation
+    def invalidate(self, uids: Iterable[int]) -> int:
+        uids = list(uids)
+        dropped = set(self._hot.drop_keys(self._hot.keys_of(uids)))
+        if self._cold_writable():
+            dropped.update(self._cold.drop_keys(self._cold.keys_of(uids)))
+        return len(dropped)
+
+    def invalidate_stale(self) -> int:
+        dropped = set(self._hot.drop_keys(self._hot.stale_keys()))
+        if self._cold_writable():
+            dropped.update(self._cold.drop_keys(self._cold.stale_keys()))
+        return len(dropped)
+
+    def clear(self) -> None:
+        self._hot.clear()
+        if self._cold_writable():
+            self._cold.clear()
+
+    # -------------------------------------------------------- snapshot/restore
+    def export(self) -> dict[ProfileKey, np.ndarray]:
+        """Copy the hot tier's rows (the wire snapshot stays RAM-sized)."""
+        return self._hot.export()
+
+    def import_rows(self, rows: dict[ProfileKey, np.ndarray]) -> int:
+        for key, row in rows.items():
+            self.put(key, row, copy=True)
+        return sum(1 for key in rows if key in self)
+
+    # --------------------------------------------------------------- lifecycle
+    def sync(self) -> None:
+        """Flush the cold tier to the OS (no-op without one)."""
+        if self._cold is not None:
+            self._cold.sync()
+
+    def close(self) -> None:
+        """Release the cold tier's mapping (hot rows stay usable)."""
+        if self._cold is not None:
+            self._cold.close()
+
+    # --------------------------------------------------------------- telemetry
+    def stats(self) -> StoreStats:
+        hot = self._hot.stats()
+        with self._counters:
+            cold_hits, promotions, demotions = (
+                self._cold_hits,
+                self._promotions,
+                self._demotions,
+            )
+        return StoreStats(
+            size=hot.size,
+            maxsize=hot.maxsize,
+            evictions=hot.evictions,
+            hot_hits=hot.hot_hits,
+            cold_hits=cold_hits,
+            promotions=promotions,
+            demotions=demotions,
+            cold_size=len(self._cold) if self._cold is not None else 0,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cold = f", cold={len(self._cold)}" if self._cold is not None else ""
+        return f"TieredStore(hot={len(self._hot)}/{self._hot.capacity}{cold})"
