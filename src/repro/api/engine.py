@@ -277,9 +277,9 @@ class ColocationEngine:
             for profile, row in zip(batch, rows):
                 key = profile_key(profile)
                 resolved[key] = row
-                # Ownership moves to the store — the engine just allocated
-                # these rows, so no defensive copy (borrowed rows come in
-                # through import_rows, which copies).
+                # Each row is a view into the featurized (B, D) batch; the
+                # hot tier copies views on insert so one resident row never
+                # pins the whole batch in RAM.
                 self.store.put(key, row)
         with self._lock:
             call_invalidated = self._pending_invalidated

@@ -15,8 +15,11 @@ On-disk format (one directory per arena slice; exactly one writer at a time):
 * ``index.log`` — append-only JSONL of ``put`` / ``del`` / ``clear``
   records mapping keys to slots.  Each record is one line flushed to the OS
   as it is written, so a *process* crash loses at most the torn final line
-  (replay skips undecodable lines); everything acknowledged before the crash
-  is recovered.  :meth:`close` compacts the log to the live mapping.
+  (replay tolerates exactly that: an undecodable *last* line is dropped,
+  corruption anywhere earlier refuses to map — skipping a mid-file ``del``
+  could alias two keys onto one recycled slot); everything acknowledged
+  before the crash is recovered.  :meth:`close` compacts the log to the
+  live mapping.
 
 Invalidation is tombstone-based: a ``del`` record frees the slot (the row
 bytes stay in the file but become unreachable) and the free list recycles it
@@ -166,28 +169,38 @@ class ArenaStore:
         if not log_path.exists():
             return
         with open(log_path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                try:
-                    record = json.loads(line)
-                except ValueError:
-                    continue  # torn tail line from a crash mid-append
-                op = record.get("op")
-                if op == "put":
-                    key = _decode_key(record["key"])
-                    slot = int(record["slot"])
-                    if key in self._slots:
-                        self._slots.move_to_end(key)
-                        self._slots[key] = slot
-                    else:
-                        self._slots[key] = slot
-                        self._index.register(key)
-                elif op == "del":
-                    key = _decode_key(record["key"])
-                    self._slots.pop(key, None)
-                    self._index.discard(key)
-                elif op == "clear":
-                    self._slots.clear()
-                    self._index = RevisionedKeyIndex()
+            lines = handle.readlines()
+        for lineno, line in enumerate(lines, start=1):
+            try:
+                record = json.loads(line)
+            except ValueError:
+                if lineno == len(lines):
+                    break  # torn tail line from a crash mid-append
+                # A corrupt record anywhere else is real damage: skipping a
+                # mid-file "del" would resurrect a tombstoned key whose slot
+                # may since have been recycled, aliasing two keys onto one
+                # slot — refuse to map rather than serve another key's bytes.
+                raise ConfigurationError(
+                    f"corrupt arena index log in {self.directory} "
+                    f"(line {lineno} of {len(lines)})"
+                )
+            op = record.get("op")
+            if op == "put":
+                key = _decode_key(record["key"])
+                slot = int(record["slot"])
+                if key in self._slots:
+                    self._slots.move_to_end(key)
+                    self._slots[key] = slot
+                else:
+                    self._slots[key] = slot
+                    self._index.register(key)
+            elif op == "del":
+                key = _decode_key(record["key"])
+                self._slots.pop(key, None)
+                self._index.discard(key)
+            elif op == "clear":
+                self._slots.clear()
+                self._index = RevisionedKeyIndex()
         allocated = set(self._slots.values())
         self._high_water = max(allocated) + 1 if allocated else 0
         self._free = [slot for slot in range(self._high_water) if slot not in allocated]

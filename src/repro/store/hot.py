@@ -65,6 +65,12 @@ class HotStore:
     def put(self, key: ProfileKey, row: np.ndarray, *, copy: bool = False) -> None:
         """Install a row, taking ownership (``copy=True`` for borrowed rows).
 
+        Views are always copied, even with ``copy=False``: a view keeps its
+        whole base array alive, so caching one row of a featurized ``(B, D)``
+        batch would pin the entire batch in RAM and ``capacity`` would no
+        longer bound this tier's memory.  Only a standalone array (no base)
+        is taken by reference.
+
         Insertion never drops other revisions of the same user: with
         revision-exact keys every resident row is correct for its own key,
         and older generations stay legitimately queryable (timeline replay,
@@ -74,7 +80,9 @@ class HotStore:
         """
         if self.capacity == 0:
             return
-        row = np.array(row, copy=True) if copy else np.asarray(row)
+        row = np.asarray(row)
+        if copy or row.base is not None:
+            row = np.array(row, copy=True)
         with self._lock:
             self._rows[key] = row
             self._rows.move_to_end(key)

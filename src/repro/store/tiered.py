@@ -14,7 +14,10 @@ With ``cold=None`` the tiered store degenerates to the plain hot LRU — the
 default for every transport when no arena directory is configured, with
 byte-identical semantics to the pre-store engine cache.  A read-only cold
 tier (an arena mapped ``mode="r"``) serves lookups and promotions but is
-skipped by writes, demotions, invalidation, and clear.
+skipped by writes and demotions; invalidation and clear cannot mutate the
+shared file, so dropped keys are remembered in an in-memory tombstone set
+that lookups consult — the row stays in the arena for other mappers but is
+dead to *this* store until a fresh put supersedes the drop.
 """
 
 from __future__ import annotations
@@ -50,6 +53,10 @@ class TieredStore:
         self._cold_hits = 0
         self._promotions = 0
         self._demotions = 0
+        #: Keys invalidated while the cold tier is read-only: the shared
+        #: arena file cannot be mutated, so get() consults this set to keep
+        #: the "removed from any tier" invalidation contract honest.
+        self._ro_tombstones: set[ProfileKey] = set()
 
     @property
     def capacity(self) -> int:
@@ -73,6 +80,8 @@ class TieredStore:
             return row
         if self._cold is None:
             return None
+        if self._ro_tombstones and key in self._ro_tombstones:
+            return None  # invalidated against a read-only cold tier
         # The arena copies under its own lock (a recycled slot must not tear
         # into the returned row); the hot tier then owns that stable copy.
         row = self._cold.get(key)
@@ -93,6 +102,9 @@ class TieredStore:
         # row durable before the RAM tier ever sees it.
         if self._cold_writable():
             self._cold.put(key, row)
+        if self._ro_tombstones:
+            with self._counters:
+                self._ro_tombstones.discard(key)  # a fresh row supersedes the drop
         self._hot.put(key, row, copy=copy)
 
     def _demote(self, key: ProfileKey, row: np.ndarray) -> None:
@@ -110,26 +122,41 @@ class TieredStore:
     def __contains__(self, key: ProfileKey) -> bool:
         if key in self._hot:
             return True
-        return self._cold is not None and key in self._cold
+        if self._cold is None or key in self._ro_tombstones:
+            return False
+        return key in self._cold
 
     # ------------------------------------------------------------ invalidation
+    def _tombstone_cold(self, keys: Iterable[ProfileKey]) -> list[ProfileKey]:
+        """Record read-only-cold drops; returns the keys newly tombstoned."""
+        with self._counters:
+            fresh = [key for key in keys if key not in self._ro_tombstones]
+            self._ro_tombstones.update(fresh)
+        return fresh
+
     def invalidate(self, uids: Iterable[int]) -> int:
         uids = list(uids)
         dropped = set(self._hot.drop_keys(self._hot.keys_of(uids)))
         if self._cold_writable():
             dropped.update(self._cold.drop_keys(self._cold.keys_of(uids)))
+        elif self._cold is not None:
+            dropped.update(self._tombstone_cold(self._cold.keys_of(uids)))
         return len(dropped)
 
     def invalidate_stale(self) -> int:
         dropped = set(self._hot.drop_keys(self._hot.stale_keys()))
         if self._cold_writable():
             dropped.update(self._cold.drop_keys(self._cold.stale_keys()))
+        elif self._cold is not None:
+            dropped.update(self._tombstone_cold(self._cold.stale_keys()))
         return len(dropped)
 
     def clear(self) -> None:
         self._hot.clear()
         if self._cold_writable():
             self._cold.clear()
+        elif self._cold is not None:
+            self._tombstone_cold(self._cold.keys())
 
     # -------------------------------------------------------- snapshot/restore
     def export(self) -> dict[ProfileKey, np.ndarray]:
@@ -161,6 +188,8 @@ class TieredStore:
                 self._promotions,
                 self._demotions,
             )
+            tombstoned = len(self._ro_tombstones)
+        cold_size = max(0, len(self._cold) - tombstoned) if self._cold is not None else 0
         return StoreStats(
             size=hot.size,
             maxsize=hot.maxsize,
@@ -169,7 +198,7 @@ class TieredStore:
             cold_hits=cold_hits,
             promotions=promotions,
             demotions=demotions,
-            cold_size=len(self._cold) if self._cold is not None else 0,
+            cold_size=cold_size,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

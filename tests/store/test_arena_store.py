@@ -60,6 +60,21 @@ def test_replay_tolerates_a_torn_log_tail(tmp_path):
     assert len(reopened) == 2  # the torn record is skipped, not fatal
 
 
+def test_replay_refuses_mid_file_corruption(tmp_path):
+    """Only a torn *tail* is a crash artefact; damage earlier in the log
+    could swallow a del record and alias two keys onto one recycled slot,
+    so mapping must fail instead of serving another key's bytes."""
+    with ArenaStore(tmp_path) as arena:
+        arena.put(key(1), row(1.0))
+        arena.put(key(2), row(2.0))
+    log = tmp_path / "index.log"
+    lines = log.read_text().splitlines()
+    lines.insert(1, "not a json record")
+    log.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ConfigurationError):
+        ArenaStore(tmp_path)
+
+
 def test_read_only_mapping_serves_reads_and_refuses_writes(tmp_path):
     with ArenaStore(tmp_path) as arena:
         arena.put(key(1), row(1.0))

@@ -40,6 +40,16 @@ def test_put_takes_ownership_without_copy_by_default():
     assert store.get(key(1)) is owned
 
 
+def test_put_copies_views_so_one_row_never_pins_its_base_batch():
+    store = HotStore(4)
+    batch = np.arange(12.0).reshape(3, 4)  # a featurized (B, D) batch
+    store.put(key(1), batch[0])
+    cached = store.get(key(1))
+    assert cached.base is None  # no reference into the batch keeps it alive
+    batch[0] = -1.0
+    assert np.array_equal(cached, np.arange(4.0))
+
+
 def test_put_copy_true_defends_against_borrowed_rows():
     store = HotStore(4)
     borrowed = row(1.0)

@@ -107,8 +107,37 @@ def test_read_only_cold_tier_serves_but_is_never_mutated(tmp_path):
     tiered = TieredStore(HotStore(2), ArenaStore(tmp_path, mode="r"))
     assert np.array_equal(tiered.get(key(1)), row(1.0))  # promoted from cold
     tiered.put(key(2), row(2.0))  # hot-only: the mapping is read-only
-    assert tiered.invalidate([1]) == 1  # drops the promoted hot copy only
-    assert len(tiered.cold) == 1
+    assert tiered.invalidate([1]) == 1  # hot copy dropped, cold copy tombstoned
+    assert len(tiered.cold) == 1  # the shared arena file itself is untouched
+
+
+def test_invalidate_against_read_only_cold_does_not_resurrect(tmp_path):
+    """A dropped key must stay dead: promotion cannot undo invalidation."""
+    with ArenaStore(tmp_path) as writer:
+        writer.put(key(1), row(1.0))
+        writer.put(key(2), row(2.0))
+    tiered = TieredStore(HotStore(4), ArenaStore(tmp_path, mode="r"))
+    assert tiered.invalidate([1]) == 1
+    assert tiered.get(key(1)) is None  # no cold-hit resurrection
+    assert key(1) not in tiered
+    assert np.array_equal(tiered.get(key(2)), row(2.0))  # others unaffected
+    assert len(tiered.cold) == 2  # arena untouched, key 1 just dead here
+    assert tiered.stats().cold_size == 1
+    tiered.put(key(1), row(1.5))  # a fresh row supersedes the drop
+    assert np.array_equal(tiered.get(key(1)), row(1.5))
+
+
+def test_invalidate_stale_and_clear_tombstone_read_only_cold(tmp_path):
+    with ArenaStore(tmp_path) as writer:
+        writer.put(key(1, rev=1), row(1.0))
+        writer.put(key(1, rev=2, ts=9.0), row(2.0))
+    tiered = TieredStore(HotStore(4), ArenaStore(tmp_path, mode="r"))
+    assert tiered.invalidate_stale() == 1
+    assert tiered.get(key(1, rev=1)) is None
+    assert np.array_equal(tiered.get(key(1, rev=2, ts=9.0)), row(2.0))
+    tiered.clear()
+    assert tiered.get(key(1, rev=2, ts=9.0)) is None
+    assert len(tiered.cold) == 2  # both rows still live for other mappers
 
 
 def test_export_is_hot_tier_sized(tiered):
