@@ -1,0 +1,118 @@
+"""Observability tour: tracing, the metrics registry, and worker liveness.
+
+PR 9 gave every serving transport one stage taxonomy and one metrics
+substrate (``repro.obs``).  This script walks the surfaces end to end:
+
+1. fit a small HisRect judge and serve a request **untraced** — the default:
+   no trace attached, every stage site is a shared no-op;
+2. turn tracing on with ``with tracing():`` and read the per-request
+   breakdown from ``JudgeResponse.trace`` — ordered ``[stage, ms]`` pairs
+   drawn from the shared taxonomy (``queue_wait``, ``gather``,
+   ``featurize``, ``score``, wire stages);
+3. serve through a :class:`repro.cluster.MicroBatcher` and watch the
+   measured ``queue_wait`` lead the trace;
+4. register an ``on_slow`` hook that fires only for requests over a latency
+   threshold;
+5. aggregate: render the registry's heaviest-first stage table and the
+   Prometheus-style text exposition;
+6. spawn a :class:`repro.cluster.WorkerPool`, let trace ids cross the wire
+   (worker spans merge back into the caller's trace), pull every worker's
+   registry snapshot through the ``stats`` wire op
+   (``pool.obs_snapshot()``), and read PING/PONG liveness from
+   ``pool.worker_health()``.
+
+Run it with::
+
+    python examples/observability.py
+
+(The ``__main__`` guard is mandatory: workers start via multiprocessing's
+``spawn`` method, which re-imports this module in each child.)
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import ColocationEngine, JudgeRequest
+from repro.cluster import MicroBatcher, WorkerPool
+from repro.cluster.loadgen import LoadConfig, fit_serving_pipeline, generate_requests
+from repro.obs import STAGE_QUEUE_WAIT, format_stage_table, tracing
+
+
+def main() -> None:
+    started = time.perf_counter()
+
+    # ----------------------------------------------------------------- judge
+    print("Fitting a small HisRect judge ...")
+    pipeline, dataset = fit_serving_pipeline(seed=5)
+    config = LoadConfig(num_users=48, num_requests=12, pairs_per_request=4)
+    requests = [
+        JudgeRequest(pairs=tuple(pairs))
+        for pairs in generate_requests(dataset.registry, dataset.training_corpus(), config)
+    ]
+    engine = ColocationEngine(pipeline, cache_size=2048)
+
+    # ------------------------------------------------------ untraced default
+    response = engine.serve(requests[0])
+    print(
+        f"\nuntraced serve: {len(response.probabilities)} pairs judged, "
+        f"response.trace is {response.trace} — tracing is off by default "
+        "and the disabled stage sites are shared no-ops (~250ns each)"
+    )
+
+    # -------------------------------------------------- request-scoped trace
+    with tracing():
+        response = engine.serve(requests[1])
+    trace = response.trace
+    print(f"\ntraced serve {trace['trace_id']}:")
+    for stage, duration_ms in trace["stages"]:
+        print(f"  {stage:<16} {duration_ms:8.3f} ms")
+    print("(featurize nests inside gather — top-level stages partition the wall)")
+
+    # ------------------------------------------- batcher: queue_wait + hooks
+    slow: list[tuple[str, float]] = []
+    with tracing() as tracer:
+        tracer.on_slow(0.0, lambda t, ms: slow.append((t.trace_id, ms)))
+        with MicroBatcher(engine, max_delay_ms=2.0, overflow="block") as batcher:
+            responses = [
+                batcher.submit_serve(request).result(timeout=60)
+                for request in requests
+            ]
+        stage_table = format_stage_table(tracer.registry)
+    first_stage = responses[0].trace["stages"][0]
+    assert first_stage[0] == STAGE_QUEUE_WAIT
+    print(
+        f"\nbatched serves lead with the measured queue wait: "
+        f"{first_stage[0]} = {first_stage[1]:.3f} ms"
+    )
+    print(f"on_slow(0.0) saw all {len(slow)} requests (a real threshold filters)")
+
+    # ----------------------------------------------- aggregate registry view
+    print("\nper-stage breakdown across the batched run (heaviest first):")
+    print(stage_table)
+    exposition = tracer.registry.to_text()
+    print("\nfirst lines of the Prometheus-style exposition:")
+    print("\n".join(exposition.splitlines()[:6]))
+
+    # ----------------------------- worker pool: wire traces, stats, liveness
+    print("\nSpawning a 2-worker pool ...")
+    with tracing():
+        with WorkerPool(pipeline, num_workers=2, cache_size=2048) as pool:
+            response = pool.serve(requests[2])
+            stages = [stage for stage, _ in response.trace["stages"]]
+            print(
+                f"pool trace crosses the wire: {stages}\n"
+                "(wire_serialize/wire_rtt are the gateway's; the extra "
+                "gather/featurize spans rode back from the workers)"
+            )
+            merged = pool.obs_snapshot()
+            print("\ngateway + worker registries merged via the stats wire op:")
+            print(format_stage_table(merged))
+            print(f"worker liveness (PING/PONG heartbeat): {pool.worker_health()}")
+            print(pool.metrics.snapshot().format())
+
+    print(f"\nDone in {time.perf_counter() - started:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -47,6 +47,7 @@ from repro.core.protocols import (
 )
 from repro.data.records import Pair, Profile
 from repro.errors import ConfigurationError
+from repro.obs import STAGE_GATHER, STAGE_SCORE, get_tracer
 
 
 @dataclass(frozen=True)
@@ -163,8 +164,11 @@ class JudgementCore:
         if not pairs:
             return np.zeros(0)
         if self.feature_space:
-            left, right, _ = self.resolve_pair_features(pairs)
-            return self._scorer(left, right)
+            tracer = get_tracer()
+            with tracer.stage(STAGE_GATHER):
+                left, right, _ = self.resolve_pair_features(pairs)
+            with tracer.stage(STAGE_SCORE):
+                return self._scorer(left, right)
         return np.asarray(self.fallback_judge.predict_proba(list(pairs)), dtype=float)
 
     def predict(self, pairs: list[Pair]) -> np.ndarray:
@@ -193,11 +197,14 @@ class JudgementCore:
         if self.feature_space:
             if n < 2:
                 return np.zeros((n, n))
-            features, _ = self._gather(list(profiles))
+            tracer = get_tracer()
+            with tracer.stage(STAGE_GATHER):
+                features, _ = self._gather(list(profiles))
             index_pairs = upper_triangle_pairs(n)
             left = features[[i for i, _ in index_pairs]]
             right = features[[j for _, j in index_pairs]]
-            probabilities = self._scorer(left, right)
+            with tracer.stage(STAGE_SCORE):
+                probabilities = self._scorer(left, right)
             return symmetric_probability_matrix(n, index_pairs, probabilities)
         if hasattr(self.fallback_judge, "probability_matrix"):
             return np.asarray(
@@ -241,11 +248,21 @@ class JudgementCore:
         scorer call over that request's pairs.  ``elapsed_ms`` on every
         response measures the whole batch (the requests were served by one
         call).
+
+        With tracing enabled (:func:`repro.obs.tracing`), every feature-space
+        request gets its own :class:`repro.obs.Trace`: ``gather`` is timed
+        per request, the single coalesced ``score`` measurement is attributed
+        to every participating trace, and the report rides back on
+        ``JudgeResponse.trace``.  Slow-request hooks fire against the batch's
+        ``elapsed_ms`` (the requests were served by one call).
         """
         requests = list(requests)
         for request in requests:
             if request.threshold is not None and not 0.0 <= request.threshold <= 1.0:
                 raise ConfigurationError("request threshold must lie in [0, 1]")
+        tracer = get_tracer()
+        traced = tracer.enabled
+        traces = [None] * len(requests)
         started = time.perf_counter()
         thresholds = [
             self.threshold if request.threshold is None else float(request.threshold)
@@ -266,7 +283,12 @@ class JudgementCore:
                 # decisions share them, and the per-call stats keep the
                 # response's cache traffic attributable to this request even
                 # with concurrent callers on the transport.
-                left, right, request_stats = self.resolve_pair_features(pairs)
+                if traced:
+                    traces[index] = tracer.start_trace()
+                    with tracer.activate(traces[index]), tracer.stage(STAGE_GATHER):
+                        left, right, request_stats = self.resolve_pair_features(pairs)
+                else:
+                    left, right, request_stats = self.resolve_pair_features(pairs)
                 stats[index] = request_stats
                 feature_segments.append((index, pairs, left, right))
             else:
@@ -278,10 +300,19 @@ class JudgementCore:
                 else:
                     decisions[index] = (probabilities[index] >= thresholds[index]).astype(int)
         if feature_segments:
+            score_started = tracer.clock() if traced else 0.0
             scored = self._scorer(
                 np.concatenate([left for _, _, left, _ in feature_segments]),
                 np.concatenate([right for _, _, _, right in feature_segments]),
             )
+            if traced:
+                # One scorer call covers every segment: the measurement goes
+                # to the registry once and to each participating trace.
+                tracer.record_stage(
+                    STAGE_SCORE,
+                    (tracer.clock() - score_started) * 1e3,
+                    traces=[traces[index] for index, _, _, _ in feature_segments],
+                )
             offset = 0
             for index, pairs, left, right in feature_segments:
                 stop = offset + len(pairs)
@@ -294,6 +325,10 @@ class JudgementCore:
                 else:
                     decisions[index] = (probabilities[index] >= thresholds[index]).astype(int)
         elapsed_ms = (time.perf_counter() - started) * 1e3
+        if traced:
+            for trace in traces:
+                if trace is not None:
+                    tracer.finish(trace, total_ms=elapsed_ms)
         return [
             JudgeResponse(
                 probabilities=tuple(float(p) for p in probabilities[index]),
@@ -303,6 +338,7 @@ class JudgementCore:
                 cache_misses=stats[index].misses,
                 cache_invalidated=stats[index].invalidated,
                 elapsed_ms=elapsed_ms,
+                trace=traces[index].report() if traces[index] is not None else None,
             )
             for index in range(len(requests))
         ]

@@ -37,6 +37,7 @@ from repro.api.messages import JudgeRequest, JudgeResponse
 from repro.core.protocols import ProfileKey, featurizer_dim, profile_key
 from repro.data.records import Pair, Profile
 from repro.errors import ConfigurationError
+from repro.obs import STAGE_FEATURIZE, get_tracer
 from repro.store import ArenaStore, FeatureStore, HotStore, TieredStore
 
 
@@ -271,7 +272,8 @@ class ColocationEngine:
             self._misses += len(missing)
         if missing:
             batch = list(missing.values())
-            rows = self.judge.featurize_profiles(batch)
+            with get_tracer().stage(STAGE_FEATURIZE):
+                rows = self.judge.featurize_profiles(batch)
             with self._lock:
                 self._featurized += len(batch)
             for profile, row in zip(batch, rows):

@@ -88,10 +88,14 @@ class JudgeResponse:
     cache_invalidated: int = 0
     #: Wall-clock time spent inside the engine, in milliseconds.
     elapsed_ms: float = 0.0
+    #: Per-stage timing report (``{"trace_id", "stages": [[name, ms], ...]}``)
+    #: when the request was served under :func:`repro.obs.tracing`; ``None``
+    #: otherwise — tracing is off by default and costs nothing here.
+    trace: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-friendly representation (the wire-protocol response body)."""
-        return {
+        payload = {
             "probabilities": [float(p) for p in self.probabilities],
             "decisions": [int(d) for d in self.decisions],
             "threshold": self.threshold,
@@ -100,6 +104,9 @@ class JudgeResponse:
             "cache_invalidated": self.cache_invalidated,
             "elapsed_ms": self.elapsed_ms,
         }
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "JudgeResponse":
@@ -112,6 +119,7 @@ class JudgeResponse:
             cache_misses=int(data.get("cache_misses", 0)),
             cache_invalidated=int(data.get("cache_invalidated", 0)),
             elapsed_ms=float(data.get("elapsed_ms", 0.0)),
+            trace=data.get("trace"),
         )
 
     def __len__(self) -> int:

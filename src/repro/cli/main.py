@@ -14,7 +14,11 @@ Subcommands cover the common workflows without writing Python:
 * ``serve-bench`` — fit a small judge and race the single-engine serving path
   against the sharded, micro-batched cluster on a skewed synthetic load
   (the same harness as ``benchmarks/bench_sharded_serving.py``); with
-  ``--workers N`` the process-worker tier joins the race.
+  ``--workers N`` the process-worker tier joins the race and ``--trace``
+  appends per-stage latency breakdown tables.
+* ``metrics``    — trace a small serving load end-to-end and dump the
+  observability registry: the slowest request's span tree, the per-stage
+  latency table and the Prometheus-style text exposition.
 * ``worker``     — run one shard worker over a saved pipeline: ``--listen``
   accepts gateway connections standalone, ``--connect`` dials back into a
   running gateway (the loop spawned :class:`repro.cluster.WorkerPool` workers
@@ -240,6 +244,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_delay_ms=args.max_delay_ms,
         num_workers=args.workers if args.workers > 0 else None,
+        trace=args.trace,
     )
     print(report.format())
     if not report.exact_match:
@@ -281,6 +286,73 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 1
+    return 0
+
+
+def _traced_serve(engine, serve_requests):
+    """Micro-batched typed serve — the front door every transport shares."""
+    from repro.cluster.batcher import MicroBatcher
+
+    with MicroBatcher(engine, max_batch=64, overflow="block") as batcher:
+        futures = [batcher.submit_serve(request) for request in serve_requests]
+        return [future.result() for future in futures]
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Trace a small serving load end-to-end and dump the metrics registry."""
+    # Imported lazily: the cluster load generator pulls in the full pipeline.
+    from repro.api import JudgeRequest
+    from repro.cluster.gateway import WorkerPool
+    from repro.cluster.loadgen import (
+        LoadConfig,
+        fit_serving_pipeline,
+        generate_requests,
+    )
+    from repro.cluster.sharded import ShardedEngine
+    from repro.obs import format_stage_table, tracing
+
+    config = LoadConfig(
+        num_users=args.users,
+        num_requests=args.requests,
+        pairs_per_request=args.pairs,
+        seed=args.seed,
+    )
+    tier = f"workers x{args.workers}" if args.workers > 0 else f"sharded x{args.shards}"
+    print(
+        f"fitting the serving judge and tracing {config.num_requests} requests "
+        f"through the micro-batched {tier} tier ..."
+    )
+    pipeline, dataset = fit_serving_pipeline(seed=args.seed)
+    requests = generate_requests(dataset.registry, dataset.training_corpus(), config)
+    serve_requests = [JudgeRequest(pairs=tuple(pairs)) for pairs in requests]
+    with tracing() as tracer:
+        if args.workers > 0:
+            with WorkerPool(
+                pipeline, num_workers=args.workers, cache_size=args.cache_size
+            ) as pool:
+                responses = _traced_serve(pool, serve_requests)
+                # Gateway-side stages plus every worker's `stats` snapshot.
+                registry = pool.obs_snapshot()
+        else:
+            with ShardedEngine(
+                pipeline, num_shards=args.shards, cache_size=args.cache_size
+            ) as engine:
+                responses = _traced_serve(engine, serve_requests)
+            registry = tracer.registry
+    slowest = max(
+        (response for response in responses if response.trace is not None),
+        key=lambda response: sum(ms for _, ms in response.trace["stages"]),
+        default=None,
+    )
+    if slowest is not None:
+        total = sum(ms for _, ms in slowest.trace["stages"])
+        print(f"slowest traced request {slowest.trace['trace_id']} ({total:.3f} ms):")
+        for name, ms in slowest.trace["stages"]:
+            print(f"  {name:<16} {ms:>10.3f} ms")
+        print()
+    print(format_stage_table(registry))
+    print()
+    print(registry.to_text())
     return 0
 
 
@@ -430,7 +502,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="also race a WorkerPool with this many worker processes (0 = off)",
     )
+    serve_bench.add_argument(
+        "--trace",
+        action="store_true",
+        help="trace every pass and append per-stage latency breakdown tables",
+    )
     serve_bench.set_defaults(func=cmd_serve_bench)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="trace a small serving load and dump the metrics registry"
+    )
+    metrics.add_argument("--shards", type=int, default=4, help="engine shards")
+    metrics.add_argument("--requests", type=int, default=96, help="requests to trace")
+    metrics.add_argument("--pairs", type=int, default=4, help="pairs per request")
+    metrics.add_argument("--users", type=int, default=64, help="distinct users in the mix")
+    metrics.add_argument("--cache-size", type=int, default=4096, help="feature-cache rows")
+    metrics.add_argument("--seed", type=int, default=23)
+    metrics.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="trace the process-worker tier instead, with this many workers",
+    )
+    metrics.set_defaults(func=cmd_metrics)
 
     worker = subparsers.add_parser(
         "worker", help="run one shard worker over a saved pipeline"

@@ -44,12 +44,14 @@ waiting forever on a flush that will never come.
 
 from __future__ import annotations
 
+import dataclasses
 import inspect
 import threading
 import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -57,6 +59,7 @@ from repro.api.messages import JudgeRequest, JudgeResponse
 from repro.cluster.metrics import ClusterMetrics
 from repro.data.records import Pair, Profile
 from repro.errors import ConfigurationError, EngineOverloadError
+from repro.obs import STAGE_QUEUE_WAIT, get_tracer
 
 
 @dataclass
@@ -67,8 +70,8 @@ class _Pending:
     payload: object  # pairs/profiles list, the JudgeRequest (serve), or
     # ("uids", [uid, ...]) / ("stale", None) for invalidations
     weight: int  # pairs (score/serve) or profiles (matrix/warm) — the batch budget
+    enqueued: float  # batcher clock reading at submission
     future: Future = field(default_factory=Future)
-    enqueued: float = field(default_factory=time.perf_counter)
 
 
 class MicroBatcher:
@@ -94,6 +97,10 @@ class MicroBatcher:
     metrics:
         Optional externally owned :class:`ClusterMetrics`; by default the
         batcher creates one (exposed as :attr:`metrics`).
+    time_fn:
+        The monotonic clock used for queue deadlines and latency accounting
+        (``time.perf_counter`` by default).  Injectable so timing tests
+        assert exact values against a fake clock instead of sleeping.
     """
 
     def __init__(
@@ -105,6 +112,7 @@ class MicroBatcher:
         max_queue: int = 1024,
         overflow: str = "reject",
         metrics: ClusterMetrics | None = None,
+        time_fn: Callable[[], float] | None = None,
     ):
         if not hasattr(engine, "predict_proba"):
             raise ConfigurationError("engine must expose predict_proba(pairs)")
@@ -121,6 +129,7 @@ class MicroBatcher:
         self.max_delay = max_delay_ms / 1e3
         self.max_queue = max_queue
         self.overflow = overflow
+        self._time = time_fn if time_fn is not None else time.perf_counter
         self.metrics = metrics if metrics is not None else ClusterMetrics(engine)
         self._queue: deque[_Pending] = deque()
         self._cond = threading.Condition()
@@ -190,7 +199,7 @@ class MicroBatcher:
             raise ConfigurationError("the MicroBatcher is closed")
 
     def _submit(self, kind: str, payload, weight: int) -> Future:
-        pending = _Pending(kind=kind, payload=payload, weight=weight)
+        pending = _Pending(kind=kind, payload=payload, weight=weight, enqueued=self._time())
         if weight == 0:
             # Nothing to flush: resolve immediately, even mid-close — an
             # empty answer needs no flusher.
@@ -399,7 +408,7 @@ class MicroBatcher:
                 not self._closed
                 and sum(p.weight for p in self._queue) < self.max_batch
             ):
-                remaining = deadline - time.perf_counter()
+                remaining = deadline - self._time()
                 if remaining <= 0:
                     break
                 self._cond.wait(remaining)
@@ -417,7 +426,16 @@ class MicroBatcher:
         if not batch:
             return
         depth = self.queue_depth
-        started = time.perf_counter()
+        started = self._time()
+        tracer = get_tracer()
+        if tracer.enabled:
+            # The time between submission and this flush picking the request
+            # up is the queue_wait stage — already over by the time any trace
+            # exists, so it is recorded from the pending's enqueue stamp.
+            for pending in batch:
+                tracer.record_stage(
+                    STAGE_QUEUE_WAIT, (started - pending.enqueued) * 1e3
+                )
         try:
             # Invalidations first: a flush is the batcher's unit of ordering,
             # and a mutation queued before (or alongside) a request must win —
@@ -467,6 +485,18 @@ class MicroBatcher:
                         f"for {len(serve_requests)} requests"
                     )
                 for pending, response in zip(serve_requests, responses):
+                    if tracer.enabled and response.trace is not None:
+                        # Prepend this request's queue_wait to the trace the
+                        # core built (the registry already has it, above).
+                        wait_ms = (started - pending.enqueued) * 1e3
+                        response = dataclasses.replace(
+                            response,
+                            trace={
+                                **response.trace,
+                                "stages": [[STAGE_QUEUE_WAIT, wait_ms]]
+                                + list(response.trace.get("stages", [])),
+                            },
+                        )
                     pending.future.set_result(response)
 
             # Warm/matrix requests run per request, in flush order: each call
@@ -490,7 +520,7 @@ class MicroBatcher:
             if not isinstance(exc, Exception):
                 raise  # fatal (KeyboardInterrupt, ...): let _run declare death
         finally:
-            finished = time.perf_counter()
+            finished = self._time()
             flush_kwargs = dict(
                 num_requests=len(batch),
                 num_pairs=sum(p.weight for p in batch if p.kind in ("score", "serve")),

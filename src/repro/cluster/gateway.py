@@ -67,6 +67,12 @@ from repro.core.protocols import (
 )
 from repro.data.records import Pair, Profile
 from repro.errors import ConfigurationError, WireProtocolError, WorkerCrashError
+from repro.obs import (
+    STAGE_WIRE_RTT,
+    STAGE_WIRE_SERIALIZE,
+    MetricsRegistry,
+    get_tracer,
+)
 
 #: How long a HELLO handshake may take once a connection is accepted.
 _HELLO_TIMEOUT = 30.0
@@ -128,6 +134,18 @@ class WorkerPool:
         warm-starts by *mapping its slice* — zero featurize calls, zero rows
         on the wire — and the gateway's retained-row reship is skipped (it
         remains the fallback when no arena is configured).
+    heartbeat_interval_ms:
+        Enable the PING/PONG heartbeat: the gateway loop probes each idle
+        worker connection this often, feeding ``metrics.observe_heartbeat``
+        (per-worker liveness gauge + last-seen stamp).  A probe that gets no
+        PONG within ``heartbeat_timeout_ms`` flips the worker unhealthy —
+        without cancelling the in-flight probe, so a merely-stalled worker
+        (SIGSTOP, GC pause) flips back to healthy when its PONG finally
+        lands instead of desynchronising the wire.  ``None`` (default)
+        disables the heartbeat.
+    heartbeat_timeout_ms:
+        How long a probe may wait before the worker is considered stalled
+        (default: 4x the interval).
     """
 
     def __init__(
@@ -144,11 +162,15 @@ class WorkerPool:
         call_timeout: float | None = None,
         bundle_dir: str | None = None,
         arena_dir: str | None = None,
+        heartbeat_interval_ms: float | None = None,
+        heartbeat_timeout_ms: float | None = None,
     ):
         if num_workers < 1:
             raise ConfigurationError("num_workers must be >= 1")
         if cache_size < 0:
             raise ConfigurationError("cache_size must be >= 0")
+        if heartbeat_interval_ms is not None and heartbeat_interval_ms <= 0:
+            raise ConfigurationError("heartbeat_interval_ms must be > 0")
         self.judge = judge
         self.num_workers = num_workers
         self.cache_size = cache_size
@@ -188,6 +210,16 @@ class WorkerPool:
         self._generation = 0
         self._hello_waiters: dict[str, asyncio.Future] = {}
         self._mp = multiprocessing.get_context("spawn")
+        self.heartbeat_interval_ms = heartbeat_interval_ms
+        self.heartbeat_timeout_ms = (
+            heartbeat_timeout_ms
+            if heartbeat_timeout_ms is not None
+            else (heartbeat_interval_ms * 4 if heartbeat_interval_ms else None)
+        )
+        #: Heartbeat's view of each worker (all healthy until a probe says
+        #: otherwise; stays all-True when the heartbeat is disabled).
+        self._healthy = [True] * num_workers
+        self._heartbeat_future = None
 
         if bundle_dir is not None:
             self._tmpdir = None
@@ -208,6 +240,13 @@ class WorkerPool:
             self._server = self._run(self._start_server())
             self._address = self._server.sockets[0].getsockname()[:2]
             self._handles: list[_WorkerHandle] = self._spawn_many(range(num_workers))
+            if heartbeat_interval_ms is not None:
+                self._heartbeat_future = asyncio.run_coroutine_threadsafe(
+                    self._heartbeat_loop(
+                        heartbeat_interval_ms / 1e3, self.heartbeat_timeout_ms / 1e3
+                    ),
+                    self._loop,
+                )
         except BaseException:
             self._closed = True
             self._teardown_loop()
@@ -457,35 +496,49 @@ class WorkerPool:
         query side of a pair batch repeats heavily), so a profile's JSON
         crosses a socket once per call; rows expand back by key on return.
         Stats sum the workers' own per-call accounting.
+
+        With tracing enabled, body serialization is the ``wire_serialize``
+        stage and the fan-out is ``wire_rtt`` (which *contains* the worker's
+        own gather/featurize time); the active trace's id rides each CALL
+        body, and the spans the workers recorded under it are merged back.
         """
         from repro.io.records_json import profile_to_dict
 
         if not profiles:
             return self._local.features([]), NO_CACHE_TRAFFIC
+        tracer = get_tracer()
+        trace = tracer.current_trace() if tracer.enabled else None
         groups: dict[int, list[int]] = {}
         for position, profile in enumerate(profiles):
             groups.setdefault(self.worker_of(profile), []).append(position)
-        plans = []
-        for owner, positions in groups.items():
-            unique: dict[ProfileKey, int] = {}
-            send: list[Profile] = []
-            row_of: list[int] = []
-            for position in positions:
-                key = profile_key(profiles[position])
-                if key not in unique:
-                    unique[key] = len(send)
-                    send.append(profiles[position])
-                row_of.append(unique[key])
-            plans.append((owner, positions, row_of, send))
-        results = self._call_all(
-            [
-                (owner, "gather", {"profiles": [profile_to_dict(p) for p in send]}, ())
-                for owner, _, _, send in plans
-            ]
-        )
+        with tracer.stage(STAGE_WIRE_SERIALIZE):
+            plans = []
+            for owner, positions in groups.items():
+                unique: dict[ProfileKey, int] = {}
+                send: list[Profile] = []
+                row_of: list[int] = []
+                for position in positions:
+                    key = profile_key(profiles[position])
+                    if key not in unique:
+                        unique[key] = len(send)
+                        send.append(profiles[position])
+                    row_of.append(unique[key])
+                plans.append((owner, positions, row_of, send))
+            calls = []
+            for owner, _, _, send in plans:
+                body = {"profiles": [profile_to_dict(p) for p in send]}
+                if trace is not None:
+                    body["trace"] = trace.trace_id
+                calls.append((owner, "gather", body, ()))
+        with tracer.stage(STAGE_WIRE_RTT):
+            results = self._call_all(calls)
         rows: np.ndarray | None = None
         stats = CallCacheStats(hits=0, misses=0, featurized=0)
         for (owner, positions, row_of, send), (body, arrays) in zip(plans, results):
+            if trace is not None:
+                for span in body.get("spans", ()):
+                    if isinstance(span, (list, tuple)) and len(span) == 2:
+                        trace.add(str(span[0]), float(span[1]))
             worker_rows = arrays[0]
             if len(worker_rows) != len(send):
                 raise WireProtocolError(
@@ -544,24 +597,64 @@ class WorkerPool:
         A dead (or closed-away) worker contributes an all-zero entry instead
         of failing the report: this is the surface ``ClusterMetrics`` reads,
         and the moment after an incident is exactly when the operator needs
-        the snapshot to still render.
+        the snapshot to still render.  A worker the heartbeat currently marks
+        unhealthy gets the same treatment *without* a wire call — a stalled
+        worker would block the report indefinitely, and reporting must never
+        hang on the incident it is reporting.
         """
+        zero = EngineCacheInfo(
+            hits=0, misses=0, evictions=0, size=0, maxsize=0, featurized=0
+        )
         infos = []
         for index in range(self.num_workers):
+            if not self._healthy[index]:
+                infos.append(zero)
+                continue
             try:
                 body, _ = self._call(index, "cache_info", {})
                 infos.append(EngineCacheInfo(**body))
             except (WorkerCrashError, ConfigurationError):
-                infos.append(
-                    EngineCacheInfo(
-                        hits=0, misses=0, evictions=0, size=0, maxsize=0, featurized=0
-                    )
-                )
+                infos.append(zero)
         return tuple(infos)
 
     #: :class:`ClusterMetrics` discovers per-shard breakdowns through this
     #: name; a worker is the process-tier shard.
     shard_cache_infos = worker_cache_infos
+
+    def worker_obs_snapshots(self) -> tuple[dict, ...]:
+        """Each worker's metrics-registry snapshot via the ``stats`` wire op.
+
+        A dead or heartbeat-unhealthy worker contributes an empty snapshot
+        instead of failing (or blocking) the report — the same degradation
+        rule as :meth:`worker_cache_infos`.
+        """
+        snapshots = []
+        for index in range(self.num_workers):
+            if not self._healthy[index]:
+                snapshots.append({"metrics": []})
+                continue
+            try:
+                body, _ = self._call(index, "stats", {})
+                snapshots.append(body.get("registry", {"metrics": []}))
+            except (WorkerCrashError, ConfigurationError):
+                snapshots.append({"metrics": []})
+        return tuple(snapshots)
+
+    def obs_snapshot(self) -> MetricsRegistry:
+        """The cluster-truthful observability registry: gateway + workers.
+
+        Merges the gateway-side registry (wire stages, score, the pool's own
+        counters live there via :func:`repro.obs.get_registry`) with every
+        worker's ``stats`` snapshot — counters and histograms sum, gauges
+        take the incoming reading.
+        """
+        from repro.obs import get_registry
+
+        merged = MetricsRegistry()
+        merged.merge(get_registry().snapshot())
+        for snapshot in self.worker_obs_snapshots():
+            merged.merge(snapshot)
+        return merged
 
     def snapshot(self) -> tuple[dict[ProfileKey, np.ndarray], ...]:
         """Per-worker cache exports (also retained for respawn warm-starts)."""
@@ -660,18 +753,90 @@ class WorkerPool:
         return dropped
 
     # ---------------------------------------------------------------- liveness
-    def ping(self, index: int) -> bool:
-        """Heartbeat one worker; True on echo, raises on a dead worker."""
+    def _mark_health(self, index: int, healthy: bool) -> None:
+        self._healthy[index] = bool(healthy)
+        self._observe("observe_heartbeat", index, bool(healthy))
+
+    async def _ping_handle(self, handle: _WorkerHandle) -> bool:
+        """One PING/PONG token echo over the worker's connection."""
         token = secrets.token_hex(8)
         payload = wire.encode_payload({"token": token})
-        handle = self._ensure_worker(index)
-        frame_type, response = asyncio.run_coroutine_threadsafe(
-            self._roundtrip(handle, wire.FRAME_PING, payload), self._loop
-        ).result(self.call_timeout)
+        frame_type, response = await self._roundtrip(handle, wire.FRAME_PING, payload)
         if frame_type != wire.FRAME_PONG:
             raise WireProtocolError(f"expected PONG, got frame type {frame_type}")
         body, _ = wire.decode_payload(response)
         return isinstance(body, dict) and body.get("token") == token
+
+    async def _heartbeat_loop(self, interval_s: float, timeout_s: float) -> None:
+        """Periodic worker probing on the gateway loop.
+
+        Design constraints, in order of importance:
+
+        * A stalled probe is **never cancelled** — the wire is strict
+          request/response, so abandoning a PING mid-connection would
+          desynchronise every later call.  The probe keeps waiting in the
+          background (holding that worker's connection lock); the worker is
+          reported unhealthy each round until the PONG lands, then healthy
+          again.  A genuinely dead worker fails the probe's read instead,
+          which runs the normal ``_note_death`` path.
+        * A connection busy serving a call is *proof of life work in
+          progress*, not staleness — it is reported healthy without
+          queueing a probe behind the in-flight call.
+        * Probes on different workers are independent: one SIGSTOPped
+          worker cannot delay another worker's probe or calls.
+        """
+        stalled: dict[int, asyncio.Task] = {}
+        try:
+            while not self._closed:
+                for index in range(self.num_workers):
+                    handle = self._handles[index]
+                    pending = stalled.get(index)
+                    if pending is not None:
+                        if not pending.done():
+                            self._mark_health(index, False)
+                            continue
+                        del stalled[index]
+                        try:
+                            ok = pending.result()
+                        except Exception:
+                            ok = False
+                        self._mark_health(index, ok and handle.alive)
+                        continue
+                    if not handle.alive:
+                        self._mark_health(index, False)
+                        continue
+                    if handle.lock.locked():
+                        self._mark_health(index, True)  # busy serving a call
+                        continue
+                    probe = asyncio.ensure_future(self._ping_handle(handle))
+                    done, _ = await asyncio.wait({probe}, timeout=timeout_s)
+                    if probe in done:
+                        try:
+                            ok = probe.result()
+                        except Exception:
+                            ok = False
+                        self._mark_health(index, ok)
+                    else:
+                        stalled[index] = probe
+                        self._mark_health(index, False)
+                await asyncio.sleep(interval_s)
+        except asyncio.CancelledError:
+            # Closing: abandoning the stalled probes is fine now — their
+            # connections are about to be shut down anyway.
+            for probe in stalled.values():
+                probe.cancel()
+            raise
+
+    def worker_health(self) -> tuple[bool, ...]:
+        """The heartbeat's per-worker verdicts (all True when disabled)."""
+        return tuple(self._healthy)
+
+    def ping(self, index: int) -> bool:
+        """Heartbeat one worker; True on echo, raises on a dead worker."""
+        handle = self._ensure_worker(index)
+        return asyncio.run_coroutine_threadsafe(
+            self._ping_handle(handle), self._loop
+        ).result(self.call_timeout)
 
     def worker_pids(self) -> tuple[int, ...]:
         """The OS pids of the current worker processes."""
@@ -758,6 +923,12 @@ class WorkerPool:
             if self._closed:
                 return
             self._closed = True
+        heartbeat = getattr(self, "_heartbeat_future", None)
+        if heartbeat is not None:
+            try:
+                heartbeat.cancel()
+            except Exception:
+                pass
         for handle in getattr(self, "_handles", []):
             try:
                 asyncio.run_coroutine_threadsafe(

@@ -32,6 +32,7 @@ micro-batched results may differ only by last-mantissa-bit coalescing noise
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -44,6 +45,7 @@ from repro.cluster.metrics import ClusterMetricsSnapshot
 from repro.cluster.sharded import ShardedEngine
 from repro.data.records import Pair, Profile, Tweet, Visit
 from repro.errors import ConfigurationError
+from repro.obs import format_stage_table, tracing
 
 
 @dataclass(frozen=True)
@@ -68,6 +70,10 @@ class ServingRun:
     requests: int
     pairs: int
     cache: EngineCacheInfo
+    #: Per-stage latency table (:func:`repro.obs.format_stage_table`) when
+    #: the run was traced; ``None`` on the default untraced fast path, so
+    #: the headline throughput numbers never pay the tracing overhead.
+    stages: str | None = None
 
     @property
     def requests_per_s(self) -> float:
@@ -151,11 +157,22 @@ def generate_requests(registry, corpus: list[str], config: LoadConfig) -> list[l
     return requests
 
 
-def run_single(engine: ColocationEngine, requests: list[list[Pair]]) -> tuple[ServingRun, list[np.ndarray]]:
-    """Today's path: one synchronous ``predict_proba`` call per request."""
-    started = time.perf_counter()
-    results = [engine.predict_proba(pairs) for pairs in requests]
-    elapsed = time.perf_counter() - started
+def run_single(
+    engine: ColocationEngine, requests: list[list[Pair]], *, trace: bool = False
+) -> tuple[ServingRun, list[np.ndarray]]:
+    """Today's path: one synchronous ``predict_proba`` call per request.
+
+    With ``trace=True`` the run executes under a scoped tracer (fresh
+    registry) and the returned :class:`ServingRun` carries the per-stage
+    latency table.
+    """
+    stages = None
+    with tracing() if trace else nullcontext() as tracer:
+        started = time.perf_counter()
+        results = [engine.predict_proba(pairs) for pairs in requests]
+        elapsed = time.perf_counter() - started
+        if trace:
+            stages = format_stage_table(tracer.registry)
     return (
         ServingRun(
             label="single engine",
@@ -163,6 +180,7 @@ def run_single(engine: ColocationEngine, requests: list[list[Pair]]) -> tuple[Se
             requests=len(requests),
             pairs=sum(len(r) for r in requests),
             cache=engine.cache_info(),
+            stages=stages,
         ),
         results,
     )
@@ -175,25 +193,31 @@ def run_cluster(
     max_batch: int = 256,
     max_delay_ms: float = 0.0,
     max_queue: int = 512,
+    trace: bool = False,
 ) -> tuple[ServingRun, list[np.ndarray], ClusterMetricsSnapshot]:
     """The cluster path: concurrent submissions coalesced by a MicroBatcher.
 
     Requests are submitted as fast as the bounded queue admits them
     (``overflow="block"`` backpressure), so the batcher coalesces whatever
     accumulates while each flush is in flight — the steady state of a busy
-    service.
+    service.  The tracing scope encloses the batcher's whole lifetime so
+    the flusher thread's ``queue_wait`` records land in the run's registry.
     """
-    with MicroBatcher(
-        engine,
-        max_batch=max_batch,
-        max_delay_ms=max_delay_ms,
-        max_queue=max_queue,
-        overflow="block",
-    ) as batcher:
-        started = time.perf_counter()
-        futures = [batcher.submit_score(pairs) for pairs in requests]
-        results = [future.result() for future in futures]
-        elapsed = time.perf_counter() - started
+    stages = None
+    with tracing() if trace else nullcontext() as tracer:
+        with MicroBatcher(
+            engine,
+            max_batch=max_batch,
+            max_delay_ms=max_delay_ms,
+            max_queue=max_queue,
+            overflow="block",
+        ) as batcher:
+            started = time.perf_counter()
+            futures = [batcher.submit_score(pairs) for pairs in requests]
+            results = [future.result() for future in futures]
+            elapsed = time.perf_counter() - started
+        if trace:
+            stages = format_stage_table(tracer.registry)
     # Snapshot after close(): the flusher records a flush's metrics *after*
     # resolving its futures, so a snapshot taken the moment the last result
     # lands can miss the final flush; close() joins the flusher first.
@@ -205,6 +229,7 @@ def run_cluster(
             requests=len(requests),
             pairs=sum(len(r) for r in requests),
             cache=engine.cache_info(),
+            stages=stages,
         ),
         results,
         snapshot,
@@ -218,23 +243,32 @@ def run_workers(
     max_batch: int = 256,
     max_delay_ms: float = 0.0,
     max_queue: int = 512,
+    trace: bool = False,
 ) -> tuple[ServingRun, list[np.ndarray], ClusterMetricsSnapshot]:
     """The process tier: the same micro-batched submission over a WorkerPool.
 
     Identical batching knobs to :func:`run_cluster`, so the only variable is
-    the transport underneath — shard threads vs. worker processes.
+    the transport underneath — shard threads vs. worker processes.  A traced
+    run's stage table merges the gateway-side registry (``queue_wait``,
+    ``wire_serialize``, ``wire_rtt``, ``score``) with every worker's
+    ``stats`` snapshot (``gather``, ``featurize``) via
+    :meth:`WorkerPool.obs_snapshot`.
     """
-    with MicroBatcher(
-        pool,
-        max_batch=max_batch,
-        max_delay_ms=max_delay_ms,
-        max_queue=max_queue,
-        overflow="block",
-    ) as batcher:
-        started = time.perf_counter()
-        futures = [batcher.submit_score(pairs) for pairs in requests]
-        results = [future.result() for future in futures]
-        elapsed = time.perf_counter() - started
+    stages = None
+    with tracing() if trace else nullcontext():
+        with MicroBatcher(
+            pool,
+            max_batch=max_batch,
+            max_delay_ms=max_delay_ms,
+            max_queue=max_queue,
+            overflow="block",
+        ) as batcher:
+            started = time.perf_counter()
+            futures = [batcher.submit_score(pairs) for pairs in requests]
+            results = [future.result() for future in futures]
+            elapsed = time.perf_counter() - started
+        if trace:
+            stages = format_stage_table(pool.obs_snapshot())
     snapshot = batcher.metrics.snapshot()
     return (
         ServingRun(
@@ -243,6 +277,7 @@ def run_workers(
             requests=len(requests),
             pairs=sum(len(r) for r in requests),
             cache=pool.cache_info(),
+            stages=stages,
         ),
         results,
         snapshot,
@@ -330,6 +365,11 @@ class ComparisonReport:
                 f"serve exact: {'yes' if self.workers_serve_exact else 'NO'}"
             )
         lines.append(self.metrics.format())
+        for run in runs:
+            if run.stages is not None:
+                lines.append("")
+                lines.append(f"stage breakdown — {run.label}:")
+                lines.append(run.stages)
         return "\n".join(lines)
 
 
@@ -343,8 +383,14 @@ def compare_serving_paths(
     max_delay_ms: float = 0.0,
     max_queue: int = 512,
     num_workers: int | None = None,
+    trace: bool = False,
 ) -> ComparisonReport:
     """Run both serving paths cold and compare throughput and results.
+
+    ``trace=True`` runs every timed pass under a scoped tracer and attaches
+    per-stage latency tables to the report; the default keeps the headline
+    numbers untraced (tracing costs a few percent of throughput at most,
+    but the benchmark guards compare against historical untraced numbers).
 
     Three passes: the single engine (throughput baseline), the micro-batched
     cluster (throughput), and an un-timed direct pass over a fresh cold
@@ -364,13 +410,14 @@ def compare_serving_paths(
     with ShardedEngine(judge, num_shards=num_shards, cache_size=cache_size) as sharded, ShardedEngine(
         judge, num_shards=num_shards, cache_size=cache_size
     ) as fresh:
-        single, single_results = run_single(single_engine, requests)
+        single, single_results = run_single(single_engine, requests, trace=trace)
         cluster, cluster_results, snapshot = run_cluster(
             sharded,
             requests,
             max_batch=max_batch,
             max_delay_ms=max_delay_ms,
             max_queue=max_queue,
+            trace=trace,
         )
         drift = max(
             (
@@ -400,6 +447,7 @@ def compare_serving_paths(
                 max_batch=max_batch,
                 max_delay_ms=max_delay_ms,
                 max_queue=max_queue,
+                trace=trace,
             )
             workers_drift = max(
                 (

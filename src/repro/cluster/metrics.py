@@ -1,29 +1,37 @@
 """:class:`ClusterMetrics` — the numbers an operator needs from a cluster.
 
-Aggregates three kinds of signal:
+Aggregates four kinds of signal:
 
 * **cache** — per-shard :class:`repro.api.EngineCacheInfo` snapshots and
   their cluster-level merge (:meth:`EngineCacheInfo.merge`), pulled live from
-  the attached engine;
+  the attached engine and published as registry gauges;
 * **throughput** — requests/pairs served, flush count and mean flush size
   (how well the micro-batcher is coalescing), rejections (how often
   backpressure fired);
-* **latency** — per-request enqueue→result percentiles over a bounded sliding
-  window of recent requests.
+* **latency** — per-request enqueue→result percentiles from a **fixed-bucket**
+  :class:`repro.obs.Histogram`.  Memory is O(buckets) no matter how many
+  requests are observed (the old sliding-deque-plus-``np.percentile`` window
+  grew with traffic); percentiles are exact to bucket resolution — the
+  reported value is the upper bound of the bucket holding the requested rank,
+  clamped to the observed min/max, so it is never off by more than one bucket
+  width (sub-millisecond below 10 ms on the default bounds);
+* **liveness** — per-worker health + last-seen timestamps fed by the
+  :class:`repro.cluster.WorkerPool` PING/PONG heartbeat.
 
+Every counter lives in a :class:`repro.obs.MetricsRegistry`, so the same
+numbers are available as a Prometheus-style exposition via :meth:`to_text`.
 All observation methods are thread-safe; :meth:`snapshot` returns one frozen,
 printable :class:`ClusterMetricsSnapshot`.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import deque
+import time
 from dataclasses import dataclass
-
-import numpy as np
+from typing import Callable
 
 from repro.api.engine import EngineCacheInfo
+from repro.obs import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -44,7 +52,7 @@ class ClusterMetricsSnapshot:
     queue_depth: int
     #: Mean requests per flush (0.0 before the first flush).
     mean_flush_requests: float
-    #: Enqueue-to-result latency percentiles over the recent window, in ms.
+    #: Enqueue-to-result latency percentiles, in ms (bucket resolution).
     latency_p50_ms: float
     latency_p90_ms: float
     latency_p99_ms: float
@@ -59,6 +67,11 @@ class ClusterMetricsSnapshot:
     #: Cache rows dropped by explicit invalidation calls routed through the
     #: batcher (profile mutations superseding cached feature rows).
     invalidated_rows: int = 0
+    #: Heartbeat view, ``(worker index, healthy)`` — empty when no pool
+    #: heartbeat feeds this metrics object.
+    worker_health: tuple[tuple[int, bool], ...] = ()
+    #: ``(worker index, last healthy heartbeat)`` on the metrics clock.
+    worker_last_seen: tuple[tuple[int, float], ...] = ()
 
     def format(self) -> str:
         """A compact multi-line operator report."""
@@ -74,6 +87,9 @@ class ClusterMetricsSnapshot:
             lines.append(
                 f"workers: deaths={self.worker_deaths} respawns={self.worker_respawns}"
             )
+        if self.worker_health:
+            up = sum(1 for _, healthy in self.worker_health if healthy)
+            lines.append(f"heartbeat: up={up}/{len(self.worker_health)}")
         if self.invalidated_rows:
             lines.append(f"invalidated_rows={self.invalidated_rows}")
         if self.cache is not None:
@@ -102,7 +118,11 @@ class ClusterMetricsSnapshot:
 
 
 class ClusterMetrics:
-    """Thread-safe counters for a serving cluster.
+    """Thread-safe counters for a serving cluster, built on ``repro.obs``.
+
+    Every number lives in a :class:`repro.obs.MetricsRegistry` metric, so the
+    same state that feeds :meth:`snapshot` also renders as a Prometheus-style
+    exposition (:meth:`to_text`) and merges with worker-process snapshots.
 
     Parameters
     ----------
@@ -112,23 +132,76 @@ class ClusterMetrics:
         ``shard_cache_infos()`` (the :class:`repro.cluster.ShardedEngine`)
         get per-shard breakdowns.
     latency_window:
-        How many recent request latencies the percentile window keeps.
+        **Ignored** (kept for call-site compatibility).  Latency percentiles
+        now come from a fixed-bucket histogram whose memory never grows with
+        request count; they are exact to bucket resolution (the bucket's
+        upper bound clamped to the observed min/max — sub-millisecond below
+        10 ms on the default bounds) instead of exact over a sliding window.
+    registry:
+        The registry to declare metrics in (a fresh private one by default).
+    time_fn:
+        Clock for heartbeat last-seen stamps (``time.monotonic`` default);
+        injectable so tests assert exact timestamps.
     """
 
-    def __init__(self, engine=None, latency_window: int = 4096):
+    def __init__(
+        self,
+        engine=None,
+        latency_window: int = 4096,
+        *,
+        registry: MetricsRegistry | None = None,
+        time_fn: Callable[[], float] | None = None,
+    ):
+        del latency_window  # superseded by fixed histogram buckets
         self._engine = engine
-        self._lock = threading.Lock()
-        self._latencies: deque[float] = deque(maxlen=latency_window)
-        self._requests = 0
-        self._serves = 0
-        self._pairs = 0
-        self._flushes = 0
-        self._rejections = 0
-        self._flush_requests = 0
-        self._last_queue_depth = 0
-        self._worker_deaths = 0
-        self._worker_respawns = 0
-        self._invalidated_rows = 0
+        self._time = time_fn if time_fn is not None else time.monotonic
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self._requests = r.counter(
+            "repro_cluster_requests_total", "Requests completed (all kinds)"
+        )
+        self._serves = r.counter(
+            "repro_cluster_serve_requests_total", "Typed serve requests completed"
+        )
+        self._pairs = r.counter(
+            "repro_cluster_pairs_scored_total", "Pairs scored (score + serve)"
+        )
+        self._flushes = r.counter(
+            "repro_cluster_flushes_total", "Micro-batch flushes"
+        )
+        self._flush_requests = r.counter(
+            "repro_cluster_flush_requests_total", "Requests across all flushes"
+        )
+        self._rejections = r.counter(
+            "repro_cluster_rejections_total", "Submissions shed by backpressure"
+        )
+        self._queue_depth = r.gauge(
+            "repro_cluster_queue_depth", "Queue depth at the most recent flush"
+        )
+        self._latency = r.histogram(
+            "repro_request_latency_ms", "Enqueue-to-result request latency (ms)"
+        )
+        self._worker_deaths = r.counter(
+            "repro_cluster_worker_deaths_total", "Worker processes lost"
+        )
+        self._worker_respawns = r.counter(
+            "repro_cluster_worker_respawns_total", "Workers respawned by the gateway"
+        )
+        self._invalidated_rows = r.counter(
+            "repro_cluster_invalidated_rows_total",
+            "Cache rows dropped by explicit invalidation",
+        )
+        self._worker_up = r.gauge(
+            "repro_worker_up", "Heartbeat liveness per worker (1 up, 0 down)",
+            labels=("worker",),
+        )
+        self._worker_last_seen = r.gauge(
+            "repro_worker_last_seen_seconds",
+            "Metrics-clock timestamp of the last healthy heartbeat per worker",
+            labels=("worker",),
+        )
+        #: worker index -> (healthy, last_seen) for the snapshot view.
+        self._heartbeats: dict[int, tuple[bool, float]] = {}
 
     # ------------------------------------------------------------ observation
     def observe_flush(
@@ -144,58 +217,54 @@ class ClusterMetrics:
         ``num_serves`` counts the typed ``serve`` requests among
         ``num_requests`` (0 for flushes predating the serve kind).
         """
-        with self._lock:
-            self._flushes += 1
-            self._requests += num_requests
-            self._serves += num_serves
-            self._flush_requests += num_requests
-            self._pairs += num_pairs
-            self._last_queue_depth = queue_depth
+        self._flushes.inc()
+        self._requests.inc(num_requests)
+        self._serves.inc(num_serves)
+        self._flush_requests.inc(num_requests)
+        self._pairs.inc(num_pairs)
+        self._queue_depth.set(queue_depth)
 
     def observe_latency(self, latency_ms: float) -> None:
         """Record one request's enqueue-to-result latency."""
-        with self._lock:
-            self._latencies.append(float(latency_ms))
+        self._latency.observe(float(latency_ms))
 
     def observe_rejection(self) -> None:
         """Record one submission shed by backpressure."""
-        with self._lock:
-            self._rejections += 1
+        self._rejections.inc()
 
     def observe_worker_death(self) -> None:
         """Record one worker process lost (killed, crashed, connection broke)."""
-        with self._lock:
-            self._worker_deaths += 1
+        self._worker_deaths.inc()
 
     def observe_worker_respawn(self) -> None:
         """Record one worker the gateway respawned after a death."""
-        with self._lock:
-            self._worker_respawns += 1
+        self._worker_respawns.inc()
 
     def observe_invalidation(self, rows: int) -> None:
         """Record cache rows dropped by one invalidation call."""
-        with self._lock:
-            self._invalidated_rows += int(rows)
+        self._invalidated_rows.inc(int(rows))
+
+    def observe_heartbeat(self, worker: int, healthy: bool, rtt_ms: float | None = None) -> None:
+        """Record one heartbeat probe result for a worker.
+
+        A healthy beat refreshes the worker's last-seen stamp (on the
+        injected clock); an unhealthy one only flips the liveness gauge, so
+        last-seen keeps pointing at the most recent proof of life.
+        """
+        worker = int(worker)
+        label = str(worker)
+        self._worker_up.labels(worker=label).set(1.0 if healthy else 0.0)
+        previous = self._heartbeats.get(worker)
+        last_seen = previous[1] if previous is not None else 0.0
+        if healthy:
+            last_seen = self._time()
+            self._worker_last_seen.labels(worker=label).set(last_seen)
+        self._heartbeats[worker] = (bool(healthy), last_seen)
 
     # --------------------------------------------------------------- snapshot
     def snapshot(self) -> ClusterMetricsSnapshot:
         """Freeze the current counters (and live cache statistics) into one view."""
-        with self._lock:
-            latencies = np.array(self._latencies) if self._latencies else np.zeros(0)
-            requests = self._requests
-            serves = self._serves
-            pairs = self._pairs
-            flushes = self._flushes
-            rejections = self._rejections
-            flush_requests = self._flush_requests
-            queue_depth = self._last_queue_depth
-            worker_deaths = self._worker_deaths
-            worker_respawns = self._worker_respawns
-            invalidated_rows = self._invalidated_rows
-        if latencies.size:
-            p50, p90, p99 = (float(p) for p in np.percentile(latencies, (50, 90, 99)))
-        else:
-            p50 = p90 = p99 = 0.0
+        flushes = int(self._flushes.value)
         cache = None
         shard_caches: tuple[EngineCacheInfo, ...] = ()
         if self._engine is not None:
@@ -204,20 +273,57 @@ class ClusterMetrics:
                 cache = EngineCacheInfo.merge(shard_caches)
             elif hasattr(self._engine, "cache_info"):
                 cache = self._engine.cache_info()
+        if cache is not None:
+            self._publish_cache(cache)
+        p50, p90, p99 = self._latency.percentiles()
+        heartbeats = sorted(self._heartbeats.items())
         return ClusterMetricsSnapshot(
-            requests=requests,
-            serve_requests=serves,
-            pairs_scored=pairs,
+            requests=int(self._requests.value),
+            serve_requests=int(self._serves.value),
+            pairs_scored=int(self._pairs.value),
             flushes=flushes,
-            rejections=rejections,
-            queue_depth=queue_depth,
-            mean_flush_requests=flush_requests / flushes if flushes else 0.0,
+            rejections=int(self._rejections.value),
+            queue_depth=int(self._queue_depth.value),
+            mean_flush_requests=(
+                self._flush_requests.value / flushes if flushes else 0.0
+            ),
             latency_p50_ms=p50,
             latency_p90_ms=p90,
             latency_p99_ms=p99,
             cache=cache,
             shard_caches=shard_caches,
-            worker_deaths=worker_deaths,
-            worker_respawns=worker_respawns,
-            invalidated_rows=invalidated_rows,
+            worker_deaths=int(self._worker_deaths.value),
+            worker_respawns=int(self._worker_respawns.value),
+            invalidated_rows=int(self._invalidated_rows.value),
+            worker_health=tuple(
+                (index, healthy) for index, (healthy, _) in heartbeats
+            ),
+            worker_last_seen=tuple(
+                (index, last_seen) for index, (_, last_seen) in heartbeats
+            ),
         )
+
+    def _publish_cache(self, cache: EngineCacheInfo) -> None:
+        """Mirror the engine's cache statistics into registry gauges."""
+        r = self.registry
+        for name, value in (
+            ("repro_cache_size", cache.size),
+            ("repro_cache_maxsize", cache.maxsize),
+            ("repro_cache_hits", cache.hits),
+            ("repro_cache_misses", cache.misses),
+            ("repro_cache_featurized", cache.featurized),
+            ("repro_cache_hot_hits", cache.hot_hits),
+            ("repro_cache_cold_hits", cache.cold_hits),
+            ("repro_cache_cold_size", cache.cold_size),
+            ("repro_cache_promotions", cache.promotions),
+            ("repro_cache_demotions", cache.demotions),
+        ):
+            r.gauge(name, "Engine feature-cache statistic (from cache_info)").set(
+                float(value)
+            )
+
+    def to_text(self) -> str:
+        """Prometheus-style exposition of this object's registry (refreshes
+        the cache gauges first)."""
+        self.snapshot()
+        return self.registry.to_text()

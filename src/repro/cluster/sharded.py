@@ -49,6 +49,7 @@ from repro.api.messages import JudgeRequest, JudgeResponse
 from repro.core.protocols import ProfileKey, profile_key
 from repro.data.records import Pair, Profile
 from repro.errors import ConfigurationError
+from repro.obs import get_tracer
 
 
 def shard_index(key: "ProfileKey | int", num_shards: int) -> int:
@@ -259,21 +260,31 @@ class ShardedEngine:
         return False
 
     # ----------------------------------------------------------- feature path
-    def _gather(self, shard: int, profiles: list[Profile]) -> tuple[np.ndarray, CallCacheStats]:
+    def _gather(
+        self, shard: int, profiles: list[Profile], trace=None
+    ) -> tuple[np.ndarray, CallCacheStats]:
+        # Trace activation rides a ContextVar, which does not cross into pool
+        # threads — the caller's trace arrives explicitly and is re-activated
+        # here so shard-side stages (featurize) land in the right trace.
         with self._gather_locks[shard]:
-            return self.shards[shard]._resolve_features(profiles)
+            with get_tracer().activate(trace):
+                return self.shards[shard]._resolve_features(profiles)
 
     def _resolve_features(
         self, profiles: list[Profile]
     ) -> tuple[np.ndarray, CallCacheStats]:
         """Feature rows gathered from each profile's owner shard, in parallel,
         plus this call's own cache traffic summed over the shards."""
+        tracer = get_tracer()
+        trace = tracer.current_trace() if tracer.enabled else None
         owners = [self.shard_of(p) for p in profiles]
         groups: dict[int, list[int]] = {}
         for position, owner in enumerate(owners):
             groups.setdefault(owner, []).append(position)
         futures = {
-            owner: self._pool.submit(self._gather, owner, [profiles[i] for i in positions])
+            owner: self._pool.submit(
+                self._gather, owner, [profiles[i] for i in positions], trace
+            )
             for owner, positions in groups.items()
         }
         rows: np.ndarray | None = None

@@ -132,9 +132,26 @@ def handle_call(engine, payload: bytes) -> bytes:
         raise WireProtocolError(f"malformed call body: {body!r}")
     op = body.get("op")
     if op == "gather":
-        rows, stats = engine._resolve_features(_profiles_from(body))
+        from repro.obs import STAGE_GATHER, get_tracer
+
+        tracer = get_tracer()
+        reply = {}
+        if tracer.enabled:
+            # Adopt the gateway's trace id (when one rode the CALL body) so
+            # this worker's spans merge into the caller's trace; the stage
+            # histogram lands in this process's registry either way, which
+            # the "stats" op exports back to the gateway.
+            trace = tracer.start_trace(trace_id=body.get("trace"))
+            with tracer.activate(trace), tracer.stage(STAGE_GATHER):
+                rows, stats = engine._resolve_features(_profiles_from(body))
+            if body.get("trace"):
+                reply["trace"] = trace.trace_id
+                reply["spans"] = trace.stage_list()
+        else:
+            rows, stats = engine._resolve_features(_profiles_from(body))
         return wire.encode_payload(
             {
+                **reply,
                 "hits": stats.hits,
                 "misses": stats.misses,
                 "featurized": stats.featurized,
@@ -177,6 +194,12 @@ def handle_call(engine, payload: bytes) -> bytes:
         )
     if op == "threshold":
         return wire.encode_payload({"threshold": float(engine.threshold)})
+    if op == "stats":
+        # The STATS op: this process's metrics-registry snapshot, for the
+        # gateway to merge into a cluster-truthful view (obs_snapshot()).
+        from repro.obs import get_registry
+
+        return wire.encode_payload({"registry": get_registry().snapshot()})
     if op == "snapshot":
         export = engine.store.export()
         keys = [[k[0], k[1], k[2], k[3], key_revision(k)] for k in export]
@@ -336,7 +359,17 @@ def worker_main(
     batch_size: int = 1024,
     arena_dir: str | None = None,
 ) -> None:
-    """Entry point of a spawned worker process: load the bundle, then serve."""
+    """Entry point of a spawned worker process: load the bundle, then serve.
+
+    Tracing is enabled process-wide here: a worker process exists only to
+    serve, so its registry accumulates stage/store-event histograms from
+    boot and the gateway's ``stats`` op always has something to merge.  The
+    per-call trace-id spans still only ride replies when the gateway asks
+    (a ``trace`` key on the CALL body).
+    """
+    from repro.obs import configure
+
+    configure(enabled=True)
     run_worker_client(
         load_judge_bundle(bundle_dir),
         host,

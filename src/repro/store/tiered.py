@@ -28,6 +28,13 @@ from typing import Iterable
 import numpy as np
 
 from repro.core.protocols import ProfileKey
+from repro.obs import (
+    EVENT_COLD_HIT,
+    EVENT_DEMOTE,
+    EVENT_HOT_HIT,
+    EVENT_PROMOTE,
+    get_tracer,
+)
 from repro.store.arena import ArenaStore
 from repro.store.base import StoreStats
 from repro.store.hot import HotStore
@@ -75,8 +82,18 @@ class TieredStore:
 
     # ----------------------------------------------------------------- lookups
     def get(self, key: ProfileKey) -> np.ndarray | None:
+        # Tier-event latencies (hot_hit / cold_hit / promote) go to the
+        # metrics registry only when tracing is enabled; disabled, the
+        # lookup path pays a single attribute read.
+        tracer = get_tracer()
+        timed = tracer.enabled
+        lookup_started = tracer.clock() if timed else 0.0
         row = self._hot.get(key)
         if row is not None:
+            if timed:
+                tracer.record_event(
+                    EVENT_HOT_HIT, (tracer.clock() - lookup_started) * 1e3
+                )
             return row
         if self._cold is None:
             return None
@@ -87,9 +104,16 @@ class TieredStore:
         row = self._cold.get(key)
         if row is None:
             return None
+        if timed:
+            tracer.record_event(EVENT_COLD_HIT, (tracer.clock() - lookup_started) * 1e3)
         promoted = False
         if self._hot.capacity > 0:
+            promote_started = tracer.clock() if timed else 0.0
             self._hot.put(key, row)
+            if timed:
+                tracer.record_event(
+                    EVENT_PROMOTE, (tracer.clock() - promote_started) * 1e3
+                )
             promoted = True
         with self._counters:
             self._cold_hits += 1
@@ -111,8 +135,13 @@ class TieredStore:
         """Hot-tier eviction hook: keep the row reachable in the arena."""
         if not self._cold_writable():
             return
+        tracer = get_tracer()
+        timed = tracer.enabled
+        started = tracer.clock() if timed else 0.0
         if key not in self._cold:
             self._cold.put(key, row)
+        if timed:
+            tracer.record_event(EVENT_DEMOTE, (tracer.clock() - started) * 1e3)
         with self._counters:
             self._demotions += 1
 

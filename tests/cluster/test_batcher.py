@@ -547,3 +547,49 @@ class TestLifecycleEdges:
         assert batcher.probability_matrix([]).shape == (0, 0)
         assert batcher.warm([]) == 0
         assert batcher.serve(JudgeRequest(pairs=())).probabilities == ()
+
+
+class TestInjectedClock:
+    """``time_fn=`` drives all of the batcher's timing — no sleeps in tests.
+
+    A frozen clock makes every measured duration exactly 0.0, proving the
+    batcher times queue deadlines, request latency and the ``queue_wait``
+    trace stage on the injected clock rather than the wall clock.  (Frozen
+    clocks require ``max_delay_ms=0``: a positive delay's deadline would
+    never expire on a clock that does not move.)
+    """
+
+    def test_frozen_clock_zeroes_latency_accounting(self, engine, test_pairs):
+        with MicroBatcher(engine, max_delay_ms=0.0, time_fn=lambda: 123.0) as batcher:
+            batcher.score(test_pairs)
+        snapshot = batcher.metrics.snapshot()
+        assert snapshot.requests == 1
+        assert snapshot.latency_p50_ms == 0.0
+        assert snapshot.latency_p99_ms == 0.0
+
+    def test_frozen_clock_zeroes_the_queue_wait_stage(self, engine, test_pairs):
+        from repro.obs import STAGE_QUEUE_WAIT, tracing
+
+        with tracing():
+            with MicroBatcher(engine, max_delay_ms=0.0, time_fn=lambda: 50.0) as batcher:
+                response = batcher.serve(JudgeRequest(pairs=tuple(test_pairs)))
+        # queue_wait is prepended to the trace the core built for the request.
+        assert response.trace["stages"][0] == [STAGE_QUEUE_WAIT, 0.0]
+
+    def test_stepped_clock_measures_exact_queue_wait(self, engine, test_pairs):
+        from repro.obs import STAGE_QUEUE_WAIT, tracing
+
+        # One tick per _time() call: every measured duration is a whole
+        # number of seconds on this clock, so a wall-clock leak anywhere in
+        # the path would show up as a fractional millisecond count.
+        ticks = iter(range(100))
+        with tracing():
+            with MicroBatcher(
+                engine, max_delay_ms=0.0, time_fn=lambda: float(next(ticks))
+            ) as batcher:
+                response = batcher.serve(JudgeRequest(pairs=tuple(test_pairs)))
+        stages = dict(
+            (stage, ms) for stage, ms in response.trace["stages"] if stage == STAGE_QUEUE_WAIT
+        )
+        assert stages[STAGE_QUEUE_WAIT] > 0.0
+        assert stages[STAGE_QUEUE_WAIT] % 1000.0 == 0.0

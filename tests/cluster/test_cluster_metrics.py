@@ -61,12 +61,38 @@ class TestClusterMetrics:
         assert snapshot.latency_p50_ms == 2.5
         assert snapshot.latency_p99_ms <= 4.0
 
-    def test_latency_window_is_bounded(self):
-        metrics = ClusterMetrics(latency_window=4)
+    def test_latency_memory_is_bounded_by_histogram_buckets(self):
+        # The old sliding window is gone: percentiles come from a fixed-bucket
+        # histogram whose memory never grows with request count, exact to
+        # bucket resolution (the bucket bound, clamped to the observed range).
+        metrics = ClusterMetrics(latency_window=4)  # accepted but ignored
         for latency in range(100):
             metrics.observe_latency(float(latency))
         snapshot = metrics.snapshot()
-        assert snapshot.latency_p50_ms >= 96.0  # only the recent window survives
+        assert snapshot.latency_p50_ms == 50.0  # rank 50 lands in the le=50 bucket
+        assert snapshot.latency_p99_ms == 99.0  # le=100 bound clamped to max
+
+    def test_heartbeat_observations_surface_in_snapshot(self):
+        clock = iter([10.0, 20.0, 30.0])
+        metrics = ClusterMetrics(time_fn=lambda: next(clock))
+        metrics.observe_heartbeat(0, True)
+        metrics.observe_heartbeat(1, True)
+        metrics.observe_heartbeat(1, False)  # stall: unhealthy, last-seen kept
+        snapshot = metrics.snapshot()
+        assert dict(snapshot.worker_health) == {0: True, 1: False}
+        assert dict(snapshot.worker_last_seen) == {0: 10.0, 1: 20.0}
+        assert "heartbeat: up=1/2" in snapshot.format()
+
+    def test_to_text_exposes_registry_metrics(self):
+        metrics = ClusterMetrics()
+        metrics.observe_flush(num_requests=2, num_pairs=8, queue_depth=1, elapsed_ms=1.0)
+        metrics.observe_latency(3.0)
+        metrics.observe_heartbeat(0, True)
+        text = metrics.to_text()
+        assert "# TYPE repro_cluster_requests_total counter" in text
+        assert "repro_cluster_requests_total 2" in text
+        assert 'repro_worker_up{worker="0"} 1' in text
+        assert "repro_request_latency_ms_count 1" in text
 
     def test_snapshot_pulls_single_engine_cache(self, fitted_pipeline, tiny_dataset):
         engine = ColocationEngine(fitted_pipeline, cache_size=64)

@@ -24,6 +24,15 @@ import pytest
 from repro.api import ColocationEngine, JudgeRequest
 from repro.cluster import MicroBatcher, ShardedEngine, WorkerPool
 from repro.data.records import Pair, Visit
+from repro.obs import (
+    STAGE_GATHER,
+    STAGE_QUEUE_WAIT,
+    STAGE_SCORE,
+    STAGE_WIRE_RTT,
+    STAGE_WIRE_SERIALIZE,
+    STAGES,
+    tracing,
+)
 
 #: Transports whose probabilities must match the reference bit-for-bit.
 EXACT = {"engine", "sharded", "workers"}
@@ -224,3 +233,60 @@ class TestCoalescedServes:
                     decision == expected_decision
                     or abs(probability - expected.threshold) <= COALESCE_ATOL
                 )
+
+
+class TestTraceParity:
+    """Trace propagation: one stage taxonomy across all four transports.
+
+    With tracing enabled, every transport's ``serve`` attaches a trace whose
+    stages are drawn from the single canonical taxonomy — no transport
+    invents private stage names, and each reports at least the stages its
+    architecture implies.  Untraced serving attaches nothing (and pays
+    nothing).
+    """
+
+    #: Stages each transport must report on a cold-ish serve.
+    REQUIRED = {
+        "engine": {STAGE_GATHER, STAGE_SCORE},
+        "sharded": {STAGE_GATHER, STAGE_SCORE},
+        "batcher": {STAGE_QUEUE_WAIT, STAGE_GATHER, STAGE_SCORE},
+        "workers": {STAGE_WIRE_SERIALIZE, STAGE_WIRE_RTT, STAGE_GATHER, STAGE_SCORE},
+    }
+
+    def test_serve_reports_the_shared_stage_taxonomy(self, serving_path, test_pairs):
+        name, path = serving_path
+        with tracing():
+            response = path.serve(JudgeRequest(pairs=tuple(test_pairs)))
+        trace = response.trace
+        assert trace is not None
+        assert isinstance(trace["trace_id"], str) and trace["trace_id"]
+        stages = {stage for stage, _ in trace["stages"]}
+        assert stages <= STAGES, f"{name} invented stages {stages - STAGES}"
+        assert self.REQUIRED[name] <= stages
+        assert all(duration >= 0.0 for _, duration in trace["stages"])
+
+    def test_traced_probabilities_still_agree(self, serving_path, reference, test_pairs):
+        """Instrumentation is timing-only: traced results match untraced."""
+        name, path = serving_path
+        request = JudgeRequest(pairs=tuple(test_pairs))
+        expected = reference.serve(request)
+        with tracing():
+            response = path.serve(request)
+        assert_probabilities_agree(name, response.probabilities, expected.probabilities)
+        assert response.decisions == expected.decisions
+
+    def test_untraced_serving_attaches_no_trace(self, serving_path, test_pairs):
+        _, path = serving_path
+        response = path.serve(JudgeRequest(pairs=tuple(test_pairs)))
+        assert response.trace is None
+
+    def test_trace_round_trips_the_response_payload(self, serving_path, test_pairs):
+        from repro.api import JudgeResponse
+
+        _, path = serving_path
+        with tracing():
+            response = path.serve(JudgeRequest(pairs=tuple(test_pairs)))
+        decoded = JudgeResponse.from_dict(response.to_dict())
+        assert decoded.trace == response.trace
+        untraced = path.serve(JudgeRequest(pairs=tuple(test_pairs)))
+        assert "trace" not in untraced.to_dict()  # old payloads stay byte-identical

@@ -278,3 +278,83 @@ def test_worker_exits_on_gateway_eof(fitted_pipeline):
     assert _wait_until(lambda: not process.is_alive(), timeout=10.0)
     assert process.exitcode == 0
     pool.close()
+
+
+# --------------------------------------------------------------- observability
+
+
+def test_stats_op_round_trips_worker_registries(pool, serving_pairs):
+    """The ``stats`` wire op exports each worker's metrics registry, and
+    ``obs_snapshot`` merges them with the gateway-side registry."""
+    from repro.obs import tracing
+
+    with tracing():
+        pool.predict_proba(serving_pairs[:6])
+        snapshots = pool.worker_obs_snapshots()
+        merged = pool.obs_snapshot()
+    assert len(snapshots) == pool.num_workers
+    names = {metric["name"] for snap in snapshots for metric in snap["metrics"]}
+    assert "repro_stage_latency_ms" in names  # workers trace their gathers
+    gather = merged.get("repro_stage_latency_ms").labels(stage="gather")
+    assert gather.count > 0
+    assert merged.to_text()  # the merged registry renders an exposition
+
+
+def test_trace_ids_propagate_across_the_wire(pool, serving_pairs):
+    """The gateway's trace id rides the CALL body; worker spans merge back."""
+    from repro.obs import STAGE_WIRE_RTT, tracing
+
+    with tracing():
+        response = pool.serve(JudgeRequest(pairs=tuple(serving_pairs[:4])))
+    stages = [stage for stage, _ in response.trace["stages"]]
+    assert STAGE_WIRE_RTT in stages
+    assert stages.count("gather") >= 2  # the gateway's plus each worker's
+
+
+def test_heartbeat_flips_stalled_worker_without_failing_healthy_calls(
+    fitted_pipeline, serving_pairs
+):
+    """SIGSTOP one worker: the heartbeat marks it unhealthy while the other
+    worker keeps serving; SIGCONT lets the late PONG flip it back healthy
+    (the stalled probe is never cancelled, so the wire stays in sync)."""
+    with WorkerPool(
+        fitted_pipeline,
+        num_workers=2,
+        cache_size=128,
+        heartbeat_interval_ms=50.0,
+        heartbeat_timeout_ms=300.0,
+    ) as pool:
+        assert pool.worker_health() == (True, True)
+        assert _wait_until(lambda: len(pool.metrics.snapshot().worker_health) == 2)
+        pid = pool.worker_pids()[0]
+        os.kill(pid, signal.SIGSTOP)
+        try:
+            assert _wait_until(lambda: pool.worker_health()[0] is False, timeout=20.0)
+            snapshot = pool.metrics.snapshot()
+            assert dict(snapshot.worker_health)[0] is False
+            assert dict(snapshot.worker_health)[1] is True
+            assert "heartbeat: up=1/2" in snapshot.format()
+            assert pool.ping(1)  # the healthy worker still answers
+        finally:
+            os.kill(pid, signal.SIGCONT)
+        assert _wait_until(lambda: pool.worker_health()[0] is True, timeout=20.0)
+        # the recovered pool serves full fan-out gathers again
+        assert len(pool.predict_proba(serving_pairs[:4])) == 4
+
+
+def test_heartbeat_reports_a_dead_worker_unhealthy(fitted_pipeline, serving_pairs):
+    with WorkerPool(
+        fitted_pipeline,
+        num_workers=2,
+        cache_size=128,
+        heartbeat_interval_ms=50.0,
+    ) as pool:
+        os.kill(pool.worker_pids()[1], signal.SIGKILL)
+        _wait_until(lambda: not pool._handles[1].process.is_alive())
+        assert _wait_until(lambda: pool.worker_health()[1] is False, timeout=20.0)
+        assert pool.worker_health()[0] is True
+
+
+def test_heartbeat_interval_validation(fitted_pipeline):
+    with pytest.raises(ConfigurationError):
+        WorkerPool(fitted_pipeline, num_workers=1, heartbeat_interval_ms=0.0)

@@ -1,0 +1,207 @@
+"""Tests for the ``repro.obs`` metrics registry.
+
+The registry is the shared substrate under :class:`repro.cluster.ClusterMetrics`,
+the tracer's stage histograms and the cross-process ``stats`` wire op, so this
+suite pins the contracts everything else leans on: thread-safety under
+concurrent observation, declare-or-get idempotence, snapshot/merge arithmetic
+and the exact text exposition format.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Histogram,
+    MetricsRegistry,
+    format_stage_table,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = MetricsRegistry().counter("c_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_is_rejected(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1.0)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(5.0)
+        gauge.inc(2.0)
+        gauge.dec(3.0)
+        assert gauge.value == 4.0
+
+
+class TestHistogram:
+    def test_count_sum_mean(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 2.0, 4.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == 6.5
+        assert histogram.mean == pytest.approx(6.5 / 3)
+
+    def test_quantile_is_bucket_bound_clamped_to_observed_range(self):
+        histogram = MetricsRegistry().histogram("h")  # default latency buckets
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        # rank ceil(0.5 * 4) = 2 lands in the le=2.5 bucket.
+        assert histogram.quantile(0.5) == 2.5
+        # The le=5.0 bound would overshoot; the observed max clamps it.
+        assert histogram.quantile(0.99) == 4.0
+        # The observed min floors a bound below every observation.
+        assert histogram.quantile(0.0) >= 1.0
+
+    def test_empty_histogram_quantile_is_zero(self):
+        assert MetricsRegistry().histogram("h").quantile(0.5) == 0.0
+
+    def test_buckets_must_be_sorted_and_positive_count(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().histogram("h", buckets=())
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().histogram("h2", buckets=(5.0, 1.0))
+
+    def test_default_buckets_are_the_shared_latency_ladder(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert isinstance(histogram, Histogram)
+        assert histogram.bounds == DEFAULT_LATENCY_BUCKETS_MS
+
+
+class TestFamilies:
+    def test_same_labels_return_the_same_child(self):
+        family = MetricsRegistry().counter("c_total", labels=("path",))
+        assert family.labels(path="a") is family.labels(path="a")
+        assert family.labels(path="a") is not family.labels(path="b")
+
+    def test_wrong_label_names_are_rejected(self):
+        family = MetricsRegistry().counter("c_total", labels=("path",))
+        with pytest.raises(ConfigurationError):
+            family.labels(route="a")
+
+    def test_declare_is_idempotent_and_shape_checked(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help")
+        assert registry.counter("c_total") is first
+        with pytest.raises(ConfigurationError):
+            registry.gauge("c_total")  # kind mismatch
+        with pytest.raises(ConfigurationError):
+            registry.counter("c_total", labels=("path",))  # label mismatch
+
+
+class TestConcurrency:
+    def test_eight_threads_match_serial_totals(self):
+        """Concurrent increments and observations lose nothing."""
+        registry = MetricsRegistry()
+        counter = registry.counter("hammer_total")
+        histogram = registry.histogram("hammer_ms", buckets=(1.0, 2.0, 4.0))
+        per_thread, threads = 5000, 8
+
+        def hammer(seed: int) -> None:
+            for step in range(per_thread):
+                counter.inc()
+                histogram.observe(float((seed + step) % 5))
+
+        workers = [
+            threading.Thread(target=hammer, args=(index,)) for index in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        total = per_thread * threads
+        assert counter.value == total
+        assert histogram.count == total
+        # Every observation cycles 0..4, so the sum is exactly 2 per value.
+        assert histogram.sum == 2.0 * total
+
+
+class TestSnapshotMerge:
+    def test_merge_sums_counters_and_histograms_gauges_last_write(self):
+        source = MetricsRegistry()
+        source.counter("c_total").inc(3)
+        source.gauge("g").set(7.0)
+        histogram = source.histogram("h", buckets=(1.0, 5.0))
+        histogram.observe(0.5)
+        histogram.observe(3.0)
+        snapshot = source.snapshot()
+
+        target = MetricsRegistry()
+        target.gauge("g").set(1.0)
+        target.merge(snapshot)
+        target.merge(snapshot)
+        assert target.get("c_total").labels().value == 6.0
+        assert target.get("g").labels().value == 7.0  # last write wins
+        merged_histogram = target.get("h").labels()
+        assert merged_histogram.count == 4
+        assert merged_histogram.sum == 7.0
+
+    def test_merge_requires_matching_histogram_bounds(self):
+        source = MetricsRegistry()
+        source.histogram("h", buckets=(1.0, 5.0)).observe(0.5)
+        target = MetricsRegistry()
+        target.histogram("h", buckets=(2.0, 4.0))
+        with pytest.raises(ConfigurationError):
+            target.merge(source.snapshot())
+
+    def test_merged_builds_a_fresh_registry(self):
+        a = MetricsRegistry()
+        a.counter("c_total").inc()
+        b = MetricsRegistry()
+        b.counter("c_total").inc(4)
+        merged = MetricsRegistry.merged([a.snapshot(), b.snapshot()])
+        assert merged.get("c_total").labels().value == 5.0
+
+
+class TestExposition:
+    def test_text_format_is_stable(self):
+        """Golden test: the Prometheus-style exposition, byte for byte."""
+        registry = MetricsRegistry()
+        requests = registry.counter("demo_requests_total", "Requests served", labels=("path",))
+        requests.labels(path="score").inc(3)
+        requests.labels(path="serve").inc()
+        registry.gauge("demo_queue_depth", "Queue depth").set(2)
+        latency = registry.histogram("demo_latency_ms", "Latency", buckets=(1.0, 2.5, 5.0))
+        for value in (0.5, 2.0, 7.5):
+            latency.observe(value)
+        assert registry.to_text() == (
+            "# HELP demo_latency_ms Latency\n"
+            "# TYPE demo_latency_ms histogram\n"
+            'demo_latency_ms_bucket{le="1"} 1\n'
+            'demo_latency_ms_bucket{le="2.5"} 2\n'
+            'demo_latency_ms_bucket{le="5"} 2\n'
+            'demo_latency_ms_bucket{le="+Inf"} 3\n'
+            "demo_latency_ms_sum 10\n"
+            "demo_latency_ms_count 3\n"
+            "# HELP demo_queue_depth Queue depth\n"
+            "# TYPE demo_queue_depth gauge\n"
+            "demo_queue_depth 2\n"
+            "# HELP demo_requests_total Requests served\n"
+            "# TYPE demo_requests_total counter\n"
+            'demo_requests_total{path="score"} 3\n'
+            'demo_requests_total{path="serve"} 1\n'
+        )
+
+    def test_stage_table_sorts_heaviest_first(self):
+        registry = MetricsRegistry()
+        stages = registry.histogram("repro_stage_latency_ms", labels=("stage",))
+        stages.labels(stage="gather").observe(10.0)
+        stages.labels(stage="score").observe(1.0)
+        stages.labels(stage="score").observe(1.0)
+        table = format_stage_table(registry)
+        lines = table.splitlines()
+        assert lines[0].split() == ["stage", "count", "total", "ms", "mean", "ms", "p50", "ms", "p99", "ms"]
+        assert lines[1].startswith("gather")
+        assert lines[2].startswith("score")
+
+    def test_stage_table_without_stage_metric_is_empty(self):
+        assert format_stage_table(MetricsRegistry()) == ""

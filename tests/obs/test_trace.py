@@ -1,0 +1,162 @@
+"""Tests for the ``repro.obs`` tracer: spans, activation, hooks, fake clocks."""
+
+import pytest
+
+from repro.obs import (
+    STAGE_GATHER,
+    STAGE_SCORE,
+    STAGES,
+    STORE_EVENTS,
+    EVENT_HOT_HIT,
+    MetricsRegistry,
+    Tracer,
+    get_tracer,
+    tracing,
+)
+from repro.obs.trace import _NOOP_STAGE
+
+
+class FakeClock:
+    """A monotonic clock that advances only when told — exact durations."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDisabled:
+    def test_stage_is_the_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.stage(STAGE_GATHER) is _NOOP_STAGE
+        assert tracer.stage(STAGE_SCORE) is _NOOP_STAGE
+        with tracer.stage(STAGE_GATHER):
+            pass
+        assert tracer.registry.get("repro_stage_latency_ms").samples() == []
+
+    def test_record_stage_is_a_noop_when_disabled(self):
+        tracer = Tracer(enabled=False)
+        trace = tracer.start_trace()
+        tracer.record_stage(STAGE_SCORE, 5.0, traces=[trace])
+        assert trace.spans == []
+
+
+class TestStageTiming:
+    def test_fake_clock_gives_exact_durations(self):
+        clock = FakeClock()
+        tracer = Tracer(enabled=True, time_fn=clock)
+        trace = tracer.start_trace()
+        with tracer.activate(trace):
+            with tracer.stage(STAGE_GATHER):
+                clock.advance(0.002)
+        (span,) = trace.spans
+        assert span.name == STAGE_GATHER
+        assert span.duration_ms == pytest.approx(2.0)
+        assert span.start_ms == pytest.approx(0.0)
+        histogram = tracer.registry.get("repro_stage_latency_ms").labels(
+            stage=STAGE_GATHER
+        )
+        assert histogram.count == 1
+        assert histogram.sum == pytest.approx(2.0)
+
+    def test_nested_stages_record_parent_ids(self):
+        clock = FakeClock()
+        tracer = Tracer(enabled=True, time_fn=clock)
+        trace = tracer.start_trace()
+        with tracer.activate(trace):
+            with tracer.stage(STAGE_GATHER):
+                with tracer.stage("featurize"):
+                    clock.advance(0.001)
+        inner, outer = trace.spans  # inner exits (and records) first
+        assert inner.name == "featurize"
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_stage_without_activation_feeds_only_the_registry(self):
+        clock = FakeClock()
+        tracer = Tracer(enabled=True, time_fn=clock)
+        with tracer.stage(STAGE_SCORE):
+            clock.advance(0.001)
+        histogram = tracer.registry.get("repro_stage_latency_ms").labels(
+            stage=STAGE_SCORE
+        )
+        assert histogram.count == 1
+        assert tracer.current_trace() is None
+
+    def test_record_stage_lands_in_registry_and_every_trace(self):
+        tracer = Tracer(enabled=True)
+        traces = [tracer.start_trace(), None, tracer.start_trace()]
+        tracer.record_stage(STAGE_SCORE, 3.0, traces=traces)
+        assert traces[0].duration_of(STAGE_SCORE) == 3.0
+        assert traces[2].duration_of(STAGE_SCORE) == 3.0
+        histogram = tracer.registry.get("repro_stage_latency_ms").labels(
+            stage=STAGE_SCORE
+        )
+        assert histogram.count == 1  # one shared measurement, counted once
+
+    def test_record_event_feeds_the_event_histogram(self):
+        tracer = Tracer(enabled=True)
+        tracer.record_event(EVENT_HOT_HIT, 0.25)
+        histogram = tracer.registry.get("repro_store_event_ms").labels(
+            event=EVENT_HOT_HIT
+        )
+        assert histogram.count == 1
+
+
+class TestTraceObject:
+    def test_report_shape(self):
+        tracer = Tracer(enabled=True)
+        trace = tracer.start_trace(trace_id="abc123")
+        trace.add(STAGE_GATHER, 1.5)
+        report = trace.report()
+        assert report == {"trace_id": "abc123", "stages": [[STAGE_GATHER, 1.5]]}
+
+    def test_adopted_trace_id_round_trips(self):
+        tracer = Tracer(enabled=True)
+        assert tracer.start_trace(trace_id="wire-id").trace_id == "wire-id"
+
+    def test_taxonomies_are_disjoint(self):
+        assert not STAGES & STORE_EVENTS
+
+
+class TestSlowHooks:
+    def test_on_slow_fires_above_threshold_only(self):
+        tracer = Tracer(enabled=True)
+        seen = []
+        tracer.on_slow(10.0, lambda trace, ms: seen.append((trace.trace_id, ms)))
+        fast, slow = tracer.start_trace("fast"), tracer.start_trace("slow")
+        tracer.finish(fast, total_ms=5.0)
+        tracer.finish(slow, total_ms=25.0)
+        assert seen == [("slow", 25.0)]
+
+    def test_hook_exceptions_never_break_serving(self):
+        tracer = Tracer(enabled=True)
+
+        def explode(trace, ms):
+            raise RuntimeError("observability must not take down the path")
+
+        tracer.on_slow(0.0, explode)
+        tracer.finish(tracer.start_trace(), total_ms=1.0)  # must not raise
+
+
+class TestScopedTracing:
+    def test_tracing_swaps_and_restores_the_process_tracer(self):
+        before = get_tracer()
+        with tracing() as scoped:
+            assert get_tracer() is scoped
+            assert scoped.enabled
+            assert scoped.registry is not before.registry
+        assert get_tracer() is before
+
+    def test_tracing_accepts_an_explicit_registry_and_clock(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        with tracing(registry=registry, time_fn=clock) as scoped:
+            with scoped.stage(STAGE_GATHER):
+                clock.advance(0.004)
+        histogram = registry.get("repro_stage_latency_ms").labels(stage=STAGE_GATHER)
+        assert histogram.sum == pytest.approx(4.0)
