@@ -1,0 +1,63 @@
+"""Baseline file — grandfathered findings the checker tolerates.
+
+The baseline is a committed JSON file of finding fingerprints (rule id +
+path + message; line numbers are excluded so unrelated edits don't churn
+it).  A finding whose fingerprint is baselined is reported but does not
+fail the run; everything else exits non-zero.  The repo's policy is to keep
+the baseline **empty** — it exists so a future emergency can land with an
+explicit, reviewable IOU instead of a disabled checker.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be understood."""
+
+
+def load_baseline(path: str) -> set[str]:
+    """Fingerprints in the baseline file; a missing file is an empty baseline."""
+    if not os.path.exists(path):
+        return set()
+    with open(path, encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(data, dict) or not isinstance(data.get("fingerprints"), list):
+        raise BaselineError(f"{path}: expected {{'version', 'fingerprints': [...]}}")
+    return {str(entry) for entry in data["fingerprints"]}
+
+
+def write_baseline(path: str, findings: list[Finding]) -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "fingerprints": sorted({finding.fingerprint for finding in findings}),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def split_findings(
+    findings: list[Finding], baseline: set[str]
+) -> tuple[list[Finding], list[Finding], set[str]]:
+    """Partition into (new, baselined) and report stale baseline entries."""
+    new: list[Finding] = []
+    suppressed: list[Finding] = []
+    seen: set[str] = set()
+    for finding in findings:
+        if finding.fingerprint in baseline:
+            suppressed.append(finding)
+            seen.add(finding.fingerprint)
+        else:
+            new.append(finding)
+    return new, suppressed, baseline - seen

@@ -1,0 +1,165 @@
+"""Command-line driver: ``python -m repro.analysis`` / ``repro-hisrect check``.
+
+Exit codes: ``0`` clean (or every finding baselined), ``1`` at least one
+non-baselined finding, ``2`` usage error (unknown rule, bad path, corrupt
+baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE,
+    BaselineError,
+    load_baseline,
+    split_findings,
+    write_baseline,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.framework import (
+    AnalysisUsageError,
+    Analyzer,
+    all_rules,
+    collect_files,
+    load_sources,
+    resolve_rules,
+)
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro's AST-based invariant checker (see ROADMAP.md "
+        "'Enforced invariants' for the rule catalogue)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories to check (default: src)"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE}; "
+        "a missing file is an empty baseline)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true", help="ignore the baseline file entirely"
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept every current finding, then exit 0",
+    )
+    parser.add_argument(
+        "--rules", default="", help="comma-separated subset of rule ids to run"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list the registered rules and exit"
+    )
+    return parser
+
+
+def run(
+    paths: list[str],
+    *,
+    format: str = "text",
+    baseline_path: str = DEFAULT_BASELINE,
+    no_baseline: bool = False,
+    write_baseline_file: bool = False,
+    rules: str = "",
+    stdout=None,
+) -> int:
+    """The reusable driver behind both entry points; returns the exit code."""
+    out = stdout if stdout is not None else sys.stdout
+    try:
+        rule_names = [name.strip() for name in rules.split(",") if name.strip()]
+        analyzer = Analyzer(resolve_rules(rule_names or None))
+        files = collect_files(paths)
+        baseline = set() if no_baseline else load_baseline(baseline_path)
+    except (AnalysisUsageError, BaselineError) as exc:
+        print(f"repro.analysis: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    sources, parse_errors = load_sources(files)
+    findings = parse_errors + analyzer.run(sources)
+
+    if write_baseline_file:
+        write_baseline(baseline_path, findings)
+        print(
+            f"repro.analysis: wrote {len(findings)} fingerprint(s) to {baseline_path}",
+            file=out,
+        )
+        return EXIT_CLEAN
+
+    new, suppressed, stale = split_findings(findings, baseline)
+    if format == "json":
+        _emit_json(out, analyzer, files, new, suppressed, stale)
+    else:
+        _emit_text(out, analyzer, files, new, suppressed, stale)
+    return EXIT_FINDINGS if new else EXIT_CLEAN
+
+
+def _emit_text(out, analyzer, files, new, suppressed, stale) -> None:
+    for finding in new:
+        print(finding.format_text(), file=out)
+    parts = [
+        f"{len(new)} finding(s)",
+        f"{len(suppressed)} baselined",
+        f"{len(files)} file(s)",
+        f"{len(analyzer.rule_ids)} rule(s)",
+    ]
+    if stale:
+        parts.append(f"{len(stale)} stale baseline entr(y/ies) — consider pruning")
+    status = "clean" if not new else "FAILED"
+    print(f"repro.analysis: {status} — " + ", ".join(parts), file=out)
+
+
+def _emit_json(out, analyzer, files, new, suppressed, stale) -> None:
+    def encode(finding: Finding, baselined: bool) -> dict:
+        entry = finding.to_dict()
+        entry["baselined"] = baselined
+        return entry
+
+    payload = {
+        "version": 1,
+        "rules": analyzer.rule_ids,
+        "files": len(files),
+        "findings": [encode(f, False) for f in new] + [encode(f, True) for f in suppressed],
+        "summary": {
+            "total": len(new) + len(suppressed),
+            "new": len(new),
+            "baselined": len(suppressed),
+            "stale_baseline": sorted(stale),
+        },
+    }
+    json.dump(payload, out, indent=2)
+    out.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id, rule_cls in sorted(all_rules().items()):
+            print(f"{rule_id}: {rule_cls.description}")
+        return EXIT_CLEAN
+    return run(
+        args.paths,
+        format=args.format,
+        baseline_path=args.baseline,
+        no_baseline=args.no_baseline,
+        write_baseline_file=args.write_baseline,
+        rules=args.rules,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

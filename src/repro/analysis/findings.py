@@ -1,0 +1,45 @@
+""":class:`Finding` — one rule violation at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation: which rule, where, what, and how to fix it."""
+
+    #: Stable rule identifier (``decision-path``, ``wire-safety``, ...).
+    rule_id: str
+    #: Path as given on the command line, normalized to forward slashes.
+    path: str
+    #: 1-indexed line of the offending node.
+    line: int
+    #: What is wrong, phrased against the invariant the rule guards.
+    message: str
+    #: How to fix it (or how to annotate a deliberate exception).
+    hint: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Baseline identity: line numbers shift, so they are excluded."""
+        return f"{self.rule_id}::{self.path}::{self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def format_text(self) -> str:
+        text = f"{self.path}:{self.line}: [{self.rule_id}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+def sort_key(finding: Finding) -> tuple:
+    return (finding.path, finding.line, finding.rule_id, finding.message)

@@ -1,0 +1,168 @@
+"""Shared rule/visitor framework for the invariant checker.
+
+A :class:`Rule` is instantiated once per run and sees every file twice
+conceptually: :meth:`Rule.check_file` for per-file findings, then
+:meth:`Rule.finalize` for cross-file invariants (duplicate frame constants,
+conflicting metric declarations) after the whole tree has been walked.
+Rules are registered by the :func:`register` decorator; the default rule
+set lives in :mod:`repro.analysis.rules`.
+
+The :class:`Analyzer` applies inline ``# repro: allow(<rule-id>)`` waivers
+uniformly — rules never have to know about suppression — and returns the
+surviving findings sorted by location.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding, sort_key
+from repro.analysis.source import SourceFile
+
+
+class AnalysisUsageError(ValueError):
+    """Bad invocation (unknown rule id, nonexistent path): exit code 2."""
+
+
+class Rule:
+    """Base class: one invariant, one stable ``rule_id``."""
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check_file(self, source: SourceFile) -> list[Finding]:
+        return []
+
+    def finalize(self) -> list[Finding]:
+        """Cross-file findings, emitted after every file has been checked."""
+        return []
+
+    def finding(
+        self, source: SourceFile, node: ast.AST | int, message: str, hint: str = ""
+    ) -> Finding:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(
+            rule_id=self.rule_id, path=source.path, line=line, message=message, hint=hint
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    """Every registered rule, importing the default set on first use."""
+    import repro.analysis.rules  # noqa: F401  (populates _REGISTRY)
+
+    return dict(_REGISTRY)
+
+
+def resolve_rules(names: Sequence[str] | None = None) -> list[type[Rule]]:
+    registry = all_rules()
+    if not names:
+        return [registry[rule_id] for rule_id in sorted(registry)]
+    chosen = []
+    for name in names:
+        if name not in registry:
+            known = ", ".join(sorted(registry))
+            raise AnalysisUsageError(f"unknown rule '{name}' (known: {known})")
+        chosen.append(registry[name])
+    return chosen
+
+
+def collect_files(paths: Sequence[str]) -> list[str]:
+    """Expand files/directories into a sorted, de-duplicated ``*.py`` list."""
+    files: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+                files.extend(
+                    os.path.join(root, name) for name in sorted(names) if name.endswith(".py")
+                )
+        elif os.path.isfile(path):
+            files.append(path)
+        else:
+            raise AnalysisUsageError(f"no such file or directory: {path}")
+    unique: dict[str, None] = {}
+    for path in files:
+        unique.setdefault(path.replace("\\", "/"), None)
+    return list(unique)
+
+
+def load_sources(files: Iterable[str]) -> tuple[list[SourceFile], list[Finding]]:
+    """Parse every file; unparseable files become ``syntax-error`` findings."""
+    sources: list[SourceFile] = []
+    errors: list[Finding] = []
+    for path in files:
+        try:
+            sources.append(SourceFile.from_path(path))
+        except SyntaxError as exc:
+            errors.append(
+                Finding(
+                    rule_id="syntax-error",
+                    path=str(path).replace("\\", "/"),
+                    line=exc.lineno or 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+    return sources, errors
+
+
+class Analyzer:
+    """Runs a rule set over parsed sources and applies inline waivers."""
+
+    def __init__(self, rules: Sequence[type[Rule]] | None = None):
+        self._rule_classes = list(rules) if rules is not None else resolve_rules()
+
+    @property
+    def rule_ids(self) -> list[str]:
+        return [cls.rule_id for cls in self._rule_classes]
+
+    def run(self, sources: Iterable[SourceFile]) -> list[Finding]:
+        sources = list(sources)
+        by_path = {source.path: source for source in sources}
+        rules = [cls() for cls in self._rule_classes]
+        findings: list[Finding] = []
+        for source in sources:
+            for rule in rules:
+                findings.extend(rule.check_file(source))
+        for rule in rules:
+            findings.extend(rule.finalize())
+        kept = []
+        for finding in findings:
+            source = by_path.get(finding.path)
+            if source is not None and source.is_allowed(finding.rule_id, finding.line):
+                continue
+            kept.append(finding)
+        return sorted(set(kept), key=sort_key)
+
+
+def call_name(node: ast.AST) -> str:
+    """Terminal identifier of a call target: ``a.b.c(...)`` -> ``c``."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def self_attr(node: ast.AST) -> str:
+    """``self.<attr>`` -> ``attr``; anything else -> empty string."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return ""

@@ -1,0 +1,24 @@
+"""The default rule set — one module per ROADMAP invariant."""
+
+from repro.analysis.rules.decision_path import DecisionPathRule
+from repro.analysis.rules.lock_discipline import LockDisciplineRule
+from repro.analysis.rules.metric_hygiene import MetricHygieneRule
+from repro.analysis.rules.stage_taxonomy import StageTaxonomyRule
+from repro.analysis.rules.wire_safety import WireSafetyRule
+
+DEFAULT_RULES = (
+    DecisionPathRule,
+    LockDisciplineRule,
+    MetricHygieneRule,
+    StageTaxonomyRule,
+    WireSafetyRule,
+)
+
+__all__ = [
+    "DEFAULT_RULES",
+    "DecisionPathRule",
+    "LockDisciplineRule",
+    "MetricHygieneRule",
+    "StageTaxonomyRule",
+    "WireSafetyRule",
+]

@@ -1,0 +1,220 @@
+"""``lock-discipline`` — annotated shared state stays under its lock.
+
+Two checks, both comment-driven where the AST has no types to lean on:
+
+* a field assigned with a trailing ``# guarded-by: <lock>`` comment (by
+  convention in ``__init__``) may only be read or written inside a
+  ``with self.<lock>:`` block.  Methods that run with the lock already
+  held by their caller declare it with ``# holds: <lock>`` on the ``def``
+  line; ``__init__`` itself is exempt (the object is not shared yet).
+* ``featurize*`` / ``encode_batch`` calls must not execute inside any
+  lock body — the PR 4 hot-path rule: featurization is the expensive
+  stage and serializing it behind a cache lock collapses concurrency.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import Rule, call_name, register, self_attr
+from repro.analysis.source import SourceFile
+
+_GUARDED_RE = re.compile(r"guarded-by:\s*([A-Za-z_]\w*)")
+_HOLDS_RE = re.compile(r"holds:\s*([A-Za-z_]\w*)")
+#: Heuristic for "this with-block is a critical section" (featurize check).
+_LOCKISH_RE = re.compile(r"lock|cond|mutex", re.IGNORECASE)
+_HOT_CALLS_PREFIX = "featurize"
+_HOT_CALLS_EXACT = {"encode_batch"}
+
+
+def _with_lock_names(node: ast.With | ast.AsyncWith) -> set[str]:
+    """Attribute names of ``self.<attr>`` context managers in a with-statement."""
+    names = set()
+    for item in node.items:
+        attr = self_attr(item.context_expr)
+        if attr:
+            names.add(attr)
+    return names
+
+
+def _lockish_with(node: ast.With | ast.AsyncWith) -> bool:
+    for item in node.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Subscript):  # e.g. self._gather_locks[shard]
+            expr = expr.value
+        attr = self_attr(expr)
+        if attr and _LOCKISH_RE.search(attr):
+            return True
+    return False
+
+
+class _GuardedAccessVisitor(ast.NodeVisitor):
+    """Walks one method body tracking which ``self.<lock>`` blocks are open."""
+
+    def __init__(
+        self,
+        rule: "LockDisciplineRule",
+        source: SourceFile,
+        class_name: str,
+        guarded: dict[str, str],
+        held: frozenset[str],
+    ):
+        self._rule = rule
+        self._source = source
+        self._class_name = class_name
+        self._guarded = guarded
+        self._held = set(held)
+        self.findings: list[Finding] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        added = _with_lock_names(node) - self._held
+        self._held |= added
+        for stmt in node.body:
+            self.visit(stmt)
+        self._held -= added
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = self_attr(node)
+        if attr and attr in self._guarded and self._guarded[attr] not in self._held:
+            lock = self._guarded[attr]
+            self.findings.append(
+                self._rule.finding(
+                    self._source,
+                    node,
+                    f"'{self._class_name}.{attr}' is guarded-by '{lock}' but accessed "
+                    f"outside 'with self.{lock}'",
+                    f"take the lock, or mark the method '# holds: {lock}' if the "
+                    "caller provably holds it",
+                )
+            )
+        self.generic_visit(node)
+
+    # A nested function runs later, when the enclosing lock is long released:
+    # whatever is held lexically is NOT held dynamically, so reset.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_nested(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_nested(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_nested(node)
+
+    def _visit_nested(self, node: ast.AST) -> None:
+        outer, self._held = self._held, set()
+        self.generic_visit(node)
+        self._held = outer
+
+
+class _HotCallVisitor(ast.NodeVisitor):
+    """Flags featurize/encode_batch calls lexically inside a lock body."""
+
+    def __init__(self, rule: "LockDisciplineRule", source: SourceFile):
+        self._rule = rule
+        self._source = source
+        self._depth = 0
+        self.findings: list[Finding] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        lockish = _lockish_with(node)
+        self._depth += 1 if lockish else 0
+        self.generic_visit(node)
+        self._depth -= 1 if lockish else 0
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = call_name(node)
+        if self._depth > 0 and (
+            name.startswith(_HOT_CALLS_PREFIX) or name in _HOT_CALLS_EXACT
+        ):
+            self.findings.append(
+                self._rule.finding(
+                    self._source,
+                    node,
+                    f"'{name}' called inside a lock body — featurization must not "
+                    "run under a lock",
+                    "featurize outside the critical section, then take the lock "
+                    "only to install the result (see ColocationEngine._resolve_features)",
+                )
+            )
+        self.generic_visit(node)
+
+
+@register
+class LockDisciplineRule(Rule):
+    rule_id = "lock-discipline"
+    description = (
+        "# guarded-by: fields are only touched under their lock; "
+        "featurize/encode_batch never run inside a lock body"
+    )
+
+    def check_file(self, source: SourceFile) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                guarded = self._collect_annotations(source, node)
+                if guarded:
+                    findings.extend(self._check_class(source, node, guarded))
+        hot = _HotCallVisitor(self, source)
+        hot.visit(source.tree)
+        findings.extend(hot.findings)
+        return findings
+
+    def _collect_annotations(
+        self, source: SourceFile, class_node: ast.ClassDef
+    ) -> dict[str, str]:
+        """``self.X = ...  # guarded-by: _lock`` assignments -> {X: _lock}."""
+        guarded: dict[str, str] = {}
+        for node in ast.walk(class_node):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            else:
+                continue
+            match = _GUARDED_RE.search(source.comment_on(node.lineno))
+            if not match:
+                continue
+            for target in targets:
+                attr = self_attr(target)
+                if attr:
+                    guarded[attr] = match.group(1)
+        return guarded
+
+    def _check_class(
+        self, source: SourceFile, class_node: ast.ClassDef, guarded: dict[str, str]
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for item in class_node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name == "__init__":  # construction precedes sharing
+                continue
+            held: set[str] = set()
+            holds = _HOLDS_RE.search(source.comment_on(item.lineno))
+            if holds:
+                held.add(holds.group(1))
+            visitor = _GuardedAccessVisitor(
+                self, source, class_node.name, guarded, frozenset(held)
+            )
+            for stmt in item.body:
+                visitor.visit(stmt)
+            findings.extend(visitor.findings)
+        return findings

@@ -1,0 +1,115 @@
+"""``metric-hygiene`` — registry metric names stay consistent and greppable.
+
+Every metric declared against a :class:`repro.obs.MetricsRegistry` (via
+``.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)``) must be
+``repro_``-prefixed snake_case, and a given name must carry exactly one
+(kind, buckets) signature across the whole tree — declare-or-get is
+idempotent at runtime, so a second declaration with a different kind or
+bucket layout would silently win or lose depending on import order.
+
+Names are resolved from string literals and from module-level string
+constants (``STAGE_METRIC = "repro_stage_latency_ms"``); dynamically
+computed names are skipped — they cannot be checked statically.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import Rule, register
+from repro.analysis.source import SourceFile
+
+_DECLARING_METHODS = {"counter", "gauge", "histogram"}
+_NAME_RE = re.compile(r"^repro_[a-z0-9]+(?:_[a-z0-9]+)*$")
+#: Signature placeholder when a histogram takes the registry's default buckets.
+_DEFAULT_BUCKETS = "<default>"
+
+
+def _module_string_constants(tree: ast.Module) -> dict[str, str]:
+    constants: dict[str, str] = {}
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            constants[node.targets[0].id] = node.value.value
+    return constants
+
+
+@register
+class MetricHygieneRule(Rule):
+    rule_id = "metric-hygiene"
+    description = (
+        "metric names are repro_-prefixed snake_case and each name has "
+        "exactly one (kind, buckets) declaration signature"
+    )
+
+    def __init__(self) -> None:
+        #: name -> [(kind, buckets signature, path, line)]
+        self._declarations: dict[str, list[tuple[str, str, str, int]]] = {}
+
+    def check_file(self, source: SourceFile) -> list[Finding]:
+        findings: list[Finding] = []
+        constants = _module_string_constants(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+                continue
+            kind = node.func.attr
+            if kind not in _DECLARING_METHODS or not node.args:
+                continue
+            name = self._resolve_name(node.args[0], constants)
+            if name is None:
+                continue  # dynamically computed — not statically checkable
+            if not _NAME_RE.match(name):
+                findings.append(
+                    self.finding(
+                        source,
+                        node,
+                        f"metric name '{name}' is not repro_-prefixed snake_case",
+                        "name metrics 'repro_<subsystem>_<quantity>[_total]' "
+                        "(lowercase, underscores)",
+                    )
+                )
+            buckets = _DEFAULT_BUCKETS
+            if kind == "histogram":
+                for keyword in node.keywords:
+                    if keyword.arg == "buckets":
+                        buckets = ast.unparse(keyword.value)
+            self._declarations.setdefault(name, []).append(
+                (kind, buckets, source.path, node.lineno)
+            )
+        return findings
+
+    @staticmethod
+    def _resolve_name(arg: ast.expr, constants: dict[str, str]) -> str | None:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        if isinstance(arg, ast.Name):
+            return constants.get(arg.id)
+        return None
+
+    def finalize(self) -> list[Finding]:
+        findings: list[Finding] = []
+        for name, sites in sorted(self._declarations.items()):
+            first_kind, first_buckets, first_path, first_line = sites[0]
+            for kind, buckets, path, line in sites[1:]:
+                if kind == first_kind and buckets == first_buckets:
+                    continue
+                detail = f"as {kind}" if kind != first_kind else f"with buckets={buckets}"
+                findings.append(
+                    Finding(
+                        rule_id=self.rule_id,
+                        path=path,
+                        line=line,
+                        message=f"metric '{name}' redeclared {detail} — first declared "
+                        f"as {first_kind} at {first_path}:{first_line}",
+                        hint="a metric keeps one (name, kind, buckets) signature for "
+                        "its whole life; declare it in one place and share it",
+                    )
+                )
+        return findings

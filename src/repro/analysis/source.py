@@ -1,0 +1,74 @@
+""":class:`SourceFile` — a parsed source file plus the comments AST drops.
+
+Two of the analyzer's rules are driven by *comments* (``# guarded-by:
+<lock>`` field annotations, ``# holds: <lock>`` method contracts, and the
+``# repro: allow(<rule-id>)`` inline waiver), which :mod:`ast` discards.
+This wrapper tokenizes the file once and keeps a line-indexed comment map
+next to the parse tree so every rule sees both.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+
+#: Inline waiver: ``# repro: allow(wire-safety) — bundle bootstrap``.
+#: Suppresses findings of the named rule(s) on that line (or the line
+#: directly below a standalone comment).  ``allow(*)`` waives every rule.
+_ALLOW_RE = re.compile(r"repro:\s*allow\(\s*([a-z0-9_*,\s-]+?)\s*\)")
+
+
+class SourceFile:
+    """One file's text, parse tree, and comment-derived annotations."""
+
+    def __init__(self, path: str, text: str):
+        self.path = str(path).replace("\\", "/")
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=self.path)
+        #: 1-indexed line -> raw comment text (``#`` included).
+        self.comments: dict[int, str] = {}
+        try:
+            for token in tokenize.generate_tokens(io.StringIO(text).readline):
+                if token.type == tokenize.COMMENT:
+                    self.comments[token.start[0]] = token.string
+        except tokenize.TokenError:  # pragma: no cover - ast.parse catches worse
+            pass
+        #: 1-indexed line -> rule ids waived on that line.
+        self.allowed: dict[int, set[str]] = {}
+        for lineno, comment in self.comments.items():
+            match = _ALLOW_RE.search(comment)
+            if match:
+                rules = {part.strip() for part in match.group(1).split(",")}
+                self.allowed[lineno] = {rule for rule in rules if rule}
+
+    @classmethod
+    def from_path(cls, path: str) -> "SourceFile":
+        with open(path, encoding="utf-8") as handle:
+            return cls(str(path), handle.read())
+
+    @classmethod
+    def from_text(cls, text: str, path: str = "<memory>") -> "SourceFile":
+        """Parse an in-memory snippet under a pretend path.
+
+        Rules scope themselves by path suffix, so tests aim fixture text at
+        the module it impersonates (``src/repro/cluster/wire.py``, ...).
+        """
+        return cls(path, text)
+
+    def matches(self, *suffixes: str) -> bool:
+        """True when this file's path ends with any of the given suffixes."""
+        return any(self.path.endswith(suffix) for suffix in suffixes)
+
+    def comment_on(self, lineno: int) -> str:
+        return self.comments.get(lineno, "")
+
+    def is_allowed(self, rule_id: str, lineno: int) -> bool:
+        """True when an inline waiver covers ``rule_id`` at ``lineno``."""
+        for candidate in (lineno, lineno - 1):
+            rules = self.allowed.get(candidate)
+            if rules and (rule_id in rules or "*" in rules):
+                return True
+        return False

@@ -183,16 +183,16 @@ class ColocationEngine:
         #: problem (stores carry their own lock); featurization runs outside
         #: any lock so concurrent callers only serialise on bookkeeping.
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._featurized = 0
-        self._invalidations = 0
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._featurized = 0  # guarded-by: _lock
+        self._invalidations = 0  # guarded-by: _lock
         #: Invalidated-row count not yet reported by a gather call: drained
         #: into the next call's :class:`CallCacheStats`, so typed responses
         #: surface the invalidation traffic that preceded them (the batcher
         #: processes invalidations first in a flush; the flush's serves then
         #: account them).
-        self._pending_invalidated = 0
+        self._pending_invalidated = 0  # guarded-by: _lock
 
     # --------------------------------------------------------------- plumbing
     @classmethod

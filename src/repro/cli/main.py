@@ -415,6 +415,20 @@ def cmd_components(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Run the repro.analysis invariant checker over the source tree."""
+    from repro.analysis.cli import run as analysis_run
+
+    return analysis_run(
+        args.paths,
+        format=args.format,
+        baseline_path=args.baseline,
+        no_baseline=args.no_baseline,
+        write_baseline_file=args.write_baseline,
+        rules=args.rules,
+    )
+
+
 # --------------------------------------------------------------------- parser
 
 
@@ -556,6 +570,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict the listing to one component kind",
     )
     components.set_defaults(func=cmd_components)
+
+    check = subparsers.add_parser(
+        "check",
+        help="run the repro.analysis invariant checker (same as `python -m repro.analysis`)",
+    )
+    check.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories to check (default: src)"
+    )
+    check.add_argument("--format", choices=("text", "json"), default="text")
+    check.add_argument(
+        "--baseline",
+        default="analysis-baseline.json",
+        help="baseline file of grandfathered findings (missing file = empty baseline)",
+    )
+    check.add_argument("--no-baseline", action="store_true", help="ignore the baseline file")
+    check.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept every current finding",
+    )
+    check.add_argument("--rules", default="", help="comma-separated subset of rule ids")
+    check.set_defaults(func=cmd_check)
 
     return parser
 

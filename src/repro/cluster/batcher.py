@@ -131,14 +131,14 @@ class MicroBatcher:
         self.overflow = overflow
         self._time = time_fn if time_fn is not None else time.perf_counter
         self.metrics = metrics if metrics is not None else ClusterMetrics(engine)
-        self._queue: deque[_Pending] = deque()
         self._cond = threading.Condition()
-        self._closed = False
-        #: The BaseException that killed the flusher, if any.  Guarded by
-        #: ``_cond``; once set, every queued future has been failed and every
-        #: subsequent submit raises instead of waiting on a dead thread.
-        self._death: BaseException | None = None
-        self._metrics_errors = 0
+        self._queue: deque[_Pending] = deque()  # guarded-by: _cond
+        self._closed = False  # guarded-by: _cond
+        #: The BaseException that killed the flusher, if any.  Once set,
+        #: every queued future has been failed and every subsequent submit
+        #: raises instead of waiting on a dead thread.
+        self._death: BaseException | None = None  # guarded-by: _cond
+        self._metrics_errors = 0  # guarded-by: _cond
         self._metrics_takes_serves: bool | None = None
         self._flusher = threading.Thread(
             target=self._run, name="repro-microbatcher", daemon=True
@@ -156,7 +156,8 @@ class MicroBatcher:
     def metrics_errors(self) -> int:
         """Exceptions swallowed from the metrics hooks (a broken user-supplied
         ``metrics`` object degrades telemetry, never the serving path)."""
-        return self._metrics_errors
+        with self._cond:
+            return self._metrics_errors
 
     def _observe(self, hook: str, *args, **kwargs) -> None:
         """Call a metrics hook without letting it break serving.
@@ -189,7 +190,7 @@ class MicroBatcher:
                 self._metrics_takes_serves = True
         return self._metrics_takes_serves
 
-    def _raise_if_unavailable(self) -> None:
+    def _raise_if_unavailable(self) -> None:  # holds: _cond
         """Caller must hold ``_cond``."""
         if self._death is not None:
             raise EngineOverloadError(

@@ -26,6 +26,7 @@ printable :class:`ClusterMetricsSnapshot`.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable
@@ -200,8 +201,11 @@ class ClusterMetrics:
             "Metrics-clock timestamp of the last healthy heartbeat per worker",
             labels=("worker",),
         )
+        #: Guards the heartbeat view: registry metrics carry their own locks,
+        #: but the last-seen bookkeeping below is a read-modify-write.
+        self._lock = threading.Lock()
         #: worker index -> (healthy, last_seen) for the snapshot view.
-        self._heartbeats: dict[int, tuple[bool, float]] = {}
+        self._heartbeats: dict[int, tuple[bool, float]] = {}  # guarded-by: _lock
 
     # ------------------------------------------------------------ observation
     def observe_flush(
@@ -254,12 +258,13 @@ class ClusterMetrics:
         worker = int(worker)
         label = str(worker)
         self._worker_up.labels(worker=label).set(1.0 if healthy else 0.0)
-        previous = self._heartbeats.get(worker)
-        last_seen = previous[1] if previous is not None else 0.0
-        if healthy:
-            last_seen = self._time()
-            self._worker_last_seen.labels(worker=label).set(last_seen)
-        self._heartbeats[worker] = (bool(healthy), last_seen)
+        with self._lock:  # last-seen carry-over is a read-modify-write
+            previous = self._heartbeats.get(worker)
+            last_seen = previous[1] if previous is not None else 0.0
+            if healthy:
+                last_seen = self._time()
+                self._worker_last_seen.labels(worker=label).set(last_seen)
+            self._heartbeats[worker] = (bool(healthy), last_seen)
 
     # --------------------------------------------------------------- snapshot
     def snapshot(self) -> ClusterMetricsSnapshot:
@@ -276,7 +281,8 @@ class ClusterMetrics:
         if cache is not None:
             self._publish_cache(cache)
         p50, p90, p99 = self._latency.percentiles()
-        heartbeats = sorted(self._heartbeats.items())
+        with self._lock:
+            heartbeats = sorted(self._heartbeats.items())
         return ClusterMetricsSnapshot(
             requests=int(self._requests.value),
             serve_requests=int(self._serves.value),

@@ -35,7 +35,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-import pickle
+import pickle  # repro: allow(wire-safety) — judge bundle files only, never on the wire
 import signal
 import socket
 import sys
@@ -74,7 +74,7 @@ def save_judge_bundle(judge, directory: str | pathlib.Path) -> pathlib.Path:
         manifest = {"kind": "pipeline"}
     else:
         with open(directory / "judge.pkl", "wb") as handle:
-            pickle.dump(judge, handle)
+            pickle.dump(judge, handle)  # repro: allow(wire-safety) — bundle bootstrap
         manifest = {"kind": "pickle"}
     (directory / _MANIFEST).write_text(json.dumps(manifest))
     return directory
@@ -94,7 +94,7 @@ def load_judge_bundle(directory: str | pathlib.Path):
         return load_pipeline(directory / "pipeline")
     if kind == "pickle":
         with open(directory / "judge.pkl", "rb") as handle:
-            return pickle.load(handle)
+            return pickle.load(handle)  # repro: allow(wire-safety) — bundle bootstrap
     raise ConfigurationError(f"unknown worker bundle kind {kind!r}")
 
 

@@ -14,11 +14,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.colocation.judge import CoLocationJudgeNetwork, JudgeConfig
 from repro.core.protocols import pairwise_probability_matrix
 from repro.data.records import Pair, Profile
 from repro.errors import NotFittedError, TrainingError
 from repro.features.hisrect import HisRectFeaturizer
-from repro.colocation.judge import CoLocationJudgeNetwork, JudgeConfig
 from repro.nn.losses import binary_cross_entropy_with_logits
 from repro.nn.optim import Adam, clip_grad_norm
 

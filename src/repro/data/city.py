@@ -17,8 +17,8 @@ import numpy as np
 
 from repro.data.language import CATEGORY_WORDS
 from repro.errors import DataGenerationError
-from repro.geo.point import GeoPoint
 from repro.geo.poi import POI, POIRegistry
+from repro.geo.point import GeoPoint
 from repro.geo.polygon import BoundingPolygon
 
 

@@ -15,7 +15,7 @@ probability for occasionally visiting new POIs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

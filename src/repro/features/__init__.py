@@ -13,18 +13,18 @@ from repro.features.content import (
     VectorizerCacheInfo,
     make_content_encoder,
 )
+from repro.features.hisrect import (
+    EmbeddingNetwork,
+    HisRectConfig,
+    HisRectFeaturizer,
+    POIClassifier,
+)
 from repro.features.history import (
     HistoricalVisitFeaturizer,
     HistoryDeltaState,
     HistoryDeltaTracker,
     HistoryFeatureConfig,
     OneHotHistoryFeaturizer,
-)
-from repro.features.hisrect import (
-    EmbeddingNetwork,
-    HisRectConfig,
-    HisRectFeaturizer,
-    POIClassifier,
 )
 
 __all__ = [

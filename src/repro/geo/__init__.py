@@ -15,6 +15,7 @@ from repro.geo.geohash import (
     shared_prefix_length,
 )
 from repro.geo.grid import UniformGridIndex
+from repro.geo.poi import POI, POIRegistry
 from repro.geo.point import (
     EARTH_RADIUS_M,
     GeoPoint,
@@ -25,7 +26,6 @@ from repro.geo.point import (
     pairwise_distance_m,
     point_to_many_m,
 )
-from repro.geo.poi import POI, POIRegistry
 from repro.geo.polygon import BoundingPolygon
 from repro.geo.quadtree import BoundingBox, IndexedPoint, QuadTree, bulk_load, radius_to_bbox
 from repro.geo.trajectory import (

@@ -20,8 +20,8 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.errors import GeometryError
-from repro.geo.point import haversine_m
 from repro.geo.poi import POIRegistry
+from repro.geo.point import haversine_m
 
 
 @dataclass(frozen=True, slots=True)

@@ -18,12 +18,6 @@ from repro.io.city import city_from_dict, city_to_dict, load_city, save_city
 from repro.io.configs import config_from_dict, config_to_dict
 from repro.io.datasets import load_dataset, save_dataset
 from repro.io.pipeline import load_engine, load_pipeline, save_pipeline
-from repro.io.social import (
-    load_social_graph,
-    save_social_graph,
-    social_graph_from_dict,
-    social_graph_to_dict,
-)
 from repro.io.records_json import (
     pair_from_dict,
     pair_to_dict,
@@ -35,6 +29,12 @@ from repro.io.records_json import (
     tweet_from_dict,
     tweet_to_dict,
     write_timelines_jsonl,
+)
+from repro.io.social import (
+    load_social_graph,
+    save_social_graph,
+    social_graph_from_dict,
+    social_graph_to_dict,
 )
 
 __all__ = [

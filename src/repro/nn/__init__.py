@@ -3,19 +3,9 @@
 from repro.nn.autograd import Tensor, as_tensor, concatenate, stack, zeros
 from repro.nn.conv import Conv2D, TemporalConv
 from repro.nn.embedding import Embedding
+from repro.nn.gradcheck import check_module_gradients, check_tensor_gradient, max_gradient_error, numerical_gradient
 from repro.nn.gru import GRU, BiGRU, GRUCell
 from repro.nn.layers import MLP, Dropout, Linear, ReLU, Sequential, Sigmoid, Tanh, l2_normalize
-from repro.nn.normalization import BatchNorm1d, LayerNorm, RMSNorm
-from repro.nn.pooling import (
-    AttentionPooling,
-    LastState,
-    MaxOverTime,
-    MeanOverTime,
-    make_pooling,
-    masked_mean_over_time,
-    masked_softmax_over_time,
-    softmax_over_time,
-)
 from repro.nn.losses import (
     binary_cross_entropy_with_logits,
     cosine_embedding_loss,
@@ -28,8 +18,19 @@ from repro.nn.losses import (
     softmax_cross_entropy,
 )
 from repro.nn.module import Module, Parameter
-from repro.nn.gradcheck import check_module_gradients, check_tensor_gradient, max_gradient_error, numerical_gradient
+from repro.nn.normalization import BatchNorm1d, LayerNorm, RMSNorm
 from repro.nn.optim import SGD, Adagrad, Adam, AdamW, Optimizer, RMSprop, clip_grad_norm
+from repro.nn.pooling import (
+    AttentionPooling,
+    LastState,
+    MaxOverTime,
+    MeanOverTime,
+    make_pooling,
+    masked_mean_over_time,
+    masked_softmax_over_time,
+    softmax_over_time,
+)
+from repro.nn.recurrent import LSTM, BiLSTM, ConvLSTM, ConvLSTMCell, LSTMCell, time_mask
 from repro.nn.schedulers import (
     CosineAnnealing,
     ExponentialDecay,
@@ -38,7 +39,6 @@ from repro.nn.schedulers import (
     StepDecay,
     WarmupWrapper,
 )
-from repro.nn.recurrent import LSTM, BiLSTM, ConvLSTM, ConvLSTMCell, LSTMCell, time_mask
 
 __all__ = [
     "Tensor",

@@ -268,7 +268,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._families: dict[str, MetricFamily] = {}
+        self._families: dict[str, MetricFamily] = {}  # guarded-by: _lock
 
     def _declare(self, name: str, kind: str, help: str, labels: Sequence[str], **options):
         labels = tuple(labels)

@@ -11,10 +11,9 @@ frozen mirrors how the paper trains the judge on top of a frozen featurizer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
-
-from typing import TYPE_CHECKING, Any
 
 from repro.core.protocols import pairwise_probability_matrix
 from repro.data.records import Pair, Profile

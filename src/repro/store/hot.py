@@ -46,12 +46,12 @@ class HotStore:
         if capacity < 0:
             raise ConfigurationError("capacity must be >= 0")
         self.capacity = capacity
-        self._rows: OrderedDict[ProfileKey, np.ndarray] = OrderedDict()
-        self._index = RevisionedKeyIndex()
         self._lock = threading.RLock()
+        self._rows: OrderedDict[ProfileKey, np.ndarray] = OrderedDict()  # guarded-by: _lock
+        self._index = RevisionedKeyIndex()  # guarded-by: _lock
         self._on_evict = on_evict
-        self._hits = 0
-        self._evictions = 0
+        self._hits = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
 
     # ----------------------------------------------------------------- lookups
     def get(self, key: ProfileKey) -> np.ndarray | None:

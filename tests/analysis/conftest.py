@@ -1,0 +1,32 @@
+"""Shared helpers: run the analyzer over fixture snippets under pretend paths."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis import Analyzer, SourceFile
+from repro.analysis.framework import resolve_rules
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def analyze_text(text: str, pretend_path: str, rules: list[str] | None = None):
+    """Findings from one in-memory snippet aimed at a pretend module path."""
+    analyzer = Analyzer(resolve_rules(rules))
+    return analyzer.run([SourceFile.from_text(text, pretend_path)])
+
+
+def analyze_fixture(relpath: str, pretend_path: str, rules: list[str] | None = None):
+    text = (FIXTURES / relpath).read_text()
+    return analyze_text(text, pretend_path, rules)
+
+
+@pytest.fixture
+def repo_source():
+    """Real source text of a repo file, for mutation tests."""
+
+    def _read(relpath: str) -> str:
+        return (REPO_ROOT / relpath).read_text()
+
+    return _read

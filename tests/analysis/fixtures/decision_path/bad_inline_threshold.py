@@ -1,0 +1,26 @@
+"""Known-bad: a transport re-deciding with its own threshold cut."""
+
+
+class ForkedTransport:
+    def __init__(self, judge, threshold=0.5):
+        self._core = JudgementCore(judge, explicit_threshold=threshold)  # noqa: F821
+
+    def predict_proba(self, pairs):
+        return self._core.predict_proba(pairs)
+
+    def predict(self, pairs):
+        # The forked serve logic PR 5 had to unwind: decide locally.
+        probabilities = self.predict_proba(pairs)
+        return (probabilities >= self.threshold).astype(int)
+
+    def probability_matrix(self, profiles):
+        return self._core.probability_matrix(profiles)
+
+    def serve(self, request):
+        return self._core.serve(request)
+
+    def serve_batch(self, requests):
+        return self._core.serve_batch(requests)
+
+    def decide_feature_pairs(self, rows):
+        return rows

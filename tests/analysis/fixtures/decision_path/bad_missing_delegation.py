@@ -1,0 +1,20 @@
+"""Known-bad: a core-owning transport that dropped a decision surface."""
+
+
+class ShrunkTransport:
+    def __init__(self, judge):
+        self._core = JudgementCore(judge)  # noqa: F821
+
+    def predict_proba(self, pairs):
+        return self._core.predict_proba(pairs)
+
+    def predict(self, pairs):
+        return self._core.predict(pairs)
+
+    def probability_matrix(self, profiles):
+        return self._core.probability_matrix(profiles)
+
+    def serve(self, request):
+        return self._core.serve(request)
+
+    # serve_batch is gone: the five-surface contract is broken.

@@ -1,0 +1,23 @@
+"""Known-good: a transport that delegates every decision to the core."""
+
+
+class GoodTransport:
+    def __init__(self, judge, threshold=None):
+        if threshold is not None and not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be within [0, 1]")
+        self._core = JudgementCore(judge, explicit_threshold=threshold)  # noqa: F821
+
+    def predict_proba(self, pairs):
+        return self._core.predict_proba(pairs)
+
+    def predict(self, pairs):
+        return self._core.predict(pairs)
+
+    def probability_matrix(self, profiles):
+        return self._core.probability_matrix(profiles)
+
+    def serve(self, request):
+        return self._core.serve(request)
+
+    def serve_batch(self, requests):
+        return self._core.serve_batch(requests)

@@ -1,0 +1,21 @@
+"""Known-bad: featurization serialized behind a cache lock (the PR 4 bug)."""
+
+import threading
+
+
+class SlowEngine:
+    def __init__(self, judge):
+        self.judge = judge
+        self._lock = threading.Lock()
+        self._cache = {}
+
+    def resolve(self, batch):
+        with self._lock:
+            rows = self.judge.featurize_profiles(batch)  # collapses concurrency
+            for key, row in zip(batch, rows):
+                self._cache[key] = row
+        return rows
+
+    def encode(self, texts):
+        with self._lock:
+            return self.judge.encode_batch(texts)

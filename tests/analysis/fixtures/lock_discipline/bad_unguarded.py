@@ -1,0 +1,15 @@
+"""Known-bad: a guarded field read and written outside its lock."""
+
+import threading
+
+
+class RacyCounters:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0  # guarded-by: _lock
+
+    def record(self):
+        self._hits += 1  # no lock: lost updates under concurrency
+
+    def snapshot(self):
+        return self._hits  # unguarded read

@@ -1,0 +1,26 @@
+"""Known-good: guarded fields touched only under their lock."""
+
+import threading
+
+
+class GoodCounters:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+
+    def record(self, hit):
+        row = self.featurize(hit)  # hot work happens before the lock
+        with self._lock:
+            if hit:
+                self._hits += 1
+            else:
+                self._misses += 1
+        return row
+
+    def _drain(self):  # holds: _lock
+        hits, self._hits = self._hits, 0
+        return hits
+
+    def featurize(self, hit):
+        return [hit]

@@ -1,0 +1,9 @@
+"""Known-bad: unprefixed/camel-case names and conflicting redeclarations."""
+
+
+def declare(registry):
+    registry.counter("requestsTotal", "no prefix, camelCase")
+    registry.counter("repro_fixture_flips_total", "fine the first time")
+    registry.gauge("repro_fixture_flips_total", "same name, different kind")
+    registry.histogram("repro_fixture_lat_ms", "default buckets")
+    registry.histogram("repro_fixture_lat_ms", "other buckets", buckets=(1.0, 5.0))

@@ -1,0 +1,15 @@
+"""Known-good: repro_-prefixed snake_case, one signature per name."""
+
+_LATENCY_METRIC = "repro_fixture_latency_ms"
+
+
+def declare(registry):
+    requests = registry.counter("repro_fixture_requests_total", "requests completed")
+    depth = registry.gauge("repro_fixture_queue_depth", "queue depth at flush")
+    latency = registry.histogram(_LATENCY_METRIC, "request latency (ms)")
+    return requests, depth, latency
+
+
+def declare_again(registry):
+    # declare-or-get with the identical signature is fine
+    return registry.counter("repro_fixture_requests_total", "requests completed")

@@ -1,0 +1,10 @@
+"""Known-bad: invented stage names (the PR 9 retrofit, statically caught)."""
+
+
+def rogue(tracer, stage_name):
+    with tracer.stage("bogus"):  # not a member of STAGES
+        pass
+    tracer.record_event("warm_hit", 0.2)  # not a member of STORE_EVENTS
+    tracer.record_stage(STAGE_PRIVATE, 1.0)  # noqa: F821  not a canonical constant
+    tracer.record_stage(stage_name, 1.0)  # a variable cannot be verified either
+    tracer.record_stage("shard_" + stage_name, 1.0)  # computed: taxonomy is closed

@@ -1,0 +1,4 @@
+"""Known-bad: a frame id redeclared (how peers come to disagree)."""
+
+FRAME_HELLO = 1
+FRAME_HELLO = 9  # noqa: F811

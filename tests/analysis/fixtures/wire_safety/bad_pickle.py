@@ -1,0 +1,16 @@
+"""Known-bad: executable serialization in a wire-path module."""
+
+import pickle
+
+
+def decode_body(body):
+    return pickle.loads(body)
+
+
+def run_remote(expression):
+    return eval(expression)
+
+
+class Payload:
+    def __reduce__(self):
+        return (Payload, ())

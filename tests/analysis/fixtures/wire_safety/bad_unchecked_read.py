@@ -1,0 +1,12 @@
+"""Known-bad: a payload-sized read with no header length check first."""
+
+import struct
+
+_HEADER = struct.Struct("!BI")
+
+
+def recv_frame(sock):
+    header = _recv_exactly(sock, _HEADER.size)  # noqa: F821
+    frame_type, length = _HEADER.unpack(header)
+    body = _recv_exactly(sock, length)  # noqa: F821  <- forged length, unbounded alloc
+    return frame_type, body

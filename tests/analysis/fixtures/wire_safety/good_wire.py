@@ -1,0 +1,20 @@
+"""Known-good: frame constants declared once, length-checked reads."""
+
+FRAME_HELLO = 1
+FRAME_CALL = 2
+
+_HEADER = None  # stands in for struct.Struct("!BI")
+
+
+def _parse_header(header, max_frame_bytes):
+    frame_type, length = 1, 0
+    if length > max_frame_bytes:
+        raise ValueError("frame too large")
+    return frame_type, length
+
+
+def recv_frame(sock, max_frame_bytes):
+    header = _recv_exactly(sock, _HEADER.size)  # noqa: F821
+    frame_type, length = _parse_header(header, max_frame_bytes)
+    body = _recv_exactly(sock, length)  # noqa: F821
+    return frame_type, body

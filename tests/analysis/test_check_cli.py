@@ -1,0 +1,134 @@
+"""CLI contract: exit codes, JSON schema, baseline round-trip, entry points."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.cli import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, main
+from repro.cli.main import main as hisrect_main
+
+CLEAN_SOURCE = 'GREETING = "hello"\n\n\ndef greet():\n    return GREETING\n'
+# Aimed at a wire-path name so wire-safety fires.
+BAD_SOURCE = "import pickle\n"
+
+
+@pytest.fixture
+def project(tmp_path):
+    """A tiny tree with one clean file and one wire-safety violation."""
+    pkg = tmp_path / "src" / "repro" / "cluster"
+    pkg.mkdir(parents=True)
+    (pkg / "wire.py").write_text(BAD_SOURCE)
+    (pkg / "clean.py").write_text(CLEAN_SOURCE)
+    return tmp_path
+
+
+def run_main(args):
+    return main([str(arg) for arg in args])
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN_SOURCE)
+        assert run_main([tmp_path, "--no-baseline"]) == EXIT_CLEAN
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_nonzero(self, project, capsys):
+        assert run_main([project / "src", "--no-baseline"]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "[wire-safety]" in out
+        assert "FAILED" in out
+
+    def test_unknown_rule_is_a_usage_error(self, project):
+        assert run_main([project / "src", "--rules", "no-such-rule"]) == EXIT_USAGE
+
+    def test_missing_path_is_a_usage_error(self, tmp_path):
+        assert run_main([tmp_path / "nowhere"]) == EXIT_USAGE
+
+    def test_syntax_error_is_a_finding(self, tmp_path, capsys):
+        (tmp_path / "broken.py").write_text("def broken(:\n")
+        assert run_main([tmp_path, "--no-baseline"]) == EXIT_FINDINGS
+        assert "[syntax-error]" in capsys.readouterr().out
+
+
+class TestJsonFormat:
+    def test_schema(self, project, capsys):
+        code = run_main([project / "src", "--no-baseline", "--format", "json"])
+        assert code == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert set(payload["rules"]) == {
+            "decision-path",
+            "lock-discipline",
+            "metric-hygiene",
+            "stage-taxonomy",
+            "wire-safety",
+        }
+        assert payload["files"] == 2
+        assert payload["summary"]["new"] == payload["summary"]["total"] == 1
+        assert payload["summary"]["baselined"] == 0
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "wire-safety"
+        assert finding["path"].endswith("repro/cluster/wire.py")
+        assert isinstance(finding["line"], int) and finding["line"] >= 1
+        assert "pickle" in finding["message"]
+        assert finding["hint"]
+        assert finding["baselined"] is False
+
+
+class TestBaselineRoundTrip:
+    def test_write_suppress_then_regress(self, project, capsys):
+        baseline = project / "baseline.json"
+        args = [project / "src", "--baseline", baseline]
+
+        # A missing baseline file is an empty baseline: the finding fails the run.
+        assert run_main(args) == EXIT_FINDINGS
+
+        # Grandfather it, and the same tree now passes (reported as baselined).
+        assert run_main(args + ["--write-baseline"]) == EXIT_CLEAN
+        fingerprints = json.loads(baseline.read_text())["fingerprints"]
+        assert len(fingerprints) == 1 and "wire-safety" in fingerprints[0]
+        capsys.readouterr()
+        assert run_main(args) == EXIT_CLEAN
+        assert "1 baselined" in capsys.readouterr().out
+
+        # Fixing the violation leaves a stale entry, still exit 0.
+        wire = project / "src" / "repro" / "cluster" / "wire.py"
+        wire.write_text(CLEAN_SOURCE)
+        capsys.readouterr()
+        assert run_main(args) == EXIT_CLEAN
+        assert "stale baseline" in capsys.readouterr().out
+
+        # Removing the baseline after a regression fails again.
+        wire.write_text(BAD_SOURCE)
+        baseline.unlink()
+        assert run_main(args) == EXIT_FINDINGS
+
+    def test_corrupt_baseline_is_a_usage_error(self, project):
+        baseline = project / "baseline.json"
+        baseline.write_text("not json")
+        assert run_main([project / "src", "--baseline", baseline]) == EXIT_USAGE
+
+
+class TestEntryPoints:
+    def test_repro_hisrect_check_subcommand(self, project, capsys):
+        code = hisrect_main(["check", str(project / "src"), "--no-baseline"])
+        assert code == EXIT_FINDINGS
+        assert "[wire-safety]" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for rule_id in ("decision-path", "wire-safety", "lock-discipline",
+                        "stage-taxonomy", "metric-hygiene"):
+            assert rule_id in out
+
+    def test_python_dash_m_entry_point(self, project):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(project / "src"), "--no-baseline"],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == EXIT_FINDINGS
+        assert "[wire-safety]" in result.stdout
